@@ -1,0 +1,73 @@
+//! Benchmarks for the Section 4 / Section 7 algorithms: normalization
+//! (Algorithm 1), certain answers (Lemma 4.3, direct vs relational), and
+//! confidence computation (exact Shannon expansion vs Monte Carlo).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urel_core::certain::{certain_lemma43, certain_lemma43_relational};
+use urel_core::normalize::normalize_urelations;
+use urel_core::prob::{confidence, confidence_monte_carlo};
+use urel_core::{evaluate, table, WsDescriptor};
+use urel_wsd::ring;
+
+fn bench_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize");
+    group.sample_size(10);
+    for &n in &[6usize, 10, 14] {
+        let u = ring::ring_answer_urel(n);
+        let db = ring::ring_udb(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("ring_answer", n), &n, |b, _| {
+            b.iter(|| {
+                normalize_urelations(&[&u], &db.world)
+                    .expect("normalization")
+                    .relations[0]
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_certain(c: &mut Criterion) {
+    let db = urel_core::figure1_database();
+    let u = evaluate(&db, &table("r")).expect("full table");
+    let n = normalize_urelations(&[&u], &db.world).expect("normalize");
+    let mut group = c.benchmark_group("certain");
+    group.sample_size(20);
+    group.bench_function("lemma43_direct", |b| {
+        b.iter(|| certain_lemma43(&n.relations[0], &n.world).unwrap().len());
+    });
+    group.bench_function("lemma43_relational", |b| {
+        b.iter(|| certain_lemma43_relational(&n.relations[0], &n.world).unwrap().len());
+    });
+    group.finish();
+}
+
+fn bench_confidence(c: &mut Criterion) {
+    // Descriptor sets shaped like query-result groups: chains of
+    // two-variable conjunctions over a 12-variable world.
+    let mut w = urel_core::WorldTable::new();
+    for i in 1..=12 {
+        w.add_var(urel_core::Var(i), vec![0, 1, 2]).unwrap();
+    }
+    let descs: Vec<WsDescriptor> = (1..=11)
+        .map(|i| {
+            WsDescriptor::from_pairs([
+                (urel_core::Var(i), (i % 3) as u64),
+                (urel_core::Var(i + 1), ((i + 1) % 3) as u64),
+            ])
+            .unwrap()
+        })
+        .collect();
+    let mut group = c.benchmark_group("confidence");
+    group.sample_size(20);
+    group.bench_function("exact_shannon", |b| {
+        b.iter(|| confidence(&descs, &w).unwrap());
+    });
+    group.bench_function("monte_carlo_10k", |b| {
+        b.iter(|| confidence_monte_carlo(&descs, &w, 10_000, 7).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalize, bench_certain, bench_confidence);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches for the Figure 12 workload at fixed small settings:
+//! translated-query evaluation for Q1/Q2/Q3 across uncertainty ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urel_core::possible;
+use urel_tpch::{generate, q1, q2, q3, GenParams};
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_queries");
+    group.sample_size(10);
+    for &x in &[0.001, 0.01, 0.1] {
+        let out = generate(&GenParams::paper(0.01, x, 0.25)).expect("generation");
+        for (name, q) in [("q1", q1()), ("q2", q2()), ("q3", q3())] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("x={x}")),
+                &q,
+                |b, q| {
+                    b.iter(|| possible(&out.db, q).expect("query runs").len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    for &s in &[0.01, 0.05] {
+        group.bench_with_input(BenchmarkId::new("generate", s), &s, |b, &s| {
+            b.iter(|| generate(&GenParams::paper(s, 0.01, 0.25)).expect("generation"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 14 as a criterion bench at the smallest paper setting:
+//! attribute-level vs tuple-level vs ULDB evaluation of Q3 (no poss, no
+//! minimization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use urel_core::{evaluate, table, table_as};
+use urel_relalg::{col, lit_str};
+use urel_tpch::tuple_level::{expand_tuple_level, to_uldb};
+use urel_tpch::{generate, GenParams};
+
+fn q3_no_poss() -> urel_core::UQuery {
+    let n1 = table_as("nation", "n1").select(col("n1.n_name").eq(lit_str("GERMANY")));
+    let n2 = table_as("nation", "n2").select(col("n2.n_name").eq(lit_str("IRAQ")));
+    table("supplier")
+        .join(table("lineitem"), col("s_suppkey").eq(col("l_suppkey")))
+        .join(table("orders"), col("o_orderkey").eq(col("l_orderkey")))
+        .join(table("customer"), col("c_custkey").eq(col("o_custkey")))
+        .join(n1, col("s_nationkey").eq(col("n1.n_nationkey")))
+        .join(n2, col("c_nationkey").eq(col("n2.n_nationkey")))
+        .project(["n1.n_name", "n2.n_name"])
+}
+
+fn bench_representations(c: &mut Criterion) {
+    let out = generate(&GenParams::paper(0.01, 0.001, 0.1)).expect("generation");
+    let q = q3_no_poss();
+    let tl = expand_tuple_level(&out.db, 1 << 20, 1 << 24).expect("expansion");
+    let uldb0 = to_uldb(&tl).expect("uldb");
+
+    let mut group = c.benchmark_group("fig14_representations");
+    group.sample_size(10);
+    group.bench_function("attribute_level", |b| {
+        b.iter(|| evaluate(&out.db, &q).unwrap().len());
+    });
+    group.bench_function("tuple_level", |b| {
+        b.iter(|| evaluate(&tl, &q).unwrap().len());
+    });
+    group.bench_function("uldb", |b| {
+        b.iter(|| {
+            let mut db = uldb0.clone();
+            let rename = |db: &mut urel_uldb::Uldb, src: &str, out: &str, prefix: &str| {
+                let mut r = db.relation(src).unwrap().clone();
+                r.attrs = r.attrs.iter().map(|a| format!("{prefix}{a}")).collect();
+                r.name = out.to_string();
+                db.insert_derived(r);
+            };
+            rename(&mut db, "nation", "n1", "n1_");
+            rename(&mut db, "nation", "n2", "n2_");
+            db.select("n1", "n1f", &col("n1_n_name").eq(lit_str("GERMANY"))).unwrap();
+            db.select("n2", "n2f", &col("n2_n_name").eq(lit_str("IRAQ"))).unwrap();
+            db.join("supplier", "lineitem", "j1", &col("s_suppkey").eq(col("l_suppkey")))
+                .unwrap();
+            db.join("j1", "orders", "j2", &col("o_orderkey").eq(col("l_orderkey"))).unwrap();
+            db.join("j2", "customer", "j3", &col("c_custkey").eq(col("o_custkey"))).unwrap();
+            db.join("j3", "n1f", "j4", &col("s_nationkey").eq(col("n1_n_nationkey"))).unwrap();
+            db.join("j4", "n2f", "j5", &col("c_nationkey").eq(col("n2_n_nationkey"))).unwrap();
+            db.relation("j5").unwrap().alt_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_representations);
+criterion_main!(benches);

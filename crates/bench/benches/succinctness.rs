@@ -1,0 +1,60 @@
+//! Succinctness microbenches (Section 5): building the ring answer in
+//! both formalisms, translating the σ_{A=B} query, and or-set encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urel_core::possible;
+use urel_relalg::{col, Value};
+use urel_uldb::convert::or_set_to_uldb;
+use urel_wsd::ring;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring");
+    group.sample_size(10);
+    for &n in &[8usize, 12] {
+        group.bench_with_input(BenchmarkId::new("urel_answer", n), &n, |b, &n| {
+            b.iter(|| ring::ring_answer_urel(n).len());
+        });
+        group.bench_with_input(BenchmarkId::new("wsd_answer", n), &n, |b, &n| {
+            b.iter(|| ring::ring_answer_wsd(n).unwrap().total_cells());
+        });
+        group.bench_with_input(BenchmarkId::new("translated_selection", n), &n, |b, &n| {
+            let db = ring::ring_udb(n).unwrap();
+            let q = urel_core::table("r").select(col("a").eq(col("b")));
+            b.iter(|| possible(&db, &q).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_orset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orset");
+    group.sample_size(10);
+    let m = 8usize;
+    for &k in &[4usize, 5] {
+        let row: Vec<Vec<Value>> = (0..k)
+            .map(|a| (0..m).map(|i| Value::Int((a * 100 + i) as i64)).collect())
+            .collect();
+        let attrs: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        group.bench_with_input(BenchmarkId::new("urel", k), &k, |b, _| {
+            b.iter(|| {
+                urel_core::construct::or_set_database("r", &attr_refs, &[row.clone()])
+                    .unwrap()
+                    .total_rows()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("uldb", k), &k, |b, _| {
+            b.iter(|| {
+                or_set_to_uldb("r", &attr_refs, &[row.clone()], 1 << 20)
+                    .unwrap()
+                    .relation("r")
+                    .unwrap()
+                    .alt_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_orset);
+criterion_main!(benches);

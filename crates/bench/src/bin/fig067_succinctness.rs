@@ -1,0 +1,73 @@
+//! Figures 6/7 and Theorems 5.2/5.6: the succinctness separations.
+//!
+//! * Ring-correlated world-set (Example 5.1): inputs are linear in both
+//!   formalisms, but the answer to `σ_{A=B}(R)` is 2n rows as a
+//!   U-relation vs 2ⁿ local worlds as a WSD (Theorem 5.2).
+//! * Or-set relations: k·m rows as U-relations vs mᵏ alternatives as a
+//!   ULDB x-tuple (Theorem 5.6).
+
+use urel_bench::HarnessConfig;
+use urel_core::construct::or_set_database;
+use urel_relalg::Value;
+use urel_uldb::convert::{or_set_to_uldb, or_set_uldb_alternatives};
+use urel_wsd::ring;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let n_max = if cfg.quick { 10 } else { 16 };
+
+    println!("# Theorem 5.2 (Figures 6/7): σ_(A=B) over the ring world-set");
+    println!(
+        "{:>4} | {:>14} {:>14} | {:>16} {:>18}",
+        "n", "U-rel rows", "U-rel bytes", "WSD cells", "WSD/U-rel ratio"
+    );
+    for n in (2..=n_max).step_by(2) {
+        let u = ring::ring_answer_urel(n);
+        let wsd_cells = ring::ring_answer_wsd_cells(n);
+        let ratio = wsd_cells as f64 / u.len() as f64;
+        println!(
+            "{:>4} | {:>14} {:>14} | {:>16} {:>18.1}",
+            n,
+            u.len(),
+            u.size_bytes(),
+            wsd_cells,
+            ratio
+        );
+    }
+    // Constructive check at a feasible size.
+    let wsd = ring::ring_answer_wsd(10).expect("n=10 is feasible");
+    assert_eq!(wsd.total_cells() as u128, ring::ring_answer_wsd_cells(10));
+    println!("# (verified constructively at n = 10: {} cells)", wsd.total_cells());
+
+    println!();
+    println!("# Theorem 5.6: or-set relation, m = 8 alternatives per field");
+    println!(
+        "{:>4} | {:>14} {:>18} | {:>18}",
+        "k", "U-rel rows", "ULDB alternatives", "ULDB/U-rel ratio"
+    );
+    let m = 8usize;
+    for k in 1..=8 {
+        let row: Vec<Vec<Value>> = (0..k)
+            .map(|a| (0..m).map(|i| Value::Int((a * 100 + i) as i64)).collect())
+            .collect();
+        let attrs: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let udb = or_set_database("r", &attr_refs, &[row.clone()]).expect("or-set U-rel");
+        let uldb_alts = or_set_uldb_alternatives(&vec![m; k]);
+        // Construct the ULDB while it is feasible, to keep the numbers
+        // honest rather than formula-only.
+        if uldb_alts <= 1 << 16 {
+            let uldb = or_set_to_uldb("r", &attr_refs, &[row], 1 << 16).expect("or-set ULDB");
+            assert_eq!(uldb.relation("r").unwrap().alt_count() as u128, uldb_alts);
+        }
+        println!(
+            "{:>4} | {:>14} {:>18} | {:>18.1}",
+            k,
+            udb.total_rows(),
+            uldb_alts,
+            uldb_alts as f64 / udb.total_rows() as f64
+        );
+    }
+    println!();
+    println!("# Shape check: both ratios grow exponentially (in n and k).");
+}

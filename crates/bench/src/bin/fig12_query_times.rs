@@ -1,0 +1,46 @@
+//! Figure 12: query evaluation time (median over `--reps`, like the
+//! paper's median of four runs) as a function of the scale factor — nine
+//! panels (3 queries × 3 correlation ratios), one series per uncertainty
+//! ratio.
+//!
+//! The paper's shape: evaluation time varies roughly linearly with every
+//! parameter; Q3 (five joins) on the largest setting stays within
+//! interactive times.
+
+use urel_bench::{median_time, secs, HarnessConfig};
+use urel_core::possible;
+use urel_tpch::{generate, q1, q2, q3, GenParams};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    println!("# Figure 12: median evaluation time in seconds ({} reps)", cfg.reps);
+    println!(
+        "{:>4} {:>6} {:>8} {:>6} | {:>10} {:>12}",
+        "q", "z", "x", "s", "time(s)", "answer rows"
+    );
+    for z in cfg.correlations() {
+        for x in cfg.uncertainties() {
+            for s in cfg.scales() {
+                let out = generate(&GenParams::paper(s, x, z)).expect("generation");
+                for (qi, q) in [q1(), q2(), q3()].iter().enumerate() {
+                    let (rows, t) = median_time(cfg.reps, || {
+                        possible(&out.db, q).expect("query runs").len()
+                    });
+                    println!(
+                        "{:>4} {:>6} {:>8} {:>6} | {:>10} {:>12}",
+                        format!("Q{}", qi + 1),
+                        z,
+                        x,
+                        s,
+                        secs(t),
+                        rows
+                    );
+                }
+            }
+        }
+    }
+    println!();
+    println!("# Shape checks: time grows ~linearly in s within each (q, z, x)");
+    println!("# series; higher x shifts each series up (factor ≈ 4-10 from");
+    println!("# x=0.001 to x=0.1 in the paper).");
+}

@@ -1,0 +1,129 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §5 for the index). All binaries
+//! accept `--quick` (or `UREL_QUICK=1`) to run a reduced grid, and
+//! `--scale-cap <f>` to cap the largest scale factor.
+
+use std::time::{Duration, Instant};
+
+/// The paper's scale-factor sweep (micro-base units; see DESIGN.md).
+pub const SCALES: [f64; 5] = [0.01, 0.05, 0.1, 0.5, 1.0];
+/// The paper's correlation-ratio sweep.
+pub const CORRELATIONS: [f64; 3] = [0.1, 0.25, 0.5];
+/// The paper's uncertainty-ratio sweep.
+pub const UNCERTAINTIES: [f64; 3] = [0.001, 0.01, 0.1];
+
+/// Command-line configuration shared by the harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessConfig {
+    /// Reduced grid for smoke runs.
+    pub quick: bool,
+    /// Upper bound on the scale factors used.
+    pub scale_cap: f64,
+    /// Repetitions per timed point (the paper used 4 and took medians).
+    pub reps: usize,
+}
+
+impl HarnessConfig {
+    /// Parse from `std::env` (`--quick`, `--scale-cap <f>`, `--reps <n>`,
+    /// `UREL_QUICK=1`).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut cfg = HarnessConfig {
+            quick: std::env::var("UREL_QUICK").is_ok_and(|v| v == "1"),
+            scale_cap: f64::INFINITY,
+            reps: 3,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => cfg.quick = true,
+                "--scale-cap" => {
+                    i += 1;
+                    cfg.scale_cap = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(f64::INFINITY);
+                }
+                "--reps" => {
+                    i += 1;
+                    cfg.reps = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(3);
+                }
+                other => eprintln!("ignoring unknown argument `{other}`"),
+            }
+            i += 1;
+        }
+        cfg
+    }
+
+    /// The scale sweep under this configuration.
+    pub fn scales(&self) -> Vec<f64> {
+        let cap = if self.quick {
+            self.scale_cap.min(0.1)
+        } else {
+            self.scale_cap
+        };
+        SCALES.iter().copied().filter(|s| *s <= cap).collect()
+    }
+
+    /// The correlation sweep (quick: first two values).
+    pub fn correlations(&self) -> Vec<f64> {
+        if self.quick {
+            CORRELATIONS[..2].to_vec()
+        } else {
+            CORRELATIONS.to_vec()
+        }
+    }
+
+    /// The uncertainty sweep.
+    pub fn uncertainties(&self) -> Vec<f64> {
+        UNCERTAINTIES.to_vec()
+    }
+}
+
+/// Time a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Median wall-clock over `reps` runs (the paper's methodology).
+pub fn median_time<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let (out, d) = time(&mut f);
+        times.push(d);
+        last = Some(out);
+    }
+    times.sort();
+    (last.unwrap(), times[times.len() / 2])
+}
+
+/// Format a duration in seconds with millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_deterministic_for_constant_work() {
+        let (v, d) = median_time(3, || 42);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn scale_grid_respects_caps() {
+        let cfg = HarnessConfig { quick: true, scale_cap: f64::INFINITY, reps: 1 };
+        assert!(cfg.scales().iter().all(|&s| s <= 0.1));
+        let cfg = HarnessConfig { quick: false, scale_cap: 0.05, reps: 1 };
+        assert_eq!(cfg.scales(), vec![0.01, 0.05]);
+    }
+}

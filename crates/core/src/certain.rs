@@ -1,0 +1,293 @@
+//! Certain answers (Section 4, Lemma 4.3).
+//!
+//! On tuple-level *normalized* U-relations, a tuple `t` is certain iff
+//! some variable `x` witnesses it in every one of its domain values:
+//! `∃x ∀l: (x,l) ∈ W ⇒ ∃s: (x↦l, s, t) ∈ U`. The paper encodes this as a
+//! relational algebra query —
+//!
+//! ```text
+//! cert(U) := πA( πVar(W) × πA(U)
+//!               − πVar,A( W × πA(U) − πVar,Rng,A(U) ) )
+//! ```
+//!
+//! — which this module implements both literally on the relational engine
+//! ([`certain_lemma43_relational`]) and directly ([`certain_lemma43`]).
+//! [`certain_exact`] computes exact certain answers on *arbitrary* (not
+//! necessarily normalized) result U-relations by full world-coverage
+//! checking; Lemma 4.3 on the normalized input agrees with it, which the
+//! tests verify.
+
+use crate::algebra::UQuery;
+use crate::error::{Error, Result};
+use crate::normalize::normalize_urelations;
+use crate::prob::covers_all_worlds;
+use crate::translate::evaluate;
+use crate::udb::UDatabase;
+use crate::urelation::URelation;
+use crate::world::{WorldTable, TOP};
+use std::collections::BTreeMap;
+use urel_relalg::{exec, Catalog, Expr, Plan, Relation, Schema, Value};
+
+/// Direct implementation of Lemma 4.3 on a tuple-level normalized
+/// U-relation. Errors if a descriptor has size > 1.
+pub fn certain_lemma43(u: &URelation, w: &WorldTable) -> Result<Relation> {
+    let mut witnesses: BTreeMap<Vec<Value>, BTreeMap<crate::world::Var, Vec<u64>>> =
+        BTreeMap::new();
+    for row in u.rows() {
+        if row.desc.len() > 1 {
+            return Err(Error::InvalidQuery(
+                "Lemma 4.3 requires a normalized U-relation (descriptor size ≤ 1)".into(),
+            ));
+        }
+        let (var, val) = row
+            .desc
+            .iter()
+            .next()
+            .copied()
+            .unwrap_or((TOP, 0));
+        witnesses
+            .entry(row.vals.to_vec())
+            .or_default()
+            .entry(var)
+            .or_default()
+            .push(val);
+    }
+    let mut out = Relation::empty(Schema::named(u.value_cols()));
+    for (tuple, by_var) in witnesses {
+        let certain = by_var.iter().any(|(&var, vals)| {
+            if var == TOP {
+                return true;
+            }
+            let dom = w.domain(var).map(<[u64]>::len).unwrap_or(usize::MAX);
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted.len() == dom
+        });
+        if certain {
+            out.push(tuple).expect("arity fixed");
+        }
+    }
+    Ok(out)
+}
+
+/// Lemma 4.3 executed as the paper's relational algebra query on the
+/// relational engine. `u` must be tuple-level normalized.
+pub fn certain_lemma43_relational(u: &URelation, w: &WorldTable) -> Result<Relation> {
+    if u.rows().iter().any(|r| r.desc.len() > 1) {
+        return Err(Error::InvalidQuery(
+            "Lemma 4.3 requires a normalized U-relation (descriptor size ≤ 1)".into(),
+        ));
+    }
+    // Encode U at descriptor arity exactly 1 over [var, rng, A]; the ⊤
+    // convention makes empty descriptors the pair (0, 0).
+    let mut enc_rows: Vec<Vec<Value>> = Vec::with_capacity(u.len());
+    for row in u.rows() {
+        let (var, val) = row.desc.iter().next().copied().unwrap_or((TOP, 0));
+        let mut r = vec![Value::Int(var.0 as i64), Value::Int(val as i64)];
+        r.extend(row.vals.iter().cloned());
+        enc_rows.push(r);
+    }
+    let mut names = vec!["var".to_string(), "rng".to_string()];
+    names.extend(u.value_cols().iter().cloned());
+    let u_enc = Relation::from_rows(names, enc_rows)?;
+
+    // W including the ⊤ row, so always-present tuples qualify.
+    let mut w_rows = vec![vec![Value::Int(0), Value::Int(0)]];
+    for v in w.vars() {
+        for &val in w.domain(v)? {
+            w_rows.push(vec![Value::Int(v.0 as i64), Value::Int(val as i64)]);
+        }
+    }
+    let w_enc = Relation::from_rows(["var", "rng"], w_rows)?;
+
+    let mut catalog = Catalog::new();
+    catalog.insert("u", u_enc);
+    catalog.insert("wt", w_enc);
+
+    let a: Vec<String> = u.value_cols().to_vec();
+    let var_a: Vec<String> = std::iter::once("var".to_string())
+        .chain(a.iter().cloned())
+        .collect();
+    let var_rng_a: Vec<String> = ["var", "rng"]
+        .into_iter()
+        .map(str::to_string)
+        .chain(a.iter().cloned())
+        .collect();
+
+    // πVar(W) × πA(U)
+    let left = Plan::scan("wt")
+        .project_names(["var"])
+        .distinct()
+        .join(Plan::scan("u").project_names(&a).distinct(), Expr::and([]));
+    // W × πA(U) − πVar,Rng,A(U): the (var, rng, tuple) witnesses missing
+    // from U.
+    let missing = Plan::scan("wt")
+        .join(Plan::scan("u").project_names(&a).distinct(), Expr::and([]))
+        .difference(Plan::scan("u").project_names(&var_rng_a));
+    // πVar,A of the missing set: variables that fail to witness a tuple.
+    let failed = missing.project_names(&var_a);
+    // Subtract and project to A.
+    let cert = left
+        .project_names(&var_a)
+        .difference(failed)
+        .project_names(&a)
+        .distinct();
+    Ok(exec::execute(&cert, &catalog)?)
+}
+
+/// Exact certain answers of an arbitrary result U-relation: a tuple is
+/// certain iff the union of its rows' descriptors covers every world.
+pub fn certain_exact(u: &URelation, w: &WorldTable) -> Result<Relation> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<crate::descriptor::WsDescriptor>> =
+        BTreeMap::new();
+    for row in u.rows() {
+        groups
+            .entry(row.vals.to_vec())
+            .or_default()
+            .push(row.desc.clone());
+    }
+    let mut out = Relation::empty(Schema::named(u.value_cols()));
+    for (tuple, descs) in groups {
+        if covers_all_worlds(&descs, w)? {
+            out.push(tuple).expect("arity fixed");
+        }
+    }
+    Ok(out)
+}
+
+/// End-to-end certain answers of a logical query: evaluate the translated
+/// query, normalize the result (Algorithm 1), and apply Lemma 4.3.
+pub fn certain_answers(udb: &UDatabase, q: &UQuery) -> Result<Relation> {
+    let u = evaluate(udb, q)?;
+    let normalized = normalize_urelations(&[&u], &udb.world)?;
+    certain_lemma43(&normalized.relations[0], &normalized.world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{oracle_certain, table};
+    use crate::descriptor::WsDescriptor;
+    use crate::udb::figure1_database;
+    use crate::world::Var;
+    use urel_relalg::{col, lit_str};
+
+    fn w2() -> WorldTable {
+        let mut w = WorldTable::new();
+        w.add_var(Var(1), vec![0, 1]).unwrap();
+        w.add_var(Var(2), vec![0, 1, 2]).unwrap();
+        w
+    }
+
+    fn normalized_sample() -> URelation {
+        let mut u = URelation::partition("u", ["a"]);
+        // "always" appears under every value of x1.
+        u.push_simple(WsDescriptor::singleton(Var(1), 0), 1, vec![Value::str("always")])
+            .unwrap();
+        u.push_simple(WsDescriptor::singleton(Var(1), 1), 1, vec![Value::str("always")])
+            .unwrap();
+        // "sometimes" appears only under x2 ↦ 0.
+        u.push_simple(WsDescriptor::singleton(Var(2), 0), 2, vec![Value::str("sometimes")])
+            .unwrap();
+        // "top" has an empty descriptor: present everywhere.
+        u.push_simple(WsDescriptor::empty(), 3, vec![Value::str("top")])
+            .unwrap();
+        u
+    }
+
+    #[test]
+    fn direct_lemma_4_3() {
+        let w = w2();
+        let cert = certain_lemma43(&normalized_sample(), &w).unwrap();
+        let expect = Relation::from_rows(
+            ["a"],
+            vec![vec![Value::str("always")], vec![Value::str("top")]],
+        )
+        .unwrap();
+        assert!(cert.set_eq(&expect), "{cert}");
+    }
+
+    #[test]
+    fn relational_and_direct_agree() {
+        let w = w2();
+        let u = normalized_sample();
+        let direct = certain_lemma43(&u, &w).unwrap();
+        let relational = certain_lemma43_relational(&u, &w).unwrap();
+        assert!(direct.set_eq(&relational), "{direct} vs {relational}");
+    }
+
+    #[test]
+    fn lemma_rejects_unnormalized() {
+        let w = w2();
+        let mut u = URelation::partition("u", ["a"]);
+        u.push_simple(
+            WsDescriptor::from_pairs([(Var(1), 0), (Var(2), 0)]).unwrap(),
+            1,
+            vec![Value::Int(1)],
+        )
+        .unwrap();
+        assert!(certain_lemma43(&u, &w).is_err());
+        assert!(certain_lemma43_relational(&u, &w).is_err());
+    }
+
+    #[test]
+    fn exact_handles_cross_variable_coverage() {
+        // "v" is present under x1↦0, and under x1↦1 for both values of x2…
+        // …which covers everything, but no single variable witnesses it.
+        let mut w = WorldTable::new();
+        w.add_var(Var(1), vec![0, 1]).unwrap();
+        w.add_var(Var(2), vec![0, 1]).unwrap();
+        let mut u = URelation::partition("u", ["a"]);
+        let d = |pairs: &[(u32, u64)]| {
+            WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
+        };
+        u.push_simple(d(&[(1, 0)]), 1, vec![Value::str("v")]).unwrap();
+        u.push_simple(d(&[(1, 1), (2, 0)]), 1, vec![Value::str("v")]).unwrap();
+        u.push_simple(d(&[(1, 1), (2, 1)]), 1, vec![Value::str("v")]).unwrap();
+        let cert = certain_exact(&u, &w).unwrap();
+        assert_eq!(cert.len(), 1);
+        // Lemma 4.3 on the *normalized* form agrees: normalization fuses
+        // x1 and x2 into one variable witnessing all four values.
+        let n = normalize_urelations(&[&u], &w).unwrap();
+        let via_lemma = certain_lemma43(&n.relations[0], &n.world).unwrap();
+        assert!(via_lemma.set_eq(&cert));
+    }
+
+    #[test]
+    fn end_to_end_certain_answers_match_oracle() {
+        let db = figure1_database();
+        // Faction of vehicle 1 is certainly Friend; query certain factions.
+        let q = table("r").project(["faction"]);
+        let got = certain_answers(&db, &q).unwrap();
+        let want = oracle_certain(&q, &db, 64).unwrap();
+        assert!(got.set_eq(&want), "{got} vs {want}");
+
+        // Certain enemy-tank ids: none.
+        let q = table("r")
+            .select(Expr::and([
+                col("type").eq(lit_str("Tank")),
+                col("faction").eq(lit_str("Enemy")),
+            ]))
+            .project(["id"]);
+        let got = certain_answers(&db, &q).unwrap();
+        assert!(got.is_empty());
+
+        // Certain ids: all four vehicles exist in every world.
+        let q = table("r").project(["id"]);
+        let got = certain_answers(&db, &q).unwrap();
+        let want = oracle_certain(&q, &db, 64).unwrap();
+        assert!(got.set_eq(&want));
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn exact_matches_oracle_on_figure1() {
+        let db = figure1_database();
+        let q = table("r").project(["id", "faction"]);
+        let u = evaluate(&db, &q).unwrap();
+        let got = certain_exact(&u, &db.world).unwrap();
+        let want = oracle_certain(&q, &db, 64).unwrap();
+        assert!(got.set_eq(&want), "{got} vs {want}");
+    }
+}

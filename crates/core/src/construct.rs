@@ -1,0 +1,234 @@
+//! Constructors for U-relational databases.
+//!
+//! * [`from_worlds`] — Theorem 2.4: *any* finite set of worlds is
+//!   representable (one world-choice variable; tuple-level rows guarded by
+//!   `w ↦ i`).
+//! * [`or_set_database`] — or-set relations [Imieliński et al. 1991]:
+//!   attribute-level independent alternatives per field; linear in
+//!   U-relations but exponential in ULDBs (Theorem 5.6).
+//! * [`certain_database`] — import an ordinary relational instance as the
+//!   trivial one-world U-database.
+
+use crate::descriptor::WsDescriptor;
+use crate::error::{Error, Result};
+use crate::udb::UDatabase;
+use crate::urelation::URelation;
+use crate::world::WorldTable;
+use std::collections::BTreeMap;
+use urel_relalg::{Relation, Value};
+
+/// Theorem 2.4: represent an explicit finite world-set. All worlds must
+/// share the given schema. The construction introduces one variable `w`
+/// with one domain value per world and guards every tuple of world `i`
+/// with `{w ↦ i}`; tuples shared by several worlds get one row per world
+/// (compactness is not the point of the completeness theorem).
+pub fn from_worlds(
+    rel_name: &str,
+    attrs: &[&str],
+    worlds: &[Relation],
+) -> Result<UDatabase> {
+    if worlds.is_empty() {
+        return Err(Error::InvalidQuery("need at least one world".into()));
+    }
+    for w in worlds {
+        if w.schema().arity() != attrs.len() {
+            return Err(Error::InvalidQuery("world arity mismatch".into()));
+        }
+    }
+    let mut wt = WorldTable::new();
+    let choice = wt.fresh_var(worlds.len() as u64)?;
+    let mut db = UDatabase::new(wt);
+    db.add_relation(rel_name, attrs.iter().copied())?;
+
+    // Tuple ids: one per distinct tuple across all worlds.
+    let mut ids: BTreeMap<Vec<Value>, i64> = BTreeMap::new();
+    let mut u = URelation::partition(format!("u_{rel_name}"), attrs.iter().copied());
+    for (i, world) in worlds.iter().enumerate() {
+        let desc = if worlds.len() == 1 {
+            WsDescriptor::empty()
+        } else {
+            WsDescriptor::singleton(choice, i as u64)
+        };
+        for row in world.sorted_set().rows() {
+            let next = ids.len() as i64 + 1;
+            let tid = *ids.entry(row.to_vec()).or_insert(next);
+            u.push_simple(desc.clone(), tid, row.to_vec())?;
+        }
+    }
+    db.add_partition(rel_name, u)?;
+    db.validate()?;
+    Ok(db)
+}
+
+/// An or-set relation: every field of every tuple carries a non-empty set
+/// of independently-chosen alternatives. Produces one vertical partition
+/// per attribute and one fresh variable per multi-alternative field —
+/// the linear attribute-level encoding of Theorem 5.6.
+pub fn or_set_database(
+    rel_name: &str,
+    attrs: &[&str],
+    rows: &[Vec<Vec<Value>>],
+) -> Result<UDatabase> {
+    let mut wt = WorldTable::new();
+    let mut fields: Vec<(usize, i64, Option<crate::world::Var>)> = Vec::new();
+    for (t, row) in rows.iter().enumerate() {
+        if row.len() != attrs.len() {
+            return Err(Error::InvalidQuery("or-set row arity mismatch".into()));
+        }
+        for (a, alts) in row.iter().enumerate() {
+            if alts.is_empty() {
+                return Err(Error::InvalidQuery("empty or-set field".into()));
+            }
+            let var = if alts.len() > 1 {
+                Some(wt.fresh_var(alts.len() as u64)?)
+            } else {
+                None
+            };
+            fields.push((a, t as i64 + 1, var));
+        }
+    }
+    let mut db = UDatabase::new(wt);
+    db.add_relation(rel_name, attrs.iter().copied())?;
+    for (a, attr) in attrs.iter().enumerate() {
+        let mut u = URelation::partition(format!("u_{rel_name}_{attr}"), [*attr]);
+        for (t, row) in rows.iter().enumerate() {
+            let alts = &row[a];
+            let var = fields
+                .iter()
+                .find(|(fa, ft, _)| *fa == a && *ft == t as i64 + 1)
+                .and_then(|(_, _, v)| *v);
+            match var {
+                None => u.push_simple(WsDescriptor::empty(), t as i64 + 1, vec![alts[0].clone()])?,
+                Some(v) => {
+                    for (i, alt) in alts.iter().enumerate() {
+                        u.push_simple(
+                            WsDescriptor::singleton(v, i as u64),
+                            t as i64 + 1,
+                            vec![alt.clone()],
+                        )?;
+                    }
+                }
+            }
+        }
+        db.add_partition(rel_name, u)?;
+    }
+    db.validate()?;
+    Ok(db)
+}
+
+/// Import an ordinary (certain) relation as a one-world U-database with
+/// one partition per attribute — the `x = 0` baseline of Figure 9.
+pub fn certain_database(rel_name: &str, rel: &Relation) -> Result<UDatabase> {
+    let attrs: Vec<String> = rel
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+    let mut db = UDatabase::new(WorldTable::new());
+    db.add_relation(rel_name, attrs.clone())?;
+    for (a, attr) in attrs.iter().enumerate() {
+        let mut u = URelation::partition(format!("u_{rel_name}_{attr}"), [attr.clone()]);
+        for (t, row) in rel.rows().iter().enumerate() {
+            u.push_simple(WsDescriptor::empty(), t as i64 + 1, vec![row[a].clone()])?;
+        }
+        db.add_partition(rel_name, u)?;
+    }
+    db.validate()?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{oracle_possible, table};
+
+    fn rel(rows: Vec<Vec<i64>>) -> Relation {
+        Relation::from_rows(
+            ["a", "b"],
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn theorem_2_4_roundtrip() {
+        // Three arbitrary worlds (including an empty one).
+        let worlds = vec![
+            rel(vec![vec![1, 2], vec![3, 4]]),
+            rel(vec![vec![1, 2]]),
+            rel(vec![]),
+        ];
+        let db = from_worlds("r", &["a", "b"], &worlds).unwrap();
+        let got = db.possible_worlds(16).unwrap();
+        assert_eq!(got.len(), 3);
+        let mut got_sets: Vec<String> = got
+            .iter()
+            .map(|(_, inst)| format!("{}", inst["r"].sorted_set()))
+            .collect();
+        got_sets.sort();
+        let mut want_sets: Vec<String> =
+            worlds.iter().map(|w| format!("{}", w.sorted_set())).collect();
+        want_sets.sort();
+        assert_eq!(got_sets, want_sets);
+    }
+
+    #[test]
+    fn single_world_is_certain() {
+        let db = from_worlds("r", &["a", "b"], &[rel(vec![vec![1, 2]])]).unwrap();
+        assert_eq!(db.world.world_count_exact(), Some(1));
+    }
+
+    #[test]
+    fn or_sets_expand_independently() {
+        // 2 alternatives × 3 alternatives = 6 worlds; field 2 certain.
+        let db = or_set_database(
+            "r",
+            &["a", "b"],
+            &[vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(10), Value::Int(20), Value::Int(30)],
+            ]],
+        )
+        .unwrap();
+        assert_eq!(db.world.world_count_exact(), Some(6));
+        let poss = oracle_possible(&table("r"), &db, 16).unwrap();
+        assert_eq!(poss.len(), 6);
+    }
+
+    #[test]
+    fn or_set_size_is_linear() {
+        // k attributes × m alternatives: the U-rel encoding has k·m rows
+        // (Theorem 5.6's linear side).
+        let k = 6;
+        let m = 4;
+        let row: Vec<Vec<Value>> = (0..k)
+            .map(|a| (0..m).map(|i| Value::Int((a * 10 + i) as i64)).collect())
+            .collect();
+        let attrs: Vec<String> = (0..k).map(|a| format!("c{a}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let db = or_set_database("r", &attr_refs, &[row]).unwrap();
+        assert_eq!(db.total_rows(), k * m);
+        // …while the world count is m^k.
+        assert_eq!(db.world.world_count_exact(), Some((m as u128).pow(k as u32)));
+    }
+
+    #[test]
+    fn certain_import() {
+        let r = rel(vec![vec![1, 2], vec![3, 4]]);
+        let db = certain_database("r", &r).unwrap();
+        assert_eq!(db.world.world_count_exact(), Some(1));
+        let poss = oracle_possible(&table("r"), &db, 4).unwrap();
+        assert!(poss.set_eq(&r));
+    }
+
+    #[test]
+    fn validation_of_inputs() {
+        assert!(from_worlds("r", &["a"], &[]).is_err());
+        assert!(from_worlds("r", &["a"], &[rel(vec![])]).is_err()); // arity 2 vs 1
+        assert!(or_set_database("r", &["a"], &[vec![]]).is_err());
+        assert!(or_set_database("r", &["a"], &[vec![vec![]]]).is_err());
+    }
+}

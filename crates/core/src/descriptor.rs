@@ -1,0 +1,244 @@
+//! World-set descriptors (Section 2).
+//!
+//! A ws-descriptor is a partial valuation `{x₁ ↦ v₁, …, xₖ ↦ vₖ}` whose
+//! graph is a subset of the world table. It denotes the set of worlds
+//! (total valuations) extending it. Descriptors are stored as sorted
+//! assignment vectors; the relational encoding pads them to a fixed arity
+//! by repeating an existing assignment (or ⊤ ↦ 0 when empty), exactly as
+//! Definition 2.2 prescribes.
+
+use crate::error::{Error, Result};
+use crate::world::{Var, TOP};
+use std::fmt;
+
+/// A ws-descriptor: sorted, duplicate-free variable assignments.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WsDescriptor {
+    /// Sorted by variable; at most one assignment per variable.
+    assignments: Vec<(Var, u64)>,
+}
+
+impl WsDescriptor {
+    /// The empty descriptor — shorthand for the entire world-set.
+    pub fn empty() -> Self {
+        WsDescriptor::default()
+    }
+
+    /// Single-assignment descriptor.
+    pub fn singleton(var: Var, val: u64) -> Self {
+        WsDescriptor { assignments: vec![(var, val)] }
+    }
+
+    /// Build from assignment pairs; rejects contradictory duplicates.
+    /// Redundant duplicates (same variable, same value) collapse.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, u64)>) -> Result<Self> {
+        let mut v: Vec<(Var, u64)> = pairs.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        for w in v.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(Error::InconsistentDescriptor(format!(
+                    "{} ↦ {} and {} ↦ {}",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                )));
+            }
+        }
+        Ok(WsDescriptor { assignments: v })
+    }
+
+    /// Number of assignments (the descriptor's *size*; normalization makes
+    /// every size ≤ 1).
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// `true` for the empty descriptor.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// The value assigned to `var`, if any.
+    pub fn get(&self, var: Var) -> Option<u64> {
+        self.assignments
+            .binary_search_by_key(&var, |&(v, _)| v)
+            .ok()
+            .map(|i| self.assignments[i].1)
+    }
+
+    /// Iterate assignments in variable order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Var, u64)> {
+        self.assignments.iter()
+    }
+
+    /// The variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.assignments.iter().map(|&(v, _)| v)
+    }
+
+    /// Two descriptors are consistent iff no variable gets two different
+    /// values — the ψ-condition of Figure 4.
+    pub fn consistent_with(&self, other: &WsDescriptor) -> bool {
+        // Merge-scan over the sorted assignment lists.
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.assignments, &other.assignments);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if a[i].1 != b[j].1 {
+                        return false;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Union of two descriptors (the descriptor of a joined tuple), or
+    /// `None` if they are inconsistent.
+    pub fn union(&self, other: &WsDescriptor) -> Option<WsDescriptor> {
+        if !self.consistent_with(other) {
+            return None;
+        }
+        let mut v = self.assignments.clone();
+        v.extend(other.assignments.iter().copied());
+        v.sort_unstable();
+        v.dedup();
+        Some(WsDescriptor { assignments: v })
+    }
+
+    /// Does this descriptor *subsume* `other` (every world extending
+    /// `other` also extends `self`, i.e. self ⊆ other as assignments)?
+    pub fn subsumes(&self, other: &WsDescriptor) -> bool {
+        self.assignments
+            .iter()
+            .all(|&(v, val)| other.get(v) == Some(val) || (v == TOP && val == 0))
+    }
+
+    /// The relational encoding: exactly `arity` (Var, Rng) pairs, padding
+    /// with a repeated existing assignment, or ⊤ ↦ 0 when empty
+    /// (Definition 2.2's padding rule).
+    pub fn encode_padded(&self, arity: usize) -> Vec<(Var, u64)> {
+        assert!(
+            self.assignments.len() <= arity,
+            "descriptor of size {} cannot encode at arity {arity}",
+            self.assignments.len()
+        );
+        let mut out = Vec::with_capacity(arity);
+        out.extend(self.assignments.iter().copied());
+        let pad = self.assignments.first().copied().unwrap_or((TOP, 0));
+        while out.len() < arity {
+            out.push(pad);
+        }
+        out
+    }
+
+    /// Decode a padded pair list back into a descriptor. Padding
+    /// repetitions collapse; ⊤ ↦ 0 entries are dropped; contradictions are
+    /// an error (they indicate corrupted data, not an inconsistent join —
+    /// joins filter via ψ *before* composing descriptors).
+    pub fn decode(pairs: impl IntoIterator<Item = (Var, u64)>) -> Result<Self> {
+        WsDescriptor::from_pairs(
+            pairs
+                .into_iter()
+                .filter(|&(v, val)| !(v == TOP && val == 0)),
+        )
+    }
+}
+
+impl fmt::Display for WsDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.assignments.is_empty() {
+            return write!(f, "{{}}");
+        }
+        write!(f, "{{")?;
+        for (i, (v, val)) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} ↦ {val}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(pairs: &[(u32, u64)]) -> WsDescriptor {
+        WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
+    }
+
+    #[test]
+    fn construction_rules() {
+        assert!(WsDescriptor::from_pairs([(Var(1), 1), (Var(1), 2)]).is_err());
+        // Redundant duplicates collapse.
+        assert_eq!(d(&[(1, 1), (1, 1)]).len(), 1);
+        assert_eq!(WsDescriptor::empty().len(), 0);
+    }
+
+    #[test]
+    fn consistency_is_symmetric_and_correct() {
+        let a = d(&[(1, 1), (2, 2)]);
+        let b = d(&[(2, 2), (3, 1)]);
+        let c = d(&[(2, 1)]);
+        assert!(a.consistent_with(&b));
+        assert!(b.consistent_with(&a));
+        assert!(!a.consistent_with(&c));
+        assert!(!c.consistent_with(&a));
+        assert!(a.consistent_with(&WsDescriptor::empty()));
+    }
+
+    #[test]
+    fn union_merges_or_fails() {
+        let a = d(&[(1, 1)]);
+        let b = d(&[(2, 2)]);
+        assert_eq!(a.union(&b).unwrap(), d(&[(1, 1), (2, 2)]));
+        assert_eq!(a.union(&d(&[(1, 2)])), None);
+        assert_eq!(a.union(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn subsumption() {
+        let small = d(&[(1, 1)]);
+        let big = d(&[(1, 1), (2, 2)]);
+        assert!(small.subsumes(&big));
+        assert!(!big.subsumes(&small));
+        assert!(WsDescriptor::empty().subsumes(&small));
+    }
+
+    #[test]
+    fn padding_roundtrip() {
+        let a = d(&[(1, 1), (3, 2)]);
+        let padded = a.encode_padded(4);
+        assert_eq!(padded.len(), 4);
+        assert_eq!(padded[2], (Var(1), 1)); // repeated first assignment
+        assert_eq!(WsDescriptor::decode(padded).unwrap(), a);
+
+        let empty = WsDescriptor::empty();
+        let padded = empty.encode_padded(2);
+        assert_eq!(padded, vec![(TOP, 0), (TOP, 0)]);
+        assert_eq!(WsDescriptor::decode(padded).unwrap(), empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot encode")]
+    fn padding_checks_arity() {
+        d(&[(1, 1), (2, 1)]).encode_padded(1);
+    }
+
+    #[test]
+    fn decode_rejects_contradictions() {
+        assert!(WsDescriptor::decode([(Var(1), 1), (Var(1), 2)]).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(d(&[(1, 1)]).to_string(), "{x1 ↦ 1}");
+        assert_eq!(WsDescriptor::empty().to_string(), "{}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the U-relations layer.
+
+use std::fmt;
+
+/// Errors raised while building or querying U-relational databases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A ws-descriptor assigned two different values to one variable.
+    InconsistentDescriptor(String),
+    /// A variable or domain value is not declared in the world table.
+    UnknownWorld(String),
+    /// The database violates Definition 2.2 (contradictory field values).
+    InvalidDatabase(String),
+    /// A query is malformed (unknown relation/attribute, alias clash…).
+    InvalidQuery(String),
+    /// An enumeration guard tripped (too many worlds / combinations).
+    TooLarge(String),
+    /// Underlying relational engine failure.
+    Engine(urel_relalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InconsistentDescriptor(m) => write!(f, "inconsistent ws-descriptor: {m}"),
+            Error::UnknownWorld(m) => write!(f, "unknown variable/value: {m}"),
+            Error::InvalidDatabase(m) => write!(f, "invalid U-relational database: {m}"),
+            Error::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            Error::TooLarge(m) => write!(f, "enumeration too large: {m}"),
+            Error::Engine(e) => write!(f, "relational engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<urel_relalg::Error> for Error {
+    fn from(e: urel_relalg::Error) -> Self {
+        Error::Engine(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

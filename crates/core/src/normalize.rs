@@ -1,0 +1,380 @@
+//! Normalization of ws-descriptors — Algorithm 1 (Section 4).
+//!
+//! Variables that co-occur in some descriptor are fused: each connected
+//! component `Gᵢ` of the co-occurrence graph becomes a single fresh
+//! variable whose domain is the product of the member domains, with the
+//! injective mixed-radix encoding playing the role of the paper's
+//! `f_{|Gᵢ|}`. Every row's descriptor is expanded over the unconstrained
+//! members of its component, yielding descriptors of size ≤ 1
+//! (Definition 4.1). The blow-up is inherent — it is exactly the
+//! exponential separation between U-relations and WSDs (Theorem 5.2).
+
+use crate::descriptor::WsDescriptor;
+use crate::error::{Error, Result};
+use crate::udb::UDatabase;
+use crate::urelation::{URelation, URow};
+use crate::world::{Var, WorldTable};
+use std::collections::BTreeMap;
+
+/// Hard cap on a fused component's domain size; beyond this the
+/// normalization would not fit in memory anyway.
+const MAX_COMPONENT_DOMAIN: u128 = 1 << 22;
+
+/// Union–find over variable ids.
+struct UnionFind {
+    parent: BTreeMap<Var, Var>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        UnionFind { parent: BTreeMap::new() }
+    }
+
+    fn find(&mut self, v: Var) -> Var {
+        let p = *self.parent.entry(v).or_insert(v);
+        if p == v {
+            return v;
+        }
+        let root = self.find(p);
+        self.parent.insert(v, root);
+        root
+    }
+
+    fn union(&mut self, a: Var, b: Var) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// The result of normalizing: the rewritten U-relations plus the new
+/// world table `W'`.
+pub struct Normalized {
+    /// Rewritten relations, in input order.
+    pub relations: Vec<URelation>,
+    /// The new world table (one variable per fused component, plus the
+    /// untouched variables).
+    pub world: WorldTable,
+    /// Fused components: new variable → ordered original members.
+    pub components: BTreeMap<Var, Vec<Var>>,
+}
+
+/// Normalize a set of U-relations sharing one world table (Algorithm 1).
+///
+/// The input should be reduced (Algorithm 1's precondition); rows whose
+/// descriptors are already of size ≤ 1 and whose variable co-occurs with
+/// nothing are passed through unchanged.
+pub fn normalize_urelations(us: &[&URelation], w: &WorldTable) -> Result<Normalized> {
+    // 1. Connected components of the co-occurrence graph.
+    let mut uf = UnionFind::new();
+    for v in w.vars() {
+        uf.find(v);
+    }
+    for u in us {
+        for row in u.rows() {
+            let vars: Vec<Var> = row.desc.vars().collect();
+            for pair in vars.windows(2) {
+                uf.union(pair[0], pair[1]);
+            }
+        }
+    }
+    let mut members: BTreeMap<Var, Vec<Var>> = BTreeMap::new();
+    for v in w.vars() {
+        members.entry(uf.find(v)).or_default().push(v);
+    }
+
+    // 2. One fresh variable per component; domain = product of member
+    // domains under the mixed-radix encoding.
+    let mut new_world = WorldTable::new();
+    let mut comp_var: BTreeMap<Var, Var> = BTreeMap::new(); // member → fused var
+    let mut comp_members: BTreeMap<Var, Vec<Var>> = BTreeMap::new();
+    let mut strides: BTreeMap<Var, (u64, Vec<u64>)> = BTreeMap::new(); // member → (stride, domain)
+    let mut next_id: u32 = 1;
+    for (_, mut group) in members {
+        group.sort();
+        let fused = Var(next_id);
+        next_id += 1;
+        let mut size: u128 = 1;
+        let mut stride: u64 = 1;
+        let mut probs: Vec<f64> = vec![1.0];
+        for &m in &group {
+            let dom = w.domain(m)?.to_vec();
+            size *= dom.len() as u128;
+            if size > MAX_COMPONENT_DOMAIN {
+                return Err(Error::TooLarge(format!(
+                    "fused component domain exceeds {MAX_COMPONENT_DOMAIN}"
+                )));
+            }
+            // Probabilities multiply across members in stride order.
+            if w.is_probabilistic() {
+                let mut next_probs = Vec::with_capacity(probs.len() * dom.len());
+                for &dval in &dom {
+                    let p = w.prob(m, dval)?;
+                    for q in &probs {
+                        next_probs.push(q * p);
+                    }
+                }
+                probs = next_probs;
+            }
+            strides.insert(m, (stride, dom.clone()));
+            stride = stride
+                .checked_mul(dom.len() as u64)
+                .ok_or_else(|| Error::TooLarge("component stride overflow".into()))?;
+            comp_var.insert(m, fused);
+        }
+        new_world.add_var(fused, (0..size as u64).collect())?;
+        if w.is_probabilistic() {
+            new_world.set_probabilities(fused, probs)?;
+        }
+        comp_members.insert(fused, group);
+    }
+
+    // 3. Rewrite every row: expand over the unconstrained members of its
+    // component.
+    let mut relations = Vec::with_capacity(us.len());
+    for u in us {
+        let mut out = URelation::new(
+            u.name.clone(),
+            u.tid_cols().to_vec(),
+            u.value_cols().to_vec(),
+        );
+        for row in u.rows() {
+            if row.desc.is_empty() {
+                out.push(row.clone())?;
+                continue;
+            }
+            let fused = comp_var[&row.desc.iter().next().unwrap().0];
+            let group = &comp_members[&fused];
+            // Base offset from the constrained members; free members are
+            // the rest.
+            let mut base: u64 = 0;
+            let mut free: Vec<Var> = Vec::new();
+            for &m in group {
+                let (stride, dom) = &strides[&m];
+                match row.desc.get(m) {
+                    Some(val) => {
+                        let idx = dom.binary_search(&val).map_err(|_| {
+                            Error::UnknownWorld(format!("{m} ↦ {val} not in W"))
+                        })? as u64;
+                        base += idx * stride;
+                    }
+                    None => free.push(m),
+                }
+            }
+            // Enumerate all completions over the free members.
+            let mut offsets: Vec<u64> = vec![0];
+            for m in &free {
+                let (stride, dom) = &strides[m];
+                let mut next = Vec::with_capacity(offsets.len() * dom.len());
+                for idx in 0..dom.len() as u64 {
+                    for &o in &offsets {
+                        next.push(o + idx * stride);
+                    }
+                }
+                offsets = next;
+            }
+            for o in offsets {
+                out.push(URow::new(
+                    WsDescriptor::singleton(fused, base + o),
+                    row.tids.to_vec(),
+                    row.vals.to_vec(),
+                ))?;
+            }
+        }
+        relations.push(out);
+    }
+
+    Ok(Normalized {
+        relations,
+        world: new_world,
+        components: comp_members,
+    })
+}
+
+/// Normalize a whole U-relational database (Theorem 4.2). The result
+/// represents the same world-set with all descriptors of size ≤ 1.
+pub fn normalize(db: &UDatabase) -> Result<UDatabase> {
+    let rels: Vec<String> = db.relations().map(str::to_string).collect();
+    let mut refs: Vec<&URelation> = Vec::new();
+    let mut layout: Vec<(String, usize)> = Vec::new();
+    for r in &rels {
+        let parts = db.partitions_of(r)?;
+        layout.push((r.clone(), parts.len()));
+        refs.extend(parts.iter());
+    }
+    let normalized = normalize_urelations(&refs, &db.world)?;
+    let mut out = UDatabase::new(normalized.world);
+    let mut it = normalized.relations.into_iter();
+    for (r, n) in layout {
+        out.add_relation(&r, db.attrs(&r)?.to_vec())?;
+        for _ in 0..n {
+            out.add_partition(&r, it.next().expect("layout matches"))?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udb::figure1_database;
+    use std::collections::BTreeSet;
+    use urel_relalg::Value;
+
+    /// The exact database of Figure 5(a).
+    fn figure5_input() -> (URelation, WorldTable) {
+        let mut w = WorldTable::new();
+        w.add_var(Var(1), vec![1, 2]).unwrap(); // c1
+        w.add_var(Var(2), vec![1, 2]).unwrap(); // c2
+        w.add_var(Var(3), vec![1, 2]).unwrap(); // c3
+        let mut u = URelation::partition("u", ["a"]);
+        let d = |pairs: &[(u32, u64)]| {
+            WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
+        };
+        u.push_simple(d(&[(1, 1)]), 1, vec![Value::str("a1")]).unwrap();
+        u.push_simple(d(&[(1, 1), (2, 2)]), 2, vec![Value::str("a2")]).unwrap();
+        u.push_simple(d(&[(1, 2)]), 2, vec![Value::str("a3")]).unwrap();
+        u.push_simple(d(&[(3, 1)]), 3, vec![Value::str("a4")]).unwrap();
+        u.push_simple(d(&[(3, 2)]), 3, vec![Value::str("a5")]).unwrap();
+        (u, w)
+    }
+
+    #[test]
+    fn figure5_normalization() {
+        let (u, w) = figure5_input();
+        let n = normalize_urelations(&[&u], &w).unwrap();
+        let out = &n.relations[0];
+        assert!(out.is_normalized());
+        // Figure 5(b): 7 rows — a1 twice, a2 once, a3 twice, a4, a5.
+        assert_eq!(out.len(), 7);
+        let count = |val: &str| {
+            out.rows()
+                .iter()
+                .filter(|r| r.vals[0] == Value::str(val))
+                .count()
+        };
+        assert_eq!(count("a1"), 2);
+        assert_eq!(count("a2"), 1);
+        assert_eq!(count("a3"), 2);
+        assert_eq!(count("a4"), 1);
+        assert_eq!(count("a5"), 1);
+        // The fused component {c1, c2} has 4 domain values; c3 keeps 2.
+        let sizes: BTreeSet<usize> = n
+            .world
+            .vars()
+            .map(|v| n.world.domain(v).unwrap().len())
+            .collect();
+        assert_eq!(sizes, BTreeSet::from([2, 4]));
+        // a2 (c1↦1, c2↦2) and one expansion of a1 (c1↦1 with c2↦2) share
+        // the same fused value.
+        let a2 = out
+            .rows()
+            .iter()
+            .find(|r| r.vals[0] == Value::str("a2"))
+            .unwrap();
+        assert!(out
+            .rows()
+            .iter()
+            .any(|r| r.vals[0] == Value::str("a1") && r.desc == a2.desc));
+    }
+
+    #[test]
+    fn theorem_4_2_world_set_is_preserved() {
+        let (u, w) = figure5_input();
+        let mut db = UDatabase::new(w);
+        db.add_relation("r", ["a"]).unwrap();
+        db.add_partition("r", u).unwrap();
+        let norm = normalize(&db).unwrap();
+
+        // Same number of worlds, and the same *set* of world instances.
+        assert_eq!(
+            db.world.world_count_exact(),
+            norm.world.world_count_exact()
+        );
+        let canon = |db: &UDatabase| -> Vec<String> {
+            let mut v: Vec<String> = db
+                .possible_worlds(64)
+                .unwrap()
+                .iter()
+                .map(|(_, inst)| format!("{}", inst["r"].sorted_set()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&db), canon(&norm));
+    }
+
+    #[test]
+    fn figure1_database_is_untouched_modulo_renaming() {
+        // All descriptors in Figure 1 already have size ≤ 1 and no
+        // co-occurrence, so normalization only renames variables.
+        let db = figure1_database();
+        let norm = normalize(&db).unwrap();
+        assert_eq!(db.total_rows(), norm.total_rows());
+        assert_eq!(
+            db.world.world_count_exact(),
+            norm.world.world_count_exact()
+        );
+        for rel in ["r"] {
+            for (a, b) in db
+                .partitions_of(rel)
+                .unwrap()
+                .iter()
+                .zip(norm.partitions_of(rel).unwrap())
+            {
+                assert!(b.is_normalized());
+                assert_eq!(a.len(), b.len());
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_multiply_through_fusion() {
+        let mut w = WorldTable::new();
+        w.add_var(Var(1), vec![0, 1]).unwrap();
+        w.add_var(Var(2), vec![0, 1]).unwrap();
+        w.set_probabilities(Var(1), vec![0.25, 0.75]).unwrap();
+        w.set_probabilities(Var(2), vec![0.5, 0.5]).unwrap();
+        let mut u = URelation::partition("u", ["a"]);
+        u.push_simple(
+            WsDescriptor::from_pairs([(Var(1), 0), (Var(2), 1)]).unwrap(),
+            1,
+            vec![Value::Int(1)],
+        )
+        .unwrap();
+        let n = normalize_urelations(&[&u], &w).unwrap();
+        let fused = n.components.keys().next().copied().unwrap();
+        // The fused row's probability must be 0.25 × 0.5.
+        let row = &n.relations[0].rows()[0];
+        let (v, val) = *row.desc.iter().next().unwrap();
+        assert_eq!(v, fused);
+        assert!((n.world.prob(v, val).unwrap() - 0.125).abs() < 1e-12);
+        // And the fused distribution still sums to one.
+        let total: f64 = n
+            .world
+            .domain(fused)
+            .unwrap()
+            .iter()
+            .map(|&l| n.world.prob(fused, l).unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_components_are_rejected() {
+        let mut w = WorldTable::new();
+        // 8 variables of domain 8 co-occurring pairwise → 8^8 = 2^24 > cap.
+        for i in 1..=8 {
+            w.add_var(Var(i), (0..8).collect()).unwrap();
+        }
+        let mut u = URelation::partition("u", ["a"]);
+        let pairs: Vec<(Var, u64)> = (1..=8).map(|i| (Var(i), 0)).collect();
+        u.push_simple(WsDescriptor::from_pairs(pairs).unwrap(), 1, vec![Value::Int(0)])
+            .unwrap();
+        assert!(matches!(
+            normalize_urelations(&[&u], &w),
+            Err(Error::TooLarge(_))
+        ));
+    }
+}

@@ -1,0 +1,414 @@
+//! Probabilistic U-relations (Section 7).
+//!
+//! The paper's extension: add a probability column to `W` (variables are
+//! independent; values of one variable are mutually exclusive) and compute
+//! the *confidence* of an answer tuple — the probability mass of the
+//! worlds in which it appears, i.e. `P(⋃ᵢ worlds(dᵢ))` over the tuple's
+//! ws-descriptors. Exact computation is `#P`-hard in general; this module
+//! provides an exact Shannon-expansion (variable elimination) algorithm
+//! plus a Monte-Carlo estimator, matching the paper's "practical
+//! approximation techniques" research note.
+
+use crate::descriptor::WsDescriptor;
+use crate::error::Result;
+use crate::urelation::URelation;
+use crate::world::{Var, WorldTable, TOP};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use urel_relalg::Value;
+
+/// Exact probability of the union of the descriptors' world-sets.
+///
+/// Shannon expansion: pick the most frequent variable, branch over its
+/// domain, condition the descriptor set on each value, and recurse.
+/// Worst-case exponential in the number of distinct variables (inherent);
+/// linear when descriptors are pairwise variable-disjoint after the first
+/// split, which is the common shape of query results.
+pub fn confidence(descs: &[WsDescriptor], w: &WorldTable) -> Result<f64> {
+    // ⊤-only descriptors count as empty.
+    let cleaned: Vec<WsDescriptor> = descs
+        .iter()
+        .map(|d| WsDescriptor::decode(d.iter().copied()))
+        .collect::<Result<_>>()?;
+    for d in &cleaned {
+        w.check_descriptor(d)?;
+    }
+    Ok(shannon(&cleaned, w))
+}
+
+fn shannon(descs: &[WsDescriptor], w: &WorldTable) -> f64 {
+    if descs.iter().any(WsDescriptor::is_empty) {
+        return 1.0;
+    }
+    if descs.is_empty() {
+        return 0.0;
+    }
+    // Decompose into variable-connected components: descriptor groups
+    // over disjoint variables are independent, so
+    // P(⋃ all) = 1 − ∏ᵢ (1 − P(⋃ groupᵢ)). This turns the exponential
+    // expansion into a product of small expansions whenever query results
+    // mix unrelated variables — the common case.
+    let groups = connected_groups(descs);
+    if groups.len() > 1 {
+        let mut miss = 1.0;
+        for g in groups {
+            let sub: Vec<WsDescriptor> = g.into_iter().cloned().collect();
+            miss *= 1.0 - shannon_connected(&sub, w);
+        }
+        return 1.0 - miss;
+    }
+    shannon_connected(descs, w)
+}
+
+/// Partition descriptors into groups connected by shared variables.
+fn connected_groups<'a>(descs: &'a [WsDescriptor]) -> Vec<Vec<&'a WsDescriptor>> {
+    let mut groups: Vec<(std::collections::BTreeSet<Var>, Vec<&'a WsDescriptor>)> = Vec::new();
+    for d in descs {
+        let vars: std::collections::BTreeSet<Var> = d.vars().collect();
+        // Collect all existing groups this descriptor touches.
+        let mut touched: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, (gv, _))| !gv.is_disjoint(&vars))
+            .map(|(i, _)| i)
+            .collect();
+        match touched.len() {
+            0 => groups.push((vars, vec![d])),
+            _ => {
+                // Merge all touched groups into the first.
+                let keep = touched.remove(0);
+                for &i in touched.iter().rev() {
+                    let (gv, gd) = groups.remove(i);
+                    groups[keep].0.extend(gv);
+                    groups[keep].1.extend(gd);
+                }
+                groups[keep].0.extend(vars);
+                groups[keep].1.push(d);
+            }
+        }
+    }
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+fn shannon_connected(descs: &[WsDescriptor], w: &WorldTable) -> f64 {
+    if descs.iter().any(WsDescriptor::is_empty) {
+        return 1.0;
+    }
+    if descs.is_empty() {
+        return 0.0;
+    }
+    // Most frequent variable first keeps the branching shallow.
+    let mut freq: BTreeMap<Var, usize> = BTreeMap::new();
+    for d in descs {
+        for v in d.vars() {
+            *freq.entry(v).or_default() += 1;
+        }
+    }
+    let (&x, _) = freq.iter().max_by_key(|(_, c)| **c).expect("non-empty descs");
+    let dom = w.domain(x).expect("checked").to_vec();
+    let mut total = 0.0;
+    for val in dom {
+        let p = w.prob(x, val).expect("checked");
+        if p == 0.0 {
+            continue;
+        }
+        // Condition on x ↦ val: drop incompatible descriptors, remove x
+        // from the rest.
+        let mut sub = Vec::with_capacity(descs.len());
+        for d in descs {
+            match d.get(x) {
+                Some(v) if v != val => continue,
+                _ => {}
+            }
+            let rest: Vec<(Var, u64)> =
+                d.iter().copied().filter(|&(v, _)| v != x).collect();
+            sub.push(WsDescriptor::from_pairs(rest).expect("subset stays consistent"));
+        }
+        total += p * shannon(&sub, w);
+    }
+    total
+}
+
+/// Does the union of the descriptors cover *every* world? (Used by the
+/// exact certain-answer computation: a tuple is certain iff its
+/// descriptors' union has full coverage.) Exact, via the same expansion
+/// with uniform probabilities replaced by world counting.
+pub fn covers_all_worlds(descs: &[WsDescriptor], w: &WorldTable) -> Result<bool> {
+    let cleaned: Vec<WsDescriptor> = descs
+        .iter()
+        .map(|d| WsDescriptor::decode(d.iter().copied()))
+        .collect::<Result<_>>()?;
+    for d in &cleaned {
+        w.check_descriptor(d)?;
+    }
+    Ok(covers(&cleaned, w))
+}
+
+fn covers(descs: &[WsDescriptor], w: &WorldTable) -> bool {
+    if descs.iter().any(WsDescriptor::is_empty) {
+        return true;
+    }
+    if descs.is_empty() {
+        return false;
+    }
+    let mut freq: BTreeMap<Var, usize> = BTreeMap::new();
+    for d in descs {
+        for v in d.vars() {
+            *freq.entry(v).or_default() += 1;
+        }
+    }
+    let (&x, _) = freq.iter().max_by_key(|(_, c)| **c).expect("non-empty");
+    let dom = w.domain(x).expect("checked").to_vec();
+    dom.into_iter().all(|val| {
+        let mut sub = Vec::with_capacity(descs.len());
+        for d in descs {
+            match d.get(x) {
+                Some(v) if v != val => continue,
+                _ => {}
+            }
+            let rest: Vec<(Var, u64)> =
+                d.iter().copied().filter(|&(v, _)| v != x).collect();
+            sub.push(WsDescriptor::from_pairs(rest).expect("subset"));
+        }
+        covers(&sub, w)
+    })
+}
+
+/// Monte-Carlo confidence estimate: sample `samples` worlds from the
+/// (possibly non-uniform) world distribution and count how often some
+/// descriptor is satisfied. Deterministic given `seed`.
+pub fn confidence_monte_carlo(
+    descs: &[WsDescriptor],
+    w: &WorldTable,
+    samples: usize,
+    seed: u64,
+) -> Result<f64> {
+    for d in descs {
+        w.check_descriptor(d)?;
+    }
+    // Only variables that occur in some descriptor matter.
+    let mut vars: Vec<Var> = descs.iter().flat_map(|d| d.vars()).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    vars.retain(|&v| v != TOP);
+    if descs.iter().any(WsDescriptor::is_empty) {
+        return Ok(1.0);
+    }
+    if descs.is_empty() || samples == 0 {
+        return Ok(0.0);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    let mut assignment: BTreeMap<Var, u64> = BTreeMap::new();
+    for _ in 0..samples {
+        assignment.clear();
+        for &v in &vars {
+            let dom = w.domain(v)?;
+            let val = if w.is_probabilistic() {
+                // Inverse-CDF sampling over the domain.
+                let mut u: f64 = rng.gen();
+                let mut chosen = dom[dom.len() - 1];
+                for &d in dom {
+                    let p = w.prob(v, d)?;
+                    if u < p {
+                        chosen = d;
+                        break;
+                    }
+                    u -= p;
+                }
+                chosen
+            } else {
+                dom[rng.gen_range(0..dom.len())]
+            };
+            assignment.insert(v, val);
+        }
+        let hit = descs.iter().any(|d| {
+            d.iter().all(|&(v, val)| {
+                v == TOP && val == 0 || assignment.get(&v) == Some(&val)
+            })
+        });
+        if hit {
+            hits += 1;
+        }
+    }
+    Ok(hits as f64 / samples as f64)
+}
+
+/// Confidence of every distinct answer tuple of a result U-relation:
+/// groups rows by value tuple and computes the union probability of each
+/// group's descriptors.
+pub fn tuple_confidences(
+    u: &URelation,
+    w: &WorldTable,
+) -> Result<Vec<(Vec<Value>, f64)>> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<WsDescriptor>> = BTreeMap::new();
+    for row in u.rows() {
+        groups
+            .entry(row.vals.to_vec())
+            .or_default()
+            .push(row.desc.clone());
+    }
+    groups
+        .into_iter()
+        .map(|(vals, descs)| Ok((vals, confidence(&descs, w)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+
+    fn w2() -> WorldTable {
+        let mut w = WorldTable::new();
+        w.add_var(Var(1), vec![0, 1]).unwrap();
+        w.add_var(Var(2), vec![0, 1]).unwrap();
+        w.add_var(Var(3), vec![0, 1, 2, 3]).unwrap();
+        w
+    }
+
+    fn d(pairs: &[(u32, u64)]) -> WsDescriptor {
+        WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
+    }
+
+    /// Brute-force reference: enumerate all worlds.
+    fn brute(descs: &[WsDescriptor], w: &WorldTable) -> f64 {
+        let mut total = 0.0;
+        for f in w.worlds(100_000).unwrap() {
+            if descs.iter().any(|dd| w.extends(&f, dd)) {
+                total += w.world_prob(&f).unwrap();
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let w = w2();
+        let cases: Vec<Vec<WsDescriptor>> = vec![
+            vec![],
+            vec![WsDescriptor::empty()],
+            vec![d(&[(1, 0)])],
+            vec![d(&[(1, 0)]), d(&[(1, 1)])],
+            vec![d(&[(1, 0)]), d(&[(2, 1)])],
+            vec![d(&[(1, 0), (2, 0)]), d(&[(1, 1), (2, 1)])],
+            vec![d(&[(3, 0)]), d(&[(3, 1)]), d(&[(3, 2)])],
+            vec![d(&[(1, 0), (3, 2)]), d(&[(2, 1)]), d(&[(1, 1), (2, 0)])],
+        ];
+        for descs in cases {
+            let exact = confidence(&descs, &w).unwrap();
+            let reference = brute(&descs, &w);
+            assert!(
+                (exact - reference).abs() < 1e-12,
+                "descs {descs:?}: {exact} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_with_nonuniform_probabilities() {
+        let mut w = w2();
+        w.set_probabilities(Var(1), vec![0.9, 0.1]).unwrap();
+        w.set_probabilities(Var(2), vec![0.3, 0.7]).unwrap();
+        let descs = vec![d(&[(1, 0), (2, 0)]), d(&[(2, 1)])];
+        let exact = confidence(&descs, &w).unwrap();
+        let reference = brute(&descs, &w);
+        assert!((exact - reference).abs() < 1e-12);
+        // P = 0.9·0.3 + 0.7 = 0.97.
+        assert!((exact - 0.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_detection() {
+        let w = w2();
+        assert!(covers_all_worlds(&[WsDescriptor::empty()], &w).unwrap());
+        assert!(covers_all_worlds(&[d(&[(1, 0)]), d(&[(1, 1)])], &w).unwrap());
+        assert!(!covers_all_worlds(&[d(&[(1, 0)]), d(&[(2, 1)])], &w).unwrap());
+        assert!(!covers_all_worlds(&[], &w).unwrap());
+        // Cross-variable cover: (1,0) ∪ (1,1)&(2,0) ∪ (1,1)&(2,1).
+        assert!(covers_all_worlds(
+            &[d(&[(1, 0)]), d(&[(1, 1), (2, 0)]), d(&[(1, 1), (2, 1)])],
+            &w
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn monte_carlo_converges() {
+        let w = w2();
+        let descs = vec![d(&[(1, 0)]), d(&[(2, 1)])]; // P = 0.75
+        let est = confidence_monte_carlo(&descs, &w, 20_000, 42).unwrap();
+        assert!((est - 0.75).abs() < 0.02, "estimate {est}");
+        // Determinism.
+        let est2 = confidence_monte_carlo(&descs, &w, 20_000, 42).unwrap();
+        assert_eq!(est, est2);
+        // Edge cases.
+        assert_eq!(confidence_monte_carlo(&[], &w, 100, 1).unwrap(), 0.0);
+        assert_eq!(
+            confidence_monte_carlo(&[WsDescriptor::empty()], &w, 100, 1).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn monte_carlo_weighted() {
+        let mut w = w2();
+        w.set_probabilities(Var(1), vec![0.9, 0.1]).unwrap();
+        let est = confidence_monte_carlo(&[d(&[(1, 0)])], &w, 20_000, 7).unwrap();
+        assert!((est - 0.9).abs() < 0.02, "estimate {est}");
+    }
+
+    #[test]
+    fn tuple_confidence_groups_rows() {
+        let w = w2();
+        let mut u = URelation::partition("u", ["a"]);
+        u.push_simple(d(&[(1, 0)]), 1, vec![Value::Int(7)]).unwrap();
+        u.push_simple(d(&[(1, 1)]), 2, vec![Value::Int(7)]).unwrap();
+        u.push_simple(d(&[(2, 0)]), 3, vec![Value::Int(8)]).unwrap();
+        let confs = tuple_confidences(&u, &w).unwrap();
+        assert_eq!(confs.len(), 2);
+        assert!((confs[0].1 - 1.0).abs() < 1e-12); // value 7 always present
+        assert!((confs[1].1 - 0.5).abs() < 1e-12); // value 8 half the time
+    }
+
+    #[test]
+    fn descriptors_are_validated() {
+        let w = w2();
+        assert!(matches!(
+            confidence(&[d(&[(9, 0)])], &w),
+            Err(Error::UnknownWorld(_))
+        ));
+    }
+
+    #[test]
+    fn component_decomposition_handles_many_independent_vars() {
+        // 40 binary variables, one singleton descriptor each: a naive
+        // expansion would branch 2^40 times; the decomposition computes
+        // 1 − (1/2)^40 as a product in microseconds.
+        let mut w = WorldTable::new();
+        let mut descs = Vec::new();
+        for i in 1..=40u32 {
+            w.add_var(Var(i), vec![0, 1]).unwrap();
+            descs.push(WsDescriptor::singleton(Var(i), 0));
+        }
+        let p = confidence(&descs, &w).unwrap();
+        let want = 1.0 - 0.5f64.powi(40);
+        assert!((p - want).abs() < 1e-12, "{p} vs {want}");
+    }
+
+    #[test]
+    fn decomposition_groups_by_shared_variables() {
+        // Two chains {1-2} and {3}, plus a bridging descriptor that links
+        // nothing extra — verified against brute force.
+        let w = w2();
+        let descs = vec![
+            d(&[(1, 0), (2, 0)]),
+            d(&[(2, 1)]),
+            d(&[(3, 2)]),
+        ];
+        let exact = confidence(&descs, &w).unwrap();
+        let reference = brute(&descs, &w);
+        assert!((exact - reference).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,241 @@
+//! Grouping and aggregation.
+//!
+//! The paper's experiment queries drop all aggregations ("dealing with
+//! aggregation is subject to future work"), but a relational substrate
+//! without GROUP BY is not one a downstream user would adopt — and the
+//! harness itself uses counts. Aggregates run over the same materialized
+//! relations as every other operator; they are *not* part of the
+//! uncertain-query translation surface.
+
+use crate::error::{Error, Result};
+use crate::expr::CompiledExpr;
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+use crate::schema::{ColRef, Schema};
+use crate::value::Value;
+use crate::Expr;
+
+/// An aggregate function over a column expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggFunc {
+    /// Number of input rows in the group.
+    CountStar,
+    /// Count of non-null evaluations.
+    Count(Expr),
+    /// Sum of integer evaluations.
+    Sum(Expr),
+    /// Minimum value.
+    Min(Expr),
+    /// Maximum value.
+    Max(Expr),
+}
+
+/// One output aggregate: function + output column name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Aggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// Output column name.
+    pub name: ColRef,
+}
+
+impl Aggregate {
+    /// Helper constructor.
+    pub fn new(func: AggFunc, name: impl AsRef<str>) -> Self {
+        Aggregate { func, name: ColRef::parse(name.as_ref()) }
+    }
+}
+
+enum State {
+    Count(i64),
+    Sum(i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl State {
+    fn new(f: &AggFunc) -> State {
+        match f {
+            AggFunc::CountStar | AggFunc::Count(_) => State::Count(0),
+            AggFunc::Sum(_) => State::Sum(0),
+            AggFunc::Min(_) => State::Min(None),
+            AggFunc::Max(_) => State::Max(None),
+        }
+    }
+
+    fn update(&mut self, f: &AggFunc, row: &crate::relation::Row, compiled: Option<&CompiledExpr>) -> Result<()> {
+        match (self, f) {
+            (State::Count(c), AggFunc::CountStar) => *c += 1,
+            (State::Count(c), AggFunc::Count(_)) => {
+                if !compiled.unwrap().eval(row).is_null() {
+                    *c += 1;
+                }
+            }
+            (State::Sum(s), AggFunc::Sum(_)) => {
+                match compiled.unwrap().eval(row) {
+                    Value::Int(v) => *s += v,
+                    Value::Null => {}
+                    other => {
+                        return Err(Error::TypeError(format!("SUM over non-integer {other}")))
+                    }
+                }
+            }
+            (State::Min(m), AggFunc::Min(_)) => {
+                let v = compiled.unwrap().eval(row);
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v < *cur) {
+                    *m = Some(v);
+                }
+            }
+            (State::Max(m), AggFunc::Max(_)) => {
+                let v = compiled.unwrap().eval(row);
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v > *cur) {
+                    *m = Some(v);
+                }
+            }
+            _ => unreachable!("state matches function"),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            State::Count(c) => Value::Int(c),
+            State::Sum(s) => Value::Int(s),
+            State::Min(v) | State::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Hash aggregation: group `input` by the `group_by` expressions and
+/// compute the aggregates per group. With an empty `group_by`, produces
+/// exactly one row (global aggregates), even over empty input.
+pub fn aggregate(
+    input: &Relation,
+    group_by: &[(Expr, ColRef)],
+    aggs: &[Aggregate],
+) -> Result<Relation> {
+    let in_schema = input.schema();
+    let key_exprs: Vec<CompiledExpr> = group_by
+        .iter()
+        .map(|(e, _)| e.compile(in_schema))
+        .collect::<Result<_>>()?;
+    let agg_exprs: Vec<Option<CompiledExpr>> = aggs
+        .iter()
+        .map(|a| match &a.func {
+            AggFunc::CountStar => Ok(None),
+            AggFunc::Count(e) | AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) => {
+                e.compile(in_schema).map(Some)
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    let mut groups: FxHashMap<Vec<Value>, Vec<State>> = FxHashMap::default();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in input.rows() {
+        let key: Vec<Value> = key_exprs.iter().map(|e| e.eval(row)).collect();
+        let states = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter().map(|a| State::new(&a.func)).collect()
+        });
+        for ((state, agg), compiled) in states.iter_mut().zip(aggs).zip(&agg_exprs) {
+            state.update(&agg.func, row, compiled.as_ref())?;
+        }
+    }
+    if group_by.is_empty() && groups.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), aggs.iter().map(|a| State::new(&a.func)).collect());
+    }
+
+    let mut names: Vec<ColRef> = group_by.iter().map(|(_, n)| n.clone()).collect();
+    names.extend(aggs.iter().map(|a| a.name.clone()));
+    let mut out = Relation::empty(Schema::new(names));
+    for key in order {
+        let states = groups.remove(&key).expect("keys come from order");
+        let mut row = key;
+        row.extend(states.into_iter().map(State::finish));
+        out.push(row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::col;
+
+    fn input() -> Relation {
+        Relation::from_rows(
+            ["dept", "salary"],
+            vec![
+                vec![Value::Int(1), Value::Int(100)],
+                vec![Value::Int(1), Value::Int(200)],
+                vec![Value::Int(2), Value::Int(50)],
+                vec![Value::Int(2), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let out = aggregate(
+            &input(),
+            &[(col("dept"), "dept".into())],
+            &[
+                Aggregate::new(AggFunc::CountStar, "n"),
+                Aggregate::new(AggFunc::Count(col("salary")), "n_sal"),
+                Aggregate::new(AggFunc::Sum(col("salary")), "total"),
+                Aggregate::new(AggFunc::Min(col("salary")), "lo"),
+                Aggregate::new(AggFunc::Max(col("salary")), "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.schema().to_string(), "dept, n, n_sal, total, lo, hi");
+        assert_eq!(out.len(), 2);
+        let d1 = &out.rows()[0];
+        assert_eq!(&d1[..], &[
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(2),
+            Value::Int(300),
+            Value::Int(100),
+            Value::Int(200)
+        ]);
+        let d2 = &out.rows()[1];
+        assert_eq!(d2[1], Value::Int(2)); // count(*) counts nulls
+        assert_eq!(d2[2], Value::Int(1)); // count(salary) does not
+        assert_eq!(d2[3], Value::Int(50));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let empty = Relation::empty(Schema::named(["a"]));
+        let out = aggregate(
+            &empty,
+            &[],
+            &[Aggregate::new(AggFunc::CountStar, "n")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let rel = Relation::from_rows(["a"], vec![vec![Value::str("x")]]).unwrap();
+        let err = aggregate(&rel, &[], &[Aggregate::new(AggFunc::Sum(col("a")), "s")]);
+        assert!(matches!(err, Err(Error::TypeError(_))));
+    }
+
+    #[test]
+    fn min_max_of_all_nulls_is_null() {
+        let rel = Relation::from_rows(["a"], vec![vec![Value::Null]]).unwrap();
+        let out = aggregate(
+            &rel,
+            &[],
+            &[Aggregate::new(AggFunc::Min(col("a")), "lo")],
+        )
+        .unwrap();
+        assert_eq!(out.rows()[0][0], Value::Null);
+    }
+}

@@ -1,0 +1,96 @@
+//! The named-relation store with per-relation statistics.
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::stats::TableStats;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A catalog maps relation names to materialized relations and caches
+/// per-column statistics used by the optimizer's cardinality estimates.
+#[derive(Default, Clone, Debug)]
+pub struct Catalog {
+    rels: BTreeMap<String, Arc<Relation>>,
+    stats: BTreeMap<String, Arc<TableStats>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a relation. Statistics are computed eagerly —
+    /// the workloads in this repo scan every registered relation at least
+    /// once, so the one-time pass pays for itself.
+    pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        let name = name.into();
+        let stats = TableStats::compute(&rel);
+        self.rels.insert(name.clone(), Arc::new(rel));
+        self.stats.insert(name, Arc::new(stats));
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Result<&Arc<Relation>> {
+        self.rels
+            .get(name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    /// Look up statistics.
+    pub fn stats(&self, name: &str) -> Option<&Arc<TableStats>> {
+        self.stats.get(name)
+    }
+
+    /// Iterate (name, relation) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Relation>)> {
+        self.rels.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Registered relation names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.rels.keys().map(String::as_str)
+    }
+
+    /// Total payload bytes across all relations (database-size accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.rels.values().map(|r| r.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn insert_get() {
+        let mut c = Catalog::new();
+        c.insert(
+            "t",
+            Relation::from_rows(["a"], vec![vec![Value::Int(1)]]).unwrap(),
+        );
+        assert_eq!(c.get("t").unwrap().len(), 1);
+        assert!(c.get("missing").is_err());
+        assert!(c.stats("t").is_some());
+        assert_eq!(c.names().count(), 1);
+    }
+
+    #[test]
+    fn replace_updates_stats() {
+        let mut c = Catalog::new();
+        c.insert(
+            "t",
+            Relation::from_rows(["a"], vec![vec![Value::Int(1)]]).unwrap(),
+        );
+        c.insert(
+            "t",
+            Relation::from_rows(
+                ["a"],
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            )
+            .unwrap(),
+        );
+        assert_eq!(c.stats("t").unwrap().rows, 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type shared by all engine components.
+
+use std::fmt;
+
+/// Engine error. Every failure carries enough context to locate the
+/// offending plan node, column or relation by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A column reference did not resolve against a schema.
+    UnknownColumn { name: String, schema: String },
+    /// A column reference matched more than one schema column.
+    AmbiguousColumn { name: String, schema: String },
+    /// A named relation was not present in the catalog.
+    UnknownRelation(String),
+    /// Row arity did not match the schema arity.
+    ArityMismatch { expected: usize, got: usize },
+    /// Positional schema mismatch for union/difference.
+    SchemaMismatch { left: String, right: String },
+    /// A predicate evaluated to a non-boolean value.
+    TypeError(String),
+    /// Anything else (guard rails, caps, invariants).
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownColumn { name, schema } => {
+                write!(f, "unknown column `{name}` in schema [{schema}]")
+            }
+            Error::AmbiguousColumn { name, schema } => {
+                write!(f, "ambiguous column `{name}` in schema [{schema}]")
+            }
+            Error::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+            Error::SchemaMismatch { left, right } => {
+                write!(f, "set operation over incompatible schemas [{left}] vs [{right}]")
+            }
+            Error::TypeError(msg) => write!(f, "type error: {msg}"),
+            Error::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,161 @@
+//! `EXPLAIN`-style plan rendering (the Figure 13 analog).
+//!
+//! Prints the operator tree with the physical strategy the executor will
+//! pick (hash vs nested-loop join, key columns, residual filters) and the
+//! optimizer's row estimates, in a format close to PostgreSQL's.
+
+use crate::catalog::Catalog;
+use crate::exec::JoinCondition;
+use crate::expr::Expr;
+use crate::optimizer::est_rows;
+use crate::plan::Plan;
+use std::fmt::Write as _;
+
+/// Render a plan as an indented EXPLAIN tree.
+pub fn explain(plan: &Plan, catalog: &Catalog) -> String {
+    let mut out = String::new();
+    render(plan, catalog, 0, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    if depth > 0 {
+        out.push_str("-> ");
+    }
+}
+
+fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
+    indent(depth, out);
+    let rows = est_rows(plan, catalog);
+    match plan {
+        Plan::Scan(name) => {
+            let _ = writeln!(out, "Seq Scan on {name}  (rows={rows:.0})");
+        }
+        Plan::Values(rel) => {
+            let _ = writeln!(out, "Values  (rows={})", rel.len());
+        }
+        Plan::Select { input, pred } => {
+            let _ = writeln!(out, "Filter: {pred}  (rows≈{rows:.0})");
+            render(input, catalog, depth + 1, out);
+        }
+        Plan::Project { input, cols } => {
+            let names: Vec<String> = cols.iter().map(|(_, n)| n.to_string()).collect();
+            let _ = writeln!(out, "Project [{}]  (rows≈{rows:.0})", names.join(", "));
+            render(input, catalog, depth + 1, out);
+        }
+        Plan::Join { left, right, pred } => {
+            let (ls, rs) = (
+                left.schema(catalog).unwrap_or_default(),
+                right.schema(catalog).unwrap_or_default(),
+            );
+            let cond = JoinCondition::analyze(pred, &ls, &rs);
+            if cond.equi.is_empty() {
+                let _ = writeln!(out, "Nested Loop Join  (rows≈{rows:.0})");
+                if !pred.is_true() {
+                    indent(depth + 1, out);
+                    let _ = writeln!(out, "Join Filter: {pred}");
+                }
+            } else {
+                let keys: Vec<String> = cond
+                    .equi
+                    .iter()
+                    .map(|(l, r)| {
+                        format!("{} = {}", ls.columns()[*l], rs.columns()[*r])
+                    })
+                    .collect();
+                let _ = writeln!(out, "Hash Join  (rows≈{rows:.0})");
+                indent(depth + 1, out);
+                let _ = writeln!(out, "Hash Cond: ({})", keys.join(") AND ("));
+                if !cond.residual.is_empty() {
+                    indent(depth + 1, out);
+                    let _ = writeln!(
+                        out,
+                        "Join Filter: {}",
+                        Expr::and(cond.residual.clone())
+                    );
+                }
+            }
+            render(left, catalog, depth + 1, out);
+            render(right, catalog, depth + 1, out);
+        }
+        Plan::SemiJoin { left, right, pred } => {
+            let _ = writeln!(out, "Hash Semi Join on {pred}  (rows≈{rows:.0})");
+            render(left, catalog, depth + 1, out);
+            render(right, catalog, depth + 1, out);
+        }
+        Plan::AntiJoin { left, right, pred } => {
+            let _ = writeln!(out, "Hash Anti Join on {pred}  (rows≈{rows:.0})");
+            render(left, catalog, depth + 1, out);
+            render(right, catalog, depth + 1, out);
+        }
+        Plan::Union { left, right } => {
+            let _ = writeln!(out, "Append  (rows≈{rows:.0})");
+            render(left, catalog, depth + 1, out);
+            render(right, catalog, depth + 1, out);
+        }
+        Plan::Difference { left, right } => {
+            let _ = writeln!(out, "Except  (rows≈{rows:.0})");
+            render(left, catalog, depth + 1, out);
+            render(right, catalog, depth + 1, out);
+        }
+        Plan::Distinct(input) => {
+            let _ = writeln!(out, "HashAggregate (distinct)  (rows≈{rows:.0})");
+            render(input, catalog, depth + 1, out);
+        }
+        Plan::Rename { input, alias } => {
+            let _ = writeln!(out, "Subquery Alias {alias}  (rows≈{rows:.0})");
+            render(input, catalog, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit_i64};
+    use crate::relation::Relation;
+    use crate::value::Value;
+
+    #[test]
+    fn explain_shows_hash_join_and_filter() {
+        let mut c = Catalog::new();
+        c.insert(
+            "r",
+            Relation::from_rows(["a", "b"], vec![vec![Value::Int(1), Value::Int(2)]]).unwrap(),
+        );
+        c.insert(
+            "s",
+            Relation::from_rows(["c"], vec![vec![Value::Int(1)]]).unwrap(),
+        );
+        let p = Plan::scan("r")
+            .join(
+                Plan::scan("s"),
+                Expr::and([col("a").eq(col("c")), col("b").gt(lit_i64(0))]),
+            )
+            .project_names(["b"]);
+        let text = explain(&p, &c);
+        assert!(text.contains("Hash Join"), "{text}");
+        assert!(text.contains("Hash Cond: (a = c)"), "{text}");
+        assert!(text.contains("Join Filter"), "{text}");
+        assert!(text.contains("Seq Scan on r"), "{text}");
+    }
+
+    #[test]
+    fn explain_nested_loop_for_theta() {
+        let mut c = Catalog::new();
+        c.insert(
+            "r",
+            Relation::from_rows(["a"], vec![vec![Value::Int(1)]]).unwrap(),
+        );
+        c.insert(
+            "s",
+            Relation::from_rows(["c"], vec![vec![Value::Int(1)]]).unwrap(),
+        );
+        let p = Plan::scan("r").join(Plan::scan("s"), col("a").lt(col("c")));
+        let text = explain(&p, &c);
+        assert!(text.contains("Nested Loop Join"), "{text}");
+    }
+}

@@ -1,0 +1,555 @@
+//! Scalar expressions: construction, compilation, evaluation.
+//!
+//! Expressions are built by name ([`col`], [`lit`], comparison helpers) and
+//! compiled against a [`Schema`] into index-resolved form ([`CompiledExpr`])
+//! before evaluation, so the per-row hot path does no name lookups.
+
+use crate::error::Result;
+use crate::relation::Row;
+use crate::schema::{ColRef, Schema};
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to a concrete ordering outcome.
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Integer arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Integer division; division by zero yields `Null`.
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A scalar expression over named columns.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Column reference (resolved at compile time).
+    Col(ColRef),
+    /// Literal value.
+    Lit(Value),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Integer arithmetic; non-integer operands evaluate to `Null`.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Conjunction (empty = true).
+    And(Vec<Expr>),
+    /// Disjunction (empty = false).
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+/// Column reference expression; accepts `"name"` or `"alias.name"`.
+pub fn col(name: &str) -> Expr {
+    Expr::Col(ColRef::parse(name))
+}
+
+/// Literal expression from anything convertible to [`Value`].
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Lit(v.into())
+}
+
+/// Integer literal.
+pub fn lit_i64(v: i64) -> Expr {
+    Expr::Lit(Value::Int(v))
+}
+
+/// String literal.
+pub fn lit_str(s: &str) -> Expr {
+    Expr::Lit(Value::str(s))
+}
+
+/// Boolean literal.
+pub fn lit_bool(b: bool) -> Expr {
+    Expr::Lit(Value::Bool(b))
+}
+
+impl Expr {
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(other))
+    }
+
+    /// `self + other` (integer).
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Add, Box::new(self), Box::new(other))
+    }
+
+    /// `self - other` (integer).
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(other))
+    }
+
+    /// `self * other` (integer).
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(other))
+    }
+
+    /// `self / other` (integer; x/0 = Null).
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Div, Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction, flattening nested `And`s and dropping `true`.
+    pub fn and(parts: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Expr::And(inner) => out.extend(inner),
+                Expr::Lit(Value::Bool(true)) => {}
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => lit_bool(true),
+            1 => out.pop().unwrap(),
+            _ => Expr::And(out),
+        }
+    }
+
+    /// Disjunction, flattening nested `Or`s and dropping `false`.
+    pub fn or(parts: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Expr::Or(inner) => out.extend(inner),
+                Expr::Lit(Value::Bool(false)) => {}
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => lit_bool(false),
+            1 => out.pop().unwrap(),
+            _ => Expr::Or(out),
+        }
+    }
+
+    /// `¬self`.
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `low <= self AND self <= high` (paper's `between`).
+    pub fn between(self, low: Expr, high: Expr) -> Expr {
+        Expr::and([self.clone().ge(low), self.le(high)])
+    }
+
+    /// The set of column references this expression mentions.
+    pub fn columns(&self) -> BTreeSet<ColRef> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<ColRef>) {
+        match self {
+            Expr::Col(c) => {
+                out.insert(c.clone());
+            }
+            Expr::Lit(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::And(parts) | Expr::Or(parts) => {
+                for p in parts {
+                    p.collect_columns(out);
+                }
+            }
+            Expr::Not(e) => e.collect_columns(out),
+        }
+    }
+
+    /// Split a conjunctive expression into its conjuncts.
+    pub fn conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::And(parts) => parts.into_iter().flat_map(Expr::conjuncts).collect(),
+            Expr::Lit(Value::Bool(true)) => vec![],
+            other => vec![other],
+        }
+    }
+
+    /// `true` iff the expression is the literal `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Expr::Lit(Value::Bool(true)))
+    }
+
+    /// Rewrite every column reference with `f`.
+    pub fn map_columns(&self, f: &impl Fn(&ColRef) -> ColRef) -> Expr {
+        match self {
+            Expr::Col(c) => Expr::Col(f(c)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.map_columns(f)),
+                Box::new(b.map_columns(f)),
+            ),
+            Expr::Arith(op, a, b) => Expr::Arith(
+                *op,
+                Box::new(a.map_columns(f)),
+                Box::new(b.map_columns(f)),
+            ),
+            Expr::And(parts) => Expr::And(parts.iter().map(|p| p.map_columns(f)).collect()),
+            Expr::Or(parts) => Expr::Or(parts.iter().map(|p| p.map_columns(f)).collect()),
+            Expr::Not(e) => Expr::Not(Box::new(e.map_columns(f))),
+        }
+    }
+
+    /// Compile against a schema: resolve all column references to indices.
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledExpr> {
+        Ok(match self {
+            Expr::Col(c) => CompiledExpr::Col(schema.resolve(c)?),
+            Expr::Lit(v) => CompiledExpr::Lit(v.clone()),
+            Expr::Cmp(op, a, b) => CompiledExpr::Cmp(
+                *op,
+                Box::new(a.compile(schema)?),
+                Box::new(b.compile(schema)?),
+            ),
+            Expr::Arith(op, a, b) => CompiledExpr::Arith(
+                *op,
+                Box::new(a.compile(schema)?),
+                Box::new(b.compile(schema)?),
+            ),
+            Expr::And(parts) => CompiledExpr::And(
+                parts.iter().map(|p| p.compile(schema)).collect::<Result<_>>()?,
+            ),
+            Expr::Or(parts) => CompiledExpr::Or(
+                parts.iter().map(|p| p.compile(schema)).collect::<Result<_>>()?,
+            ),
+            Expr::Not(e) => CompiledExpr::Not(Box::new(e.compile(schema)?)),
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(c) => write!(f, "{c}"),
+            Expr::Lit(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Arith(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Not(e) => write!(f, "NOT {e}"),
+        }
+    }
+}
+
+/// Index-resolved expression; evaluation does no name lookups.
+#[derive(Clone, Debug)]
+pub enum CompiledExpr {
+    Col(usize),
+    Lit(Value),
+    Cmp(CmpOp, Box<CompiledExpr>, Box<CompiledExpr>),
+    Arith(ArithOp, Box<CompiledExpr>, Box<CompiledExpr>),
+    And(Vec<CompiledExpr>),
+    Or(Vec<CompiledExpr>),
+    Not(Box<CompiledExpr>),
+}
+
+fn eval_arith(op: ArithOp, a: Value, b: Value) -> Value {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match op {
+            ArithOp::Add => Value::Int(x.wrapping_add(y)),
+            ArithOp::Sub => Value::Int(x.wrapping_sub(y)),
+            ArithOp::Mul => Value::Int(x.wrapping_mul(y)),
+            ArithOp::Div => {
+                if y == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(x.wrapping_div(y))
+                }
+            }
+        },
+        _ => Value::Null,
+    }
+}
+
+impl CompiledExpr {
+    /// Evaluate to a value.
+    pub fn eval(&self, row: &Row) -> Value {
+        match self {
+            CompiledExpr::Col(i) => row[*i].clone(),
+            CompiledExpr::Lit(v) => v.clone(),
+            CompiledExpr::Cmp(op, a, b) => {
+                Value::Bool(op.eval(a.eval(row).cmp(&b.eval(row))))
+            }
+            CompiledExpr::Arith(op, a, b) => eval_arith(*op, a.eval(row), b.eval(row)),
+            CompiledExpr::And(parts) => {
+                Value::Bool(parts.iter().all(|p| p.eval_bool(row)))
+            }
+            CompiledExpr::Or(parts) => {
+                Value::Bool(parts.iter().any(|p| p.eval_bool(row)))
+            }
+            CompiledExpr::Not(e) => Value::Bool(!e.eval_bool(row)),
+        }
+    }
+
+    /// Evaluate to a boolean; non-boolean results are false (positive
+    /// algebra never produces them for well-formed predicates).
+    pub fn eval_bool(&self, row: &Row) -> bool {
+        matches!(self.eval(row), Value::Bool(true))
+    }
+
+    /// Evaluate over a pair of rows viewed as a concatenation without
+    /// materializing it (hot path of nested-loop joins).
+    pub fn eval_bool_pair(&self, left: &Row, right: &Row) -> bool {
+        matches!(self.eval_pair(left, right), Value::Bool(true))
+    }
+
+    fn eval_pair(&self, left: &Row, right: &Row) -> Value {
+        match self {
+            CompiledExpr::Col(i) => {
+                if *i < left.len() {
+                    left[*i].clone()
+                } else {
+                    right[*i - left.len()].clone()
+                }
+            }
+            CompiledExpr::Lit(v) => v.clone(),
+            CompiledExpr::Cmp(op, a, b) => Value::Bool(
+                op.eval(a.eval_pair(left, right).cmp(&b.eval_pair(left, right))),
+            ),
+            CompiledExpr::Arith(op, a, b) => {
+                eval_arith(*op, a.eval_pair(left, right), b.eval_pair(left, right))
+            }
+            CompiledExpr::And(parts) => Value::Bool(
+                parts
+                    .iter()
+                    .all(|p| matches!(p.eval_pair(left, right), Value::Bool(true))),
+            ),
+            CompiledExpr::Or(parts) => Value::Bool(
+                parts
+                    .iter()
+                    .any(|p| matches!(p.eval_pair(left, right), Value::Bool(true))),
+            ),
+            CompiledExpr::Not(e) => Value::Bool(!matches!(
+                e.eval_pair(left, right),
+                Value::Bool(true)
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: Vec<Value>) -> Row {
+        vals.into_boxed_slice()
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = Schema::named(["a", "b"]);
+        let e = col("a").lt(col("b")).compile(&s).unwrap();
+        assert!(e.eval_bool(&row(vec![Value::Int(1), Value::Int(2)])));
+        assert!(!e.eval_bool(&row(vec![Value::Int(2), Value::Int(2)])));
+        let e = col("a").ge(lit_i64(5)).compile(&s).unwrap();
+        assert!(e.eval_bool(&row(vec![Value::Int(5), Value::Null])));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let s = Schema::named(["a"]);
+        let e = Expr::or([col("a").eq(lit_i64(1)), col("a").eq(lit_i64(2))])
+            .compile(&s)
+            .unwrap();
+        assert!(e.eval_bool(&row(vec![Value::Int(2)])));
+        assert!(!e.eval_bool(&row(vec![Value::Int(3)])));
+        let e = col("a").eq(lit_i64(1)).not().compile(&s).unwrap();
+        assert!(e.eval_bool(&row(vec![Value::Int(9)])));
+    }
+
+    #[test]
+    fn and_or_flattening() {
+        let e = Expr::and([
+            Expr::and([col("a").eq(lit_i64(1)), lit_bool(true)]),
+            col("b").eq(lit_i64(2)),
+        ]);
+        assert_eq!(e.conjuncts().len(), 2);
+        assert!(Expr::and([]).is_true());
+        assert_eq!(Expr::or([]), lit_bool(false));
+    }
+
+    #[test]
+    fn columns_collected() {
+        let e = Expr::and([col("x.a").eq(col("y.b")), col("c").gt(lit_i64(0))]);
+        let cols = e.columns();
+        assert_eq!(cols.len(), 3);
+        assert!(cols.contains(&ColRef::parse("x.a")));
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let s = Schema::named(["d"]);
+        let e = col("d")
+            .between(lit_i64(10), lit_i64(20))
+            .compile(&s)
+            .unwrap();
+        assert!(e.eval_bool(&row(vec![Value::Int(10)])));
+        assert!(e.eval_bool(&row(vec![Value::Int(20)])));
+        assert!(!e.eval_bool(&row(vec![Value::Int(21)])));
+    }
+
+    #[test]
+    fn pair_eval_matches_concat() {
+        let s = Schema::named(["a", "b", "c"]);
+        let e = Expr::and([col("a").eq(col("c")), col("b").ne(lit_i64(0))])
+            .compile(&s)
+            .unwrap();
+        let l = row(vec![Value::Int(7), Value::Int(1)]);
+        let r = row(vec![Value::Int(7)]);
+        let concat = row(vec![Value::Int(7), Value::Int(1), Value::Int(7)]);
+        assert_eq!(e.eval_bool_pair(&l, &r), e.eval_bool(&concat));
+    }
+
+    #[test]
+    fn compile_rejects_unknown() {
+        let s = Schema::named(["a"]);
+        assert!(col("nope").compile(&s).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = Schema::named(["a", "b"]);
+        let r = row(vec![Value::Int(10), Value::Int(3)]);
+        let cases = [
+            (col("a").add(col("b")), Value::Int(13)),
+            (col("a").sub(col("b")), Value::Int(7)),
+            (col("a").mul(col("b")), Value::Int(30)),
+            (col("a").div(col("b")), Value::Int(3)),
+            (col("a").div(lit_i64(0)), Value::Null),
+            (col("a").add(lit_str("x")), Value::Null),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.compile(&s).unwrap().eval(&r), want, "{e}");
+        }
+        // Arithmetic composes with comparisons.
+        let e = col("a").add(col("b")).gt(lit_i64(12)).compile(&s).unwrap();
+        assert!(e.eval_bool(&r));
+    }
+
+    #[test]
+    fn map_columns_requalifies() {
+        let e = col("a").eq(col("b"));
+        let q = e.map_columns(&|c| c.with_qualifier("t"));
+        let cols = q.columns();
+        assert!(cols.contains(&ColRef::parse("t.a")));
+        assert!(cols.contains(&ColRef::parse("t.b")));
+    }
+}

@@ -1,0 +1,51 @@
+//! # urel-relalg — an in-memory relational algebra engine
+//!
+//! This crate is the relational substrate of the U-relations reproduction
+//! (Antova, Jansen, Koch, Olteanu, ICDE 2008). The paper's central claim is
+//! that queries over uncertain databases translate into *plain relational
+//! algebra* over the representation relations, and that a stock relational
+//! optimizer handles the translated plans well. This crate supplies exactly
+//! that target language:
+//!
+//! * [`Value`], [`Schema`], [`Relation`] — the data model (typed rows over
+//!   named, optionally qualified columns);
+//! * [`Expr`] — scalar expressions (comparisons, boolean connectives) that
+//!   compile to column-index form before evaluation;
+//! * [`Plan`] — logical plans: scan, select, project (generalized), inner
+//!   theta-join, semi/anti-join, union, difference, distinct, rename;
+//! * [`exec::execute`] — operator-at-a-time execution with automatic
+//!   equi-key extraction (hash joins) and residual predicates;
+//! * [`optimizer::optimize`] — conjunct splitting, selection pushdown,
+//!   projection pruning and greedy cost-based join reordering;
+//! * [`explain::explain`] — an `EXPLAIN`-style plan printer with row
+//!   estimates (the Figure 13 analog);
+//! * [`Catalog`] — a named-relation store with per-column statistics.
+//!
+//! The engine is deliberately small but real: hash joins, semijoin
+//! filtering, set operations and the optimizer are the code paths the
+//! paper's experiments exercise through PostgreSQL.
+
+pub mod aggregate;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod expr;
+pub mod fxhash;
+pub mod io;
+pub mod optimizer;
+pub mod plan;
+pub mod relation;
+pub mod schema;
+pub mod sort;
+pub mod stats;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use error::{Error, Result};
+pub use aggregate::{aggregate, AggFunc, Aggregate};
+pub use expr::{col, lit, lit_bool, lit_i64, lit_str, ArithOp, CmpOp, Expr};
+pub use plan::Plan;
+pub use relation::{Relation, Row};
+pub use schema::{ColRef, Schema};
+pub use value::Value;

@@ -1,0 +1,936 @@
+//! Heuristic + cost-based plan optimization.
+//!
+//! Three passes, in the spirit of what PostgreSQL did for the paper's
+//! translated queries (Section 6: "due to the simplicity of our rewritings,
+//! PostgreSQL optimizes the queries in a fairly good way"):
+//!
+//! 1. **Selection pushdown** — conjuncts are split and routed below joins
+//!    and through projections/renames as far as their columns allow.
+//! 2. **Join reordering** — maximal inner-join trees are flattened and
+//!    rebuilt greedily, smallest estimated intermediate first, using
+//!    `|L⋈R| ≈ |L|·|R| / max(ndv)` with NDV traced to base-table stats.
+//! 3. **Projection pruning** — narrowing projections are inserted above
+//!    join inputs so only live columns flow through joins (the paper's
+//!    "late materialization" benefit depends on this).
+
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::expr::{CmpOp, Expr};
+use crate::plan::Plan;
+use crate::schema::{ColRef, Schema};
+use std::collections::BTreeSet;
+
+/// Optimize a plan: pushdown, reorder, prune. The result is equivalent
+/// (same bag of tuples up to row order) and usually much faster.
+pub fn optimize(plan: &Plan, catalog: &Catalog) -> Result<Plan> {
+    // Validate input while we are at it: schema() errors early.
+    plan.schema(catalog)?;
+    let p = push_selections(plan.clone(), catalog);
+    let p = reorder_joins(p, catalog);
+    let p = prune_projections(p, catalog, None);
+    p.schema(catalog)?; // invariant: optimization preserves well-formedness
+    Ok(p)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: selection pushdown
+// ---------------------------------------------------------------------------
+
+fn push_selections(plan: Plan, catalog: &Catalog) -> Plan {
+    match plan {
+        Plan::Select { input, pred } => {
+            let inner = push_selections(*input, catalog);
+            push_pred_into(inner, pred, catalog)
+        }
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(push_selections(*input, catalog)),
+            cols,
+        },
+        Plan::Join { left, right, pred } => Plan::Join {
+            left: Box::new(push_selections(*left, catalog)),
+            right: Box::new(push_selections(*right, catalog)),
+            pred,
+        },
+        Plan::SemiJoin { left, right, pred } => Plan::SemiJoin {
+            left: Box::new(push_selections(*left, catalog)),
+            right: Box::new(push_selections(*right, catalog)),
+            pred,
+        },
+        Plan::AntiJoin { left, right, pred } => Plan::AntiJoin {
+            left: Box::new(push_selections(*left, catalog)),
+            right: Box::new(push_selections(*right, catalog)),
+            pred,
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(push_selections(*left, catalog)),
+            right: Box::new(push_selections(*right, catalog)),
+        },
+        Plan::Difference { left, right } => Plan::Difference {
+            left: Box::new(push_selections(*left, catalog)),
+            right: Box::new(push_selections(*right, catalog)),
+        },
+        Plan::Distinct(input) => Plan::Distinct(Box::new(push_selections(*input, catalog))),
+        Plan::Rename { input, alias } => Plan::Rename {
+            input: Box::new(push_selections(*input, catalog)),
+            alias,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Push a predicate as deep as possible into an (already pushed) plan.
+fn push_pred_into(plan: Plan, pred: Expr, catalog: &Catalog) -> Plan {
+    let conjuncts = pred.conjuncts();
+    if conjuncts.is_empty() {
+        return plan;
+    }
+    match plan {
+        Plan::Select { input, pred: inner } => {
+            // Merge and retry as one predicate set.
+            let merged = Expr::and(conjuncts.into_iter().chain(inner.conjuncts()));
+            push_pred_into(*input, merged, catalog)
+        }
+        Plan::Join { left, right, pred: jp } => {
+            let ls = match left.schema(catalog) {
+                Ok(s) => s,
+                Err(_) => return rebuild_select(Plan::Join { left, right, pred: jp }, conjuncts),
+            };
+            let rs = match right.schema(catalog) {
+                Ok(s) => s,
+                Err(_) => return rebuild_select(Plan::Join { left, right, pred: jp }, conjuncts),
+            };
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut to_join = Vec::new();
+            for c in conjuncts {
+                if resolves_all(&c, &ls) {
+                    to_left.push(c);
+                } else if resolves_all(&c, &rs) {
+                    to_right.push(c);
+                } else {
+                    to_join.push(c);
+                }
+            }
+            let new_left = if to_left.is_empty() {
+                *left
+            } else {
+                push_pred_into(*left, Expr::and(to_left), catalog)
+            };
+            let new_right = if to_right.is_empty() {
+                *right
+            } else {
+                push_pred_into(*right, Expr::and(to_right), catalog)
+            };
+            Plan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                pred: Expr::and(jp.conjuncts().into_iter().chain(to_join)),
+            }
+        }
+        Plan::Project { input, cols } => {
+            // Push through iff every referenced output column is a plain
+            // column alias; rewrite references to the input names.
+            let all_cols: BTreeSet<ColRef> =
+                conjuncts.iter().flat_map(|c| c.columns()).collect();
+            let mut mapping = Vec::new();
+            let mut pushable = true;
+            'outer: for r in &all_cols {
+                for (e, name) in &cols {
+                    if name.matches(r) || (r.qualifier.is_none() && name.name == r.name) {
+                        if let Expr::Col(src) = e {
+                            mapping.push((r.clone(), src.clone()));
+                            continue 'outer;
+                        }
+                    }
+                }
+                pushable = false;
+                break;
+            }
+            if pushable {
+                let rewritten = Expr::and(conjuncts).map_columns(&|c| {
+                    mapping
+                        .iter()
+                        .find(|(from, _)| from == c)
+                        .map(|(_, to)| to.clone())
+                        .unwrap_or_else(|| c.clone())
+                });
+                Plan::Project {
+                    input: Box::new(push_pred_into(*input, rewritten, catalog)),
+                    cols,
+                }
+            } else {
+                rebuild_select(Plan::Project { input, cols }, conjuncts)
+            }
+        }
+        Plan::Rename { input, alias } => {
+            // Strip the alias qualifier and push inside if the stripped
+            // predicate still compiles there.
+            let inner_schema = match input.schema(catalog) {
+                Ok(s) => s,
+                Err(_) => {
+                    return rebuild_select(Plan::Rename { input, alias }, conjuncts)
+                }
+            };
+            let stripped = Expr::and(conjuncts.clone()).map_columns(&|c| {
+                if c.qualifier.as_deref() == Some(alias.as_str()) {
+                    c.unqualified()
+                } else {
+                    c.clone()
+                }
+            });
+            if stripped.compile(&inner_schema).is_ok() {
+                Plan::Rename {
+                    input: Box::new(push_pred_into(*input, stripped, catalog)),
+                    alias,
+                }
+            } else {
+                rebuild_select(Plan::Rename { input, alias }, conjuncts)
+            }
+        }
+        Plan::Distinct(input) => {
+            Plan::Distinct(Box::new(push_pred_into(*input, Expr::and(conjuncts), catalog)))
+        }
+        Plan::Difference { left, right } => {
+            // σ(L − R) = σ(L) − R; pushing into R would be wrong.
+            Plan::Difference {
+                left: Box::new(push_pred_into(*left, Expr::and(conjuncts), catalog)),
+                right,
+            }
+        }
+        Plan::Union { left, right } => {
+            // Union is positional; push only if the predicate compiles on
+            // both children by name.
+            let p = Expr::and(conjuncts.clone());
+            let ok = left
+                .schema(catalog)
+                .and_then(|s| p.compile(&s))
+                .is_ok()
+                && right
+                    .schema(catalog)
+                    .and_then(|s| p.compile(&s))
+                    .is_ok();
+            if ok {
+                Plan::Union {
+                    left: Box::new(push_pred_into(*left, p.clone(), catalog)),
+                    right: Box::new(push_pred_into(*right, p, catalog)),
+                }
+            } else {
+                rebuild_select(Plan::Union { left, right }, conjuncts)
+            }
+        }
+        other => rebuild_select(other, conjuncts),
+    }
+}
+
+fn rebuild_select(plan: Plan, conjuncts: Vec<Expr>) -> Plan {
+    if conjuncts.is_empty() {
+        plan
+    } else {
+        plan.select(Expr::and(conjuncts))
+    }
+}
+
+fn resolves_all(e: &Expr, schema: &Schema) -> bool {
+    e.columns().iter().all(|c| schema.resolve(c).is_ok())
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: greedy join reordering
+// ---------------------------------------------------------------------------
+
+fn reorder_joins(plan: Plan, catalog: &Catalog) -> Plan {
+    match plan {
+        Plan::Join { .. } => {
+            let original = plan.clone();
+            let mut leaves = Vec::new();
+            let mut conjuncts = Vec::new();
+            if flatten_joins(plan, catalog, &mut leaves, &mut conjuncts).is_some() {
+                rebuild_join_tree(leaves, conjuncts, catalog)
+                    .unwrap_or_else(|| reorder_children_only(original, catalog))
+            } else {
+                reorder_children_only(original, catalog)
+            }
+        }
+        Plan::Select { input, pred } => Plan::Select {
+            input: Box::new(reorder_joins(*input, catalog)),
+            pred,
+        },
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(reorder_joins(*input, catalog)),
+            cols,
+        },
+        Plan::SemiJoin { left, right, pred } => Plan::SemiJoin {
+            left: Box::new(reorder_joins(*left, catalog)),
+            right: Box::new(reorder_joins(*right, catalog)),
+            pred,
+        },
+        Plan::AntiJoin { left, right, pred } => Plan::AntiJoin {
+            left: Box::new(reorder_joins(*left, catalog)),
+            right: Box::new(reorder_joins(*right, catalog)),
+            pred,
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(reorder_joins(*left, catalog)),
+            right: Box::new(reorder_joins(*right, catalog)),
+        },
+        Plan::Difference { left, right } => Plan::Difference {
+            left: Box::new(reorder_joins(*left, catalog)),
+            right: Box::new(reorder_joins(*right, catalog)),
+        },
+        Plan::Distinct(input) => Plan::Distinct(Box::new(reorder_joins(*input, catalog))),
+        Plan::Rename { input, alias } => Plan::Rename {
+            input: Box::new(reorder_joins(*input, catalog)),
+            alias,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Recurse into a join's children without flattening this node (fallback
+/// when safe rebinding is impossible).
+fn reorder_children_only(plan: Plan, catalog: &Catalog) -> Plan {
+    match plan {
+        Plan::Join { left, right, pred } => Plan::Join {
+            left: Box::new(reorder_joins(*left, catalog)),
+            right: Box::new(reorder_joins(*right, catalog)),
+            pred,
+        },
+        other => reorder_joins(other, catalog),
+    }
+}
+
+/// A conjunct whose column references have been bound to concrete
+/// (leaf index, column index) pairs, so it can be re-applied at any point
+/// of a rebuilt join tree without name-capture bugs.
+struct BoundConjunct {
+    expr: Expr,
+    /// For every distinct column reference in `expr`: where it binds.
+    bindings: Vec<(ColRef, usize, usize)>,
+    /// Set of leaf indices the conjunct touches.
+    leaves: BTreeSet<usize>,
+}
+
+/// Flatten a join tree. Returns `None` (reordering aborted) if any
+/// predicate column cannot be bound unambiguously at its original node.
+fn flatten_joins(
+    plan: Plan,
+    catalog: &Catalog,
+    leaves: &mut Vec<(Plan, Schema)>,
+    conjuncts: &mut Vec<BoundConjunct>,
+) -> Option<std::ops::Range<usize>> {
+    match plan {
+        Plan::Join { left, right, pred } => {
+            let lr = flatten_joins(*left, catalog, leaves, conjuncts)?;
+            let rr = flatten_joins(*right, catalog, leaves, conjuncts)?;
+            let range = lr.start..rr.end;
+            // Bind this node's conjuncts against the concatenated schema of
+            // its own subtree, exactly as the original plan resolved them.
+            let mut joint = Schema::default();
+            let mut offsets = Vec::new();
+            for (_, s) in &leaves[range.clone()] {
+                offsets.push(joint.arity());
+                joint = joint.concat(s);
+            }
+            for c in pred.conjuncts() {
+                let mut bindings = Vec::new();
+                let mut leaf_set = BTreeSet::new();
+                for r in c.columns() {
+                    let global = joint.resolve(&r).ok()?;
+                    // Map the flat index back to (leaf, local).
+                    let rel = offsets
+                        .iter()
+                        .rposition(|&o| o <= global)
+                        .expect("offset exists");
+                    let leaf_idx = range.start + rel;
+                    let local = global - offsets[rel];
+                    leaf_set.insert(leaf_idx);
+                    bindings.push((r, leaf_idx, local));
+                }
+                conjuncts.push(BoundConjunct { expr: c, bindings, leaves: leaf_set });
+            }
+            Some(range)
+        }
+        other => {
+            let reordered = reorder_joins(other, catalog);
+            let schema = reordered.schema(catalog).ok()?;
+            let start = leaves.len();
+            leaves.push((reordered, schema));
+            Some(start..start + 1)
+        }
+    }
+}
+
+/// Greedily rebuild a flattened join tree, smallest estimated intermediate
+/// first. Every leaf is wrapped in a fresh `__jK` alias and conjuncts are
+/// rewritten to fully-qualified references, so rebinding is unambiguous in
+/// any shape; a final projection restores the original output schema.
+/// Returns `None` if a leaf has internally duplicated column names (then
+/// the original shape is kept).
+fn rebuild_join_tree(
+    leaves: Vec<(Plan, Schema)>,
+    conjuncts: Vec<BoundConjunct>,
+    catalog: &Catalog,
+) -> Option<Plan> {
+    if leaves.len() == 1 {
+        let (leaf, _) = leaves.into_iter().next().unwrap();
+        let preds: Vec<Expr> = conjuncts.into_iter().map(|b| b.expr).collect();
+        return Some(rebuild_select(leaf, preds));
+    }
+    // Leaf column names must be unique within each leaf for `__jK.name`
+    // qualification to be unambiguous.
+    for (_, s) in &leaves {
+        let mut names: Vec<&str> = s.columns().iter().map(|c| &*c.name).collect();
+        names.sort_unstable();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+    }
+
+    let original_schemas: Vec<Schema> = leaves.iter().map(|(_, s)| s.clone()).collect();
+
+    // Rewrite conjuncts to `__jK.name` form.
+    let rewritten: Vec<(Expr, BTreeSet<usize>)> = conjuncts
+        .into_iter()
+        .map(|b| {
+            let expr = b.expr.map_columns(&|c| {
+                b.bindings
+                    .iter()
+                    .find(|(r, _, _)| r == c)
+                    .map(|(_, leaf, local)| {
+                        ColRef::qualified(
+                            format!("__j{leaf}"),
+                            &*original_schemas[*leaf].columns()[*local].name,
+                        )
+                    })
+                    .unwrap_or_else(|| c.clone())
+            });
+            (expr, b.leaves)
+        })
+        .collect();
+
+    // (plan, covered leaves, estimate) for each remaining input.
+    let mut parts: Vec<(Plan, BTreeSet<usize>, f64)> = leaves
+        .into_iter()
+        .enumerate()
+        .map(|(k, (p, _))| {
+            let est = est_rows(&p, catalog);
+            let aliased = p.rename(format!("__j{k}"));
+            (aliased, BTreeSet::from([k]), est)
+        })
+        .collect();
+    let mut remaining: Vec<(Expr, BTreeSet<usize>)> = rewritten;
+
+    while parts.len() > 1 {
+        let mut best: Option<(usize, usize, f64, bool)> = None;
+        for i in 0..parts.len() {
+            for j in (i + 1)..parts.len() {
+                let mut cover: BTreeSet<usize> =
+                    parts[i].1.union(&parts[j].1).cloned().collect();
+                let applicable: Vec<&Expr> = remaining
+                    .iter()
+                    .filter(|(_, ls)| ls.is_subset(&cover))
+                    .map(|(e, _)| e)
+                    .collect();
+                let connected = !applicable.is_empty();
+                // Crude estimate: product shrunk by 1/10 per equality
+                // conjunct when NDV tracing is unavailable mid-rebuild.
+                let mut est = parts[i].2 * parts[j].2;
+                let ls = parts[i].0.schema(catalog).unwrap_or_default();
+                let rs = parts[j].0.schema(catalog).unwrap_or_default();
+                est = join_estimate(
+                    parts[i].2,
+                    parts[j].2,
+                    &applicable.iter().map(|e| (*e).clone()).collect::<Vec<_>>(),
+                    &parts[i].0,
+                    &ls,
+                    &parts[j].0,
+                    &rs,
+                    catalog,
+                )
+                .min(est);
+                let score = if connected { est } else { est * 1e6 };
+                if best.as_ref().is_none_or(|(_, _, b, _)| score < *b) {
+                    best = Some((i, j, score, connected));
+                }
+                cover.clear();
+            }
+        }
+        let (i, j, est, _) = best.expect("at least two parts");
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        let (pj, cj, _) = parts.remove(hi);
+        let (pi, ci, _) = parts.remove(lo);
+        let cover: BTreeSet<usize> = ci.union(&cj).cloned().collect();
+        let mut preds = Vec::new();
+        remaining.retain(|(e, ls)| {
+            if ls.is_subset(&cover) {
+                preds.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        let joined = pi.join(pj, Expr::and(preds));
+        parts.push((joined, cover, est));
+    }
+    let (mut plan, _, _) = parts.into_iter().next().unwrap();
+    // Any leftover predicates apply at the top (still in __j form).
+    let leftover: Vec<Expr> = remaining.into_iter().map(|(e, _)| e).collect();
+    plan = rebuild_select(plan, leftover);
+    // Restore the original column names and order.
+    let mut cols = Vec::new();
+    for (k, s) in original_schemas.iter().enumerate() {
+        for c in s.columns() {
+            cols.push((
+                Expr::Col(ColRef::qualified(format!("__j{k}"), &*c.name)),
+                c.clone(),
+            ));
+        }
+    }
+    Some(Plan::Project { input: Box::new(plan), cols })
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality estimation
+// ---------------------------------------------------------------------------
+
+/// Estimated output rows of a plan (used by reordering and EXPLAIN).
+pub fn est_rows(plan: &Plan, catalog: &Catalog) -> f64 {
+    match plan {
+        Plan::Scan(name) => catalog
+            .stats(name)
+            .map(|s| s.rows as f64)
+            .unwrap_or(1000.0),
+        Plan::Values(rel) => rel.len() as f64,
+        Plan::Select { input, pred } => {
+            let base = est_rows(input, catalog);
+            let schema = input.schema(catalog).unwrap_or_default();
+            let sel: f64 = pred
+                .clone()
+                .conjuncts()
+                .iter()
+                .map(|c| selectivity(c, input, &schema, catalog))
+                .product();
+            (base * sel).max(1.0)
+        }
+        Plan::Project { input, .. } | Plan::Rename { input, .. } => est_rows(input, catalog),
+        Plan::Distinct(input) => est_rows(input, catalog) * 0.9,
+        Plan::Join { left, right, pred } => {
+            let ls = left.schema(catalog).unwrap_or_default();
+            let rs = right.schema(catalog).unwrap_or_default();
+            join_estimate(
+                est_rows(left, catalog),
+                est_rows(right, catalog),
+                &pred.clone().conjuncts(),
+                left,
+                &ls,
+                right,
+                &rs,
+                catalog,
+            )
+        }
+        Plan::SemiJoin { left, .. } => est_rows(left, catalog) * 0.5,
+        Plan::AntiJoin { left, .. } => est_rows(left, catalog) * 0.5,
+        Plan::Union { left, right } => est_rows(left, catalog) + est_rows(right, catalog),
+        Plan::Difference { left, .. } => est_rows(left, catalog),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join_estimate(
+    l_rows: f64,
+    r_rows: f64,
+    conjuncts: &[Expr],
+    left: &Plan,
+    ls: &Schema,
+    right: &Plan,
+    rs: &Schema,
+    catalog: &Catalog,
+) -> f64 {
+    let mut est = l_rows * r_rows;
+    for c in conjuncts {
+        if let Expr::Cmp(CmpOp::Eq, a, b) = c {
+            if let (Expr::Col(ca), Expr::Col(cb)) = (a.as_ref(), b.as_ref()) {
+                let sides = (
+                    ls.resolve(ca).ok(),
+                    rs.resolve(ca).ok(),
+                    ls.resolve(cb).ok(),
+                    rs.resolve(cb).ok(),
+                );
+                let (li, ri) = match sides {
+                    (Some(li), None, None, Some(ri)) => (li, ri),
+                    (None, Some(ri), Some(li), None) => (li, ri),
+                    _ => {
+                        est *= 0.5;
+                        continue;
+                    }
+                };
+                let ndv_l = column_ndv(left, li, catalog).max(1.0).min(l_rows.max(1.0));
+                let ndv_r = column_ndv(right, ri, catalog).max(1.0).min(r_rows.max(1.0));
+                est /= ndv_l.max(ndv_r);
+                continue;
+            }
+        }
+        est *= 0.5;
+    }
+    est.max(1.0)
+}
+
+fn selectivity(conjunct: &Expr, input: &Plan, schema: &Schema, catalog: &Catalog) -> f64 {
+    match conjunct {
+        Expr::Cmp(op, a, b) => {
+            let col_lit = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(_)) => Some(c),
+                (Expr::Lit(_), Expr::Col(c)) => Some(c),
+                _ => None,
+            };
+            match (op, col_lit) {
+                (CmpOp::Eq, Some(c)) => {
+                    let ndv = schema
+                        .resolve(c)
+                        .ok()
+                        .map(|i| column_ndv(input, i, catalog))
+                        .unwrap_or(10.0);
+                    (1.0 / ndv.max(1.0)).min(1.0)
+                }
+                (CmpOp::Ne, Some(_)) => 0.9,
+                (CmpOp::Eq, None) => 0.1,
+                _ => 0.33,
+            }
+        }
+        Expr::And(parts) => parts
+            .iter()
+            .map(|p| selectivity(p, input, schema, catalog))
+            .product(),
+        Expr::Or(parts) => parts
+            .iter()
+            .map(|p| selectivity(p, input, schema, catalog))
+            .sum::<f64>()
+            .min(1.0),
+        Expr::Not(e) => 1.0 - selectivity(e, input, schema, catalog),
+        Expr::Lit(crate::value::Value::Bool(true)) => 1.0,
+        Expr::Lit(crate::value::Value::Bool(false)) => 0.0,
+        _ => 0.5,
+    }
+}
+
+/// NDV of a plan output column, traced through the operators down to the
+/// base-table statistics where possible.
+fn column_ndv(plan: &Plan, idx: usize, catalog: &Catalog) -> f64 {
+    match plan {
+        Plan::Scan(name) => catalog
+            .stats(name)
+            .map(|s| s.ndv_or_default(idx) as f64)
+            .unwrap_or(10.0),
+        Plan::Values(rel) => crate::stats::TableStats::compute(rel).ndv_or_default(idx) as f64,
+        Plan::Select { input, .. } | Plan::Distinct(input) | Plan::Rename { input, .. } => {
+            column_ndv(input, idx, catalog)
+        }
+        Plan::Project { input, cols } => match cols.get(idx) {
+            Some((Expr::Col(c), _)) => input
+                .schema(catalog)
+                .ok()
+                .and_then(|s| s.resolve(c).ok())
+                .map(|i| column_ndv(input, i, catalog))
+                .unwrap_or(10.0),
+            Some((Expr::Lit(_), _)) => 1.0,
+            _ => est_rows(plan, catalog),
+        },
+        Plan::Join { left, right, .. } => {
+            let la = left.schema(catalog).map(|s| s.arity()).unwrap_or(0);
+            if idx < la {
+                column_ndv(left, idx, catalog)
+            } else {
+                column_ndv(right, idx - la, catalog)
+            }
+        }
+        Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => {
+            column_ndv(left, idx, catalog)
+        }
+        Plan::Union { left, right } => {
+            column_ndv(left, idx, catalog) + column_ndv(right, idx, catalog)
+        }
+        Plan::Difference { left, .. } => column_ndv(left, idx, catalog),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: projection pruning above join inputs
+// ---------------------------------------------------------------------------
+
+fn prune_projections(plan: Plan, catalog: &Catalog, needed: Option<&BTreeSet<ColRef>>) -> Plan {
+    match plan {
+        Plan::Project { input, cols } => {
+            // Drop projection outputs the parent does not need (safe in bag
+            // semantics: arity changes, multiplicity does not). Positional
+            // parents pass `needed = None` and keep everything.
+            let cols: Vec<_> = match needed {
+                Some(n) => {
+                    let kept: Vec<_> = cols
+                        .iter()
+                        .filter(|(_, name)| n.iter().any(|u| name.matches(u)))
+                        .cloned()
+                        .collect();
+                    if kept.is_empty() {
+                        cols.into_iter().take(1).collect()
+                    } else {
+                        kept
+                    }
+                }
+                None => cols,
+            };
+            let used: BTreeSet<ColRef> =
+                cols.iter().flat_map(|(e, _)| e.columns()).collect();
+            Plan::Project {
+                input: Box::new(prune_projections(*input, catalog, Some(&used))),
+                cols,
+            }
+        }
+        Plan::Select { input, pred } => {
+            let mut used: BTreeSet<ColRef> = pred.columns();
+            match needed {
+                Some(n) => used.extend(n.iter().cloned()),
+                None => return Plan::Select {
+                    input: Box::new(prune_projections(*input, catalog, None)),
+                    pred,
+                },
+            }
+            Plan::Select {
+                input: Box::new(prune_projections(*input, catalog, Some(&used))),
+                pred,
+            }
+        }
+        Plan::Join { left, right, pred } => {
+            let mut used: BTreeSet<ColRef> = pred.columns();
+            let all_needed = needed.is_none();
+            if let Some(n) = needed {
+                used.extend(n.iter().cloned());
+            }
+            let l = prune_side(*left, catalog, &used, all_needed);
+            let r = prune_side(*right, catalog, &used, all_needed);
+            Plan::Join { left: Box::new(l), right: Box::new(r), pred }
+        }
+        Plan::SemiJoin { left, right, pred } => {
+            let mut lneed: BTreeSet<ColRef> = pred.columns();
+            let all_needed = needed.is_none();
+            if let Some(n) = needed {
+                lneed.extend(n.iter().cloned());
+            }
+            let l = prune_side(*left, catalog, &lneed, all_needed);
+            let r = prune_side(*right, catalog, &pred.columns(), false);
+            Plan::SemiJoin { left: Box::new(l), right: Box::new(r), pred }
+        }
+        Plan::AntiJoin { left, right, pred } => {
+            let mut lneed: BTreeSet<ColRef> = pred.columns();
+            let all_needed = needed.is_none();
+            if let Some(n) = needed {
+                lneed.extend(n.iter().cloned());
+            }
+            let l = prune_side(*left, catalog, &lneed, all_needed);
+            let r = prune_side(*right, catalog, &pred.columns(), false);
+            Plan::AntiJoin { left: Box::new(l), right: Box::new(r), pred }
+        }
+        // Positional / set-sensitive operators: stop propagating needs.
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(prune_projections(*left, catalog, None)),
+            right: Box::new(prune_projections(*right, catalog, None)),
+        },
+        Plan::Difference { left, right } => Plan::Difference {
+            left: Box::new(prune_projections(*left, catalog, None)),
+            right: Box::new(prune_projections(*right, catalog, None)),
+        },
+        Plan::Distinct(input) => {
+            Plan::Distinct(Box::new(prune_projections(*input, catalog, None)))
+        }
+        Plan::Rename { input, alias } => {
+            // Strip the alias qualifier to express needs in terms of the
+            // inner schema; foreign-qualified refs cannot match inside.
+            let inner_needed: Option<BTreeSet<ColRef>> = needed.map(|n| {
+                n.iter()
+                    .filter_map(|c| match &c.qualifier {
+                        Some(q) if **q == *alias => Some(c.unqualified()),
+                        Some(_) => None,
+                        None => Some(c.clone()),
+                    })
+                    .collect()
+            });
+            Plan::Rename {
+                input: Box::new(prune_projections(
+                    *input,
+                    catalog,
+                    inner_needed.as_ref(),
+                )),
+                alias,
+            }
+        }
+        leaf => leaf,
+    }
+}
+
+/// Insert a narrowing projection above a join input when the parent needs
+/// strictly fewer columns than the input produces.
+fn prune_side(side: Plan, catalog: &Catalog, used: &BTreeSet<ColRef>, all_needed: bool) -> Plan {
+    let pruned = prune_projections(side, catalog, if all_needed { None } else { Some(used) });
+    if all_needed {
+        return pruned;
+    }
+    let Ok(schema) = pruned.schema(catalog) else {
+        return pruned;
+    };
+    let keep: Vec<ColRef> = schema
+        .columns()
+        .iter()
+        .filter(|c| used.iter().any(|u| c.matches(u)))
+        .cloned()
+        .collect();
+    if keep.is_empty() || keep.len() == schema.arity() {
+        return pruned;
+    }
+    // Keep fully-qualified output names so references above stay valid.
+    Plan::Project {
+        input: Box::new(pruned),
+        cols: keep
+            .into_iter()
+            .map(|c| (Expr::Col(c.clone()), c))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::expr::{col, lit_i64, lit_str};
+    use crate::relation::Relation;
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut big = Vec::new();
+        for i in 0..200 {
+            big.push(vec![Value::Int(i), Value::Int(i % 10), Value::str("pay")]);
+        }
+        c.insert("big", Relation::from_rows(["k", "fk", "pay"], big).unwrap());
+        let mut small = Vec::new();
+        for i in 0..10 {
+            small.push(vec![Value::Int(i), Value::str(format!("g{i}"))]);
+        }
+        c.insert("small", Relation::from_rows(["g", "gname"], small).unwrap());
+        c
+    }
+
+    fn assert_equivalent(p: &Plan, c: &Catalog) {
+        let opt = optimize(p, c).unwrap();
+        let before = execute(p, c).unwrap();
+        let after = execute(&opt, c).unwrap();
+        assert!(
+            before.set_eq(&after),
+            "optimization changed results:\nplan: {p:?}\nopt: {opt:?}"
+        );
+    }
+
+    #[test]
+    fn pushdown_preserves_semantics() {
+        let c = catalog();
+        let p = Plan::scan("big")
+            .join(Plan::scan("small"), col("fk").eq(col("g")))
+            .select(Expr::and([
+                col("k").lt(lit_i64(50)),
+                col("gname").eq(lit_str("g3")),
+            ]))
+            .project_names(["k", "gname"]);
+        assert_equivalent(&p, &c);
+        // And the selection actually moved below the join.
+        let opt = optimize(&p, &c).unwrap();
+        fn select_above_join(p: &Plan) -> bool {
+            match p {
+                Plan::Select { input, .. } => {
+                    matches!(**input, Plan::Join { .. }) || select_above_join(input)
+                }
+                Plan::Project { input, .. } | Plan::Distinct(input) | Plan::Rename { input, .. } => {
+                    select_above_join(input)
+                }
+                Plan::Join { left, right, .. } => {
+                    select_above_join(left) || select_above_join(right)
+                }
+                _ => false,
+            }
+        }
+        assert!(!select_above_join(&opt), "selection not pushed: {opt:?}");
+    }
+
+    #[test]
+    fn reorder_handles_three_way_join() {
+        let c = catalog();
+        let p = Plan::scan("big")
+            .join(Plan::scan("small"), col("fk").eq(col("g")))
+            .join(
+                Plan::scan("small").rename("s2"),
+                col("fk").eq(col("s2.g")),
+            );
+        assert_equivalent(&p, &c);
+    }
+
+    #[test]
+    fn pruning_narrows_join_inputs() {
+        let c = catalog();
+        let p = Plan::scan("big")
+            .join(Plan::scan("small"), col("fk").eq(col("g")))
+            .project_names(["k"]);
+        let opt = optimize(&p, &c).unwrap();
+        assert_equivalent(&p, &c);
+        // The join's left input should now produce at most 2 columns
+        // (k, fk) instead of 3.
+        fn max_join_input_arity(p: &Plan, c: &Catalog) -> usize {
+            match p {
+                Plan::Join { left, right, .. } => {
+                    let la = left.schema(c).map(|s| s.arity()).unwrap_or(0);
+                    let ra = right.schema(c).map(|s| s.arity()).unwrap_or(0);
+                    la.max(ra)
+                        .max(max_join_input_arity(left, c))
+                        .max(max_join_input_arity(right, c))
+                }
+                Plan::Select { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Distinct(input)
+                | Plan::Rename { input, .. } => max_join_input_arity(input, c),
+                _ => 0,
+            }
+        }
+        assert!(max_join_input_arity(&opt, &c) <= 2, "{opt:?}");
+    }
+
+    #[test]
+    fn estimates_favor_selective_side() {
+        let c = catalog();
+        let selective = Plan::scan("big").select(col("k").eq(lit_i64(7)));
+        let loose = Plan::scan("big");
+        assert!(est_rows(&selective, &c) < est_rows(&loose, &c));
+    }
+
+    #[test]
+    fn optimize_union_difference_distinct() {
+        let c = catalog();
+        let ids = Plan::scan("big").project_names(["fk"]);
+        let p = ids
+            .clone()
+            .union(ids.clone())
+            .distinct()
+            .difference(Plan::scan("small").project_names(["g"]).select(col("g").gt(lit_i64(5))));
+        assert_equivalent(&p, &c);
+    }
+
+    #[test]
+    fn pushdown_through_rename() {
+        let c = catalog();
+        let p = Plan::scan("big")
+            .rename("b")
+            .select(col("b.k").lt(lit_i64(3)));
+        assert_equivalent(&p, &c);
+        let opt = optimize(&p, &c).unwrap();
+        // The rename should now sit above the selection.
+        assert!(
+            matches!(&opt, Plan::Rename { input, .. } if matches!(**input, Plan::Select { .. })),
+            "{opt:?}"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Materialized relations.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A row: a boxed slice of values (two words on the stack, no spare
+/// capacity — see the perf guide on boxed slices).
+pub type Row = Box<[Value]>;
+
+/// A materialized relation: a schema plus rows, bag semantics.
+///
+/// The engine is operator-at-a-time: every operator consumes and produces
+/// `Relation`s. Set semantics is opt-in via [`Relation::sorted_set`] /
+/// `Plan::Distinct`, which is how the `poss` operator and the test oracles
+/// normalize results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Empty relation over a schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Relation from parts; every row must match the schema arity.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Result<Self> {
+        for r in &rows {
+            if r.len() != schema.arity() {
+                return Err(Error::ArityMismatch {
+                    expected: schema.arity(),
+                    got: r.len(),
+                });
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    /// Convenience constructor from unqualified column names and value rows.
+    pub fn from_rows<S: AsRef<str>>(
+        names: impl IntoIterator<Item = S>,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<Self> {
+        let schema = Schema::named(names);
+        let rows = rows
+            .into_iter()
+            .map(|r| r.into_boxed_slice())
+            .collect::<Vec<_>>();
+        Relation::new(schema, rows)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Append a row (arity-checked).
+    pub fn push(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        self.rows.push(row.into_boxed_slice());
+        Ok(())
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Replace the schema (e.g. after a rename); arities must agree.
+    pub fn with_schema(self, schema: Schema) -> Result<Self> {
+        if schema.arity() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.arity(),
+                got: schema.arity(),
+            });
+        }
+        Ok(Relation { schema, rows: self.rows })
+    }
+
+    /// Sorted, deduplicated copy: the canonical *set* form used to compare
+    /// query answers in tests and to implement set operations.
+    pub fn sorted_set(&self) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows.dedup();
+        Relation { schema: self.schema.clone(), rows }
+    }
+
+    /// In-place sort + dedup.
+    pub fn dedup_in_place(&mut self) {
+        self.rows.sort();
+        self.rows.dedup();
+    }
+
+    /// Total payload size in bytes (Figure 9 accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
+            .sum()
+    }
+
+    /// Two relations represent the same *set* of tuples (ignores order and
+    /// multiplicity, requires identical arity).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.schema.arity() == other.schema.arity()
+            && self.sorted_set().rows == other.sorted_set().rows
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}]", self.schema)?;
+        for r in &self.rows {
+            for (i, v) in r.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Relation {
+        Relation::from_rows(
+            ["a", "b"],
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(2), Value::str("y")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(Relation::from_rows(["a"], vec![vec![Value::Int(1), Value::Int(2)]]).is_err());
+        let mut rel = Relation::empty(Schema::named(["a"]));
+        assert!(rel.push(vec![Value::Int(1)]).is_ok());
+        assert!(rel.push(vec![]).is_err());
+    }
+
+    #[test]
+    fn sorted_set_dedups() {
+        let s = r().sorted_set();
+        assert_eq!(s.len(), 2);
+        assert!(r().set_eq(&s));
+    }
+
+    #[test]
+    fn set_eq_ignores_order() {
+        let a = Relation::from_rows(
+            ["a"],
+            vec![vec![Value::Int(2)], vec![Value::Int(1)]],
+        )
+        .unwrap();
+        let b = Relation::from_rows(
+            ["a"],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        assert!(a.set_eq(&b));
+        let c = Relation::from_rows(["a"], vec![vec![Value::Int(3)]]).unwrap();
+        assert!(!a.set_eq(&c));
+    }
+
+    #[test]
+    fn size_bytes_counts_payload() {
+        assert_eq!(r().size_bytes(), 3 * (8 + 1));
+    }
+}

@@ -1,0 +1,230 @@
+//! Column references and relation schemas.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// A column reference: an optional relation qualifier plus a column name.
+///
+/// `ColRef::parse("c.custkey")` yields qualifier `c`, name `custkey`;
+/// `ColRef::parse("custkey")` is unqualified. Resolution against a
+/// [`Schema`] follows SQL rules: a qualified reference must match both
+/// parts; an unqualified reference matches by name only and is an error if
+/// ambiguous.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef {
+    /// Optional relation alias (set by `Plan::Rename`).
+    pub qualifier: Option<Arc<str>>,
+    /// The column name proper.
+    pub name: Arc<str>,
+}
+
+impl ColRef {
+    /// Unqualified column reference.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        ColRef {
+            qualifier: None,
+            name: Arc::from(name.as_ref()),
+        }
+    }
+
+    /// Qualified column reference.
+    pub fn qualified(qualifier: impl AsRef<str>, name: impl AsRef<str>) -> Self {
+        ColRef {
+            qualifier: Some(Arc::from(qualifier.as_ref())),
+            name: Arc::from(name.as_ref()),
+        }
+    }
+
+    /// Parse `"q.name"` or `"name"`.
+    pub fn parse(s: &str) -> Self {
+        match s.split_once('.') {
+            Some((q, n)) => ColRef::qualified(q, n),
+            None => ColRef::new(s),
+        }
+    }
+
+    /// Does a reference `r` (as written in an expression) match this schema
+    /// column? Unqualified references match by name; qualified ones must
+    /// match the qualifier too.
+    pub fn matches(&self, r: &ColRef) -> bool {
+        if self.name != r.name {
+            return false;
+        }
+        match (&r.qualifier, &self.qualifier) {
+            (None, _) => true,
+            (Some(rq), Some(sq)) => rq == sq,
+            (Some(_), None) => false,
+        }
+    }
+
+    /// The same column with its qualifier replaced.
+    pub fn with_qualifier(&self, q: impl AsRef<str>) -> Self {
+        ColRef {
+            qualifier: Some(Arc::from(q.as_ref())),
+            name: self.name.clone(),
+        }
+    }
+
+    /// The same column with the qualifier removed.
+    pub fn unqualified(&self) -> Self {
+        ColRef {
+            qualifier: None,
+            name: self.name.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for ColRef {
+    fn from(s: &str) -> Self {
+        ColRef::parse(s)
+    }
+}
+
+/// An ordered list of (qualified) column names.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    cols: Vec<ColRef>,
+}
+
+impl Schema {
+    /// Schema from column references.
+    pub fn new(cols: Vec<ColRef>) -> Self {
+        Schema { cols }
+    }
+
+    /// Schema from unqualified (or dotted) name strings.
+    pub fn named<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Self {
+        Schema {
+            cols: names.into_iter().map(|n| ColRef::parse(n.as_ref())).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The column list.
+    pub fn columns(&self) -> &[ColRef] {
+        &self.cols
+    }
+
+    /// Resolve a reference to a column index. Errors on unknown or
+    /// ambiguous references.
+    pub fn resolve(&self, r: &ColRef) -> Result<usize> {
+        let mut found = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            if c.matches(r) {
+                if found.is_some() {
+                    return Err(Error::AmbiguousColumn {
+                        name: r.to_string(),
+                        schema: self.to_string(),
+                    });
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| Error::UnknownColumn {
+            name: r.to_string(),
+            schema: self.to_string(),
+        })
+    }
+
+    /// Resolve a plain name string (see [`ColRef::parse`]).
+    pub fn resolve_name(&self, name: &str) -> Result<usize> {
+        self.resolve(&ColRef::parse(name))
+    }
+
+    /// `true` if the reference resolves uniquely.
+    pub fn contains(&self, r: &ColRef) -> bool {
+        self.resolve(r).is_ok()
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        Schema { cols }
+    }
+
+    /// All columns re-qualified with `alias` (rename output).
+    pub fn qualify(&self, alias: &str) -> Schema {
+        Schema {
+            cols: self.cols.iter().map(|c| c.with_qualifier(alias)).collect(),
+        }
+    }
+
+    /// Positional compatibility for set operations: same arity (names may
+    /// differ; the left schema wins in the output).
+    pub fn compatible(&self, other: &Schema) -> bool {
+        self.arity() == other.arity()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let c = ColRef::parse("cust.name");
+        assert_eq!(c.qualifier.as_deref(), Some("cust"));
+        assert_eq!(&*c.name, "name");
+        assert_eq!(c.to_string(), "cust.name");
+        assert_eq!(ColRef::parse("name").to_string(), "name");
+    }
+
+    #[test]
+    fn resolution_rules() {
+        let s = Schema::new(vec![
+            ColRef::qualified("l", "tid"),
+            ColRef::qualified("r", "tid"),
+            ColRef::qualified("l", "a"),
+        ]);
+        assert_eq!(s.resolve(&ColRef::parse("l.tid")).unwrap(), 0);
+        assert_eq!(s.resolve(&ColRef::parse("r.tid")).unwrap(), 1);
+        assert!(matches!(
+            s.resolve(&ColRef::parse("tid")),
+            Err(Error::AmbiguousColumn { .. })
+        ));
+        assert_eq!(s.resolve(&ColRef::parse("a")).unwrap(), 2);
+        assert!(matches!(
+            s.resolve(&ColRef::parse("zzz")),
+            Err(Error::UnknownColumn { .. })
+        ));
+        // Qualified ref does not match an unqualified schema column.
+        let s2 = Schema::named(["x"]);
+        assert!(s2.resolve(&ColRef::parse("q.x")).is_err());
+    }
+
+    #[test]
+    fn qualify_and_concat() {
+        let s = Schema::named(["a", "b"]).qualify("t");
+        assert_eq!(s.to_string(), "t.a, t.b");
+        let joined = s.concat(&Schema::named(["c"]));
+        assert_eq!(joined.arity(), 3);
+        assert_eq!(joined.resolve(&ColRef::parse("c")).unwrap(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Ordering and truncation: ORDER BY / LIMIT as library operations.
+//!
+//! Like aggregation, these are engine amenities rather than part of the
+//! uncertain-query translation surface (the paper's positive algebra has
+//! no order). The harness binaries use them to print stable outputs.
+
+use crate::error::Result;
+use crate::expr::{CompiledExpr, Expr};
+use crate::relation::Relation;
+
+/// Sort direction per key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending (`Value`'s total order).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// Sort a relation by the given key expressions. Stable, so equal keys
+/// preserve input order.
+pub fn sort_by(input: &Relation, keys: &[(Expr, Order)]) -> Result<Relation> {
+    let compiled: Vec<(CompiledExpr, Order)> = keys
+        .iter()
+        .map(|(e, o)| Ok((e.compile(input.schema())?, *o)))
+        .collect::<Result<_>>()?;
+    let mut rows = input.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for (e, o) in &compiled {
+            let (va, vb) = (e.eval(a), e.eval(b));
+            let ord = match o {
+                Order::Asc => va.cmp(&vb),
+                Order::Desc => vb.cmp(&va),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Relation::new(input.schema().clone(), rows)
+}
+
+/// Keep the first `n` rows.
+pub fn limit(input: &Relation, n: usize) -> Relation {
+    Relation::new(
+        input.schema().clone(),
+        input.rows().iter().take(n).cloned().collect(),
+    )
+    .expect("same schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::col;
+    use crate::value::Value;
+
+    fn rel() -> Relation {
+        Relation::from_rows(
+            ["a", "b"],
+            vec![
+                vec![Value::Int(2), Value::str("x")],
+                vec![Value::Int(1), Value::str("y")],
+                vec![Value::Int(2), Value::str("a")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let out = sort_by(
+            &rel(),
+            &[(col("a"), Order::Asc), (col("b"), Order::Desc)],
+        )
+        .unwrap();
+        let firsts: Vec<i64> = out.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(firsts, vec![1, 2, 2]);
+        assert_eq!(out.rows()[1][1], Value::str("x")); // desc within a = 2
+    }
+
+    #[test]
+    fn stability() {
+        let out = sort_by(&rel(), &[(col("a"), Order::Asc)]).unwrap();
+        // The two a=2 rows keep input order (x before a).
+        assert_eq!(out.rows()[1][1], Value::str("x"));
+        assert_eq!(out.rows()[2][1], Value::str("a"));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        assert_eq!(limit(&rel(), 2).len(), 2);
+        assert_eq!(limit(&rel(), 0).len(), 0);
+        assert_eq!(limit(&rel(), 99).len(), 3);
+    }
+
+    #[test]
+    fn sort_rejects_unknown_columns() {
+        assert!(sort_by(&rel(), &[(col("zzz"), Order::Asc)]).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # urel-tpch — the uncertainty-extended TPC-H generator
+//!
+//! Section 6's workload: the eight TPC-H tables, generated at laptop scale
+//! (micro-base row counts = 1/100 of TPC-H, times the scale factor `s`),
+//! with the paper's uncertainty extension:
+//!
+//! * `x` — uncertainty ratio: probability that a (non-key) field is
+//!   uncertain;
+//! * `z` — correlation ratio: Zipf parameter shaping how many variables
+//!   have dependent-field count (DFC) 1, 2, …, k;
+//! * `m` — maximum alternatives per field (paper: 8);
+//! * `p` — survival probability of value combinations after dependency
+//!   chasing (paper: 0.25): a variable with DFC `d` keeps
+//!   `⌈p^{d-1}·∏ mᵢ⌉` of the full combination product as its domain.
+//!
+//! The generator emits attribute-level U-relations (one vertical partition
+//! per column, descriptors of size ≤ 1 — the "initially normalized" shape
+//! the paper assumes), plus the Figure 9 statistics (`#worlds` as a
+//! power of ten, max local worlds, representation size). Tuple-level
+//! expansions and the direct ULDB mapping used by Figure 14 live in
+//! [`tuple_level`]; the queries of Figure 8 in [`queries`].
+
+pub mod dict;
+pub mod gen;
+pub mod queries;
+pub mod tuple_level;
+pub mod uncertain;
+
+pub use gen::{generate_certain, CertainTpch, ColumnKind, TableSpec};
+pub use queries::{q1, q2, q3};
+pub use uncertain::{generate, GenParams, GenStats, UncertainTpch};

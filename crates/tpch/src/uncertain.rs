@@ -1,0 +1,394 @@
+//! Uncertainty injection (Section 6, "Generation of uncertain data").
+//!
+//! Mirrors the paper's extension of dbgen:
+//!
+//! 1. every non-key field becomes uncertain with probability `x` and joins
+//!    the *field pool*;
+//! 2. the pool is shuffled and partitioned among fresh variables whose
+//!    dependent-field counts (DFC) follow a Zipf shape in `z`: the number
+//!    of DFC-`i` variables is proportional to `zⁱ` (the paper's
+//!    `⌈C·zⁱ⌉`; we normalize `C` so the classes consume exactly the pool,
+//!    see DESIGN.md for the disambiguation of the paper's formula);
+//! 3. each field of a variable gets `mᵢ ∈ [2, m]` alternative values
+//!    (the original dbgen value is always alternative 0); a DFC-`d`
+//!    variable keeps `max(2, ⌈p^{d-1}·∏ mᵢ⌉)` random combinations of the
+//!    full product as its domain — combination 0 is the all-original one,
+//!    so world 0 *is* the one-world dbgen database;
+//! 4. the result is emitted as attribute-level U-relations (one partition
+//!    per column, descriptor size ≤ 1: initially normalized).
+
+use crate::gen::{generate_certain, CertainTpch};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use urel_core::error::Result;
+use urel_core::{UDatabase, URelation, Var, WorldTable, WsDescriptor};
+use urel_relalg::Value;
+
+/// Generator parameters (paper names in comments).
+#[derive(Clone, Debug)]
+pub struct GenParams {
+    /// `s` — scale factor (micro-base × s rows per table).
+    pub scale: f64,
+    /// `x` — uncertainty ratio: probability a field is uncertain.
+    pub uncertainty: f64,
+    /// `z` — correlation ratio (Zipf over DFC classes).
+    pub correlation: f64,
+    /// `m` — maximum alternatives per field (paper: 8).
+    pub max_alternatives: usize,
+    /// `p` — combination survival probability (paper: 0.25).
+    pub survival_p: f64,
+    /// `k` — largest dependent-field count (paper experiments imply small
+    /// k; we use 4).
+    pub max_dfc: usize,
+    /// RNG seed; every artifact is deterministic in it.
+    pub seed: u64,
+}
+
+impl GenParams {
+    /// The paper's fixed settings (`m = 8`, `p = 0.25`) at the given
+    /// sweep point.
+    pub fn paper(scale: f64, uncertainty: f64, correlation: f64) -> Self {
+        GenParams {
+            scale,
+            uncertainty,
+            correlation,
+            max_alternatives: 8,
+            survival_p: 0.25,
+            max_dfc: 4,
+            seed: 0x5eed_1234,
+        }
+    }
+}
+
+/// The Figure 9 statistics of one generated database.
+#[derive(Clone, Debug)]
+pub struct GenStats {
+    /// Fields in the one-world database.
+    pub total_fields: usize,
+    /// Fields selected into the pool.
+    pub uncertain_fields: usize,
+    /// Variables created.
+    pub variables: usize,
+    /// `#worlds = 10^this` (Figure 9 prints `10^…`).
+    pub worlds_log10: f64,
+    /// Largest variable domain ("max. local worlds" column).
+    pub max_local_worlds: usize,
+    /// Representation size in bytes ("dbsize" column).
+    pub size_bytes: usize,
+    /// `(dfc, #variables)` histogram.
+    pub dfc_histogram: Vec<(usize, usize)>,
+}
+
+impl GenStats {
+    /// Size in megabytes, as Figure 9 reports it.
+    pub fn size_mb(&self) -> f64 {
+        self.size_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// A generated uncertain TPC-H database.
+pub struct UncertainTpch {
+    /// Attribute-level U-relational database (+ world table).
+    pub db: UDatabase,
+    /// Figure 9 statistics.
+    pub stats: GenStats,
+    /// The underlying one-world tables (world 0 of the result).
+    pub certain: CertainTpch,
+}
+
+/// A field selected into the uncertainty pool.
+#[derive(Clone, Copy, Debug)]
+struct FieldRef {
+    table: usize,
+    row: usize,
+    col: usize,
+}
+
+/// Generate an uncertain TPC-H database.
+pub fn generate(params: &GenParams) -> Result<UncertainTpch> {
+    let certain = generate_certain(params.scale, params.seed);
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x9e37_79b9_7f4a_7c15);
+
+    let table_names: Vec<String> = certain.tables.keys().cloned().collect();
+
+    // 1. Field pool.
+    let mut pool: Vec<FieldRef> = Vec::new();
+    for (ti, name) in table_names.iter().enumerate() {
+        let t = &certain.tables[name];
+        for (ci, (_, kind)) in t.columns.iter().enumerate() {
+            if !kind.may_be_uncertain() || kind.domain_size() < 2 {
+                continue;
+            }
+            for ri in 0..t.rows.len() {
+                if rng.gen_bool(params.uncertainty) {
+                    pool.push(FieldRef { table: ti, row: ri, col: ci });
+                }
+            }
+        }
+    }
+    let total_fields = certain.total_fields();
+    let uncertain_fields = pool.len();
+
+    // 2. Shuffle and carve into DFC groups with the Zipf shape.
+    pool.shuffle(&mut rng);
+    let groups = carve_groups(pool.len(), params.correlation, params.max_dfc);
+
+    // 3. Per variable: alternatives per field, then the surviving
+    // combination domain.
+    let mut world = WorldTable::new();
+    // field → (variable, value per domain index).
+    let mut assignment: BTreeMap<(usize, usize, usize), (Var, Vec<Value>)> = BTreeMap::new();
+    let mut dfc_histogram: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut cursor = 0usize;
+    for dfc in groups {
+        let fields = &pool[cursor..cursor + dfc];
+        cursor += dfc;
+        *dfc_histogram.entry(dfc).or_default() += 1;
+
+        // Alternatives per field; index 0 is the original dbgen value.
+        let mut alt_values: Vec<Vec<Value>> = Vec::with_capacity(dfc);
+        for f in fields {
+            let t = &certain.tables[&table_names[f.table]];
+            let kind = &t.columns[f.col].1;
+            let original = t.rows[f.row][f.col].clone();
+            let want = rng
+                .gen_range(2..=params.max_alternatives)
+                .min(kind.domain_size());
+            let mut alts = vec![original];
+            let mut tries = 0;
+            while alts.len() < want && tries < 20 * params.max_alternatives {
+                let v = kind.sample(&mut rng);
+                if !alts.contains(&v) {
+                    alts.push(v);
+                }
+                tries += 1;
+            }
+            alt_values.push(alts);
+        }
+
+        // Domain: combination 0 (all originals) plus a random sample of
+        // the rest, sized by the survival probability.
+        let full: usize = alt_values.iter().map(Vec::len).product();
+        let dom = if dfc == 1 {
+            full
+        } else {
+            let survive = (params.survival_p.powi(dfc as i32 - 1) * full as f64).ceil() as usize;
+            survive.clamp(2, full)
+        };
+        let mut combos: Vec<usize> = vec![0];
+        if dom > 1 {
+            let extra = rand::seq::index::sample(&mut rng, full - 1, dom - 1);
+            combos.extend(extra.iter().map(|i| i + 1));
+        }
+
+        let var = world.fresh_var(dom as u64)?;
+        // Decode each combination per field (mixed radix, field-major).
+        for (fi, f) in fields.iter().enumerate() {
+            let mut values = Vec::with_capacity(dom);
+            for &combo in &combos {
+                let mut rest = combo;
+                let mut idx = 0;
+                for (gi, alts) in alt_values.iter().enumerate() {
+                    let digit = rest % alts.len();
+                    rest /= alts.len();
+                    if gi == fi {
+                        idx = digit;
+                    }
+                }
+                values.push(alt_values[fi][idx].clone());
+            }
+            assignment.insert((f.table, f.row, f.col), (var, values));
+        }
+    }
+
+    // 4. Emit the attribute-level partitions.
+    let worlds_log10 = world.world_count_log10();
+    let max_local_worlds = world.max_domain_size();
+    let variables = world.var_count();
+    let mut db = UDatabase::new(world);
+    for (ti, name) in table_names.iter().enumerate() {
+        let t = &certain.tables[name];
+        let attrs: Vec<String> = t.columns.iter().map(|(n, _)| n.clone()).collect();
+        db.add_relation(name, attrs.clone())?;
+        for (ci, attr) in attrs.iter().enumerate() {
+            let mut u = URelation::partition(format!("u_{name}_{attr}"), [attr.clone()]);
+            for (ri, row) in t.rows.iter().enumerate() {
+                let tid = ri as i64 + 1;
+                match assignment.get(&(ti, ri, ci)) {
+                    None => {
+                        u.push_simple(WsDescriptor::empty(), tid, vec![row[ci].clone()])?;
+                    }
+                    Some((var, values)) => {
+                        for (l, v) in values.iter().enumerate() {
+                            u.push_simple(
+                                WsDescriptor::singleton(*var, l as u64),
+                                tid,
+                                vec![v.clone()],
+                            )?;
+                        }
+                    }
+                }
+            }
+            db.add_partition(name, u)?;
+        }
+    }
+
+    let stats = GenStats {
+        total_fields,
+        uncertain_fields,
+        variables,
+        worlds_log10,
+        max_local_worlds,
+        size_bytes: db.size_bytes(),
+        dfc_histogram: dfc_histogram.into_iter().collect(),
+    };
+    Ok(UncertainTpch { db, stats, certain })
+}
+
+/// Split `n` pool fields into DFC groups. The number of DFC-`i` variables
+/// follows `⌈C·zⁱ⌉` with `C` normalized so the classes consume the pool:
+/// `C = n / Σ_{i=1..k} i·zⁱ`. Larger classes are carved first; the
+/// remainder drains into DFC-1 variables.
+fn carve_groups(n: usize, z: f64, k: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.max(1);
+    let denom: f64 = (1..=k).map(|i| i as f64 * z.powi(i as i32)).sum();
+    let c = if denom > 0.0 { n as f64 / denom } else { n as f64 };
+    let mut groups = Vec::new();
+    let mut left = n;
+    for i in (2..=k).rev() {
+        let count = (c * z.powi(i as i32)).ceil() as usize;
+        for _ in 0..count {
+            if left < i {
+                break;
+            }
+            groups.push(i);
+            left -= i;
+        }
+    }
+    while left > 0 {
+        groups.push(1);
+        left -= 1;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(x: f64, z: f64) -> GenParams {
+        let mut p = GenParams::paper(0.002, x, z);
+        p.seed = 99;
+        p
+    }
+
+    #[test]
+    fn carve_consumes_exactly_the_pool() {
+        for n in [0usize, 1, 7, 100, 1234] {
+            for z in [0.1, 0.25, 0.5] {
+                let g = carve_groups(n, z, 4);
+                assert_eq!(g.iter().sum::<usize>(), n, "n={n} z={z}");
+                assert!(g.iter().all(|&d| (1..=4).contains(&d)));
+            }
+        }
+    }
+
+    #[test]
+    fn higher_z_means_more_correlation() {
+        let low = carve_groups(10_000, 0.1, 4);
+        let high = carve_groups(10_000, 0.5, 4);
+        let multi = |g: &[usize]| g.iter().filter(|&&d| d > 1).count();
+        assert!(multi(&high) > multi(&low));
+    }
+
+    #[test]
+    fn generated_database_is_valid() {
+        let out = generate(&tiny(0.05, 0.25)).unwrap();
+        out.db.validate().unwrap();
+        assert!(out.stats.uncertain_fields > 0);
+        assert!(out.stats.worlds_log10 > 0.0);
+        assert!(out.stats.max_local_worlds >= 2);
+    }
+
+    #[test]
+    fn world_zero_is_the_dbgen_database() {
+        // Instantiating the valuation that picks domain value 0 for every
+        // variable must reproduce the certain tables exactly.
+        let out = generate(&tiny(0.1, 0.5)).unwrap();
+        let f: urel_core::Valuation = out.db.world.vars().map(|v| (v, 0)).collect();
+        let inst = out.db.instantiate(&f).unwrap();
+        for (name, spec) in &out.certain.tables {
+            let want = spec.relation().sorted_set();
+            assert!(
+                inst[name].set_eq(&want),
+                "{name}: world 0 differs from dbgen output"
+            );
+        }
+    }
+
+    #[test]
+    fn per_world_sizes_match_dbgen() {
+        // The paper's sanity check: every world has the same relation
+        // sizes as the one-world database.
+        let out = generate(&tiny(0.08, 0.25)).unwrap();
+        // Sample a few arbitrary valuations.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let f: urel_core::Valuation = out
+                .db
+                .world
+                .vars()
+                .map(|v| {
+                    let dom = out.db.world.domain(v).unwrap();
+                    (v, dom[rng.gen_range(0..dom.len())])
+                })
+                .collect();
+            let inst = out.db.instantiate(&f).unwrap();
+            for (name, spec) in &out.certain.tables {
+                assert_eq!(inst[name].len(), spec.rows.len(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn x_zero_means_one_world() {
+        let out = generate(&tiny(0.0, 0.25)).unwrap();
+        assert_eq!(out.stats.uncertain_fields, 0);
+        assert_eq!(out.db.world.world_count_exact(), Some(1));
+        assert_eq!(out.stats.worlds_log10, 0.0);
+    }
+
+    #[test]
+    fn world_count_grows_with_x() {
+        let small = generate(&tiny(0.01, 0.25)).unwrap();
+        let large = generate(&tiny(0.1, 0.25)).unwrap();
+        assert!(large.stats.worlds_log10 > small.stats.worlds_log10);
+        // …while size grows roughly linearly, not exponentially.
+        let ratio = large.stats.size_bytes as f64 / small.stats.size_bytes as f64;
+        assert!(ratio < 10.0, "size ratio {ratio}");
+    }
+
+    #[test]
+    fn partitions_are_normalized_attribute_level() {
+        let out = generate(&tiny(0.05, 0.5)).unwrap();
+        for rel in out.db.relations().map(str::to_string).collect::<Vec<_>>() {
+            for p in out.db.partitions_of(&rel).unwrap() {
+                assert!(p.is_normalized());
+                assert_eq!(p.value_cols().len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&tiny(0.05, 0.25)).unwrap();
+        let b = generate(&tiny(0.05, 0.25)).unwrap();
+        assert_eq!(a.stats.worlds_log10, b.stats.worlds_log10);
+        assert_eq!(a.stats.size_bytes, b.stats.size_bytes);
+    }
+}

@@ -1,0 +1,323 @@
+//! Conversions witnessing Section 5's succinctness results.
+//!
+//! * [`uldb_to_udb`] — Lemma 5.5: ULDBs translate *linearly* into
+//!   U-relational databases (one variable per x-tuple, one tuple-level row
+//!   per alternative, lineage refs inlined into the ws-descriptor).
+//! * [`or_set_to_uldb`] — the hard direction of Theorem 5.6: an or-set
+//!   relation (attribute-level independence) forces a ULDB to enumerate
+//!   the full product of field alternatives, exponential in the arity.
+//! * [`tuple_level_from_udb`] — the "rather direct mapping" used in the
+//!   Figure 14 experiment: a tuple-level U-relational database becomes a
+//!   ULDB whose alternative lineage encodes the descriptors through
+//!   external symbols.
+
+use crate::model::{Alternative, Uldb};
+use std::collections::BTreeMap;
+use urel_core::error::{Error, Result};
+use urel_core::{UDatabase, URelation, Var, WorldTable, WsDescriptor};
+use urel_relalg::Value;
+
+/// Lemma 5.5: translate a (base) ULDB into a U-relational database.
+///
+/// For every x-tuple `t` a fresh variable `c_t` with one domain value per
+/// alternative (plus one for "absent" when `t` is optional); for every
+/// alternative `(t, j)` with lineage `λ(t, j)` a tuple-level row guarded
+/// by `{c_t ↦ j} ∪ {c_{t_i} ↦ j_i | (t_i, j_i) ∈ λ(t, j)}`. External
+/// symbols get their own variables. The output size is linear in the
+/// input: one row per alternative, descriptor size 1 + |λ|.
+pub fn uldb_to_udb(db: &Uldb, rel: &str) -> Result<UDatabase> {
+    let x = db.relation(rel)?;
+    let mut wt = WorldTable::new();
+    // Variable per x-tuple — except that an x-tuple whose every
+    // alternative carries lineage has no free choice of its own: its
+    // alternative is determined by the choices its lineage points at
+    // (vehicle `b` in Example 5.4). Giving it a variable anyway would
+    // manufacture worlds in which the tuple is absent because the
+    // variable disagrees with the lineage — worlds the ULDB does not
+    // have.
+    let mut var_of: BTreeMap<i64, Var> = BTreeMap::new();
+    for t in &x.xtuples {
+        let lineage_determined =
+            !t.optional && t.alts.iter().all(|a| !a.lineage.is_empty());
+        if !lineage_determined {
+            let extra = usize::from(t.optional);
+            var_of.insert(t.id, wt.fresh_var((t.alts.len() + extra) as u64)?);
+        }
+    }
+    // Variables for external symbols: domain = referenced values plus a
+    // sentinel for "some other choice".
+    let mut ext_vals: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+    for t in &x.xtuples {
+        for a in &t.alts {
+            for &(id, v) in &a.lineage {
+                if !var_of.contains_key(&id) {
+                    let e = ext_vals.entry(id).or_default();
+                    if !e.contains(&v) {
+                        e.push(v);
+                    }
+                }
+            }
+        }
+    }
+    let mut ext_var: BTreeMap<i64, (Var, Vec<u32>)> = BTreeMap::new();
+    for (id, mut vals) in ext_vals {
+        vals.sort_unstable();
+        let var = wt.fresh_var(vals.len() as u64 + 1)?; // + sentinel
+        ext_var.insert(id, (var, vals));
+    }
+
+    let mut out = UDatabase::new(wt);
+    out.add_relation(rel, x.attrs.iter().cloned())?;
+    let mut u = URelation::partition(format!("u_{rel}"), x.attrs.iter().cloned());
+    for t in &x.xtuples {
+        for (j, a) in t.alts.iter().enumerate() {
+            let mut pairs: Vec<(Var, u64)> = Vec::with_capacity(1 + a.lineage.len());
+            if let Some(&var) = var_of.get(&t.id) {
+                pairs.push((var, j as u64));
+            }
+            for &(id, v) in &a.lineage {
+                match var_of.get(&id) {
+                    Some(&var) => pairs.push((var, v as u64)),
+                    None => {
+                        let (var, vals) = &ext_var[&id];
+                        let idx = vals.binary_search(&v).expect("collected") as u64;
+                        pairs.push((*var, idx));
+                    }
+                }
+            }
+            let desc = WsDescriptor::from_pairs(pairs).map_err(|e| {
+                Error::InvalidDatabase(format!("contradictory lineage in ULDB: {e}"))
+            })?;
+            u.push_simple(desc, t.id, a.values.to_vec())?;
+        }
+    }
+    out.add_partition(rel, u)?;
+    Ok(out)
+}
+
+/// The hard direction of Theorem 5.6: encode an or-set relation as a ULDB.
+/// Every tuple whose fields have `m₁, …, mₖ` alternatives becomes an
+/// x-tuple with `∏ mᵢ` alternatives — exponential in the arity.
+/// `cap` guards against accidental blow-ups.
+pub fn or_set_to_uldb(
+    rel: &str,
+    attrs: &[&str],
+    rows: &[Vec<Vec<Value>>],
+    cap: usize,
+) -> Result<Uldb> {
+    let mut db = Uldb::new();
+    db.add_relation(rel, attrs.iter().copied())?;
+    for row in rows {
+        if row.len() != attrs.len() {
+            return Err(Error::InvalidQuery("or-set row arity mismatch".into()));
+        }
+        let combos: usize = row.iter().map(Vec::len).product();
+        if combos == 0 {
+            return Err(Error::InvalidQuery("empty or-set field".into()));
+        }
+        if combos > cap {
+            return Err(Error::TooLarge(format!(
+                "x-tuple needs {combos} alternatives (cap {cap})"
+            )));
+        }
+        let mut alts: Vec<Vec<Value>> = vec![Vec::new()];
+        for field in row {
+            let mut next = Vec::with_capacity(alts.len() * field.len());
+            for prefix in &alts {
+                for v in field {
+                    let mut p = prefix.clone();
+                    p.push(v.clone());
+                    next.push(p);
+                }
+            }
+            alts = next;
+        }
+        db.add_xtuple(rel, false, alts.into_iter().map(Alternative::new).collect())?;
+    }
+    Ok(db)
+}
+
+/// Number of ULDB alternatives an or-set tuple with the given field
+/// alternative counts requires (`∏ mᵢ` — the Theorem 5.6 lower bound).
+pub fn or_set_uldb_alternatives(field_counts: &[usize]) -> u128 {
+    field_counts.iter().map(|&m| m as u128).product()
+}
+
+/// The Figure 14 mapping: convert the tuple-level U-relation of a logical
+/// relation into a ULDB. Rows are grouped by tuple id into x-tuples; each
+/// row becomes an alternative whose lineage encodes its ws-descriptor
+/// through external symbols `(-(var), value-index)`, preserving all
+/// cross-tuple correlations.
+pub fn tuple_level_from_udb(
+    udb: &UDatabase,
+    rel: &str,
+    tuple_level: &URelation,
+) -> Result<Uldb> {
+    let mut db = Uldb::new();
+    add_tuple_level_relation(&mut db, &udb.world, rel, tuple_level)?;
+    Ok(db)
+}
+
+/// Add one tuple-level relation to an existing ULDB (multi-relation
+/// variant of [`tuple_level_from_udb`], used by the Figure 14 setup).
+pub fn add_tuple_level_relation(
+    db: &mut Uldb,
+    world: &WorldTable,
+    rel: &str,
+    tuple_level: &URelation,
+) -> Result<()> {
+    db.add_relation(rel, tuple_level.value_cols().iter().cloned())?;
+    let mut by_tid: BTreeMap<i64, Vec<&urel_core::URow>> = BTreeMap::new();
+    for row in tuple_level.rows() {
+        by_tid.entry(row.tids[0]).or_default().push(row);
+    }
+    for (_tid, rows) in by_tid {
+        let mut alts = Vec::with_capacity(rows.len());
+        for r in rows {
+            let mut lineage = Vec::with_capacity(r.desc.len());
+            for &(var, val) in r.desc.iter() {
+                let dom = world.domain(var)?;
+                let idx = dom
+                    .binary_search(&val)
+                    .map_err(|_| Error::UnknownWorld(format!("{var} ↦ {val}")))?;
+                lineage.push((-(var.0 as i64), idx as u32));
+            }
+            alts.push(Alternative::with_lineage(r.vals.to_vec(), lineage));
+        }
+        db.add_xtuple(rel, true, alts)?;
+    }
+    // Presence is fully determined by the descriptor-encoding lineage:
+    // mark the relation derived so the world semantics does not invent a
+    // free absent/present choice per x-tuple, and declare the true
+    // domains of the external symbols.
+    db.relation_mut(rel)?.derived = true;
+    for var in world.vars() {
+        db.external_domains
+            .insert(-(var.0 as i64), world.domain(var)?.len() as u32);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::example_5_4;
+
+    fn world_sigs(worlds: &[BTreeMap<String, urel_relalg::Relation>], rel: &str) -> Vec<String> {
+        let mut v: Vec<String> = worlds
+            .iter()
+            .map(|inst| format!("{}", inst[rel].sorted_set()))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn lemma_5_5_preserves_worlds() {
+        let (db, _) = example_5_4();
+        let udb = uldb_to_udb(&db, "r").unwrap();
+        udb.validate().unwrap();
+        let uldb_worlds = world_sigs(&db.worlds(128).unwrap(), "r");
+        let mut udb_worlds: Vec<String> = udb
+            .possible_worlds(128)
+            .unwrap()
+            .iter()
+            .map(|(_, inst)| format!("{}", inst["r"].sorted_set()))
+            .collect();
+        udb_worlds.sort();
+        udb_worlds.dedup();
+        assert_eq!(uldb_worlds, udb_worlds);
+    }
+
+    #[test]
+    fn lemma_5_5_is_linear() {
+        let (db, _) = example_5_4();
+        let x = db.relation("r").unwrap();
+        let udb = uldb_to_udb(&db, "r").unwrap();
+        // One row per alternative.
+        assert_eq!(udb.total_rows(), x.alt_count());
+    }
+
+    #[test]
+    fn theorem_5_6_exponential_or_sets() {
+        // k fields × m alternatives each.
+        let k = 4;
+        let m = 3;
+        let row: Vec<Vec<Value>> = (0..k)
+            .map(|a| (0..m).map(|i| Value::Int((a * 10 + i) as i64)).collect())
+            .collect();
+        let attrs: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let uldb = or_set_to_uldb("r", &attr_refs, &[row.clone()], 1 << 20).unwrap();
+        assert_eq!(
+            uldb.relation("r").unwrap().alt_count(),
+            (m as usize).pow(k as u32)
+        );
+        assert_eq!(
+            or_set_uldb_alternatives(&vec![m as usize; k]),
+            (m as u128).pow(k as u32)
+        );
+        // The U-relational encoding of the same or-set is linear (k·m).
+        let udb =
+            urel_core::construct::or_set_database("r", &attr_refs, &[row]).unwrap();
+        assert_eq!(udb.total_rows(), k * m as usize);
+        // And both represent the same world-set.
+        let a = world_sigs(&uldb.worlds(1 << 12).unwrap(), "r");
+        let mut b: Vec<String> = udb
+            .possible_worlds(1 << 12)
+            .unwrap()
+            .iter()
+            .map(|(_, inst)| format!("{}", inst["r"].sorted_set()))
+            .collect();
+        b.sort();
+        b.dedup();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cap_guard_trips() {
+        let row: Vec<Vec<Value>> = (0..8)
+            .map(|_| (0..8).map(Value::Int).collect())
+            .collect();
+        let attrs: Vec<String> = (0..8).map(|i| format!("c{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        assert!(or_set_to_uldb("r", &attr_refs, &[row], 1 << 10).is_err());
+    }
+
+    #[test]
+    fn tuple_level_mapping_preserves_worlds() {
+        // Build a small attribute-level database, expand to tuple level
+        // via evaluation of the identity query, then map to ULDB.
+        let udb = urel_core::figure1_database();
+        let full = urel_core::evaluate(&udb, &urel_core::table("r")).unwrap();
+        let uldb = tuple_level_from_udb(&udb, "r", &full).unwrap();
+        // The translated tuple-level relation may order its value columns
+        // differently; compare world instances in that column order.
+        let order: Vec<String> = full.value_cols().to_vec();
+        let reorder = |rel: &urel_relalg::Relation| {
+            let idx: Vec<usize> = order
+                .iter()
+                .map(|c| rel.schema().resolve_name(c).unwrap())
+                .collect();
+            let rows: Vec<Vec<Value>> = rel
+                .rows()
+                .iter()
+                .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            urel_relalg::Relation::from_rows(order.clone(), rows)
+                .unwrap()
+                .sorted_set()
+        };
+        let a = world_sigs(&uldb.worlds(4096).unwrap(), "r");
+        let mut b: Vec<String> = udb
+            .possible_worlds(64)
+            .unwrap()
+            .iter()
+            .map(|(_, inst)| format!("{}", reorder(&inst["r"])))
+            .collect();
+        b.sort();
+        b.dedup();
+        assert_eq!(a, b);
+    }
+}

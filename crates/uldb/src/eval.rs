@@ -1,0 +1,358 @@
+//! Query evaluation on ULDBs: σ/π/⋈ with lineage propagation.
+//!
+//! Joins combine alternatives pairwise and record lineage to both parents.
+//! Crucially — and this is the contrast the paper draws in Section 5 —
+//! the join does *not* check lineage consistency, so the answer may
+//! contain **erroneous tuples** (alternatives that occur in no world).
+//! Removing them requires [`Uldb::minimize`], a transitive-closure pass
+//! over lineage; U-relations never produce such tuples because the
+//! ψ-condition filters inconsistent combinations inside the join itself.
+
+use crate::model::{Alternative, Uldb, XRelation, XTuple};
+use urel_core::error::{Error, Result};
+use urel_relalg::exec::JoinCondition;
+use urel_relalg::{Expr, Schema};
+
+impl Uldb {
+    /// σ: filter alternatives by a predicate over the attributes.
+    /// X-tuples losing all alternatives disappear; those losing some
+    /// become optional (`?`).
+    pub fn select(&mut self, src: &str, out: &str, pred: &Expr) -> Result<()> {
+        let rel = self.relation(src)?.clone();
+        let schema = Schema::named(&rel.attrs);
+        let compiled = pred.compile(&schema)?;
+        let mut xtuples = Vec::new();
+        for t in &rel.xtuples {
+            // Surviving alternatives reference their origin alternative.
+            let alts: Vec<Alternative> = t
+                .alts
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| compiled.eval_bool(&a.values))
+                .map(|(i, a)| {
+                    Alternative::with_lineage(
+                        a.values.to_vec(),
+                        a.lineage
+                            .iter()
+                            .copied()
+                            .chain([(t.id, i as u32)])
+                            .collect(),
+                    )
+                })
+                .collect();
+            if alts.is_empty() {
+                continue;
+            }
+            let optional = t.optional || alts.len() < t.alts.len();
+            let id = self.fresh_id();
+            xtuples.push(XTuple { id, optional, alts });
+        }
+        self.insert_derived(XRelation {
+            name: out.to_string(),
+            attrs: rel.attrs.clone(),
+            derived: true,
+            xtuples,
+        });
+        Ok(())
+    }
+
+    /// π: project alternatives onto the listed attributes.
+    pub fn project(&mut self, src: &str, out: &str, attrs: &[&str]) -> Result<()> {
+        let rel = self.relation(src)?.clone();
+        let idx: Vec<usize> = attrs
+            .iter()
+            .map(|a| {
+                rel.attrs
+                    .iter()
+                    .position(|x| x == a)
+                    .ok_or_else(|| Error::InvalidQuery(format!("unknown attribute `{a}`")))
+            })
+            .collect::<Result<_>>()?;
+        let mut xtuples = Vec::new();
+        for t in &rel.xtuples {
+            let alts: Vec<Alternative> = t
+                .alts
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    Alternative::with_lineage(
+                        idx.iter().map(|&k| a.values[k].clone()).collect(),
+                        a.lineage
+                            .iter()
+                            .copied()
+                            .chain([(t.id, i as u32)])
+                            .collect(),
+                    )
+                })
+                .collect();
+            let id = self.fresh_id();
+            xtuples.push(XTuple { id, optional: t.optional, alts });
+        }
+        self.insert_derived(XRelation {
+            name: out.to_string(),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+            derived: true,
+            xtuples,
+        });
+        Ok(())
+    }
+
+    /// ⋈: join two x-relations. One result x-tuple per pair of input
+    /// x-tuples with at least one matching alternative combination; each
+    /// matching combination becomes an alternative whose lineage points to
+    /// both parents. Equi-conditions are executed hash-based.
+    pub fn join(&mut self, left: &str, right: &str, out: &str, pred: &Expr) -> Result<()> {
+        let l = self.relation(left)?.clone();
+        let r = self.relation(right)?.clone();
+        let ls = Schema::named(&l.attrs);
+        let rs = Schema::named(&r.attrs);
+        let joint = ls.concat(&rs);
+        let cond = JoinCondition::analyze(pred, &ls, &rs);
+        let residual = Expr::and(cond.residual.clone());
+        let compiled = if residual.is_true() {
+            None
+        } else {
+            Some(residual.compile(&joint)?)
+        };
+
+        // Flatten the right side's alternatives into a hash table on the
+        // equi-key (or a single bucket when the join is pure theta).
+        use std::collections::HashMap;
+        type Key = Vec<urel_relalg::Value>;
+        let mut table: HashMap<Key, Vec<(usize, u32)>> = HashMap::new();
+        for (ti, t) in r.xtuples.iter().enumerate() {
+            for (ai, a) in t.alts.iter().enumerate() {
+                let key: Key = cond.equi.iter().map(|&(_, rk)| a.values[rk].clone()).collect();
+                table.entry(key).or_default().push((ti, ai as u32));
+            }
+        }
+
+        let mut xtuples: Vec<XTuple> = Vec::new();
+        let mut open: HashMap<(usize, usize), Vec<Alternative>> = HashMap::new();
+        for (si, s) in l.xtuples.iter().enumerate() {
+            for (sai, sa) in s.alts.iter().enumerate() {
+                let key: Key =
+                    cond.equi.iter().map(|&(lk, _)| sa.values[lk].clone()).collect();
+                let Some(matches) = table.get(&key) else { continue };
+                for &(ti, tai) in matches {
+                    let ta = &r.xtuples[ti].alts[tai as usize];
+                    let ok = compiled
+                        .as_ref()
+                        .is_none_or(|c| c.eval_bool_pair(&sa.values, &ta.values));
+                    if !ok {
+                        continue;
+                    }
+                    let mut values = sa.values.to_vec();
+                    values.extend(ta.values.iter().cloned());
+                    // Lineage: both parent alternatives (transitively
+                    // closed later by minimize()). No consistency check —
+                    // erroneous combinations survive, as in Trio.
+                    let lineage = vec![(s.id, sai as u32), (r.xtuples[ti].id, tai)];
+                    open.entry((si, ti))
+                        .or_default()
+                        .push(Alternative::with_lineage(values, lineage));
+                }
+            }
+        }
+        let mut keys: Vec<(usize, usize)> = open.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            let alts = open.remove(&k).unwrap();
+            let id = self.fresh_id();
+            xtuples.push(XTuple { id, optional: true, alts });
+        }
+        let mut attrs = l.attrs.clone();
+        attrs.extend(r.attrs.iter().cloned());
+        self.insert_derived(XRelation {
+            name: out.to_string(),
+            attrs,
+            derived: true,
+            xtuples,
+        });
+        Ok(())
+    }
+
+    /// ∪: union of two x-relations with equal arity. X-tuples are simply
+    /// concatenated (tuple alternatives from different relations are
+    /// independent unless their lineage says otherwise).
+    pub fn union(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        let l = self.relation(left)?.clone();
+        let r = self.relation(right)?.clone();
+        if l.attrs.len() != r.attrs.len() {
+            return Err(Error::InvalidQuery("union arity mismatch".into()));
+        }
+        let mut xtuples = Vec::with_capacity(l.xtuples.len() + r.xtuples.len());
+        for t in l.xtuples.iter().chain(&r.xtuples) {
+            let id = self.fresh_id();
+            let alts = t
+                .alts
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    Alternative::with_lineage(
+                        a.values.to_vec(),
+                        a.lineage
+                            .iter()
+                            .copied()
+                            .chain([(t.id, i as u32)])
+                            .collect(),
+                    )
+                })
+                .collect();
+            xtuples.push(XTuple { id, optional: t.optional, alts });
+        }
+        self.insert_derived(XRelation {
+            name: out.to_string(),
+            attrs: l.attrs.clone(),
+            derived: true,
+            xtuples,
+        });
+        Ok(())
+    }
+
+    /// Data minimization: remove erroneous alternatives (unsatisfiable
+    /// transitive lineage). Returns the number removed. This is the
+    /// expensive transitive-closure operation the paper contrasts with
+    /// U-relations' in-join ψ filtering.
+    pub fn minimize(&mut self, rel: &str) -> Result<usize> {
+        let snapshot = self.clone();
+        let r = self.relation_mut(rel)?;
+        let mut removed = 0;
+        for t in &mut r.xtuples {
+            let before = t.alts.len();
+            t.alts
+                .retain(|a| snapshot.expand_lineage(&a.lineage).is_some());
+            removed += before - t.alts.len();
+        }
+        r.xtuples.retain(|t| !t.alts.is_empty());
+        Ok(removed)
+    }
+
+    /// Count erroneous alternatives without removing them.
+    pub fn erroneous_count(&self, rel: &str) -> Result<usize> {
+        let r = self.relation(rel)?;
+        Ok(r
+            .xtuples
+            .iter()
+            .flat_map(|t| &t.alts)
+            .filter(|a| self.expand_lineage(&a.lineage).is_none())
+            .count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::example_5_4;
+    use urel_relalg::{col, lit_str, Relation, Value};
+
+    #[test]
+    fn select_marks_optional_and_tracks_lineage() {
+        let (mut db, _) = example_5_4();
+        db.select("r", "tanks", &col("type").eq(lit_str("Tank"))).unwrap();
+        let tanks = db.relation("tanks").unwrap();
+        // a (1 alt), c (2 alts), d (2 of 4 alts, now optional).
+        assert_eq!(tanks.xtuples.len(), 3);
+        let worlds = db.worlds(128).unwrap();
+        for inst in &worlds {
+            // In every world the tanks are exactly the Tank-typed tuples
+            // of r.
+            let want: Vec<_> = inst["r"]
+                .rows()
+                .iter()
+                .filter(|row| row[1] == Value::str("Tank"))
+                .cloned()
+                .collect();
+            let want =
+                Relation::new(inst["r"].schema().clone(), want).unwrap();
+            assert!(inst["tanks"].set_eq(&want));
+        }
+    }
+
+    #[test]
+    fn join_produces_erroneous_tuples_and_minimize_removes_them() {
+        // Example 3.7's phenomenon, ULDB-style: self-join the enemy tanks.
+        let (mut db, _) = example_5_4();
+        let enemy_tank = urel_relalg::Expr::and([
+            col("type").eq(lit_str("Tank")),
+            col("faction").eq(lit_str("Enemy")),
+        ]);
+        db.select("r", "s", &enemy_tank).unwrap();
+        db.project("s", "sid", &["id"]).unwrap();
+        // Rename via a second derived copy for the self-join.
+        db.project("s", "sid2", &["id"]).unwrap();
+        let mut r2 = db.relation("sid2").unwrap().clone();
+        r2.attrs = vec!["id2".to_string()];
+        r2.name = "sid2r".to_string();
+        db.insert_derived(r2);
+        db.join("sid", "sid2r", "pairs", &col("id").ne(col("id2"))).unwrap();
+
+        // c contributes alternatives (3) and (2); the pair (3,2) combines
+        // c's alt 0 with c's alt 1 — erroneous (vehicle c cannot be at two
+        // positions at once).
+        let err = db.erroneous_count("pairs").unwrap();
+        assert!(err >= 2, "expected erroneous pairs, got {err}");
+        let removed = db.minimize("pairs").unwrap();
+        assert_eq!(removed, err);
+        assert_eq!(db.erroneous_count("pairs").unwrap(), 0);
+
+        // After minimization the possible pairs match the U-relational
+        // answer of Example 3.7: (3,4), (2,4), (4,3), (4,2).
+        let mut possible: Vec<(i64, i64)> = db
+            .relation("pairs")
+            .unwrap()
+            .xtuples
+            .iter()
+            .flat_map(|t| &t.alts)
+            .map(|a| (a.values[0].as_int().unwrap(), a.values[1].as_int().unwrap()))
+            .collect();
+        possible.sort_unstable();
+        possible.dedup();
+        assert_eq!(possible, vec![(2, 4), (3, 4), (4, 2), (4, 3)]);
+    }
+
+    #[test]
+    fn join_worlds_match_oracle() {
+        let (mut db, _) = example_5_4();
+        db.project("r", "ids", &["id"]).unwrap();
+        let mut r2 = db.relation("ids").unwrap().clone();
+        r2.attrs = vec!["id2".to_string()];
+        r2.name = "ids2".to_string();
+        db.insert_derived(r2);
+        db.join("ids", "ids2", "j", &col("id").eq(col("id2"))).unwrap();
+        for inst in db.worlds(128).unwrap() {
+            // id ⋈ id2 on equality is the identity pairing.
+            assert_eq!(inst["j"].sorted_set().len(), inst["ids"].sorted_set().len());
+        }
+    }
+
+    #[test]
+    fn union_keeps_worlds() {
+        let (mut db, _) = example_5_4();
+        db.select("r", "tanks", &col("type").eq(lit_str("Tank"))).unwrap();
+        db.select("r", "transports", &col("type").eq(lit_str("Transport")))
+            .unwrap();
+        db.union("tanks", "transports", "all").unwrap();
+        for inst in db.worlds(128).unwrap() {
+            assert!(inst["all"].set_eq(&inst["r"]));
+        }
+        // Arity mismatch rejected.
+        db.project("r", "ids", &["id"]).unwrap();
+        assert!(db.union("ids", "r", "bad").is_err());
+    }
+
+    #[test]
+    fn projection_keeps_worlds() {
+        let (mut db, _) = example_5_4();
+        db.project("r", "factions", &["faction"]).unwrap();
+        for inst in db.worlds(128).unwrap() {
+            let want: Vec<Vec<Value>> = inst["r"]
+                .rows()
+                .iter()
+                .map(|r| vec![r[2].clone()])
+                .collect();
+            let want = Relation::from_rows(["faction"], want).unwrap();
+            assert!(inst["factions"].set_eq(&want));
+        }
+    }
+}

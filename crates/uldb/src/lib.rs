@@ -1,0 +1,25 @@
+//! # urel-uldb — ULDBs (x-tuples with lineage)
+//!
+//! The tuple-level baseline of Section 5, modelled after Trio's ULDBs
+//! [Benjelloun et al., VLDB 2006]: relations are sets of *x-tuples*, each
+//! a list of mutually exclusive *alternatives*, optionally marked `?`
+//! (maybe). Dependencies between alternatives of different x-tuples are
+//! expressed through *lineage* — an alternative occurs in exactly the
+//! worlds where the alternatives its lineage points to occur.
+//!
+//! The crate implements:
+//!
+//! * the data model and its possible-worlds semantics ([`Uldb::worlds`]);
+//! * query evaluation (σ/π/⋈) with lineage propagation, including the
+//!   *erroneous tuples* phenomenon — answers may contain alternatives
+//!   whose lineage is unsatisfiable — and [`Uldb::minimize`], the
+//!   expensive transitive-closure cleanup the paper contrasts with
+//!   U-relations' ψ-filtered joins;
+//! * conversions: ULDB → U-relations (linear, Lemma 5.5) and or-set
+//!   relations → ULDB (exponential, Theorem 5.6).
+
+pub mod convert;
+pub mod eval;
+pub mod model;
+
+pub use model::{example_5_4, AltRef, Alternative, Uldb, XRelation, XTuple};

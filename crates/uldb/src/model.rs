@@ -1,0 +1,468 @@
+//! The ULDB data model and its possible-worlds semantics.
+
+use std::collections::BTreeMap;
+use urel_core::error::{Error, Result};
+use urel_relalg::{Relation, Schema, Value};
+
+/// A reference to an alternative: `(x-tuple id, alternative index)`.
+/// Negative ids denote *external symbols* (choices outside the database,
+/// e.g. the variable assignments of Lemma 5.5's encoding).
+pub type AltRef = (i64, u32);
+
+/// One alternative of an x-tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Alternative {
+    /// The tuple values.
+    pub values: Box<[Value]>,
+    /// Conjunctive lineage: this alternative occurs exactly in the worlds
+    /// where all referenced alternatives occur. Empty = independent.
+    pub lineage: Vec<AltRef>,
+}
+
+impl Alternative {
+    /// Lineage-free alternative.
+    pub fn new(values: Vec<Value>) -> Self {
+        Alternative { values: values.into_boxed_slice(), lineage: Vec::new() }
+    }
+
+    /// Alternative with lineage.
+    pub fn with_lineage(values: Vec<Value>, lineage: Vec<AltRef>) -> Self {
+        Alternative { values: values.into_boxed_slice(), lineage }
+    }
+}
+
+/// An x-tuple: alternatives plus the `?` (maybe) flag.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XTuple {
+    /// Database-wide unique identifier.
+    pub id: i64,
+    /// `?`-tuples may be absent from a world.
+    pub optional: bool,
+    /// The mutually exclusive alternatives.
+    pub alts: Vec<Alternative>,
+}
+
+/// An x-relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XRelation {
+    /// Relation name.
+    pub name: String,
+    /// Attribute names.
+    pub attrs: Vec<String>,
+    /// Whether this relation is derived by a query (its x-tuples then do
+    /// not participate in world choices; their presence is determined by
+    /// lineage).
+    pub derived: bool,
+    /// The x-tuples.
+    pub xtuples: Vec<XTuple>,
+}
+
+impl XRelation {
+    /// Total number of alternatives — the ULDB size yardstick of
+    /// Section 5 (Theorem 5.6 counts these).
+    pub fn alt_count(&self) -> usize {
+        self.xtuples.iter().map(|t| t.alts.len()).sum()
+    }
+
+    /// Approximate byte size: values plus 8 bytes per lineage reference.
+    pub fn size_bytes(&self) -> usize {
+        self.xtuples
+            .iter()
+            .flat_map(|t| &t.alts)
+            .map(|a| {
+                a.values.iter().map(Value::size_bytes).sum::<usize>()
+                    + a.lineage.len() * 8
+            })
+            .sum()
+    }
+}
+
+/// A ULDB database: x-relations with globally unique x-tuple ids.
+#[derive(Clone, Debug, Default)]
+pub struct Uldb {
+    relations: BTreeMap<String, XRelation>,
+    /// Declared domain sizes for external symbols (negative ids). For an
+    /// undeclared external, world enumeration uses the referenced values
+    /// plus one sentinel "other" value.
+    pub external_domains: BTreeMap<i64, u32>,
+    next_id: i64,
+}
+
+impl Uldb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Uldb::default()
+    }
+
+    /// Declare a base x-relation.
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.relations.contains_key(&name) {
+            return Err(Error::InvalidQuery(format!("relation `{name}` exists")));
+        }
+        self.relations.insert(
+            name.clone(),
+            XRelation {
+                name,
+                attrs: attrs.into_iter().map(Into::into).collect(),
+                derived: false,
+                xtuples: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Add an x-tuple; returns its fresh id.
+    pub fn add_xtuple(
+        &mut self,
+        rel: &str,
+        optional: bool,
+        alts: Vec<Alternative>,
+    ) -> Result<i64> {
+        if alts.is_empty() {
+            return Err(Error::InvalidQuery("x-tuple needs at least one alternative".into()));
+        }
+        let arity = self.relation(rel)?.attrs.len();
+        for a in &alts {
+            if a.values.len() != arity {
+                return Err(Error::InvalidQuery("alternative arity mismatch".into()));
+            }
+        }
+        self.next_id += 1;
+        let id = self.next_id;
+        self.relations
+            .get_mut(rel)
+            .unwrap()
+            .xtuples
+            .push(XTuple { id, optional, alts });
+        Ok(id)
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, name: &str) -> Result<&XRelation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| Error::InvalidQuery(format!("unknown x-relation `{name}`")))
+    }
+
+    pub(crate) fn relation_mut(&mut self, name: &str) -> Result<&mut XRelation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| Error::InvalidQuery(format!("unknown x-relation `{name}`")))
+    }
+
+    /// Register a derived x-relation under its name (used by the query
+    /// operators and by callers that rename/copy relations, e.g. for
+    /// self-joins).
+    pub fn insert_derived(&mut self, rel: XRelation) {
+        self.relations.insert(rel.name.clone(), rel);
+    }
+
+    pub(crate) fn fresh_id(&mut self) -> i64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Relation names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Find the alternative an `AltRef` points to, if it is internal.
+    pub fn resolve(&self, r: AltRef) -> Option<&Alternative> {
+        for rel in self.relations.values() {
+            for t in &rel.xtuples {
+                if t.id == r.0 {
+                    return t.alts.get(r.1 as usize);
+                }
+            }
+        }
+        None
+    }
+
+    /// Expand an alternative's lineage transitively down to base and
+    /// external constraints. `None` means the lineage is contradictory
+    /// (an *erroneous* alternative).
+    pub fn expand_lineage(&self, start: &[AltRef]) -> Option<BTreeMap<i64, u32>> {
+        let mut constraints: BTreeMap<i64, u32> = BTreeMap::new();
+        let mut stack: Vec<AltRef> = start.to_vec();
+        while let Some((tid, alt)) = stack.pop() {
+            match constraints.get(&tid) {
+                Some(&existing) if existing != alt => return None,
+                Some(_) => continue,
+                None => {
+                    constraints.insert(tid, alt);
+                }
+            }
+            if let Some(a) = self.resolve((tid, alt)) {
+                stack.extend(a.lineage.iter().copied());
+            }
+        }
+        Some(constraints)
+    }
+
+    /// Enumerate the possible worlds as relation instances. Choices range
+    /// over the x-tuples of *base* relations and over external symbols;
+    /// a choice is valid iff every chosen alternative's lineage holds.
+    /// Derived relations are populated by lineage satisfaction.
+    pub fn worlds(&self, limit: usize) -> Result<Vec<BTreeMap<String, Relation>>> {
+        // Choice axes: base x-tuples and the external symbols referenced
+        // anywhere.
+        let mut axes: Vec<(i64, Vec<Option<u32>>)> = Vec::new();
+        let mut internal: BTreeMap<i64, usize> = BTreeMap::new(); // id → #alts
+        for rel in self.relations.values() {
+            for t in &rel.xtuples {
+                internal.insert(t.id, t.alts.len());
+                if !rel.derived {
+                    let mut options: Vec<Option<u32>> =
+                        (0..t.alts.len() as u32).map(Some).collect();
+                    if t.optional {
+                        options.push(None);
+                    }
+                    axes.push((t.id, options));
+                }
+            }
+        }
+        let mut external_vals: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        for rel in self.relations.values() {
+            for t in &rel.xtuples {
+                for a in &t.alts {
+                    for &(id, v) in &a.lineage {
+                        if !internal.contains_key(&id) {
+                            let e = external_vals.entry(id).or_default();
+                            if !e.contains(&v) {
+                                e.push(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (id, mut vals) in external_vals {
+            match self.external_domains.get(&id) {
+                Some(&n) => {
+                    // Declared domain: enumerate it exactly.
+                    axes.push((id, (0..n).map(Some).collect()));
+                }
+                None => {
+                    vals.sort_unstable();
+                    // A sentinel covers "none of the referenced choices".
+                    vals.push(u32::MAX);
+                    axes.push((id, vals.into_iter().map(Some).collect()));
+                }
+            }
+        }
+
+        // Cartesian product of the axes, bounded.
+        let mut total: u128 = 1;
+        for (_, opts) in &axes {
+            total = total.saturating_mul(opts.len() as u128);
+        }
+        if total > limit as u128 {
+            return Err(Error::TooLarge(format!("{total} choice combinations")));
+        }
+        let mut choices: Vec<BTreeMap<i64, Option<u32>>> = vec![BTreeMap::new()];
+        for (id, opts) in &axes {
+            let mut next = Vec::with_capacity(choices.len() * opts.len());
+            for c in &choices {
+                for o in opts {
+                    let mut c2 = c.clone();
+                    c2.insert(*id, *o);
+                    next.push(c2);
+                }
+            }
+            choices = next;
+        }
+
+        // Constraints on choice axes (base x-tuples, externals) must match
+        // the choice; constraints on derived ids are satisfied through
+        // their own expanded lineage, which expand_lineage already folded
+        // in.
+        let satisfied = |lin: &[AltRef], choice: &BTreeMap<i64, Option<u32>>| {
+            self.expand_lineage(lin).is_some_and(|constraints| {
+                constraints.iter().all(|(id, v)| match choice.get(id) {
+                    Some(chosen) => *chosen == Some(*v),
+                    None => true,
+                })
+            })
+        };
+
+        let mut out = Vec::new();
+        'choice: for choice in &choices {
+            // Validity: chosen base alternatives must have satisfied
+            // lineage.
+            for rel in self.relations.values().filter(|r| !r.derived) {
+                for t in &rel.xtuples {
+                    if let Some(Some(alt)) = choice.get(&t.id) {
+                        let a = &t.alts[*alt as usize];
+                        if !satisfied(&a.lineage, choice) {
+                            continue 'choice;
+                        }
+                    }
+                }
+            }
+            let mut inst = BTreeMap::new();
+            for rel in self.relations.values() {
+                let mut r = Relation::empty(Schema::named(&rel.attrs));
+                for t in &rel.xtuples {
+                    if rel.derived {
+                        for a in &t.alts {
+                            let full: Vec<AltRef> = a.lineage.clone();
+                            if satisfied(&full, choice) {
+                                r.push(a.values.to_vec()).expect("arity fixed");
+                            }
+                        }
+                    } else if let Some(Some(alt)) = choice.get(&t.id) {
+                        r.push(t.alts[*alt as usize].values.to_vec())
+                            .expect("arity fixed");
+                    }
+                }
+                r.dedup_in_place();
+                inst.insert(rel.name.clone(), r);
+            }
+            out.push(inst);
+        }
+        Ok(out)
+    }
+}
+
+/// Build Example 5.4's ULDB: the vehicles relation of Figure 1 as
+/// x-tuples with lineage `λ(b,1) = {(c,1)}, λ(b,2) = {(c,2)}`.
+/// Returns the database and the x-tuple ids of (a, b, c, d).
+pub fn example_5_4() -> (Uldb, [i64; 4]) {
+    let mut db = Uldb::new();
+    db.add_relation("r", ["id", "type", "faction"]).unwrap();
+    let row = |id: i64, ty: &str, fa: &str| {
+        vec![Value::Int(id), Value::str(ty), Value::str(fa)]
+    };
+    let a = db
+        .add_xtuple("r", false, vec![Alternative::new(row(1, "Tank", "Friend"))])
+        .unwrap();
+    // c first so b's lineage can reference it.
+    let c = db
+        .add_xtuple(
+            "r",
+            false,
+            vec![
+                Alternative::new(row(3, "Tank", "Enemy")),
+                Alternative::new(row(2, "Tank", "Enemy")),
+            ],
+        )
+        .unwrap();
+    let b = db
+        .add_xtuple(
+            "r",
+            false,
+            vec![
+                Alternative::with_lineage(row(2, "Transport", "Friend"), vec![(c, 0)]),
+                Alternative::with_lineage(row(3, "Transport", "Friend"), vec![(c, 1)]),
+            ],
+        )
+        .unwrap();
+    let d = db
+        .add_xtuple(
+            "r",
+            false,
+            vec![
+                Alternative::new(row(4, "Tank", "Friend")),
+                Alternative::new(row(4, "Tank", "Enemy")),
+                Alternative::new(row(4, "Transport", "Friend")),
+                Alternative::new(row(4, "Transport", "Enemy")),
+            ],
+        )
+        .unwrap();
+    (db, [a, b, c, d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_5_4_has_eight_worlds() {
+        let (db, _) = example_5_4();
+        let worlds = db.worlds(64).unwrap();
+        // 1 × (2×2 filtered to 2 by lineage) × 4 = 8 worlds.
+        assert_eq!(worlds.len(), 8);
+        for inst in &worlds {
+            assert_eq!(inst["r"].len(), 4);
+        }
+    }
+
+    #[test]
+    fn example_5_4_matches_figure1_udb() {
+        let (db, _) = example_5_4();
+        let udb = urel_core::figure1_database();
+        let mut a: Vec<String> = db
+            .worlds(64)
+            .unwrap()
+            .iter()
+            .map(|inst| format!("{}", inst["r"].sorted_set()))
+            .collect();
+        let mut b: Vec<String> = udb
+            .possible_worlds(64)
+            .unwrap()
+            .iter()
+            .map(|(_, inst)| format!("{}", inst["r"].sorted_set()))
+            .collect();
+        a.sort();
+        a.dedup();
+        b.sort();
+        b.dedup();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn optional_tuples_can_vanish() {
+        let mut db = Uldb::new();
+        db.add_relation("r", ["a"]).unwrap();
+        db.add_xtuple("r", true, vec![Alternative::new(vec![Value::Int(1)])])
+            .unwrap();
+        let worlds = db.worlds(8).unwrap();
+        assert_eq!(worlds.len(), 2);
+        let sizes: Vec<usize> = worlds.iter().map(|i| i["r"].len()).collect();
+        assert!(sizes.contains(&0) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn lineage_contradiction_detected() {
+        let mut db = Uldb::new();
+        db.add_relation("r", ["a"]).unwrap();
+        let t = db
+            .add_xtuple(
+                "r",
+                false,
+                vec![
+                    Alternative::new(vec![Value::Int(1)]),
+                    Alternative::new(vec![Value::Int(2)]),
+                ],
+            )
+            .unwrap();
+        assert!(db.expand_lineage(&[(t, 0), (t, 1)]).is_none());
+        assert!(db.expand_lineage(&[(t, 0), (t, 0)]).is_some());
+    }
+
+    #[test]
+    fn arity_and_existence_checks() {
+        let mut db = Uldb::new();
+        db.add_relation("r", ["a"]).unwrap();
+        assert!(db.add_relation("r", ["b"]).is_err());
+        assert!(db.add_xtuple("r", false, vec![]).is_err());
+        assert!(db
+            .add_xtuple("r", false, vec![Alternative::new(vec![Value::Int(1), Value::Int(2)])])
+            .is_err());
+        assert!(db.relation("zzz").is_err());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let (db, _) = example_5_4();
+        let r = db.relation("r").unwrap();
+        assert_eq!(r.alt_count(), 1 + 2 + 2 + 4);
+        assert!(r.size_bytes() > 0);
+    }
+}

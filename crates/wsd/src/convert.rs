@@ -1,0 +1,225 @@
+//! Conversions between normalized U-relational databases and WSDs
+//! (Figure 5): each variable becomes a component, each domain value a
+//! local world; certain fields (empty descriptors) form a one-local-world
+//! component.
+
+use crate::wsdb::{Component, FieldId, Wsd};
+use std::collections::BTreeMap;
+use urel_core::error::{Error, Result};
+use urel_core::{UDatabase, URelation, Var, WorldTable, WsDescriptor};
+use urel_relalg::Value;
+
+/// Convert a *normalized* U-relational database into the equivalent WSD.
+pub fn udb_to_wsd(db: &UDatabase) -> Result<Wsd> {
+    // Collect, per variable, the fields it decides and their values per
+    // domain value; `None` collects the certain fields.
+    type FieldVals = BTreeMap<FieldId, BTreeMap<u64, Value>>;
+    let mut by_var: BTreeMap<Option<Var>, FieldVals> = BTreeMap::new();
+    let mut schema: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for rel in db.relations() {
+        schema.insert(rel.to_string(), db.attrs(rel)?.to_vec());
+        for p in db.partitions_of(rel)? {
+            for row in p.rows() {
+                if row.desc.len() > 1 {
+                    return Err(Error::InvalidQuery(
+                        "WSD conversion requires a normalized database".into(),
+                    ));
+                }
+                let key = row.desc.iter().next().map(|&(v, _)| v);
+                let val_key = row.desc.iter().next().map(|&(_, l)| l).unwrap_or(0);
+                for (attr, v) in p.value_cols().iter().zip(row.vals.iter()) {
+                    by_var
+                        .entry(key)
+                        .or_default()
+                        .entry(FieldId::new(rel, row.tids[0], attr))
+                        .or_default()
+                        .insert(val_key, v.clone());
+                }
+            }
+        }
+    }
+
+    let mut wsd = Wsd::new(schema);
+    for (var, fields) in by_var {
+        match var {
+            None => {
+                // Certain fields: a single-local-world component.
+                let (ids, vals): (Vec<FieldId>, Vec<Option<Value>>) = fields
+                    .into_iter()
+                    .map(|(f, mut m)| (f, m.remove(&0)))
+                    .unzip();
+                wsd.add_component(Component::new(ids, vec![vals])?)?;
+            }
+            Some(v) => {
+                let dom = db.world.domain(v)?.to_vec();
+                let ids: Vec<FieldId> = fields.keys().cloned().collect();
+                let mut locals = Vec::with_capacity(dom.len());
+                for l in dom {
+                    locals.push(
+                        ids.iter()
+                            .map(|f| fields[f].get(&l).cloned())
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                wsd.add_component(Component::new(ids, locals)?)?;
+            }
+        }
+    }
+    Ok(wsd)
+}
+
+/// Convert a WSD back into a (normalized, tuple-level per attribute)
+/// U-relational database: one fresh variable per multi-local-world
+/// component.
+pub fn wsd_to_udb(wsd: &Wsd) -> Result<UDatabase> {
+    let mut wt = WorldTable::new();
+    let mut comp_vars: Vec<Option<Var>> = Vec::with_capacity(wsd.components.len());
+    for c in &wsd.components {
+        if c.local_worlds.len() == 1 {
+            comp_vars.push(None);
+        } else {
+            comp_vars.push(Some(wt.fresh_var(c.local_worlds.len() as u64)?));
+        }
+    }
+    let mut db = UDatabase::new(wt);
+    // One partition per (relation, attribute).
+    let mut partitions: BTreeMap<(String, String), URelation> = BTreeMap::new();
+    for (rel, attrs) in &wsd.schema {
+        db.add_relation(rel, attrs.iter().cloned())?;
+        for a in attrs {
+            partitions.insert(
+                (rel.clone(), a.clone()),
+                URelation::partition(format!("u_{rel}_{a}"), [a.clone()]),
+            );
+        }
+    }
+    for (c, var) in wsd.components.iter().zip(&comp_vars) {
+        for (l, world) in c.local_worlds.iter().enumerate() {
+            let desc = match var {
+                None => WsDescriptor::empty(),
+                Some(v) => WsDescriptor::singleton(*v, l as u64),
+            };
+            for (f, v) in c.fields.iter().zip(world) {
+                if let Some(v) = v {
+                    partitions
+                        .get_mut(&(f.rel.clone(), f.attr.clone()))
+                        .ok_or_else(|| Error::InvalidDatabase(format!("unknown field {f}")))?
+                        .push_simple(desc.clone(), f.tid, vec![v.clone()])?;
+                }
+            }
+        }
+    }
+    for ((rel, _), p) in partitions {
+        if !p.is_empty() {
+            db.add_partition(&rel, p)?;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urel_core::figure1_database;
+    use urel_core::normalize::normalize;
+
+    fn canon(worlds: Vec<BTreeMap<String, urel_relalg::Relation>>) -> Vec<String> {
+        let mut v: Vec<String> = worlds
+            .iter()
+            .map(|inst| {
+                inst.iter()
+                    .map(|(r, rel)| format!("{r}:{}", rel.sorted_set()))
+                    .collect::<Vec<_>>()
+                    .join(";")
+            })
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn figure1_roundtrips_through_wsd() {
+        let db = figure1_database();
+        let wsd = udb_to_wsd(&db).unwrap();
+        assert_eq!(wsd.world_count(), Some(8));
+
+        let udb_worlds = canon(
+            db.possible_worlds(16)
+                .unwrap()
+                .into_iter()
+                .map(|(_, inst)| inst)
+                .collect(),
+        );
+        let wsd_worlds = canon(wsd.worlds(16).unwrap());
+        assert_eq!(udb_worlds, wsd_worlds);
+
+        // And back again.
+        let back = wsd_to_udb(&wsd).unwrap();
+        let back_worlds = canon(
+            back.possible_worlds(16)
+                .unwrap()
+                .into_iter()
+                .map(|(_, inst)| inst)
+                .collect(),
+        );
+        assert_eq!(udb_worlds, back_worlds);
+    }
+
+    #[test]
+    fn conversion_requires_normalized_input() {
+        use urel_core::{URelation, WsDescriptor};
+        let mut wt = WorldTable::new();
+        wt.add_var(Var(1), vec![0, 1]).unwrap();
+        wt.add_var(Var(2), vec![0, 1]).unwrap();
+        let mut db = UDatabase::new(wt);
+        db.add_relation("r", ["a"]).unwrap();
+        let mut u = URelation::partition("u", ["a"]);
+        u.push_simple(
+            WsDescriptor::from_pairs([(Var(1), 0), (Var(2), 0)]).unwrap(),
+            1,
+            vec![Value::Int(1)],
+        )
+        .unwrap();
+        db.add_partition("r", u).unwrap();
+        assert!(udb_to_wsd(&db).is_err());
+        // But normalizing first makes it convertible.
+        let norm = normalize(&db).unwrap();
+        assert!(udb_to_wsd(&norm).is_ok());
+    }
+
+    #[test]
+    fn figure5c_shape() {
+        // Normalizing the Figure 5(a) database and converting produces the
+        // WSD of Figure 5(c): one component with 4 local worlds (c12),
+        // one with 2 (c3).
+        use urel_core::{URelation, WsDescriptor};
+        let mut wt = WorldTable::new();
+        wt.add_var(Var(1), vec![1, 2]).unwrap();
+        wt.add_var(Var(2), vec![1, 2]).unwrap();
+        wt.add_var(Var(3), vec![1, 2]).unwrap();
+        let d = |pairs: &[(u32, u64)]| {
+            WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
+        };
+        let mut u = URelation::partition("u", ["a"]);
+        u.push_simple(d(&[(1, 1)]), 1, vec![Value::str("a1")]).unwrap();
+        u.push_simple(d(&[(1, 1), (2, 2)]), 2, vec![Value::str("a2")]).unwrap();
+        u.push_simple(d(&[(1, 2)]), 2, vec![Value::str("a3")]).unwrap();
+        u.push_simple(d(&[(3, 1)]), 3, vec![Value::str("a4")]).unwrap();
+        u.push_simple(d(&[(3, 2)]), 3, vec![Value::str("a5")]).unwrap();
+        let mut db = UDatabase::new(wt);
+        db.add_relation("r", ["a"]).unwrap();
+        db.add_partition("r", u).unwrap();
+
+        let norm = normalize(&db).unwrap();
+        let wsd = udb_to_wsd(&norm).unwrap();
+        let mut sizes: Vec<usize> = wsd
+            .components
+            .iter()
+            .map(|c| c.local_worlds.len())
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 4]);
+        assert_eq!(wsd.world_count(), Some(8));
+    }
+}

@@ -1,0 +1,19 @@
+//! # urel-wsd — world-set decompositions
+//!
+//! The attribute-level baseline of Section 5: a WSD represents a world-set
+//! as a *product of components*, each component being a table whose rows
+//! are its local worlds and whose columns are tuple fields (`⊥` marks a
+//! field undefined in that local world). WSDs are essentially normalized
+//! U-relational databases — each component corresponds to one variable,
+//! each local world to one domain value (Figure 5c).
+//!
+//! This crate provides the data structure, product semantics, conversions
+//! to and from (normalized) U-relational databases, size accounting, and
+//! the ring-correlation world-sets of Examples 5.1/5.3 used to exhibit the
+//! exponential separation of Theorem 5.2 (Figures 6 and 7).
+
+pub mod convert;
+pub mod ring;
+pub mod wsdb;
+
+pub use wsdb::{Component, FieldId, Wsd};

@@ -1,0 +1,219 @@
+//! The ring-correlation world-sets of Examples 5.1 and 5.3
+//! (Figures 6 and 7) — the witnesses for Theorem 5.2's exponential
+//! separation between U-relations and WSDs.
+//!
+//! The scenario: `R[A, B]` with `n` tuples where field `tᵢ.A` and field
+//! `t_{(i mod n)+1}.B` are perfectly correlated (both are decided by one
+//! bit `cᵢ`). Both formalisms encode the *input* linearly (Figure 6), but
+//! the answer to `σ_{A=B}(R)` requires descriptors combining two
+//! variables: U-relations store `2n` rows (Figure 7b), while the
+//! corresponding WSD must fuse all `n` variables into a single component
+//! with `2ⁿ` local worlds (Figure 7a).
+
+use crate::wsdb::{Component, FieldId, Wsd};
+use std::collections::BTreeMap;
+use urel_core::error::Result;
+use urel_core::{UDatabase, URelation, Var, WorldTable, WsDescriptor};
+use urel_relalg::Value;
+
+fn bit(v: u64) -> Value {
+    Value::Int(if v == 0 { 1 } else { 0 })
+}
+
+/// The U-relational encoding of Figure 6(b): two partitions `U1[A]`,
+/// `U2[B]` of `2n` rows each, one variable per correlated pair.
+/// Variable `cᵢ = Var(i)` decides `tᵢ.A` and `t_{(i mod n)+1}.B`;
+/// domain value 0 plays `w1` (both fields 1), value 1 plays `w2` (both 0).
+pub fn ring_udb(n: usize) -> Result<UDatabase> {
+    assert!(n >= 1);
+    let mut wt = WorldTable::new();
+    for i in 1..=n {
+        wt.add_var(Var(i as u32), vec![0, 1])?;
+    }
+    let mut db = UDatabase::new(wt);
+    db.add_relation("r", ["a", "b"])?;
+    let mut u1 = URelation::partition("u1", ["a"]);
+    let mut u2 = URelation::partition("u2", ["b"]);
+    for i in 1..=n {
+        let c = Var(i as u32);
+        let succ = (i % n + 1) as i64;
+        for w in [0u64, 1] {
+            u1.push_simple(WsDescriptor::singleton(c, w), i as i64, vec![bit(w)])?;
+            u2.push_simple(WsDescriptor::singleton(c, w), succ, vec![bit(w)])?;
+        }
+    }
+    db.add_partition("r", u1)?;
+    db.add_partition("r", u2)?;
+    Ok(db)
+}
+
+/// The WSD encoding of Figure 6(a): one component per `cᵢ` with fields
+/// `{tᵢ.A, t_{(i mod n)+1}.B}` and two local worlds `(1,1)` / `(0,0)`.
+pub fn ring_wsd(n: usize) -> Result<Wsd> {
+    assert!(n >= 1);
+    let schema = BTreeMap::from([(
+        "r".to_string(),
+        vec!["a".to_string(), "b".to_string()],
+    )]);
+    let mut wsd = Wsd::new(schema);
+    for i in 1..=n {
+        let succ = (i % n + 1) as i64;
+        wsd.add_component(Component::new(
+            vec![FieldId::new("r", i as i64, "a"), FieldId::new("r", succ, "b")],
+            vec![
+                vec![Some(Value::Int(1)), Some(Value::Int(1))],
+                vec![Some(Value::Int(0)), Some(Value::Int(0))],
+            ],
+        )?)?;
+    }
+    Ok(wsd)
+}
+
+/// The U-relational *answer* to `σ_{A=B}(R)` (Figure 7b): `2n` rows with
+/// two-assignment descriptors — tuple `tᵢ` satisfies `A = B` exactly when
+/// `cᵢ` and `c_{i-1}` (its B-controller) agree.
+pub fn ring_answer_urel(n: usize) -> URelation {
+    assert!(n >= 1);
+    let mut u = URelation::partition("u3", ["a", "b"]);
+    for i in 1..=n {
+        let ci = Var(i as u32);
+        let prev = Var(if i == 1 { n as u32 } else { i as u32 - 1 });
+        for w in [0u64, 1] {
+            let desc = WsDescriptor::from_pairs([(ci, w), (prev, w)])
+                .expect("distinct variables unless n = 1");
+            u.push_simple(desc, i as i64, vec![bit(w), bit(w)])
+                .expect("fixed arity");
+        }
+    }
+    u
+}
+
+/// The WSD answer to `σ_{A=B}(R)` (Figure 7a): every variable is fused
+/// into one component of `2ⁿ` local worlds. Only feasible for small `n` —
+/// use [`ring_answer_wsd_cells`] for the closed-form size beyond that.
+pub fn ring_answer_wsd(n: usize) -> Result<Wsd> {
+    assert!((1..=20).contains(&n), "2^n local worlds; keep n small");
+    let schema = BTreeMap::from([(
+        "r".to_string(),
+        vec!["a".to_string(), "b".to_string()],
+    )]);
+    // Fields t1.A, t1.B, …, tn.A, tn.B.
+    let mut fields = Vec::with_capacity(2 * n);
+    for i in 1..=n {
+        fields.push(FieldId::new("r", i as i64, "a"));
+        fields.push(FieldId::new("r", i as i64, "b"));
+    }
+    let mut locals = Vec::with_capacity(1usize << n);
+    for mask in 0u64..(1u64 << n) {
+        // Bit i-1 of mask = value of cᵢ.
+        let mut world = Vec::with_capacity(2 * n);
+        for i in 1..=n {
+            let ci = (mask >> (i - 1)) & 1;
+            let cprev = (mask >> (if i == 1 { n - 1 } else { i - 2 })) & 1;
+            // Tuple i survives σ_{A=B} iff its controllers agree.
+            if ci == cprev {
+                world.push(Some(bit(ci)));
+                world.push(Some(bit(ci)));
+            } else {
+                world.push(None);
+                world.push(None);
+            }
+        }
+        locals.push(world);
+    }
+    let mut wsd = Wsd::new(schema);
+    wsd.add_component(Component::new(fields, locals)?)?;
+    Ok(wsd)
+}
+
+/// Closed-form cell count of the Figure 7(a) WSD: `2ⁿ · 2n`.
+pub fn ring_answer_wsd_cells(n: usize) -> u128 {
+    (1u128 << n) * (2 * n as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urel_core::{possible, table};
+    use urel_relalg::col;
+
+    #[test]
+    fn input_encodings_agree_small_n() {
+        for n in 2..=4 {
+            let db = ring_udb(n).unwrap();
+            let wsd = ring_wsd(n).unwrap();
+            assert_eq!(
+                db.world.world_count_exact(),
+                wsd.world_count(),
+                "n = {n}"
+            );
+            let mut a: Vec<String> = db
+                .possible_worlds(64)
+                .unwrap()
+                .iter()
+                .map(|(_, inst)| format!("{}", inst["r"].sorted_set()))
+                .collect();
+            let mut b: Vec<String> = wsd
+                .worlds(64)
+                .unwrap()
+                .iter()
+                .map(|inst| format!("{}", inst["r"].sorted_set()))
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn answer_encodings_agree_small_n() {
+        for n in 2..=4 {
+            let udb = ring_udb(n).unwrap();
+            let answer = ring_answer_urel(n);
+            let wsd = ring_answer_wsd(n).unwrap();
+            // Compare per matching world: both derived from the same mask
+            // convention (variable i ↦ bit i-1).
+            let wsd_worlds = wsd.worlds(1 << n).unwrap();
+            for (f, _) in udb.possible_worlds(1 << n).unwrap() {
+                let mask: u64 = (1..=n)
+                    .map(|i| f[&Var(i as u32)] << (i - 1))
+                    .sum();
+                let from_u = answer.tuples_in_world(&udb.world, &f);
+                let from_wsd = &wsd_worlds[mask as usize]["r"];
+                assert!(
+                    from_u.set_eq(from_wsd),
+                    "n = {n}, world {mask:b}: {from_u} vs {from_wsd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn answer_matches_actual_selection() {
+        // The hand-built Figure 7(b) U-relation equals the translated
+        // σ_{A=B}(R) over the Figure 6(b) database.
+        for n in 2..=4 {
+            let db = ring_udb(n).unwrap();
+            let q = table("r").select(col("a").eq(col("b")));
+            let got = possible(&db, &q).unwrap();
+            let want = ring_answer_urel(n).possible_tuples();
+            assert!(got.set_eq(&want), "n = {n}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn theorem_5_2_exponential_separation() {
+        // U-relation answer: 2n rows. WSD answer: 2^n local worlds.
+        for n in [4usize, 8, 12] {
+            let u = ring_answer_urel(n);
+            assert_eq!(u.len(), 2 * n);
+            assert_eq!(ring_answer_wsd_cells(n), (1u128 << n) * 2 * n as u128);
+        }
+        let wsd = ring_answer_wsd(8).unwrap();
+        assert_eq!(wsd.total_cells() as u128, ring_answer_wsd_cells(8));
+        // The separation: already at n = 12, the WSD is ≥ 100× larger.
+        let n = 12;
+        let urel_cells = (2 * n) * 4; // 2n rows × (2 desc pairs…)
+        assert!(ring_answer_wsd_cells(n) > 100 * urel_cells as u128);
+    }
+}

@@ -1,0 +1,306 @@
+//! The WSD data structure and its product semantics.
+
+use std::collections::BTreeMap;
+use urel_core::error::{Error, Result};
+use urel_relalg::{Relation, Schema, Value};
+
+/// A tuple field: relation, tuple id, attribute.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldId {
+    /// Logical relation name.
+    pub rel: String,
+    /// Tuple identifier.
+    pub tid: i64,
+    /// Attribute name.
+    pub attr: String,
+}
+
+impl FieldId {
+    /// Construct a field id.
+    pub fn new(rel: impl Into<String>, tid: i64, attr: impl Into<String>) -> Self {
+        FieldId { rel: rel.into(), tid, attr: attr.into() }
+    }
+}
+
+impl std::fmt::Display for FieldId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.t{}.{}", self.rel, self.tid, self.attr)
+    }
+}
+
+/// One component: a set of fields × a list of local worlds. `None` is the
+/// paper's `⊥` (the tuple owning that field does not occur in that local
+/// world).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Component {
+    /// The fields this component decides.
+    pub fields: Vec<FieldId>,
+    /// Local worlds: each has one (optional) value per field.
+    pub local_worlds: Vec<Vec<Option<Value>>>,
+}
+
+impl Component {
+    /// Construct; every local world must cover every field slot.
+    pub fn new(fields: Vec<FieldId>, local_worlds: Vec<Vec<Option<Value>>>) -> Result<Self> {
+        for w in &local_worlds {
+            if w.len() != fields.len() {
+                return Err(Error::InvalidDatabase(
+                    "component local world arity mismatch".into(),
+                ));
+            }
+        }
+        if local_worlds.is_empty() {
+            return Err(Error::InvalidDatabase("component with no local worlds".into()));
+        }
+        Ok(Component { fields, local_worlds })
+    }
+
+    /// Number of table cells (the paper's size measure for WSDs).
+    pub fn cells(&self) -> usize {
+        self.fields.len() * self.local_worlds.len()
+    }
+}
+
+/// A world-set decomposition over a multi-relation schema.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Wsd {
+    /// Relation name → attribute list.
+    pub schema: BTreeMap<String, Vec<String>>,
+    /// The product components. Fields must not repeat across components.
+    pub components: Vec<Component>,
+}
+
+impl Wsd {
+    /// Empty WSD over a schema.
+    pub fn new(schema: BTreeMap<String, Vec<String>>) -> Self {
+        Wsd { schema, components: Vec::new() }
+    }
+
+    /// Add a component, enforcing field disjointness.
+    pub fn add_component(&mut self, c: Component) -> Result<()> {
+        for f in &c.fields {
+            if !self.schema.get(&f.rel).is_some_and(|a| a.contains(&f.attr)) {
+                return Err(Error::InvalidDatabase(format!("unknown field {f}")));
+            }
+            if self
+                .components
+                .iter()
+                .any(|existing| existing.fields.contains(f))
+            {
+                return Err(Error::InvalidDatabase(format!(
+                    "field {f} appears in two components"
+                )));
+            }
+        }
+        self.components.push(c);
+        Ok(())
+    }
+
+    /// Number of represented worlds (product of local world counts).
+    pub fn world_count(&self) -> Option<u128> {
+        let mut n: u128 = 1;
+        for c in &self.components {
+            n = n.checked_mul(c.local_worlds.len() as u128)?;
+        }
+        Some(n)
+    }
+
+    /// log₁₀ of the world count.
+    pub fn world_count_log10(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| (c.local_worlds.len() as f64).log10())
+            .sum()
+    }
+
+    /// Total cells across components — the size yardstick of Section 5.
+    pub fn total_cells(&self) -> usize {
+        self.components.iter().map(Component::cells).sum()
+    }
+
+    /// Approximate byte size (8 bytes per defined cell + 1 per ⊥).
+    pub fn size_bytes(&self) -> usize {
+        self.components
+            .iter()
+            .map(|c| {
+                c.local_worlds
+                    .iter()
+                    .flatten()
+                    .map(|v| v.as_ref().map_or(1, Value::size_bytes))
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Materialize one world from a choice of local worlds (one index per
+    /// component, in order).
+    pub fn instantiate(&self, choice: &[usize]) -> Result<BTreeMap<String, Relation>> {
+        if choice.len() != self.components.len() {
+            return Err(Error::InvalidQuery("choice arity mismatch".into()));
+        }
+        // Gather the chosen field values per (rel, tid).
+        let mut fields: BTreeMap<(String, i64), BTreeMap<String, Option<Value>>> =
+            BTreeMap::new();
+        for (c, &k) in self.components.iter().zip(choice) {
+            let world = c
+                .local_worlds
+                .get(k)
+                .ok_or_else(|| Error::InvalidQuery("local world out of range".into()))?;
+            for (f, v) in c.fields.iter().zip(world) {
+                fields
+                    .entry((f.rel.clone(), f.tid))
+                    .or_default()
+                    .insert(f.attr.clone(), v.clone());
+            }
+        }
+        let mut out = BTreeMap::new();
+        for (rel, attrs) in &self.schema {
+            let mut r = Relation::empty(Schema::named(attrs));
+            for ((frel, _tid), vals) in &fields {
+                if frel != rel {
+                    continue;
+                }
+                // The tuple exists iff all its attributes are defined.
+                let row: Option<Vec<Value>> = attrs
+                    .iter()
+                    .map(|a| vals.get(a).cloned().flatten())
+                    .collect();
+                if let Some(row) = row {
+                    if row.len() == attrs.len() {
+                        r.push(row).expect("arity fixed");
+                    }
+                }
+            }
+            r.dedup_in_place();
+            out.insert(rel.clone(), r);
+        }
+        Ok(out)
+    }
+
+    /// Enumerate every world (bounded by `limit`).
+    pub fn worlds(&self, limit: usize) -> Result<Vec<BTreeMap<String, Relation>>> {
+        let count = self.world_count().unwrap_or(u128::MAX);
+        if count > limit as u128 {
+            return Err(Error::TooLarge(format!("{count} worlds > limit {limit}")));
+        }
+        let mut choices: Vec<Vec<usize>> = vec![Vec::new()];
+        for c in &self.components {
+            let mut next = Vec::with_capacity(choices.len() * c.local_worlds.len());
+            for prefix in &choices {
+                for k in 0..c.local_worlds.len() {
+                    let mut p = prefix.clone();
+                    p.push(k);
+                    next.push(p);
+                }
+            }
+            choices = next;
+        }
+        choices.iter().map(|c| self.instantiate(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> BTreeMap<String, Vec<String>> {
+        BTreeMap::from([("r".to_string(), vec!["a".to_string(), "b".to_string()])])
+    }
+
+    #[test]
+    fn product_semantics() {
+        let mut w = Wsd::new(schema());
+        w.add_component(
+            Component::new(
+                vec![FieldId::new("r", 1, "a")],
+                vec![vec![Some(Value::Int(1))], vec![Some(Value::Int(2))]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        w.add_component(
+            Component::new(
+                vec![FieldId::new("r", 1, "b")],
+                vec![vec![Some(Value::Int(10))], vec![Some(Value::Int(20))]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(w.world_count(), Some(4));
+        let worlds = w.worlds(8).unwrap();
+        assert_eq!(worlds.len(), 4);
+        for inst in &worlds {
+            assert_eq!(inst["r"].len(), 1);
+        }
+    }
+
+    #[test]
+    fn bottom_drops_tuples() {
+        let mut w = Wsd::new(schema());
+        w.add_component(
+            Component::new(
+                vec![FieldId::new("r", 1, "a"), FieldId::new("r", 1, "b")],
+                vec![
+                    vec![Some(Value::Int(1)), Some(Value::Int(2))],
+                    vec![None, None],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let worlds = w.worlds(4).unwrap();
+        assert_eq!(worlds[0]["r"].len(), 1);
+        assert_eq!(worlds[1]["r"].len(), 0);
+    }
+
+    #[test]
+    fn field_disjointness_enforced() {
+        let mut w = Wsd::new(schema());
+        let c = Component::new(
+            vec![FieldId::new("r", 1, "a")],
+            vec![vec![Some(Value::Int(1))]],
+        )
+        .unwrap();
+        w.add_component(c.clone()).unwrap();
+        assert!(w.add_component(c).is_err());
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        let mut w = Wsd::new(schema());
+        let c = Component::new(
+            vec![FieldId::new("r", 1, "zzz")],
+            vec![vec![Some(Value::Int(1))]],
+        )
+        .unwrap();
+        assert!(w.add_component(c).is_err());
+    }
+
+    #[test]
+    fn size_measures() {
+        let mut w = Wsd::new(schema());
+        w.add_component(
+            Component::new(
+                vec![FieldId::new("r", 1, "a"), FieldId::new("r", 2, "a")],
+                vec![
+                    vec![Some(Value::Int(1)), Some(Value::Int(1))],
+                    vec![Some(Value::Int(0)), None],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(w.total_cells(), 4);
+        assert_eq!(w.size_bytes(), 8 + 8 + 8 + 1);
+    }
+
+    #[test]
+    fn component_validation() {
+        assert!(Component::new(vec![FieldId::new("r", 1, "a")], vec![]).is_err());
+        assert!(Component::new(
+            vec![FieldId::new("r", 1, "a")],
+            vec![vec![Some(Value::Int(1)), Some(Value::Int(2))]],
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! `REPAIR KEY`: creating uncertainty from dirty, complete data — the
+//! Section 7 "new language constructs" direction (MayBMS's signature
+//! primitive, introduced in the companion SIGMOD 2007 paper).
+//!
+//! A sensor log records conflicting temperature readings per (station,
+//! hour). Repairing the key `(station, hour)` yields one world per
+//! consistent combination of choices; reading weights make it a
+//! probabilistic database. We then query across the repairs, rank
+//! answers by confidence, and *condition* on an auditor's finding.
+//!
+//! Run with: `cargo run --example repair_key`
+
+use u_relations::core::prob::tuple_confidences;
+use u_relations::core::worldops::{condition_domain, repair_key};
+use u_relations::core::{certain, evaluate, possible, table};
+use u_relations::relalg::{col, lit_i64, Relation, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Raw, key-violating sensor data: weight = how often the reading was
+    // reported.
+    let raw = Relation::from_rows(
+        ["station", "hour", "temp", "weight"],
+        vec![
+            vec![Value::str("north"), Value::Int(9), Value::Int(18), Value::Int(3)],
+            vec![Value::str("north"), Value::Int(9), Value::Int(31), Value::Int(1)],
+            vec![Value::str("north"), Value::Int(10), Value::Int(19), Value::Int(1)],
+            vec![Value::str("south"), Value::Int(9), Value::Int(21), Value::Int(1)],
+            vec![Value::str("south"), Value::Int(9), Value::Int(22), Value::Int(1)],
+            vec![Value::str("south"), Value::Int(9), Value::Int(23), Value::Int(2)],
+        ],
+    )?;
+
+    // REPAIR KEY (station, hour) IN raw WEIGHT BY weight.
+    let db = repair_key("readings", &raw, &["station", "hour"], Some("weight"))?;
+    println!(
+        "repairs: {} possible worlds over {} variables",
+        db.world.world_count_exact().unwrap(),
+        db.world.var_count()
+    );
+
+    // Which stations possibly exceeded 25 degrees at 9h?
+    let hot = table("readings")
+        .select(u_relations::relalg::Expr::and([
+            col("hour").eq(lit_i64(9)),
+            col("temp").gt(lit_i64(25)),
+        ]))
+        .project(["station"]);
+    println!("possibly hot at 9h:\n{}", possible(&db, &hot)?);
+
+    // How confident are we in each 9h temperature at the south station?
+    let south = table("readings")
+        .select(u_relations::relalg::Expr::and([
+            col("station").eq(u_relations::relalg::lit_str("south")),
+            col("hour").eq(lit_i64(9)),
+        ]))
+        .project(["temp"]);
+    let u = evaluate(&db, &south)?;
+    println!("south@9h temperature confidences:");
+    for (vals, conf) in tuple_confidences(&u, &db.world)? {
+        println!("  {:>3}° : {conf:.3}", vals[0]);
+    }
+
+    // An auditor certifies the north@9h sensor was NOT faulty (the 31°
+    // reading was the glitch): condition the corresponding variable.
+    let north_var = db
+        .world
+        .vars()
+        .find(|v| {
+            // The north@9h group is the one whose domain has 2 values and
+            // whose first value carries probability 0.75 (weights 3:1).
+            db.world.domain(*v).unwrap().len() == 2
+                && (db.world.prob(*v, 0).unwrap() - 0.75).abs() < 1e-9
+        })
+        .expect("north@9h variable");
+    let cleaned = condition_domain(&db, north_var, &[0])?;
+    println!(
+        "after conditioning: {} worlds",
+        cleaned.world.world_count_exact().unwrap()
+    );
+    let cert = certain::certain_exact(
+        &evaluate(&cleaned, &table("readings").project(["station", "temp"]))?,
+        &cleaned.world,
+    )?;
+    println!("now-certain (station, temp) pairs:\n{cert}");
+    Ok(())
+}

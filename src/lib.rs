@@ -1,0 +1,50 @@
+//! # u-relations
+//!
+//! Umbrella crate for the reproduction of *"Fast and Simple Relational
+//! Processing of Uncertain Data"* (Antova, Jansen, Koch, Olteanu; ICDE
+//! 2008) — the U-relations representation system behind MayBMS.
+//!
+//! Re-exports the workspace crates under stable paths:
+//!
+//! * [`relalg`] — the in-memory relational algebra engine (the "RDBMS").
+//! * [`core`] — U-relations: world tables, ws-descriptors, the `[[·]]`
+//!   query translation, merge, reduction, normalization, certain answers,
+//!   and the probabilistic extension.
+//! * [`wsd`] — world-set decompositions (succinctness baseline).
+//! * [`uldb`] — Trio-style ULDBs (lineage baseline).
+//! * [`tpch`] — the uncertainty-extended TPC-H generator and the paper's
+//!   queries Q1–Q3.
+//!
+//! ## Quickstart
+//!
+//! The paper's vehicle-reconnaissance scenario (Figure 1), queried for
+//! enemy tanks (Example 3.6):
+//!
+//! ```
+//! use u_relations::core::{figure1_database, possible, table};
+//! use u_relations::relalg::{col, lit_str, Expr};
+//!
+//! let db = figure1_database();
+//! assert_eq!(db.world.world_count_exact(), Some(8));
+//!
+//! let enemy_tanks = table("r")
+//!     .select(Expr::and([
+//!         col("type").eq(lit_str("Tank")),
+//!         col("faction").eq(lit_str("Enemy")),
+//!     ]))
+//!     .project(["id"]);
+//!
+//! // Translated to plain relational algebra, optimized, executed:
+//! let answers = possible(&db, &enemy_tanks)?;
+//! assert_eq!(answers.len(), 3); // vehicles 2, 3 and 4 are possible
+//! # Ok::<(), u_relations::core::Error>(())
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full walkthrough (self-joins,
+//! certain answers, confidence).
+
+pub use urel_core as core;
+pub use urel_relalg as relalg;
+pub use urel_tpch as tpch;
+pub use urel_uldb as uldb;
+pub use urel_wsd as wsd;

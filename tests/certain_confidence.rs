@@ -1,0 +1,128 @@
+//! Cross-crate tests of certain answers and confidence computation on
+//! realistic (generated) data — Lemma 4.3 and the Section 7 extension
+//! working together on TPC-H query results.
+
+use u_relations::core::certain::{certain_exact, certain_lemma43, certain_lemma43_relational};
+use u_relations::core::normalize::normalize_urelations;
+use u_relations::core::prob::{confidence_monte_carlo, tuple_confidences};
+use u_relations::core::worldops::{condition_domain, repair_key};
+use u_relations::core::{evaluate, table};
+use u_relations::relalg::{col, lit_i64, Relation, Value};
+use u_relations::tpch::{generate, GenParams};
+
+fn tiny() -> u_relations::core::UDatabase {
+    let mut p = GenParams::paper(0.002, 0.05, 0.25);
+    p.seed = 31;
+    generate(&p).unwrap().db
+}
+
+#[test]
+fn certain_pipeline_on_tpch_results() {
+    let db = tiny();
+    // Certain (o_orderkey) pairs of cheap orders: compare the three
+    // implementations on the query result.
+    let q = table("orders")
+        .select(col("o_totalprice").lt(lit_i64(25_000_000)))
+        .project(["o_orderkey"]);
+    let u = evaluate(&db, &q).unwrap();
+    let exact = certain_exact(&u, &db.world).unwrap();
+    let n = normalize_urelations(&[&u], &db.world).unwrap();
+    let direct = certain_lemma43(&n.relations[0], &n.world).unwrap();
+    let relational = certain_lemma43_relational(&n.relations[0], &n.world).unwrap();
+    assert!(direct.set_eq(&exact), "lemma vs exact");
+    assert!(relational.set_eq(&exact), "relational lemma vs exact");
+    // Certain answers are a subset of possible ones.
+    let possible = u.possible_tuples();
+    for row in exact.rows() {
+        assert!(possible.rows().contains(row));
+    }
+}
+
+#[test]
+fn confidences_bound_certainty() {
+    let db = tiny();
+    let q = table("customer").project(["c_mktsegment"]);
+    let u = evaluate(&db, &q).unwrap();
+    let confs = tuple_confidences(&u, &db.world).unwrap();
+    let certain = certain_exact(&u, &db.world).unwrap();
+    for (vals, conf) in &confs {
+        assert!((0.0..=1.0 + 1e-9).contains(conf));
+        let is_certain = certain.rows().iter().any(|r| r.to_vec() == *vals);
+        if is_certain {
+            assert!((conf - 1.0).abs() < 1e-9, "certain tuple with conf {conf}");
+        }
+    }
+    // Monte Carlo agrees with exact for one representative group.
+    if let Some((vals, conf)) = confs.iter().find(|(_, c)| *c < 0.999) {
+        let descs: Vec<_> = u
+            .rows()
+            .iter()
+            .filter(|r| r.vals.to_vec() == *vals)
+            .map(|r| r.desc.clone())
+            .collect();
+        let est = confidence_monte_carlo(&descs, &db.world, 20_000, 3).unwrap();
+        assert!((est - conf).abs() < 0.03, "{est} vs {conf}");
+    }
+}
+
+#[test]
+fn repair_key_then_query_then_condition() {
+    // The full world-ops lifecycle on a small relation: create
+    // uncertainty with REPAIR KEY, query it, then condition it away.
+    let input = Relation::from_rows(
+        ["city", "population", "w"],
+        vec![
+            vec![Value::str("berlin"), Value::Int(3_500_000), Value::Int(2)],
+            vec![Value::str("berlin"), Value::Int(3_700_000), Value::Int(6)],
+            vec![Value::str("paris"), Value::Int(2_100_000), Value::Int(1)],
+        ],
+    )
+    .unwrap();
+    let db = repair_key("cities", &input, &["city"], Some("w")).unwrap();
+    assert_eq!(db.world.world_count_exact(), Some(2));
+
+    let pops = evaluate(&db, &table("cities").project(["population"])).unwrap();
+    let confs = tuple_confidences(&pops, &db.world).unwrap();
+    let p37 = confs
+        .iter()
+        .find(|(v, _)| v[0] == Value::Int(3_700_000))
+        .unwrap()
+        .1;
+    assert!((p37 - 0.75).abs() < 1e-9);
+
+    // Conditioning on the higher reading leaves one world.
+    let var = db.world.vars().next().unwrap();
+    let confirmed = condition_domain(&db, var, &[1]).unwrap();
+    assert_eq!(confirmed.world.world_count_exact(), Some(1));
+    let pops = evaluate(&confirmed, &table("cities").project(["population"])).unwrap();
+    let cert = certain_exact(&pops, &confirmed.world).unwrap();
+    assert!(cert
+        .rows()
+        .iter()
+        .any(|r| r[0] == Value::Int(3_700_000)));
+}
+
+#[test]
+fn repair_key_on_generated_duplicates() {
+    // Derive a key-violating relation from generated TPC-H data: project
+    // customer onto (c_nationkey, c_mktsegment) and repair the nation key
+    // — every nation ends up with exactly one possible segment.
+    let db = tiny();
+    let q = table("customer").project(["c_nationkey", "c_mktsegment"]);
+    let u = evaluate(&db, &q).unwrap();
+    let dirty = u.possible_tuples();
+    let repaired = repair_key("pref", &dirty, &["c_nationkey"], None).unwrap();
+    for (_, inst) in repaired
+        .possible_worlds(1 << 12)
+        .unwrap_or_default()
+        .into_iter()
+        .take(3)
+    {
+        let r = &inst["pref"];
+        let mut keys: Vec<i64> = r.rows().iter().map(|x| x[0].as_int().unwrap()).collect();
+        keys.sort_unstable();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(n, keys.len(), "key must be unique per world");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the relational engine itself: the optimizer
+//! must never change query results, EXPLAIN must never panic, and the
+//! set operators must satisfy their algebraic laws. This is the substrate
+//! the whole reproduction rests on, so it gets its own adversarial suite.
+
+use proptest::prelude::*;
+use u_relations::relalg::{
+    col, exec, explain, lit_i64, optimizer, Catalog, Expr, Plan, Relation, Value,
+};
+
+/// Random base tables: r(a, b), s(c, d) with small integer domains so
+/// joins actually match.
+fn arb_catalog() -> impl Strategy<Value = Catalog> {
+    let row = || (0i64..6, 0i64..6);
+    (
+        prop::collection::vec(row(), 0..12),
+        prop::collection::vec(row(), 0..12),
+    )
+        .prop_map(|(r_rows, s_rows)| {
+            let mut c = Catalog::new();
+            c.insert(
+                "r",
+                Relation::from_rows(
+                    ["a", "b"],
+                    r_rows
+                        .into_iter()
+                        .map(|(x, y)| vec![Value::Int(x), Value::Int(y)])
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap(),
+            );
+            c.insert(
+                "s",
+                Relation::from_rows(
+                    ["c", "d"],
+                    s_rows
+                        .into_iter()
+                        .map(|(x, y)| vec![Value::Int(x), Value::Int(y)])
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap(),
+            );
+            c
+        })
+}
+
+fn arb_pred_r() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..6).prop_map(|k| col("a").eq(lit_i64(k))),
+        (0i64..6).prop_map(|k| col("b").lt(lit_i64(k))),
+        (0i64..6, 0i64..6).prop_map(|(k1, k2)| Expr::or([
+            col("a").eq(lit_i64(k1)),
+            col("b").gt(lit_i64(k2)),
+        ])),
+        Just(col("a").le(col("b"))),
+    ]
+}
+
+/// Random plans over the two tables, mixing all operators.
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    let leaf = prop_oneof![Just(Plan::scan("r")), Just(Plan::scan("s"))];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // σ over r-shaped inputs (guarded at runtime by schema()).
+            (inner.clone(), arb_pred_r()).prop_map(|(p, e)| p.select(e)),
+            inner.clone().prop_map(|p| p.distinct()),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| {
+                // Equi-join r ⋈ s when schemas allow; cross otherwise.
+                l.join(r, Expr::and([]))
+            }),
+            inner
+                .clone()
+                .prop_map(|p| Plan::scan("r").join(p.rename("x"), Expr::and([]))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.union(r)),
+            (inner.clone(), inner).prop_map(|(l, r)| l.difference(r)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimizer_preserves_results(catalog in arb_catalog(), plan in arb_plan()) {
+        // Many random plans are ill-typed (predicates over the wrong
+        // side, arity-mismatched unions): those must fail *cleanly* in
+        // schema(), and the optimizer must reject them too.
+        match plan.schema(&catalog) {
+            Err(_) => {
+                prop_assert!(optimizer::optimize(&plan, &catalog).is_err());
+            }
+            Ok(_) => {
+                let before = exec::execute(&plan, &catalog).unwrap();
+                let opt = optimizer::optimize(&plan, &catalog).unwrap();
+                let after = exec::execute(&opt, &catalog).unwrap();
+                prop_assert!(
+                    before.set_eq(&after),
+                    "optimizer changed results\nplan: {plan:?}\nopt: {opt:?}\nbefore: {before}\nafter: {after}"
+                );
+                // EXPLAIN never panics and mentions every scan.
+                let text = explain::explain(&opt, &catalog);
+                prop_assert!(text.contains("Scan"));
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_up_to_column_order(
+        catalog in arb_catalog(),
+        k in 0i64..6,
+    ) {
+        let pred = col("b").eq(col("c"));
+        let lr = Plan::scan("r").select(col("a").ge(lit_i64(k))).join(Plan::scan("s"), pred.clone());
+        let rl = Plan::scan("s").join(Plan::scan("r").select(col("a").ge(lit_i64(k))), pred);
+        let a = exec::execute(&lr, &catalog).unwrap();
+        let b = exec::execute(&rl, &catalog).unwrap();
+        // Reorder b's columns to a's layout (c,d,a,b → a,b,c,d).
+        let reordered = exec::execute(
+            &rl.project_names(["a", "b", "c", "d"]),
+            &catalog,
+        )
+        .unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert!(a.set_eq(&reordered));
+    }
+
+    #[test]
+    fn set_operator_laws(catalog in arb_catalog()) {
+        let r = Plan::scan("r");
+        // r − r = ∅
+        let empty = exec::execute(&r.clone().difference(r.clone()), &catalog).unwrap();
+        prop_assert_eq!(empty.len(), 0);
+        // δ(r ∪ r) = δ(r)
+        let dd = exec::execute(&r.clone().union(r.clone()).distinct(), &catalog).unwrap();
+        let d = exec::execute(&r.clone().distinct(), &catalog).unwrap();
+        prop_assert!(dd.set_eq(&d));
+        // (r − s') ∪ (r ∩ s') = δ(r) where s' = r filtered.
+        let s2 = r.clone().select(col("a").lt(lit_i64(3)));
+        let minus = r.clone().difference(s2.clone());
+        let inter = r.clone().difference(r.clone().difference(s2));
+        let lhs = exec::execute(&minus.union(inter).distinct(), &catalog).unwrap();
+        prop_assert!(lhs.set_eq(&d));
+    }
+
+    #[test]
+    fn semijoin_antijoin_partition_the_input(
+        catalog in arb_catalog(),
+    ) {
+        let pred = col("b").eq(col("c"));
+        let semi = Plan::scan("r").semijoin(Plan::scan("s"), pred.clone());
+        let anti = Plan::scan("r").antijoin(Plan::scan("s"), pred);
+        let semi_r = exec::execute(&semi, &catalog).unwrap();
+        let anti_r = exec::execute(&anti, &catalog).unwrap();
+        let all = exec::execute(&Plan::scan("r"), &catalog).unwrap();
+        prop_assert_eq!(semi_r.len() + anti_r.len(), all.len());
+        let union = exec::execute(&semi.union(anti), &catalog).unwrap();
+        prop_assert!(union.set_eq(&all));
+    }
+}

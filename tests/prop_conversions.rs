@@ -1,0 +1,154 @@
+//! Property-based tests of the Section 5 conversions: normalized
+//! U-relational databases round-trip through WSDs, and ULDBs translate
+//! into U-relational databases (Lemma 5.5) — always preserving the
+//! world-set.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use u_relations::core::normalize::normalize;
+use u_relations::core::{UDatabase, URelation, Var, WorldTable, WsDescriptor};
+use u_relations::relalg::{Relation, Value};
+use u_relations::uldb::convert::uldb_to_udb;
+use u_relations::uldb::{Alternative, Uldb};
+use u_relations::wsd::convert::{udb_to_wsd, wsd_to_udb};
+
+const LIMIT: usize = 1024;
+
+/// Random normalized single-relation database: binary variables, each
+/// field either certain or covering a variable's domain (fully or
+/// partially).
+fn arb_normalized() -> impl Strategy<Value = UDatabase> {
+    let field = prop_oneof![
+        (0i64..6).prop_map(|v| (None, vec![(0u64, v)])),
+        (0usize..3, prop::collection::btree_map(0u64..2, 0i64..6, 1..=2))
+            .prop_map(|(i, m)| (Some(i), m.into_iter().collect::<Vec<_>>())),
+    ];
+    prop::collection::vec((field.clone(), field), 1..=3).prop_map(|tuples| {
+        let mut w = WorldTable::new();
+        let vars: Vec<Var> = (1..=3).map(Var).collect();
+        for &v in &vars {
+            w.add_var(v, vec![0, 1]).unwrap();
+        }
+        let mut db = UDatabase::new(w);
+        db.add_relation("r", ["a", "b"]).unwrap();
+        let mut ua = URelation::partition("ua", ["a"]);
+        let mut ub = URelation::partition("ub", ["b"]);
+        for (t, (fa, fb)) in tuples.iter().enumerate() {
+            let tid = t as i64 + 1;
+            for ((vi, pairs), u) in [(fa, &mut ua), (fb, &mut ub)] {
+                match vi {
+                    None => u
+                        .push_simple(WsDescriptor::empty(), tid, vec![Value::Int(pairs[0].1)])
+                        .unwrap(),
+                    Some(i) => {
+                        for &(l, v) in pairs {
+                            u.push_simple(
+                                WsDescriptor::singleton(vars[*i], l),
+                                tid,
+                                vec![Value::Int(v)],
+                            )
+                            .unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        db.add_partition("r", ua).unwrap();
+        db.add_partition("r", ub).unwrap();
+        db
+    })
+}
+
+/// Random base ULDB over one relation (no lineage — independent
+/// x-tuples; lineage cases are covered by the Example 5.4 tests).
+fn arb_uldb() -> impl Strategy<Value = Uldb> {
+    let alt = prop::collection::vec(0i64..5, 2);
+    let xtuple = (prop::collection::vec(alt, 1..=3), any::<bool>());
+    prop::collection::vec(xtuple, 1..=4).prop_map(|xts| {
+        let mut db = Uldb::new();
+        db.add_relation("r", ["a", "b"]).unwrap();
+        for (alts, optional) in xts {
+            db.add_xtuple(
+                "r",
+                optional,
+                alts.into_iter()
+                    .map(|vs| Alternative::new(vs.into_iter().map(Value::Int).collect()))
+                    .collect(),
+            )
+            .unwrap();
+        }
+        db
+    })
+}
+
+fn udb_sigs(db: &UDatabase) -> Vec<String> {
+    let mut v: Vec<String> = db
+        .possible_worlds(LIMIT)
+        .unwrap()
+        .iter()
+        .map(|(_, i)| format!("{}", i["r"].sorted_set()))
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+fn uldb_sigs(worlds: &[BTreeMap<String, Relation>]) -> Vec<String> {
+    let mut v: Vec<String> = worlds
+        .iter()
+        .map(|i| format!("{}", i["r"].sorted_set()))
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wsd_roundtrip_preserves_worlds(db in arb_normalized()) {
+        db.validate().unwrap();
+        let wsd = udb_to_wsd(&db).unwrap();
+        let back = wsd_to_udb(&wsd).unwrap();
+        prop_assert_eq!(udb_sigs(&db), udb_sigs(&back));
+        // The WSD's own enumeration agrees too.
+        let direct = uldb_sigs(&wsd.worlds(LIMIT).unwrap());
+        prop_assert_eq!(udb_sigs(&db), direct);
+    }
+
+    #[test]
+    fn wsd_conversion_requires_normal_form(db in arb_normalized()) {
+        // Joining two variables into one descriptor breaks normal form;
+        // normalize() must repair it for conversion.
+        let mut denorm = db.clone();
+        let parts = denorm.partitions_of_mut("r").unwrap();
+        let extra = URow_with_two_vars();
+        parts[0].push(extra).unwrap();
+        if udb_to_wsd(&denorm).is_err() {
+            let renorm = normalize(&denorm).unwrap();
+            prop_assert!(udb_to_wsd(&renorm).is_ok());
+        }
+    }
+
+    #[test]
+    fn lemma_5_5_on_random_base_uldbs(db in arb_uldb()) {
+        let udb = uldb_to_udb(&db, "r").unwrap();
+        udb.validate().unwrap();
+        // One row per alternative (linearity).
+        prop_assert_eq!(udb.total_rows(), db.relation("r").unwrap().alt_count());
+        // Same set of world instances.
+        let a = uldb_sigs(&db.worlds(LIMIT).unwrap());
+        let b = udb_sigs(&udb);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[allow(non_snake_case)]
+fn URow_with_two_vars() -> u_relations::core::URow {
+    u_relations::core::URow::new(
+        WsDescriptor::from_pairs([(Var(1), 0), (Var(2), 0)]).unwrap(),
+        vec![99],
+        vec![Value::Int(0)],
+    )
+}

@@ -1,0 +1,214 @@
+//! Property-based tests of the core data-structure invariants:
+//! descriptor algebra, reduction (Prop. 3.3), normalization (Thm 4.2),
+//! confidence (Section 7), and the Figure 2 merge equivalences as
+//! observable behaviour (partition pruning does not change semantics).
+
+use proptest::prelude::*;
+use u_relations::core::normalize::normalize;
+use u_relations::core::prob::{confidence, confidence_monte_carlo, covers_all_worlds};
+use u_relations::core::reduce::reduce;
+use u_relations::core::{
+    evaluate_with, oracle_possible, possible, table, TranslateOptions, UDatabase, URelation,
+    Var, WorldTable, WsDescriptor,
+};
+use u_relations::relalg::{col, lit_i64, Value};
+
+const LIMIT: usize = 1024;
+
+fn arb_desc(nvars: u32, dom: u64) -> impl Strategy<Value = WsDescriptor> {
+    prop::collection::btree_map(1..=nvars, 0..dom, 0..=3).prop_map(|m| {
+        WsDescriptor::from_pairs(m.into_iter().map(|(v, val)| (Var(v), val))).unwrap()
+    })
+}
+
+fn world(nvars: u32, dom: u64) -> WorldTable {
+    let mut w = WorldTable::new();
+    for i in 1..=nvars {
+        w.add_var(Var(i), (0..dom).collect()).unwrap();
+    }
+    w
+}
+
+/// One tuple field: absent (→ non-reduced rows elsewhere), certain, or
+/// dependent on one of three binary variables with a (possibly partial)
+/// domain coverage — partial coverage is what makes sibling rows
+/// un-completable in some worlds.
+type Field = Option<(Option<usize>, Vec<(u64, i64)>)>;
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        1 => Just(None),
+        3 => (0i64..5).prop_map(|v| Some((None, vec![(0, v)]))),
+        4 => (0usize..3, prop::collection::btree_map(0u64..2, 0i64..5, 1..=2))
+            .prop_map(|(i, m)| Some((Some(i), m.into_iter().collect()))),
+    ]
+}
+
+/// A single-relation database, valid by construction (each tuple field is
+/// written by rows of a single variable, whose descriptors are pairwise
+/// inconsistent), but often *non-reduced*.
+fn arb_nonreduced() -> impl Strategy<Value = UDatabase> {
+    prop::collection::vec((arb_field(), arb_field()), 1..=3).prop_map(|tuples| {
+        let w = world(3, 2);
+        let vars: Vec<Var> = w.vars().collect();
+        let mut db = UDatabase::new(w);
+        db.add_relation("r", ["a", "b"]).unwrap();
+        let mut ua = URelation::partition("ua", ["a"]);
+        let mut ub = URelation::partition("ub", ["b"]);
+        for (tid0, (fa, fb)) in tuples.iter().enumerate() {
+            let tid = tid0 as i64 + 1;
+            for (field, u) in [(fa, &mut ua), (fb, &mut ub)] {
+                let Some((var_idx, pairs)) = field else { continue };
+                match var_idx {
+                    None => u
+                        .push_simple(WsDescriptor::empty(), tid, vec![Value::Int(pairs[0].1)])
+                        .unwrap(),
+                    Some(i) => {
+                        for &(l, v) in pairs {
+                            u.push_simple(
+                                WsDescriptor::singleton(vars[*i], l),
+                                tid,
+                                vec![Value::Int(v)],
+                            )
+                            .unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        db.add_partition("r", ua).unwrap();
+        db.add_partition("r", ub).unwrap();
+        db
+    })
+}
+
+fn world_signatures(db: &UDatabase) -> Vec<String> {
+    db.possible_worlds(LIMIT)
+        .unwrap()
+        .iter()
+        .map(|(_, i)| format!("{}", i["r"].sorted_set()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn descriptor_union_is_commutative_and_consistent(
+        a in arb_desc(4, 3),
+        b in arb_desc(4, 3),
+    ) {
+        prop_assert_eq!(a.consistent_with(&b), b.consistent_with(&a));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        if let Some(u) = a.union(&b) {
+            // The union subsumes nothing less than both inputs, and is
+            // absorbing under repeated union.
+            prop_assert!(a.subsumes(&u));
+            prop_assert!(b.subsumes(&u));
+            let again = u.union(&a);
+            prop_assert_eq!(again, Some(u));
+        }
+    }
+
+    #[test]
+    fn descriptor_padding_roundtrips(d in arb_desc(4, 3), extra in 0usize..3) {
+        let arity = d.len() + extra;
+        let padded = d.encode_padded(arity);
+        prop_assert_eq!(padded.len(), arity);
+        prop_assert_eq!(WsDescriptor::decode(padded).unwrap(), d);
+    }
+
+    #[test]
+    fn reduction_preserves_every_world(db in arb_nonreduced()) {
+        // Validity can fail for random data (shared-attribute clashes are
+        // impossible here, so validate must pass).
+        db.validate().unwrap();
+        let before = world_signatures(&db);
+        let mut reduced = db.clone();
+        reduce(&mut reduced).unwrap();
+        let after = world_signatures(&reduced);
+        prop_assert_eq!(before, after);
+        prop_assert!(reduced.total_rows() <= db.total_rows());
+    }
+
+    #[test]
+    fn normalization_preserves_the_world_set(db in arb_nonreduced()) {
+        let mut reduced = db.clone();
+        reduce(&mut reduced).unwrap();
+        let norm = normalize(&reduced).unwrap();
+        // Every descriptor has size ≤ 1 (Definition 4.1).
+        for rel in norm.relations().map(str::to_string).collect::<Vec<_>>() {
+            for p in norm.partitions_of(&rel).unwrap() {
+                prop_assert!(p.is_normalized());
+            }
+        }
+        // Same set of world instances (the valuations differ, the
+        // instances must not).
+        let mut a = world_signatures(&reduced);
+        let mut b = world_signatures(&norm);
+        a.sort();
+        a.dedup();
+        b.sort();
+        b.dedup();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn confidence_equals_world_mass(
+        descs in prop::collection::vec(arb_desc(3, 2), 0..4),
+    ) {
+        let w = world(3, 2);
+        let exact = confidence(&descs, &w).unwrap();
+        // Brute force over all 8 worlds.
+        let mut mass = 0.0;
+        for f in w.worlds(64).unwrap() {
+            if descs.iter().any(|d| w.extends(&f, d)) {
+                mass += w.world_prob(&f).unwrap();
+            }
+        }
+        prop_assert!((exact - mass).abs() < 1e-9, "{exact} vs {mass}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&exact));
+        // Coverage agrees with certainty of the union.
+        prop_assert_eq!(
+            covers_all_worlds(&descs, &w).unwrap(),
+            (exact - 1.0).abs() < 1e-9
+        );
+        // Monte Carlo is within loose bounds.
+        let mc = confidence_monte_carlo(&descs, &w, 4000, 11).unwrap();
+        prop_assert!((mc - exact).abs() < 0.08, "{mc} vs {exact}");
+    }
+
+    #[test]
+    fn partition_pruning_is_semantically_invisible(
+        db in arb_nonreduced(),
+        k in 0i64..5,
+    ) {
+        // Figure 2 equivalences, observable form: translating with full
+        // merges (P1 style) and with pruned merges gives the same answers.
+        // Note: partition pruning assumes a *reduced* database (Section 3).
+        let mut db = db;
+        reduce(&mut db).unwrap();
+        let q = table("r").select(col("a").eq(lit_i64(k))).project(["a"]);
+        let naive = evaluate_with(
+            &db,
+            &q,
+            TranslateOptions { prune_partitions: false },
+            false,
+        )
+        .unwrap();
+        let pruned = evaluate_with(
+            &db,
+            &q,
+            TranslateOptions { prune_partitions: true },
+            true,
+        )
+        .unwrap();
+        prop_assert!(
+            naive.possible_tuples().set_eq(&pruned.possible_tuples()),
+        );
+        // And both agree with the oracle.
+        let want = oracle_possible(&q, &db, LIMIT).unwrap();
+        prop_assert!(pruned.possible_tuples().set_eq(&want));
+        let _ = possible(&db, &q).unwrap();
+    }
+}

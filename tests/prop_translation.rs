@@ -1,0 +1,175 @@
+//! Property-based tests of the central correctness claim (Section 3):
+//! for any U-relational database and any positive relational algebra
+//! query, the translated plan's result — decoded per world — equals
+//! evaluating the query in each world.
+
+use proptest::prelude::*;
+use u_relations::core::certain::certain_exact;
+use u_relations::core::{
+    evaluate, oracle_certain, oracle_eval, oracle_possible, possible, table, table_as,
+    UDatabase, UQuery, URelation, Var, WorldTable, WsDescriptor,
+};
+use u_relations::relalg::{col, lit_i64, Expr, Value};
+
+const WORLD_LIMIT: usize = 512;
+
+/// A random small U-database over r(a, b) and s(b2, c): up to three
+/// variables with domains of size 2–3, up to four tuples per relation,
+/// each field either certain or variable-dependent.
+fn arb_udb() -> impl Strategy<Value = UDatabase> {
+    let var_domains = prop::collection::vec(2u64..=3, 1..=3);
+    let field = |nvars: usize| {
+        // (Some(var index), values) = uncertain field; (None, [v]) = certain.
+        prop_oneof![
+            (0..10i64).prop_map(|v| (None, vec![v])),
+            (0..nvars, prop::collection::vec(0i64..10, 3))
+                .prop_map(|(i, vs)| (Some(i), vs)),
+        ]
+    };
+    var_domains.prop_flat_map(move |doms| {
+        let nvars = doms.len();
+        let r_rows = prop::collection::vec((field(nvars), field(nvars)), 1..=4);
+        let s_rows = prop::collection::vec((field(nvars), field(nvars)), 1..=3);
+        (Just(doms), r_rows, s_rows).prop_map(|(doms, r_rows, s_rows)| {
+            let mut w = WorldTable::new();
+            let mut vars = Vec::new();
+            for (i, d) in doms.iter().enumerate() {
+                let v = Var(i as u32 + 1);
+                w.add_var(v, (0..*d).collect()).unwrap();
+                vars.push((v, *d));
+            }
+            let mut db = UDatabase::new(w);
+            db.add_relation("r", ["a", "b"]).unwrap();
+            db.add_relation("s", ["b2", "c"]).unwrap();
+            let fill = |u: &mut URelation,
+                        rows: &[((Option<usize>, Vec<i64>), (Option<usize>, Vec<i64>))],
+                        pick: fn(
+                &((Option<usize>, Vec<i64>), (Option<usize>, Vec<i64>)),
+            )
+                -> &(Option<usize>, Vec<i64>)| {
+                for (tid, row) in rows.iter().enumerate() {
+                    let (var_idx, vals) = pick(row);
+                    match var_idx {
+                        None => u
+                            .push_simple(
+                                WsDescriptor::empty(),
+                                tid as i64 + 1,
+                                vec![Value::Int(vals[0])],
+                            )
+                            .unwrap(),
+                        Some(i) => {
+                            let (v, d) = vars[*i];
+                            for l in 0..d {
+                                u.push_simple(
+                                    WsDescriptor::singleton(v, l),
+                                    tid as i64 + 1,
+                                    vec![Value::Int(vals[l as usize % vals.len()])],
+                                )
+                                .unwrap();
+                            }
+                        }
+                    }
+                }
+            };
+            let mut ra = URelation::partition("u_r_a", ["a"]);
+            fill(&mut ra, &r_rows, |r| &r.0);
+            let mut rb = URelation::partition("u_r_b", ["b"]);
+            fill(&mut rb, &r_rows, |r| &r.1);
+            db.add_partition("r", ra).unwrap();
+            db.add_partition("r", rb).unwrap();
+            let mut sb = URelation::partition("u_s_b2", ["b2"]);
+            fill(&mut sb, &s_rows, |r| &r.0);
+            let mut sc = URelation::partition("u_s_c", ["c"]);
+            fill(&mut sc, &s_rows, |r| &r.1);
+            db.add_partition("s", sb).unwrap();
+            db.add_partition("s", sc).unwrap();
+            db
+        })
+    })
+}
+
+/// A random query over the r/s schema.
+fn arb_query() -> impl Strategy<Value = UQuery> {
+    prop_oneof![
+        Just(table("r")),
+        (0..10i64).prop_map(|k| table("r").select(col("a").eq(lit_i64(k)))),
+        (0..10i64).prop_map(|k| table("r").select(col("b").lt(lit_i64(k))).project(["a"])),
+        Just(table("r").project(["b"])),
+        (0..10i64).prop_map(|k| {
+            table("r")
+                .select(col("a").ge(lit_i64(k)))
+                .join(table("s"), col("b").eq(col("b2")))
+                .project(["a", "c"])
+        }),
+        Just(table("r").join(table("s"), col("b").eq(col("b2")))),
+        (0..10i64, 0..10i64).prop_map(|(k1, k2)| {
+            table("r")
+                .select(col("a").eq(lit_i64(k1)))
+                .project(["a"])
+                .union(table("r").select(col("b").eq(lit_i64(k2))).project(["a"]))
+        }),
+        Just(
+            table_as("r", "r1")
+                .join(
+                    table_as("r", "r2"),
+                    Expr::and([col("r1.b").eq(col("r2.b")), col("r1.a").lt(col("r2.a"))]),
+                )
+                .project(["r1.a", "r2.a"])
+        ),
+        (0..10i64).prop_map(|k| {
+            table("s")
+                .select(col("c").gt(lit_i64(k)))
+                .project(["b2"])
+                .poss()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn translation_equals_possible_worlds_semantics(
+        db in arb_udb(),
+        q in arb_query(),
+    ) {
+        db.validate().unwrap();
+        // poss agreement.
+        let got = possible(&db, &q).unwrap();
+        let want = oracle_possible(&q, &db, WORLD_LIMIT).unwrap();
+        prop_assert!(got.set_eq(&want), "poss mismatch:\ngot {got}\nwant {want}");
+        // Per-world agreement of the result U-relation.
+        let u = evaluate(&db, &q).unwrap();
+        for f in db.world.worlds(WORLD_LIMIT).unwrap() {
+            let got_w = u.tuples_in_world(&db.world, &f);
+            let want_w = oracle_eval(&q, &db, &f, WORLD_LIMIT).unwrap();
+            prop_assert!(
+                got_w.set_eq(&want_w.sorted_set()),
+                "world {f:?}:\ngot {got_w}\nwant {want_w}"
+            );
+        }
+    }
+
+    #[test]
+    fn certain_answers_agree_with_oracle(
+        db in arb_udb(),
+        q in arb_query(),
+    ) {
+        let u = evaluate(&db, &q).unwrap();
+        let got = certain_exact(&u, &db.world).unwrap();
+        let want = oracle_certain(&q, &db, WORLD_LIMIT).unwrap();
+        prop_assert!(got.set_eq(&want), "certain mismatch:\ngot {got}\nwant {want}");
+    }
+
+    #[test]
+    fn translation_is_parsimonious(
+        db in arb_udb(),
+        q in arb_query(),
+    ) {
+        // Physical joins = logical joins + merges; with two partitions per
+        // relation, each Table leaf contributes at most one merge.
+        let t = u_relations::core::translate(&db, &q).unwrap();
+        let leaves_upper_bound = 2 * (q.op_count() + 1);
+        prop_assert!(t.plan.join_count() <= q.join_ops() + leaves_upper_bound);
+    }
+}

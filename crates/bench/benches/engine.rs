@@ -8,7 +8,12 @@ use urel_relalg::{col, exec, lit_i64, Catalog, Expr, Plan, Relation, Value};
 fn catalog(n: usize) -> Catalog {
     let mut c = Catalog::new();
     let fact: Vec<Vec<Value>> = (0..n)
-        .map(|i| vec![Value::Int(i as i64), Value::Int((i % (n / 10).max(1)) as i64)])
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int((i % (n / 10).max(1)) as i64),
+            ]
+        })
         .collect();
     c.insert("fact", Relation::from_rows(["k", "fk"], fact).unwrap());
     let dim: Vec<Vec<Value>> = (0..(n / 10).max(1))

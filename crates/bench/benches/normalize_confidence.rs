@@ -37,7 +37,11 @@ fn bench_certain(c: &mut Criterion) {
         b.iter(|| certain_lemma43(&n.relations[0], &n.world).unwrap().len());
     });
     group.bench_function("lemma43_relational", |b| {
-        b.iter(|| certain_lemma43_relational(&n.relations[0], &n.world).unwrap().len());
+        b.iter(|| {
+            certain_lemma43_relational(&n.relations[0], &n.world)
+                .unwrap()
+                .len()
+        });
     });
     group.finish();
 }

@@ -2,24 +2,29 @@
 //! optimizer-pushed plans vs late-materialization translation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use urel_core::{evaluate_with, TranslateOptions};
+use urel_core::TranslateOptions;
 use urel_tpch::{generate, q1, GenParams};
 
 fn bench_ablation(c: &mut Criterion) {
     let out = generate(&GenParams::paper(0.01, 0.01, 0.25)).expect("generation");
     let q = q1();
-    let naive = TranslateOptions { prune_partitions: false };
-    let pruned = TranslateOptions { prune_partitions: true };
+    let naive = TranslateOptions {
+        prune_partitions: false,
+    };
+    let pruned = TranslateOptions {
+        prune_partitions: true,
+    };
+    let prepared = out.db.prepare();
     let mut group = c.benchmark_group("fig03_ablation");
     group.sample_size(10);
     group.bench_function("p1_naive_raw", |b| {
-        b.iter(|| evaluate_with(&out.db, &q, naive, false).unwrap().len());
+        b.iter(|| prepared.evaluate_with(&q, naive, false).unwrap().len());
     });
     group.bench_function("p2_full_merge_optimized", |b| {
-        b.iter(|| evaluate_with(&out.db, &q, naive, true).unwrap().len());
+        b.iter(|| prepared.evaluate_with(&q, naive, true).unwrap().len());
     });
     group.bench_function("p3_late_materialization", |b| {
-        b.iter(|| evaluate_with(&out.db, &q, pruned, true).unwrap().len());
+        b.iter(|| prepared.evaluate_with(&q, pruned, true).unwrap().len());
     });
     group.finish();
 }

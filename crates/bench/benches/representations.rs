@@ -3,7 +3,7 @@
 //! minimization).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use urel_core::{evaluate, table, table_as};
+use urel_core::{table, table_as};
 use urel_relalg::{col, lit_str};
 use urel_tpch::tuple_level::{expand_tuple_level, to_uldb};
 use urel_tpch::{generate, GenParams};
@@ -25,14 +25,17 @@ fn bench_representations(c: &mut Criterion) {
     let q = q3_no_poss();
     let tl = expand_tuple_level(&out.db, 1 << 20, 1 << 24).expect("expansion");
     let uldb0 = to_uldb(&tl).expect("uldb");
+    // Both representations are encoded once; iterations share the catalogs.
+    let attr = out.db.prepare();
+    let tuple = tl.prepare();
 
     let mut group = c.benchmark_group("fig14_representations");
     group.sample_size(10);
     group.bench_function("attribute_level", |b| {
-        b.iter(|| evaluate(&out.db, &q).unwrap().len());
+        b.iter(|| attr.evaluate(&q).unwrap().len());
     });
     group.bench_function("tuple_level", |b| {
-        b.iter(|| evaluate(&tl, &q).unwrap().len());
+        b.iter(|| tuple.evaluate(&q).unwrap().len());
     });
     group.bench_function("uldb", |b| {
         b.iter(|| {
@@ -45,14 +48,45 @@ fn bench_representations(c: &mut Criterion) {
             };
             rename(&mut db, "nation", "n1", "n1_");
             rename(&mut db, "nation", "n2", "n2_");
-            db.select("n1", "n1f", &col("n1_n_name").eq(lit_str("GERMANY"))).unwrap();
-            db.select("n2", "n2f", &col("n2_n_name").eq(lit_str("IRAQ"))).unwrap();
-            db.join("supplier", "lineitem", "j1", &col("s_suppkey").eq(col("l_suppkey")))
+            db.select("n1", "n1f", &col("n1_n_name").eq(lit_str("GERMANY")))
                 .unwrap();
-            db.join("j1", "orders", "j2", &col("o_orderkey").eq(col("l_orderkey"))).unwrap();
-            db.join("j2", "customer", "j3", &col("c_custkey").eq(col("o_custkey"))).unwrap();
-            db.join("j3", "n1f", "j4", &col("s_nationkey").eq(col("n1_n_nationkey"))).unwrap();
-            db.join("j4", "n2f", "j5", &col("c_nationkey").eq(col("n2_n_nationkey"))).unwrap();
+            db.select("n2", "n2f", &col("n2_n_name").eq(lit_str("IRAQ")))
+                .unwrap();
+            db.join(
+                "supplier",
+                "lineitem",
+                "j1",
+                &col("s_suppkey").eq(col("l_suppkey")),
+            )
+            .unwrap();
+            db.join(
+                "j1",
+                "orders",
+                "j2",
+                &col("o_orderkey").eq(col("l_orderkey")),
+            )
+            .unwrap();
+            db.join(
+                "j2",
+                "customer",
+                "j3",
+                &col("c_custkey").eq(col("o_custkey")),
+            )
+            .unwrap();
+            db.join(
+                "j3",
+                "n1f",
+                "j4",
+                &col("s_nationkey").eq(col("n1_n_nationkey")),
+            )
+            .unwrap();
+            db.join(
+                "j4",
+                "n2f",
+                "j5",
+                &col("c_nationkey").eq(col("n2_n_nationkey")),
+            )
+            .unwrap();
             db.relation("j5").unwrap().alt_count()
         });
     });

@@ -2,7 +2,6 @@
 //! both formalisms, translating the σ_{A=B} query, and or-set encoding.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use urel_core::possible;
 use urel_relalg::{col, Value};
 use urel_uldb::convert::or_set_to_uldb;
 use urel_wsd::ring;
@@ -19,8 +18,9 @@ fn bench_ring(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("translated_selection", n), &n, |b, &n| {
             let db = ring::ring_udb(n).unwrap();
+            let prepared = db.prepare();
             let q = urel_core::table("r").select(col("a").eq(col("b")));
-            b.iter(|| possible(&db, &q).unwrap().len());
+            b.iter(|| prepared.possible(&q).unwrap().len());
         });
     }
     group.finish();
@@ -38,14 +38,14 @@ fn bench_orset(c: &mut Criterion) {
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         group.bench_with_input(BenchmarkId::new("urel", k), &k, |b, _| {
             b.iter(|| {
-                urel_core::construct::or_set_database("r", &attr_refs, &[row.clone()])
+                urel_core::construct::or_set_database("r", &attr_refs, std::slice::from_ref(&row))
                     .unwrap()
                     .total_rows()
             });
         });
         group.bench_with_input(BenchmarkId::new("uldb", k), &k, |b, _| {
             b.iter(|| {
-                or_set_to_uldb("r", &attr_refs, &[row.clone()], 1 << 20)
+                or_set_to_uldb("r", &attr_refs, std::slice::from_ref(&row), 1 << 20)
                     .unwrap()
                     .relation("r")
                     .unwrap()

@@ -11,17 +11,22 @@
 //!   *and* optimize: the plan shape the paper's translation produces.
 
 use urel_bench::{median_time, secs, HarnessConfig};
-use urel_core::{evaluate_with, TranslateOptions};
+use urel_core::TranslateOptions;
 use urel_tpch::{generate, q1, GenParams};
 
 fn main() {
     let cfg = HarnessConfig::from_args();
     let scale = if cfg.quick { 0.01 } else { 0.1 };
     let out = generate(&GenParams::paper(scale, 0.01, 0.25)).expect("generation");
+    let prepared = out.db.prepare();
     let q = q1();
 
-    let naive = TranslateOptions { prune_partitions: false };
-    let pruned = TranslateOptions { prune_partitions: true };
+    let naive = TranslateOptions {
+        prune_partitions: false,
+    };
+    let pruned = TranslateOptions {
+        prune_partitions: true,
+    };
 
     println!("# Figure 3: merge-placement ablation on Q1 (s={scale}, x=0.01, z=0.25)");
     println!("{:>28} | {:>10} {:>10}", "plan", "time(s)", "rows");
@@ -31,7 +36,8 @@ fn main() {
         ("P3 late materialization", pruned, true),
     ] {
         let (rows, t) = median_time(cfg.reps, || {
-            evaluate_with(&out.db, &q, opts, optimize)
+            prepared
+                .evaluate_with(&q, opts, optimize)
                 .expect("plan runs")
                 .len()
         });

@@ -37,7 +37,10 @@ fn main() {
     // Constructive check at a feasible size.
     let wsd = ring::ring_answer_wsd(10).expect("n=10 is feasible");
     assert_eq!(wsd.total_cells() as u128, ring::ring_answer_wsd_cells(10));
-    println!("# (verified constructively at n = 10: {} cells)", wsd.total_cells());
+    println!(
+        "# (verified constructively at n = 10: {} cells)",
+        wsd.total_cells()
+    );
 
     println!();
     println!("# Theorem 5.6: or-set relation, m = 8 alternatives per field");
@@ -52,7 +55,8 @@ fn main() {
             .collect();
         let attrs: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-        let udb = or_set_database("r", &attr_refs, &[row.clone()]).expect("or-set U-rel");
+        let udb =
+            or_set_database("r", &attr_refs, std::slice::from_ref(&row)).expect("or-set U-rel");
         let uldb_alts = or_set_uldb_alternatives(&vec![m; k]);
         // Construct the ULDB while it is feasible, to keep the numbers
         // honest rather than formula-only.

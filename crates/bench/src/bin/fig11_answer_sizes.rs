@@ -9,7 +9,7 @@
 //! with `x` and marginally with `z`.
 
 use urel_bench::HarnessConfig;
-use urel_core::{evaluate, possible, UQuery};
+use urel_core::UQuery;
 use urel_tpch::{generate, q1, q2, q3, GenParams};
 
 fn strip_poss(q: UQuery) -> UQuery {
@@ -30,11 +30,17 @@ fn main() {
     for z in cfg.correlations() {
         for x in cfg.uncertainties() {
             let out = generate(&GenParams::paper(scale, x, z)).expect("generation");
+            let prepared = out.db.prepare();
             let mut rows = Vec::new();
             let mut sets = Vec::new();
             for q in [q1(), q2(), q3()] {
-                rows.push(evaluate(&out.db, &strip_poss(q.clone())).expect("query").len());
-                sets.push(possible(&out.db, &q).expect("query").len());
+                rows.push(
+                    prepared
+                        .evaluate(&strip_poss(q.clone()))
+                        .expect("query")
+                        .len(),
+                );
+                sets.push(prepared.possible(&q).expect("query").len());
             }
             println!(
                 "{:>6} {:>8} | {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8}",

@@ -27,7 +27,9 @@ fn main() {
         let naive = translate_with(
             &out.db,
             &q,
-            TranslateOptions { prune_partitions: false },
+            TranslateOptions {
+                prune_partitions: false,
+            },
         )
         .expect("translate naive");
         println!(

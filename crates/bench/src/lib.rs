@@ -121,9 +121,17 @@ mod tests {
 
     #[test]
     fn scale_grid_respects_caps() {
-        let cfg = HarnessConfig { quick: true, scale_cap: f64::INFINITY, reps: 1 };
+        let cfg = HarnessConfig {
+            quick: true,
+            scale_cap: f64::INFINITY,
+            reps: 1,
+        };
         assert!(cfg.scales().iter().all(|&s| s <= 0.1));
-        let cfg = HarnessConfig { quick: false, scale_cap: 0.05, reps: 1 };
+        let cfg = HarnessConfig {
+            quick: false,
+            scale_cap: 0.05,
+            reps: 1,
+        };
         assert_eq!(cfg.scales(), vec![0.01, 0.05]);
     }
 }

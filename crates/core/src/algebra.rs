@@ -22,11 +22,21 @@ pub enum UQuery {
     /// σ — predicate over value attributes.
     Select { input: Box<UQuery>, pred: Expr },
     /// π — keep the listed attributes.
-    Project { input: Box<UQuery>, attrs: Vec<String> },
+    Project {
+        input: Box<UQuery>,
+        attrs: Vec<String>,
+    },
     /// ⋈ — theta-join; the two sides must have disjoint attribute names.
-    Join { left: Box<UQuery>, right: Box<UQuery>, pred: Expr },
+    Join {
+        left: Box<UQuery>,
+        right: Box<UQuery>,
+        pred: Expr,
+    },
     /// ∪ — union of two queries with equal attribute names.
-    Union { left: Box<UQuery>, right: Box<UQuery> },
+    Union {
+        left: Box<UQuery>,
+        right: Box<UQuery>,
+    },
     /// `poss` — close the possible-worlds semantics: the set of tuples
     /// possible in *some* world.
     Poss { input: Box<UQuery> },
@@ -34,18 +44,27 @@ pub enum UQuery {
 
 /// Leaf constructor.
 pub fn table(rel: impl Into<String>) -> UQuery {
-    UQuery::Table { rel: rel.into(), alias: None }
+    UQuery::Table {
+        rel: rel.into(),
+        alias: None,
+    }
 }
 
 /// Aliased leaf constructor (`R AS s1`).
 pub fn table_as(rel: impl Into<String>, alias: impl Into<String>) -> UQuery {
-    UQuery::Table { rel: rel.into(), alias: Some(alias.into()) }
+    UQuery::Table {
+        rel: rel.into(),
+        alias: Some(alias.into()),
+    }
 }
 
 impl UQuery {
     /// σ builder.
     pub fn select(self, pred: Expr) -> UQuery {
-        UQuery::Select { input: Box::new(self), pred }
+        UQuery::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// π builder.
@@ -58,17 +77,26 @@ impl UQuery {
 
     /// ⋈ builder.
     pub fn join(self, right: UQuery, pred: Expr) -> UQuery {
-        UQuery::Join { left: Box::new(self), right: Box::new(right), pred }
+        UQuery::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
     /// ∪ builder.
     pub fn union(self, right: UQuery) -> UQuery {
-        UQuery::Union { left: Box::new(self), right: Box::new(right) }
+        UQuery::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     /// `poss` builder.
     pub fn poss(self) -> UQuery {
-        UQuery::Poss { input: Box::new(self) }
+        UQuery::Poss {
+            input: Box::new(self),
+        }
     }
 
     /// The output attributes (display identities) of this query.
@@ -119,9 +147,7 @@ impl UQuery {
             UQuery::Union { left, right } => {
                 let l = left.attrs(udb)?;
                 let r = right.attrs(udb)?;
-                if l.len() != r.len()
-                    || l.iter().zip(&r).any(|(a, b)| a.name != b.name)
-                {
+                if l.len() != r.len() || l.iter().zip(&r).any(|(a, b)| a.name != b.name) {
                     return Err(Error::InvalidQuery(
                         "union sides must have equal attribute names".into(),
                     ));
@@ -160,12 +186,7 @@ impl UQuery {
 
 /// Evaluate a query inside one world, per the classical semantics.
 /// `limit` bounds the world enumeration triggered by nested `poss`.
-pub fn oracle_eval(
-    q: &UQuery,
-    udb: &UDatabase,
-    f: &Valuation,
-    limit: usize,
-) -> Result<Relation> {
+pub fn oracle_eval(q: &UQuery, udb: &UDatabase, f: &Valuation, limit: usize) -> Result<Relation> {
     match q {
         UQuery::Table { rel, alias } => {
             let inst = udb.instantiate(f)?;
@@ -298,7 +319,11 @@ mod tests {
         // U4 in the paper: ids {3, 2, 4}.
         let expect = Relation::from_rows(
             ["id"],
-            vec![vec![Value::Int(2)], vec![Value::Int(3)], vec![Value::Int(4)]],
+            vec![
+                vec![Value::Int(2)],
+                vec![Value::Int(3)],
+                vec![Value::Int(4)],
+            ],
         )
         .unwrap();
         assert!(poss.set_eq(&expect));
@@ -346,10 +371,7 @@ mod tests {
     fn attrs_and_validation() {
         let db = figure1_database();
         let q = table("r");
-        assert_eq!(
-            q.attrs(&db).unwrap().len(),
-            3,
-        );
+        assert_eq!(q.attrs(&db).unwrap().len(), 3,);
         // Join without alias clashes.
         let bad = table("r").join(table("r"), lit_i64(1).eq(lit_i64(1)));
         assert!(bad.attrs(&db).is_err());
@@ -363,7 +385,9 @@ mod tests {
         let db = figure1_database();
         let ok = table("r").project(["id"]).union(table("r").project(["id"]));
         assert!(ok.attrs(&db).is_ok());
-        let bad = table("r").project(["id"]).union(table("r").project(["type"]));
+        let bad = table("r")
+            .project(["id"])
+            .union(table("r").project(["type"]));
         assert!(bad.attrs(&db).is_err());
     }
 
@@ -380,13 +404,21 @@ mod tests {
         let q = table("r")
             .select(col("faction").eq(lit_str("Enemy")))
             .project(["id"])
-            .union(table("r").select(col("type").eq(lit_str("Transport"))).project(["id"]));
+            .union(
+                table("r")
+                    .select(col("type").eq(lit_str("Transport")))
+                    .project(["id"]),
+            );
         let poss = oracle_possible(&q, &db, 64).unwrap();
         // Enemies possible: 3 (c), 2 (c under x↦2), 4 (d enemy);
         // transports possible: 2, 3 (b), 4 (d transport).
         let expect = Relation::from_rows(
             ["id"],
-            vec![vec![Value::Int(2)], vec![Value::Int(3)], vec![Value::Int(4)]],
+            vec![
+                vec![Value::Int(2)],
+                vec![Value::Int(3)],
+                vec![Value::Int(4)],
+            ],
         )
         .unwrap();
         assert!(poss.set_eq(&expect));

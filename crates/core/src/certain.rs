@@ -39,12 +39,7 @@ pub fn certain_lemma43(u: &URelation, w: &WorldTable) -> Result<Relation> {
                 "Lemma 4.3 requires a normalized U-relation (descriptor size ≤ 1)".into(),
             ));
         }
-        let (var, val) = row
-            .desc
-            .iter()
-            .next()
-            .copied()
-            .unwrap_or((TOP, 0));
+        let (var, val) = row.desc.iter().next().copied().unwrap_or((TOP, 0));
         witnesses
             .entry(row.vals.to_vec())
             .or_default()
@@ -133,14 +128,17 @@ pub fn certain_lemma43_relational(u: &URelation, w: &WorldTable) -> Result<Relat
         .difference(failed)
         .project_names(&a)
         .distinct();
-    Ok(exec::execute(&cert, &catalog)?)
+    // The plan tops out in Distinct, so the Arc is freshly built and
+    // unwrapping it is free.
+    Ok(std::sync::Arc::unwrap_or_clone(exec::execute(
+        &cert, &catalog,
+    )?))
 }
 
 /// Exact certain answers of an arbitrary result U-relation: a tuple is
 /// certain iff the union of its rows' descriptors covers every world.
 pub fn certain_exact(u: &URelation, w: &WorldTable) -> Result<Relation> {
-    let mut groups: BTreeMap<Vec<Value>, Vec<crate::descriptor::WsDescriptor>> =
-        BTreeMap::new();
+    let mut groups: BTreeMap<Vec<Value>, Vec<crate::descriptor::WsDescriptor>> = BTreeMap::new();
     for row in u.rows() {
         groups
             .entry(row.vals.to_vec())
@@ -183,13 +181,25 @@ mod tests {
     fn normalized_sample() -> URelation {
         let mut u = URelation::partition("u", ["a"]);
         // "always" appears under every value of x1.
-        u.push_simple(WsDescriptor::singleton(Var(1), 0), 1, vec![Value::str("always")])
-            .unwrap();
-        u.push_simple(WsDescriptor::singleton(Var(1), 1), 1, vec![Value::str("always")])
-            .unwrap();
+        u.push_simple(
+            WsDescriptor::singleton(Var(1), 0),
+            1,
+            vec![Value::str("always")],
+        )
+        .unwrap();
+        u.push_simple(
+            WsDescriptor::singleton(Var(1), 1),
+            1,
+            vec![Value::str("always")],
+        )
+        .unwrap();
         // "sometimes" appears only under x2 ↦ 0.
-        u.push_simple(WsDescriptor::singleton(Var(2), 0), 2, vec![Value::str("sometimes")])
-            .unwrap();
+        u.push_simple(
+            WsDescriptor::singleton(Var(2), 0),
+            2,
+            vec![Value::str("sometimes")],
+        )
+        .unwrap();
         // "top" has an empty descriptor: present everywhere.
         u.push_simple(WsDescriptor::empty(), 3, vec![Value::str("top")])
             .unwrap();
@@ -242,9 +252,12 @@ mod tests {
         let d = |pairs: &[(u32, u64)]| {
             WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
         };
-        u.push_simple(d(&[(1, 0)]), 1, vec![Value::str("v")]).unwrap();
-        u.push_simple(d(&[(1, 1), (2, 0)]), 1, vec![Value::str("v")]).unwrap();
-        u.push_simple(d(&[(1, 1), (2, 1)]), 1, vec![Value::str("v")]).unwrap();
+        u.push_simple(d(&[(1, 0)]), 1, vec![Value::str("v")])
+            .unwrap();
+        u.push_simple(d(&[(1, 1), (2, 0)]), 1, vec![Value::str("v")])
+            .unwrap();
+        u.push_simple(d(&[(1, 1), (2, 1)]), 1, vec![Value::str("v")])
+            .unwrap();
         let cert = certain_exact(&u, &w).unwrap();
         assert_eq!(cert.len(), 1);
         // Lemma 4.3 on the *normalized* form agrees: normalization fuses

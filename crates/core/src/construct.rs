@@ -22,11 +22,7 @@ use urel_relalg::{Relation, Value};
 /// with one domain value per world and guards every tuple of world `i`
 /// with `{w ↦ i}`; tuples shared by several worlds get one row per world
 /// (compactness is not the point of the completeness theorem).
-pub fn from_worlds(
-    rel_name: &str,
-    attrs: &[&str],
-    worlds: &[Relation],
-) -> Result<UDatabase> {
+pub fn from_worlds(rel_name: &str, attrs: &[&str], worlds: &[Relation]) -> Result<UDatabase> {
     if worlds.is_empty() {
         return Err(Error::InvalidQuery("need at least one world".into()));
     }
@@ -98,7 +94,9 @@ pub fn or_set_database(
                 .find(|(fa, ft, _)| *fa == a && *ft == t as i64 + 1)
                 .and_then(|(_, _, v)| *v);
             match var {
-                None => u.push_simple(WsDescriptor::empty(), t as i64 + 1, vec![alts[0].clone()])?,
+                None => {
+                    u.push_simple(WsDescriptor::empty(), t as i64 + 1, vec![alts[0].clone()])?
+                }
                 Some(v) => {
                     for (i, alt) in alts.iter().enumerate() {
                         u.push_simple(
@@ -169,8 +167,10 @@ mod tests {
             .map(|(_, inst)| format!("{}", inst["r"].sorted_set()))
             .collect();
         got_sets.sort();
-        let mut want_sets: Vec<String> =
-            worlds.iter().map(|w| format!("{}", w.sorted_set())).collect();
+        let mut want_sets: Vec<String> = worlds
+            .iter()
+            .map(|w| format!("{}", w.sorted_set()))
+            .collect();
         want_sets.sort();
         assert_eq!(got_sets, want_sets);
     }
@@ -212,7 +212,10 @@ mod tests {
         let db = or_set_database("r", &attr_refs, &[row]).unwrap();
         assert_eq!(db.total_rows(), k * m);
         // …while the world count is m^k.
-        assert_eq!(db.world.world_count_exact(), Some((m as u128).pow(k as u32)));
+        assert_eq!(
+            db.world.world_count_exact(),
+            Some((m as u128).pow(k as u32))
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ impl WsDescriptor {
 
     /// Single-assignment descriptor.
     pub fn singleton(var: Var, val: u64) -> Self {
-        WsDescriptor { assignments: vec![(var, val)] }
+        WsDescriptor {
+            assignments: vec![(var, val)],
+        }
     }
 
     /// Build from assignment pairs; rejects contradictory duplicates.

@@ -1,6 +1,9 @@
 //! Error type for the U-relations layer.
-
-use std::fmt;
+//!
+//! The `Display` / `std::error::Error` / `Result` boilerplate comes from
+//! [`urel_relalg::impl_error_boilerplate!`], shared with the engine crate;
+//! the `From<urel_relalg::Error>` conversion makes cross-crate `?` work in
+//! examples and tests that mix both layers.
 
 /// Errors raised while building or querying U-relational databases.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,26 +22,16 @@ pub enum Error {
     Engine(urel_relalg::Error),
 }
 
-impl fmt::Display for Error {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Error::InconsistentDescriptor(m) => write!(f, "inconsistent ws-descriptor: {m}"),
-            Error::UnknownWorld(m) => write!(f, "unknown variable/value: {m}"),
-            Error::InvalidDatabase(m) => write!(f, "invalid U-relational database: {m}"),
-            Error::InvalidQuery(m) => write!(f, "invalid query: {m}"),
-            Error::TooLarge(m) => write!(f, "enumeration too large: {m}"),
-            Error::Engine(e) => write!(f, "relational engine: {e}"),
-        }
+urel_relalg::impl_error_boilerplate! {
+    Error {
+        InconsistentDescriptor(m) => "inconsistent ws-descriptor: {m}",
+        UnknownWorld(m) => "unknown variable/value: {m}",
+        InvalidDatabase(m) => "invalid U-relational database: {m}",
+        InvalidQuery(m) => "invalid query: {m}",
+        TooLarge(m) => "enumeration too large: {m}",
+        Engine(e) => "relational engine: {e}",
     }
-}
-
-impl std::error::Error for Error {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            Error::Engine(e) => Some(e),
-            _ => None,
-        }
-    }
+    source: Engine
 }
 
 impl From<urel_relalg::Error> for Error {
@@ -47,5 +40,24 @@ impl From<urel_relalg::Error> for Error {
     }
 }
 
-/// Result alias for this crate.
-pub type Result<T> = std::result::Result<T, Error>;
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_errors_convert_and_chain() {
+        fn relational() -> urel_relalg::error::Result<()> {
+            Err(urel_relalg::Error::UnknownRelation("r".into()))
+        }
+        fn layered() -> Result<()> {
+            relational()?; // cross-crate `?` via From
+            Ok(())
+        }
+        let err = layered().unwrap_err();
+        assert!(matches!(&err, Error::Engine(_)));
+        assert_eq!(err.to_string(), "relational engine: unknown relation `r`");
+        // source() exposes the engine error for error-chain walkers.
+        let src = std::error::Error::source(&err).expect("has source");
+        assert_eq!(src.to_string(), "unknown relation `r`");
+    }
+}

@@ -34,14 +34,16 @@ pub mod reduce;
 pub mod translate;
 pub mod udb;
 pub mod urelation;
-pub mod worldops;
 pub mod world;
+pub mod worldops;
 
 pub use algebra::{oracle_certain, oracle_eval, oracle_possible, table, table_as, UQuery};
 pub use descriptor::WsDescriptor;
 pub use error::{Error, Result};
-pub use translate::{evaluate, evaluate_with, possible, translate, TPlan, TranslateOptions};
+pub use translate::{
+    evaluate, evaluate_with, possible, translate, PreparedDb, TPlan, TranslateOptions,
+};
 pub use udb::{figure1_database, UDatabase};
 pub use urelation::{URelation, URow};
-pub use worldops::{condition_domain, repair_key};
 pub use world::{Valuation, Var, WorldTable, TOP};
+pub use worldops::{condition_domain, repair_key};

@@ -27,7 +27,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new() -> Self {
-        UnionFind { parent: BTreeMap::new() }
+        UnionFind {
+            parent: BTreeMap::new(),
+        }
     }
 
     fn find(&mut self, v: Var) -> Var {
@@ -90,11 +92,9 @@ pub fn normalize_urelations(us: &[&URelation], w: &WorldTable) -> Result<Normali
     let mut comp_var: BTreeMap<Var, Var> = BTreeMap::new(); // member → fused var
     let mut comp_members: BTreeMap<Var, Vec<Var>> = BTreeMap::new();
     let mut strides: BTreeMap<Var, (u64, Vec<u64>)> = BTreeMap::new(); // member → (stride, domain)
-    let mut next_id: u32 = 1;
-    for (_, mut group) in members {
+    for (next_id, (_, mut group)) in (1u32..).zip(members) {
         group.sort();
         let fused = Var(next_id);
-        next_id += 1;
         let mut size: u128 = 1;
         let mut stride: u64 = 1;
         let mut probs: Vec<f64> = vec![1.0];
@@ -154,9 +154,10 @@ pub fn normalize_urelations(us: &[&URelation], w: &WorldTable) -> Result<Normali
                 let (stride, dom) = &strides[&m];
                 match row.desc.get(m) {
                     Some(val) => {
-                        let idx = dom.binary_search(&val).map_err(|_| {
-                            Error::UnknownWorld(format!("{m} ↦ {val} not in W"))
-                        })? as u64;
+                        let idx = dom
+                            .binary_search(&val)
+                            .map_err(|_| Error::UnknownWorld(format!("{m} ↦ {val} not in W")))?
+                            as u64;
                         base += idx * stride;
                     }
                     None => free.push(m),
@@ -232,11 +233,16 @@ mod tests {
         let d = |pairs: &[(u32, u64)]| {
             WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
         };
-        u.push_simple(d(&[(1, 1)]), 1, vec![Value::str("a1")]).unwrap();
-        u.push_simple(d(&[(1, 1), (2, 2)]), 2, vec![Value::str("a2")]).unwrap();
-        u.push_simple(d(&[(1, 2)]), 2, vec![Value::str("a3")]).unwrap();
-        u.push_simple(d(&[(3, 1)]), 3, vec![Value::str("a4")]).unwrap();
-        u.push_simple(d(&[(3, 2)]), 3, vec![Value::str("a5")]).unwrap();
+        u.push_simple(d(&[(1, 1)]), 1, vec![Value::str("a1")])
+            .unwrap();
+        u.push_simple(d(&[(1, 1), (2, 2)]), 2, vec![Value::str("a2")])
+            .unwrap();
+        u.push_simple(d(&[(1, 2)]), 2, vec![Value::str("a3")])
+            .unwrap();
+        u.push_simple(d(&[(3, 1)]), 3, vec![Value::str("a4")])
+            .unwrap();
+        u.push_simple(d(&[(3, 2)]), 3, vec![Value::str("a5")])
+            .unwrap();
         (u, w)
     }
 
@@ -288,10 +294,7 @@ mod tests {
         let norm = normalize(&db).unwrap();
 
         // Same number of worlds, and the same *set* of world instances.
-        assert_eq!(
-            db.world.world_count_exact(),
-            norm.world.world_count_exact()
-        );
+        assert_eq!(db.world.world_count_exact(), norm.world.world_count_exact());
         let canon = |db: &UDatabase| -> Vec<String> {
             let mut v: Vec<String> = db
                 .possible_worlds(64)
@@ -312,10 +315,7 @@ mod tests {
         let db = figure1_database();
         let norm = normalize(&db).unwrap();
         assert_eq!(db.total_rows(), norm.total_rows());
-        assert_eq!(
-            db.world.world_count_exact(),
-            norm.world.world_count_exact()
-        );
+        assert_eq!(db.world.world_count_exact(), norm.world.world_count_exact());
         for rel in ["r"] {
             for (a, b) in db
                 .partitions_of(rel)
@@ -370,8 +370,12 @@ mod tests {
         }
         let mut u = URelation::partition("u", ["a"]);
         let pairs: Vec<(Var, u64)> = (1..=8).map(|i| (Var(i), 0)).collect();
-        u.push_simple(WsDescriptor::from_pairs(pairs).unwrap(), 1, vec![Value::Int(0)])
-            .unwrap();
+        u.push_simple(
+            WsDescriptor::from_pairs(pairs).unwrap(),
+            1,
+            vec![Value::Int(0)],
+        )
+        .unwrap();
         assert!(matches!(
             normalize_urelations(&[&u], &w),
             Err(Error::TooLarge(_))

@@ -105,7 +105,10 @@ fn shannon_connected(descs: &[WsDescriptor], w: &WorldTable) -> f64 {
             *freq.entry(v).or_default() += 1;
         }
     }
-    let (&x, _) = freq.iter().max_by_key(|(_, c)| **c).expect("non-empty descs");
+    let (&x, _) = freq
+        .iter()
+        .max_by_key(|(_, c)| **c)
+        .expect("non-empty descs");
     let dom = w.domain(x).expect("checked").to_vec();
     let mut total = 0.0;
     for val in dom {
@@ -121,8 +124,7 @@ fn shannon_connected(descs: &[WsDescriptor], w: &WorldTable) -> f64 {
                 Some(v) if v != val => continue,
                 _ => {}
             }
-            let rest: Vec<(Var, u64)> =
-                d.iter().copied().filter(|&(v, _)| v != x).collect();
+            let rest: Vec<(Var, u64)> = d.iter().copied().filter(|&(v, _)| v != x).collect();
             sub.push(WsDescriptor::from_pairs(rest).expect("subset stays consistent"));
         }
         total += p * shannon(&sub, w);
@@ -167,8 +169,7 @@ fn covers(descs: &[WsDescriptor], w: &WorldTable) -> bool {
                 Some(v) if v != val => continue,
                 _ => {}
             }
-            let rest: Vec<(Var, u64)> =
-                d.iter().copied().filter(|&(v, _)| v != x).collect();
+            let rest: Vec<(Var, u64)> = d.iter().copied().filter(|&(v, _)| v != x).collect();
             sub.push(WsDescriptor::from_pairs(rest).expect("subset"));
         }
         covers(&sub, w)
@@ -224,9 +225,8 @@ pub fn confidence_monte_carlo(
             assignment.insert(v, val);
         }
         let hit = descs.iter().any(|d| {
-            d.iter().all(|&(v, val)| {
-                v == TOP && val == 0 || assignment.get(&v) == Some(&val)
-            })
+            d.iter()
+                .all(|&(v, val)| v == TOP && val == 0 || assignment.get(&v) == Some(&val))
         });
         if hit {
             hits += 1;
@@ -238,10 +238,7 @@ pub fn confidence_monte_carlo(
 /// Confidence of every distinct answer tuple of a result U-relation:
 /// groups rows by value tuple and computes the union probability of each
 /// group's descriptors.
-pub fn tuple_confidences(
-    u: &URelation,
-    w: &WorldTable,
-) -> Result<Vec<(Vec<Value>, f64)>> {
+pub fn tuple_confidences(u: &URelation, w: &WorldTable) -> Result<Vec<(Vec<Value>, f64)>> {
     let mut groups: BTreeMap<Vec<Value>, Vec<WsDescriptor>> = BTreeMap::new();
     for row in u.rows() {
         groups
@@ -402,11 +399,7 @@ mod tests {
         // Two chains {1-2} and {3}, plus a bridging descriptor that links
         // nothing extra — verified against brute force.
         let w = w2();
-        let descs = vec![
-            d(&[(1, 0), (2, 0)]),
-            d(&[(2, 1)]),
-            d(&[(3, 2)]),
-        ];
+        let descs = vec![d(&[(1, 0), (2, 0)]), d(&[(2, 1)]), d(&[(3, 2)])];
         let exact = confidence(&descs, &w).unwrap();
         let reference = brute(&descs, &w);
         assert!((exact - reference).abs() < 1e-12);

@@ -93,16 +93,32 @@ mod tests {
         let mut db = UDatabase::new(w);
         db.add_relation("r", ["a", "b"]).unwrap();
         let mut u1 = URelation::partition("u1", ["a"]);
-        u1.push_simple(WsDescriptor::singleton(Var(1), 1), 1, vec![Value::str("a1")])
-            .unwrap();
-        u1.push_simple(WsDescriptor::singleton(Var(2), 1), 2, vec![Value::str("a2")])
-            .unwrap();
+        u1.push_simple(
+            WsDescriptor::singleton(Var(1), 1),
+            1,
+            vec![Value::str("a1")],
+        )
+        .unwrap();
+        u1.push_simple(
+            WsDescriptor::singleton(Var(2), 1),
+            2,
+            vec![Value::str("a2")],
+        )
+        .unwrap();
         db.add_partition("r", u1).unwrap();
         let mut u2 = URelation::partition("u2", ["b"]);
-        u2.push_simple(WsDescriptor::singleton(Var(1), 1), 1, vec![Value::str("b1")])
-            .unwrap();
-        u2.push_simple(WsDescriptor::singleton(Var(1), 2), 1, vec![Value::str("b2")])
-            .unwrap();
+        u2.push_simple(
+            WsDescriptor::singleton(Var(1), 1),
+            1,
+            vec![Value::str("b1")],
+        )
+        .unwrap();
+        u2.push_simple(
+            WsDescriptor::singleton(Var(1), 2),
+            1,
+            vec![Value::str("b2")],
+        )
+        .unwrap();
         db.add_partition("r", u2).unwrap();
         db
     }
@@ -149,10 +165,12 @@ mod tests {
         let mut db = UDatabase::new(w);
         db.add_relation("r", ["a", "b", "c"]).unwrap();
         let mut u1 = URelation::partition("u1", ["a"]);
-        u1.push_simple(WsDescriptor::empty(), 1, vec![Value::str("a")]).unwrap();
+        u1.push_simple(WsDescriptor::empty(), 1, vec![Value::str("a")])
+            .unwrap();
         db.add_partition("r", u1).unwrap();
         let mut u2 = URelation::partition("u2", ["b"]);
-        u2.push_simple(WsDescriptor::empty(), 1, vec![Value::str("b")]).unwrap();
+        u2.push_simple(WsDescriptor::empty(), 1, vec![Value::str("b")])
+            .unwrap();
         db.add_partition("r", u2).unwrap();
         let u3 = URelation::partition("u3", ["c"]);
         // u3 is empty: nothing completes.

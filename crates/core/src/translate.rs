@@ -21,7 +21,7 @@ use crate::error::{Error, Result};
 use crate::udb::UDatabase;
 use crate::urelation::URelation;
 use std::collections::BTreeSet;
-use urel_relalg::{exec, optimizer, ColRef, Expr, Plan, Relation};
+use urel_relalg::{exec, optimizer, Catalog, ColRef, Expr, Plan, Relation};
 
 /// A translated query: a relational plan plus the bookkeeping that says
 /// which output columns encode descriptors, tuple ids and values.
@@ -56,7 +56,9 @@ pub struct TranslateOptions {
 
 impl Default for TranslateOptions {
     fn default() -> Self {
-        TranslateOptions { prune_partitions: true }
+        TranslateOptions {
+            prune_partitions: true,
+        }
     }
 }
 
@@ -85,26 +87,80 @@ pub fn evaluate_with(
     opts: TranslateOptions,
     optimize: bool,
 ) -> Result<URelation> {
-    let t = translate_with(udb, q, opts)?;
-    let catalog = udb.to_catalog();
-    let plan = if optimize {
-        optimizer::optimize(&t.plan, &catalog)?
-    } else {
-        t.plan.clone()
-    };
-    let rel = exec::execute(&plan, &catalog)?;
-    URelation::decode("result", &rel, t.desc_arity(), t.tid_cols.len())
+    PreparedDb::new(udb).evaluate_with(q, opts, optimize)
 }
 
 /// Evaluate `poss(Q)` (wrapping `Q` if needed): the set of possible
 /// answer tuples, as a plain relation.
 pub fn possible(udb: &UDatabase, q: &UQuery) -> Result<Relation> {
-    let wrapped = match q {
-        UQuery::Poss { .. } => q.clone(),
-        _ => q.clone().poss(),
-    };
-    let u = evaluate(udb, &wrapped)?;
-    Ok(u.possible_tuples())
+    PreparedDb::new(udb).possible(q)
+}
+
+/// A U-relational database registered once in an engine catalog, for
+/// running many queries without re-encoding the representation per query.
+///
+/// The catalog stores `Arc<Relation>`s and scans alias them, so repeated
+/// queries through a `PreparedDb` share one copy of the base data — the
+/// per-query cost is translation, optimization, and the result rows, not
+/// the database. The free functions [`evaluate`] / [`possible`] remain
+/// one-shot conveniences that prepare internally.
+pub struct PreparedDb<'a> {
+    udb: &'a UDatabase,
+    catalog: Catalog,
+}
+
+impl<'a> PreparedDb<'a> {
+    /// Encode every partition plus `W` into a fresh catalog, once.
+    pub fn new(udb: &'a UDatabase) -> Self {
+        PreparedDb {
+            udb,
+            catalog: udb.to_catalog(),
+        }
+    }
+
+    /// The underlying database.
+    pub fn udb(&self) -> &'a UDatabase {
+        self.udb
+    }
+
+    /// The prepared catalog (shared base relations + statistics).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Translate, optimize, execute, and decode the result U-relation.
+    pub fn evaluate(&self, q: &UQuery) -> Result<URelation> {
+        self.evaluate_with(q, TranslateOptions::default(), true)
+    }
+
+    /// Evaluation with explicit translation options and an optimizer
+    /// toggle (for the plan-ablation benchmarks).
+    pub fn evaluate_with(
+        &self,
+        q: &UQuery,
+        opts: TranslateOptions,
+        optimize: bool,
+    ) -> Result<URelation> {
+        let t = translate_with(self.udb, q, opts)?;
+        let plan = if optimize {
+            optimizer::optimize(&t.plan, &self.catalog)?
+        } else {
+            t.plan.clone()
+        };
+        let rel = exec::execute(&plan, &self.catalog)?;
+        URelation::decode("result", &rel, t.desc_arity(), t.tid_cols.len())
+    }
+
+    /// Evaluate `poss(Q)` (wrapping `Q` if needed): the set of possible
+    /// answer tuples, as a plain relation.
+    pub fn possible(&self, q: &UQuery) -> Result<Relation> {
+        let wrapped = match q {
+            UQuery::Poss { .. } => q.clone(),
+            _ => q.clone().poss(),
+        };
+        let u = self.evaluate(&wrapped)?;
+        Ok(u.possible_tuples())
+    }
 }
 
 struct Translator<'a> {
@@ -131,7 +187,10 @@ impl<'a> Translator<'a> {
                     n2
                 });
                 let t = self.query(input, inner_needed.as_ref())?;
-                Ok(TPlan { plan: t.plan.select(pred.clone()), ..t })
+                Ok(TPlan {
+                    plan: t.plan.select(pred.clone()),
+                    ..t
+                })
             }
             UQuery::Project { input, attrs: _ } => {
                 let out_attrs = q.attrs(self.udb)?;
@@ -158,9 +217,8 @@ impl<'a> Translator<'a> {
             UQuery::Union { left, right } => {
                 // Needs transfer by attribute *name*; strip qualifiers so
                 // they match the right side's (possibly different) aliases.
-                let rneeded = needed.map(|n| {
-                    n.iter().map(|c| c.unqualified()).collect::<BTreeSet<_>>()
-                });
+                let rneeded =
+                    needed.map(|n| n.iter().map(|c| c.unqualified()).collect::<BTreeSet<_>>());
                 let lt = self.query(left, needed)?;
                 let rt = self.query(right, rneeded.as_ref())?;
                 self.union(lt, rt)
@@ -232,7 +290,9 @@ impl<'a> Translator<'a> {
 
         let parts = self.udb.partitions_of(rel)?;
         if parts.is_empty() {
-            return Err(Error::InvalidQuery(format!("relation `{rel}` has no partitions")));
+            return Err(Error::InvalidQuery(format!(
+                "relation `{rel}` has no partitions"
+            )));
         }
 
         // Greedy set cover of the wanted attributes.
@@ -252,7 +312,9 @@ impl<'a> Translator<'a> {
                     )
                 })
                 .filter(|p| {
-                    p.value_cols().iter().any(|c| uncovered.contains(c.as_str()))
+                    p.value_cols()
+                        .iter()
+                        .any(|c| uncovered.contains(c.as_str()))
                 })
                 .ok_or_else(|| {
                     Error::InvalidDatabase(format!(
@@ -297,12 +359,8 @@ impl<'a> Translator<'a> {
         let mut t = acc.expect("at least one partition");
         // The merge fold visits partitions in coverage order; restore the
         // logical attribute order for the output.
-        t.value_cols.sort_by_key(|c| {
-            attrs
-                .iter()
-                .position(|a| *c == mk(a))
-                .unwrap_or(usize::MAX)
-        });
+        t.value_cols
+            .sort_by_key(|c| attrs.iter().position(|a| *c == mk(a)).unwrap_or(usize::MAX));
         Ok(t)
     }
 
@@ -407,8 +465,17 @@ impl<'a> Translator<'a> {
         for vc in &value_cols {
             cols.push((Expr::Col(vc.clone()), vc.clone()));
         }
-        let plan = if drop.is_empty() { plan } else { plan.project(cols) };
-        Ok(TPlan { plan, desc_cols, tid_cols, value_cols })
+        let plan = if drop.is_empty() {
+            plan
+        } else {
+            plan.project(cols)
+        };
+        Ok(TPlan {
+            plan,
+            desc_cols,
+            tid_cols,
+            value_cols,
+        })
     }
 
     /// `[[Q1 ⋈φ Q2]] := π(U1 ⋈_{φ∧ψ} U2)` with `T1 ∩ T2 = ∅`.
@@ -435,7 +502,12 @@ impl<'a> Translator<'a> {
         tid_cols.extend(r.tid_cols);
         let mut value_cols = l.value_cols;
         value_cols.extend(r.value_cols);
-        Ok(TPlan { plan, desc_cols, tid_cols, value_cols })
+        Ok(TPlan {
+            plan,
+            desc_cols,
+            tid_cols,
+            value_cols,
+        })
     }
 
     /// `[[πX(Q)]] := π_{D,T,X}(U)`.
@@ -514,10 +586,7 @@ impl<'a> Translator<'a> {
                         // Pad by repeating the first pair (the paper's rule)…
                         Some((dv, dr)) => (Expr::Col(dv.clone()), Expr::Col(dr.clone())),
                         // …or ⊤ ↦ 0 when the side has no descriptors.
-                        None => (
-                            urel_relalg::lit_i64(0),
-                            urel_relalg::lit_i64(0),
-                        ),
+                        None => (urel_relalg::lit_i64(0), urel_relalg::lit_i64(0)),
                     },
                 };
                 cols.push((ev, odv.clone()));
@@ -537,7 +606,11 @@ impl<'a> Translator<'a> {
         };
         let lcols = side(&l, &l.value_cols);
         let rcols = side(&r, &r_match);
-        let plan = l.plan.clone().project(lcols).union(r.plan.clone().project(rcols));
+        let plan = l
+            .plan
+            .clone()
+            .project(lcols)
+            .union(r.plan.clone().project(rcols));
         Ok(TPlan {
             plan,
             desc_cols: out_desc,
@@ -615,7 +688,10 @@ mod tests {
         for f in db.world.worlds(64).unwrap() {
             let got = u.tuples_in_world(&db.world, &f);
             let want = crate::algebra::oracle_eval(&q, &db, &f, 64).unwrap();
-            assert!(got.set_eq(&want.sorted_set()), "world {f:?}: {got} vs {want}");
+            assert!(
+                got.set_eq(&want.sorted_set()),
+                "world {f:?}: {got} vs {want}"
+            );
         }
     }
 
@@ -695,7 +771,9 @@ mod tests {
         let naive = translate_with(
             &db,
             &q,
-            TranslateOptions { prune_partitions: false },
+            TranslateOptions {
+                prune_partitions: false,
+            },
         )
         .unwrap();
         assert_eq!(naive.plan.join_count(), 2, "P1 merges all partitions");

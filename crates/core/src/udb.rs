@@ -44,7 +44,9 @@ impl UDatabase {
     ) -> Result<()> {
         let name = name.into();
         if self.schema.contains_key(&name) {
-            return Err(Error::InvalidQuery(format!("relation `{name}` already declared")));
+            return Err(Error::InvalidQuery(format!(
+                "relation `{name}` already declared"
+            )));
         }
         self.schema
             .insert(name.clone(), attrs.into_iter().map(Into::into).collect());
@@ -135,7 +137,10 @@ impl UDatabase {
                         .iter()
                         .enumerate()
                         .filter_map(|(ci, c)| {
-                            pj.value_cols().iter().position(|d| d == c).map(|cj| (ci, cj))
+                            pj.value_cols()
+                                .iter()
+                                .position(|d| d == c)
+                                .map(|cj| (ci, cj))
                         })
                         .collect();
                     if shared.is_empty() {
@@ -249,6 +254,13 @@ impl UDatabase {
         c
     }
 
+    /// Encode once into a [`crate::PreparedDb`] for repeated querying:
+    /// the catalog shares its base relations with every scan, so only the
+    /// first query pays the encoding cost.
+    pub fn prepare(&self) -> crate::PreparedDb<'_> {
+        crate::PreparedDb::new(self)
+    }
+
     /// Total representation size in bytes (partitions + world table).
     pub fn size_bytes(&self) -> usize {
         self.partitions
@@ -297,18 +309,23 @@ pub fn figure1_database() -> UDatabase {
 
     let mut u2 = URelation::partition("u2", ["type"]);
     u2.push_simple(e(), a, vec![Value::str("Tank")]).unwrap();
-    u2.push_simple(e(), b, vec![Value::str("Transport")]).unwrap();
+    u2.push_simple(e(), b, vec![Value::str("Transport")])
+        .unwrap();
     u2.push_simple(e(), c, vec![Value::str("Tank")]).unwrap();
-    u2.push_simple(s(y, 1), d, vec![Value::str("Tank")]).unwrap();
-    u2.push_simple(s(y, 2), d, vec![Value::str("Transport")]).unwrap();
+    u2.push_simple(s(y, 1), d, vec![Value::str("Tank")])
+        .unwrap();
+    u2.push_simple(s(y, 2), d, vec![Value::str("Transport")])
+        .unwrap();
     db.add_partition("r", u2).unwrap();
 
     let mut u3 = URelation::partition("u3", ["faction"]);
     u3.push_simple(e(), a, vec![Value::str("Friend")]).unwrap();
     u3.push_simple(e(), b, vec![Value::str("Friend")]).unwrap();
     u3.push_simple(e(), c, vec![Value::str("Enemy")]).unwrap();
-    u3.push_simple(s(z, 1), d, vec![Value::str("Friend")]).unwrap();
-    u3.push_simple(s(z, 2), d, vec![Value::str("Enemy")]).unwrap();
+    u3.push_simple(s(z, 1), d, vec![Value::str("Friend")])
+        .unwrap();
+    u3.push_simple(s(z, 2), d, vec![Value::str("Enemy")])
+        .unwrap();
     db.add_partition("r", u3).unwrap();
 
     db
@@ -365,16 +382,32 @@ mod tests {
         let mut db = UDatabase::new(w);
         db.add_relation("r", ["a", "b"]).unwrap();
         let mut u1 = URelation::partition("u1", ["a"]);
-        u1.push_simple(WsDescriptor::singleton(Var(1), 1), 1, vec![Value::str("a1")])
-            .unwrap();
-        u1.push_simple(WsDescriptor::singleton(Var(2), 1), 2, vec![Value::str("a2")])
-            .unwrap();
+        u1.push_simple(
+            WsDescriptor::singleton(Var(1), 1),
+            1,
+            vec![Value::str("a1")],
+        )
+        .unwrap();
+        u1.push_simple(
+            WsDescriptor::singleton(Var(2), 1),
+            2,
+            vec![Value::str("a2")],
+        )
+        .unwrap();
         db.add_partition("r", u1).unwrap();
         let mut u2 = URelation::partition("u2", ["b"]);
-        u2.push_simple(WsDescriptor::singleton(Var(1), 1), 1, vec![Value::str("b1")])
-            .unwrap();
-        u2.push_simple(WsDescriptor::singleton(Var(1), 2), 1, vec![Value::str("b2")])
-            .unwrap();
+        u2.push_simple(
+            WsDescriptor::singleton(Var(1), 1),
+            1,
+            vec![Value::str("b1")],
+        )
+        .unwrap();
+        u2.push_simple(
+            WsDescriptor::singleton(Var(1), 2),
+            1,
+            vec![Value::str("b2")],
+        )
+        .unwrap();
         db.add_partition("r", u2).unwrap();
         db.validate().unwrap();
 
@@ -423,7 +456,8 @@ mod tests {
         let mut db = UDatabase::new(WorldTable::new());
         db.add_relation("r", ["a", "b"]).unwrap();
         let mut u = URelation::partition("u", ["a"]);
-        u.push_simple(WsDescriptor::empty(), 1, vec![Value::Int(1)]).unwrap();
+        u.push_simple(WsDescriptor::empty(), 1, vec![Value::Int(1)])
+            .unwrap();
         db.add_partition("r", u).unwrap();
         assert!(db.validate().is_err(), "attribute b uncovered");
 

@@ -68,11 +68,7 @@ impl URelation {
     }
 
     /// Fully general constructor.
-    pub fn new(
-        name: impl Into<String>,
-        tid_cols: Vec<String>,
-        value_cols: Vec<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, tid_cols: Vec<String>, value_cols: Vec<String>) -> Self {
         URelation {
             name: name.into(),
             desc_arity: 0,
@@ -107,12 +103,7 @@ impl URelation {
     }
 
     /// Shorthand: push `(descriptor, single tid, values)`.
-    pub fn push_simple(
-        &mut self,
-        desc: WsDescriptor,
-        tid: i64,
-        vals: Vec<Value>,
-    ) -> Result<()> {
+    pub fn push_simple(&mut self, desc: WsDescriptor, tid: i64, vals: Vec<Value>) -> Result<()> {
         self.push(URow::new(desc, vec![tid], vals))
     }
 
@@ -169,9 +160,7 @@ impl URelation {
         self.rows
             .iter()
             .map(|r| {
-                desc_bytes
-                    + r.tids.len() * 8
-                    + r.vals.iter().map(Value::size_bytes).sum::<usize>()
+                desc_bytes + r.tids.len() * 8 + r.vals.iter().map(Value::size_bytes).sum::<usize>()
             })
             .sum()
     }
@@ -271,9 +260,8 @@ impl URelation {
                         // Union-padded tuple-id column (see [`NULL_TID`]).
                         return Ok(NULL_TID);
                     }
-                    v.as_int().ok_or_else(|| {
-                        Error::InvalidDatabase("tuple id is not an integer".into())
-                    })
+                    v.as_int()
+                        .ok_or_else(|| Error::InvalidDatabase("tuple id is not an integer".into()))
                 })
                 .collect::<Result<_>>()?;
             let vals: Vec<Value> = row[2 * desc_arity + n_tids..].to_vec();
@@ -339,8 +327,16 @@ mod tests {
     #[test]
     fn push_checks_arities() {
         let mut u = URelation::partition("u", ["a"]);
-        assert!(u.push(URow::new(WsDescriptor::empty(), vec![1, 2], vec![Value::Int(1)])).is_err());
-        assert!(u.push(URow::new(WsDescriptor::empty(), vec![1], vec![])).is_err());
+        assert!(u
+            .push(URow::new(
+                WsDescriptor::empty(),
+                vec![1, 2],
+                vec![Value::Int(1)]
+            ))
+            .is_err());
+        assert!(u
+            .push(URow::new(WsDescriptor::empty(), vec![1], vec![]))
+            .is_err());
     }
 
     #[test]

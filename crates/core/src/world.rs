@@ -56,7 +56,11 @@ impl WorldTable {
     pub fn new() -> Self {
         let mut domains = BTreeMap::new();
         domains.insert(TOP, vec![0]);
-        WorldTable { domains, probs: BTreeMap::new(), next_var: 1 }
+        WorldTable {
+            domains,
+            probs: BTreeMap::new(),
+            next_var: 1,
+        }
     }
 
     /// Register a variable with an explicit domain. Rejects ⊤, duplicates,
@@ -214,9 +218,8 @@ impl WorldTable {
     /// Does the total valuation `f` extend the descriptor `d`
     /// (∀x ∈ dom(d): d(x) = f(x))? ⊤ assignments hold vacuously.
     pub fn extends(&self, f: &Valuation, d: &WsDescriptor) -> bool {
-        d.iter().all(|&(v, val)| {
-            v == TOP && val == 0 || f.get(&v) == Some(&val)
-        })
+        d.iter()
+            .all(|&(v, val)| v == TOP && val == 0 || f.get(&v) == Some(&val))
     }
 
     /// Probability of one world (product over variables).
@@ -268,9 +271,7 @@ impl WorldTable {
 
     /// Total size in bytes of the `W` relation (Figure 9 accounting).
     pub fn size_bytes(&self) -> usize {
-        self.vars()
-            .map(|v| self.domains[&v].len() * 16)
-            .sum()
+        self.vars().map(|v| self.domains[&v].len() * 16).sum()
     }
 }
 
@@ -331,9 +332,15 @@ mod tests {
         assert!(w.extends(&f, &WsDescriptor::empty()));
         assert!(w.extends(&f, &WsDescriptor::singleton(Var(1), 1)));
         assert!(!w.extends(&f, &WsDescriptor::singleton(Var(1), 2)));
-        assert!(w.check_descriptor(&WsDescriptor::singleton(Var(1), 2)).is_ok());
-        assert!(w.check_descriptor(&WsDescriptor::singleton(Var(9), 0)).is_err());
-        assert!(w.check_descriptor(&WsDescriptor::singleton(Var(1), 7)).is_err());
+        assert!(w
+            .check_descriptor(&WsDescriptor::singleton(Var(1), 2))
+            .is_ok());
+        assert!(w
+            .check_descriptor(&WsDescriptor::singleton(Var(9), 0))
+            .is_err());
+        assert!(w
+            .check_descriptor(&WsDescriptor::singleton(Var(1), 7))
+            .is_err());
     }
 
     #[test]

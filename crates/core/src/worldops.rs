@@ -64,8 +64,7 @@ pub fn repair_key(
     let mut db_rows: Vec<(WsDescriptor, Vec<Value>)> = Vec::new();
     for (_key, rows) in groups {
         if rows.len() == 1 {
-            let vals: Vec<Value> =
-                out_cols.iter().map(|(i, _)| rows[0][*i].clone()).collect();
+            let vals: Vec<Value> = out_cols.iter().map(|(i, _)| rows[0][*i].clone()).collect();
             db_rows.push((WsDescriptor::empty(), vals));
             continue;
         }
@@ -158,10 +157,7 @@ pub fn condition_domain(db: &UDatabase, var: Var, allowed: &[u64]) -> Result<UDa
                 p.value_cols().to_vec(),
             );
             for row in p.rows() {
-                let dead = row
-                    .desc
-                    .get(var)
-                    .is_some_and(|val| !keep.contains(&val));
+                let dead = row.desc.get(var).is_some_and(|val| !keep.contains(&val));
                 if !dead {
                     np.push(row.clone())?;
                 }
@@ -205,8 +201,11 @@ mod tests {
             let r = &inst["person"];
             assert_eq!(r.len(), 3, "every repair keeps one tuple per key");
             // Key uniqueness holds in every world.
-            let mut keys: Vec<i64> =
-                r.rows().iter().map(|row| row[0].as_int().unwrap()).collect();
+            let mut keys: Vec<i64> = r
+                .rows()
+                .iter()
+                .map(|row| row[0].as_int().unwrap())
+                .collect();
             keys.sort_unstable();
             keys.dedup();
             assert_eq!(keys.len(), 3);
@@ -253,16 +252,8 @@ mod tests {
         // An auditor rules out "rob" (value 1).
         let cleaned = condition_domain(&db, var, &[0, 2]).unwrap();
         assert_eq!(cleaned.world.world_count_exact(), Some(4));
-        let poss = oracle_possible(
-            &table("person").project(["name"]),
-            &cleaned,
-            16,
-        )
-        .unwrap();
-        assert!(!poss
-            .rows()
-            .iter()
-            .any(|r| r[0] == Value::str("rob")));
+        let poss = oracle_possible(&table("person").project(["name"]), &cleaned, 16).unwrap();
+        assert!(!poss.rows().iter().any(|r| r[0] == Value::str("rob")));
         // Probabilities renormalized: bob 1/(1+2), bobby 2/3.
         let names = evaluate(&cleaned, &table("person").project(["name"])).unwrap();
         let confs: BTreeMap<String, f64> = tuple_confidences(&names, &cleaned.world)

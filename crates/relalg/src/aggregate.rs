@@ -42,7 +42,10 @@ pub struct Aggregate {
 impl Aggregate {
     /// Helper constructor.
     pub fn new(func: AggFunc, name: impl AsRef<str>) -> Self {
-        Aggregate { func, name: ColRef::parse(name.as_ref()) }
+        Aggregate {
+            func,
+            name: ColRef::parse(name.as_ref()),
+        }
     }
 }
 
@@ -63,7 +66,12 @@ impl State {
         }
     }
 
-    fn update(&mut self, f: &AggFunc, row: &crate::relation::Row, compiled: Option<&CompiledExpr>) -> Result<()> {
+    fn update(
+        &mut self,
+        f: &AggFunc,
+        row: &crate::relation::Row,
+        compiled: Option<&CompiledExpr>,
+    ) -> Result<()> {
         match (self, f) {
             (State::Count(c), AggFunc::CountStar) => *c += 1,
             (State::Count(c), AggFunc::Count(_)) => {
@@ -71,15 +79,11 @@ impl State {
                     *c += 1;
                 }
             }
-            (State::Sum(s), AggFunc::Sum(_)) => {
-                match compiled.unwrap().eval(row) {
-                    Value::Int(v) => *s += v,
-                    Value::Null => {}
-                    other => {
-                        return Err(Error::TypeError(format!("SUM over non-integer {other}")))
-                    }
-                }
-            }
+            (State::Sum(s), AggFunc::Sum(_)) => match compiled.unwrap().eval(row) {
+                Value::Int(v) => *s += v,
+                Value::Null => {}
+                other => return Err(Error::TypeError(format!("SUM over non-integer {other}"))),
+            },
             (State::Min(m), AggFunc::Min(_)) => {
                 let v = compiled.unwrap().eval(row);
                 if !v.is_null() && m.as_ref().is_none_or(|cur| v < *cur) {
@@ -143,7 +147,10 @@ pub fn aggregate(
     }
     if group_by.is_empty() && groups.is_empty() {
         order.push(Vec::new());
-        groups.insert(Vec::new(), aggs.iter().map(|a| State::new(&a.func)).collect());
+        groups.insert(
+            Vec::new(),
+            aggs.iter().map(|a| State::new(&a.func)).collect(),
+        );
     }
 
     let mut names: Vec<ColRef> = group_by.iter().map(|(_, n)| n.clone()).collect();
@@ -193,14 +200,17 @@ mod tests {
         assert_eq!(out.schema().to_string(), "dept, n, n_sal, total, lo, hi");
         assert_eq!(out.len(), 2);
         let d1 = &out.rows()[0];
-        assert_eq!(&d1[..], &[
-            Value::Int(1),
-            Value::Int(2),
-            Value::Int(2),
-            Value::Int(300),
-            Value::Int(100),
-            Value::Int(200)
-        ]);
+        assert_eq!(
+            &d1[..],
+            &[
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(2),
+                Value::Int(300),
+                Value::Int(100),
+                Value::Int(200)
+            ]
+        );
         let d2 = &out.rows()[1];
         assert_eq!(d2[1], Value::Int(2)); // count(*) counts nulls
         assert_eq!(d2[2], Value::Int(1)); // count(salary) does not
@@ -210,12 +220,7 @@ mod tests {
     #[test]
     fn global_aggregate_over_empty_input() {
         let empty = Relation::empty(Schema::named(["a"]));
-        let out = aggregate(
-            &empty,
-            &[],
-            &[Aggregate::new(AggFunc::CountStar, "n")],
-        )
-        .unwrap();
+        let out = aggregate(&empty, &[], &[Aggregate::new(AggFunc::CountStar, "n")]).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0][0], Value::Int(0));
     }
@@ -230,12 +235,7 @@ mod tests {
     #[test]
     fn min_max_of_all_nulls_is_null() {
         let rel = Relation::from_rows(["a"], vec![vec![Value::Null]]).unwrap();
-        let out = aggregate(
-            &rel,
-            &[],
-            &[Aggregate::new(AggFunc::Min(col("a")), "lo")],
-        )
-        .unwrap();
+        let out = aggregate(&rel, &[], &[Aggregate::new(AggFunc::Min(col("a")), "lo")]).unwrap();
         assert_eq!(out.rows()[0][0], Value::Null);
     }
 }

@@ -24,9 +24,16 @@ impl Catalog {
     /// the workloads in this repo scan every registered relation at least
     /// once, so the one-time pass pays for itself.
     pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        self.insert_shared(name, Arc::new(rel));
+    }
+
+    /// Register (or replace) a relation that is already shared — e.g. a
+    /// query result or another catalog's entry. The storage is aliased,
+    /// not copied; only statistics are (re)computed.
+    pub fn insert_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) {
         let name = name.into();
         let stats = TableStats::compute(&rel);
-        self.rels.insert(name.clone(), Arc::new(rel));
+        self.rels.insert(name.clone(), rel);
         self.stats.insert(name, Arc::new(stats));
     }
 
@@ -77,6 +84,15 @@ mod tests {
     }
 
     #[test]
+    fn insert_shared_aliases_storage() {
+        let mut c = Catalog::new();
+        let rel = Arc::new(Relation::from_rows(["a"], vec![vec![Value::Int(1)]]).unwrap());
+        c.insert_shared("t", Arc::clone(&rel));
+        assert!(Arc::ptr_eq(c.get("t").unwrap(), &rel));
+        assert_eq!(c.stats("t").unwrap().rows, 1);
+    }
+
+    #[test]
     fn replace_updates_stats() {
         let mut c = Catalog::new();
         c.insert(
@@ -85,11 +101,7 @@ mod tests {
         );
         c.insert(
             "t",
-            Relation::from_rows(
-                ["a"],
-                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
-            )
-            .unwrap(),
+            Relation::from_rows(["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap(),
         );
         assert_eq!(c.stats("t").unwrap().rows, 2);
     }

@@ -1,6 +1,73 @@
-//! Error type shared by all engine components.
+//! Error type shared by all engine components, plus the boilerplate
+//! macro the higher layers reuse for their own error enums.
 
-use std::fmt;
+/// Implements `Display`, `std::error::Error` and a `Result<T>` alias for
+/// an error enum from a variant → format-string table, so each crate's
+/// `error.rs` is data, not repeated impl blocks.
+///
+/// Struct variants list their fields in braces, tuple variants bind
+/// their payloads in parentheses; the format string captures those
+/// bindings. An optional trailing `source: Variant` names a tuple
+/// variant wrapping an underlying error, wired into
+/// [`std::error::Error::source`].
+///
+/// ```
+/// use std::fmt;
+/// #[derive(Debug)]
+/// pub enum MyError {
+///     Broken { what: String },
+///     Engine(urel_relalg::Error),
+/// }
+/// urel_relalg::impl_error_boilerplate! {
+///     MyError {
+///         Broken { what } => "broken: {what}",
+///         Engine(e) => "engine: {e}",
+///     }
+///     source: Engine
+/// }
+/// let e = MyError::Broken { what: "x".into() };
+/// assert_eq!(e.to_string(), "broken: x");
+/// ```
+#[macro_export]
+macro_rules! impl_error_boilerplate {
+    (
+        $err:ident {
+            $( $variant:ident
+               $( { $($field:ident),+ $(,)? } )?
+               $( ( $($bind:ident),+ $(,)? ) )?
+               => $fmt:literal
+            ),+ $(,)?
+        }
+        $( source: $src:ident )?
+    ) => {
+        impl ::std::fmt::Display for $err {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                match self {
+                    $(
+                        Self::$variant
+                            $( { $($field),+ } )?
+                            $( ( $($bind),+ ) )?
+                        => write!(f, $fmt),
+                    )+
+                }
+            }
+        }
+
+        impl ::std::error::Error for $err {
+            $(
+                fn source(&self) -> Option<&(dyn ::std::error::Error + 'static)> {
+                    match self {
+                        Self::$src(e) => Some(e),
+                        _ => None,
+                    }
+                }
+            )?
+        }
+
+        /// Result alias for this crate.
+        pub type Result<T> = ::std::result::Result<T, $err>;
+    };
+}
 
 /// Engine error. Every failure carries enough context to locate the
 /// offending plan node, column or relation by name.
@@ -22,29 +89,44 @@ pub enum Error {
     Invalid(String),
 }
 
-impl fmt::Display for Error {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Error::UnknownColumn { name, schema } => {
-                write!(f, "unknown column `{name}` in schema [{schema}]")
-            }
-            Error::AmbiguousColumn { name, schema } => {
-                write!(f, "ambiguous column `{name}` in schema [{schema}]")
-            }
-            Error::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
-            Error::ArityMismatch { expected, got } => {
-                write!(f, "row arity {got} does not match schema arity {expected}")
-            }
-            Error::SchemaMismatch { left, right } => {
-                write!(f, "set operation over incompatible schemas [{left}] vs [{right}]")
-            }
-            Error::TypeError(msg) => write!(f, "type error: {msg}"),
-            Error::Invalid(msg) => write!(f, "invalid operation: {msg}"),
-        }
+crate::impl_error_boilerplate! {
+    Error {
+        UnknownColumn { name, schema } => "unknown column `{name}` in schema [{schema}]",
+        AmbiguousColumn { name, schema } => "ambiguous column `{name}` in schema [{schema}]",
+        UnknownRelation(name) => "unknown relation `{name}`",
+        ArityMismatch { expected, got } => "row arity {got} does not match schema arity {expected}",
+        SchemaMismatch { left, right } => "set operation over incompatible schemas [{left}] vs [{right}]",
+        TypeError(msg) => "type error: {msg}",
+        Invalid(msg) => "invalid operation: {msg}",
     }
 }
 
-impl std::error::Error for Error {}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Convenient result alias used throughout the engine.
-pub type Result<T> = std::result::Result<T, Error>;
+    #[test]
+    fn display_formats_every_variant() {
+        let cases: Vec<(Error, &str)> = vec![
+            (
+                Error::UnknownColumn {
+                    name: "a".into(),
+                    schema: "b, c".into(),
+                },
+                "unknown column `a` in schema [b, c]",
+            ),
+            (Error::UnknownRelation("r".into()), "unknown relation `r`"),
+            (
+                Error::ArityMismatch {
+                    expected: 2,
+                    got: 3,
+                },
+                "row arity 3 does not match schema arity 2",
+            ),
+            (Error::TypeError("boom".into()), "type error: boom"),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.to_string(), want);
+        }
+    }
+}

@@ -1,71 +1,59 @@
-//! Operator-at-a-time plan execution.
+//! Plan execution over shared relations.
 //!
-//! Joins automatically extract equi-key conjuncts (`l.col = r.col`) and run
-//! as hash joins with residual predicates; non-equi joins fall back to
-//! nested loops. Semijoins/antijoins hash the right side. This mirrors the
-//! physical operators PostgreSQL chose for the paper's translated queries
-//! (Figure 13 shows merge/hash joins keyed on tuple ids with the
-//! ψ-conditions as join filters).
+//! The executor is zero-copy where the algebra allows it:
+//!
+//! * `Scan` / `Values` hand back the catalog's own `Arc<Relation>` —
+//!   executing a scan never duplicates base data;
+//! * `Rename` re-qualifies the schema while aliasing the input's row
+//!   storage ([`Relation::shared_with_schema`]);
+//! * runs of σ (optionally capped by one π) are fused into a single pass:
+//!   every predicate and projection expression is compiled once against
+//!   the source schema and evaluated per borrowed row, with no
+//!   intermediate `Vec<Row>` per operator — and when the input is an
+//!   unshared intermediate, selection filters it in place;
+//! * joins automatically extract equi-key conjuncts (`l.col = r.col`) and
+//!   run as hash joins whose build table is keyed by row index under an
+//!   [`FxHasher`] digest of the borrowed key slice — probe keys are never
+//!   cloned into the table. Non-equi joins fall back to nested loops;
+//!   semijoins/antijoins hash the right side the same way. This mirrors
+//!   the physical operators PostgreSQL chose for the paper's translated
+//!   queries (Figure 13 shows merge/hash joins keyed on tuple ids with
+//!   the ψ-conditions as join filters).
 
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
 use crate::expr::{CmpOp, CompiledExpr, Expr};
-use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::plan::Plan;
 use crate::relation::{Relation, Row};
 use crate::schema::Schema;
-use crate::value::Value;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-/// Execute a plan against a catalog, materializing the result.
-pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Relation> {
+/// Execute a plan against a catalog.
+///
+/// The result is shared: scanning a base relation returns the catalog's
+/// own entry (pointer-equal, no copy), and every computed relation is
+/// wrapped once so callers can keep or clone it at Arc cost.
+pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Arc<Relation>> {
     match plan {
-        Plan::Scan(name) => Ok(catalog.get(name)?.as_ref().clone()),
-        Plan::Values(rel) => Ok(rel.as_ref().clone()),
-        Plan::Select { input, pred } => {
-            let rel = execute(input, catalog)?;
-            let compiled = pred.compile(rel.schema())?;
-            let rows = rel
-                .rows()
-                .iter()
-                .filter(|r| compiled.eval_bool(r))
-                .cloned()
-                .collect();
-            Relation::new(rel.schema().clone(), rows)
-        }
-        Plan::Project { input, cols } => {
-            let rel = execute(input, catalog)?;
-            let compiled: Vec<CompiledExpr> = cols
-                .iter()
-                .map(|(e, _)| e.compile(rel.schema()))
-                .collect::<Result<_>>()?;
-            let schema = Schema::new(cols.iter().map(|(_, n)| n.clone()).collect());
-            let rows = rel
-                .rows()
-                .iter()
-                .map(|r| {
-                    compiled
-                        .iter()
-                        .map(|c| c.eval(r))
-                        .collect::<Vec<_>>()
-                        .into_boxed_slice()
-                })
-                .collect();
-            Relation::new(schema, rows)
-        }
+        Plan::Scan(name) => Ok(Arc::clone(catalog.get(name)?)),
+        Plan::Values(rel) => Ok(Arc::clone(rel)),
+        Plan::Select { .. } | Plan::Project { .. } => pipeline(plan, catalog),
         Plan::Join { left, right, pred } => {
             let l = execute(left, catalog)?;
             let r = execute(right, catalog)?;
-            join(&l, &r, pred)
+            join(&l, &r, pred).map(Arc::new)
         }
         Plan::SemiJoin { left, right, pred } => {
             let l = execute(left, catalog)?;
             let r = execute(right, catalog)?;
-            semi_anti(&l, &r, pred, true)
+            semi_anti(&l, &r, pred, true).map(Arc::new)
         }
         Plan::AntiJoin { left, right, pred } => {
             let l = execute(left, catalog)?;
             let r = execute(right, catalog)?;
-            semi_anti(&l, &r, pred, false)
+            semi_anti(&l, &r, pred, false).map(Arc::new)
         }
         Plan::Union { left, right } => {
             let l = execute(left, catalog)?;
@@ -76,9 +64,12 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Relation> {
                     right: r.schema().to_string(),
                 });
             }
-            let mut rows = l.into_rows();
-            rows.extend(r.into_rows());
-            Relation::new(plan.schema(catalog)?, rows)
+            // Union output keeps the left schema (see Plan::schema); the
+            // executed child already carries it, no plan re-walk needed.
+            let schema = l.schema().clone();
+            let mut rows = Arc::unwrap_or_clone(l).into_rows();
+            rows.extend(Arc::unwrap_or_clone(r).into_rows());
+            Relation::new(schema, rows).map(Arc::new)
         }
         Plan::Difference { left, right } => {
             let l = execute(left, catalog)?;
@@ -97,7 +88,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Relation> {
                     rows.push(row.clone());
                 }
             }
-            Relation::new(l.schema().clone(), rows)
+            Relation::new(l.schema().clone(), rows).map(Arc::new)
         }
         Plan::Distinct(input) => {
             let rel = execute(input, catalog)?;
@@ -108,14 +99,91 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Relation> {
                     rows.push(row.clone());
                 }
             }
-            Relation::new(rel.schema().clone(), rows)
+            Relation::new(rel.schema().clone(), rows).map(Arc::new)
         }
         Plan::Rename { input, alias } => {
             let rel = execute(input, catalog)?;
             let schema = rel.schema().qualify(alias);
-            rel.with_schema(schema)
+            rel.shared_with_schema(schema).map(Arc::new)
         }
     }
+}
+
+/// Fused evaluation of a run of `Select`s optionally capped by one
+/// `Project`. All predicates of the run and the projection expressions
+/// are compiled once against the *source* schema (runs of σ never change
+/// it), then applied in a single pass over borrowed source rows.
+fn pipeline(plan: &Plan, catalog: &Catalog) -> Result<Arc<Relation>> {
+    let (proj, mut cur) = match plan {
+        Plan::Project { input, cols } => (Some(cols), input.as_ref()),
+        other => (None, other),
+    };
+    let mut preds: Vec<&Expr> = Vec::new();
+    while let Plan::Select { input, pred } = cur {
+        preds.push(pred);
+        cur = input.as_ref();
+    }
+    let src = execute(cur, catalog)?;
+    // Innermost select first, matching operator-at-a-time order.
+    let compiled: Vec<CompiledExpr> = preds
+        .iter()
+        .rev()
+        .map(|p| p.compile(src.schema()))
+        .collect::<Result<_>>()?;
+
+    let Some(cols) = proj else {
+        if compiled.is_empty() {
+            return Ok(src);
+        }
+        return filter(src, &compiled).map(Arc::new);
+    };
+
+    let exprs: Vec<CompiledExpr> = cols
+        .iter()
+        .map(|(e, _)| e.compile(src.schema()))
+        .collect::<Result<_>>()?;
+    let schema = Schema::new(cols.iter().map(|(_, n)| n.clone()).collect());
+    let rows = src
+        .rows()
+        .iter()
+        .filter(|r| compiled.iter().all(|p| p.eval_bool(r)))
+        .map(|r| {
+            exprs
+                .iter()
+                .map(|c| c.eval(r))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        })
+        .collect();
+    Relation::new(schema, rows).map(Arc::new)
+}
+
+/// Apply compiled predicates: in place when `src` is an unshared
+/// intermediate, copying only the surviving rows otherwise. Both the
+/// outer `Arc` and the row storage must be unique for the in-place path —
+/// a rename yields a unique `Relation` whose *rows* still alias the
+/// catalog, and consuming it would deep-copy every tuple before the
+/// retain discards most of them.
+fn filter(src: Arc<Relation>, preds: &[CompiledExpr]) -> Result<Relation> {
+    match Arc::try_unwrap(src) {
+        Ok(rel) if rel.owns_rows() => {
+            let (schema, mut rows) = rel.into_parts();
+            rows.retain(|r| preds.iter().all(|p| p.eval_bool(r)));
+            Relation::new(schema, rows)
+        }
+        Ok(rel) => filter_shared(&rel, preds),
+        Err(shared) => filter_shared(&shared, preds),
+    }
+}
+
+fn filter_shared(src: &Relation, preds: &[CompiledExpr]) -> Result<Relation> {
+    let rows = src
+        .rows()
+        .iter()
+        .filter(|r| preds.iter().all(|p| p.eval_bool(r)))
+        .cloned()
+        .collect();
+    Relation::new(src.schema().clone(), rows)
 }
 
 /// The join-predicate decomposition used by both the executor and the
@@ -160,6 +228,23 @@ impl JoinCondition {
     }
 }
 
+/// FxHash digest of the key columns of a borrowed row — the hash-table
+/// key, so no `Vec<Value>` is materialized per build or probe row.
+#[inline]
+fn key_hash(row: &Row, keys: &[usize]) -> u64 {
+    let mut h = FxHasher::default();
+    for &k in keys {
+        row[k].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Exact key equality backing the hash digest (collision guard).
+#[inline]
+fn keys_eq(a: &Row, a_keys: &[usize], b: &Row, b_keys: &[usize]) -> bool {
+    a_keys.iter().zip(b_keys).all(|(&i, &j)| a[i] == b[j])
+}
+
 fn join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
     let out_schema = l.schema().concat(r.schema());
     let cond = JoinCondition::analyze(pred, l.schema(), r.schema());
@@ -175,16 +260,14 @@ fn join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
         // Nested loop (cross product + filter).
         for lr in l.rows() {
             for rr in r.rows() {
-                if compiled
-                    .as_ref()
-                    .is_none_or(|c| c.eval_bool_pair(lr, rr))
-                {
+                if compiled.as_ref().is_none_or(|c| c.eval_bool_pair(lr, rr)) {
                     rows.push(concat_rows(lr, rr));
                 }
             }
         }
     } else {
-        // Hash join: build on the smaller input.
+        // Hash join: build on the smaller input, keyed by row index under
+        // the FxHash digest of the borrowed key slice.
         let build_left = l.len() <= r.len();
         let (build, probe) = if build_left { (l, r) } else { (r, l) };
         let (build_keys, probe_keys): (Vec<usize>, Vec<usize>) = if build_left {
@@ -193,23 +276,23 @@ fn join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
             let (lk, rk): (Vec<usize>, Vec<usize>) = cond.equi.iter().cloned().unzip();
             (rk, lk)
         };
-        let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+        let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
         for (i, row) in build.rows().iter().enumerate() {
-            let key: Vec<Value> = build_keys.iter().map(|&k| row[k].clone()).collect();
-            table.entry(key).or_default().push(i);
+            table.entry(key_hash(row, &build_keys)).or_default().push(i);
         }
-        let mut probe_key = Vec::with_capacity(probe_keys.len());
         for prow in probe.rows() {
-            probe_key.clear();
-            probe_key.extend(probe_keys.iter().map(|&k| prow[k].clone()));
-            if let Some(matches) = table.get(probe_key.as_slice()) {
+            if let Some(matches) = table.get(&key_hash(prow, &probe_keys)) {
                 for &bi in matches {
                     let brow = &build.rows()[bi];
-                    let (lr, rr) = if build_left { (brow, prow) } else { (prow, brow) };
-                    if compiled
-                        .as_ref()
-                        .is_none_or(|c| c.eval_bool_pair(lr, rr))
-                    {
+                    if !keys_eq(brow, &build_keys, prow, &probe_keys) {
+                        continue;
+                    }
+                    let (lr, rr) = if build_left {
+                        (brow, prow)
+                    } else {
+                        (prow, brow)
+                    };
+                    if compiled.as_ref().is_none_or(|c| c.eval_bool_pair(lr, rr)) {
                         rows.push(concat_rows(lr, rr));
                     }
                 }
@@ -232,31 +315,26 @@ fn semi_anti(l: &Relation, r: &Relation, pred: &Expr, keep_matched: bool) -> Res
     let mut rows = Vec::new();
     if cond.equi.is_empty() {
         for lr in l.rows() {
-            let matched = r.rows().iter().any(|rr| {
-                compiled
-                    .as_ref()
-                    .is_none_or(|c| c.eval_bool_pair(lr, rr))
-            });
+            let matched = r
+                .rows()
+                .iter()
+                .any(|rr| compiled.as_ref().is_none_or(|c| c.eval_bool_pair(lr, rr)));
             if matched == keep_matched {
                 rows.push(lr.clone());
             }
         }
     } else {
         let (lk, rk): (Vec<usize>, Vec<usize>) = cond.equi.iter().cloned().unzip();
-        let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+        let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
         for (i, row) in r.rows().iter().enumerate() {
-            let key: Vec<Value> = rk.iter().map(|&k| row[k].clone()).collect();
-            table.entry(key).or_default().push(i);
+            table.entry(key_hash(row, &rk)).or_default().push(i);
         }
-        let mut key = Vec::with_capacity(lk.len());
         for lr in l.rows() {
-            key.clear();
-            key.extend(lk.iter().map(|&k| lr[k].clone()));
-            let matched = table.get(key.as_slice()).is_some_and(|matches| {
+            let matched = table.get(&key_hash(lr, &lk)).is_some_and(|matches| {
                 matches.iter().any(|&ri| {
-                    compiled
-                        .as_ref()
-                        .is_none_or(|c| c.eval_bool_pair(lr, &r.rows()[ri]))
+                    let rrow = &r.rows()[ri];
+                    keys_eq(lr, &lk, rrow, &rk)
+                        && compiled.as_ref().is_none_or(|c| c.eval_bool_pair(lr, rrow))
                 })
             });
             if matched == keep_matched {
@@ -278,6 +356,7 @@ fn concat_rows(l: &Row, r: &Row) -> Row {
 mod tests {
     use super::*;
     use crate::expr::{col, lit_i64, lit_str};
+    use crate::value::Value;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -308,6 +387,21 @@ mod tests {
     }
 
     #[test]
+    fn scan_shares_catalog_storage() {
+        let c = catalog();
+        let out = execute(&Plan::scan("emp"), &c).unwrap();
+        assert!(Arc::ptr_eq(&out, c.get("emp").unwrap()));
+    }
+
+    #[test]
+    fn rename_shares_rows_with_catalog() {
+        let c = catalog();
+        let out = execute(&Plan::scan("emp").rename("e"), &c).unwrap();
+        assert!(out.shares_rows_with(c.get("emp").unwrap()));
+        assert_eq!(out.schema().to_string(), "e.eid, e.dept, e.name");
+    }
+
+    #[test]
     fn select_project() {
         let c = catalog();
         let p = Plan::scan("emp")
@@ -316,6 +410,54 @@ mod tests {
         let out = execute(&p, &c).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out.rows()[0][0], Value::str("ann"));
+    }
+
+    #[test]
+    fn fused_select_chain_matches_stepwise() {
+        let c = catalog();
+        // σ over σ over σ — one pass, same answer as nesting implies.
+        let p = Plan::scan("emp")
+            .select(col("dept").eq(lit_i64(10)))
+            .select(col("eid").gt(lit_i64(1)))
+            .select(col("name").ne(lit_str("zzz")));
+        let out = execute(&p, &c).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(3));
+        // Predicate validation still fails cleanly mid-chain.
+        let bad = Plan::scan("emp")
+            .select(col("dept").eq(lit_i64(10)))
+            .select(col("nope").eq(lit_i64(1)));
+        assert!(execute(&bad, &c).is_err());
+    }
+
+    #[test]
+    fn select_over_rename_copies_only_survivors() {
+        let c = catalog();
+        // Rename wraps catalog-shared rows in a fresh Relation; the
+        // selection must take the copy-survivors path, not consume (and
+        // deep-copy) the shared storage.
+        let p = Plan::scan("emp")
+            .rename("e")
+            .select(col("e.dept").eq(lit_i64(10)));
+        let out = execute(&p, &c).unwrap();
+        assert_eq!(out.len(), 2);
+        // The catalog entry is untouched and still fully shared.
+        assert_eq!(c.get("emp").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn select_above_project_sees_projected_schema() {
+        let c = catalog();
+        let p = Plan::scan("emp")
+            .project_names(["name"])
+            .select(col("name").eq(lit_str("bob")));
+        let out = execute(&p, &c).unwrap();
+        assert_eq!(out.len(), 1);
+        // And a select on a projected-away column fails.
+        let bad = Plan::scan("emp")
+            .project_names(["name"])
+            .select(col("eid").eq(lit_i64(1)));
+        assert!(execute(&bad, &c).is_err());
     }
 
     #[test]
@@ -370,9 +512,11 @@ mod tests {
         let dup = ids.clone().union(ids.clone());
         assert_eq!(execute(&dup, &c).unwrap().len(), 6);
         assert_eq!(execute(&dup.clone().distinct(), &c).unwrap().len(), 3);
-        let minus = ids
-            .clone()
-            .difference(Plan::scan("emp").select(col("eid").gt(lit_i64(1))).project_names(["eid"]));
+        let minus = ids.clone().difference(
+            Plan::scan("emp")
+                .select(col("eid").gt(lit_i64(1)))
+                .project_names(["eid"]),
+        );
         let out = execute(&minus, &c).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0][0], Value::Int(1));
@@ -412,7 +556,11 @@ mod tests {
             "l",
             Relation::from_rows(
                 ["a"],
-                vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+                vec![
+                    vec![Value::Int(1)],
+                    vec![Value::Int(1)],
+                    vec![Value::Int(2)],
+                ],
             )
             .unwrap(),
         );

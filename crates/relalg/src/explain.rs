@@ -62,20 +62,14 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
                 let keys: Vec<String> = cond
                     .equi
                     .iter()
-                    .map(|(l, r)| {
-                        format!("{} = {}", ls.columns()[*l], rs.columns()[*r])
-                    })
+                    .map(|(l, r)| format!("{} = {}", ls.columns()[*l], rs.columns()[*r]))
                     .collect();
                 let _ = writeln!(out, "Hash Join  (rows≈{rows:.0})");
                 indent(depth + 1, out);
                 let _ = writeln!(out, "Hash Cond: ({})", keys.join(") AND ("));
                 if !cond.residual.is_empty() {
                     indent(depth + 1, out);
-                    let _ = writeln!(
-                        out,
-                        "Join Filter: {}",
-                        Expr::and(cond.residual.clone())
-                    );
+                    let _ = writeln!(out, "Join Filter: {}", Expr::and(cond.residual.clone()));
                 }
             }
             render(left, catalog, depth + 1, out);

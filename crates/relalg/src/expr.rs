@@ -132,6 +132,9 @@ pub fn lit_bool(b: bool) -> Expr {
     Expr::Lit(Value::Bool(b))
 }
 
+// The builder methods deliberately shadow operator-trait names: they
+// construct AST nodes (`col("a").add(lit_i64(1))`), they don't compute.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// `self = other`.
     pub fn eq(self, other: Expr) -> Expr {
@@ -272,16 +275,12 @@ impl Expr {
         match self {
             Expr::Col(c) => Expr::Col(f(c)),
             Expr::Lit(v) => Expr::Lit(v.clone()),
-            Expr::Cmp(op, a, b) => Expr::Cmp(
-                *op,
-                Box::new(a.map_columns(f)),
-                Box::new(b.map_columns(f)),
-            ),
-            Expr::Arith(op, a, b) => Expr::Arith(
-                *op,
-                Box::new(a.map_columns(f)),
-                Box::new(b.map_columns(f)),
-            ),
+            Expr::Cmp(op, a, b) => {
+                Expr::Cmp(*op, Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
+            Expr::Arith(op, a, b) => {
+                Expr::Arith(*op, Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
             Expr::And(parts) => Expr::And(parts.iter().map(|p| p.map_columns(f)).collect()),
             Expr::Or(parts) => Expr::Or(parts.iter().map(|p| p.map_columns(f)).collect()),
             Expr::Not(e) => Expr::Not(Box::new(e.map_columns(f))),
@@ -304,10 +303,16 @@ impl Expr {
                 Box::new(b.compile(schema)?),
             ),
             Expr::And(parts) => CompiledExpr::And(
-                parts.iter().map(|p| p.compile(schema)).collect::<Result<_>>()?,
+                parts
+                    .iter()
+                    .map(|p| p.compile(schema))
+                    .collect::<Result<_>>()?,
             ),
             Expr::Or(parts) => CompiledExpr::Or(
-                parts.iter().map(|p| p.compile(schema)).collect::<Result<_>>()?,
+                parts
+                    .iter()
+                    .map(|p| p.compile(schema))
+                    .collect::<Result<_>>()?,
             ),
             Expr::Not(e) => CompiledExpr::Not(Box::new(e.compile(schema)?)),
         })
@@ -385,16 +390,10 @@ impl CompiledExpr {
         match self {
             CompiledExpr::Col(i) => row[*i].clone(),
             CompiledExpr::Lit(v) => v.clone(),
-            CompiledExpr::Cmp(op, a, b) => {
-                Value::Bool(op.eval(a.eval(row).cmp(&b.eval(row))))
-            }
+            CompiledExpr::Cmp(op, a, b) => Value::Bool(op.eval(a.eval(row).cmp(&b.eval(row)))),
             CompiledExpr::Arith(op, a, b) => eval_arith(*op, a.eval(row), b.eval(row)),
-            CompiledExpr::And(parts) => {
-                Value::Bool(parts.iter().all(|p| p.eval_bool(row)))
-            }
-            CompiledExpr::Or(parts) => {
-                Value::Bool(parts.iter().any(|p| p.eval_bool(row)))
-            }
+            CompiledExpr::And(parts) => Value::Bool(parts.iter().all(|p| p.eval_bool(row))),
+            CompiledExpr::Or(parts) => Value::Bool(parts.iter().any(|p| p.eval_bool(row))),
             CompiledExpr::Not(e) => Value::Bool(!e.eval_bool(row)),
         }
     }
@@ -421,9 +420,9 @@ impl CompiledExpr {
                 }
             }
             CompiledExpr::Lit(v) => v.clone(),
-            CompiledExpr::Cmp(op, a, b) => Value::Bool(
-                op.eval(a.eval_pair(left, right).cmp(&b.eval_pair(left, right))),
-            ),
+            CompiledExpr::Cmp(op, a, b) => {
+                Value::Bool(op.eval(a.eval_pair(left, right).cmp(&b.eval_pair(left, right))))
+            }
             CompiledExpr::Arith(op, a, b) => {
                 eval_arith(*op, a.eval_pair(left, right), b.eval_pair(left, right))
             }
@@ -437,10 +436,9 @@ impl CompiledExpr {
                     .iter()
                     .any(|p| matches!(p.eval_pair(left, right), Value::Bool(true))),
             ),
-            CompiledExpr::Not(e) => Value::Bool(!matches!(
-                e.eval_pair(left, right),
-                Value::Bool(true)
-            )),
+            CompiledExpr::Not(e) => {
+                Value::Bool(!matches!(e.eval_pair(left, right), Value::Bool(true)))
+            }
         }
     }
 }

@@ -44,10 +44,7 @@ pub fn read_csv(input: &mut impl BufRead) -> Result<Relation> {
         .next()
         .ok_or_else(|| Error::Invalid("empty CSV input".into()))?
         .map_err(|e| Error::Invalid(format!("io error: {e}")))?;
-    let names: Vec<String> = split_line(&header)?
-        .into_iter()
-        .map(|(n, _)| n)
-        .collect();
+    let names: Vec<String> = split_line(&header)?.into_iter().map(|(n, _)| n).collect();
     let mut rel = Relation::empty(Schema::named(&names));
     for line in lines {
         let line = line.map_err(|e| Error::Invalid(format!("io error: {e}")))?;
@@ -135,7 +132,9 @@ fn split_line(line: &str) -> Result<Vec<(String, bool)>> {
         }
     }
     if in_quotes {
-        return Err(Error::Invalid(format!("unterminated quote in CSV line: {line}")));
+        return Err(Error::Invalid(format!(
+            "unterminated quote in CSV line: {line}"
+        )));
     }
     fields.push((cur, was_quoted));
     Ok(fields)
@@ -150,7 +149,11 @@ mod tests {
             ["id", "name", "note"],
             vec![
                 vec![Value::Int(1), Value::str("plain"), Value::Null],
-                vec![Value::Int(-2), Value::str("with, comma"), Value::str("q\"uote")],
+                vec![
+                    Value::Int(-2),
+                    Value::str("with, comma"),
+                    Value::str("q\"uote"),
+                ],
                 vec![Value::Int(3), Value::str("NULL"), Value::Bool(true)],
             ],
         )
@@ -181,7 +184,10 @@ mod tests {
     #[test]
     fn rejects_ragged_rows_and_bad_quotes() {
         let mut bad = "a,b\n1\n".as_bytes();
-        assert!(matches!(read_csv(&mut bad), Err(Error::ArityMismatch { .. })));
+        assert!(matches!(
+            read_csv(&mut bad),
+            Err(Error::ArityMismatch { .. })
+        ));
         let mut unterminated = "a\n\"oops\n".as_bytes();
         assert!(read_csv(&mut unterminated).is_err());
         let mut empty = "".as_bytes();

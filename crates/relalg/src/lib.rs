@@ -41,9 +41,9 @@ pub mod sort;
 pub mod stats;
 pub mod value;
 
+pub use aggregate::{aggregate, AggFunc, Aggregate};
 pub use catalog::Catalog;
 pub use error::{Error, Result};
-pub use aggregate::{aggregate, AggFunc, Aggregate};
 pub use expr::{col, lit, lit_bool, lit_i64, lit_str, ArithOp, CmpOp, Expr};
 pub use plan::Plan;
 pub use relation::{Relation, Row};

@@ -90,14 +90,36 @@ fn push_pred_into(plan: Plan, pred: Expr, catalog: &Catalog) -> Plan {
             let merged = Expr::and(conjuncts.into_iter().chain(inner.conjuncts()));
             push_pred_into(*input, merged, catalog)
         }
-        Plan::Join { left, right, pred: jp } => {
+        Plan::Join {
+            left,
+            right,
+            pred: jp,
+        } => {
             let ls = match left.schema(catalog) {
                 Ok(s) => s,
-                Err(_) => return rebuild_select(Plan::Join { left, right, pred: jp }, conjuncts),
+                Err(_) => {
+                    return rebuild_select(
+                        Plan::Join {
+                            left,
+                            right,
+                            pred: jp,
+                        },
+                        conjuncts,
+                    )
+                }
             };
             let rs = match right.schema(catalog) {
                 Ok(s) => s,
-                Err(_) => return rebuild_select(Plan::Join { left, right, pred: jp }, conjuncts),
+                Err(_) => {
+                    return rebuild_select(
+                        Plan::Join {
+                            left,
+                            right,
+                            pred: jp,
+                        },
+                        conjuncts,
+                    )
+                }
             };
             let mut to_left = Vec::new();
             let mut to_right = Vec::new();
@@ -130,8 +152,7 @@ fn push_pred_into(plan: Plan, pred: Expr, catalog: &Catalog) -> Plan {
         Plan::Project { input, cols } => {
             // Push through iff every referenced output column is a plain
             // column alias; rewrite references to the input names.
-            let all_cols: BTreeSet<ColRef> =
-                conjuncts.iter().flat_map(|c| c.columns()).collect();
+            let all_cols: BTreeSet<ColRef> = conjuncts.iter().flat_map(|c| c.columns()).collect();
             let mut mapping = Vec::new();
             let mut pushable = true;
             'outer: for r in &all_cols {
@@ -167,9 +188,7 @@ fn push_pred_into(plan: Plan, pred: Expr, catalog: &Catalog) -> Plan {
             // predicate still compiles there.
             let inner_schema = match input.schema(catalog) {
                 Ok(s) => s,
-                Err(_) => {
-                    return rebuild_select(Plan::Rename { input, alias }, conjuncts)
-                }
+                Err(_) => return rebuild_select(Plan::Rename { input, alias }, conjuncts),
             };
             let stripped = Expr::and(conjuncts.clone()).map_columns(&|c| {
                 if c.qualifier.as_deref() == Some(alias.as_str()) {
@@ -187,9 +206,11 @@ fn push_pred_into(plan: Plan, pred: Expr, catalog: &Catalog) -> Plan {
                 rebuild_select(Plan::Rename { input, alias }, conjuncts)
             }
         }
-        Plan::Distinct(input) => {
-            Plan::Distinct(Box::new(push_pred_into(*input, Expr::and(conjuncts), catalog)))
-        }
+        Plan::Distinct(input) => Plan::Distinct(Box::new(push_pred_into(
+            *input,
+            Expr::and(conjuncts),
+            catalog,
+        ))),
         Plan::Difference { left, right } => {
             // σ(L − R) = σ(L) − R; pushing into R would be wrong.
             Plan::Difference {
@@ -201,14 +222,8 @@ fn push_pred_into(plan: Plan, pred: Expr, catalog: &Catalog) -> Plan {
             // Union is positional; push only if the predicate compiles on
             // both children by name.
             let p = Expr::and(conjuncts.clone());
-            let ok = left
-                .schema(catalog)
-                .and_then(|s| p.compile(&s))
-                .is_ok()
-                && right
-                    .schema(catalog)
-                    .and_then(|s| p.compile(&s))
-                    .is_ok();
+            let ok = left.schema(catalog).and_then(|s| p.compile(&s)).is_ok()
+                && right.schema(catalog).and_then(|s| p.compile(&s)).is_ok();
             if ok {
                 Plan::Union {
                     left: Box::new(push_pred_into(*left, p.clone(), catalog)),
@@ -346,7 +361,11 @@ fn flatten_joins(
                     leaf_set.insert(leaf_idx);
                     bindings.push((r, leaf_idx, local));
                 }
-                conjuncts.push(BoundConjunct { expr: c, bindings, leaves: leaf_set });
+                conjuncts.push(BoundConjunct {
+                    expr: c,
+                    bindings,
+                    leaves: leaf_set,
+                });
             }
             Some(range)
         }
@@ -424,8 +443,7 @@ fn rebuild_join_tree(
         let mut best: Option<(usize, usize, f64, bool)> = None;
         for i in 0..parts.len() {
             for j in (i + 1)..parts.len() {
-                let mut cover: BTreeSet<usize> =
-                    parts[i].1.union(&parts[j].1).cloned().collect();
+                let mut cover: BTreeSet<usize> = parts[i].1.union(&parts[j].1).cloned().collect();
                 let applicable: Vec<&Expr> = remaining
                     .iter()
                     .filter(|(_, ls)| ls.is_subset(&cover))
@@ -486,7 +504,10 @@ fn rebuild_join_tree(
             ));
         }
     }
-    Some(Plan::Project { input: Box::new(plan), cols })
+    Some(Plan::Project {
+        input: Box::new(plan),
+        cols,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -496,10 +517,7 @@ fn rebuild_join_tree(
 /// Estimated output rows of a plan (used by reordering and EXPLAIN).
 pub fn est_rows(plan: &Plan, catalog: &Catalog) -> f64 {
     match plan {
-        Plan::Scan(name) => catalog
-            .stats(name)
-            .map(|s| s.rows as f64)
-            .unwrap_or(1000.0),
+        Plan::Scan(name) => catalog.stats(name).map(|s| s.rows as f64).unwrap_or(1000.0),
         Plan::Values(rel) => rel.len() as f64,
         Plan::Select { input, pred } => {
             let base = est_rows(input, catalog);
@@ -643,9 +661,7 @@ fn column_ndv(plan: &Plan, idx: usize, catalog: &Catalog) -> f64 {
                 column_ndv(right, idx - la, catalog)
             }
         }
-        Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => {
-            column_ndv(left, idx, catalog)
-        }
+        Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => column_ndv(left, idx, catalog),
         Plan::Union { left, right } => {
             column_ndv(left, idx, catalog) + column_ndv(right, idx, catalog)
         }
@@ -678,8 +694,7 @@ fn prune_projections(plan: Plan, catalog: &Catalog, needed: Option<&BTreeSet<Col
                 }
                 None => cols,
             };
-            let used: BTreeSet<ColRef> =
-                cols.iter().flat_map(|(e, _)| e.columns()).collect();
+            let used: BTreeSet<ColRef> = cols.iter().flat_map(|(e, _)| e.columns()).collect();
             Plan::Project {
                 input: Box::new(prune_projections(*input, catalog, Some(&used))),
                 cols,
@@ -689,10 +704,12 @@ fn prune_projections(plan: Plan, catalog: &Catalog, needed: Option<&BTreeSet<Col
             let mut used: BTreeSet<ColRef> = pred.columns();
             match needed {
                 Some(n) => used.extend(n.iter().cloned()),
-                None => return Plan::Select {
-                    input: Box::new(prune_projections(*input, catalog, None)),
-                    pred,
-                },
+                None => {
+                    return Plan::Select {
+                        input: Box::new(prune_projections(*input, catalog, None)),
+                        pred,
+                    }
+                }
             }
             Plan::Select {
                 input: Box::new(prune_projections(*input, catalog, Some(&used))),
@@ -707,7 +724,11 @@ fn prune_projections(plan: Plan, catalog: &Catalog, needed: Option<&BTreeSet<Col
             }
             let l = prune_side(*left, catalog, &used, all_needed);
             let r = prune_side(*right, catalog, &used, all_needed);
-            Plan::Join { left: Box::new(l), right: Box::new(r), pred }
+            Plan::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                pred,
+            }
         }
         Plan::SemiJoin { left, right, pred } => {
             let mut lneed: BTreeSet<ColRef> = pred.columns();
@@ -717,7 +738,11 @@ fn prune_projections(plan: Plan, catalog: &Catalog, needed: Option<&BTreeSet<Col
             }
             let l = prune_side(*left, catalog, &lneed, all_needed);
             let r = prune_side(*right, catalog, &pred.columns(), false);
-            Plan::SemiJoin { left: Box::new(l), right: Box::new(r), pred }
+            Plan::SemiJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                pred,
+            }
         }
         Plan::AntiJoin { left, right, pred } => {
             let mut lneed: BTreeSet<ColRef> = pred.columns();
@@ -727,7 +752,11 @@ fn prune_projections(plan: Plan, catalog: &Catalog, needed: Option<&BTreeSet<Col
             }
             let l = prune_side(*left, catalog, &lneed, all_needed);
             let r = prune_side(*right, catalog, &pred.columns(), false);
-            Plan::AntiJoin { left: Box::new(l), right: Box::new(r), pred }
+            Plan::AntiJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                pred,
+            }
         }
         // Positional / set-sensitive operators: stop propagating needs.
         Plan::Union { left, right } => Plan::Union {
@@ -738,9 +767,7 @@ fn prune_projections(plan: Plan, catalog: &Catalog, needed: Option<&BTreeSet<Col
             left: Box::new(prune_projections(*left, catalog, None)),
             right: Box::new(prune_projections(*right, catalog, None)),
         },
-        Plan::Distinct(input) => {
-            Plan::Distinct(Box::new(prune_projections(*input, catalog, None)))
-        }
+        Plan::Distinct(input) => Plan::Distinct(Box::new(prune_projections(*input, catalog, None))),
         Plan::Rename { input, alias } => {
             // Strip the alias qualifier to express needs in terms of the
             // inner schema; foreign-qualified refs cannot match inside.
@@ -754,11 +781,7 @@ fn prune_projections(plan: Plan, catalog: &Catalog, needed: Option<&BTreeSet<Col
                     .collect()
             });
             Plan::Rename {
-                input: Box::new(prune_projections(
-                    *input,
-                    catalog,
-                    inner_needed.as_ref(),
-                )),
+                input: Box::new(prune_projections(*input, catalog, inner_needed.as_ref())),
                 alias,
             }
         }
@@ -846,9 +869,9 @@ mod tests {
                 Plan::Select { input, .. } => {
                     matches!(**input, Plan::Join { .. }) || select_above_join(input)
                 }
-                Plan::Project { input, .. } | Plan::Distinct(input) | Plan::Rename { input, .. } => {
-                    select_above_join(input)
-                }
+                Plan::Project { input, .. }
+                | Plan::Distinct(input)
+                | Plan::Rename { input, .. } => select_above_join(input),
                 Plan::Join { left, right, .. } => {
                     select_above_join(left) || select_above_join(right)
                 }
@@ -863,10 +886,7 @@ mod tests {
         let c = catalog();
         let p = Plan::scan("big")
             .join(Plan::scan("small"), col("fk").eq(col("g")))
-            .join(
-                Plan::scan("small").rename("s2"),
-                col("fk").eq(col("s2.g")),
-            );
+            .join(Plan::scan("small").rename("s2"), col("fk").eq(col("s2.g")));
         assert_equivalent(&p, &c);
     }
 
@@ -911,11 +931,11 @@ mod tests {
     fn optimize_union_difference_distinct() {
         let c = catalog();
         let ids = Plan::scan("big").project_names(["fk"]);
-        let p = ids
-            .clone()
-            .union(ids.clone())
-            .distinct()
-            .difference(Plan::scan("small").project_names(["g"]).select(col("g").gt(lit_i64(5))));
+        let p = ids.clone().union(ids.clone()).distinct().difference(
+            Plan::scan("small")
+                .project_names(["g"])
+                .select(col("g").gt(lit_i64(5))),
+        );
         assert_equivalent(&p, &c);
     }
 

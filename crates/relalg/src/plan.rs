@@ -23,13 +23,28 @@ pub enum Plan {
     /// π — generalized projection: each output column is an expression
     /// with an output name. Plain column lists are the common case;
     /// literal expressions implement the union translation's padding.
-    Project { input: Box<Plan>, cols: Vec<(Expr, ColRef)> },
+    Project {
+        input: Box<Plan>,
+        cols: Vec<(Expr, ColRef)>,
+    },
     /// ⋈ — inner theta-join (cross product when `pred` is `true`).
-    Join { left: Box<Plan>, right: Box<Plan>, pred: Expr },
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        pred: Expr,
+    },
     /// ⋉ — left semijoin (rows of `left` with a `pred`-partner in `right`).
-    SemiJoin { left: Box<Plan>, right: Box<Plan>, pred: Expr },
+    SemiJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        pred: Expr,
+    },
     /// ▷ — left antijoin (rows of `left` with no partner).
-    AntiJoin { left: Box<Plan>, right: Box<Plan>, pred: Expr },
+    AntiJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        pred: Expr,
+    },
     /// ∪ — positional union (bag); output keeps the left schema.
     Union { left: Box<Plan>, right: Box<Plan> },
     /// − — positional set difference (dedups, SQL `EXCEPT` semantics).
@@ -53,7 +68,10 @@ impl Plan {
 
     /// σ builder.
     pub fn select(self, pred: Expr) -> Plan {
-        Plan::Select { input: Box::new(self), pred }
+        Plan::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// π builder over plain column names (output keeps each name's
@@ -66,37 +84,61 @@ impl Plan {
                 (Expr::Col(r.clone()), r.unqualified())
             })
             .collect();
-        Plan::Project { input: Box::new(self), cols }
+        Plan::Project {
+            input: Box::new(self),
+            cols,
+        }
     }
 
     /// π builder with explicit (expression, output-name) pairs.
     pub fn project(self, cols: Vec<(Expr, ColRef)>) -> Plan {
-        Plan::Project { input: Box::new(self), cols }
+        Plan::Project {
+            input: Box::new(self),
+            cols,
+        }
     }
 
     /// ⋈ builder.
     pub fn join(self, right: Plan, pred: Expr) -> Plan {
-        Plan::Join { left: Box::new(self), right: Box::new(right), pred }
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
     /// ⋉ builder.
     pub fn semijoin(self, right: Plan, pred: Expr) -> Plan {
-        Plan::SemiJoin { left: Box::new(self), right: Box::new(right), pred }
+        Plan::SemiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
     /// ▷ builder.
     pub fn antijoin(self, right: Plan, pred: Expr) -> Plan {
-        Plan::AntiJoin { left: Box::new(self), right: Box::new(right), pred }
+        Plan::AntiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
     /// ∪ builder.
     pub fn union(self, right: Plan) -> Plan {
-        Plan::Union { left: Box::new(self), right: Box::new(right) }
+        Plan::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     /// − builder.
     pub fn difference(self, right: Plan) -> Plan {
-        Plan::Difference { left: Box::new(self), right: Box::new(right) }
+        Plan::Difference {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     /// δ builder.
@@ -106,7 +148,10 @@ impl Plan {
 
     /// ρ builder.
     pub fn rename(self, alias: impl Into<String>) -> Plan {
-        Plan::Rename { input: Box::new(self), alias: alias.into() }
+        Plan::Rename {
+            input: Box::new(self),
+            alias: alias.into(),
+        }
     }
 
     /// Infer the output schema against a catalog.
@@ -132,8 +177,7 @@ impl Plan {
                 pred.compile(&s)?;
                 Ok(s)
             }
-            Plan::SemiJoin { left, right, pred }
-            | Plan::AntiJoin { left, right, pred } => {
+            Plan::SemiJoin { left, right, pred } | Plan::AntiJoin { left, right, pred } => {
                 let joint = left.schema(catalog)?.concat(&right.schema(catalog)?);
                 pred.compile(&joint)?;
                 left.schema(catalog)
@@ -161,9 +205,7 @@ impl Plan {
                 Ok(l)
             }
             Plan::Distinct(input) => input.schema(catalog),
-            Plan::Rename { input, alias } => {
-                Ok(input.schema(catalog)?.qualify(alias))
-            }
+            Plan::Rename { input, alias } => Ok(input.schema(catalog)?.qualify(alias)),
         }
     }
 
@@ -180,9 +222,7 @@ impl Plan {
             | Plan::SemiJoin { left, right, .. }
             | Plan::AntiJoin { left, right, .. }
             | Plan::Union { left, right }
-            | Plan::Difference { left, right } => {
-                left.node_count() + right.node_count()
-            }
+            | Plan::Difference { left, right } => left.node_count() + right.node_count(),
         }
     }
 
@@ -197,9 +237,7 @@ impl Plan {
             | Plan::Rename { input, .. } => input.join_count(),
             Plan::Join { left, right, .. }
             | Plan::SemiJoin { left, right, .. }
-            | Plan::AntiJoin { left, right, .. } => {
-                1 + left.join_count() + right.join_count()
-            }
+            | Plan::AntiJoin { left, right, .. } => 1 + left.join_count() + right.join_count(),
             Plan::Union { left, right } | Plan::Difference { left, right } => {
                 left.join_count() + right.join_count()
             }
@@ -217,11 +255,7 @@ mod tests {
         let mut c = Catalog::new();
         c.insert(
             "r",
-            Relation::from_rows(
-                ["a", "b"],
-                vec![vec![Value::Int(1), Value::Int(2)]],
-            )
-            .unwrap(),
+            Relation::from_rows(["a", "b"], vec![vec![Value::Int(1), Value::Int(2)]]).unwrap(),
         );
         c.insert(
             "s",

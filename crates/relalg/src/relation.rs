@@ -1,9 +1,10 @@
-//! Materialized relations.
+//! Materialized relations with shared row storage.
 
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::value::Value;
 use std::fmt;
+use std::sync::Arc;
 
 /// A row: a boxed slice of values (two words on the stack, no spare
 /// capacity — see the perf guide on boxed slices).
@@ -11,20 +12,31 @@ pub type Row = Box<[Value]>;
 
 /// A materialized relation: a schema plus rows, bag semantics.
 ///
+/// Rows live behind an `Arc`, so cloning a relation — and in particular
+/// re-qualifying its schema for a rename — shares storage instead of
+/// deep-copying tuples. Mutators ([`Relation::push`],
+/// [`Relation::dedup_in_place`]) are copy-on-write: they are free while
+/// the storage is unshared (the builder phase) and fork the rows only if
+/// someone else still holds them.
+///
 /// The engine is operator-at-a-time: every operator consumes and produces
-/// `Relation`s. Set semantics is opt-in via [`Relation::sorted_set`] /
-/// `Plan::Distinct`, which is how the `poss` operator and the test oracles
-/// normalize results.
+/// relations, with [`crate::exec::execute`] handing out `Arc<Relation>`
+/// so scans alias the catalog instead of copying it. Set semantics is
+/// opt-in via [`Relation::sorted_set`] / `Plan::Distinct`, which is how
+/// the `poss` operator and the test oracles normalize results.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Relation {
     schema: Schema,
-    rows: Vec<Row>,
+    rows: Arc<Vec<Row>>,
 }
 
 impl Relation {
     /// Empty relation over a schema.
     pub fn empty(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Arc::new(Vec::new()),
+        }
     }
 
     /// Relation from parts; every row must match the schema arity.
@@ -37,7 +49,25 @@ impl Relation {
                 });
             }
         }
-        Ok(Relation { schema, rows })
+        Ok(Relation {
+            schema,
+            rows: Arc::new(rows),
+        })
+    }
+
+    /// Relation over `schema` sharing another relation's row storage
+    /// (the zero-copy rename: arities must agree, no tuple is touched).
+    pub fn shared_with_schema(&self, schema: Schema) -> Result<Self> {
+        if schema.arity() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.arity(),
+                got: schema.arity(),
+            });
+        }
+        Ok(Relation {
+            schema,
+            rows: Arc::clone(&self.rows),
+        })
     }
 
     /// Convenience constructor from unqualified column names and value rows.
@@ -73,7 +103,21 @@ impl Relation {
         &self.rows
     }
 
-    /// Append a row (arity-checked).
+    /// `true` iff both relations alias the same row storage (used by the
+    /// zero-copy tests; content equality is `==` / [`Relation::set_eq`]).
+    pub fn shares_rows_with(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
+    }
+
+    /// `true` iff this relation is the sole owner of its row storage, so
+    /// consuming or mutating it will not copy tuples. A rename shares
+    /// rows with its input even inside a freshly built `Relation`.
+    pub fn owns_rows(&self) -> bool {
+        Arc::strong_count(&self.rows) == 1
+    }
+
+    /// Append a row (arity-checked). Copy-on-write: forks the row storage
+    /// if it is currently shared.
     pub fn push(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.schema.arity() {
             return Err(Error::ArityMismatch {
@@ -81,16 +125,25 @@ impl Relation {
                 got: row.len(),
             });
         }
-        self.rows.push(row.into_boxed_slice());
+        Arc::make_mut(&mut self.rows).push(row.into_boxed_slice());
         Ok(())
     }
 
-    /// Consume into rows.
+    /// Consume into rows. Free when the storage is unshared; otherwise
+    /// clones the tuples (someone else keeps the original).
     pub fn into_rows(self) -> Vec<Row> {
-        self.rows
+        Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
     }
 
-    /// Replace the schema (e.g. after a rename); arities must agree.
+    /// Consume into schema and rows (same sharing semantics as
+    /// [`Relation::into_rows`]).
+    pub fn into_parts(self) -> (Schema, Vec<Row>) {
+        let rows = Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone());
+        (self.schema, rows)
+    }
+
+    /// Replace the schema (e.g. after a rename); arities must agree. The
+    /// row storage is reused as-is.
     pub fn with_schema(self, schema: Schema) -> Result<Self> {
         if schema.arity() != self.schema.arity() {
             return Err(Error::ArityMismatch {
@@ -98,22 +151,29 @@ impl Relation {
                 got: schema.arity(),
             });
         }
-        Ok(Relation { schema, rows: self.rows })
+        Ok(Relation {
+            schema,
+            rows: self.rows,
+        })
     }
 
     /// Sorted, deduplicated copy: the canonical *set* form used to compare
     /// query answers in tests and to implement set operations.
     pub fn sorted_set(&self) -> Relation {
-        let mut rows = self.rows.clone();
+        let mut rows = (*self.rows).clone();
         rows.sort();
         rows.dedup();
-        Relation { schema: self.schema.clone(), rows }
+        Relation {
+            schema: self.schema.clone(),
+            rows: Arc::new(rows),
+        }
     }
 
-    /// In-place sort + dedup.
+    /// In-place sort + dedup (copy-on-write).
     pub fn dedup_in_place(&mut self) {
-        self.rows.sort();
-        self.rows.dedup();
+        let rows = Arc::make_mut(&mut self.rows);
+        rows.sort();
+        rows.dedup();
     }
 
     /// Total payload size in bytes (Figure 9 accounting).
@@ -135,7 +195,7 @@ impl Relation {
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "[{}]", self.schema)?;
-        for r in &self.rows {
+        for r in self.rows.iter() {
             for (i, v) in r.iter().enumerate() {
                 if i > 0 {
                     write!(f, " | ")?;
@@ -181,14 +241,14 @@ mod tests {
 
     #[test]
     fn set_eq_ignores_order() {
-        let a = Relation::from_rows(
-            ["a"],
-            vec![vec![Value::Int(2)], vec![Value::Int(1)]],
-        )
-        .unwrap();
+        let a = Relation::from_rows(["a"], vec![vec![Value::Int(2)], vec![Value::Int(1)]]).unwrap();
         let b = Relation::from_rows(
             ["a"],
-            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(2)],
+            ],
         )
         .unwrap();
         assert!(a.set_eq(&b));
@@ -199,5 +259,37 @@ mod tests {
     #[test]
     fn size_bytes_counts_payload() {
         assert_eq!(r().size_bytes(), 3 * (8 + 1));
+    }
+
+    #[test]
+    fn clone_shares_storage_until_written() {
+        let a = r();
+        let mut b = a.clone();
+        assert!(a.shares_rows_with(&b));
+        // Copy-on-write: pushing into the clone forks it...
+        b.push(vec![Value::Int(9), Value::str("z")]).unwrap();
+        assert!(!a.shares_rows_with(&b));
+        // ...and the original is untouched.
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn shared_with_schema_is_zero_copy() {
+        let a = r();
+        let q = a.shared_with_schema(a.schema().qualify("t")).unwrap();
+        assert!(a.shares_rows_with(&q));
+        assert_eq!(q.schema().to_string(), "t.a, t.b");
+        // Arity mismatch is rejected.
+        assert!(a.shared_with_schema(Schema::named(["x"])).is_err());
+    }
+
+    #[test]
+    fn into_rows_avoids_copy_when_unique() {
+        let a = r();
+        let ptr = a.rows()[0].as_ptr();
+        let rows = a.into_rows();
+        // Storage was unique: the same allocation comes back out.
+        assert_eq!(rows[0].as_ptr(), ptr);
     }
 }

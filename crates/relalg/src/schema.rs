@@ -105,7 +105,10 @@ impl Schema {
     /// Schema from unqualified (or dotted) name strings.
     pub fn named<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Self {
         Schema {
-            cols: names.into_iter().map(|n| ColRef::parse(n.as_ref())).collect(),
+            cols: names
+                .into_iter()
+                .map(|n| ColRef::parse(n.as_ref()))
+                .collect(),
         }
     }
 

@@ -70,11 +70,7 @@ mod tests {
 
     #[test]
     fn multi_key_sort() {
-        let out = sort_by(
-            &rel(),
-            &[(col("a"), Order::Asc), (col("b"), Order::Desc)],
-        )
-        .unwrap();
+        let out = sort_by(&rel(), &[(col("a"), Order::Asc), (col("b"), Order::Desc)]).unwrap();
         let firsts: Vec<i64> = out.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(firsts, vec![1, 2, 2]);
         assert_eq!(out.rows()[1][1], Value::str("x")); // desc within a = 2

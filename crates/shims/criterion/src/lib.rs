@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace ships
+//! the subset of the criterion 0.5 API its bench targets use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a simple median-of-samples wall clock (one warm-up
+//! iteration, then `sample_size` timed iterations) printed as
+//! `bench <group>/<id> ... <median>` lines — enough to record relative
+//! numbers and keep `cargo bench` runnable end-to-end. Swap the
+//! `criterion` entry in `[workspace.dependencies]` for a registry version
+//! to get real statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    samples: usize,
+    median: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, reporting the median of `samples` runs after one
+    /// warm-up run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        self.median = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        // At least one timed sample, or the median index underflows
+        // (UREL_BENCH_SAMPLES=0 would otherwise panic every target).
+        let mut b = Bencher {
+            samples: self.sample_size.min(self.criterion.max_samples).max(1),
+            median: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{} ... median {:?} ({} samples)",
+            self.name, id, b.median, b.samples
+        );
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut f = f;
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        self.run(&id.name.clone(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (drop-equivalent; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // UREL_BENCH_SAMPLES caps per-bench iterations (CI smoke runs).
+        let max_samples = std::env::var("UREL_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(usize::MAX);
+        Criterion { max_samples }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declare a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sample_cap_still_takes_one_sample() {
+        let mut c = Criterion { max_samples: 0 };
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0usize;
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        // warm-up + one clamped sample, no empty-median panic
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn bencher_measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0usize;
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        // one warm-up + three samples
+        assert_eq!(ran, 4);
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,305 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type. Unlike real proptest there
+/// is no value tree / shrinking: a strategy is just a deterministic
+/// function of the RNG stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then generate from the strategy it
+    /// selects (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `depth` levels of `recurse` applied over the
+    /// leaf, with the leaf mixed back in at every level so expected sizes
+    /// stay bounded. `desired_size` / `expected_branch_size` are accepted
+    /// for API compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase into a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+// Strategies compose by reference too (`(&strat).generate(..)`).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// Weighted choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` pairs; weights must not all be 0.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights summed to total")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy over empty range");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Weighted union of strategies, all erased to one value type.
+///
+/// `prop_oneof![s1, s2]` gives equal weights; `prop_oneof![2 => s1, 1 => s2]`
+/// sets explicit ones.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::deterministic("ranges_and_maps");
+        let s = (0i64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weightless_arms() {
+        let mut rng = TestRng::deterministic("union");
+        let s: Union<i64> = prop_oneof![1 => Just(1i64), 3 => Just(2i64)];
+        let twos = (0..1000).filter(|_| s.generate(&mut rng) == 2).count();
+        assert!((600..900).contains(&twos), "{twos}");
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..4).contains(v));
+                    1
+                }
+                Tree::Node(c) => 1 + c.iter().map(size).sum::<usize>(),
+            }
+        }
+        let s = (0i64..4)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::deterministic("recursive");
+        for _ in 0..50 {
+            assert!(size(&s.generate(&mut rng)) < 1000);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Sequence utilities: in-place shuffling and distinct-index sampling.
+
+use crate::{Rng, RngCore};
+
+/// Shuffling for slices (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Distinct-index sampling (subset of `rand::seq::index`).
+pub mod index {
+    use super::*;
+
+    /// A set of distinct indices in `0..length`.
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Iterate the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// `true` when empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Consume into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Sample `amount` distinct indices from `0..length` (partial
+    /// Fisher–Yates; O(length) memory, fine at this repo's scales).
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} distinct indices from 0..{length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % (length - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn sample_is_distinct_and_in_range() {
+            let mut rng = StdRng::seed_from_u64(9);
+            let idx = sample(&mut rng, 50, 20);
+            let mut v = idx.into_vec();
+            assert_eq!(v.len(), 20);
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), 20);
+            assert!(v.iter().all(|&i| i < 50));
+        }
+    }
+}

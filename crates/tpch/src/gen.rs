@@ -62,9 +62,9 @@ impl ColumnKind {
         match self {
             ColumnKind::PrimaryKey => usize::MAX,
             ColumnKind::ForeignKey { max } => *max as usize,
-            ColumnKind::Int { lo, hi } | ColumnKind::Money { lo, hi } | ColumnKind::Date { lo, hi } => {
-                (*hi - *lo + 1) as usize
-            }
+            ColumnKind::Int { lo, hi }
+            | ColumnKind::Money { lo, hi }
+            | ColumnKind::Date { lo, hi } => (*hi - *lo + 1) as usize,
             ColumnKind::Dict { words } => words.len(),
             ColumnKind::Name { max, .. } => *max as usize,
         }
@@ -86,7 +86,10 @@ impl TableSpec {
     /// As a plain relation.
     pub fn relation(&self) -> Relation {
         Relation::from_rows(
-            self.columns.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            self.columns
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>(),
             self.rows.clone(),
         )
         .expect("generator emits consistent rows")
@@ -137,7 +140,12 @@ pub fn generate_certain(scale: f64, seed: u64) -> CertainTpch {
         name: "region".into(),
         columns: vec![
             ("r_regionkey".into(), ColumnKind::PrimaryKey),
-            ("r_name".into(), ColumnKind::Dict { words: &dict::REGIONS }),
+            (
+                "r_name".into(),
+                ColumnKind::Dict {
+                    words: &dict::REGIONS,
+                },
+            ),
         ],
         rows: dict::REGIONS
             .iter()
@@ -151,26 +159,53 @@ pub fn generate_certain(scale: f64, seed: u64) -> CertainTpch {
         name: "nation".into(),
         columns: vec![
             ("n_nationkey".into(), ColumnKind::PrimaryKey),
-            ("n_name".into(), ColumnKind::Dict {
-                words: {
-                    // Names only; the (name, region) pairing is fixed.
-                    static NAMES: [&str; 25] = [
-                        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
-                        "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
-                        "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
-                        "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
-                        "UNITED STATES",
-                    ];
-                    &NAMES
+            (
+                "n_name".into(),
+                ColumnKind::Dict {
+                    words: {
+                        // Names only; the (name, region) pairing is fixed.
+                        static NAMES: [&str; 25] = [
+                            "ALGERIA",
+                            "ARGENTINA",
+                            "BRAZIL",
+                            "CANADA",
+                            "EGYPT",
+                            "ETHIOPIA",
+                            "FRANCE",
+                            "GERMANY",
+                            "INDIA",
+                            "INDONESIA",
+                            "IRAN",
+                            "IRAQ",
+                            "JAPAN",
+                            "JORDAN",
+                            "KENYA",
+                            "MOROCCO",
+                            "MOZAMBIQUE",
+                            "PERU",
+                            "CHINA",
+                            "ROMANIA",
+                            "SAUDI ARABIA",
+                            "VIETNAM",
+                            "RUSSIA",
+                            "UNITED KINGDOM",
+                            "UNITED STATES",
+                        ];
+                        &NAMES
+                    },
                 },
-            }),
+            ),
             ("n_regionkey".into(), ColumnKind::ForeignKey { max: 5 }),
         ],
         rows: dict::NATIONS
             .iter()
             .enumerate()
             .map(|(i, (n, r))| {
-                vec![Value::Int(i as i64 + 1), Value::str(*n), Value::Int(*r as i64 + 1)]
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::str(*n),
+                    Value::Int(*r as i64 + 1),
+                ]
             })
             .collect(),
     };
@@ -179,9 +214,21 @@ pub fn generate_certain(scale: f64, seed: u64) -> CertainTpch {
     let n_supplier = scaled(BASE_SUPPLIER, scale);
     let supplier_cols = vec![
         ("s_suppkey".into(), ColumnKind::PrimaryKey),
-        ("s_name".into(), ColumnKind::Name { prefix: "Supplier", max: n_supplier as i64 * 10 }),
+        (
+            "s_name".into(),
+            ColumnKind::Name {
+                prefix: "Supplier",
+                max: n_supplier as i64 * 10,
+            },
+        ),
         ("s_nationkey".into(), ColumnKind::ForeignKey { max: 25 }),
-        ("s_acctbal".into(), ColumnKind::Money { lo: -99_999, hi: 999_999 }),
+        (
+            "s_acctbal".into(),
+            ColumnKind::Money {
+                lo: -99_999,
+                hi: 999_999,
+            },
+        ),
     ];
     let supplier = gen_table("supplier", supplier_cols, n_supplier, &mut rng);
     tables.insert(supplier.name.clone(), supplier);
@@ -189,8 +236,18 @@ pub fn generate_certain(scale: f64, seed: u64) -> CertainTpch {
     let n_part = scaled(BASE_PART, scale);
     let part_cols = vec![
         ("p_partkey".into(), ColumnKind::PrimaryKey),
-        ("p_name".into(), ColumnKind::Dict { words: &dict::NAME_WORDS }),
-        ("p_type".into(), ColumnKind::Dict { words: &dict::TYPE_SYLLABLE_2 }),
+        (
+            "p_name".into(),
+            ColumnKind::Dict {
+                words: &dict::NAME_WORDS,
+            },
+        ),
+        (
+            "p_type".into(),
+            ColumnKind::Dict {
+                words: &dict::TYPE_SYLLABLE_2,
+            },
+        ),
         ("p_size".into(), ColumnKind::Int { lo: 1, hi: 50 }),
     ];
     let part = gen_table("part", part_cols, n_part, &mut rng);
@@ -199,10 +256,24 @@ pub fn generate_certain(scale: f64, seed: u64) -> CertainTpch {
     let n_partsupp = scaled(BASE_PARTSUPP, scale);
     let partsupp_cols = vec![
         ("ps_partsuppkey".into(), ColumnKind::PrimaryKey),
-        ("ps_partkey".into(), ColumnKind::ForeignKey { max: n_part as i64 }),
-        ("ps_suppkey".into(), ColumnKind::ForeignKey { max: n_supplier as i64 }),
+        (
+            "ps_partkey".into(),
+            ColumnKind::ForeignKey { max: n_part as i64 },
+        ),
+        (
+            "ps_suppkey".into(),
+            ColumnKind::ForeignKey {
+                max: n_supplier as i64,
+            },
+        ),
         ("ps_availqty".into(), ColumnKind::Int { lo: 1, hi: 9_999 }),
-        ("ps_supplycost".into(), ColumnKind::Money { lo: 100, hi: 100_000 }),
+        (
+            "ps_supplycost".into(),
+            ColumnKind::Money {
+                lo: 100,
+                hi: 100_000,
+            },
+        ),
     ];
     let partsupp = gen_table("partsupp", partsupp_cols, n_partsupp, &mut rng);
     tables.insert(partsupp.name.clone(), partsupp);
@@ -210,10 +281,27 @@ pub fn generate_certain(scale: f64, seed: u64) -> CertainTpch {
     let n_customer = scaled(BASE_CUSTOMER, scale);
     let customer_cols = vec![
         ("c_custkey".into(), ColumnKind::PrimaryKey),
-        ("c_name".into(), ColumnKind::Name { prefix: "Customer", max: n_customer as i64 * 10 }),
+        (
+            "c_name".into(),
+            ColumnKind::Name {
+                prefix: "Customer",
+                max: n_customer as i64 * 10,
+            },
+        ),
         ("c_nationkey".into(), ColumnKind::ForeignKey { max: 25 }),
-        ("c_mktsegment".into(), ColumnKind::Dict { words: &dict::SEGMENTS }),
-        ("c_acctbal".into(), ColumnKind::Money { lo: -99_999, hi: 999_999 }),
+        (
+            "c_mktsegment".into(),
+            ColumnKind::Dict {
+                words: &dict::SEGMENTS,
+            },
+        ),
+        (
+            "c_acctbal".into(),
+            ColumnKind::Money {
+                lo: -99_999,
+                hi: 999_999,
+            },
+        ),
     ];
     let customer = gen_table("customer", customer_cols, n_customer, &mut rng);
     tables.insert(customer.name.clone(), customer);
@@ -221,10 +309,27 @@ pub fn generate_certain(scale: f64, seed: u64) -> CertainTpch {
     let n_orders = scaled(BASE_ORDERS, scale);
     let orders_cols = vec![
         ("o_orderkey".into(), ColumnKind::PrimaryKey),
-        ("o_custkey".into(), ColumnKind::ForeignKey { max: n_customer as i64 }),
-        ("o_orderdate".into(), ColumnKind::Date { lo: date_lo, hi: date_hi }),
+        (
+            "o_custkey".into(),
+            ColumnKind::ForeignKey {
+                max: n_customer as i64,
+            },
+        ),
+        (
+            "o_orderdate".into(),
+            ColumnKind::Date {
+                lo: date_lo,
+                hi: date_hi,
+            },
+        ),
         ("o_shippriority".into(), ColumnKind::Int { lo: 0, hi: 1 }),
-        ("o_totalprice".into(), ColumnKind::Money { lo: 100_000, hi: 50_000_000 }),
+        (
+            "o_totalprice".into(),
+            ColumnKind::Money {
+                lo: 100_000,
+                hi: 50_000_000,
+            },
+        ),
     ];
     let orders = gen_table("orders", orders_cols, n_orders, &mut rng);
     tables.insert(orders.name.clone(), orders);
@@ -232,13 +337,38 @@ pub fn generate_certain(scale: f64, seed: u64) -> CertainTpch {
     let n_lineitem = scaled(BASE_LINEITEM, scale);
     let lineitem_cols = vec![
         ("l_lineid".into(), ColumnKind::PrimaryKey),
-        ("l_orderkey".into(), ColumnKind::ForeignKey { max: n_orders as i64 }),
-        ("l_partkey".into(), ColumnKind::ForeignKey { max: n_part as i64 }),
-        ("l_suppkey".into(), ColumnKind::ForeignKey { max: n_supplier as i64 }),
+        (
+            "l_orderkey".into(),
+            ColumnKind::ForeignKey {
+                max: n_orders as i64,
+            },
+        ),
+        (
+            "l_partkey".into(),
+            ColumnKind::ForeignKey { max: n_part as i64 },
+        ),
+        (
+            "l_suppkey".into(),
+            ColumnKind::ForeignKey {
+                max: n_supplier as i64,
+            },
+        ),
         ("l_quantity".into(), ColumnKind::Int { lo: 1, hi: 50 }),
-        ("l_extendedprice".into(), ColumnKind::Money { lo: 100, hi: 10_000_000 }),
+        (
+            "l_extendedprice".into(),
+            ColumnKind::Money {
+                lo: 100,
+                hi: 10_000_000,
+            },
+        ),
         ("l_discount".into(), ColumnKind::Int { lo: 0, hi: 10 }),
-        ("l_shipdate".into(), ColumnKind::Date { lo: date_lo, hi: date_hi + 121 }),
+        (
+            "l_shipdate".into(),
+            ColumnKind::Date {
+                lo: date_lo,
+                hi: date_hi + 121,
+            },
+        ),
     ];
     let lineitem = gen_table("lineitem", lineitem_cols, n_lineitem, &mut rng);
     tables.insert(lineitem.name.clone(), lineitem);
@@ -263,7 +393,11 @@ fn gen_table(
             .collect();
         out.push(row);
     }
-    TableSpec { name: name.into(), columns, rows: out }
+    TableSpec {
+        name: name.into(),
+        columns,
+        rows: out,
+    }
 }
 
 #[cfg(test)]

@@ -18,8 +18,7 @@ use urel_relalg::{col, lit_i64, lit_str, Expr};
 /// ```
 pub fn q1() -> UQuery {
     let customer = table("customer").select(col("c_mktsegment").eq(lit_str("BUILDING")));
-    let orders =
-        table("orders").select(col("o_orderdate").gt(lit_i64(date_to_days(1995, 3, 15))));
+    let orders = table("orders").select(col("o_orderdate").gt(lit_i64(date_to_days(1995, 3, 15))));
     let lineitem =
         table("lineitem").select(col("l_shipdate").lt(lit_i64(date_to_days(1995, 3, 17))));
     customer

@@ -93,7 +93,11 @@ pub fn expand_tuple_level(
 /// row, descriptors encoded as external-symbol lineage.
 pub fn to_uldb(tuple_level: &UDatabase) -> Result<Uldb> {
     let mut db = Uldb::new();
-    for rel in tuple_level.relations().map(str::to_string).collect::<Vec<_>>() {
+    for rel in tuple_level
+        .relations()
+        .map(str::to_string)
+        .collect::<Vec<_>>()
+    {
         let parts = tuple_level.partitions_of(&rel)?;
         if parts.len() != 1 {
             return Err(Error::InvalidQuery(format!(
@@ -101,12 +105,7 @@ pub fn to_uldb(tuple_level: &UDatabase) -> Result<Uldb> {
                 parts.len()
             )));
         }
-        urel_uldb::convert::add_tuple_level_relation(
-            &mut db,
-            &tuple_level.world,
-            &rel,
-            &parts[0],
-        )?;
+        urel_uldb::convert::add_tuple_level_relation(&mut db, &tuple_level.world, &rel, &parts[0])?;
     }
     Ok(db)
 }

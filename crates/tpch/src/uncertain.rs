@@ -123,7 +123,11 @@ pub fn generate(params: &GenParams) -> Result<UncertainTpch> {
             }
             for ri in 0..t.rows.len() {
                 if rng.gen_bool(params.uncertainty) {
-                    pool.push(FieldRef { table: ti, row: ri, col: ci });
+                    pool.push(FieldRef {
+                        table: ti,
+                        row: ri,
+                        col: ci,
+                    });
                 }
             }
         }
@@ -257,7 +261,11 @@ fn carve_groups(n: usize, z: f64, k: usize) -> Vec<usize> {
     }
     let k = k.max(1);
     let denom: f64 = (1..=k).map(|i| i as f64 * z.powi(i as i32)).sum();
-    let c = if denom > 0.0 { n as f64 / denom } else { n as f64 };
+    let c = if denom > 0.0 {
+        n as f64 / denom
+    } else {
+        n as f64
+    };
     let mut groups = Vec::new();
     let mut left = n;
     for i in (2..=k).rev() {

@@ -37,8 +37,7 @@ pub fn uldb_to_udb(db: &Uldb, rel: &str) -> Result<UDatabase> {
     // have.
     let mut var_of: BTreeMap<i64, Var> = BTreeMap::new();
     for t in &x.xtuples {
-        let lineage_determined =
-            !t.optional && t.alts.iter().all(|a| !a.lineage.is_empty());
+        let lineage_determined = !t.optional && t.alts.iter().all(|a| !a.lineage.is_empty());
         if !lineage_determined {
             let extra = usize::from(t.optional);
             var_of.insert(t.id, wt.fresh_var((t.alts.len() + extra) as u64)?);
@@ -148,11 +147,7 @@ pub fn or_set_uldb_alternatives(field_counts: &[usize]) -> u128 {
 /// row becomes an alternative whose lineage encodes its ws-descriptor
 /// through external symbols `(-(var), value-index)`, preserving all
 /// cross-tuple correlations.
-pub fn tuple_level_from_udb(
-    udb: &UDatabase,
-    rel: &str,
-    tuple_level: &URelation,
-) -> Result<Uldb> {
+pub fn tuple_level_from_udb(udb: &UDatabase, rel: &str, tuple_level: &URelation) -> Result<Uldb> {
     let mut db = Uldb::new();
     add_tuple_level_relation(&mut db, &udb.world, rel, tuple_level)?;
     Ok(db)
@@ -242,26 +237,22 @@ mod tests {
     #[test]
     fn theorem_5_6_exponential_or_sets() {
         // k fields × m alternatives each.
-        let k = 4;
-        let m = 3;
+        let k: usize = 4;
+        let m: usize = 3;
         let row: Vec<Vec<Value>> = (0..k)
             .map(|a| (0..m).map(|i| Value::Int((a * 10 + i) as i64)).collect())
             .collect();
         let attrs: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-        let uldb = or_set_to_uldb("r", &attr_refs, &[row.clone()], 1 << 20).unwrap();
+        let uldb = or_set_to_uldb("r", &attr_refs, std::slice::from_ref(&row), 1 << 20).unwrap();
+        assert_eq!(uldb.relation("r").unwrap().alt_count(), m.pow(k as u32));
         assert_eq!(
-            uldb.relation("r").unwrap().alt_count(),
-            (m as usize).pow(k as u32)
-        );
-        assert_eq!(
-            or_set_uldb_alternatives(&vec![m as usize; k]),
+            or_set_uldb_alternatives(&vec![m; k]),
             (m as u128).pow(k as u32)
         );
         // The U-relational encoding of the same or-set is linear (k·m).
-        let udb =
-            urel_core::construct::or_set_database("r", &attr_refs, &[row]).unwrap();
-        assert_eq!(udb.total_rows(), k * m as usize);
+        let udb = urel_core::construct::or_set_database("r", &attr_refs, &[row]).unwrap();
+        assert_eq!(udb.total_rows(), k * m);
         // And both represent the same world-set.
         let a = world_sigs(&uldb.worlds(1 << 12).unwrap(), "r");
         let mut b: Vec<String> = udb
@@ -277,9 +268,7 @@ mod tests {
 
     #[test]
     fn cap_guard_trips() {
-        let row: Vec<Vec<Value>> = (0..8)
-            .map(|_| (0..8).map(Value::Int).collect())
-            .collect();
+        let row: Vec<Vec<Value>> = (0..8).map(|_| (0..8).map(Value::Int).collect()).collect();
         let attrs: Vec<String> = (0..8).map(|i| format!("c{i}")).collect();
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         assert!(or_set_to_uldb("r", &attr_refs, &[row], 1 << 10).is_err());

@@ -86,7 +86,11 @@ impl Uldb {
                 })
                 .collect();
             let id = self.fresh_id();
-            xtuples.push(XTuple { id, optional: t.optional, alts });
+            xtuples.push(XTuple {
+                id,
+                optional: t.optional,
+                alts,
+            });
         }
         self.insert_derived(XRelation {
             name: out.to_string(),
@@ -122,7 +126,11 @@ impl Uldb {
         let mut table: HashMap<Key, Vec<(usize, u32)>> = HashMap::new();
         for (ti, t) in r.xtuples.iter().enumerate() {
             for (ai, a) in t.alts.iter().enumerate() {
-                let key: Key = cond.equi.iter().map(|&(_, rk)| a.values[rk].clone()).collect();
+                let key: Key = cond
+                    .equi
+                    .iter()
+                    .map(|&(_, rk)| a.values[rk].clone())
+                    .collect();
                 table.entry(key).or_default().push((ti, ai as u32));
             }
         }
@@ -131,9 +139,14 @@ impl Uldb {
         let mut open: HashMap<(usize, usize), Vec<Alternative>> = HashMap::new();
         for (si, s) in l.xtuples.iter().enumerate() {
             for (sai, sa) in s.alts.iter().enumerate() {
-                let key: Key =
-                    cond.equi.iter().map(|&(lk, _)| sa.values[lk].clone()).collect();
-                let Some(matches) = table.get(&key) else { continue };
+                let key: Key = cond
+                    .equi
+                    .iter()
+                    .map(|&(lk, _)| sa.values[lk].clone())
+                    .collect();
+                let Some(matches) = table.get(&key) else {
+                    continue;
+                };
                 for &(ti, tai) in matches {
                     let ta = &r.xtuples[ti].alts[tai as usize];
                     let ok = compiled
@@ -159,7 +172,11 @@ impl Uldb {
         for k in keys {
             let alts = open.remove(&k).unwrap();
             let id = self.fresh_id();
-            xtuples.push(XTuple { id, optional: true, alts });
+            xtuples.push(XTuple {
+                id,
+                optional: true,
+                alts,
+            });
         }
         let mut attrs = l.attrs.clone();
         attrs.extend(r.attrs.iter().cloned());
@@ -199,7 +216,11 @@ impl Uldb {
                     )
                 })
                 .collect();
-            xtuples.push(XTuple { id, optional: t.optional, alts });
+            xtuples.push(XTuple {
+                id,
+                optional: t.optional,
+                alts,
+            });
         }
         self.insert_derived(XRelation {
             name: out.to_string(),
@@ -231,8 +252,7 @@ impl Uldb {
     /// Count erroneous alternatives without removing them.
     pub fn erroneous_count(&self, rel: &str) -> Result<usize> {
         let r = self.relation(rel)?;
-        Ok(r
-            .xtuples
+        Ok(r.xtuples
             .iter()
             .flat_map(|t| &t.alts)
             .filter(|a| self.expand_lineage(&a.lineage).is_none())
@@ -242,14 +262,14 @@ impl Uldb {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::model::example_5_4;
     use urel_relalg::{col, lit_str, Relation, Value};
 
     #[test]
     fn select_marks_optional_and_tracks_lineage() {
         let (mut db, _) = example_5_4();
-        db.select("r", "tanks", &col("type").eq(lit_str("Tank"))).unwrap();
+        db.select("r", "tanks", &col("type").eq(lit_str("Tank")))
+            .unwrap();
         let tanks = db.relation("tanks").unwrap();
         // a (1 alt), c (2 alts), d (2 of 4 alts, now optional).
         assert_eq!(tanks.xtuples.len(), 3);
@@ -263,8 +283,7 @@ mod tests {
                 .filter(|row| row[1] == Value::str("Tank"))
                 .cloned()
                 .collect();
-            let want =
-                Relation::new(inst["r"].schema().clone(), want).unwrap();
+            let want = Relation::new(inst["r"].schema().clone(), want).unwrap();
             assert!(inst["tanks"].set_eq(&want));
         }
     }
@@ -285,7 +304,8 @@ mod tests {
         r2.attrs = vec!["id2".to_string()];
         r2.name = "sid2r".to_string();
         db.insert_derived(r2);
-        db.join("sid", "sid2r", "pairs", &col("id").ne(col("id2"))).unwrap();
+        db.join("sid", "sid2r", "pairs", &col("id").ne(col("id2")))
+            .unwrap();
 
         // c contributes alternatives (3) and (2); the pair (3,2) combines
         // c's alt 0 with c's alt 1 — erroneous (vehicle c cannot be at two
@@ -319,7 +339,8 @@ mod tests {
         r2.attrs = vec!["id2".to_string()];
         r2.name = "ids2".to_string();
         db.insert_derived(r2);
-        db.join("ids", "ids2", "j", &col("id").eq(col("id2"))).unwrap();
+        db.join("ids", "ids2", "j", &col("id").eq(col("id2")))
+            .unwrap();
         for inst in db.worlds(128).unwrap() {
             // id ⋈ id2 on equality is the identity pairing.
             assert_eq!(inst["j"].sorted_set().len(), inst["ids"].sorted_set().len());
@@ -329,7 +350,8 @@ mod tests {
     #[test]
     fn union_keeps_worlds() {
         let (mut db, _) = example_5_4();
-        db.select("r", "tanks", &col("type").eq(lit_str("Tank"))).unwrap();
+        db.select("r", "tanks", &col("type").eq(lit_str("Tank")))
+            .unwrap();
         db.select("r", "transports", &col("type").eq(lit_str("Transport")))
             .unwrap();
         db.union("tanks", "transports", "all").unwrap();

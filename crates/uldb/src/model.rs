@@ -22,12 +22,18 @@ pub struct Alternative {
 impl Alternative {
     /// Lineage-free alternative.
     pub fn new(values: Vec<Value>) -> Self {
-        Alternative { values: values.into_boxed_slice(), lineage: Vec::new() }
+        Alternative {
+            values: values.into_boxed_slice(),
+            lineage: Vec::new(),
+        }
     }
 
     /// Alternative with lineage.
     pub fn with_lineage(values: Vec<Value>, lineage: Vec<AltRef>) -> Self {
-        Alternative { values: values.into_boxed_slice(), lineage }
+        Alternative {
+            values: values.into_boxed_slice(),
+            lineage,
+        }
     }
 }
 
@@ -69,10 +75,7 @@ impl XRelation {
         self.xtuples
             .iter()
             .flat_map(|t| &t.alts)
-            .map(|a| {
-                a.values.iter().map(Value::size_bytes).sum::<usize>()
-                    + a.lineage.len() * 8
-            })
+            .map(|a| a.values.iter().map(Value::size_bytes).sum::<usize>() + a.lineage.len() * 8)
             .sum()
     }
 }
@@ -117,14 +120,11 @@ impl Uldb {
     }
 
     /// Add an x-tuple; returns its fresh id.
-    pub fn add_xtuple(
-        &mut self,
-        rel: &str,
-        optional: bool,
-        alts: Vec<Alternative>,
-    ) -> Result<i64> {
+    pub fn add_xtuple(&mut self, rel: &str, optional: bool, alts: Vec<Alternative>) -> Result<i64> {
         if alts.is_empty() {
-            return Err(Error::InvalidQuery("x-tuple needs at least one alternative".into()));
+            return Err(Error::InvalidQuery(
+                "x-tuple needs at least one alternative".into(),
+            ));
         }
         let arity = self.relation(rel)?.attrs.len();
         for a in &alts {
@@ -336,9 +336,7 @@ impl Uldb {
 pub fn example_5_4() -> (Uldb, [i64; 4]) {
     let mut db = Uldb::new();
     db.add_relation("r", ["id", "type", "faction"]).unwrap();
-    let row = |id: i64, ty: &str, fa: &str| {
-        vec![Value::Int(id), Value::str(ty), Value::str(fa)]
-    };
+    let row = |id: i64, ty: &str, fa: &str| vec![Value::Int(id), Value::str(ty), Value::str(fa)];
     let a = db
         .add_xtuple("r", false, vec![Alternative::new(row(1, "Tank", "Friend"))])
         .unwrap();
@@ -453,7 +451,11 @@ mod tests {
         assert!(db.add_relation("r", ["b"]).is_err());
         assert!(db.add_xtuple("r", false, vec![]).is_err());
         assert!(db
-            .add_xtuple("r", false, vec![Alternative::new(vec![Value::Int(1), Value::Int(2)])])
+            .add_xtuple(
+                "r",
+                false,
+                vec![Alternative::new(vec![Value::Int(1), Value::Int(2)])]
+            )
             .is_err());
         assert!(db.relation("zzz").is_err());
     }

@@ -202,11 +202,16 @@ mod tests {
             WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
         };
         let mut u = URelation::partition("u", ["a"]);
-        u.push_simple(d(&[(1, 1)]), 1, vec![Value::str("a1")]).unwrap();
-        u.push_simple(d(&[(1, 1), (2, 2)]), 2, vec![Value::str("a2")]).unwrap();
-        u.push_simple(d(&[(1, 2)]), 2, vec![Value::str("a3")]).unwrap();
-        u.push_simple(d(&[(3, 1)]), 3, vec![Value::str("a4")]).unwrap();
-        u.push_simple(d(&[(3, 2)]), 3, vec![Value::str("a5")]).unwrap();
+        u.push_simple(d(&[(1, 1)]), 1, vec![Value::str("a1")])
+            .unwrap();
+        u.push_simple(d(&[(1, 1), (2, 2)]), 2, vec![Value::str("a2")])
+            .unwrap();
+        u.push_simple(d(&[(1, 2)]), 2, vec![Value::str("a3")])
+            .unwrap();
+        u.push_simple(d(&[(3, 1)]), 3, vec![Value::str("a4")])
+            .unwrap();
+        u.push_simple(d(&[(3, 2)]), 3, vec![Value::str("a5")])
+            .unwrap();
         let mut db = UDatabase::new(wt);
         db.add_relation("r", ["a"]).unwrap();
         db.add_partition("r", u).unwrap();

@@ -51,15 +51,15 @@ pub fn ring_udb(n: usize) -> Result<UDatabase> {
 /// `{tᵢ.A, t_{(i mod n)+1}.B}` and two local worlds `(1,1)` / `(0,0)`.
 pub fn ring_wsd(n: usize) -> Result<Wsd> {
     assert!(n >= 1);
-    let schema = BTreeMap::from([(
-        "r".to_string(),
-        vec!["a".to_string(), "b".to_string()],
-    )]);
+    let schema = BTreeMap::from([("r".to_string(), vec!["a".to_string(), "b".to_string()])]);
     let mut wsd = Wsd::new(schema);
     for i in 1..=n {
         let succ = (i % n + 1) as i64;
         wsd.add_component(Component::new(
-            vec![FieldId::new("r", i as i64, "a"), FieldId::new("r", succ, "b")],
+            vec![
+                FieldId::new("r", i as i64, "a"),
+                FieldId::new("r", succ, "b"),
+            ],
             vec![
                 vec![Some(Value::Int(1)), Some(Value::Int(1))],
                 vec![Some(Value::Int(0)), Some(Value::Int(0))],
@@ -93,10 +93,7 @@ pub fn ring_answer_urel(n: usize) -> URelation {
 /// use [`ring_answer_wsd_cells`] for the closed-form size beyond that.
 pub fn ring_answer_wsd(n: usize) -> Result<Wsd> {
     assert!((1..=20).contains(&n), "2^n local worlds; keep n small");
-    let schema = BTreeMap::from([(
-        "r".to_string(),
-        vec!["a".to_string(), "b".to_string()],
-    )]);
+    let schema = BTreeMap::from([("r".to_string(), vec!["a".to_string(), "b".to_string()])]);
     // Fields t1.A, t1.B, …, tn.A, tn.B.
     let mut fields = Vec::with_capacity(2 * n);
     for i in 1..=n {
@@ -142,11 +139,7 @@ mod tests {
         for n in 2..=4 {
             let db = ring_udb(n).unwrap();
             let wsd = ring_wsd(n).unwrap();
-            assert_eq!(
-                db.world.world_count_exact(),
-                wsd.world_count(),
-                "n = {n}"
-            );
+            assert_eq!(db.world.world_count_exact(), wsd.world_count(), "n = {n}");
             let mut a: Vec<String> = db
                 .possible_worlds(64)
                 .unwrap()
@@ -175,9 +168,7 @@ mod tests {
             // convention (variable i ↦ bit i-1).
             let wsd_worlds = wsd.worlds(1 << n).unwrap();
             for (f, _) in udb.possible_worlds(1 << n).unwrap() {
-                let mask: u64 = (1..=n)
-                    .map(|i| f[&Var(i as u32)] << (i - 1))
-                    .sum();
+                let mask: u64 = (1..=n).map(|i| f[&Var(i as u32)] << (i - 1)).sum();
                 let from_u = answer.tuples_in_world(&udb.world, &f);
                 let from_wsd = &wsd_worlds[mask as usize]["r"];
                 assert!(

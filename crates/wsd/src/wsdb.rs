@@ -18,7 +18,11 @@ pub struct FieldId {
 impl FieldId {
     /// Construct a field id.
     pub fn new(rel: impl Into<String>, tid: i64, attr: impl Into<String>) -> Self {
-        FieldId { rel: rel.into(), tid, attr: attr.into() }
+        FieldId {
+            rel: rel.into(),
+            tid,
+            attr: attr.into(),
+        }
     }
 }
 
@@ -50,9 +54,14 @@ impl Component {
             }
         }
         if local_worlds.is_empty() {
-            return Err(Error::InvalidDatabase("component with no local worlds".into()));
+            return Err(Error::InvalidDatabase(
+                "component with no local worlds".into(),
+            ));
         }
-        Ok(Component { fields, local_worlds })
+        Ok(Component {
+            fields,
+            local_worlds,
+        })
     }
 
     /// Number of table cells (the paper's size measure for WSDs).
@@ -73,7 +82,10 @@ pub struct Wsd {
 impl Wsd {
     /// Empty WSD over a schema.
     pub fn new(schema: BTreeMap<String, Vec<String>>) -> Self {
-        Wsd { schema, components: Vec::new() }
+        Wsd {
+            schema,
+            components: Vec::new(),
+        }
     }
 
     /// Add a component, enforcing field disjointness.
@@ -139,8 +151,7 @@ impl Wsd {
             return Err(Error::InvalidQuery("choice arity mismatch".into()));
         }
         // Gather the chosen field values per (rel, tid).
-        let mut fields: BTreeMap<(String, i64), BTreeMap<String, Option<Value>>> =
-            BTreeMap::new();
+        let mut fields: BTreeMap<(String, i64), BTreeMap<String, Option<Value>>> = BTreeMap::new();
         for (c, &k) in self.components.iter().zip(choice) {
             let world = c
                 .local_worlds

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // outcome?
     let marital = table("person").project(["pid", "marital"]);
     let u = evaluate(&db, &marital)?;
-    println!("certain marital statuses:\n{}", certain_exact(&u, &db.world)?);
+    println!(
+        "certain marital statuses:\n{}",
+        certain_exact(&u, &db.world)?
+    );
 
     // Cleaning step: suppose an external source confirms record 1 is
     // married. Selection expresses the constraint; the result is again a

@@ -12,9 +12,7 @@
 
 use u_relations::core::certain::certain_answers;
 use u_relations::core::prob::tuple_confidences;
-use u_relations::core::{
-    evaluate, figure1_database, oracle_possible, possible, table, table_as,
-};
+use u_relations::core::{evaluate, figure1_database, oracle_possible, possible, table, table_as};
 use u_relations::relalg::{col, lit_str, Expr};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // partitions U1, U2, U3 plus the world table W.
     let db = figure1_database();
     db.validate()?;
-    println!("worlds represented: {}", db.world.world_count_exact().unwrap());
+    println!(
+        "worlds represented: {}",
+        db.world.world_count_exact().unwrap()
+    );
     for p in db.partitions_of("r")? {
         println!("{p}");
     }

@@ -21,12 +21,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw = Relation::from_rows(
         ["station", "hour", "temp", "weight"],
         vec![
-            vec![Value::str("north"), Value::Int(9), Value::Int(18), Value::Int(3)],
-            vec![Value::str("north"), Value::Int(9), Value::Int(31), Value::Int(1)],
-            vec![Value::str("north"), Value::Int(10), Value::Int(19), Value::Int(1)],
-            vec![Value::str("south"), Value::Int(9), Value::Int(21), Value::Int(1)],
-            vec![Value::str("south"), Value::Int(9), Value::Int(22), Value::Int(1)],
-            vec![Value::str("south"), Value::Int(9), Value::Int(23), Value::Int(2)],
+            vec![
+                Value::str("north"),
+                Value::Int(9),
+                Value::Int(18),
+                Value::Int(3),
+            ],
+            vec![
+                Value::str("north"),
+                Value::Int(9),
+                Value::Int(31),
+                Value::Int(1),
+            ],
+            vec![
+                Value::str("north"),
+                Value::Int(10),
+                Value::Int(19),
+                Value::Int(1),
+            ],
+            vec![
+                Value::str("south"),
+                Value::Int(9),
+                Value::Int(21),
+                Value::Int(1),
+            ],
+            vec![
+                Value::str("south"),
+                Value::Int(9),
+                Value::Int(22),
+                Value::Int(1),
+            ],
+            vec![
+                Value::str("south"),
+                Value::Int(9),
+                Value::Int(23),
+                Value::Int(2),
+            ],
         ],
     )?;
 

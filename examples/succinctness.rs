@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Or-sets (Theorem 5.6): attribute-level independence is linear in
     // U-relations, exponential in ULDB alternatives.
     println!("Theorem 5.6 — or-set relation with m=4 alternatives per field:");
-    println!("{:>4} {:>14} {:>18}", "k", "U-rel rows", "ULDB alternatives");
+    println!(
+        "{:>4} {:>14} {:>18}",
+        "k", "U-rel rows", "ULDB alternatives"
+    );
     let m = 4usize;
     for k in [2usize, 4, 6, 8] {
         let row: Vec<Vec<Value>> = (0..k)
@@ -52,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let row: Vec<Vec<Value>> = (0..3)
         .map(|a| (0..3).map(|i| Value::Int((a * 10 + i) as i64)).collect())
         .collect();
-    let udb = or_set_database("r", &["c0", "c1", "c2"], &[row.clone()])?;
+    let udb = or_set_database("r", &["c0", "c1", "c2"], std::slice::from_ref(&row))?;
     let uldb = or_set_to_uldb("r", &["c0", "c1", "c2"], &[row], 1 << 10)?;
     assert_eq!(
         udb.world.world_count_exact().unwrap() as usize,

@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, q) in [("Q1", q1()), ("Q2", q2()), ("Q3", q3())] {
         let t = Instant::now();
         let answer = possible(&out.db, &q)?;
-        println!("{name}: {} possible answers in {:?}", answer.len(), t.elapsed());
+        println!(
+            "{name}: {} possible answers in {:?}",
+            answer.len(),
+            t.elapsed()
+        );
     }
 
     // What does the purely relational translation of Q2 look like?

@@ -96,10 +96,7 @@ fn repair_key_then_query_then_condition() {
     assert_eq!(confirmed.world.world_count_exact(), Some(1));
     let pops = evaluate(&confirmed, &table("cities").project(["population"])).unwrap();
     let cert = certain_exact(&pops, &confirmed.world).unwrap();
-    assert!(cert
-        .rows()
-        .iter()
-        .any(|r| r[0] == Value::Int(3_700_000)));
+    assert!(cert.rows().iter().any(|r| r[0] == Value::Int(3_700_000)));
 }
 
 #[test]

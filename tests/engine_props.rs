@@ -48,10 +48,8 @@ fn arb_pred_r() -> impl Strategy<Value = Expr> {
     prop_oneof![
         (0i64..6).prop_map(|k| col("a").eq(lit_i64(k))),
         (0i64..6).prop_map(|k| col("b").lt(lit_i64(k))),
-        (0i64..6, 0i64..6).prop_map(|(k1, k2)| Expr::or([
-            col("a").eq(lit_i64(k1)),
-            col("b").gt(lit_i64(k2)),
-        ])),
+        (0i64..6, 0i64..6)
+            .prop_map(|(k1, k2)| Expr::or([col("a").eq(lit_i64(k1)), col("b").gt(lit_i64(k2)),])),
         Just(col("a").le(col("b"))),
     ]
 }

@@ -1,0 +1,115 @@
+//! Zero-copy guarantees of the executor (the PR 1 refactor):
+//!
+//! * `Scan` hands back the catalog's own `Arc<Relation>` — pointer-equal,
+//!   no deep copy;
+//! * `Rename` aliases the input's row storage;
+//! * the fused σ/π pipeline produces results identical to executing the
+//!   same operators one materialization at a time, on the paper's
+//!   Figure 1 database.
+
+use std::sync::Arc;
+use u_relations::core::figure1_database;
+use u_relations::relalg::{col, exec, lit_i64, lit_str, Expr, Plan};
+
+#[test]
+fn scan_returns_the_catalog_arc_pointer_equal() {
+    let db = figure1_database();
+    let cat = db.to_catalog();
+    for name in ["u1", "u2", "u3", "w"] {
+        let out = exec::execute(&Plan::scan(name), &cat).unwrap();
+        assert!(
+            Arc::ptr_eq(&out, cat.get(name).unwrap()),
+            "Scan({name}) deep-copied the base relation"
+        );
+    }
+    // Two scans of the same relation share one storage.
+    let a = exec::execute(&Plan::scan("u1"), &cat).unwrap();
+    let b = exec::execute(&Plan::scan("u1"), &cat).unwrap();
+    assert!(Arc::ptr_eq(&a, &b));
+}
+
+#[test]
+fn values_returns_the_inline_arc_pointer_equal() {
+    let db = figure1_database();
+    let cat = db.to_catalog();
+    let rel = exec::execute(&Plan::scan("u2"), &cat).unwrap();
+    let plan = Plan::Values(Arc::clone(&rel));
+    let out = exec::execute(&plan, &cat).unwrap();
+    assert!(Arc::ptr_eq(&out, &rel));
+}
+
+#[test]
+fn rename_aliases_the_catalog_row_storage() {
+    let db = figure1_database();
+    let cat = db.to_catalog();
+    let out = exec::execute(&Plan::scan("u1").rename("x"), &cat).unwrap();
+    assert!(
+        out.shares_rows_with(cat.get("u1").unwrap()),
+        "Rename copied the rows instead of re-qualifying the schema"
+    );
+}
+
+#[test]
+fn pipelined_select_chain_matches_stepwise_materialization() {
+    let db = figure1_database();
+    let cat = db.to_catalog();
+
+    // Fused: both selections run in one pass over the scan.
+    let fused = Plan::scan("u2")
+        .select(col("type").eq(lit_str("Tank")))
+        .select(col("tid").gt(lit_i64(1)));
+    let fused_out = exec::execute(&fused, &cat).unwrap();
+
+    // Stepwise: materialize after every operator, like the old engine.
+    let step1 = exec::execute(&Plan::scan("u2"), &cat).unwrap();
+    let step2 = exec::execute(
+        &Plan::Values(step1).select(col("type").eq(lit_str("Tank"))),
+        &cat,
+    )
+    .unwrap();
+    let step3 =
+        exec::execute(&Plan::Values(step2).select(col("tid").gt(lit_i64(1))), &cat).unwrap();
+
+    // Identical, including row order (both paths preserve input order).
+    assert_eq!(*fused_out, *step3);
+    assert!(!fused_out.is_empty());
+}
+
+#[test]
+fn pipelined_select_project_matches_stepwise_materialization() {
+    let db = figure1_database();
+    let cat = db.to_catalog();
+
+    let pred = Expr::and([
+        col("faction").eq(lit_str("Enemy")),
+        col("tid").gt(lit_i64(0)),
+    ]);
+    let fused = Plan::scan("u3")
+        .select(pred.clone())
+        .project_names(["tid", "faction"]);
+    let fused_out = exec::execute(&fused, &cat).unwrap();
+
+    let step1 = exec::execute(&Plan::scan("u3"), &cat).unwrap();
+    let step2 = exec::execute(&Plan::Values(step1).select(pred), &cat).unwrap();
+    let step3 =
+        exec::execute(&Plan::Values(step2).project_names(["tid", "faction"]), &cat).unwrap();
+
+    assert_eq!(*fused_out, *step3);
+    assert!(!fused_out.is_empty());
+}
+
+#[test]
+fn full_figure1_query_agrees_through_both_engines() {
+    // End-to-end sanity: the paper's Example 3.6 query through the shared
+    // engine still yields the three possible enemy tanks.
+    use u_relations::core::{possible, table};
+    let db = figure1_database();
+    let q = table("r")
+        .select(Expr::and([
+            col("type").eq(lit_str("Tank")),
+            col("faction").eq(lit_str("Enemy")),
+        ]))
+        .project(["id"]);
+    let answers = possible(&db, &q).unwrap();
+    assert_eq!(answers.len(), 3);
+}

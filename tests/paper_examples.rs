@@ -4,9 +4,7 @@
 //! (succinctness witnesses).
 
 use u_relations::core::normalize::normalize;
-use u_relations::core::{
-    evaluate, figure1_database, oracle_possible, possible, table, table_as,
-};
+use u_relations::core::{evaluate, figure1_database, oracle_possible, possible, table, table_as};
 use u_relations::relalg::{col, lit_str, Expr, Relation, Value};
 use u_relations::uldb::convert::uldb_to_udb;
 use u_relations::uldb::example_5_4;
@@ -94,11 +92,16 @@ fn figure5_roundtrip_through_normalization_and_wsd() {
         WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
     };
     let mut u = URelation::partition("u", ["a"]);
-    u.push_simple(d(&[(1, 1)]), 1, vec![Value::str("a1")]).unwrap();
-    u.push_simple(d(&[(1, 1), (2, 2)]), 2, vec![Value::str("a2")]).unwrap();
-    u.push_simple(d(&[(1, 2)]), 2, vec![Value::str("a3")]).unwrap();
-    u.push_simple(d(&[(3, 1)]), 3, vec![Value::str("a4")]).unwrap();
-    u.push_simple(d(&[(3, 2)]), 3, vec![Value::str("a5")]).unwrap();
+    u.push_simple(d(&[(1, 1)]), 1, vec![Value::str("a1")])
+        .unwrap();
+    u.push_simple(d(&[(1, 1), (2, 2)]), 2, vec![Value::str("a2")])
+        .unwrap();
+    u.push_simple(d(&[(1, 2)]), 2, vec![Value::str("a3")])
+        .unwrap();
+    u.push_simple(d(&[(3, 1)]), 3, vec![Value::str("a4")])
+        .unwrap();
+    u.push_simple(d(&[(3, 2)]), 3, vec![Value::str("a5")])
+        .unwrap();
     let mut db = UDatabase::new(w);
     db.add_relation("r", ["a"]).unwrap();
     db.add_partition("r", u).unwrap();
@@ -157,7 +160,10 @@ fn example_5_4_uldb_equals_figure1_and_translates_linearly() {
 
     // Lemma 5.5: linear translation, same worlds.
     let translated = uldb_to_udb(&uldb, "r").unwrap();
-    assert_eq!(translated.total_rows(), uldb.relation("r").unwrap().alt_count());
+    assert_eq!(
+        translated.total_rows(),
+        uldb.relation("r").unwrap().alt_count()
+    );
     let mut c: Vec<String> = translated
         .possible_worlds(64)
         .unwrap()
@@ -177,7 +183,7 @@ fn figures_6_and_7_witness_theorem_5_2() {
     let wsd = ring::ring_wsd(n).unwrap();
     assert_eq!(udb.total_rows(), 4 * n); // 2n rows per partition
     assert_eq!(wsd.total_cells(), 4 * n); // n components × 2 × 2
-    // …answers exponentially apart.
+                                          // …answers exponentially apart.
     let answer = ring::ring_answer_urel(n);
     assert_eq!(answer.len(), 2 * n);
     assert_eq!(ring::ring_answer_wsd_cells(n), (1 << n) * 2 * n as u128);

@@ -20,7 +20,10 @@ const LIMIT: usize = 1024;
 fn arb_normalized() -> impl Strategy<Value = UDatabase> {
     let field = prop_oneof![
         (0i64..6).prop_map(|v| (None, vec![(0u64, v)])),
-        (0usize..3, prop::collection::btree_map(0u64..2, 0i64..6, 1..=2))
+        (
+            0usize..3,
+            prop::collection::btree_map(0u64..2, 0i64..6, 1..=2)
+        )
             .prop_map(|(i, m)| (Some(i), m.into_iter().collect::<Vec<_>>())),
     ];
     prop::collection::vec((field.clone(), field), 1..=3).prop_map(|tuples| {

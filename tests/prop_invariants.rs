@@ -8,8 +8,8 @@ use u_relations::core::normalize::normalize;
 use u_relations::core::prob::{confidence, confidence_monte_carlo, covers_all_worlds};
 use u_relations::core::reduce::reduce;
 use u_relations::core::{
-    evaluate_with, oracle_possible, possible, table, TranslateOptions, UDatabase, URelation,
-    Var, WorldTable, WsDescriptor,
+    evaluate_with, oracle_possible, possible, table, TranslateOptions, UDatabase, URelation, Var,
+    WorldTable, WsDescriptor,
 };
 use u_relations::relalg::{col, lit_i64, Value};
 
@@ -58,7 +58,9 @@ fn arb_nonreduced() -> impl Strategy<Value = UDatabase> {
         for (tid0, (fa, fb)) in tuples.iter().enumerate() {
             let tid = tid0 as i64 + 1;
             for (field, u) in [(fa, &mut ua), (fb, &mut ub)] {
-                let Some((var_idx, pairs)) = field else { continue };
+                let Some((var_idx, pairs)) = field else {
+                    continue;
+                };
                 match var_idx {
                     None => u
                         .push_simple(WsDescriptor::empty(), tid, vec![Value::Int(pairs[0].1)])

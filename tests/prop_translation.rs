@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use u_relations::core::certain::certain_exact;
 use u_relations::core::{
-    evaluate, oracle_certain, oracle_eval, oracle_possible, possible, table, table_as,
-    UDatabase, UQuery, URelation, Var, WorldTable, WsDescriptor,
+    evaluate, oracle_certain, oracle_eval, oracle_possible, possible, table, table_as, UDatabase,
+    UQuery, URelation, Var, WorldTable, WsDescriptor,
 };
 use u_relations::relalg::{col, lit_i64, Expr, Value};
 
@@ -22,8 +22,7 @@ fn arb_udb() -> impl Strategy<Value = UDatabase> {
         // (Some(var index), values) = uncertain field; (None, [v]) = certain.
         prop_oneof![
             (0..10i64).prop_map(|v| (None, vec![v])),
-            (0..nvars, prop::collection::vec(0i64..10, 3))
-                .prop_map(|(i, vs)| (Some(i), vs)),
+            (0..nvars, prop::collection::vec(0i64..10, 3)).prop_map(|(i, vs)| (Some(i), vs)),
         ]
     };
     var_domains.prop_flat_map(move |doms| {
@@ -41,12 +40,12 @@ fn arb_udb() -> impl Strategy<Value = UDatabase> {
             let mut db = UDatabase::new(w);
             db.add_relation("r", ["a", "b"]).unwrap();
             db.add_relation("s", ["b2", "c"]).unwrap();
+            // (Some(var index), values) = uncertain field; (None, [v]) =
+            // certain — see `field` above.
+            type Field = (Option<usize>, Vec<i64>);
             let fill = |u: &mut URelation,
-                        rows: &[((Option<usize>, Vec<i64>), (Option<usize>, Vec<i64>))],
-                        pick: fn(
-                &((Option<usize>, Vec<i64>), (Option<usize>, Vec<i64>)),
-            )
-                -> &(Option<usize>, Vec<i64>)| {
+                        rows: &[(Field, Field)],
+                        pick: fn(&(Field, Field)) -> &Field| {
                 for (tid, row) in rows.iter().enumerate() {
                     let (var_idx, vals) = pick(row);
                     match var_idx {

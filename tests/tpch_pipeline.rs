@@ -35,7 +35,9 @@ fn uldb_agrees_on_a_single_relation_query() {
     let pred = col("c_mktsegment").eq(lit_str("BUILDING"));
     let a = possible(
         &tl,
-        &table("customer").select(pred.clone()).project(["c_custkey", "c_mktsegment"]),
+        &table("customer")
+            .select(pred.clone())
+            .project(["c_custkey", "c_mktsegment"]),
     )
     .unwrap();
 
@@ -111,8 +113,7 @@ fn query_results_decode_per_world_on_tpch() {
     let u = evaluate(&out.db, &q).unwrap();
     for f in out.db.world.worlds(512).unwrap() {
         let got = u.tuples_in_world(&out.db.world, &f);
-        let want =
-            u_relations::core::oracle_eval(&q, &out.db, &f, 512).unwrap();
+        let want = u_relations::core::oracle_eval(&q, &out.db, &f, 512).unwrap();
         assert!(got.set_eq(&want.sorted_set()));
     }
 }

@@ -40,10 +40,12 @@ pub mod worldops;
 pub use algebra::{oracle_certain, oracle_eval, oracle_possible, table, table_as, UQuery};
 pub use descriptor::WsDescriptor;
 pub use error::{Error, Result};
+pub use prob::ConfidenceMethod;
 pub use translate::{
-    evaluate, evaluate_with, possible, translate, PreparedDb, TPlan, TranslateOptions,
+    evaluate, evaluate_with, possible, possible_with_confidence, translate, PreparedDb, TPlan,
+    TranslateOptions,
 };
 pub use udb::{figure1_database, UDatabase};
 pub use urelation::{URelation, URow};
 pub use world::{Valuation, Var, WorldTable, TOP};
-pub use worldops::{condition_domain, repair_key};
+pub use worldops::{condition_domain, expand_answers, repair_key};

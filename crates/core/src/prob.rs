@@ -235,10 +235,74 @@ pub fn confidence_monte_carlo(
     Ok(hits as f64 / samples as f64)
 }
 
+/// How tuple confidences are computed.
+///
+/// `Exact` runs the Shannon-expansion variable elimination — worst-case
+/// exponential in the number of connected variables, precise to float
+/// rounding. `MonteCarlo` samples worlds instead: by Hoeffding's
+/// inequality the estimate is within `ε = sqrt(ln(2/δ) / (2·samples))`
+/// of the true probability with confidence `1 − δ`, independent of how
+/// entangled the descriptors are — the paper's "practical approximation
+/// techniques" knob for big instances.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfidenceMethod {
+    /// Exact variable elimination ([`confidence`]).
+    Exact,
+    /// Monte-Carlo estimation ([`confidence_monte_carlo`]); deterministic
+    /// given the seed.
+    MonteCarlo {
+        /// Number of sampled worlds.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl ConfidenceMethod {
+    /// Confidence of one descriptor union under this method. A
+    /// zero-sample Monte-Carlo request is rejected (it would estimate
+    /// nothing while `error_bound` diverges).
+    pub fn confidence(&self, descs: &[WsDescriptor], w: &WorldTable) -> Result<f64> {
+        match *self {
+            ConfidenceMethod::Exact => confidence(descs, w),
+            ConfidenceMethod::MonteCarlo { samples: 0, .. } => {
+                Err(crate::error::Error::InvalidQuery(
+                    "Monte-Carlo confidence needs at least one sample".into(),
+                ))
+            }
+            ConfidenceMethod::MonteCarlo { samples, seed } => {
+                confidence_monte_carlo(descs, w, samples, seed)
+            }
+        }
+    }
+
+    /// The Hoeffding half-width `ε` such that a Monte-Carlo estimate is
+    /// within `ε` of the exact value with probability `1 − δ`. `Exact`
+    /// reports 0 (numerically tight).
+    pub fn error_bound(&self, delta: f64) -> f64 {
+        match *self {
+            ConfidenceMethod::Exact => 0.0,
+            ConfidenceMethod::MonteCarlo { samples, .. } => {
+                ((2.0 / delta).ln() / (2.0 * samples as f64)).sqrt()
+            }
+        }
+    }
+}
+
 /// Confidence of every distinct answer tuple of a result U-relation:
 /// groups rows by value tuple and computes the union probability of each
 /// group's descriptors.
 pub fn tuple_confidences(u: &URelation, w: &WorldTable) -> Result<Vec<(Vec<Value>, f64)>> {
+    tuple_confidences_with(u, w, ConfidenceMethod::Exact)
+}
+
+/// [`tuple_confidences`] with an explicit computation method (exact
+/// variable elimination or seeded Monte-Carlo estimation).
+pub fn tuple_confidences_with(
+    u: &URelation,
+    w: &WorldTable,
+    method: ConfidenceMethod,
+) -> Result<Vec<(Vec<Value>, f64)>> {
     let mut groups: BTreeMap<Vec<Value>, Vec<WsDescriptor>> = BTreeMap::new();
     for row in u.rows() {
         groups
@@ -248,7 +312,7 @@ pub fn tuple_confidences(u: &URelation, w: &WorldTable) -> Result<Vec<(Vec<Value
     }
     groups
         .into_iter()
-        .map(|(vals, descs)| Ok((vals, confidence(&descs, w)?)))
+        .map(|(vals, descs)| Ok((vals, method.confidence(&descs, w)?)))
         .collect()
 }
 

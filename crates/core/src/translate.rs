@@ -96,6 +96,18 @@ pub fn possible(udb: &UDatabase, q: &UQuery) -> Result<Relation> {
     PreparedDb::new(udb).possible(q)
 }
 
+/// Evaluate `poss(Q)` and attach a confidence to every answer tuple,
+/// computed exactly or by seeded Monte-Carlo estimation (the Section 7
+/// estimator, wired into the `possible` entry point for instances where
+/// exact variable elimination is too expensive).
+pub fn possible_with_confidence(
+    udb: &UDatabase,
+    q: &UQuery,
+    method: crate::prob::ConfidenceMethod,
+) -> Result<Vec<(Vec<urel_relalg::Value>, f64)>> {
+    PreparedDb::new(udb).possible_with_confidence(q, method)
+}
+
 /// A U-relational database registered once in an engine catalog, for
 /// running many queries without re-encoding the representation per query.
 ///
@@ -160,6 +172,24 @@ impl<'a> PreparedDb<'a> {
         };
         let u = self.evaluate(&wrapped)?;
         Ok(u.possible_tuples())
+    }
+
+    /// Evaluate `poss(Q)` with a confidence per answer tuple. The query
+    /// is evaluated *without* the final `poss` projection (confidence
+    /// needs the result descriptors), then each distinct value tuple
+    /// gets the union probability of its descriptors, exact or
+    /// Monte-Carlo estimated per `method`.
+    pub fn possible_with_confidence(
+        &self,
+        q: &UQuery,
+        method: crate::prob::ConfidenceMethod,
+    ) -> Result<Vec<(Vec<urel_relalg::Value>, f64)>> {
+        let inner: &UQuery = match q {
+            UQuery::Poss { input } => input,
+            _ => q,
+        };
+        let u = self.evaluate(inner)?;
+        crate::prob::tuple_confidences_with(&u, &self.udb.world, method)
     }
 }
 

@@ -12,15 +12,21 @@
 //! * [`condition_domain`] — world removal: restrict a variable's domain
 //!   (e.g. after cleaning confirms some readings impossible), renormalize
 //!   probabilities, and reduce away the dead rows.
+//! * [`expand_answers`] — the naive expand-all-worlds oracle: every
+//!   world is materialized and queried separately (through the retained
+//!   reference engine), giving ground-truth possible/certain answers
+//!   that the differential test harness checks the streaming translated
+//!   path against.
 
+use crate::algebra::UQuery;
 use crate::error::{Error, Result};
 use crate::reduce::reduce;
 use crate::udb::UDatabase;
 use crate::urelation::URelation;
 use crate::world::{Var, WorldTable};
 use crate::WsDescriptor;
-use std::collections::BTreeMap;
-use urel_relalg::{Relation, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use urel_relalg::{exec, Catalog, ColRef, Expr, Plan, Relation, Row, Schema, Value};
 
 /// `REPAIR KEY key_attrs IN rel [WEIGHT BY weight_attr]`.
 ///
@@ -169,10 +175,88 @@ pub fn condition_domain(db: &UDatabase, var: Var, allowed: &[u64]) -> Result<UDa
     Ok(out)
 }
 
+/// The naive expand-all-worlds oracle: enumerate every possible world,
+/// materialize its instance, run the query per world on the relational
+/// engine's retained operator-at-a-time path
+/// ([`urel_relalg::exec::execute_reference`]), and combine — union for
+/// the possible answers, intersection for the certain ones.
+///
+/// Exponential in the number of variables (`limit` caps the world
+/// count), but entirely independent of the `[[·]]` translation, the
+/// optimizer and the streaming executor: this is the ground truth the
+/// differential test harness pins those components against, in the
+/// spirit of UADB-style certain-answer oracle checks.
+pub fn expand_answers(udb: &UDatabase, q: &UQuery, limit: usize) -> Result<(Relation, Relation)> {
+    let attrs = q.attrs(udb)?;
+    let plan = world_plan(udb, q, limit)?;
+    let mut possible = Relation::empty(Schema::new(attrs.clone()));
+    let mut certain: Option<BTreeSet<Row>> = None;
+    for f in udb.world.worlds(limit)? {
+        let inst = udb.instantiate(&f)?;
+        let mut cat = Catalog::new();
+        for (name, rel) in inst {
+            cat.insert(name, rel);
+        }
+        let out = exec::execute_reference(&plan, &cat).map_err(Error::from)?;
+        let set: BTreeSet<Row> = out.rows().iter().cloned().collect();
+        for row in &set {
+            possible.push(row.to_vec())?;
+        }
+        certain = Some(match certain {
+            None => set,
+            Some(prev) => prev.intersection(&set).cloned().collect(),
+        });
+    }
+    possible.dedup_in_place();
+    let mut cert = Relation::empty(Schema::new(attrs));
+    for row in certain.unwrap_or_default() {
+        cert.push(row.to_vec())?;
+    }
+    Ok((possible, cert))
+}
+
+/// Compile a logical query into the plain per-world plan the classical
+/// semantics prescribes: tables scan the world instance, projections and
+/// unions deduplicate (set semantics), and a nested `poss` folds to an
+/// inline relation (its value is the same in every world).
+fn world_plan(udb: &UDatabase, q: &UQuery, limit: usize) -> Result<Plan> {
+    Ok(match q {
+        UQuery::Table { rel, alias } => {
+            let scan = Plan::scan(rel.clone());
+            match alias {
+                Some(a) => scan.rename(a.clone()),
+                None => scan,
+            }
+        }
+        UQuery::Select { input, pred } => world_plan(udb, input, limit)?.select(pred.clone()),
+        UQuery::Project { input, attrs } => {
+            let out_attrs = q.attrs(udb)?;
+            let cols: Vec<(Expr, ColRef)> = attrs
+                .iter()
+                .zip(out_attrs)
+                .map(|(a, out)| (Expr::Col(ColRef::parse(a)), out))
+                .collect();
+            world_plan(udb, input, limit)?.project(cols).distinct()
+        }
+        UQuery::Join { left, right, pred } => {
+            world_plan(udb, left, limit)?.join(world_plan(udb, right, limit)?, pred.clone())
+        }
+        UQuery::Union { left, right } => world_plan(udb, left, limit)?
+            .union(world_plan(udb, right, limit)?)
+            .distinct(),
+        UQuery::Poss { input } => {
+            // poss(Q) is world-invariant: expand it once, inline the
+            // (already deduplicated) answer set.
+            let (poss, _) = expand_answers(udb, input, limit)?;
+            Plan::values(poss)
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algebra::{oracle_possible, table};
+    use crate::algebra::{oracle_certain, oracle_possible, table};
     use crate::prob::tuple_confidences;
     use crate::translate::evaluate;
 
@@ -271,6 +355,58 @@ mod tests {
         let var = db.world.vars().next().unwrap();
         assert!(condition_domain(&db, var, &[]).is_err());
         assert!(condition_domain(&db, Var(99), &[0]).is_err());
+    }
+
+    #[test]
+    fn expand_answers_matches_the_handwritten_oracle() {
+        use crate::udb::figure1_database;
+        use urel_relalg::{col, lit_str};
+        let db = figure1_database();
+        let queries = vec![
+            table("r").project(["id"]),
+            table("r")
+                .select(Expr::and([
+                    col("type").eq(lit_str("Tank")),
+                    col("faction").eq(lit_str("Enemy")),
+                ]))
+                .project(["id"]),
+            table("r").project(["faction"]),
+            table("r")
+                .select(col("faction").eq(lit_str("Enemy")))
+                .project(["id"])
+                .poss()
+                .select(col("id").gt(urel_relalg::lit_i64(2))),
+        ];
+        for q in queries {
+            let (poss, cert) = expand_answers(&db, &q, 64).unwrap();
+            let want_poss = oracle_possible(&q, &db, 64).unwrap();
+            let want_cert = oracle_certain(&q, &db, 64).unwrap();
+            assert!(poss.set_eq(&want_poss), "possible mismatch for {q:?}");
+            assert!(cert.set_eq(&want_cert), "certain mismatch for {q:?}");
+        }
+    }
+
+    #[test]
+    fn expand_answers_handles_self_joins() {
+        use crate::algebra::table_as;
+        use crate::udb::figure1_database;
+        use urel_relalg::{col, lit_str};
+        let db = figure1_database();
+        let s1 = table_as("r", "s1").select(Expr::and([
+            col("s1.type").eq(lit_str("Tank")),
+            col("s1.faction").eq(lit_str("Enemy")),
+        ]));
+        let s2 = table_as("r", "s2").select(Expr::and([
+            col("s2.type").eq(lit_str("Tank")),
+            col("s2.faction").eq(lit_str("Enemy")),
+        ]));
+        let q = s1
+            .join(s2, col("s1.id").ne(col("s2.id")))
+            .project(["s1.id", "s2.id"]);
+        let (poss, cert) = expand_answers(&db, &q, 64).unwrap();
+        assert!(poss.set_eq(&oracle_possible(&q, &db, 64).unwrap()));
+        assert!(cert.set_eq(&oracle_certain(&q, &db, 64).unwrap()));
+        assert_eq!(poss.len(), 4); // the paper's U5
     }
 
     #[test]

@@ -3,14 +3,20 @@
 //! The paper's experiment queries drop all aggregations ("dealing with
 //! aggregation is subject to future work"), but a relational substrate
 //! without GROUP BY is not one a downstream user would adopt — and the
-//! harness itself uses counts. Aggregates run over the same materialized
-//! relations as every other operator; they are *not* part of the
-//! uncertain-query translation surface.
+//! harness itself uses counts. Aggregation is a pipeline breaker that
+//! buffers only its *group states*, never its input: [`aggregate_plan`]
+//! pulls rows straight off the streaming executor, so a σ/π/join-probe
+//! chain feeding a GROUP BY never materializes. [`aggregate`] remains
+//! the entry point for relations already in hand. Aggregates are *not*
+//! part of the uncertain-query translation surface.
 
+use crate::catalog::Catalog;
 use crate::error::{Error, Result};
+use crate::exec;
 use crate::expr::CompiledExpr;
 use crate::fxhash::FxHashMap;
-use crate::relation::Relation;
+use crate::plan::Plan;
+use crate::relation::{Relation, Row};
 use crate::schema::{ColRef, Schema};
 use crate::value::Value;
 use crate::Expr;
@@ -110,6 +116,80 @@ impl State {
     }
 }
 
+/// Incremental hash-aggregation state: compiled key/aggregate
+/// expressions plus the per-group accumulators. Only group states are
+/// held — input rows are consumed one at a time and dropped.
+struct Accumulator<'a> {
+    group_by: &'a [(Expr, ColRef)],
+    aggs: &'a [Aggregate],
+    key_exprs: Vec<CompiledExpr>,
+    agg_exprs: Vec<Option<CompiledExpr>>,
+    groups: FxHashMap<Vec<Value>, Vec<State>>,
+    order: Vec<Vec<Value>>,
+}
+
+impl<'a> Accumulator<'a> {
+    fn new(
+        in_schema: &Schema,
+        group_by: &'a [(Expr, ColRef)],
+        aggs: &'a [Aggregate],
+    ) -> Result<Self> {
+        let key_exprs: Vec<CompiledExpr> = group_by
+            .iter()
+            .map(|(e, _)| e.compile(in_schema))
+            .collect::<Result<_>>()?;
+        let agg_exprs: Vec<Option<CompiledExpr>> = aggs
+            .iter()
+            .map(|a| match &a.func {
+                AggFunc::CountStar => Ok(None),
+                AggFunc::Count(e) | AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) => {
+                    e.compile(in_schema).map(Some)
+                }
+            })
+            .collect::<Result<_>>()?;
+        Ok(Accumulator {
+            group_by,
+            aggs,
+            key_exprs,
+            agg_exprs,
+            groups: FxHashMap::default(),
+            order: Vec::new(),
+        })
+    }
+
+    fn update(&mut self, row: &Row) -> Result<()> {
+        let key: Vec<Value> = self.key_exprs.iter().map(|e| e.eval(row)).collect();
+        let states = self.groups.entry(key.clone()).or_insert_with(|| {
+            self.order.push(key);
+            self.aggs.iter().map(|a| State::new(&a.func)).collect()
+        });
+        for ((state, agg), compiled) in states.iter_mut().zip(self.aggs).zip(&self.agg_exprs) {
+            state.update(&agg.func, row, compiled.as_ref())?;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<Relation> {
+        if self.group_by.is_empty() && self.groups.is_empty() {
+            self.order.push(Vec::new());
+            self.groups.insert(
+                Vec::new(),
+                self.aggs.iter().map(|a| State::new(&a.func)).collect(),
+            );
+        }
+        let mut names: Vec<ColRef> = self.group_by.iter().map(|(_, n)| n.clone()).collect();
+        names.extend(self.aggs.iter().map(|a| a.name.clone()));
+        let mut out = Relation::empty(Schema::new(names));
+        for key in self.order {
+            let states = self.groups.remove(&key).expect("keys come from order");
+            let mut row = key;
+            row.extend(states.into_iter().map(State::finish));
+            out.push(row)?;
+        }
+        Ok(out)
+    }
+}
+
 /// Hash aggregation: group `input` by the `group_by` expressions and
 /// compute the aggregates per group. With an empty `group_by`, produces
 /// exactly one row (global aggregates), even over empty input.
@@ -118,51 +198,26 @@ pub fn aggregate(
     group_by: &[(Expr, ColRef)],
     aggs: &[Aggregate],
 ) -> Result<Relation> {
-    let in_schema = input.schema();
-    let key_exprs: Vec<CompiledExpr> = group_by
-        .iter()
-        .map(|(e, _)| e.compile(in_schema))
-        .collect::<Result<_>>()?;
-    let agg_exprs: Vec<Option<CompiledExpr>> = aggs
-        .iter()
-        .map(|a| match &a.func {
-            AggFunc::CountStar => Ok(None),
-            AggFunc::Count(e) | AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) => {
-                e.compile(in_schema).map(Some)
-            }
-        })
-        .collect::<Result<_>>()?;
-
-    let mut groups: FxHashMap<Vec<Value>, Vec<State>> = FxHashMap::default();
-    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut acc = Accumulator::new(input.schema(), group_by, aggs)?;
     for row in input.rows() {
-        let key: Vec<Value> = key_exprs.iter().map(|e| e.eval(row)).collect();
-        let states = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            aggs.iter().map(|a| State::new(&a.func)).collect()
-        });
-        for ((state, agg), compiled) in states.iter_mut().zip(aggs).zip(&agg_exprs) {
-            state.update(&agg.func, row, compiled.as_ref())?;
-        }
+        acc.update(row)?;
     }
-    if group_by.is_empty() && groups.is_empty() {
-        order.push(Vec::new());
-        groups.insert(
-            Vec::new(),
-            aggs.iter().map(|a| State::new(&a.func)).collect(),
-        );
-    }
+    acc.finish()
+}
 
-    let mut names: Vec<ColRef> = group_by.iter().map(|(_, n)| n.clone()).collect();
-    names.extend(aggs.iter().map(|a| a.name.clone()));
-    let mut out = Relation::empty(Schema::new(names));
-    for key in order {
-        let states = groups.remove(&key).expect("keys come from order");
-        let mut row = key;
-        row.extend(states.into_iter().map(State::finish));
-        out.push(row)?;
-    }
-    Ok(out)
+/// Hash aggregation pulled straight off the streaming executor: the
+/// plan's rows are consumed one at a time, so the aggregation input is
+/// never materialized — only the group states are buffered.
+pub fn aggregate_plan(
+    plan: &Plan,
+    catalog: &Catalog,
+    group_by: &[(Expr, ColRef)],
+    aggs: &[Aggregate],
+) -> Result<Relation> {
+    let streamed = exec::stream(plan, catalog)?;
+    let mut acc = Accumulator::new(streamed.schema(), group_by, aggs)?;
+    streamed.for_each_row(|row| acc.update(row))?;
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -237,5 +292,43 @@ mod tests {
         let rel = Relation::from_rows(["a"], vec![vec![Value::Null]]).unwrap();
         let out = aggregate(&rel, &[], &[Aggregate::new(AggFunc::Min(col("a")), "lo")]).unwrap();
         assert_eq!(out.rows()[0][0], Value::Null);
+    }
+
+    #[test]
+    fn aggregate_plan_streams_without_buffering() {
+        use crate::expr::lit_i64;
+        let mut c = Catalog::new();
+        c.insert("t", input());
+        // GROUP BY over a σ chain: identical to materialize-then-aggregate,
+        // with zero intermediate buffers.
+        let p = Plan::scan("t")
+            .select(col("salary").gt(lit_i64(0)))
+            .select(col("dept").gt(lit_i64(0)));
+        let via_plan = aggregate_plan(
+            &p,
+            &c,
+            &[(col("dept"), "dept".into())],
+            &[Aggregate::new(AggFunc::Sum(col("salary")), "total")],
+        )
+        .unwrap();
+        let materialized = exec::execute(&p, &c).unwrap();
+        let via_rel = aggregate(
+            &materialized,
+            &[(col("dept"), "dept".into())],
+            &[Aggregate::new(AggFunc::Sum(col("salary")), "total")],
+        )
+        .unwrap();
+        assert_eq!(via_plan, via_rel);
+        let s = exec::stream(&p, &c).unwrap();
+        s.for_each_row(|_| Ok(())).unwrap();
+        assert_eq!(s.stats().buffers, 0);
+        // Compile errors still surface.
+        assert!(aggregate_plan(
+            &p,
+            &c,
+            &[(col("nope"), "g".into())],
+            &[Aggregate::new(AggFunc::CountStar, "n")],
+        )
+        .is_err());
     }
 }

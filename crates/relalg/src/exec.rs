@@ -1,32 +1,44 @@
-//! Plan execution over shared relations.
+//! Pull-based streaming plan execution over shared relations.
 //!
-//! The executor is zero-copy where the algebra allows it:
+//! Executing a plan has two phases:
 //!
-//! * `Scan` / `Values` hand back the catalog's own `Arc<Relation>` —
-//!   executing a scan never duplicates base data;
-//! * `Rename` re-qualifies the schema while aliasing the input's row
-//!   storage ([`Relation::shared_with_schema`]);
-//! * runs of σ (optionally capped by one π) are fused into a single pass:
-//!   every predicate and projection expression is compiled once against
-//!   the source schema and evaluated per borrowed row, with no
-//!   intermediate `Vec<Row>` per operator — and when the input is an
-//!   unshared intermediate, selection filters it in place;
-//! * joins automatically extract equi-key conjuncts (`l.col = r.col`) and
-//!   run as hash joins whose build table is keyed by row index under an
-//!   [`FxHasher`] digest of the borrowed key slice — probe keys are never
-//!   cloned into the table. Non-equi joins fall back to nested loops;
-//!   semijoins/antijoins hash the right side the same way. This mirrors
-//!   the physical operators PostgreSQL chose for the paper's translated
-//!   queries (Figure 13 shows merge/hash joins keyed on tuple ids with
-//!   the ψ-conditions as join filters).
+//! 1. **Prepare** ([`stream`]): the logical plan compiles bottom-up into a
+//!    tree of physical operators. All name resolution, predicate
+//!    compilation and schema checks happen here, so pulling rows later is
+//!    infallible. Pipeline *breakers* do their buffering work now: a hash
+//!    join materializes its build side (unless that side is an
+//!    already-materialized scan, in which case the hash table indexes the
+//!    shared storage directly) and set-difference materializes its right
+//!    side.
+//! 2. **Pull** ([`Streamed`]): a cursor walks the operator tree and yields
+//!    one row at a time. σ/π/ρ/∪ and the probe side of every join are
+//!    fully pipelined — a chain of selections, projections, renames and
+//!    join probes moves each tuple from the base relation to the consumer
+//!    without any intermediate `Vec<Row>`. Rows borrowed from base
+//!    storage stay borrowed ([`StreamRow::Borrowed`]) until an operator
+//!    actually has to construct a new tuple (projection, join concat).
+//!
+//! Zero-copy guarantees carry over from the shared-relation engine:
+//! `Scan`/`Values` still hand back the catalog's own `Arc<Relation>`
+//! pointer-equal, and `Rename` re-qualifies the schema while aliasing the
+//! input's row storage. Only the final consumer materializes — and
+//! consumers that do not need a full result ([`crate::sort::limit_plan`],
+//! aggregation) can pull exactly as many rows as they want.
+//!
+//! [`ExecStats`] counts the intermediate buffers actually allocated, so
+//! tests (and `EXPLAIN`) can assert that a streaming chain copied nothing.
+//! The old operator-at-a-time engine survives as [`execute_reference`],
+//! the differential baseline the property suites compare against.
 
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
 use crate::expr::{CmpOp, CompiledExpr, Expr};
 use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
+use crate::optimizer::est_rows;
 use crate::plan::Plan;
 use crate::relation::{Relation, Row};
 use crate::schema::Schema;
+use std::cell::Cell;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -36,155 +48,783 @@ use std::sync::Arc;
 /// own entry (pointer-equal, no copy), and every computed relation is
 /// wrapped once so callers can keep or clone it at Arc cost.
 pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Arc<Relation>> {
+    stream(plan, catalog)?.into_relation().map(|(rel, _)| rel)
+}
+
+/// Execute and report how much intermediate buffering the streaming
+/// engine did (see [`ExecStats`]).
+pub fn execute_with_stats(plan: &Plan, catalog: &Catalog) -> Result<(Arc<Relation>, ExecStats)> {
+    stream(plan, catalog)?.into_relation()
+}
+
+/// Buffering done by one streamed execution.
+///
+/// `buffers` counts the pipeline-breaker buffers that held intermediate
+/// rows: materialized hash-join build sides, nested-loop inner sides,
+/// semi/antijoin right sides (when not already-materialized sources),
+/// and the seen-sets of `Distinct`/`Difference`. The final output
+/// materialization is *not* counted — it belongs to the consumer.
+/// `buffered_rows` is the number of rows copied into those buffers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Number of intermediate row buffers allocated.
+    pub buffers: usize,
+    /// Total rows copied into intermediate buffers.
+    pub buffered_rows: usize,
+}
+
+/// Buffer accounting. `prepare_rows` holds rows copied while building
+/// the operator tree (breaker materializations); `pull_rows` holds
+/// seen-set rows of the *current* pull and is reset whenever a fresh
+/// top-level cursor starts, so pulling the same [`Streamed`] twice does
+/// not double-count its `Distinct`/`Difference` buffers.
+#[derive(Default)]
+struct Counters {
+    buffers: Cell<usize>,
+    prepare_rows: Cell<usize>,
+    pull_rows: Cell<usize>,
+}
+
+impl Counters {
+    /// Record a buffer that copied `rows` rows at prepare time.
+    fn buffer(&self, rows: usize) {
+        self.buffers.set(self.buffers.get() + 1);
+        self.prepare_rows.set(self.prepare_rows.get() + rows);
+    }
+
+    /// Record a buffering operator whose rows accrue at pull time.
+    fn breaker(&self) {
+        self.buffers.set(self.buffers.get() + 1);
+    }
+
+    /// Record rows copied into an already-registered breaker buffer.
+    fn rows(&self, n: usize) {
+        self.pull_rows.set(self.pull_rows.get() + n);
+    }
+
+    /// Fold the rows of a finished prepare-time pull (a breaker
+    /// materialization) into the permanent count.
+    fn commit_pull(&self) {
+        let n = self.pull_rows.take();
+        self.prepare_rows.set(self.prepare_rows.get() + n);
+    }
+
+    /// Start a fresh top-level pull: discard the previous pull's
+    /// seen-set row counts.
+    fn reset_pull(&self) {
+        self.pull_rows.set(0);
+    }
+
+    fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            buffers: self.buffers.get(),
+            buffered_rows: self.prepare_rows.get() + self.pull_rows.get(),
+        }
+    }
+}
+
+/// A row flowing through a stream: borrowed straight from shared base
+/// storage when no operator had to touch it, owned once an operator
+/// constructed a new tuple (projection, join concatenation).
+pub enum StreamRow<'a> {
+    /// A row aliasing the storage of a materialized relation.
+    Borrowed(&'a Row),
+    /// A freshly built row.
+    Owned(Row),
+}
+
+impl StreamRow<'_> {
+    /// View as a row regardless of ownership.
+    #[inline]
+    pub fn as_row(&self) -> &Row {
+        match self {
+            StreamRow::Borrowed(r) => r,
+            StreamRow::Owned(r) => r,
+        }
+    }
+
+    /// Take ownership (clones only if still borrowed).
+    #[inline]
+    pub fn into_owned(self) -> Row {
+        match self {
+            StreamRow::Borrowed(r) => r.clone(),
+            StreamRow::Owned(r) => r,
+        }
+    }
+}
+
+/// A prepared, pullable execution: physical operators with all owned
+/// state (compiled expressions, materialized breaker inputs, hash
+/// tables). Every pull method re-streams from the top.
+pub struct Streamed {
+    root: Node,
+    schema: Schema,
+    counters: Counters,
+}
+
+/// Prepare a plan for streaming execution: resolve, compile, and build
+/// all breaker-side buffers. Errors (unknown columns, schema mismatches)
+/// surface here; pulling rows afterwards cannot fail.
+pub fn stream(plan: &Plan, catalog: &Catalog) -> Result<Streamed> {
+    let counters = Counters::default();
+    let (root, schema) = prepare(plan, catalog, &counters)?;
+    Ok(Streamed {
+        root,
+        schema,
+        counters,
+    })
+}
+
+impl Streamed {
+    /// The output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Buffering done so far (breaker builds happen at prepare time,
+    /// seen-set growth at pull time).
+    pub fn stats(&self) -> ExecStats {
+        self.counters.snapshot()
+    }
+
+    /// Pull every row through `f` without materializing the output.
+    pub fn for_each_row(&self, mut f: impl FnMut(&Row) -> Result<()>) -> Result<()> {
+        self.counters.reset_pull();
+        let mut cur = self.root.cursor(&self.counters);
+        while let Some(r) = cur.next() {
+            f(r.as_row())?;
+        }
+        Ok(())
+    }
+
+    /// Pull up to `limit` rows (all when `None`) into an owned buffer.
+    /// With a limit, pulling stops early — upstream work for rows past
+    /// the limit is never done.
+    pub fn collect_rows(&self, limit: Option<usize>) -> Vec<Row> {
+        self.counters.reset_pull();
+        let cap = limit.unwrap_or(usize::MAX);
+        let mut rows = Vec::new();
+        let mut cur = self.root.cursor(&self.counters);
+        while rows.len() < cap {
+            match cur.next() {
+                Some(r) => rows.push(r.into_owned()),
+                None => break,
+            }
+        }
+        rows
+    }
+
+    /// Materialize the full result. When the plan bottoms out in an
+    /// already-materialized source (scan / values / rename chains), the
+    /// shared relation is returned as-is — pointer-equal for scans.
+    pub fn into_relation(self) -> Result<(Arc<Relation>, ExecStats)> {
+        if let Node::Source(rel) = &self.root {
+            return Ok((Arc::clone(rel), self.counters.snapshot()));
+        }
+        let rows = self.collect_rows(None);
+        let rel = Relation::new(self.schema, rows)?;
+        Ok((Arc::new(rel), self.counters.snapshot()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical operators
+// ---------------------------------------------------------------------------
+
+enum Node {
+    /// Materialized input: a catalog scan, inline values, renamed
+    /// aliases of either, or a buffered breaker output.
+    Source(Arc<Relation>),
+    /// Fused conjunctive filter (σ-chains collapse into one node).
+    Filter {
+        input: Box<Node>,
+        preds: Vec<CompiledExpr>,
+    },
+    /// Generalized projection.
+    Project {
+        input: Box<Node>,
+        exprs: Vec<CompiledExpr>,
+    },
+    /// Equi hash join: streams the probe side, buffers the build side.
+    HashJoin(HashJoinNode),
+    /// Theta join without equi keys: streams the left, buffers the right.
+    NestedLoop(NestedLoopNode),
+    /// Semi/antijoin: streams the left, buffers the right.
+    Semi(SemiNode),
+    /// Bag union: streams left then right (no buffering).
+    Concat { left: Box<Node>, right: Box<Node> },
+    /// Duplicate elimination: streams first occurrences, buffers a
+    /// seen-set.
+    Distinct { input: Box<Node> },
+    /// Set difference (EXCEPT): buffers the right side + a seen-set,
+    /// streams surviving left rows.
+    Difference(DifferenceNode),
+}
+
+struct DifferenceNode {
+    input: Box<Node>,
+    right: Arc<Relation>,
+    /// Full-row digest → right-side row indices (membership table).
+    table: FxHashMap<u64, Vec<usize>>,
+}
+
+struct HashJoinNode {
+    probe: Box<Node>,
+    build: Arc<Relation>,
+    table: FxHashMap<u64, Vec<usize>>,
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
+    /// `true` when the streamed probe side is the plan's left input.
+    probe_is_left: bool,
+    residual: Option<CompiledExpr>,
+}
+
+struct NestedLoopNode {
+    outer: Box<Node>,
+    inner: Arc<Relation>,
+    pred: Option<CompiledExpr>,
+}
+
+/// Hash table over right-side rows with the equi-key column indices:
+/// `(digest → row indices, left keys, right keys)`.
+type KeyedTable = (FxHashMap<u64, Vec<usize>>, Vec<usize>, Vec<usize>);
+
+struct SemiNode {
+    probe: Box<Node>,
+    right: Arc<Relation>,
+    /// `None` falls back to scanning the buffered right side per probe
+    /// row (non-equi predicates).
+    table: Option<KeyedTable>,
+    residual: Option<CompiledExpr>,
+    keep_matched: bool,
+}
+
+fn prepare(plan: &Plan, catalog: &Catalog, counters: &Counters) -> Result<(Node, Schema)> {
     match plan {
-        Plan::Scan(name) => Ok(Arc::clone(catalog.get(name)?)),
-        Plan::Values(rel) => Ok(Arc::clone(rel)),
-        Plan::Select { .. } | Plan::Project { .. } => pipeline(plan, catalog),
+        Plan::Scan(name) => {
+            let rel = Arc::clone(catalog.get(name)?);
+            let schema = rel.schema().clone();
+            Ok((Node::Source(rel), schema))
+        }
+        Plan::Values(rel) => Ok((Node::Source(Arc::clone(rel)), rel.schema().clone())),
+        Plan::Rename { input, alias } => {
+            let (node, schema) = prepare(input, catalog, counters)?;
+            let schema = schema.qualify(alias);
+            // A renamed source stays a source: re-qualify the schema
+            // while aliasing the row storage (zero-copy rename).
+            let node = match node {
+                Node::Source(rel) => {
+                    Node::Source(Arc::new(rel.shared_with_schema(schema.clone())?))
+                }
+                other => other,
+            };
+            Ok((node, schema))
+        }
+        Plan::Select { input, pred } => {
+            let (node, schema) = prepare(input, catalog, counters)?;
+            let compiled = pred.compile(&schema)?;
+            // σ over σ fuses; predicates keep innermost-first order.
+            let node = match node {
+                Node::Filter { input, mut preds } => {
+                    preds.push(compiled);
+                    Node::Filter { input, preds }
+                }
+                other => Node::Filter {
+                    input: Box::new(other),
+                    preds: vec![compiled],
+                },
+            };
+            Ok((node, schema))
+        }
+        Plan::Project { input, cols } => {
+            let (node, schema) = prepare(input, catalog, counters)?;
+            let exprs: Vec<CompiledExpr> = cols
+                .iter()
+                .map(|(e, _)| e.compile(&schema))
+                .collect::<Result<_>>()?;
+            let out = Schema::new(cols.iter().map(|(_, n)| n.clone()).collect());
+            Ok((
+                Node::Project {
+                    input: Box::new(node),
+                    exprs,
+                },
+                out,
+            ))
+        }
         Plan::Join { left, right, pred } => {
-            let l = execute(left, catalog)?;
-            let r = execute(right, catalog)?;
-            join(&l, &r, pred).map(Arc::new)
+            let (lnode, ls) = prepare(left, catalog, counters)?;
+            let (rnode, rs) = prepare(right, catalog, counters)?;
+            let out = ls.concat(&rs);
+            // The full predicate must compile against the joint schema
+            // (ambiguous columns are rejected here even when equi-key
+            // extraction would side-step them), matching Plan::schema.
+            pred.compile(&out)?;
+            let cond = JoinCondition::analyze(pred, &ls, &rs);
+            let residual = Expr::and(cond.residual.clone());
+            let residual = if residual.is_true() {
+                None
+            } else {
+                Some(residual.compile(&out)?)
+            };
+            if cond.equi.is_empty() {
+                // Nested loop: buffer the right side, stream the left.
+                let inner = materialize(rnode, &rs, counters)?;
+                return Ok((
+                    Node::NestedLoop(NestedLoopNode {
+                        outer: Box::new(lnode),
+                        inner,
+                        pred: residual,
+                    }),
+                    out,
+                ));
+            }
+            // Build on the side the optimizer estimates smaller (the
+            // build side is the one that must buffer; the probe streams).
+            let build_left = join_build_left(left, right, catalog);
+            let (build_node, build_schema, probe_node) = if build_left {
+                (lnode, &ls, rnode)
+            } else {
+                (rnode, &rs, lnode)
+            };
+            let (build_keys, probe_keys): (Vec<usize>, Vec<usize>) = if build_left {
+                cond.equi.iter().cloned().unzip()
+            } else {
+                let (lk, rk): (Vec<usize>, Vec<usize>) = cond.equi.iter().cloned().unzip();
+                (rk, lk)
+            };
+            let build = materialize(build_node, build_schema, counters)?;
+            let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+            for (i, row) in build.rows().iter().enumerate() {
+                table.entry(key_hash(row, &build_keys)).or_default().push(i);
+            }
+            Ok((
+                Node::HashJoin(HashJoinNode {
+                    probe: Box::new(probe_node),
+                    build,
+                    table,
+                    build_keys,
+                    probe_keys,
+                    probe_is_left: !build_left,
+                    residual,
+                }),
+                out,
+            ))
         }
-        Plan::SemiJoin { left, right, pred } => {
-            let l = execute(left, catalog)?;
-            let r = execute(right, catalog)?;
-            semi_anti(&l, &r, pred, true).map(Arc::new)
-        }
-        Plan::AntiJoin { left, right, pred } => {
-            let l = execute(left, catalog)?;
-            let r = execute(right, catalog)?;
-            semi_anti(&l, &r, pred, false).map(Arc::new)
+        Plan::SemiJoin { left, right, pred } | Plan::AntiJoin { left, right, pred } => {
+            let keep_matched = matches!(plan, Plan::SemiJoin { .. });
+            let (lnode, ls) = prepare(left, catalog, counters)?;
+            let (rnode, rs) = prepare(right, catalog, counters)?;
+            let joint = ls.concat(&rs);
+            pred.compile(&joint)?;
+            let cond = JoinCondition::analyze(pred, &ls, &rs);
+            let residual = Expr::and(cond.residual.clone());
+            let residual = if residual.is_true() {
+                None
+            } else {
+                Some(residual.compile(&joint)?)
+            };
+            let right_rel = materialize(rnode, &rs, counters)?;
+            let table = if cond.equi.is_empty() {
+                None
+            } else {
+                let (lk, rk): (Vec<usize>, Vec<usize>) = cond.equi.iter().cloned().unzip();
+                let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+                for (i, row) in right_rel.rows().iter().enumerate() {
+                    table.entry(key_hash(row, &rk)).or_default().push(i);
+                }
+                Some((table, lk, rk))
+            };
+            Ok((
+                Node::Semi(SemiNode {
+                    probe: Box::new(lnode),
+                    right: right_rel,
+                    table,
+                    residual,
+                    keep_matched,
+                }),
+                ls,
+            ))
         }
         Plan::Union { left, right } => {
-            let l = execute(left, catalog)?;
-            let r = execute(right, catalog)?;
-            if !l.schema().compatible(r.schema()) {
+            let (lnode, ls) = prepare(left, catalog, counters)?;
+            let (rnode, rs) = prepare(right, catalog, counters)?;
+            if !ls.compatible(&rs) {
                 return Err(Error::SchemaMismatch {
-                    left: l.schema().to_string(),
-                    right: r.schema().to_string(),
+                    left: ls.to_string(),
+                    right: rs.to_string(),
                 });
             }
-            // Union output keeps the left schema (see Plan::schema); the
-            // executed child already carries it, no plan re-walk needed.
-            let schema = l.schema().clone();
-            let mut rows = Arc::unwrap_or_clone(l).into_rows();
-            rows.extend(Arc::unwrap_or_clone(r).into_rows());
-            Relation::new(schema, rows).map(Arc::new)
+            // Union output keeps the left schema (see Plan::schema).
+            Ok((
+                Node::Concat {
+                    left: Box::new(lnode),
+                    right: Box::new(rnode),
+                },
+                ls,
+            ))
         }
         Plan::Difference { left, right } => {
-            let l = execute(left, catalog)?;
-            let r = execute(right, catalog)?;
-            if !l.schema().compatible(r.schema()) {
+            let (lnode, ls) = prepare(left, catalog, counters)?;
+            let (rnode, rs) = prepare(right, catalog, counters)?;
+            if !ls.compatible(&rs) {
                 return Err(Error::SchemaMismatch {
-                    left: l.schema().to_string(),
-                    right: r.schema().to_string(),
+                    left: ls.to_string(),
+                    right: rs.to_string(),
                 });
             }
-            let right_set: FxHashSet<&Row> = r.rows().iter().collect();
-            let mut seen: FxHashSet<&Row> = FxHashSet::default();
-            let mut rows = Vec::new();
-            for row in l.rows() {
-                if !right_set.contains(row) && seen.insert(row) {
-                    rows.push(row.clone());
-                }
+            let right_rel = materialize(rnode, &rs, counters)?;
+            let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+            for (i, row) in right_rel.rows().iter().enumerate() {
+                table.entry(row_hash(row)).or_default().push(i);
             }
-            Relation::new(l.schema().clone(), rows).map(Arc::new)
+            counters.breaker(); // the seen-set filled at pull time
+            Ok((
+                Node::Difference(DifferenceNode {
+                    input: Box::new(lnode),
+                    right: right_rel,
+                    table,
+                }),
+                ls,
+            ))
         }
         Plan::Distinct(input) => {
-            let rel = execute(input, catalog)?;
-            let mut seen: FxHashSet<&Row> = FxHashSet::default();
-            let mut rows = Vec::new();
-            for row in rel.rows() {
-                if seen.insert(row) {
-                    rows.push(row.clone());
-                }
+            let (node, schema) = prepare(input, catalog, counters)?;
+            counters.breaker(); // the seen-set filled at pull time
+            Ok((
+                Node::Distinct {
+                    input: Box::new(node),
+                },
+                schema,
+            ))
+        }
+    }
+}
+
+/// Run a breaker-side node to completion. An already-materialized source
+/// is reused as-is — no rows are copied and no buffer is counted.
+fn materialize(node: Node, schema: &Schema, counters: &Counters) -> Result<Arc<Relation>> {
+    if let Node::Source(rel) = node {
+        return Ok(rel);
+    }
+    let mut rows = Vec::new();
+    {
+        let mut cur = node.cursor(counters);
+        while let Some(r) = cur.next() {
+            rows.push(r.into_owned());
+        }
+    }
+    counters.buffer(rows.len());
+    // Seen-set rows of nested breakers pulled during this prepare-time
+    // materialization are permanent, not part of a re-runnable pull.
+    counters.commit_pull();
+    Relation::new(schema.clone(), rows).map(Arc::new)
+}
+
+/// Does the streaming executor build (buffer) the *left* input of this
+/// hash join? Shared with `EXPLAIN` so the reported build side matches
+/// execution.
+///
+/// Building on an already-materialized source (a scan / values /
+/// rename chain) costs no row copies — the hash table indexes the shared
+/// storage directly — so a source side is preferred as the build side
+/// even when the streamed side estimates smaller, up to a 16× size
+/// ratio. Past that, the smaller hash table wins. When both or neither
+/// side is a source, the smaller estimate builds.
+pub fn join_build_left(left: &Plan, right: &Plan, catalog: &Catalog) -> bool {
+    const SOURCE_BUILD_BIAS: f64 = 16.0;
+    let (le, re) = (est_rows(left, catalog), est_rows(right, catalog));
+    match (left.materialized_source(), right.materialized_source()) {
+        (true, false) => le <= SOURCE_BUILD_BIAS * re,
+        (false, true) => re > SOURCE_BUILD_BIAS * le,
+        _ => le <= re,
+    }
+}
+
+/// Statically predicted [`ExecStats::buffers`] for a streamed execution
+/// of `plan` — the counter `EXPLAIN` prints. Matches the runtime count:
+/// breaker inputs that are already-materialized sources cost nothing.
+pub fn predicted_buffers(plan: &Plan, catalog: &Catalog) -> usize {
+    let breaker_input = |side: &Plan| -> usize {
+        predicted_buffers(side, catalog) + usize::from(!side.materialized_source())
+    };
+    match plan {
+        Plan::Scan(_) | Plan::Values(_) => 0,
+        Plan::Select { input, .. } | Plan::Project { input, .. } | Plan::Rename { input, .. } => {
+            predicted_buffers(input, catalog)
+        }
+        Plan::Union { left, right } => {
+            predicted_buffers(left, catalog) + predicted_buffers(right, catalog)
+        }
+        Plan::Distinct(input) => 1 + predicted_buffers(input, catalog),
+        Plan::Difference { left, right } => {
+            1 + predicted_buffers(left, catalog) + breaker_input(right)
+        }
+        Plan::SemiJoin { left, right, .. } | Plan::AntiJoin { left, right, .. } => {
+            predicted_buffers(left, catalog) + breaker_input(right)
+        }
+        Plan::Join { left, right, pred } => {
+            // Non-equi joins always buffer the right (inner) side; hash
+            // joins buffer whichever side `join_build_left` picks.
+            let equi = match (left.schema(catalog), right.schema(catalog)) {
+                (Ok(ls), Ok(rs)) => !JoinCondition::analyze(pred, &ls, &rs).equi.is_empty(),
+                _ => false,
+            };
+            if equi && join_build_left(left, right, catalog) {
+                breaker_input(left) + predicted_buffers(right, catalog)
+            } else {
+                predicted_buffers(left, catalog) + breaker_input(right)
             }
-            Relation::new(rel.schema().clone(), rows).map(Arc::new)
-        }
-        Plan::Rename { input, alias } => {
-            let rel = execute(input, catalog)?;
-            let schema = rel.schema().qualify(alias);
-            rel.shared_with_schema(schema).map(Arc::new)
         }
     }
 }
 
-/// Fused evaluation of a run of `Select`s optionally capped by one
-/// `Project`. All predicates of the run and the projection expressions
-/// are compiled once against the *source* schema (runs of σ never change
-/// it), then applied in a single pass over borrowed source rows.
-fn pipeline(plan: &Plan, catalog: &Catalog) -> Result<Arc<Relation>> {
-    let (proj, mut cur) = match plan {
-        Plan::Project { input, cols } => (Some(cols), input.as_ref()),
-        other => (None, other),
-    };
-    let mut preds: Vec<&Expr> = Vec::new();
-    while let Plan::Select { input, pred } = cur {
-        preds.push(pred);
-        cur = input.as_ref();
-    }
-    let src = execute(cur, catalog)?;
-    // Innermost select first, matching operator-at-a-time order.
-    let compiled: Vec<CompiledExpr> = preds
-        .iter()
-        .rev()
-        .map(|p| p.compile(src.schema()))
-        .collect::<Result<_>>()?;
+// ---------------------------------------------------------------------------
+// Cursors
+// ---------------------------------------------------------------------------
 
-    let Some(cols) = proj else {
-        if compiled.is_empty() {
-            return Ok(src);
+enum Cursor<'a> {
+    Source(std::slice::Iter<'a, Row>),
+    Filter {
+        input: Box<Cursor<'a>>,
+        preds: &'a [CompiledExpr],
+    },
+    Project {
+        input: Box<Cursor<'a>>,
+        exprs: &'a [CompiledExpr],
+    },
+    HashJoin {
+        node: &'a HashJoinNode,
+        probe: Box<Cursor<'a>>,
+        /// Current probe row with its pending build matches.
+        pending: Option<(StreamRow<'a>, &'a [usize], usize)>,
+    },
+    NestedLoop {
+        node: &'a NestedLoopNode,
+        outer: Box<Cursor<'a>>,
+        current: Option<(StreamRow<'a>, usize)>,
+    },
+    Semi {
+        node: &'a SemiNode,
+        probe: Box<Cursor<'a>>,
+    },
+    Concat {
+        left: Box<Cursor<'a>>,
+        right: Box<Cursor<'a>>,
+        on_right: bool,
+    },
+    Distinct {
+        input: Box<Cursor<'a>>,
+        seen: FxHashSet<Row>,
+        counters: &'a Counters,
+    },
+    Difference {
+        node: &'a DifferenceNode,
+        input: Box<Cursor<'a>>,
+        seen: FxHashSet<Row>,
+        counters: &'a Counters,
+    },
+}
+
+impl Node {
+    fn cursor<'a>(&'a self, counters: &'a Counters) -> Cursor<'a> {
+        match self {
+            Node::Source(rel) => Cursor::Source(rel.rows().iter()),
+            Node::Filter { input, preds } => Cursor::Filter {
+                input: Box::new(input.cursor(counters)),
+                preds,
+            },
+            Node::Project { input, exprs } => Cursor::Project {
+                input: Box::new(input.cursor(counters)),
+                exprs,
+            },
+            Node::HashJoin(node) => Cursor::HashJoin {
+                node,
+                probe: Box::new(node.probe.cursor(counters)),
+                pending: None,
+            },
+            Node::NestedLoop(node) => Cursor::NestedLoop {
+                node,
+                outer: Box::new(node.outer.cursor(counters)),
+                current: None,
+            },
+            Node::Semi(node) => Cursor::Semi {
+                node,
+                probe: Box::new(node.probe.cursor(counters)),
+            },
+            Node::Concat { left, right } => Cursor::Concat {
+                left: Box::new(left.cursor(counters)),
+                right: Box::new(right.cursor(counters)),
+                on_right: false,
+            },
+            Node::Distinct { input } => Cursor::Distinct {
+                input: Box::new(input.cursor(counters)),
+                seen: FxHashSet::default(),
+                counters,
+            },
+            Node::Difference(node) => Cursor::Difference {
+                node,
+                input: Box::new(node.input.cursor(counters)),
+                seen: FxHashSet::default(),
+                counters,
+            },
         }
-        return filter(src, &compiled).map(Arc::new);
-    };
-
-    let exprs: Vec<CompiledExpr> = cols
-        .iter()
-        .map(|(e, _)| e.compile(src.schema()))
-        .collect::<Result<_>>()?;
-    let schema = Schema::new(cols.iter().map(|(_, n)| n.clone()).collect());
-    let rows = src
-        .rows()
-        .iter()
-        .filter(|r| compiled.iter().all(|p| p.eval_bool(r)))
-        .map(|r| {
-            exprs
-                .iter()
-                .map(|c| c.eval(r))
-                .collect::<Vec<_>>()
-                .into_boxed_slice()
-        })
-        .collect();
-    Relation::new(schema, rows).map(Arc::new)
-}
-
-/// Apply compiled predicates: in place when `src` is an unshared
-/// intermediate, copying only the surviving rows otherwise. Both the
-/// outer `Arc` and the row storage must be unique for the in-place path —
-/// a rename yields a unique `Relation` whose *rows* still alias the
-/// catalog, and consuming it would deep-copy every tuple before the
-/// retain discards most of them.
-fn filter(src: Arc<Relation>, preds: &[CompiledExpr]) -> Result<Relation> {
-    match Arc::try_unwrap(src) {
-        Ok(rel) if rel.owns_rows() => {
-            let (schema, mut rows) = rel.into_parts();
-            rows.retain(|r| preds.iter().all(|p| p.eval_bool(r)));
-            Relation::new(schema, rows)
-        }
-        Ok(rel) => filter_shared(&rel, preds),
-        Err(shared) => filter_shared(&shared, preds),
     }
 }
 
-fn filter_shared(src: &Relation, preds: &[CompiledExpr]) -> Result<Relation> {
-    let rows = src
-        .rows()
-        .iter()
-        .filter(|r| preds.iter().all(|p| p.eval_bool(r)))
-        .cloned()
-        .collect();
-    Relation::new(src.schema().clone(), rows)
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Option<StreamRow<'a>> {
+        match self {
+            Cursor::Source(iter) => iter.next().map(StreamRow::Borrowed),
+            Cursor::Filter { input, preds } => loop {
+                let r = input.next()?;
+                if preds.iter().all(|p| p.eval_bool(r.as_row())) {
+                    return Some(r);
+                }
+            },
+            Cursor::Project { input, exprs } => {
+                let r = input.next()?;
+                let row = r.as_row();
+                Some(StreamRow::Owned(
+                    exprs
+                        .iter()
+                        .map(|e| e.eval(row))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice(),
+                ))
+            }
+            Cursor::HashJoin {
+                node,
+                probe,
+                pending,
+            } => loop {
+                if let Some((probe_row, matches, pos)) = pending.as_mut() {
+                    let prow = probe_row.as_row();
+                    while *pos < matches.len() {
+                        let brow = &node.build.rows()[matches[*pos]];
+                        *pos += 1;
+                        if !keys_eq(brow, &node.build_keys, prow, &node.probe_keys) {
+                            continue;
+                        }
+                        let (lr, rr) = if node.probe_is_left {
+                            (prow, brow)
+                        } else {
+                            (brow, prow)
+                        };
+                        if node
+                            .residual
+                            .as_ref()
+                            .is_none_or(|c| c.eval_bool_pair(lr, rr))
+                        {
+                            return Some(StreamRow::Owned(concat_rows(lr, rr)));
+                        }
+                    }
+                    *pending = None;
+                }
+                let prow = probe.next()?;
+                if let Some(matches) = node.table.get(&key_hash(prow.as_row(), &node.probe_keys)) {
+                    *pending = Some((prow, matches.as_slice(), 0));
+                }
+            },
+            Cursor::NestedLoop {
+                node,
+                outer,
+                current,
+            } => loop {
+                if let Some((orow, idx)) = current.as_mut() {
+                    let lrow = orow.as_row();
+                    while *idx < node.inner.len() {
+                        let irow = &node.inner.rows()[*idx];
+                        *idx += 1;
+                        if node
+                            .pred
+                            .as_ref()
+                            .is_none_or(|c| c.eval_bool_pair(lrow, irow))
+                        {
+                            return Some(StreamRow::Owned(concat_rows(lrow, irow)));
+                        }
+                    }
+                    *current = None;
+                }
+                let o = outer.next()?;
+                *current = Some((o, 0));
+            },
+            Cursor::Semi { node, probe } => loop {
+                let l = probe.next()?;
+                let lrow = l.as_row();
+                let matched = match &node.table {
+                    Some((table, lk, rk)) => {
+                        table.get(&key_hash(lrow, lk)).is_some_and(|matches| {
+                            matches.iter().any(|&ri| {
+                                let rrow = &node.right.rows()[ri];
+                                keys_eq(lrow, lk, rrow, rk)
+                                    && node
+                                        .residual
+                                        .as_ref()
+                                        .is_none_or(|c| c.eval_bool_pair(lrow, rrow))
+                            })
+                        })
+                    }
+                    None => node.right.rows().iter().any(|rrow| {
+                        node.residual
+                            .as_ref()
+                            .is_none_or(|c| c.eval_bool_pair(lrow, rrow))
+                    }),
+                };
+                if matched == node.keep_matched {
+                    return Some(l);
+                }
+            },
+            Cursor::Concat {
+                left,
+                right,
+                on_right,
+            } => {
+                if !*on_right {
+                    if let Some(r) = left.next() {
+                        return Some(r);
+                    }
+                    *on_right = true;
+                }
+                right.next()
+            }
+            Cursor::Distinct {
+                input,
+                seen,
+                counters,
+            } => loop {
+                let r = input.next()?;
+                if !seen.contains(r.as_row()) {
+                    seen.insert(r.as_row().clone());
+                    counters.rows(1);
+                    return Some(r);
+                }
+            },
+            Cursor::Difference {
+                node,
+                input,
+                seen,
+                counters,
+            } => loop {
+                let r = input.next()?;
+                let row = r.as_row();
+                let in_right = node
+                    .table
+                    .get(&row_hash(row))
+                    .is_some_and(|is| is.iter().any(|&i| node.right.rows()[i] == *row));
+                if in_right || seen.contains(row) {
+                    continue;
+                }
+                seen.insert(row.clone());
+                counters.rows(1);
+                return Some(r);
+            },
+        }
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Join-condition analysis (shared with EXPLAIN and the reference engine)
+// ---------------------------------------------------------------------------
 
 /// The join-predicate decomposition used by both the executor and the
 /// EXPLAIN output: equi-key pairs and everything else as a residual filter.
@@ -239,14 +879,146 @@ fn key_hash(row: &Row, keys: &[usize]) -> u64 {
     h.finish()
 }
 
+/// FxHash digest of a whole row (set-membership tables).
+#[inline]
+fn row_hash(row: &Row) -> u64 {
+    let mut h = FxHasher::default();
+    for v in row.iter() {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Exact key equality backing the hash digest (collision guard).
 #[inline]
 fn keys_eq(a: &Row, a_keys: &[usize], b: &Row, b_keys: &[usize]) -> bool {
     a_keys.iter().zip(b_keys).all(|(&i, &j)| a[i] == b[j])
 }
 
-fn join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
+fn concat_rows(l: &Row, r: &Row) -> Row {
+    let mut out = Vec::with_capacity(l.len() + r.len());
+    out.extend(l.iter().cloned());
+    out.extend(r.iter().cloned());
+    out.into_boxed_slice()
+}
+
+// ---------------------------------------------------------------------------
+// Reference engine: operator-at-a-time, fully materializing
+// ---------------------------------------------------------------------------
+
+/// The retained operator-at-a-time engine: every operator materializes
+/// its complete output before the parent runs. Kept as the differential
+/// baseline the streaming executor is property-tested against — the two
+/// must produce identical multisets of rows for every well-formed plan.
+pub fn execute_reference(plan: &Plan, catalog: &Catalog) -> Result<Arc<Relation>> {
+    ref_exec(plan, catalog).map(Arc::new)
+}
+
+fn ref_exec(plan: &Plan, catalog: &Catalog) -> Result<Relation> {
+    match plan {
+        Plan::Scan(name) => Ok(catalog.get(name)?.as_ref().clone()),
+        Plan::Values(rel) => Ok(rel.as_ref().clone()),
+        Plan::Select { input, pred } => {
+            let rel = ref_exec(input, catalog)?;
+            let compiled = pred.compile(rel.schema())?;
+            let rows = rel
+                .rows()
+                .iter()
+                .filter(|r| compiled.eval_bool(r))
+                .cloned()
+                .collect();
+            Relation::new(rel.schema().clone(), rows)
+        }
+        Plan::Project { input, cols } => {
+            let rel = ref_exec(input, catalog)?;
+            let exprs: Vec<CompiledExpr> = cols
+                .iter()
+                .map(|(e, _)| e.compile(rel.schema()))
+                .collect::<Result<_>>()?;
+            let schema = Schema::new(cols.iter().map(|(_, n)| n.clone()).collect());
+            let rows = rel
+                .rows()
+                .iter()
+                .map(|r| {
+                    exprs
+                        .iter()
+                        .map(|c| c.eval(r))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice()
+                })
+                .collect();
+            Relation::new(schema, rows)
+        }
+        Plan::Join { left, right, pred } => {
+            let l = ref_exec(left, catalog)?;
+            let r = ref_exec(right, catalog)?;
+            ref_join(&l, &r, pred)
+        }
+        Plan::SemiJoin { left, right, pred } => {
+            let l = ref_exec(left, catalog)?;
+            let r = ref_exec(right, catalog)?;
+            ref_semi_anti(&l, &r, pred, true)
+        }
+        Plan::AntiJoin { left, right, pred } => {
+            let l = ref_exec(left, catalog)?;
+            let r = ref_exec(right, catalog)?;
+            ref_semi_anti(&l, &r, pred, false)
+        }
+        Plan::Union { left, right } => {
+            let l = ref_exec(left, catalog)?;
+            let r = ref_exec(right, catalog)?;
+            if !l.schema().compatible(r.schema()) {
+                return Err(Error::SchemaMismatch {
+                    left: l.schema().to_string(),
+                    right: r.schema().to_string(),
+                });
+            }
+            let schema = l.schema().clone();
+            let mut rows = l.into_rows();
+            rows.extend(r.into_rows());
+            Relation::new(schema, rows)
+        }
+        Plan::Difference { left, right } => {
+            let l = ref_exec(left, catalog)?;
+            let r = ref_exec(right, catalog)?;
+            if !l.schema().compatible(r.schema()) {
+                return Err(Error::SchemaMismatch {
+                    left: l.schema().to_string(),
+                    right: r.schema().to_string(),
+                });
+            }
+            let right_set: FxHashSet<&Row> = r.rows().iter().collect();
+            let mut seen: FxHashSet<&Row> = FxHashSet::default();
+            let mut rows = Vec::new();
+            for row in l.rows() {
+                if !right_set.contains(row) && seen.insert(row) {
+                    rows.push(row.clone());
+                }
+            }
+            Relation::new(l.schema().clone(), rows)
+        }
+        Plan::Distinct(input) => {
+            let rel = ref_exec(input, catalog)?;
+            let mut seen: FxHashSet<&Row> = FxHashSet::default();
+            let mut rows = Vec::new();
+            for row in rel.rows() {
+                if seen.insert(row) {
+                    rows.push(row.clone());
+                }
+            }
+            Relation::new(rel.schema().clone(), rows)
+        }
+        Plan::Rename { input, alias } => {
+            let rel = ref_exec(input, catalog)?;
+            let schema = rel.schema().qualify(alias);
+            rel.shared_with_schema(schema)
+        }
+    }
+}
+
+fn ref_join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
     let out_schema = l.schema().concat(r.schema());
+    pred.compile(&out_schema)?; // reject ambiguity like Plan::schema does
     let cond = JoinCondition::analyze(pred, l.schema(), r.schema());
     let residual = Expr::and(cond.residual.clone());
     let compiled = if residual.is_true() {
@@ -302,8 +1074,9 @@ fn join(l: &Relation, r: &Relation, pred: &Expr) -> Result<Relation> {
     Relation::new(out_schema, rows)
 }
 
-fn semi_anti(l: &Relation, r: &Relation, pred: &Expr, keep_matched: bool) -> Result<Relation> {
+fn ref_semi_anti(l: &Relation, r: &Relation, pred: &Expr, keep_matched: bool) -> Result<Relation> {
     let joint = l.schema().concat(r.schema());
+    pred.compile(&joint)?; // reject ambiguity like Plan::schema does
     let cond = JoinCondition::analyze(pred, l.schema(), r.schema());
     let residual = Expr::and(cond.residual.clone());
     let compiled = if residual.is_true() {
@@ -345,13 +1118,6 @@ fn semi_anti(l: &Relation, r: &Relation, pred: &Expr, keep_matched: bool) -> Res
     Relation::new(l.schema().clone(), rows)
 }
 
-fn concat_rows(l: &Row, r: &Row) -> Row {
-    let mut out = Vec::with_capacity(l.len() + r.len());
-    out.extend(l.iter().cloned());
-    out.extend(r.iter().cloned());
-    out.into_boxed_slice()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +1152,18 @@ mod tests {
         c
     }
 
+    /// Both engines agree up to multiset (row order may differ when the
+    /// hash-join build side differs).
+    fn assert_engines_agree(p: &Plan, c: &Catalog) {
+        let streamed = execute(p, c).unwrap();
+        let reference = execute_reference(p, c).unwrap();
+        let mut a: Vec<Row> = streamed.rows().to_vec();
+        let mut b: Vec<Row> = reference.rows().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "streaming vs reference disagree on {p:?}");
+    }
+
     #[test]
     fn scan_shares_catalog_storage() {
         let c = catalog();
@@ -410,19 +1188,22 @@ mod tests {
         let out = execute(&p, &c).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out.rows()[0][0], Value::str("ann"));
+        assert_engines_agree(&p, &c);
     }
 
     #[test]
     fn fused_select_chain_matches_stepwise() {
         let c = catalog();
-        // σ over σ over σ — one pass, same answer as nesting implies.
+        // σ over σ over σ — one streamed pass, same answer as nesting
+        // implies, with zero intermediate buffers.
         let p = Plan::scan("emp")
             .select(col("dept").eq(lit_i64(10)))
             .select(col("eid").gt(lit_i64(1)))
             .select(col("name").ne(lit_str("zzz")));
-        let out = execute(&p, &c).unwrap();
+        let (out, stats) = execute_with_stats(&p, &c).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0][0], Value::Int(3));
+        assert_eq!(stats.buffers, 0, "σ-chain must not buffer");
         // Predicate validation still fails cleanly mid-chain.
         let bad = Plan::scan("emp")
             .select(col("dept").eq(lit_i64(10)))
@@ -433,14 +1214,14 @@ mod tests {
     #[test]
     fn select_over_rename_copies_only_survivors() {
         let c = catalog();
-        // Rename wraps catalog-shared rows in a fresh Relation; the
-        // selection must take the copy-survivors path, not consume (and
-        // deep-copy) the shared storage.
+        // Rename aliases catalog-shared rows; the selection streams over
+        // them and only the survivors are materialized at the top.
         let p = Plan::scan("emp")
             .rename("e")
             .select(col("e.dept").eq(lit_i64(10)));
-        let out = execute(&p, &c).unwrap();
+        let (out, stats) = execute_with_stats(&p, &c).unwrap();
         assert_eq!(out.len(), 2);
+        assert_eq!(stats.buffers, 0);
         // The catalog entry is untouched and still fully shared.
         assert_eq!(c.get("emp").unwrap().len(), 3);
     }
@@ -473,6 +1254,8 @@ mod tests {
         let nl_out = execute(&theta, &c).unwrap();
         assert!(hash_out.set_eq(&nl_out));
         assert_eq!(hash_out.len(), 2);
+        assert_engines_agree(&equi, &c);
+        assert_engines_agree(&theta, &c);
     }
 
     #[test]
@@ -485,6 +1268,7 @@ mod tests {
         let out = execute(&p, &c).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0][2], Value::str("cee"));
+        assert_engines_agree(&p, &c);
     }
 
     #[test]
@@ -492,6 +1276,7 @@ mod tests {
         let c = catalog();
         let p = Plan::scan("emp").join(Plan::scan("dept"), Expr::and([]));
         assert_eq!(execute(&p, &c).unwrap().len(), 6);
+        assert_engines_agree(&p, &c);
     }
 
     #[test]
@@ -503,6 +1288,8 @@ mod tests {
         let out = execute(&anti, &c).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0][0], Value::Int(2));
+        assert_engines_agree(&semi, &c);
+        assert_engines_agree(&anti, &c);
     }
 
     #[test]
@@ -520,6 +1307,8 @@ mod tests {
         let out = execute(&minus, &c).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0][0], Value::Int(1));
+        assert_engines_agree(&minus, &c);
+        assert_engines_agree(&dup.distinct(), &c);
     }
 
     #[test]
@@ -535,6 +1324,7 @@ mod tests {
         let out = execute(&p, &c).unwrap();
         // Only (1,3) share dept 10 with eid ordered.
         assert_eq!(out.len(), 1);
+        assert_engines_agree(&p, &c);
     }
 
     #[test]
@@ -570,5 +1360,97 @@ mod tests {
         );
         let out = execute(&Plan::scan("l").difference(Plan::scan("r")), &c).unwrap();
         assert_eq!(out.len(), 1); // deduplicated EXCEPT semantics
+    }
+
+    #[test]
+    fn probe_chain_streams_without_buffers() {
+        let c = catalog();
+        // σ/π/ρ below and above a hash-join probe: both join inputs are
+        // scans (zero-copy build), so the whole chain allocates no
+        // intermediate Vec<Row>.
+        let p = Plan::scan("emp")
+            .rename("e")
+            .select(col("e.dept").eq(lit_i64(10)))
+            .join(Plan::scan("dept"), col("e.dept").eq(col("did")))
+            .select(col("e.eid").gt(lit_i64(0)))
+            .project_names(["e.name", "dname"]);
+        let (out, stats) = execute_with_stats(&p, &c).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            stats.buffers, 0,
+            "σ/π/ρ/join-probe chain must not materialize intermediates: {stats:?}"
+        );
+        assert_eq!(predicted_buffers(&p, &c), 0);
+        assert_engines_agree(&p, &c);
+    }
+
+    #[test]
+    fn buffers_counted_for_breakers() {
+        let c = catalog();
+        // With a source on one side, the source is the zero-copy build
+        // and the filtered side streams as the probe: no buffers.
+        let one_source = Plan::scan("emp").join(
+            Plan::scan("dept").select(col("did").gt(lit_i64(0))),
+            col("dept").eq(col("did")),
+        );
+        let (_, stats) = execute_with_stats(&one_source, &c).unwrap();
+        assert_eq!(stats.buffers, 0);
+        // With both sides filtered, one side must be buffered as build.
+        let p = Plan::scan("emp").select(col("eid").gt(lit_i64(0))).join(
+            Plan::scan("dept").select(col("did").gt(lit_i64(0))),
+            col("dept").eq(col("did")),
+        );
+        let (_, stats) = execute_with_stats(&p, &c).unwrap();
+        assert_eq!(stats.buffers, 1);
+        assert_eq!(predicted_buffers(&p, &c), 1);
+        // …and distinct always buffers its seen-set.
+        let d = Plan::scan("emp").project_names(["dept"]).distinct();
+        let (_, stats) = execute_with_stats(&d, &c).unwrap();
+        assert_eq!(stats.buffers, 1);
+        assert_eq!(stats.buffered_rows, 2); // two distinct depts
+        assert_eq!(predicted_buffers(&d, &c), 1);
+    }
+
+    #[test]
+    fn repeated_pulls_do_not_double_count_seen_sets() {
+        let c = catalog();
+        let s = stream(&Plan::scan("emp").project_names(["dept"]).distinct(), &c).unwrap();
+        assert_eq!(s.collect_rows(None).len(), 2);
+        assert_eq!(s.collect_rows(None).len(), 2);
+        let stats = s.stats();
+        assert_eq!(stats.buffers, 1);
+        assert_eq!(
+            stats.buffered_rows, 2,
+            "re-pulling must not inflate the seen-set count"
+        );
+    }
+
+    #[test]
+    fn collect_rows_stops_early() {
+        let c = catalog();
+        let s = stream(&Plan::scan("emp").select(col("eid").gt(lit_i64(0))), &c).unwrap();
+        assert_eq!(s.collect_rows(Some(2)).len(), 2);
+        assert_eq!(s.collect_rows(None).len(), 3);
+    }
+
+    #[test]
+    fn for_each_row_streams_borrowed_rows() {
+        let c = catalog();
+        let s = stream(&Plan::scan("emp"), &c).unwrap();
+        let mut n = 0;
+        s.for_each_row(|r| {
+            assert_eq!(r.len(), 3);
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn reference_engine_zero_copy_leaves() {
+        let c = catalog();
+        let out = execute_reference(&Plan::scan("emp"), &c).unwrap();
+        assert!(out.shares_rows_with(c.get("emp").unwrap()));
     }
 }

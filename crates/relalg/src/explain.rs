@@ -1,20 +1,28 @@
 //! `EXPLAIN`-style plan rendering (the Figure 13 analog).
 //!
 //! Prints the operator tree with the physical strategy the executor will
-//! pick (hash vs nested-loop join, key columns, residual filters) and the
-//! optimizer's row estimates, in a format close to PostgreSQL's.
+//! pick (hash vs nested-loop join, key columns, residual filters), the
+//! optimizer's row estimates, and — for the streaming engine — whether
+//! each node pipelines rows or buffers them. The final line reports the
+//! number of intermediate row buffers the streaming executor will
+//! allocate ([`crate::exec::predicted_buffers`]), which matches the
+//! runtime [`crate::exec::ExecStats::buffers`]: a fully pipelined plan
+//! reads `0 intermediate row buffer(s)`.
 
 use crate::catalog::Catalog;
-use crate::exec::JoinCondition;
+use crate::exec::{join_build_left, predicted_buffers, JoinCondition};
 use crate::expr::Expr;
 use crate::optimizer::est_rows;
 use crate::plan::Plan;
 use std::fmt::Write as _;
 
-/// Render a plan as an indented EXPLAIN tree.
+/// Render a plan as an indented EXPLAIN tree with pipeline annotations
+/// and the predicted intermediate-buffer count.
 pub fn explain(plan: &Plan, catalog: &Catalog) -> String {
     let mut out = String::new();
     render(plan, catalog, 0, &mut out);
+    let buffers = predicted_buffers(plan, catalog);
+    let _ = writeln!(out, "-- {buffers} intermediate row buffer(s)");
     out
 }
 
@@ -24,6 +32,15 @@ fn indent(depth: usize, out: &mut String) {
     }
     if depth > 0 {
         out.push_str("-> ");
+    }
+}
+
+/// How the streaming executor treats a buffered join input.
+fn side_label(side: &Plan) -> &'static str {
+    if side.materialized_source() {
+        "zero-copy"
+    } else {
+        "buffered"
     }
 }
 
@@ -38,12 +55,16 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
             let _ = writeln!(out, "Values  (rows={})", rel.len());
         }
         Plan::Select { input, pred } => {
-            let _ = writeln!(out, "Filter: {pred}  (rows≈{rows:.0})");
+            let _ = writeln!(out, "Filter: {pred}  (rows≈{rows:.0}) [pipelined]");
             render(input, catalog, depth + 1, out);
         }
         Plan::Project { input, cols } => {
             let names: Vec<String> = cols.iter().map(|(_, n)| n.to_string()).collect();
-            let _ = writeln!(out, "Project [{}]  (rows≈{rows:.0})", names.join(", "));
+            let _ = writeln!(
+                out,
+                "Project [{}]  (rows≈{rows:.0}) [pipelined]",
+                names.join(", ")
+            );
             render(input, catalog, depth + 1, out);
         }
         Plan::Join { left, right, pred } => {
@@ -53,7 +74,11 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
             );
             let cond = JoinCondition::analyze(pred, &ls, &rs);
             if cond.equi.is_empty() {
-                let _ = writeln!(out, "Nested Loop Join  (rows≈{rows:.0})");
+                let _ = writeln!(
+                    out,
+                    "Nested Loop Join  (rows≈{rows:.0}) [streams left, inner {}]",
+                    side_label(right)
+                );
                 if !pred.is_true() {
                     indent(depth + 1, out);
                     let _ = writeln!(out, "Join Filter: {pred}");
@@ -64,7 +89,17 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
                     .iter()
                     .map(|(l, r)| format!("{} = {}", ls.columns()[*l], rs.columns()[*r]))
                     .collect();
-                let _ = writeln!(out, "Hash Join  (rows≈{rows:.0})");
+                let (build, probe) = if join_build_left(left, right, catalog) {
+                    ("left", "right")
+                } else {
+                    ("right", "left")
+                };
+                let build_side = if build == "left" { left } else { right };
+                let _ = writeln!(
+                    out,
+                    "Hash Join  (rows≈{rows:.0}) [streams {probe} probe, build {build} {}]",
+                    side_label(build_side)
+                );
                 indent(depth + 1, out);
                 let _ = writeln!(out, "Hash Cond: ({})", keys.join(") AND ("));
                 if !cond.residual.is_empty() {
@@ -76,31 +111,46 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
             render(right, catalog, depth + 1, out);
         }
         Plan::SemiJoin { left, right, pred } => {
-            let _ = writeln!(out, "Hash Semi Join on {pred}  (rows≈{rows:.0})");
+            let _ = writeln!(
+                out,
+                "Hash Semi Join on {pred}  (rows≈{rows:.0}) [streams left, right {}]",
+                side_label(right)
+            );
             render(left, catalog, depth + 1, out);
             render(right, catalog, depth + 1, out);
         }
         Plan::AntiJoin { left, right, pred } => {
-            let _ = writeln!(out, "Hash Anti Join on {pred}  (rows≈{rows:.0})");
+            let _ = writeln!(
+                out,
+                "Hash Anti Join on {pred}  (rows≈{rows:.0}) [streams left, right {}]",
+                side_label(right)
+            );
             render(left, catalog, depth + 1, out);
             render(right, catalog, depth + 1, out);
         }
         Plan::Union { left, right } => {
-            let _ = writeln!(out, "Append  (rows≈{rows:.0})");
+            let _ = writeln!(out, "Append  (rows≈{rows:.0}) [pipelined]");
             render(left, catalog, depth + 1, out);
             render(right, catalog, depth + 1, out);
         }
         Plan::Difference { left, right } => {
-            let _ = writeln!(out, "Except  (rows≈{rows:.0})");
+            let _ = writeln!(
+                out,
+                "Except  (rows≈{rows:.0}) [buffers seen-set, right {}]",
+                side_label(right)
+            );
             render(left, catalog, depth + 1, out);
             render(right, catalog, depth + 1, out);
         }
         Plan::Distinct(input) => {
-            let _ = writeln!(out, "HashAggregate (distinct)  (rows≈{rows:.0})");
+            let _ = writeln!(
+                out,
+                "HashAggregate (distinct)  (rows≈{rows:.0}) [buffers seen-set]"
+            );
             render(input, catalog, depth + 1, out);
         }
         Plan::Rename { input, alias } => {
-            let _ = writeln!(out, "Subquery Alias {alias}  (rows≈{rows:.0})");
+            let _ = writeln!(out, "Subquery Alias {alias}  (rows≈{rows:.0}) [pipelined]");
             render(input, catalog, depth + 1, out);
         }
     }
@@ -113,8 +163,7 @@ mod tests {
     use crate::relation::Relation;
     use crate::value::Value;
 
-    #[test]
-    fn explain_shows_hash_join_and_filter() {
+    fn catalog() -> Catalog {
         let mut c = Catalog::new();
         c.insert(
             "r",
@@ -124,6 +173,12 @@ mod tests {
             "s",
             Relation::from_rows(["c"], vec![vec![Value::Int(1)]]).unwrap(),
         );
+        c
+    }
+
+    #[test]
+    fn explain_shows_hash_join_and_filter() {
+        let c = catalog();
         let p = Plan::scan("r")
             .join(
                 Plan::scan("s"),
@@ -139,17 +194,32 @@ mod tests {
 
     #[test]
     fn explain_nested_loop_for_theta() {
-        let mut c = Catalog::new();
-        c.insert(
-            "r",
-            Relation::from_rows(["a"], vec![vec![Value::Int(1)]]).unwrap(),
-        );
-        c.insert(
-            "s",
-            Relation::from_rows(["c"], vec![vec![Value::Int(1)]]).unwrap(),
-        );
+        let c = catalog();
         let p = Plan::scan("r").join(Plan::scan("s"), col("a").lt(col("c")));
         let text = explain(&p, &c);
         assert!(text.contains("Nested Loop Join"), "{text}");
+    }
+
+    #[test]
+    fn explain_reports_pipeline_and_buffer_counts() {
+        let c = catalog();
+        // A fully streaming chain: every node pipelined, zero buffers.
+        let p = Plan::scan("r")
+            .rename("x")
+            .select(col("x.a").gt(lit_i64(0)))
+            .join(Plan::scan("s"), col("x.a").eq(col("c")))
+            .project_names(["x.b"]);
+        let text = explain(&p, &c);
+        assert!(
+            text.contains("0 intermediate row buffer(s)"),
+            "chain should be fully pipelined:\n{text}"
+        );
+        assert!(text.contains("[pipelined]"), "{text}");
+        assert!(text.contains("zero-copy"), "{text}");
+
+        // Distinct breaks the pipeline and the counter says so.
+        let text = explain(&p.distinct(), &c);
+        assert!(text.contains("[buffers seen-set]"), "{text}");
+        assert!(text.contains("1 intermediate row buffer(s)"), "{text}");
     }
 }

@@ -13,12 +13,19 @@
 //!   compile to column-index form before evaluation;
 //! * [`Plan`] — logical plans: scan, select, project (generalized), inner
 //!   theta-join, semi/anti-join, union, difference, distinct, rename;
-//! * [`exec::execute`] — operator-at-a-time execution with automatic
-//!   equi-key extraction (hash joins) and residual predicates;
+//! * [`exec::execute`] — pull-based streaming execution: σ/π/ρ/∪ and
+//!   join probes pipeline borrowed rows with no intermediate
+//!   materialization; only pipeline breakers (hash-join build sides,
+//!   distinct/difference seen-sets, sort, aggregation) buffer, and
+//!   [`exec::ExecStats`] counts exactly how much. The retained
+//!   operator-at-a-time engine ([`exec::execute_reference`]) is the
+//!   differential baseline;
 //! * [`optimizer::optimize`] — conjunct splitting, selection pushdown,
-//!   projection pruning and greedy cost-based join reordering;
+//!   projection pruning, greedy cost-based join reordering, and
+//!   redundant-distinct elimination;
 //! * [`explain::explain`] — an `EXPLAIN`-style plan printer with row
-//!   estimates (the Figure 13 analog);
+//!   estimates and per-node pipeline/buffer annotations (the Figure 13
+//!   analog);
 //! * [`Catalog`] — a named-relation store with per-column statistics.
 //!
 //! The engine is deliberately small but real: hash joins, semijoin
@@ -41,9 +48,10 @@ pub mod sort;
 pub mod stats;
 pub mod value;
 
-pub use aggregate::{aggregate, AggFunc, Aggregate};
+pub use aggregate::{aggregate, aggregate_plan, AggFunc, Aggregate};
 pub use catalog::Catalog;
 pub use error::{Error, Result};
+pub use exec::ExecStats;
 pub use expr::{col, lit, lit_bool, lit_i64, lit_str, ArithOp, CmpOp, Expr};
 pub use plan::Plan;
 pub use relation::{Relation, Row};

@@ -12,6 +12,12 @@
 //! 3. **Projection pruning** — narrowing projections are inserted above
 //!    join inputs so only live columns flow through joins (the paper's
 //!    "late materialization" benefit depends on this).
+//! 4. **Redundant-distinct elimination** — a `Distinct` whose parent
+//!    already deduplicates (another `Distinct`, or either side of a
+//!    `Difference`, which has set semantics) is stripped. Under the
+//!    streaming executor every `Distinct` is a pipeline breaker with a
+//!    seen-set buffer, so dropping redundant ones removes real
+//!    materializations, not just plan noise.
 
 use crate::catalog::Catalog;
 use crate::error::Result;
@@ -28,8 +34,69 @@ pub fn optimize(plan: &Plan, catalog: &Catalog) -> Result<Plan> {
     let p = push_selections(plan.clone(), catalog);
     let p = reorder_joins(p, catalog);
     let p = prune_projections(p, catalog, None);
+    let p = strip_redundant_distinct(p, false);
     p.schema(catalog)?; // invariant: optimization preserves well-formedness
     Ok(p)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: redundant-distinct elimination
+// ---------------------------------------------------------------------------
+
+/// Drop `Distinct` nodes whose output reaches a deduplicating operator
+/// anyway. `deduped` is true when an ancestor already imposes set
+/// semantics on this subtree's multiplicities: another `Distinct`, or a
+/// `Difference` (SQL `EXCEPT` both dedups its left side and only tests
+/// membership on its right). The flag propagates through σ and ρ (which
+/// preserve "is a set") and conservatively resets at every other
+/// operator.
+fn strip_redundant_distinct(plan: Plan, deduped: bool) -> Plan {
+    match plan {
+        Plan::Distinct(input) if deduped => strip_redundant_distinct(*input, true),
+        Plan::Distinct(input) => Plan::Distinct(Box::new(strip_redundant_distinct(*input, true))),
+        // σ over a set stays a set: keep propagating.
+        Plan::Select { input, pred } => Plan::Select {
+            input: Box::new(strip_redundant_distinct(*input, deduped)),
+            pred,
+        },
+        // ρ is a pure schema change.
+        Plan::Rename { input, alias } => Plan::Rename {
+            input: Box::new(strip_redundant_distinct(*input, deduped)),
+            alias,
+        },
+        // Difference has set semantics on its own output and only tests
+        // membership on the right: Distinct directly under either side
+        // is redundant.
+        Plan::Difference { left, right } => Plan::Difference {
+            left: Box::new(strip_redundant_distinct(*left, true)),
+            right: Box::new(strip_redundant_distinct(*right, true)),
+        },
+        // Everything else resets the flag for its children.
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(strip_redundant_distinct(*input, false)),
+            cols,
+        },
+        Plan::Join { left, right, pred } => Plan::Join {
+            left: Box::new(strip_redundant_distinct(*left, false)),
+            right: Box::new(strip_redundant_distinct(*right, false)),
+            pred,
+        },
+        Plan::SemiJoin { left, right, pred } => Plan::SemiJoin {
+            left: Box::new(strip_redundant_distinct(*left, false)),
+            right: Box::new(strip_redundant_distinct(*right, false)),
+            pred,
+        },
+        Plan::AntiJoin { left, right, pred } => Plan::AntiJoin {
+            left: Box::new(strip_redundant_distinct(*left, false)),
+            right: Box::new(strip_redundant_distinct(*right, false)),
+            pred,
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(strip_redundant_distinct(*left, false)),
+            right: Box::new(strip_redundant_distinct(*right, false)),
+        },
+        leaf => leaf,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -937,6 +1004,39 @@ mod tests {
                 .select(col("g").gt(lit_i64(5))),
         );
         assert_equivalent(&p, &c);
+    }
+
+    #[test]
+    fn redundant_distincts_are_stripped() {
+        let c = catalog();
+        fn distinct_count(p: &Plan) -> usize {
+            match p {
+                Plan::Distinct(input) => 1 + distinct_count(input),
+                Plan::Select { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Rename { input, .. } => distinct_count(input),
+                Plan::Join { left, right, .. }
+                | Plan::SemiJoin { left, right, .. }
+                | Plan::AntiJoin { left, right, .. }
+                | Plan::Union { left, right }
+                | Plan::Difference { left, right } => distinct_count(left) + distinct_count(right),
+                _ => 0,
+            }
+        }
+        // δ(σ(δ(x))) → δ(σ(x)); δ under either Difference side goes too.
+        let p = Plan::scan("small")
+            .distinct()
+            .select(col("g").gt(lit_i64(2)))
+            .distinct()
+            .difference(Plan::scan("small").distinct());
+        assert_eq!(distinct_count(&p), 3);
+        let opt = optimize(&p, &c).unwrap();
+        assert_eq!(distinct_count(&opt), 0, "{opt:?}");
+        assert_equivalent(&p, &c);
+        // A lone δ that actually dedups is kept.
+        let keep = Plan::scan("big").project_names(["fk"]).distinct();
+        let opt = optimize(&keep, &c).unwrap();
+        assert_eq!(distinct_count(&opt), 1, "{opt:?}");
     }
 
     #[test]

@@ -154,6 +154,19 @@ impl Plan {
         }
     }
 
+    /// `true` iff this plan is already materialized — a scan, inline
+    /// values, or a rename chain over either. The streaming executor
+    /// consumes such inputs zero-copy: using one as a hash-join build
+    /// side or set-operation table costs no row copies, and executing
+    /// one returns the shared storage itself.
+    pub fn materialized_source(&self) -> bool {
+        match self {
+            Plan::Scan(_) | Plan::Values(_) => true,
+            Plan::Rename { input, .. } => input.materialized_source(),
+            _ => false,
+        }
+    }
+
     /// Infer the output schema against a catalog.
     pub fn schema(&self, catalog: &Catalog) -> Result<Schema> {
         match self {
@@ -297,6 +310,19 @@ mod tests {
         let c = catalog();
         let bad = Plan::scan("r").union(Plan::scan("s"));
         assert!(bad.schema(&c).is_err());
+    }
+
+    #[test]
+    fn materialized_source_detection() {
+        assert!(Plan::scan("r").materialized_source());
+        assert!(Plan::scan("r")
+            .rename("x")
+            .rename("y")
+            .materialized_source());
+        assert!(!Plan::scan("r")
+            .select(col("a").eq(lit_i64(1)))
+            .materialized_source());
+        assert!(!Plan::scan("r").distinct().materialized_source());
     }
 
     #[test]

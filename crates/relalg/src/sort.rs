@@ -3,10 +3,20 @@
 //! Like aggregation, these are engine amenities rather than part of the
 //! uncertain-query translation surface (the paper's positive algebra has
 //! no order). The harness binaries use them to print stable outputs.
+//!
+//! Sort is the canonical pipeline breaker: [`sort_plan`] pulls the
+//! streaming executor's rows directly into the sort buffer, so the plan
+//! output is materialized exactly once (instead of once by the executor
+//! and again by the sort). [`limit_plan`] exploits streaming the other
+//! way: it stops pulling after `n` rows, so upstream work for the rest
+//! of the input is never done.
 
+use crate::catalog::Catalog;
 use crate::error::Result;
+use crate::exec;
 use crate::expr::{CompiledExpr, Expr};
-use crate::relation::Relation;
+use crate::plan::Plan;
+use crate::relation::{Relation, Row};
 
 /// Sort direction per key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -17,16 +27,9 @@ pub enum Order {
     Desc,
 }
 
-/// Sort a relation by the given key expressions. Stable, so equal keys
-/// preserve input order.
-pub fn sort_by(input: &Relation, keys: &[(Expr, Order)]) -> Result<Relation> {
-    let compiled: Vec<(CompiledExpr, Order)> = keys
-        .iter()
-        .map(|(e, o)| Ok((e.compile(input.schema())?, *o)))
-        .collect::<Result<_>>()?;
-    let mut rows = input.rows().to_vec();
+fn sort_rows(rows: &mut [Row], compiled: &[(CompiledExpr, Order)]) {
     rows.sort_by(|a, b| {
-        for (e, o) in &compiled {
+        for (e, o) in compiled {
             let (va, vb) = (e.eval(a), e.eval(b));
             let ord = match o {
                 Order::Asc => va.cmp(&vb),
@@ -38,7 +41,31 @@ pub fn sort_by(input: &Relation, keys: &[(Expr, Order)]) -> Result<Relation> {
         }
         std::cmp::Ordering::Equal
     });
+}
+
+/// Sort a relation by the given key expressions. Stable, so equal keys
+/// preserve input order.
+pub fn sort_by(input: &Relation, keys: &[(Expr, Order)]) -> Result<Relation> {
+    let compiled: Vec<(CompiledExpr, Order)> = keys
+        .iter()
+        .map(|(e, o)| Ok((e.compile(input.schema())?, *o)))
+        .collect::<Result<_>>()?;
+    let mut rows = input.rows().to_vec();
+    sort_rows(&mut rows, &compiled);
     Relation::new(input.schema().clone(), rows)
+}
+
+/// ORDER BY over a streamed plan: rows are pulled directly into the
+/// sort buffer, so the plan output is materialized exactly once.
+pub fn sort_plan(plan: &Plan, catalog: &Catalog, keys: &[(Expr, Order)]) -> Result<Relation> {
+    let streamed = exec::stream(plan, catalog)?;
+    let compiled: Vec<(CompiledExpr, Order)> = keys
+        .iter()
+        .map(|(e, o)| Ok((e.compile(streamed.schema())?, *o)))
+        .collect::<Result<_>>()?;
+    let mut rows = streamed.collect_rows(None);
+    sort_rows(&mut rows, &compiled);
+    Relation::new(streamed.schema().clone(), rows)
 }
 
 /// Keep the first `n` rows.
@@ -48,6 +75,14 @@ pub fn limit(input: &Relation, n: usize) -> Relation {
         input.rows().iter().take(n).cloned().collect(),
     )
     .expect("same schema")
+}
+
+/// LIMIT over a streamed plan: pulling stops after `n` rows, so
+/// upstream operators never produce the rest of the input.
+pub fn limit_plan(plan: &Plan, catalog: &Catalog, n: usize) -> Result<Relation> {
+    let streamed = exec::stream(plan, catalog)?;
+    let rows = streamed.collect_rows(Some(n));
+    Relation::new(streamed.schema().clone(), rows)
 }
 
 #[cfg(test)]
@@ -94,5 +129,22 @@ mod tests {
     #[test]
     fn sort_rejects_unknown_columns() {
         assert!(sort_by(&rel(), &[(col("zzz"), Order::Asc)]).is_err());
+    }
+
+    #[test]
+    fn plan_variants_match_relation_variants() {
+        use crate::expr::lit_i64;
+        let mut c = Catalog::new();
+        c.insert("t", rel());
+        let p = Plan::scan("t").select(col("a").gt(lit_i64(0)));
+        let materialized = exec::execute(&p, &c).unwrap();
+        let sorted = sort_plan(&p, &c, &[(col("a"), Order::Asc)]).unwrap();
+        assert_eq!(
+            sorted,
+            sort_by(&materialized, &[(col("a"), Order::Asc)]).unwrap()
+        );
+        let limited = limit_plan(&p, &c, 2).unwrap();
+        assert_eq!(limited, limit(&materialized, 2));
+        assert!(sort_plan(&p, &c, &[(col("zzz"), Order::Asc)]).is_err());
     }
 }

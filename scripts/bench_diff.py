@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Record and diff benchmark baselines.
+
+The criterion harness prints lines of the form
+
+    bench <group>/<id> ... median <duration> (<n> samples)
+
+This script either records them into a ``BENCH_<name>.json`` baseline or
+diffs a fresh run against a checked-in baseline, flagging regressions
+beyond a threshold ratio.
+
+Usage:
+    # Record a baseline (reads bench output from stdin):
+    UREL_BENCH_SAMPLES=7 cargo bench --bench queries | \
+        scripts/bench_diff.py record BENCH_queries.json
+
+    # Diff a fresh run against the baseline (exit 1 on regression):
+    UREL_BENCH_SAMPLES=7 cargo bench --bench queries | \
+        scripts/bench_diff.py diff BENCH_queries.json --threshold 2.5
+
+Wall-clock medians on shared machines are noisy; the default threshold
+is deliberately loose (2.5x) so the CI step catches order-of-magnitude
+regressions without flaking on scheduler jitter.
+"""
+
+import json
+import re
+import sys
+from datetime import date
+
+LINE = re.compile(
+    r"^bench\s+(?P<name>\S+)\s+\.\.\.\s+median\s+(?P<dur>[0-9.]+)(?P<unit>ns|µs|us|ms|s)\b"
+)
+
+UNIT_SECONDS = {"ns": 1e-9, "µs": 1e-6, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def parse_bench_output(lines):
+    """Parse criterion output lines into {bench name: seconds}."""
+    out = {}
+    for line in lines:
+        m = LINE.match(line.strip())
+        if m:
+            out[m.group("name")] = float(m.group("dur")) * UNIT_SECONDS[m.group("unit")]
+    return out
+
+
+def record(baseline_path, benches):
+    payload = {
+        "recorded": date.today().isoformat(),
+        "note": "median wall-clock seconds per bench (UREL_BENCH_SAMPLES samples)",
+        "benches": benches,
+    }
+    with open(baseline_path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"recorded {len(benches)} benches into {baseline_path}")
+    return 0
+
+
+def diff(baseline_path, benches, threshold):
+    with open(baseline_path) as f:
+        baseline = json.load(f)["benches"]
+    regressions = []
+    width = max((len(n) for n in baseline), default=10)
+    print(f"{'bench':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name, base in sorted(baseline.items()):
+        cur = benches.get(name)
+        if cur is None:
+            print(f"{name:<{width}}  {base:>12.6f}  {'MISSING':>12}  -")
+            regressions.append((name, "missing"))
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        flag = " <-- REGRESSION" if ratio > threshold else ""
+        print(f"{name:<{width}}  {base:>12.6f}  {cur:>12.6f}  {ratio:5.2f}x{flag}")
+        if ratio > threshold:
+            regressions.append((name, f"{ratio:.2f}x"))
+    for name in sorted(set(benches) - set(baseline)):
+        print(f"{name:<{width}}  {'NEW':>12}  {benches[name]:>12.6f}  -")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {threshold}x: {regressions}")
+        return 1
+    print(f"\nno regressions beyond {threshold}x")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 3 or argv[1] not in ("record", "diff"):
+        print(__doc__)
+        return 2
+    mode, baseline_path = argv[1], argv[2]
+    threshold = 2.5
+    if "--threshold" in argv:
+        threshold = float(argv[argv.index("--threshold") + 1])
+    benches = parse_bench_output(sys.stdin)
+    if not benches:
+        print("no `bench ... median ...` lines found on stdin", file=sys.stderr)
+        return 2
+    if mode == "record":
+        return record(baseline_path, benches)
+    return diff(baseline_path, benches, threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

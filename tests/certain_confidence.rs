@@ -1,12 +1,16 @@
 //! Cross-crate tests of certain answers and confidence computation on
 //! realistic (generated) data — Lemma 4.3 and the Section 7 extension
-//! working together on TPC-H query results.
+//! working together on TPC-H query results, plus Hoeffding error-bound
+//! coverage for the Monte-Carlo confidence estimator and its wiring
+//! into the `possible` entry point.
 
 use u_relations::core::certain::{certain_exact, certain_lemma43, certain_lemma43_relational};
 use u_relations::core::normalize::normalize_urelations;
-use u_relations::core::prob::{confidence_monte_carlo, tuple_confidences};
+use u_relations::core::prob::{
+    confidence, confidence_monte_carlo, tuple_confidences, ConfidenceMethod,
+};
 use u_relations::core::worldops::{condition_domain, repair_key};
-use u_relations::core::{evaluate, table};
+use u_relations::core::{evaluate, possible, possible_with_confidence, table, WsDescriptor};
 use u_relations::relalg::{col, lit_i64, Relation, Value};
 use u_relations::tpch::{generate, GenParams};
 
@@ -63,6 +67,83 @@ fn confidences_bound_certainty() {
         let est = confidence_monte_carlo(&descs, &db.world, 20_000, 3).unwrap();
         assert!((est - conf).abs() < 0.03, "{est} vs {conf}");
     }
+}
+
+#[test]
+fn monte_carlo_respects_hoeffding_bounds() {
+    // By Hoeffding's inequality, n i.i.d. world samples estimate a
+    // tuple confidence within ε = sqrt(ln(2/δ) / 2n) of the exact value
+    // with probability ≥ 1 − δ. With n = 20 000 and δ = 10⁻⁶,
+    // ε ≈ 0.019; the seeds are fixed, so a pass here is permanent and a
+    // failure would mean the estimator (not the luck) is broken.
+    use u_relations::core::{Var, WorldTable};
+    let mut w = WorldTable::new();
+    w.add_var(Var(1), vec![0, 1]).unwrap();
+    w.add_var(Var(2), vec![0, 1, 2]).unwrap();
+    w.add_var(Var(3), vec![0, 1]).unwrap();
+    w.set_probabilities(Var(1), vec![0.9, 0.1]).unwrap();
+    w.set_probabilities(Var(2), vec![0.5, 0.3, 0.2]).unwrap();
+
+    let d = |pairs: &[(u32, u64)]| {
+        WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
+    };
+    let cases: Vec<Vec<WsDescriptor>> = vec![
+        vec![d(&[(1, 0)])],
+        vec![d(&[(1, 0)]), d(&[(2, 1)])],
+        vec![d(&[(1, 1), (2, 0)]), d(&[(2, 2)]), d(&[(3, 1)])],
+        vec![d(&[(1, 0), (2, 0), (3, 0)])],
+    ];
+
+    let samples = 20_000;
+    let delta = 1e-6;
+    let method = ConfidenceMethod::MonteCarlo { samples, seed: 0 };
+    let eps = method.error_bound(delta);
+    assert!((0.015..0.025).contains(&eps), "ε = {eps}");
+    for descs in &cases {
+        let exact = confidence(descs, &w).unwrap();
+        for seed in [1u64, 42, 31337] {
+            let est = confidence_monte_carlo(descs, &w, samples, seed).unwrap();
+            assert!(
+                (est - exact).abs() <= eps,
+                "seed {seed}: |{est} − {exact}| > ε = {eps} for {descs:?}"
+            );
+        }
+    }
+    // Exact method reports a zero bound.
+    assert_eq!(ConfidenceMethod::Exact.error_bound(delta), 0.0);
+}
+
+#[test]
+fn possible_entry_point_supports_the_estimator() {
+    // The estimator option is wired into `possible`: the answer set is
+    // identical, and each tuple's Monte-Carlo confidence is within the
+    // Hoeffding bound of the exact one.
+    let db = tiny();
+    let q = table("customer").project(["c_mktsegment"]);
+    let answers = possible(&db, &q).unwrap();
+
+    let exact = possible_with_confidence(&db, &q, ConfidenceMethod::Exact).unwrap();
+    let method = ConfidenceMethod::MonteCarlo {
+        samples: 20_000,
+        seed: 7,
+    };
+    let estimated = possible_with_confidence(&db, &q, method).unwrap();
+    let eps = method.error_bound(1e-6);
+
+    // Same tuples in the same grouping order, confidences within ε.
+    assert_eq!(exact.len(), estimated.len());
+    assert_eq!(exact.len(), answers.len());
+    for ((vals_e, conf_e), (vals_m, conf_m)) in exact.iter().zip(&estimated) {
+        assert_eq!(vals_e, vals_m);
+        assert!(
+            (conf_e - conf_m).abs() <= eps,
+            "{vals_e:?}: exact {conf_e} vs estimate {conf_m} (ε = {eps})"
+        );
+        assert!(answers.rows().iter().any(|r| r.to_vec() == *vals_e));
+    }
+    // Determinism: same seed, same estimates.
+    let again = possible_with_confidence(&db, &q, method).unwrap();
+    assert_eq!(estimated, again);
 }
 
 #[test]

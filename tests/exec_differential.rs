@@ -1,0 +1,303 @@
+//! Differential tests of the streaming executor.
+//!
+//! Two oracles pin the PR 2 streaming refactor down:
+//!
+//! 1. **World expansion** — for randomly generated (valid, reduced)
+//!    or-set U-relational databases and random logical queries, the
+//!    translated streaming path's `possible` / `certain` answers must
+//!    equal the naive expand-all-worlds oracle
+//!    (`worldops::expand_answers`), which materializes every world and
+//!    queries it through the retained reference engine. Any bug in the
+//!    translation, the optimizer, or the streaming operators shows up
+//!    as a divergence.
+//! 2. **Reference engine** — for random plain relational plans, the
+//!    streaming executor and the retained materializing engine
+//!    (`exec::execute_reference`) must produce identical *multisets* of
+//!    rows (row order may differ: the engines pick hash-join build
+//!    sides differently), and the `EXPLAIN` buffer counter must match
+//!    the runtime `ExecStats`.
+//!
+//! Case counts scale with `PROPTEST_CASES` (the CI differential job
+//! raises it well above the local default); generation is deterministic
+//! per test name, so failures reproduce exactly.
+
+use proptest::prelude::*;
+use u_relations::core::certain::certain_answers;
+use u_relations::core::reduce::reduce;
+use u_relations::core::{
+    expand_answers, possible, table, table_as, UDatabase, UQuery, URelation, Var, WorldTable,
+    WsDescriptor,
+};
+use u_relations::relalg::{col, exec, lit_i64, Catalog, Expr, Plan, Relation, Row, Value};
+
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---------------------------------------------------------------------------
+// Random U-relational databases (valid by construction, then reduced)
+// ---------------------------------------------------------------------------
+
+/// How one `(tuple, attribute)` field is filled.
+///
+/// Or-sets always cover their variable's *full* domain, so every stored
+/// field is world-total — defined in every world — exactly the shape the
+/// paper's or-set construction (Theorem 2.4) produces. This matters: the
+/// translation's partition pruning assumes a tuple present in a world
+/// has *all* its fields defined there. A field defined in only some
+/// worlds (a partial or-set) is outside Proposition 3.3's reduction
+/// guarantee — `possible` stays correct (every row completes somewhere)
+/// but `certain` would over-approximate, which this very harness
+/// demonstrated. `Absent` fields are still generated: they make whole
+/// tuples uncompletable and exercise the reduction cascade.
+#[derive(Clone, Debug)]
+enum Cell {
+    /// No row: the field is undefined everywhere (the reduction step
+    /// must then remove the tuple's other rows).
+    Absent,
+    /// One unconditional row.
+    Certain(i64),
+    /// One row per domain value of a variable (a full or-set).
+    OrSet { second_var: bool, vals: [i64; 3] },
+}
+
+fn arb_cell() -> impl Strategy<Value = Cell> {
+    prop_oneof![
+        1 => Just(Cell::Absent),
+        3 => (0i64..4).prop_map(Cell::Certain),
+        4 => (any::<bool>(), (0i64..4, 0i64..4, 0i64..4)).prop_map(
+            |(second_var, (v0, v1, v2))| Cell::OrSet {
+                second_var,
+                vals: [v0, v1, v2],
+            }
+        ),
+    ]
+}
+
+/// A database over two independent variables and one logical relation
+/// `r[a, b]` stored as two vertical partitions (one per attribute).
+/// Each `(tid, attr)` field is certain, an or-set, or absent. The
+/// database is valid by construction (or-set rows of one field are
+/// pairwise inconsistent; partitions share no value columns) and is
+/// reduced before use, as the paper's translation assumes.
+fn arb_udb() -> impl Strategy<Value = UDatabase> {
+    (
+        2u64..4,
+        2u64..4,
+        prop::collection::vec(arb_cell(), 6), // 3 tids × 2 attrs
+    )
+        .prop_map(|(d1, d2, cells)| {
+            let mut w = WorldTable::new();
+            w.add_var(Var(1), (0..d1).collect()).unwrap();
+            w.add_var(Var(2), (0..d2).collect()).unwrap();
+            let doms = [d1, d2];
+            let mut db = UDatabase::new(w);
+            db.add_relation("r", ["a", "b"]).unwrap();
+            for (ai, attr) in ["a", "b"].into_iter().enumerate() {
+                let mut part = URelation::partition(format!("u_{attr}"), [attr]);
+                for tid in 0..3i64 {
+                    let cell = &cells[ai * 3 + tid as usize];
+                    match cell {
+                        Cell::Absent => {}
+                        Cell::Certain(v) => part
+                            .push_simple(WsDescriptor::empty(), tid + 1, vec![Value::Int(*v)])
+                            .unwrap(),
+                        Cell::OrSet { second_var, vals } => {
+                            let var = if *second_var { Var(2) } else { Var(1) };
+                            let dom = doms[usize::from(*second_var)];
+                            for l in 0..dom {
+                                part.push_simple(
+                                    WsDescriptor::singleton(var, l),
+                                    tid + 1,
+                                    vec![Value::Int(vals[l as usize % 3])],
+                                )
+                                .unwrap();
+                            }
+                        }
+                    }
+                }
+                db.add_partition("r", part).unwrap();
+            }
+            db.validate().expect("generated database is valid");
+            // The translation assumes a reduced database (Prop. 3.3).
+            reduce(&mut db).expect("reduction succeeds");
+            db
+        })
+}
+
+/// Random logical queries over `r[a, b]`: selections, projections,
+/// unions, a self-join, and `poss` both at the top and mid-query.
+fn arb_query() -> impl Strategy<Value = UQuery> {
+    let base = prop_oneof![
+        Just(table("r")),
+        (0i64..4).prop_map(|k| table("r").select(col("a").eq(lit_i64(k)))),
+        (0i64..4).prop_map(|k| table("r").select(col("b").gt(lit_i64(k)))),
+        Just(table("r").select(col("a").le(col("b")))),
+        Just(table("r").project(["a"])),
+        Just(table("r").project(["b", "a"])),
+        (0i64..4, 0i64..4).prop_map(|(k1, k2)| {
+            table("r")
+                .select(col("a").eq(lit_i64(k1)))
+                .project(["a"])
+                .union(table("r").select(col("b").eq(lit_i64(k2))).project(["a"]))
+        }),
+        Just(
+            table_as("r", "s1")
+                .join(table_as("r", "s2"), col("s1.a").eq(col("s2.a")))
+                .project(["s1.a", "s2.b"])
+        ),
+        (0i64..4).prop_map(|k| {
+            table("r")
+                .project(["a"])
+                .poss()
+                .select(col("a").lt(lit_i64(k)))
+        }),
+    ];
+    (base, any::<bool>()).prop_map(|(q, wrap)| if wrap { q.poss() } else { q })
+}
+
+// ---------------------------------------------------------------------------
+// Random plain relational plans (streaming vs reference engine)
+// ---------------------------------------------------------------------------
+
+/// Random base tables r(a, b) / s(c, d) with small integer domains so
+/// joins actually match.
+fn arb_catalog() -> impl Strategy<Value = Catalog> {
+    let row = || (0i64..6, 0i64..6);
+    (
+        prop::collection::vec(row(), 0..12),
+        prop::collection::vec(row(), 0..12),
+    )
+        .prop_map(|(r_rows, s_rows)| {
+            let to_rel = |names: [&str; 2], rows: Vec<(i64, i64)>| {
+                Relation::from_rows(
+                    names,
+                    rows.into_iter()
+                        .map(|(x, y)| vec![Value::Int(x), Value::Int(y)])
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap()
+            };
+            let mut c = Catalog::new();
+            c.insert("r", to_rel(["a", "b"], r_rows));
+            c.insert("s", to_rel(["c", "d"], s_rows));
+            c
+        })
+}
+
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..6).prop_map(|k| col("a").eq(lit_i64(k))),
+        (0i64..6).prop_map(|k| col("b").lt(lit_i64(k))),
+        (0i64..6, 0i64..6)
+            .prop_map(|(k1, k2)| Expr::or([col("a").eq(lit_i64(k1)), col("b").gt(lit_i64(k2))])),
+        Just(col("a").le(col("b"))),
+    ]
+}
+
+/// Random plans mixing every operator: hash joins (equi preds), nested
+/// loops (theta/cross), semi/antijoins, set ops, distinct, rename.
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    let leaf = prop_oneof![Just(Plan::scan("r")), Just(Plan::scan("s"))];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_pred()).prop_map(|(p, e)| p.select(e)),
+            inner.clone().prop_map(|p| p.distinct()),
+            // Hash join r ⋈ s on b = c (schemas permitting).
+            inner
+                .clone()
+                .prop_map(|p| Plan::scan("r").join(p.rename("x"), col("b").eq(col("x.c")))),
+            // Theta join (nested loop) and cross product.
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.join(r, Expr::and([]))),
+            inner
+                .clone()
+                .prop_map(|p| Plan::scan("r").join(p.rename("y"), col("b").lt(col("y.c")))),
+            // Semi/antijoin against the other table.
+            inner
+                .clone()
+                .prop_map(|p| p.semijoin(Plan::scan("s"), col("b").eq(col("c")))),
+            inner
+                .clone()
+                .prop_map(|p| p.antijoin(Plan::scan("s"), col("b").eq(col("c")))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.union(r)),
+            (inner.clone(), inner).prop_map(|(l, r)| l.difference(r)),
+        ]
+    })
+}
+
+fn sorted_rows(rel: &Relation) -> Vec<Row> {
+    let mut rows = rel.rows().to_vec();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    /// The tentpole differential: translated + optimized + streamed
+    /// query answers equal the expand-all-worlds ground truth.
+    #[test]
+    fn streaming_possible_and_certain_match_world_expansion(
+        db in arb_udb(),
+        q in arb_query(),
+    ) {
+        let (want_poss, want_cert) = expand_answers(&db, &q, 64).unwrap();
+        let got_poss = possible(&db, &q).unwrap();
+        prop_assert!(
+            got_poss.set_eq(&want_poss),
+            "possible answers diverge for {q:?}\nstreaming: {got_poss}\noracle: {want_poss}"
+        );
+        let got_cert = certain_answers(&db, &q).unwrap();
+        prop_assert!(
+            got_cert.set_eq(&want_cert),
+            "certain answers diverge for {q:?}\nstreaming: {got_cert}\noracle: {want_cert}"
+        );
+        // Certain answers are possible answers.
+        for row in got_cert.rows() {
+            prop_assert!(want_poss.rows().contains(row));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(96)))]
+
+    /// The streaming executor and the retained materializing reference
+    /// path produce identical multisets of rows for every generated
+    /// plan (catches buffering/ordering bugs in pipeline breakers).
+    #[test]
+    fn streaming_matches_materializing_reference(
+        catalog in arb_catalog(),
+        plan in arb_plan(),
+    ) {
+        match plan.schema(&catalog) {
+            Err(_) => {
+                // Ill-typed plans must fail cleanly in both engines.
+                prop_assert!(
+                    exec::execute(&plan, &catalog).is_err(),
+                    "streaming accepted an ill-typed plan: {plan:?}"
+                );
+                prop_assert!(
+                    exec::execute_reference(&plan, &catalog).is_err(),
+                    "reference accepted an ill-typed plan: {plan:?}"
+                );
+            }
+            Ok(_) => {
+                let (streamed, stats) = exec::execute_with_stats(&plan, &catalog).unwrap();
+                let reference = exec::execute_reference(&plan, &catalog).unwrap();
+                let (a, b) = (sorted_rows(&streamed), sorted_rows(&reference));
+                prop_assert!(a == b, "multisets diverge for {plan:?}");
+                // The EXPLAIN counter agrees with the runtime stats.
+                let predicted = exec::predicted_buffers(&plan, &catalog);
+                prop_assert!(
+                    predicted == stats.buffers,
+                    "predicted ({predicted}) vs actual ({}) buffers for {plan:?}",
+                    stats.buffers
+                );
+            }
+        }
+    }
+}

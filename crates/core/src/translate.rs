@@ -114,15 +114,21 @@ pub fn possible_with_confidence(
 /// The catalog stores `Arc<Relation>`s and scans alias them, so repeated
 /// queries through a `PreparedDb` share one copy of the base data — the
 /// per-query cost is translation, optimization, and the result rows, not
-/// the database. The free functions [`evaluate`] / [`possible`] remain
-/// one-shot conveniences that prepare internally.
+/// the database. Registration also computes statistics over each
+/// relation's columnar image, which builds and caches that image: the
+/// engine's vectorized batch pipelines scan encoded partitions
+/// column-major from the first query on, paying row-to-column conversion
+/// once per `PreparedDb`, not once per query. The free functions
+/// [`evaluate`] / [`possible`] remain one-shot conveniences that prepare
+/// internally.
 pub struct PreparedDb<'a> {
     udb: &'a UDatabase,
     catalog: Catalog,
 }
 
 impl<'a> PreparedDb<'a> {
-    /// Encode every partition plus `W` into a fresh catalog, once.
+    /// Encode every partition plus `W` into a fresh catalog, once
+    /// (statistics and cached columnar images included).
     pub fn new(udb: &'a UDatabase) -> Self {
         PreparedDb {
             udb,

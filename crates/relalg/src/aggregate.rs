@@ -72,32 +72,30 @@ impl State {
         }
     }
 
-    fn update(
-        &mut self,
-        f: &AggFunc,
-        row: &crate::relation::Row,
-        compiled: Option<&CompiledExpr>,
-    ) -> Result<()> {
+    /// Fold one input row's evaluated argument (`None` for `COUNT(*)`)
+    /// into the accumulator. The caller evaluates — rows and column
+    /// batches feed the same state machine.
+    fn update(&mut self, f: &AggFunc, v: Option<Value>) -> Result<()> {
         match (self, f) {
             (State::Count(c), AggFunc::CountStar) => *c += 1,
             (State::Count(c), AggFunc::Count(_)) => {
-                if !compiled.unwrap().eval(row).is_null() {
+                if !v.expect("COUNT has an argument").is_null() {
                     *c += 1;
                 }
             }
-            (State::Sum(s), AggFunc::Sum(_)) => match compiled.unwrap().eval(row) {
+            (State::Sum(s), AggFunc::Sum(_)) => match v.expect("SUM has an argument") {
                 Value::Int(v) => *s += v,
                 Value::Null => {}
                 other => return Err(Error::TypeError(format!("SUM over non-integer {other}"))),
             },
             (State::Min(m), AggFunc::Min(_)) => {
-                let v = compiled.unwrap().eval(row);
+                let v = v.expect("MIN has an argument");
                 if !v.is_null() && m.as_ref().is_none_or(|cur| v < *cur) {
                     *m = Some(v);
                 }
             }
             (State::Max(m), AggFunc::Max(_)) => {
-                let v = compiled.unwrap().eval(row);
+                let v = v.expect("MAX has an argument");
                 if !v.is_null() && m.as_ref().is_none_or(|cur| v > *cur) {
                     *m = Some(v);
                 }
@@ -157,14 +155,31 @@ impl<'a> Accumulator<'a> {
         })
     }
 
-    fn update(&mut self, row: &Row) -> Result<()> {
-        let key: Vec<Value> = self.key_exprs.iter().map(|e| e.eval(row)).collect();
+    /// Fold one input row into the group states; `eval` supplies the
+    /// value of a compiled expression for that row, so the row-cursor
+    /// path and the batched path share one grouping implementation.
+    fn fold(&mut self, eval: impl Fn(&CompiledExpr) -> Value) -> Result<()> {
+        let key: Vec<Value> = self.key_exprs.iter().map(&eval).collect();
         let states = self.groups.entry(key.clone()).or_insert_with(|| {
             self.order.push(key);
             self.aggs.iter().map(|a| State::new(&a.func)).collect()
         });
         for ((state, agg), compiled) in states.iter_mut().zip(self.aggs).zip(&self.agg_exprs) {
-            state.update(&agg.func, row, compiled.as_ref())?;
+            state.update(&agg.func, compiled.as_ref().map(&eval))?;
+        }
+        Ok(())
+    }
+
+    fn update(&mut self, row: &Row) -> Result<()> {
+        self.fold(|c| c.eval(row))
+    }
+
+    /// Fold a whole column batch: group keys and aggregate arguments are
+    /// evaluated positionally against the batch, so the input rows are
+    /// never materialized — only the group states are held.
+    fn update_batch(&mut self, batch: &crate::batch::ColumnBatch<'_>) -> Result<()> {
+        for pos in 0..batch.len() {
+            self.fold(|c| c.eval_at(batch, pos))?;
         }
         Ok(())
     }
@@ -205,9 +220,11 @@ pub fn aggregate(
     acc.finish()
 }
 
-/// Hash aggregation pulled straight off the streaming executor: the
-/// plan's rows are consumed one at a time, so the aggregation input is
-/// never materialized — only the group states are buffered.
+/// Hash aggregation pulled straight off the streaming executor, one
+/// column batch at a time: a batched σ/π/join-probe chain feeds GROUP BY
+/// without ever materializing its input rows — only the group states
+/// are buffered. Plans on the row fallback path are bridged into owned
+/// batches by [`exec::Streamed::for_each_batch`].
 pub fn aggregate_plan(
     plan: &Plan,
     catalog: &Catalog,
@@ -216,7 +233,7 @@ pub fn aggregate_plan(
 ) -> Result<Relation> {
     let streamed = exec::stream(plan, catalog)?;
     let mut acc = Accumulator::new(streamed.schema(), group_by, aggs)?;
-    streamed.for_each_row(|row| acc.update(row))?;
+    streamed.for_each_batch(|batch| acc.update_batch(batch))?;
     acc.finish()
 }
 

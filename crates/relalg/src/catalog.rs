@@ -22,14 +22,17 @@ impl Catalog {
 
     /// Register (or replace) a relation. Statistics are computed eagerly —
     /// the workloads in this repo scan every registered relation at least
-    /// once, so the one-time pass pays for itself.
+    /// once, so the one-time pass pays for itself. Computing them runs
+    /// over the columnar image, which builds and caches it: batched scans
+    /// of catalog relations never pay row-to-column conversion.
     pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
         self.insert_shared(name, Arc::new(rel));
     }
 
     /// Register (or replace) a relation that is already shared — e.g. a
     /// query result or another catalog's entry. The storage is aliased,
-    /// not copied; only statistics are (re)computed.
+    /// not copied; only statistics (and the relation's cached columnar
+    /// image, as a side effect) are (re)computed.
     pub fn insert_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) {
         let name = name.into();
         let stats = TableStats::compute(&rel);

@@ -3,14 +3,20 @@
 //! Prints the operator tree with the physical strategy the executor will
 //! pick (hash vs nested-loop join, key columns, residual filters), the
 //! optimizer's row estimates, and — for the streaming engine — whether
-//! each node pipelines rows or buffers them. The final line reports the
-//! number of intermediate row buffers the streaming executor will
-//! allocate ([`crate::exec::predicted_buffers`]), which matches the
-//! runtime [`crate::exec::ExecStats::buffers`]: a fully pipelined plan
-//! reads `0 intermediate row buffer(s)`.
+//! each node pipelines rows or buffers them, and whether its pipeline
+//! runs `[batched]` (vectorized over column batches) or `[row]` (the
+//! fallback cursor bridge — visible here instead of silent). The final
+//! line reports the number of intermediate row buffers the streaming
+//! executor will allocate ([`crate::exec::predicted_buffers`]), which
+//! matches the runtime [`crate::exec::ExecStats::buffers`]: a fully
+//! pipelined plan reads `0 intermediate row buffer(s)`.
+//! [`explain_executed`] additionally runs the plan and appends the
+//! observed batch count and mean batch fill.
 
+use crate::batch::BATCH_SIZE;
 use crate::catalog::Catalog;
-use crate::exec::{join_build_left, predicted_buffers, JoinCondition};
+use crate::error::Result;
+use crate::exec::{batched_pipeline, join_build_left, predicted_buffers, JoinCondition};
 use crate::expr::Expr;
 use crate::optimizer::est_rows;
 use crate::plan::Plan;
@@ -24,6 +30,40 @@ pub fn explain(plan: &Plan, catalog: &Catalog) -> String {
     let buffers = predicted_buffers(plan, catalog);
     let _ = writeln!(out, "-- {buffers} intermediate row buffer(s)");
     out
+}
+
+/// `EXPLAIN ANALYZE`-style: render the plan, execute it, and append the
+/// observed batch count and mean batch fill (rows per batch; the target
+/// is [`BATCH_SIZE`]). A plan that fell back to the row path reports so
+/// explicitly.
+pub fn explain_executed(plan: &Plan, catalog: &Catalog) -> Result<String> {
+    let mut out = explain(plan, catalog);
+    let (_, stats) = crate::exec::execute_with_stats(plan, catalog)?;
+    match stats.mean_batch_fill() {
+        Some(fill) => {
+            let _ = writeln!(
+                out,
+                "-- {} batch(es), mean fill {:.1}/{} rows",
+                stats.batches, fill, BATCH_SIZE
+            );
+        }
+        None => {
+            let _ = writeln!(out, "-- row path: no batches emitted");
+        }
+    }
+    Ok(out)
+}
+
+/// The per-node engine tag: will the pipeline rooted here run
+/// vectorized, or on the row-cursor fallback? Re-derived per rendered
+/// node (quadratic in plan size) — EXPLAIN is a cold, human-facing
+/// path; if that ever changes, compute the tags in one top-down pass.
+fn engine_tag(plan: &Plan, catalog: &Catalog) -> &'static str {
+    if batched_pipeline(plan, catalog) {
+        "[batched]"
+    } else {
+        "[row]"
+    }
 }
 
 fn indent(depth: usize, out: &mut String) {
@@ -47,22 +87,23 @@ fn side_label(side: &Plan) -> &'static str {
 fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
     indent(depth, out);
     let rows = est_rows(plan, catalog);
+    let tag = engine_tag(plan, catalog);
     match plan {
         Plan::Scan(name) => {
-            let _ = writeln!(out, "Seq Scan on {name}  (rows={rows:.0})");
+            let _ = writeln!(out, "Seq Scan on {name}  (rows={rows:.0}) {tag}");
         }
         Plan::Values(rel) => {
-            let _ = writeln!(out, "Values  (rows={})", rel.len());
+            let _ = writeln!(out, "Values  (rows={}) {tag}", rel.len());
         }
         Plan::Select { input, pred } => {
-            let _ = writeln!(out, "Filter: {pred}  (rows≈{rows:.0}) [pipelined]");
+            let _ = writeln!(out, "Filter: {pred}  (rows≈{rows:.0}) [pipelined] {tag}");
             render(input, catalog, depth + 1, out);
         }
         Plan::Project { input, cols } => {
             let names: Vec<String> = cols.iter().map(|(_, n)| n.to_string()).collect();
             let _ = writeln!(
                 out,
-                "Project [{}]  (rows≈{rows:.0}) [pipelined]",
+                "Project [{}]  (rows≈{rows:.0}) [pipelined] {tag}",
                 names.join(", ")
             );
             render(input, catalog, depth + 1, out);
@@ -76,7 +117,7 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
             if cond.equi.is_empty() {
                 let _ = writeln!(
                     out,
-                    "Nested Loop Join  (rows≈{rows:.0}) [streams left, inner {}]",
+                    "Nested Loop Join  (rows≈{rows:.0}) [streams left, inner {}] {tag}",
                     side_label(right)
                 );
                 if !pred.is_true() {
@@ -97,7 +138,7 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
                 let build_side = if build == "left" { left } else { right };
                 let _ = writeln!(
                     out,
-                    "Hash Join  (rows≈{rows:.0}) [streams {probe} probe, build {build} {}]",
+                    "Hash Join  (rows≈{rows:.0}) [streams {probe} probe, build {build} {}] {tag}",
                     side_label(build_side)
                 );
                 indent(depth + 1, out);
@@ -113,7 +154,7 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
         Plan::SemiJoin { left, right, pred } => {
             let _ = writeln!(
                 out,
-                "Hash Semi Join on {pred}  (rows≈{rows:.0}) [streams left, right {}]",
+                "Hash Semi Join on {pred}  (rows≈{rows:.0}) [streams left, right {}] {tag}",
                 side_label(right)
             );
             render(left, catalog, depth + 1, out);
@@ -122,21 +163,21 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
         Plan::AntiJoin { left, right, pred } => {
             let _ = writeln!(
                 out,
-                "Hash Anti Join on {pred}  (rows≈{rows:.0}) [streams left, right {}]",
+                "Hash Anti Join on {pred}  (rows≈{rows:.0}) [streams left, right {}] {tag}",
                 side_label(right)
             );
             render(left, catalog, depth + 1, out);
             render(right, catalog, depth + 1, out);
         }
         Plan::Union { left, right } => {
-            let _ = writeln!(out, "Append  (rows≈{rows:.0}) [pipelined]");
+            let _ = writeln!(out, "Append  (rows≈{rows:.0}) [pipelined] {tag}");
             render(left, catalog, depth + 1, out);
             render(right, catalog, depth + 1, out);
         }
         Plan::Difference { left, right } => {
             let _ = writeln!(
                 out,
-                "Except  (rows≈{rows:.0}) [buffers seen-set, right {}]",
+                "Except  (rows≈{rows:.0}) [buffers seen-set, right {}] {tag}",
                 side_label(right)
             );
             render(left, catalog, depth + 1, out);
@@ -145,12 +186,15 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
         Plan::Distinct(input) => {
             let _ = writeln!(
                 out,
-                "HashAggregate (distinct)  (rows≈{rows:.0}) [buffers seen-set]"
+                "HashAggregate (distinct)  (rows≈{rows:.0}) [buffers seen-set] {tag}"
             );
             render(input, catalog, depth + 1, out);
         }
         Plan::Rename { input, alias } => {
-            let _ = writeln!(out, "Subquery Alias {alias}  (rows≈{rows:.0}) [pipelined]");
+            let _ = writeln!(
+                out,
+                "Subquery Alias {alias}  (rows≈{rows:.0}) [pipelined] {tag}"
+            );
             render(input, catalog, depth + 1, out);
         }
     }
@@ -221,5 +265,42 @@ mod tests {
         let text = explain(&p.distinct(), &c);
         assert!(text.contains("[buffers seen-set]"), "{text}");
         assert!(text.contains("1 intermediate row buffer(s)"), "{text}");
+    }
+
+    #[test]
+    fn explain_tags_batched_vs_row_pipelines() {
+        let c = catalog();
+        // A hash-join chain runs batched on every node.
+        let p = Plan::scan("r")
+            .select(col("a").gt(lit_i64(0)))
+            .join(Plan::scan("s"), col("a").eq(col("c")));
+        let text = explain(&p, &c);
+        assert!(text.contains("[batched]"), "{text}");
+        assert!(!text.contains("[row]"), "{text}");
+        // A theta join forces the row fallback, visibly: the nested loop
+        // and the filter above it are tagged [row], while its scan
+        // children still read [batched].
+        let theta = Plan::scan("r")
+            .join(Plan::scan("s"), col("a").lt(col("c")))
+            .select(col("b").gt(lit_i64(0)));
+        let text = explain(&theta, &c);
+        assert!(
+            text.contains("Filter: (b > 0)  (rows≈1) [pipelined] [row]"),
+            "{text}"
+        );
+        assert!(text.contains("Nested Loop Join"), "{text}");
+        assert!(text.contains("Seq Scan on r  (rows=1) [batched]"), "{text}");
+    }
+
+    #[test]
+    fn explain_executed_reports_batch_fill() {
+        let c = catalog();
+        let p = Plan::scan("r").select(col("a").gt(lit_i64(0)));
+        let text = explain_executed(&p, &c).unwrap();
+        assert!(text.contains("mean fill"), "{text}");
+        let theta = Plan::scan("r").join(Plan::scan("s"), col("a").lt(col("c")));
+        let text = explain_executed(&theta, &c).unwrap();
+        assert!(text.contains("row path: no batches emitted"), "{text}");
+        assert!(explain_executed(&Plan::scan("nope"), &c).is_err());
     }
 }

@@ -4,12 +4,14 @@
 //! compiled against a [`Schema`] into index-resolved form ([`CompiledExpr`])
 //! before evaluation, so the per-row hot path does no name lookups.
 
+use crate::batch::{BatchCol, ColumnBatch};
 use crate::error::Result;
-use crate::relation::Row;
+use crate::relation::{Column, Row};
 use crate::schema::{ColRef, Schema};
-use crate::value::Value;
+use crate::value::{str_eq, Value};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Comparison operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,9 +124,10 @@ pub fn lit_i64(v: i64) -> Expr {
     Expr::Lit(Value::Int(v))
 }
 
-/// String literal.
+/// String literal. Interned, so comparing it against interned (loaded)
+/// string columns resolves by pointer on the equality fast path.
 pub fn lit_str(s: &str) -> Expr {
-    Expr::Lit(Value::str(s))
+    Expr::Lit(Value::interned(s))
 }
 
 /// Boolean literal.
@@ -253,6 +256,21 @@ impl Expr {
                 }
             }
             Expr::Not(e) => e.collect_columns(out),
+        }
+    }
+
+    /// Visit every conjunct by reference (the allocation-free sibling of
+    /// [`Expr::conjuncts`] — cardinality estimation walks predicates a
+    /// lot and must not clone them).
+    pub fn for_each_conjunct<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        match self {
+            Expr::And(parts) => {
+                for p in parts {
+                    p.for_each_conjunct(f);
+                }
+            }
+            Expr::Lit(Value::Bool(true)) => {}
+            other => f(other),
         }
     }
 
@@ -441,6 +459,329 @@ impl CompiledExpr {
             }
         }
     }
+
+    // -- vectorized evaluation over column batches ------------------------
+
+    /// Evaluate at one logical position of a batch (the generic per-row
+    /// fallback behind the vectorized kernels).
+    pub fn eval_at(&self, batch: &ColumnBatch<'_>, pos: usize) -> Value {
+        match self {
+            CompiledExpr::Col(i) => batch.value(*i, pos),
+            CompiledExpr::Lit(v) => v.clone(),
+            CompiledExpr::Cmp(op, a, b) => {
+                Value::Bool(op.eval(a.eval_at(batch, pos).cmp(&b.eval_at(batch, pos))))
+            }
+            CompiledExpr::Arith(op, a, b) => {
+                eval_arith(*op, a.eval_at(batch, pos), b.eval_at(batch, pos))
+            }
+            CompiledExpr::And(parts) => Value::Bool(
+                parts
+                    .iter()
+                    .all(|p| matches!(p.eval_at(batch, pos), Value::Bool(true))),
+            ),
+            CompiledExpr::Or(parts) => Value::Bool(
+                parts
+                    .iter()
+                    .any(|p| matches!(p.eval_at(batch, pos), Value::Bool(true))),
+            ),
+            CompiledExpr::Not(e) => {
+                Value::Bool(!matches!(e.eval_at(batch, pos), Value::Bool(true)))
+            }
+        }
+    }
+
+    /// AND this predicate into `mask` over every batch position: after
+    /// the call, `mask[pos]` holds iff it held before *and* the predicate
+    /// is true at `pos`.
+    ///
+    /// Comparisons between columns and literals (and between two
+    /// columns) dispatch their column types once and then run tight
+    /// per-row loops — over `i64` slices for integer columns, with
+    /// pointer-first equality for interned string columns. Everything
+    /// else falls back to [`CompiledExpr::eval_at`] per surviving row.
+    pub fn and_mask(&self, batch: &ColumnBatch<'_>, mask: &mut [bool]) {
+        match self {
+            CompiledExpr::And(parts) => {
+                for p in parts {
+                    p.and_mask(batch, mask);
+                }
+            }
+            CompiledExpr::Or(parts) => {
+                // acc = candidates satisfying any disjunct.
+                let mut acc = vec![false; mask.len()];
+                let mut scratch = vec![false; mask.len()];
+                for p in parts {
+                    scratch.copy_from_slice(mask);
+                    p.and_mask(batch, &mut scratch);
+                    for (a, s) in acc.iter_mut().zip(&scratch) {
+                        *a |= *s;
+                    }
+                }
+                mask.copy_from_slice(&acc);
+            }
+            CompiledExpr::Not(e) => {
+                let mut inner = mask.to_vec();
+                e.and_mask(batch, &mut inner);
+                for (m, i) in mask.iter_mut().zip(&inner) {
+                    *m = *m && !*i;
+                }
+            }
+            CompiledExpr::Lit(Value::Bool(true)) => {}
+            CompiledExpr::Lit(_) => mask.fill(false),
+            CompiledExpr::Cmp(op, a, b) => match (a.as_ref(), b.as_ref()) {
+                (CompiledExpr::Col(i), CompiledExpr::Lit(v)) => {
+                    cmp_col_lit_mask(*op, &batch.cols[*i], v, mask);
+                }
+                (CompiledExpr::Lit(v), CompiledExpr::Col(i)) => {
+                    cmp_col_lit_mask(op.flipped(), &batch.cols[*i], v, mask);
+                }
+                (CompiledExpr::Col(i), CompiledExpr::Col(j)) => {
+                    cmp_col_col_mask(*op, &batch.cols[*i], &batch.cols[*j], mask);
+                }
+                _ => self.and_mask_fallback(batch, mask),
+            },
+            _ => self.and_mask_fallback(batch, mask),
+        }
+    }
+
+    fn and_mask_fallback(&self, batch: &ColumnBatch<'_>, mask: &mut [bool]) {
+        for (pos, m) in mask.iter_mut().enumerate() {
+            if *m {
+                *m = matches!(self.eval_at(batch, pos), Value::Bool(true));
+            }
+        }
+    }
+
+    /// Evaluate into a whole batch column (the vectorized projection
+    /// path for computed expressions; plain `Col` references are handled
+    /// by the executor as pointer shuffles and never reach here).
+    pub fn eval_column<'a>(&self, batch: &ColumnBatch<'a>) -> BatchCol<'a> {
+        match self {
+            CompiledExpr::Col(i) => batch.cols[*i].clone(),
+            CompiledExpr::Lit(v) => BatchCol::Const(v.clone()),
+            CompiledExpr::Arith(op, a, b) if !matches!(op, ArithOp::Div) => {
+                // Wrapping Add/Sub/Mul over integer operands stays typed;
+                // Div can produce Null (x/0) and uses the generic path.
+                if let (Some(av), Some(bv)) = (int_operand(a, batch), int_operand(b, batch)) {
+                    let vals: Vec<i64> = (0..batch.len())
+                        .map(|pos| {
+                            let (x, y) = (av.get(pos), bv.get(pos));
+                            match op {
+                                ArithOp::Add => x.wrapping_add(y),
+                                ArithOp::Sub => x.wrapping_sub(y),
+                                ArithOp::Mul => x.wrapping_mul(y),
+                                ArithOp::Div => unreachable!("guarded above"),
+                            }
+                        })
+                        .collect();
+                    return BatchCol::Owned(Arc::new(Column::Int(vals)));
+                }
+                self.eval_column_fallback(batch)
+            }
+            _ => self.eval_column_fallback(batch),
+        }
+    }
+
+    fn eval_column_fallback<'a>(&self, batch: &ColumnBatch<'a>) -> BatchCol<'a> {
+        let vals: Vec<Value> = (0..batch.len())
+            .map(|pos| self.eval_at(batch, pos))
+            .collect();
+        BatchCol::Owned(Arc::new(Column::from_values(vals)))
+    }
+}
+
+/// Integer access to a batch column, resolved once per kernel call.
+enum IntOperand<'b> {
+    Slice(&'b [i64]),
+    Sel(&'b [i64], &'b [u32]),
+    Dense(&'b [i64]),
+    Const(i64),
+}
+
+impl IntOperand<'_> {
+    #[inline]
+    fn get(&self, pos: usize) -> i64 {
+        match self {
+            IntOperand::Slice(v) => v[pos],
+            IntOperand::Sel(v, sel) => v[sel[pos] as usize],
+            IntOperand::Dense(v) => v[pos],
+            IntOperand::Const(k) => *k,
+        }
+    }
+}
+
+fn int_col(col: &Column) -> Option<&[i64]> {
+    match col {
+        Column::Int(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn int_access<'b>(c: &'b BatchCol<'_>, len: usize) -> Option<IntOperand<'b>> {
+    match c {
+        BatchCol::Slice { col, start } => {
+            Some(IntOperand::Slice(&int_col(col)?[*start..*start + len]))
+        }
+        BatchCol::View { col, sel } => Some(IntOperand::Sel(int_col(col)?, sel)),
+        BatchCol::Owned(col) => Some(IntOperand::Dense(int_col(col.as_ref())?)),
+        BatchCol::Const(Value::Int(k)) => Some(IntOperand::Const(*k)),
+        BatchCol::Const(_) => None,
+    }
+}
+
+fn int_operand<'b>(e: &CompiledExpr, batch: &'b ColumnBatch<'_>) -> Option<IntOperand<'b>> {
+    match e {
+        CompiledExpr::Col(i) => int_access(&batch.cols[*i], batch.len()),
+        CompiledExpr::Lit(Value::Int(k)) => Some(IntOperand::Const(*k)),
+        _ => None,
+    }
+}
+
+/// String access to a batch column.
+enum StrOperand<'b> {
+    Slice(&'b [Arc<str>]),
+    Sel(&'b [Arc<str>], &'b [u32]),
+    Dense(&'b [Arc<str>]),
+}
+
+impl StrOperand<'_> {
+    #[inline]
+    fn get(&self, pos: usize) -> &Arc<str> {
+        match self {
+            StrOperand::Slice(v) => &v[pos],
+            StrOperand::Sel(v, sel) => &v[sel[pos] as usize],
+            StrOperand::Dense(v) => &v[pos],
+        }
+    }
+}
+
+fn str_col(col: &Column) -> Option<&[Arc<str>]> {
+    match col {
+        Column::Str(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn str_access<'b>(c: &'b BatchCol<'_>, len: usize) -> Option<StrOperand<'b>> {
+    match c {
+        BatchCol::Slice { col, start } => {
+            Some(StrOperand::Slice(&str_col(col)?[*start..*start + len]))
+        }
+        BatchCol::View { col, sel } => Some(StrOperand::Sel(str_col(col)?, sel)),
+        BatchCol::Owned(col) => Some(StrOperand::Dense(str_col(col.as_ref())?)),
+        BatchCol::Const(_) => None,
+    }
+}
+
+#[inline]
+fn int_cmp_fn(op: CmpOp) -> fn(i64, i64) -> bool {
+    match op {
+        CmpOp::Eq => |x, y| x == y,
+        CmpOp::Ne => |x, y| x != y,
+        CmpOp::Lt => |x, y| x < y,
+        CmpOp::Le => |x, y| x <= y,
+        CmpOp::Gt => |x, y| x > y,
+        CmpOp::Ge => |x, y| x >= y,
+    }
+}
+
+fn cmp_col_lit_mask(op: CmpOp, col: &BatchCol<'_>, lit: &Value, mask: &mut [bool]) {
+    let len = mask.len();
+    // Integer column vs integer literal: the SIMD-friendly tight loop.
+    if let (Some(acc), Value::Int(k)) = (int_access(col, len), lit) {
+        let f = int_cmp_fn(op);
+        let k = *k;
+        match acc {
+            IntOperand::Slice(v) => {
+                for (m, &x) in mask.iter_mut().zip(v) {
+                    *m = *m && f(x, k);
+                }
+            }
+            IntOperand::Sel(v, sel) => {
+                for (m, &s) in mask.iter_mut().zip(sel) {
+                    *m = *m && f(v[s as usize], k);
+                }
+            }
+            IntOperand::Dense(v) => {
+                for (m, &x) in mask.iter_mut().zip(v) {
+                    *m = *m && f(x, k);
+                }
+            }
+            IntOperand::Const(x) => {
+                if !f(x, k) {
+                    mask.fill(false);
+                }
+            }
+        }
+        return;
+    }
+    // String column vs string literal: pointer-first equality (interned
+    // loads share allocations), byte order for the rest.
+    if let (Some(acc), Value::Str(s)) = (str_access(col, len), lit) {
+        match op {
+            CmpOp::Eq => {
+                for (pos, m) in mask.iter_mut().enumerate() {
+                    *m = *m && str_eq(acc.get(pos), s);
+                }
+            }
+            CmpOp::Ne => {
+                for (pos, m) in mask.iter_mut().enumerate() {
+                    *m = *m && !str_eq(acc.get(pos), s);
+                }
+            }
+            _ => {
+                for (pos, m) in mask.iter_mut().enumerate() {
+                    *m = *m && op.eval(acc.get(pos).as_ref().cmp(s.as_ref()));
+                }
+            }
+        }
+        return;
+    }
+    // Mixed / null / type-mismatched columns: per-row total-order compare.
+    for (pos, m) in mask.iter_mut().enumerate() {
+        if *m {
+            *m = op.eval(col.value(pos).cmp(lit));
+        }
+    }
+}
+
+fn cmp_col_col_mask(op: CmpOp, a: &BatchCol<'_>, b: &BatchCol<'_>, mask: &mut [bool]) {
+    let len = mask.len();
+    if let (Some(av), Some(bv)) = (int_access(a, len), int_access(b, len)) {
+        let f = int_cmp_fn(op);
+        // The hot ψ-descriptor case is Slice/View vs Slice/View over two
+        // integer columns; one generic indexed loop covers all shapes
+        // without any Value construction.
+        for (pos, m) in mask.iter_mut().enumerate() {
+            *m = *m && f(av.get(pos), bv.get(pos));
+        }
+        return;
+    }
+    if let (Some(av), Some(bv)) = (str_access(a, len), str_access(b, len)) {
+        match op {
+            CmpOp::Eq => {
+                for (pos, m) in mask.iter_mut().enumerate() {
+                    *m = *m && str_eq(av.get(pos), bv.get(pos));
+                }
+            }
+            CmpOp::Ne => {
+                for (pos, m) in mask.iter_mut().enumerate() {
+                    *m = *m && !str_eq(av.get(pos), bv.get(pos));
+                }
+            }
+            _ => {
+                for (pos, m) in mask.iter_mut().enumerate() {
+                    *m = *m && op.eval(av.get(pos).as_ref().cmp(bv.get(pos).as_ref()));
+                }
+            }
+        }
+        return;
+    }
+    for (pos, m) in mask.iter_mut().enumerate() {
+        if *m {
+            *m = op.eval(a.value(pos).cmp(&b.value(pos)));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -540,6 +881,131 @@ mod tests {
         // Arithmetic composes with comparisons.
         let e = col("a").add(col("b")).gt(lit_i64(12)).compile(&s).unwrap();
         assert!(e.eval_bool(&r));
+    }
+
+    #[test]
+    fn vectorized_masks_match_per_row_eval() {
+        use crate::relation::Relation;
+        // Mixed-type table: Int, Str, and a column with Nulls (Mixed).
+        let rel = Relation::from_rows(
+            ["a", "s", "m"],
+            (0..20)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::interned(if i % 3 == 0 { "x" } else { "y" }),
+                        if i % 4 == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int(i)
+                        },
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let schema = Schema::named(["a", "s", "m"]);
+        let batch = ColumnBatch::slice_of(rel.columns(), 0, 20);
+        let preds = [
+            col("a").lt(lit_i64(11)),
+            col("a").eq(lit_i64(6)),
+            lit_i64(3).le(col("a")),
+            col("s").eq(lit_str("x")),
+            col("s").ne(lit_str("y")),
+            col("s").gt(lit_str("w")),
+            col("a").eq(col("m")),
+            col("m").ne(col("a")),
+            col("s").eq(col("s")),
+            Expr::or([col("a").lt(lit_i64(3)), col("s").eq(lit_str("x"))]),
+            Expr::and([col("a").ge(lit_i64(2)), col("a").le(lit_i64(15))]),
+            col("a").eq(lit_i64(5)).not(),
+            col("a").add(lit_i64(1)).gt(lit_i64(10)), // arith: fallback path
+            col("m").eq(lit(Value::Null)),
+            lit_bool(false),
+        ];
+        for p in preds {
+            let compiled = p.compile(&schema).unwrap();
+            let mut mask = vec![true; 20];
+            compiled.and_mask(&batch, &mut mask);
+            for (pos, row) in rel.rows().iter().enumerate() {
+                assert_eq!(
+                    mask[pos],
+                    compiled.eval_bool(row),
+                    "mask diverges from row eval for {p} at row {pos}"
+                );
+                assert_eq!(compiled.eval_at(&batch, pos), compiled.eval(row), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn masks_only_narrow() {
+        use crate::relation::Relation;
+        let rel = Relation::from_rows(
+            ["a"],
+            (0..8).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let batch = ColumnBatch::slice_of(rel.columns(), 0, 8);
+        let compiled = col("a")
+            .ge(lit_i64(0))
+            .compile(&Schema::named(["a"]))
+            .unwrap();
+        // Rows already masked out must stay masked out even when the
+        // predicate holds.
+        let mut mask = vec![false, true, false, true, true, false, true, false];
+        let before = mask.clone();
+        compiled.and_mask(&batch, &mut mask);
+        assert_eq!(mask, before);
+    }
+
+    #[test]
+    fn eval_column_matches_per_row() {
+        use crate::relation::Relation;
+        let rel = Relation::from_rows(
+            ["a", "b"],
+            (0..9)
+                .map(|i| vec![Value::Int(i), Value::Int(2 * i)])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let schema = Schema::named(["a", "b"]);
+        let batch = ColumnBatch::slice_of(rel.columns(), 0, 9);
+        let exprs = [
+            col("a").add(col("b")),
+            col("a").mul(lit_i64(3)),
+            col("b").sub(col("a")),
+            col("a").div(col("a")), // Div: generic path (x/0 → Null at a=0)
+            lit_str("pad"),
+            col("a").lt(col("b")),
+        ];
+        for e in exprs {
+            let compiled = e.compile(&schema).unwrap();
+            let out = compiled.eval_column(&batch);
+            for (pos, row) in rel.rows().iter().enumerate() {
+                assert_eq!(out.value(pos), compiled.eval(row), "{e} at {pos}");
+            }
+        }
+        // Typed Add over two int columns stays a typed column.
+        let compiled = col("a").add(col("b")).compile(&schema).unwrap();
+        let BatchCol::Owned(c) = compiled.eval_column(&batch) else {
+            panic!("computed expression yields an owned column");
+        };
+        assert!(matches!(c.as_ref(), Column::Int(_)));
+    }
+
+    #[test]
+    fn for_each_conjunct_matches_conjuncts() {
+        let e = Expr::and([
+            Expr::and([col("a").eq(lit_i64(1)), lit_bool(true)]),
+            col("b").eq(lit_i64(2)),
+        ]);
+        let mut seen = Vec::new();
+        e.for_each_conjunct(&mut |c| seen.push(c.clone()));
+        assert_eq!(seen, e.conjuncts());
+        let mut n = 0;
+        lit_bool(true).for_each_conjunct(&mut |_| n += 1);
+        assert_eq!(n, 0);
     }
 
     #[test]

@@ -68,9 +68,15 @@ pub fn read_csv(input: &mut impl BufRead) -> Result<Relation> {
 }
 
 /// Quoted fields are always strings; unquoted fields are type-sniffed.
+/// Strings go through the global interner: CSV string columns are
+/// typically low-cardinality (dictionary-coded domains), so repeated
+/// values share one `Arc<str>` and vectorized equality over the loaded
+/// columns can compare pointers first. Note the pool lives for the
+/// process ([`crate::value::intern`]): a service ingesting unbounded
+/// unique-key CSVs should load those columns through its own path.
 fn parse_value(field: &str, quoted: bool) -> Value {
     if quoted {
-        return Value::str(field);
+        return Value::interned(field);
     }
     if field == "NULL" {
         return Value::Null;
@@ -84,7 +90,7 @@ fn parse_value(field: &str, quoted: bool) -> Value {
     if let Ok(i) = field.parse::<i64>() {
         return Value::Int(i);
     }
-    Value::str(field)
+    Value::interned(field)
 }
 
 /// Quote when the bare text would parse as something other than itself.
@@ -192,6 +198,23 @@ mod tests {
         assert!(read_csv(&mut unterminated).is_err());
         let mut empty = "".as_bytes();
         assert!(read_csv(&mut empty).is_err());
+    }
+
+    #[test]
+    fn loaded_strings_are_interned() {
+        let mut a = "seg\nBUILDING-IO\nBUILDING-IO\n".as_bytes();
+        let rel = read_csv(&mut a).unwrap();
+        let (Value::Str(s0), Value::Str(s1)) = (&rel.rows()[0][0], &rel.rows()[1][0]) else {
+            panic!("strings expected");
+        };
+        assert!(std::sync::Arc::ptr_eq(s0, s1), "same text, one allocation");
+        // ...and across separate loads.
+        let mut b = "seg\nBUILDING-IO\n".as_bytes();
+        let rel2 = read_csv(&mut b).unwrap();
+        let Value::Str(s2) = &rel2.rows()[0][0] else {
+            panic!("string expected");
+        };
+        assert!(std::sync::Arc::ptr_eq(s0, s2));
     }
 
     #[test]

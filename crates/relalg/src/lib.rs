@@ -13,13 +13,16 @@
 //!   compile to column-index form before evaluation;
 //! * [`Plan`] — logical plans: scan, select, project (generalized), inner
 //!   theta-join, semi/anti-join, union, difference, distinct, rename;
-//! * [`exec::execute`] — pull-based streaming execution: σ/π/ρ/∪ and
-//!   join probes pipeline borrowed rows with no intermediate
-//!   materialization; only pipeline breakers (hash-join build sides,
-//!   distinct/difference seen-sets, sort, aggregation) buffer, and
-//!   [`exec::ExecStats`] counts exactly how much. The retained
-//!   operator-at-a-time engine ([`exec::execute_reference`]) is the
-//!   differential baseline;
+//! * [`exec::execute`] — pull-based streaming execution, vectorized by
+//!   default: batchable pipelines process column-major
+//!   [`batch::ColumnBatch`]es (typed columns off each relation's cached
+//!   [`relation::ColumnarImage`], selection vectors, column-at-a-time
+//!   predicates, batch-hashed join probes) and fall back to row cursors
+//!   where vectorization does not apply; only pipeline breakers
+//!   (hash-join build sides, distinct/difference seen-sets, sort,
+//!   aggregation) buffer, and [`exec::ExecStats`] counts exactly how
+//!   much — plus the batches emitted. The retained operator-at-a-time
+//!   engine ([`exec::execute_reference`]) is the differential baseline;
 //! * [`optimizer::optimize`] — conjunct splitting, selection pushdown,
 //!   projection pruning, greedy cost-based join reordering, and
 //!   redundant-distinct elimination;
@@ -33,6 +36,7 @@
 //! paper's experiments exercise through PostgreSQL.
 
 pub mod aggregate;
+pub mod batch;
 pub mod catalog;
 pub mod error;
 pub mod exec;
@@ -49,11 +53,12 @@ pub mod stats;
 pub mod value;
 
 pub use aggregate::{aggregate, aggregate_plan, AggFunc, Aggregate};
+pub use batch::{BatchCol, ColumnBatch, BATCH_SIZE};
 pub use catalog::Catalog;
 pub use error::{Error, Result};
 pub use exec::ExecStats;
 pub use expr::{col, lit, lit_bool, lit_i64, lit_str, ArithOp, CmpOp, Expr};
 pub use plan::Plan;
-pub use relation::{Relation, Row};
+pub use relation::{Column, ColumnarImage, Relation, Row};
 pub use schema::{ColRef, Schema};
 pub use value::Value;

@@ -9,6 +9,14 @@
 //! 2. **Join reordering** — maximal inner-join trees are flattened and
 //!    rebuilt greedily, smallest estimated intermediate first, using
 //!    `|L⋈R| ≈ |L|·|R| / max(ndv)` with NDV traced to base-table stats.
+//!    The translation's ψ descriptor-consistency conjuncts
+//!    (`Var ≠ Var' ∨ Rng = Rng'`) get their own NDV-driven estimate
+//!    instead of a flat guess — descriptor columns are low-selectivity,
+//!    and treating them as ordinary predicates made ψ-joins look far
+//!    smaller than they are. Pair scoring is pure arithmetic over
+//!    per-leaf distinct-count tables bound once during flattening.
+//!    Estimates are memoized per plan node ([`EstCache`]); the executor
+//!    reuses them when picking hash-join build sides.
 //! 3. **Projection pruning** — narrowing projections are inserted above
 //!    join inputs so only live columns flow through joins (the paper's
 //!    "late materialization" benefit depends on this).
@@ -162,7 +170,7 @@ fn push_pred_into(plan: Plan, pred: Expr, catalog: &Catalog) -> Plan {
             right,
             pred: jp,
         } => {
-            let ls = match left.schema(catalog) {
+            let ls = match left.schema_shape(catalog) {
                 Ok(s) => s,
                 Err(_) => {
                     return rebuild_select(
@@ -175,7 +183,7 @@ fn push_pred_into(plan: Plan, pred: Expr, catalog: &Catalog) -> Plan {
                     )
                 }
             };
-            let rs = match right.schema(catalog) {
+            let rs = match right.schema_shape(catalog) {
                 Ok(s) => s,
                 Err(_) => {
                     return rebuild_select(
@@ -253,7 +261,7 @@ fn push_pred_into(plan: Plan, pred: Expr, catalog: &Catalog) -> Plan {
         Plan::Rename { input, alias } => {
             // Strip the alias qualifier and push inside if the stripped
             // predicate still compiles there.
-            let inner_schema = match input.schema(catalog) {
+            let inner_schema = match input.schema_shape(catalog) {
                 Ok(s) => s,
                 Err(_) => return rebuild_select(Plan::Rename { input, alias }, conjuncts),
             };
@@ -289,8 +297,14 @@ fn push_pred_into(plan: Plan, pred: Expr, catalog: &Catalog) -> Plan {
             // Union is positional; push only if the predicate compiles on
             // both children by name.
             let p = Expr::and(conjuncts.clone());
-            let ok = left.schema(catalog).and_then(|s| p.compile(&s)).is_ok()
-                && right.schema(catalog).and_then(|s| p.compile(&s)).is_ok();
+            let ok = left
+                .schema_shape(catalog)
+                .and_then(|s| p.compile(&s))
+                .is_ok()
+                && right
+                    .schema_shape(catalog)
+                    .and_then(|s| p.compile(&s))
+                    .is_ok();
             if ok {
                 Plan::Union {
                     left: Box::new(push_pred_into(*left, p.clone(), catalog)),
@@ -392,6 +406,53 @@ struct BoundConjunct {
     leaves: BTreeSet<usize>,
 }
 
+/// A join conjunct classified for arithmetic pair scoring, with every
+/// column pre-bound to `(leaf index, column index)` — scoring a
+/// candidate join pair then needs no plan walks or name resolution.
+enum ConjunctKind {
+    /// `col = col` across two leaves: `(leaf_a, col_a, leaf_b, col_b)`.
+    Equi(usize, usize, usize, usize),
+    /// The translation's ψ descriptor-consistency shape
+    /// `Var ≠ Var' ∨ Rng = Rng'`, with both column pairs cross-leaf.
+    Psi {
+        var: (usize, usize, usize, usize),
+        rng: (usize, usize, usize, usize),
+    },
+    /// Anything else: flat 0.5 selectivity.
+    Other,
+}
+
+fn classify_conjunct(b: &BoundConjunct) -> ConjunctKind {
+    let bind = |c: &ColRef| {
+        b.bindings
+            .iter()
+            .find(|(r, _, _)| r == c)
+            .map(|(_, leaf, local)| (*leaf, *local))
+    };
+    let cross_pair = |x: &Expr, y: &Expr| -> Option<(usize, usize, usize, usize)> {
+        let (Expr::Col(cx), Expr::Col(cy)) = (x, y) else {
+            return None;
+        };
+        let (lx, ix) = bind(cx)?;
+        let (ly, iy) = bind(cy)?;
+        (lx != ly).then_some((lx, ix, ly, iy))
+    };
+    match &b.expr {
+        Expr::Cmp(CmpOp::Eq, a, bb) => cross_pair(a, bb)
+            .map(|(la, ca, lb, cb)| ConjunctKind::Equi(la, ca, lb, cb))
+            .unwrap_or(ConjunctKind::Other),
+        Expr::Or(parts) => {
+            if let [Expr::Cmp(CmpOp::Ne, na, nb), Expr::Cmp(CmpOp::Eq, ea, eb)] = parts.as_slice() {
+                if let (Some(var), Some(rng)) = (cross_pair(na, nb), cross_pair(ea, eb)) {
+                    return ConjunctKind::Psi { var, rng };
+                }
+            }
+            ConjunctKind::Other
+        }
+        _ => ConjunctKind::Other,
+    }
+}
+
 /// Flatten a join tree. Returns `None` (reordering aborted) if any
 /// predicate column cannot be bound unambiguously at its original node.
 fn flatten_joins(
@@ -438,7 +499,7 @@ fn flatten_joins(
         }
         other => {
             let reordered = reorder_joins(other, catalog);
-            let schema = reordered.schema(catalog).ok()?;
+            let schema = reordered.schema_shape(catalog).ok()?;
             let start = leaves.len();
             leaves.push((reordered, schema));
             Some(start..start + 1)
@@ -474,10 +535,27 @@ fn rebuild_join_tree(
 
     let original_schemas: Vec<Schema> = leaves.iter().map(|(_, s)| s.clone()).collect();
 
-    // Rewrite conjuncts to `__jK.name` form.
-    let rewritten: Vec<(Expr, BTreeSet<usize>)> = conjuncts
+    // Per-leaf per-column distinct counts, traced once through the leaf
+    // plans to the base-table statistics. Pair scoring below is then
+    // pure arithmetic over these tables — the old code re-walked the
+    // growing part plans for NDV on every pair of every round, which
+    // dominated optimization time on the translated multi-join queries.
+    let leaf_ndv: Vec<Vec<f64>> = leaves
+        .iter()
+        .map(|(p, s)| {
+            let cache = EstCache::default();
+            (0..s.arity())
+                .map(|c| column_ndv(p, c, catalog, &cache))
+                .collect()
+        })
+        .collect();
+
+    // Rewrite conjuncts to `__jK.name` form and classify them for the
+    // arithmetic scorer.
+    let rewritten: Vec<(Expr, BTreeSet<usize>, ConjunctKind)> = conjuncts
         .into_iter()
         .map(|b| {
+            let kind = classify_conjunct(&b);
             let expr = b.expr.map_columns(&|c| {
                 b.bindings
                     .iter()
@@ -490,63 +568,88 @@ fn rebuild_join_tree(
                     })
                     .unwrap_or_else(|| c.clone())
             });
-            (expr, b.leaves)
+            (expr, b.leaves, kind)
         })
         .collect();
 
-    // (plan, covered leaves, estimate) for each remaining input.
-    let mut parts: Vec<(Plan, BTreeSet<usize>, f64)> = leaves
+    // (plan, covered leaves, estimate, output schema) for each remaining
+    // input. Schemas are carried and concatenated instead of re-derived:
+    // `Plan::schema` re-compiles predicates, which made the pair loop
+    // quadratically expensive on the translated multi-join plans.
+    let mut parts: Vec<(Plan, BTreeSet<usize>, f64, Schema)> = leaves
         .into_iter()
         .enumerate()
-        .map(|(k, (p, _))| {
+        .map(|(k, (p, s))| {
             let est = est_rows(&p, catalog);
-            let aliased = p.rename(format!("__j{k}"));
-            (aliased, BTreeSet::from([k]), est)
+            let alias = format!("__j{k}");
+            let schema = s.qualify(&alias);
+            (p.rename(alias), BTreeSet::from([k]), est, schema)
         })
         .collect();
-    let mut remaining: Vec<(Expr, BTreeSet<usize>)> = rewritten;
+    let mut remaining: Vec<(Expr, BTreeSet<usize>, ConjunctKind)> = rewritten;
 
+    // NDV clamped by a side's estimated rows (a column cannot have more
+    // distinct values than the side has tuples).
+    let ndv_at = |leaf: usize, col: usize, side_rows: f64| -> f64 {
+        leaf_ndv[leaf][col].max(1.0).min(side_rows.max(1.0))
+    };
     while parts.len() > 1 {
         let mut best: Option<(usize, usize, f64, bool)> = None;
         for i in 0..parts.len() {
             for j in (i + 1)..parts.len() {
-                let mut cover: BTreeSet<usize> = parts[i].1.union(&parts[j].1).cloned().collect();
-                let applicable: Vec<&Expr> = remaining
-                    .iter()
-                    .filter(|(_, ls)| ls.is_subset(&cover))
-                    .map(|(e, _)| e)
-                    .collect();
-                let connected = !applicable.is_empty();
-                // Crude estimate: product shrunk by 1/10 per equality
-                // conjunct when NDV tracing is unavailable mid-rebuild.
-                let mut est = parts[i].2 * parts[j].2;
-                let ls = parts[i].0.schema(catalog).unwrap_or_default();
-                let rs = parts[j].0.schema(catalog).unwrap_or_default();
-                est = join_estimate(
-                    parts[i].2,
-                    parts[j].2,
-                    &applicable.iter().map(|e| (*e).clone()).collect::<Vec<_>>(),
-                    &parts[i].0,
-                    &ls,
-                    &parts[j].0,
-                    &rs,
-                    catalog,
-                )
-                .min(est);
+                let (ei, ej) = (parts[i].2, parts[j].2);
+                let mut est = ei * ej;
+                let mut connected = false;
+                for (_, ls, kind) in &remaining {
+                    if !(ls.is_subset(&parts[i].1) || ls.is_subset(&parts[j].1))
+                        && ls
+                            .iter()
+                            .all(|l| parts[i].1.contains(l) || parts[j].1.contains(l))
+                    {
+                        connected = true;
+                        // Clamp each column's NDV by the rows of the side
+                        // its leaf actually landed on.
+                        let rows_of =
+                            |leaf: &usize| if parts[i].1.contains(leaf) { ei } else { ej };
+                        match kind {
+                            ConjunctKind::Equi(la, ca, lb, cb) => {
+                                est /= ndv_at(*la, *ca, rows_of(la)).max(ndv_at(
+                                    *lb,
+                                    *cb,
+                                    rows_of(lb),
+                                ));
+                            }
+                            ConjunctKind::Psi { var, rng } => {
+                                let nv = ndv_at(var.0, var.1, rows_of(&var.0)).max(ndv_at(
+                                    var.2,
+                                    var.3,
+                                    rows_of(&var.2),
+                                ));
+                                let nr = ndv_at(rng.0, rng.1, rows_of(&rng.0)).max(ndv_at(
+                                    rng.2,
+                                    rng.3,
+                                    rows_of(&rng.2),
+                                ));
+                                est *= 1.0 - (1.0 / nv) * (1.0 - 1.0 / nr);
+                            }
+                            ConjunctKind::Other => est *= 0.5,
+                        }
+                    }
+                }
+                let est = est.max(1.0).min(ei * ej);
                 let score = if connected { est } else { est * 1e6 };
                 if best.as_ref().is_none_or(|(_, _, b, _)| score < *b) {
                     best = Some((i, j, score, connected));
                 }
-                cover.clear();
             }
         }
         let (i, j, est, _) = best.expect("at least two parts");
         let (hi, lo) = if i > j { (i, j) } else { (j, i) };
-        let (pj, cj, _) = parts.remove(hi);
-        let (pi, ci, _) = parts.remove(lo);
+        let (pj, cj, _, sj) = parts.remove(hi);
+        let (pi, ci, _, si) = parts.remove(lo);
         let cover: BTreeSet<usize> = ci.union(&cj).cloned().collect();
         let mut preds = Vec::new();
-        remaining.retain(|(e, ls)| {
+        remaining.retain(|(e, ls, _)| {
             if ls.is_subset(&cover) {
                 preds.push(e.clone());
                 false
@@ -555,11 +658,12 @@ fn rebuild_join_tree(
             }
         });
         let joined = pi.join(pj, Expr::and(preds));
-        parts.push((joined, cover, est));
+        let joined_schema = si.concat(&sj);
+        parts.push((joined, cover, est, joined_schema));
     }
-    let (mut plan, _, _) = parts.into_iter().next().unwrap();
+    let (mut plan, _, _, _) = parts.into_iter().next().unwrap();
     // Any leftover predicates apply at the top (still in __j form).
-    let leftover: Vec<Expr> = remaining.into_iter().map(|(e, _)| e).collect();
+    let leftover: Vec<Expr> = remaining.into_iter().map(|(e, _, _)| e).collect();
     plan = rebuild_select(plan, leftover);
     // Restore the original column names and order.
     let mut cols = Vec::new();
@@ -581,42 +685,122 @@ fn rebuild_join_tree(
 // Cardinality estimation
 // ---------------------------------------------------------------------------
 
+/// Memo for repeated cardinality estimates (row counts *and* schema
+/// shapes) over one immutably borrowed plan tree, keyed by node address.
+/// Valid only while that borrow is live (the executor's prepare phase,
+/// one estimation call) — node addresses are stable there because the
+/// tree is never mutated.
+#[derive(Default)]
+pub(crate) struct EstCache {
+    rows: std::cell::RefCell<crate::fxhash::FxHashMap<usize, f64>>,
+    shapes: std::cell::RefCell<crate::fxhash::FxHashMap<usize, Schema>>,
+}
+
 /// Estimated output rows of a plan (used by reordering and EXPLAIN).
 pub fn est_rows(plan: &Plan, catalog: &Catalog) -> f64 {
+    est_rows_cached(plan, catalog, &EstCache::default())
+}
+
+/// [`est_rows`] with an explicit memo: the streaming executor estimates
+/// both sides of every hash join to pick the build side, which revisits
+/// the same subtrees O(joins) times per prepare.
+pub(crate) fn est_rows_cached(plan: &Plan, catalog: &Catalog, cache: &EstCache) -> f64 {
+    let key = plan as *const Plan as usize;
+    if let Some(v) = cache.rows.borrow().get(&key) {
+        return *v;
+    }
+    let v = est_rows_uncached(plan, catalog, cache);
+    cache.rows.borrow_mut().insert(key, v);
+    v
+}
+
+/// Memoized schema shape: estimation consults the schema of every
+/// σ/join node, and deriving it fresh each time is quadratic in plan
+/// size. Errors collapse to the empty schema (estimates stay defined).
+fn shape_cached(plan: &Plan, catalog: &Catalog, cache: &EstCache) -> Schema {
+    let key = plan as *const Plan as usize;
+    if let Some(s) = cache.shapes.borrow().get(&key) {
+        return s.clone();
+    }
+    let s = match plan {
+        Plan::Scan(name) => catalog
+            .get(name)
+            .map(|r| r.schema().clone())
+            .unwrap_or_default(),
+        Plan::Values(rel) => rel.schema().clone(),
+        Plan::Select { input, .. } | Plan::Distinct(input) => shape_cached(input, catalog, cache),
+        Plan::Project { cols, .. } => Schema::new(cols.iter().map(|(_, n)| n.clone()).collect()),
+        Plan::Join { left, right, .. } => {
+            shape_cached(left, catalog, cache).concat(&shape_cached(right, catalog, cache))
+        }
+        Plan::SemiJoin { left, .. }
+        | Plan::AntiJoin { left, .. }
+        | Plan::Union { left, .. }
+        | Plan::Difference { left, .. } => shape_cached(left, catalog, cache),
+        Plan::Rename { input, alias } => shape_cached(input, catalog, cache).qualify(alias),
+    };
+    cache.shapes.borrow_mut().insert(key, s.clone());
+    s
+}
+
+fn est_rows_uncached(plan: &Plan, catalog: &Catalog, cache: &EstCache) -> f64 {
     match plan {
         Plan::Scan(name) => catalog.stats(name).map(|s| s.rows as f64).unwrap_or(1000.0),
         Plan::Values(rel) => rel.len() as f64,
         Plan::Select { input, pred } => {
-            let base = est_rows(input, catalog);
-            let schema = input.schema(catalog).unwrap_or_default();
-            let sel: f64 = pred
-                .clone()
-                .conjuncts()
-                .iter()
-                .map(|c| selectivity(c, input, &schema, catalog))
-                .product();
+            let base = est_rows_cached(input, catalog, cache);
+            let schema = shape_cached(input, catalog, cache);
+            let mut sel = 1.0;
+            pred.for_each_conjunct(&mut |c| {
+                sel *= selectivity(c, input, &schema, catalog, cache);
+            });
             (base * sel).max(1.0)
         }
-        Plan::Project { input, .. } | Plan::Rename { input, .. } => est_rows(input, catalog),
-        Plan::Distinct(input) => est_rows(input, catalog) * 0.9,
+        Plan::Project { input, .. } | Plan::Rename { input, .. } => {
+            est_rows_cached(input, catalog, cache)
+        }
+        Plan::Distinct(input) => est_rows_cached(input, catalog, cache) * 0.9,
         Plan::Join { left, right, pred } => {
-            let ls = left.schema(catalog).unwrap_or_default();
-            let rs = right.schema(catalog).unwrap_or_default();
+            let ls = shape_cached(left, catalog, cache);
+            let rs = shape_cached(right, catalog, cache);
+            let mut conjuncts: Vec<&Expr> = Vec::new();
+            pred.for_each_conjunct(&mut |c| conjuncts.push(c));
             join_estimate(
-                est_rows(left, catalog),
-                est_rows(right, catalog),
-                &pred.clone().conjuncts(),
+                est_rows_cached(left, catalog, cache),
+                est_rows_cached(right, catalog, cache),
+                &conjuncts,
                 left,
                 &ls,
                 right,
                 &rs,
                 catalog,
+                cache,
             )
         }
-        Plan::SemiJoin { left, .. } => est_rows(left, catalog) * 0.5,
-        Plan::AntiJoin { left, .. } => est_rows(left, catalog) * 0.5,
-        Plan::Union { left, right } => est_rows(left, catalog) + est_rows(right, catalog),
-        Plan::Difference { left, .. } => est_rows(left, catalog),
+        Plan::SemiJoin { left, .. } => est_rows_cached(left, catalog, cache) * 0.5,
+        Plan::AntiJoin { left, .. } => est_rows_cached(left, catalog, cache) * 0.5,
+        Plan::Union { left, right } => {
+            est_rows_cached(left, catalog, cache) + est_rows_cached(right, catalog, cache)
+        }
+        Plan::Difference { left, .. } => est_rows_cached(left, catalog, cache),
+    }
+}
+
+/// Resolve a column-column comparison's operands to (left index, right
+/// index) across two schemas, in either written order.
+fn cross_cols(a: &Expr, b: &Expr, ls: &Schema, rs: &Schema) -> Option<(usize, usize)> {
+    let (Expr::Col(ca), Expr::Col(cb)) = (a, b) else {
+        return None;
+    };
+    match (
+        ls.resolve(ca).ok(),
+        rs.resolve(ca).ok(),
+        ls.resolve(cb).ok(),
+        rs.resolve(cb).ok(),
+    ) {
+        (Some(li), None, None, Some(ri)) => Some((li, ri)),
+        (None, Some(ri), Some(li), None) => Some((li, ri)),
+        _ => None,
     }
 }
 
@@ -624,35 +808,50 @@ pub fn est_rows(plan: &Plan, catalog: &Catalog) -> f64 {
 fn join_estimate(
     l_rows: f64,
     r_rows: f64,
-    conjuncts: &[Expr],
+    conjuncts: &[&Expr],
     left: &Plan,
     ls: &Schema,
     right: &Plan,
     rs: &Schema,
     catalog: &Catalog,
+    cache: &EstCache,
 ) -> f64 {
+    let ndv_pair = |li: usize, ri: usize| -> f64 {
+        let ndv_l = column_ndv(left, li, catalog, cache)
+            .max(1.0)
+            .min(l_rows.max(1.0));
+        let ndv_r = column_ndv(right, ri, catalog, cache)
+            .max(1.0)
+            .min(r_rows.max(1.0));
+        ndv_l.max(ndv_r)
+    };
     let mut est = l_rows * r_rows;
-    for c in conjuncts {
+    for &c in conjuncts {
         if let Expr::Cmp(CmpOp::Eq, a, b) = c {
-            if let (Expr::Col(ca), Expr::Col(cb)) = (a.as_ref(), b.as_ref()) {
-                let sides = (
-                    ls.resolve(ca).ok(),
-                    rs.resolve(ca).ok(),
-                    ls.resolve(cb).ok(),
-                    rs.resolve(cb).ok(),
-                );
-                let (li, ri) = match sides {
-                    (Some(li), None, None, Some(ri)) => (li, ri),
-                    (None, Some(ri), Some(li), None) => (li, ri),
-                    _ => {
-                        est *= 0.5;
-                        continue;
-                    }
-                };
-                let ndv_l = column_ndv(left, li, catalog).max(1.0).min(l_rows.max(1.0));
-                let ndv_r = column_ndv(right, ri, catalog).max(1.0).min(r_rows.max(1.0));
-                est /= ndv_l.max(ndv_r);
+            if let Some((li, ri)) = cross_cols(a.as_ref(), b.as_ref(), ls, rs) {
+                est /= ndv_pair(li, ri);
                 continue;
+            }
+        }
+        // The translation's ψ descriptor-consistency conjunct,
+        // `D.Var ≠ D'.Var ∨ D.Rng = D'.Rng`, is nearly non-selective
+        // when many variables exist: only the 1/ndv(Var) fraction of
+        // pairs on the same variable is filtered by range equality.
+        // Estimating it from the descriptor columns' distinct counts
+        // (instead of the old flat 0.5 per conjunct) keeps ψ-joins from
+        // looking artificially small, which previously skewed both the
+        // greedy reorder and the executor's build-side choice.
+        if let Expr::Or(parts) = c {
+            if let [Expr::Cmp(CmpOp::Ne, na, nb), Expr::Cmp(CmpOp::Eq, ea, eb)] = parts.as_slice() {
+                if let (Some((vl, vr)), Some((rl, rr))) = (
+                    cross_cols(na.as_ref(), nb.as_ref(), ls, rs),
+                    cross_cols(ea.as_ref(), eb.as_ref(), ls, rs),
+                ) {
+                    let p_var_eq = 1.0 / ndv_pair(vl, vr);
+                    let p_rng_eq = 1.0 / ndv_pair(rl, rr);
+                    est *= 1.0 - p_var_eq * (1.0 - p_rng_eq);
+                    continue;
+                }
             }
         }
         est *= 0.5;
@@ -660,38 +859,57 @@ fn join_estimate(
     est.max(1.0)
 }
 
-fn selectivity(conjunct: &Expr, input: &Plan, schema: &Schema, catalog: &Catalog) -> f64 {
+fn selectivity(
+    conjunct: &Expr,
+    input: &Plan,
+    schema: &Schema,
+    catalog: &Catalog,
+    cache: &EstCache,
+) -> f64 {
     match conjunct {
-        Expr::Cmp(op, a, b) => {
-            let col_lit = match (a.as_ref(), b.as_ref()) {
-                (Expr::Col(c), Expr::Lit(_)) => Some(c),
-                (Expr::Lit(_), Expr::Col(c)) => Some(c),
-                _ => None,
-            };
-            match (op, col_lit) {
-                (CmpOp::Eq, Some(c)) => {
+        Expr::Cmp(op, a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Col(c), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(c)) => match op {
+                CmpOp::Eq => {
                     let ndv = schema
                         .resolve(c)
                         .ok()
-                        .map(|i| column_ndv(input, i, catalog))
+                        .map(|i| column_ndv(input, i, catalog, cache))
                         .unwrap_or(10.0);
                     (1.0 / ndv.max(1.0)).min(1.0)
                 }
-                (CmpOp::Ne, Some(_)) => 0.9,
-                (CmpOp::Eq, None) => 0.1,
+                CmpOp::Ne => 0.9,
                 _ => 0.33,
+            },
+            // Column-column comparisons estimate from the larger side's
+            // distinct count (descriptor Var/Rng columns hit this).
+            (Expr::Col(ca), Expr::Col(cb)) => {
+                let ndv = match (schema.resolve(ca), schema.resolve(cb)) {
+                    (Ok(ia), Ok(ib)) => column_ndv(input, ia, catalog, cache)
+                        .max(column_ndv(input, ib, catalog, cache))
+                        .max(1.0),
+                    _ => 10.0,
+                };
+                match op {
+                    CmpOp::Eq => (1.0 / ndv).min(1.0),
+                    CmpOp::Ne => (1.0 - 1.0 / ndv).max(0.0),
+                    _ => 0.33,
+                }
             }
-        }
+            _ => match op {
+                CmpOp::Eq => 0.1,
+                _ => 0.33,
+            },
+        },
         Expr::And(parts) => parts
             .iter()
-            .map(|p| selectivity(p, input, schema, catalog))
+            .map(|p| selectivity(p, input, schema, catalog, cache))
             .product(),
         Expr::Or(parts) => parts
             .iter()
-            .map(|p| selectivity(p, input, schema, catalog))
+            .map(|p| selectivity(p, input, schema, catalog, cache))
             .sum::<f64>()
             .min(1.0),
-        Expr::Not(e) => 1.0 - selectivity(e, input, schema, catalog),
+        Expr::Not(e) => 1.0 - selectivity(e, input, schema, catalog, cache),
         Expr::Lit(crate::value::Value::Bool(true)) => 1.0,
         Expr::Lit(crate::value::Value::Bool(false)) => 0.0,
         _ => 0.5,
@@ -699,8 +917,9 @@ fn selectivity(conjunct: &Expr, input: &Plan, schema: &Schema, catalog: &Catalog
 }
 
 /// NDV of a plan output column, traced through the operators down to the
-/// base-table statistics where possible.
-fn column_ndv(plan: &Plan, idx: usize, catalog: &Catalog) -> f64 {
+/// base-table statistics where possible (the catalog computes exact
+/// per-column distinct counts from the columnar image at registration).
+fn column_ndv(plan: &Plan, idx: usize, catalog: &Catalog, cache: &EstCache) -> f64 {
     match plan {
         Plan::Scan(name) => catalog
             .stats(name)
@@ -708,31 +927,32 @@ fn column_ndv(plan: &Plan, idx: usize, catalog: &Catalog) -> f64 {
             .unwrap_or(10.0),
         Plan::Values(rel) => crate::stats::TableStats::compute(rel).ndv_or_default(idx) as f64,
         Plan::Select { input, .. } | Plan::Distinct(input) | Plan::Rename { input, .. } => {
-            column_ndv(input, idx, catalog)
+            column_ndv(input, idx, catalog, cache)
         }
         Plan::Project { input, cols } => match cols.get(idx) {
-            Some((Expr::Col(c), _)) => input
-                .schema(catalog)
+            Some((Expr::Col(c), _)) => shape_cached(input, catalog, cache)
+                .resolve(c)
                 .ok()
-                .and_then(|s| s.resolve(c).ok())
-                .map(|i| column_ndv(input, i, catalog))
+                .map(|i| column_ndv(input, i, catalog, cache))
                 .unwrap_or(10.0),
             Some((Expr::Lit(_), _)) => 1.0,
-            _ => est_rows(plan, catalog),
+            _ => est_rows_cached(plan, catalog, cache),
         },
         Plan::Join { left, right, .. } => {
-            let la = left.schema(catalog).map(|s| s.arity()).unwrap_or(0);
+            let la = shape_cached(left, catalog, cache).arity();
             if idx < la {
-                column_ndv(left, idx, catalog)
+                column_ndv(left, idx, catalog, cache)
             } else {
-                column_ndv(right, idx - la, catalog)
+                column_ndv(right, idx - la, catalog, cache)
             }
         }
-        Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => column_ndv(left, idx, catalog),
-        Plan::Union { left, right } => {
-            column_ndv(left, idx, catalog) + column_ndv(right, idx, catalog)
+        Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => {
+            column_ndv(left, idx, catalog, cache)
         }
-        Plan::Difference { left, .. } => column_ndv(left, idx, catalog),
+        Plan::Union { left, right } => {
+            column_ndv(left, idx, catalog, cache) + column_ndv(right, idx, catalog, cache)
+        }
+        Plan::Difference { left, .. } => column_ndv(left, idx, catalog, cache),
     }
 }
 
@@ -863,7 +1083,7 @@ fn prune_side(side: Plan, catalog: &Catalog, used: &BTreeSet<ColRef>, all_needed
     if all_needed {
         return pruned;
     }
-    let Ok(schema) = pruned.schema(catalog) else {
+    let Ok(schema) = pruned.schema_shape(catalog) else {
         return pruned;
     };
     let keep: Vec<ColRef> = schema
@@ -984,6 +1204,43 @@ mod tests {
             }
         }
         assert!(max_join_input_arity(&opt, &c) <= 2, "{opt:?}");
+    }
+
+    #[test]
+    fn psi_descriptor_conjuncts_estimate_from_ndv() {
+        // Two descriptor-bearing partitions: 10 distinct variables, a
+        // handful of ranges. The ψ conjunct (Var≠Var' ∨ Rng=Rng') keeps
+        // almost every pair — only same-variable pairs with differing
+        // ranges drop — so its estimate must sit near the cross product,
+        // not at the old flat 0.5 per conjunct.
+        let mut c = Catalog::new();
+        for name in ["u1", "u2"] {
+            let rows: Vec<Vec<Value>> = (0..100)
+                .map(|i| vec![Value::Int(i % 10), Value::Int(i % 3), Value::Int(i)])
+                .collect();
+            let cols = if name == "u1" {
+                ["v1", "r1", "a"]
+            } else {
+                ["v2", "r2", "b"]
+            };
+            c.insert(name, Relation::from_rows(cols, rows).unwrap());
+        }
+        let psi = Expr::or([col("v1").ne(col("v2")), col("r1").eq(col("r2"))]);
+        let p = Plan::scan("u1").join(Plan::scan("u2"), psi);
+        let est = est_rows(&p, &c);
+        let cross = 100.0 * 100.0;
+        // True survivor fraction is 1 - (1/10)·(1 - 1/3) ≈ 0.93.
+        assert!(
+            est > 0.8 * cross,
+            "ψ estimate should be nearly non-selective, got {est} of {cross}"
+        );
+        // A genuine equi conjunct still divides by NDV.
+        let equi = Plan::scan("u1").join(Plan::scan("u2"), col("v1").eq(col("v2")));
+        assert!(est_rows(&equi, &c) <= cross / 9.0);
+        // Column-column σ selectivity is NDV-driven too.
+        let ne = Plan::scan("u1").select(col("v1").ne(col("r1")));
+        let eq = Plan::scan("u1").select(col("v1").eq(col("r1")));
+        assert!(est_rows(&ne, &c) > est_rows(&eq, &c));
     }
 
     #[test]

@@ -222,6 +222,34 @@ impl Plan {
         }
     }
 
+    /// Output schema *shape* without predicate validation.
+    ///
+    /// [`Plan::schema`] re-compiles every predicate on every call, which
+    /// is the right contract for validation but far too expensive for
+    /// the optimizer's inner loops (cardinality estimation and pushdown
+    /// consult schemas thousands of times per optimization, on plans
+    /// already validated once at entry). Batch-aware costing leans on
+    /// this: `est_rows` and the join reorderer stay cheap enough to run
+    /// per prepare, where the executor re-uses them to pick build sides.
+    pub(crate) fn schema_shape(&self, catalog: &Catalog) -> Result<Schema> {
+        match self {
+            Plan::Scan(name) => Ok(catalog.get(name)?.schema().clone()),
+            Plan::Values(rel) => Ok(rel.schema().clone()),
+            Plan::Select { input, .. } | Plan::Distinct(input) => input.schema_shape(catalog),
+            Plan::Project { cols, .. } => {
+                Ok(Schema::new(cols.iter().map(|(_, n)| n.clone()).collect()))
+            }
+            Plan::Join { left, right, .. } => Ok(left
+                .schema_shape(catalog)?
+                .concat(&right.schema_shape(catalog)?)),
+            Plan::SemiJoin { left, .. }
+            | Plan::AntiJoin { left, .. }
+            | Plan::Union { left, .. }
+            | Plan::Difference { left, .. } => left.schema_shape(catalog),
+            Plan::Rename { input, alias } => Ok(input.schema_shape(catalog)?.qualify(alias)),
+        }
+    }
+
     /// Number of operator nodes — the paper's "parsimonious translation"
     /// is checked by counting these.
     pub fn node_count(&self) -> usize {

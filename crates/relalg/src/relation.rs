@@ -1,14 +1,190 @@
-//! Materialized relations with shared row storage.
+//! Materialized relations with shared row storage and a cached
+//! column-major image for the batched executor.
 
 use crate::error::{Error, Result};
+use crate::fxhash::FxHasher;
 use crate::schema::Schema;
-use crate::value::Value;
+use crate::value::{str_eq, Value};
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 /// A row: a boxed slice of values (two words on the stack, no spare
 /// capacity — see the perf guide on boxed slices).
 pub type Row = Box<[Value]>;
+
+/// One column of a [`ColumnarImage`]: typed storage when the column is
+/// homogeneous (the common case — TPC-H columns are all-integer or
+/// all-string), a generic `Value` vector otherwise (nulls introduced by
+/// the union translation's padding, booleans, mixed types).
+///
+/// Typed columns are what make batched predicate evaluation fast: a
+/// comparison over an [`Column::Int`] column is a tight loop over a
+/// contiguous `&[i64]`, with no per-row enum dispatch or `Value` clone.
+#[derive(Clone, Debug)]
+pub enum Column {
+    /// All-integer column.
+    Int(Vec<i64>),
+    /// All-string column (interned `Arc<str>` — see [`crate::value::intern`]).
+    Str(Vec<Arc<str>>),
+    /// Fallback: any mix of values, still stored contiguously.
+    Mixed(Vec<Value>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Mixed(v) => v.len(),
+        }
+    }
+
+    /// `true` if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `idx` (clones; `Arc` bump for strings).
+    #[inline]
+    pub fn get(&self, idx: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[idx]),
+            Column::Str(v) => Value::Str(Arc::clone(&v[idx])),
+            Column::Mixed(v) => v[idx].clone(),
+        }
+    }
+
+    /// Hash the value at `idx` into `h`, producing *exactly* the digest
+    /// [`Value::hash`] would: the batched hash-join probe and the
+    /// row-built hash tables must agree on every key digest.
+    #[inline]
+    pub fn hash_value_into(&self, idx: usize, h: &mut FxHasher) {
+        match self {
+            Column::Int(v) => {
+                h.write_u8(2); // Value::Int rank
+                h.write_i64(v[idx]);
+            }
+            Column::Str(v) => {
+                h.write_u8(3); // Value::Str rank
+                v[idx].as_ref().hash(h);
+            }
+            Column::Mixed(v) => v[idx].hash(h),
+        }
+    }
+
+    /// Compare the value at `idx` against a [`Value`] (no clones;
+    /// pointer-first for strings).
+    #[inline]
+    pub fn value_eq(&self, idx: usize, other: &Value) -> bool {
+        match (self, other) {
+            (Column::Int(v), Value::Int(o)) => v[idx] == *o,
+            (Column::Str(v), Value::Str(o)) => str_eq(&v[idx], o),
+            (Column::Mixed(v), o) => v[idx] == *o,
+            _ => false,
+        }
+    }
+
+    /// Compare values across two columns (no clones; pointer-first for
+    /// strings) — the exact-equality check behind hash-join key digests.
+    #[inline]
+    pub fn cross_eq(&self, idx: usize, other: &Column, odx: usize) -> bool {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a[idx] == b[odx],
+            (Column::Str(a), Column::Str(b)) => str_eq(&a[idx], &b[odx]),
+            (Column::Mixed(a), b) => b.value_eq(odx, &a[idx]),
+            (a, Column::Mixed(b)) => a.value_eq(idx, &b[odx]),
+            _ => false,
+        }
+    }
+
+    /// Build a column from an owned value vector, compacting to typed
+    /// storage when the values are homogeneous.
+    pub fn from_values(vals: Vec<Value>) -> Column {
+        if !vals.is_empty() && vals.iter().all(|v| matches!(v, Value::Int(_))) {
+            return Column::Int(
+                vals.into_iter()
+                    .map(|v| match v {
+                        Value::Int(i) => i,
+                        _ => unreachable!("checked all-int"),
+                    })
+                    .collect(),
+            );
+        }
+        if !vals.is_empty() && vals.iter().all(|v| matches!(v, Value::Str(_))) {
+            return Column::Str(
+                vals.into_iter()
+                    .map(|v| match v {
+                        Value::Str(s) => s,
+                        _ => unreachable!("checked all-str"),
+                    })
+                    .collect(),
+            );
+        }
+        Column::Mixed(vals)
+    }
+
+    fn from_rows(rows: &[Row], col: usize) -> Column {
+        if !rows.is_empty() && rows.iter().all(|r| matches!(r[col], Value::Int(_))) {
+            return Column::Int(
+                rows.iter()
+                    .map(|r| match &r[col] {
+                        Value::Int(i) => *i,
+                        _ => unreachable!("checked all-int"),
+                    })
+                    .collect(),
+            );
+        }
+        if !rows.is_empty() && rows.iter().all(|r| matches!(r[col], Value::Str(_))) {
+            return Column::Str(
+                rows.iter()
+                    .map(|r| match &r[col] {
+                        Value::Str(s) => Arc::clone(s),
+                        _ => unreachable!("checked all-str"),
+                    })
+                    .collect(),
+            );
+        }
+        Column::Mixed(rows.iter().map(|r| r[col].clone()).collect())
+    }
+}
+
+/// The column-major image of a relation: one [`Column`] per schema
+/// column, all of equal length. Built lazily by [`Relation::columns`]
+/// and cached, so repeated queries over a shared catalog pay the
+/// row-to-column conversion once per relation, not once per scan.
+#[derive(Debug)]
+pub struct ColumnarImage {
+    cols: Vec<Column>,
+    len: usize,
+}
+
+impl ColumnarImage {
+    fn build(schema: &Schema, rows: &[Row]) -> ColumnarImage {
+        ColumnarImage {
+            cols: (0..schema.arity())
+                .map(|c| Column::from_rows(rows, c))
+                .collect(),
+            len: rows.len(),
+        }
+    }
+
+    /// The columns.
+    pub fn cols(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
 
 /// A materialized relation: a schema plus rows, bag semantics.
 ///
@@ -24,11 +200,23 @@ pub type Row = Box<[Value]>;
 /// so scans alias the catalog instead of copying it. Set semantics is
 /// opt-in via [`Relation::sorted_set`] / `Plan::Distinct`, which is how
 /// the `poss` operator and the test oracles normalize results.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Relation {
     schema: Schema,
     rows: Arc<Vec<Row>>,
+    /// Lazily built column-major image (see [`Relation::columns`]).
+    /// Shared across clones and zero-copy renames; reset by the
+    /// copy-on-write mutators. Not part of relation equality.
+    columnar: OnceLock<Arc<ColumnarImage>>,
 }
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// Empty relation over a schema.
@@ -36,6 +224,7 @@ impl Relation {
         Relation {
             schema,
             rows: Arc::new(Vec::new()),
+            columnar: OnceLock::new(),
         }
     }
 
@@ -52,11 +241,14 @@ impl Relation {
         Ok(Relation {
             schema,
             rows: Arc::new(rows),
+            columnar: OnceLock::new(),
         })
     }
 
     /// Relation over `schema` sharing another relation's row storage
     /// (the zero-copy rename: arities must agree, no tuple is touched).
+    /// The cached columnar image is shared too — a rename costs no
+    /// re-conversion.
     pub fn shared_with_schema(&self, schema: Schema) -> Result<Self> {
         if schema.arity() != self.schema.arity() {
             return Err(Error::ArityMismatch {
@@ -67,6 +259,7 @@ impl Relation {
         Ok(Relation {
             schema,
             rows: Arc::clone(&self.rows),
+            columnar: self.columnar.clone(),
         })
     }
 
@@ -103,6 +296,20 @@ impl Relation {
         &self.rows
     }
 
+    /// The column-major image, built on first use and cached. Batched
+    /// scans read this; the conversion is paid once per relation even
+    /// across repeated queries (clones and renames share the cache).
+    pub fn columns(&self) -> &ColumnarImage {
+        self.columnar
+            .get_or_init(|| Arc::new(ColumnarImage::build(&self.schema, &self.rows)))
+    }
+
+    /// `true` iff the columnar image has already been built (test hook
+    /// for the conversion-caching guarantee).
+    pub fn columns_cached(&self) -> bool {
+        self.columnar.get().is_some()
+    }
+
     /// `true` iff both relations alias the same row storage (used by the
     /// zero-copy tests; content equality is `==` / [`Relation::set_eq`]).
     pub fn shares_rows_with(&self, other: &Relation) -> bool {
@@ -126,6 +333,7 @@ impl Relation {
             });
         }
         Arc::make_mut(&mut self.rows).push(row.into_boxed_slice());
+        self.columnar = OnceLock::new(); // rows changed: image is stale
         Ok(())
     }
 
@@ -154,6 +362,7 @@ impl Relation {
         Ok(Relation {
             schema,
             rows: self.rows,
+            columnar: self.columnar,
         })
     }
 
@@ -166,6 +375,7 @@ impl Relation {
         Relation {
             schema: self.schema.clone(),
             rows: Arc::new(rows),
+            columnar: OnceLock::new(),
         }
     }
 
@@ -174,6 +384,7 @@ impl Relation {
         let rows = Arc::make_mut(&mut self.rows);
         rows.sort();
         rows.dedup();
+        self.columnar = OnceLock::new(); // rows changed: image is stale
     }
 
     /// Total payload size in bytes (Figure 9 accounting).
@@ -282,6 +493,78 @@ mod tests {
         assert_eq!(q.schema().to_string(), "t.a, t.b");
         // Arity mismatch is rejected.
         assert!(a.shared_with_schema(Schema::named(["x"])).is_err());
+    }
+
+    #[test]
+    fn columnar_image_is_typed_cached_and_invalidated() {
+        let a = r();
+        assert!(!a.columns_cached());
+        let img = a.columns();
+        assert_eq!(img.len(), 3);
+        assert!(matches!(img.cols()[0], Column::Int(_)));
+        assert!(matches!(img.cols()[1], Column::Str(_)));
+        assert_eq!(img.cols()[0].get(2), Value::Int(2));
+        assert!(a.columns_cached());
+        // Renames and clones share the cached image.
+        let renamed = a.shared_with_schema(a.schema().qualify("t")).unwrap();
+        assert!(renamed.columns_cached());
+        assert!(a.clone().columns_cached());
+        // A CoW mutation invalidates the mutated relation's cache only.
+        let mut b = a.clone();
+        b.push(vec![Value::Int(9), Value::Null]).unwrap();
+        assert!(!b.columns_cached());
+        assert!(a.columns_cached());
+        // The pushed Null demotes the string column to Mixed on rebuild.
+        assert!(matches!(b.columns().cols()[1], Column::Mixed(_)));
+    }
+
+    #[test]
+    fn column_hash_matches_value_hash() {
+        use std::hash::{Hash, Hasher};
+        let rel = Relation::from_rows(
+            ["i", "s", "m"],
+            vec![
+                vec![Value::Int(7), Value::str("abc"), Value::Null],
+                vec![Value::Int(-1), Value::str(""), Value::Bool(true)],
+            ],
+        )
+        .unwrap();
+        let img = rel.columns();
+        for (ri, row) in rel.rows().iter().enumerate() {
+            for (ci, v) in row.iter().enumerate() {
+                let mut a = FxHasher::default();
+                img.cols()[ci].hash_value_into(ri, &mut a);
+                let mut b = FxHasher::default();
+                v.hash(&mut b);
+                assert_eq!(a.finish(), b.finish(), "digest mismatch at ({ri},{ci})");
+            }
+        }
+    }
+
+    #[test]
+    fn column_equality_helpers() {
+        let rel = Relation::from_rows(
+            ["i", "s"],
+            vec![
+                vec![Value::Int(1), Value::interned("x")],
+                vec![Value::Int(2), Value::interned("y")],
+            ],
+        )
+        .unwrap();
+        let img = rel.columns();
+        assert!(img.cols()[0].value_eq(0, &Value::Int(1)));
+        assert!(!img.cols()[0].value_eq(0, &Value::str("1")));
+        assert!(img.cols()[1].value_eq(1, &Value::interned("y")));
+        assert!(img.cols()[0].cross_eq(1, &img.cols()[0], 1));
+        assert!(!img.cols()[0].cross_eq(0, &img.cols()[1], 0));
+        assert_eq!(
+            Column::from_values(vec![Value::Int(1), Value::Int(2)]).get(1),
+            Value::Int(2)
+        );
+        assert!(matches!(
+            Column::from_values(vec![Value::Int(1), Value::Null]),
+            Column::Mixed(_)
+        ));
     }
 
     #[test]

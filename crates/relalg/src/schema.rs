@@ -91,15 +91,20 @@ impl From<&str> for ColRef {
 }
 
 /// An ordered list of (qualified) column names.
+///
+/// Backed by `Arc<[ColRef]>`: schemas are cloned on every plan walk,
+/// prepare, and estimate, so a clone must be a refcount bump, not a
+/// vector copy. Schemas are immutable — `concat`/`qualify` build new
+/// ones.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Schema {
-    cols: Vec<ColRef>,
+    cols: Arc<[ColRef]>,
 }
 
 impl Schema {
     /// Schema from column references.
     pub fn new(cols: Vec<ColRef>) -> Self {
-        Schema { cols }
+        Schema { cols: cols.into() }
     }
 
     /// Schema from unqualified (or dotted) name strings.
@@ -108,7 +113,8 @@ impl Schema {
             cols: names
                 .into_iter()
                 .map(|n| ColRef::parse(n.as_ref()))
-                .collect(),
+                .collect::<Vec<_>>()
+                .into(),
         }
     }
 
@@ -155,15 +161,21 @@ impl Schema {
 
     /// Concatenate two schemas (join output).
     pub fn concat(&self, other: &Schema) -> Schema {
-        let mut cols = self.cols.clone();
+        let mut cols: Vec<ColRef> = Vec::with_capacity(self.cols.len() + other.cols.len());
+        cols.extend(self.cols.iter().cloned());
         cols.extend(other.cols.iter().cloned());
-        Schema { cols }
+        Schema { cols: cols.into() }
     }
 
     /// All columns re-qualified with `alias` (rename output).
     pub fn qualify(&self, alias: &str) -> Schema {
         Schema {
-            cols: self.cols.iter().map(|c| c.with_qualifier(alias)).collect(),
+            cols: self
+                .cols
+                .iter()
+                .map(|c| c.with_qualifier(alias))
+                .collect::<Vec<_>>()
+                .into(),
         }
     }
 

@@ -5,11 +5,14 @@
 //! no order). The harness binaries use them to print stable outputs.
 //!
 //! Sort is the canonical pipeline breaker: [`sort_plan`] pulls the
-//! streaming executor's rows directly into the sort buffer, so the plan
-//! output is materialized exactly once (instead of once by the executor
-//! and again by the sort). [`limit_plan`] exploits streaming the other
-//! way: it stops pulling after `n` rows, so upstream work for the rest
-//! of the input is never done.
+//! streaming executor's output directly into the sort buffer, so the
+//! plan output is materialized exactly once (instead of once by the
+//! executor and again by the sort) — and since the pull is unlimited,
+//! batchable plans run the vectorized batch pipeline end to end, with
+//! rows materialized only as they enter the buffer. [`limit_plan`]
+//! exploits streaming the other way: it pulls on the row path and stops
+//! after exactly `n` rows, so upstream work for the rest of the input is
+//! never done (a batched pull would overshoot by up to a batch).
 
 use crate::catalog::Catalog;
 use crate::error::Result;

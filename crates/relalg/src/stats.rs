@@ -1,7 +1,7 @@
 //! Per-relation statistics for cardinality estimation.
 
 use crate::fxhash::FxHashSet;
-use crate::relation::Relation;
+use crate::relation::{Column, Relation};
 
 /// Row count plus per-column number-of-distinct-values (NDV).
 ///
@@ -18,20 +18,29 @@ pub struct TableStats {
 }
 
 impl TableStats {
-    /// Exact single-pass computation (in-memory relations are small enough
-    /// that sampling is not worth its complexity here).
+    /// Exact single-pass computation over the relation's columnar image
+    /// (in-memory relations are small enough that sampling is not worth
+    /// its complexity here). Typed columns count distincts without any
+    /// `Value` hashing, and — since the catalog computes statistics
+    /// eagerly at registration — this also builds and caches the image,
+    /// so the first batched scan pays no conversion.
     pub fn compute(rel: &Relation) -> TableStats {
-        let arity = rel.schema().arity();
-        let mut sets: Vec<FxHashSet<&crate::value::Value>> =
-            (0..arity).map(|_| FxHashSet::default()).collect();
-        for row in rel.rows() {
-            for (i, v) in row.iter().enumerate() {
-                sets[i].insert(v);
-            }
-        }
+        let ndv = rel
+            .columns()
+            .cols()
+            .iter()
+            .map(|c| {
+                match c {
+                    Column::Int(v) => v.iter().collect::<FxHashSet<_>>().len(),
+                    Column::Str(v) => v.iter().map(|s| s.as_ref()).collect::<FxHashSet<_>>().len(),
+                    Column::Mixed(v) => v.iter().collect::<FxHashSet<_>>().len(),
+                }
+                .max(1)
+            })
+            .collect();
         TableStats {
             rows: rel.len(),
-            ndv: sets.iter().map(|s| s.len().max(1)).collect(),
+            ndv,
         }
     }
 

@@ -6,9 +6,10 @@
 //! integer/string makes rows `Eq + Ord + Hash`, which the hash joins, set
 //! operations and test oracles rely on.
 
+use crate::fxhash::FxHashSet;
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A scalar value. The ordering is total: `Null < Bool < Int < Str`.
 ///
@@ -29,10 +30,48 @@ pub enum Value {
     Str(Arc<str>),
 }
 
+/// The global string-interning pool (see [`intern`]).
+static INTERNER: OnceLock<Mutex<FxHashSet<Arc<str>>>> = OnceLock::new();
+
+/// Intern a string: all callers loading the same text share one
+/// `Arc<str>` allocation. Loaders (CSV import, the TPC-H dictionary
+/// sampler) intern so that repeated dictionary values — market segments,
+/// nation names, ship modes — are deduplicated across relations, and so
+/// that vectorized string equality can compare *pointers* first and only
+/// fall back to bytes on a miss (see [`str_eq`]).
+///
+/// The pool is global and append-only; intern only values drawn from
+/// bounded domains (dictionaries, enum-like columns), not unbounded
+/// unique keys.
+pub fn intern(s: &str) -> Arc<str> {
+    let pool = INTERNER.get_or_init(|| Mutex::new(FxHashSet::default()));
+    let mut pool = pool.lock().expect("interner poisoned");
+    if let Some(hit) = pool.get(s) {
+        return Arc::clone(hit);
+    }
+    let arc: Arc<str> = Arc::from(s);
+    pool.insert(Arc::clone(&arc));
+    arc
+}
+
+/// String equality with the pointer-first fast path interning enables:
+/// two interned copies of the same text share one allocation, so most
+/// equality checks on dictionary columns resolve without touching bytes.
+#[inline]
+pub fn str_eq(a: &Arc<str>, b: &Arc<str>) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
+
 impl Value {
     /// Build a string value.
     pub fn str(s: impl AsRef<str>) -> Self {
         Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build a string value through the global interner (use at load
+    /// time for values drawn from bounded domains; see [`intern`]).
+    pub fn interned(s: impl AsRef<str>) -> Self {
+        Value::Str(intern(s.as_ref()))
     }
 
     /// `true` if this is [`Value::Null`].
@@ -90,7 +129,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => str_eq(a, b),
             _ => false,
         }
     }
@@ -250,6 +289,23 @@ mod tests {
         assert_eq!(parse_date("1995-03-15"), Some(date_to_days(1995, 3, 15)));
         assert_eq!(parse_date("bogus"), None);
         assert_eq!(parse_date("1995-03"), None);
+    }
+
+    #[test]
+    fn interner_dedupes_allocations() {
+        let a = intern("MIDDLE EAST");
+        let b = intern("MIDDLE EAST");
+        assert!(Arc::ptr_eq(&a, &b));
+        let (Value::Str(v1), Value::Str(v2)) =
+            (Value::interned("BUILDING"), Value::interned("BUILDING"))
+        else {
+            panic!("interned() builds strings");
+        };
+        assert!(Arc::ptr_eq(&v1, &v2));
+        // Interned and non-interned copies still compare equal by bytes.
+        assert_eq!(Value::interned("x"), Value::str("x"));
+        assert!(str_eq(&intern("y"), &Arc::from("y")));
+        assert!(!str_eq(&intern("y"), &Arc::from("z")));
     }
 
     #[test]

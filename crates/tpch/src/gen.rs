@@ -43,7 +43,14 @@ impl ColumnKind {
             ColumnKind::Int { lo, hi } => Value::Int(rng.gen_range(*lo..=*hi)),
             ColumnKind::Money { lo, hi } => Value::Int(rng.gen_range(*lo..=*hi)),
             ColumnKind::Date { lo, hi } => Value::Int(rng.gen_range(*lo..=*hi)),
-            ColumnKind::Dict { words } => Value::str(words[rng.gen_range(0..words.len())]),
+            // Dictionary domains are small and heavily repeated: intern
+            // them so every occurrence of the same text — across base
+            // tuples AND or-set alternatives — shares one `Arc<str>`,
+            // and the engine's vectorized string equality can compare
+            // pointers before bytes. Pattern names are near-unique per
+            // entity, so interning them would only grow the global pool
+            // (see `value::intern`'s bounded-domain contract).
+            ColumnKind::Dict { words } => Value::interned(words[rng.gen_range(0..words.len())]),
             ColumnKind::Name { prefix, max } => {
                 Value::str(format!("{prefix}#{:09}", rng.gen_range(1..=*max)))
             }
@@ -150,7 +157,7 @@ pub fn generate_certain(scale: f64, seed: u64) -> CertainTpch {
         rows: dict::REGIONS
             .iter()
             .enumerate()
-            .map(|(i, r)| vec![Value::Int(i as i64 + 1), Value::str(*r)])
+            .map(|(i, r)| vec![Value::Int(i as i64 + 1), Value::interned(*r)])
             .collect(),
     };
     tables.insert(region.name.clone(), region);
@@ -203,7 +210,7 @@ pub fn generate_certain(scale: f64, seed: u64) -> CertainTpch {
             .map(|(i, (n, r))| {
                 vec![
                     Value::Int(i as i64 + 1),
-                    Value::str(*n),
+                    Value::interned(*n),
                     Value::Int(*r as i64 + 1),
                 ]
             })

@@ -1,6 +1,7 @@
 //! Differential tests of the streaming executor.
 //!
-//! Two oracles pin the PR 2 streaming refactor down:
+//! Three oracles pin the streaming (PR 2) and batched (PR 3) executors
+//! down:
 //!
 //! 1. **World expansion** — for randomly generated (valid, reduced)
 //!    or-set U-relational databases and random logical queries, the
@@ -17,6 +18,15 @@
 //!    sides differently), and the `EXPLAIN` buffer counter must match
 //!    the runtime `ExecStats`.
 //!
+//! 3. **Batched vs reference** — the streaming executor's *vectorized*
+//!    batch pipelines (PR 3) are differentially pinned twice: random
+//!    plain plans run through `exec::execute` (which batches whenever
+//!    the pipeline supports it) against `execute_reference`, and random
+//!    *translated* queries over random reduced or-set databases compare
+//!    the batched plan output row-for-row against the reference engine,
+//!    with an `ExecStats` assertion that batched σ/π/probe pipelines
+//!    allocated zero per-row intermediate buffers.
+//!
 //! Case counts scale with `PROPTEST_CASES` (the CI differential job
 //! raises it well above the local default); generation is deterministic
 //! per test name, so failures reproduce exactly.
@@ -25,10 +35,12 @@ use proptest::prelude::*;
 use u_relations::core::certain::certain_answers;
 use u_relations::core::reduce::reduce;
 use u_relations::core::{
-    expand_answers, possible, table, table_as, UDatabase, UQuery, URelation, Var, WorldTable,
-    WsDescriptor,
+    expand_answers, possible, table, table_as, translate, UDatabase, UQuery, URelation, Var,
+    WorldTable, WsDescriptor,
 };
-use u_relations::relalg::{col, exec, lit_i64, Catalog, Expr, Plan, Relation, Row, Value};
+use u_relations::relalg::{
+    col, exec, lit_i64, optimizer, Catalog, Expr, Plan, Relation, Row, Value,
+};
 
 fn cases(default: u32) -> u32 {
     std::env::var("PROPTEST_CASES")
@@ -260,6 +272,81 @@ proptest! {
             prop_assert!(want_poss.rows().contains(row));
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// Batched execution vs the reference engine on *translated* plans:
+    /// for random reduced or-set databases and random logical queries,
+    /// the optimized plan runs through the vectorized batch pipelines
+    /// and must produce exactly the reference engine's multiset of rows.
+    /// Batched σ/π/probe pipelines must additionally report zero
+    /// per-row intermediate buffers — the zero-materialization guarantee
+    /// survives vectorization.
+    #[test]
+    fn batched_translated_plans_match_reference(
+        db in arb_udb(),
+        q in arb_query(),
+    ) {
+        let prepared = db.prepare();
+        let t = translate(&db, &q).unwrap();
+        let plan = optimizer::optimize(&t.plan, prepared.catalog()).unwrap();
+        let streamed = exec::stream(&plan, prepared.catalog()).unwrap();
+        let batched_rows = {
+            let mut rows = streamed.collect_rows(None);
+            rows.sort();
+            rows
+        };
+        let stats = streamed.stats();
+        let reference = exec::execute_reference(&plan, prepared.catalog()).unwrap();
+        prop_assert!(
+            batched_rows == sorted_rows(&reference),
+            "batched vs reference diverge for {q:?}\nplan: {plan:?}"
+        );
+        if streamed.batched() && stats.buffers == 0 {
+            prop_assert!(
+                stats.buffered_rows == 0,
+                "bufferless batched pipeline copied rows: {stats:?}"
+            );
+        }
+        // Every batched pipeline accounts for the rows it emitted.
+        if streamed.batched() {
+            prop_assert!(
+                stats.batch_rows >= batched_rows.len(),
+                "batch accounting lost rows: {stats:?} vs {}",
+                batched_rows.len()
+            );
+        }
+    }
+}
+
+/// Deterministic pin of the batched zero-materialization guarantee: a
+/// translated σ/π pipeline over the Figure 1 database runs vectorized,
+/// emits batches, and allocates no per-row intermediate buffers.
+#[test]
+fn batched_translated_pipeline_reports_zero_row_buffers() {
+    let db = u_relations::core::figure1_database();
+    let cat = db.to_catalog();
+    // A single-attribute query: late materialization merges exactly one
+    // vertical partition, so the translated plan is a pure σ/π chain
+    // with no join build side to buffer.
+    let q = table("r")
+        .select(col("type").eq(u_relations::relalg::lit_str("Tank")))
+        .project(["type"]);
+    let t = translate(&db, &q).unwrap();
+    let plan = optimizer::optimize(&t.plan, &cat).unwrap();
+    let streamed = exec::stream(&plan, &cat).unwrap();
+    let n = streamed.collect_rows(None).len();
+    let stats = streamed.stats();
+    assert!(streamed.batched(), "translated σ/π chain should vectorize");
+    assert!(stats.batches > 0, "{stats:?}");
+    assert!(stats.batch_rows >= n, "{stats:?}");
+    assert_eq!(
+        stats.buffers, 0,
+        "batched pipeline must not allocate per-row intermediate buffers: {stats:?}"
+    );
+    assert_eq!(stats.buffered_rows, 0, "{stats:?}");
 }
 
 proptest! {

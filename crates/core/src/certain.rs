@@ -162,6 +162,52 @@ pub fn certain_answers(udb: &UDatabase, q: &UQuery) -> Result<Relation> {
     certain_lemma43(&normalized.relations[0], &normalized.world)
 }
 
+/// Certain answers of a result U-relation under an explicit coverage
+/// computation method, with each reported tuple's coverage probability.
+///
+/// The *exact* method reproduces [`certain_exact`]: a tuple is reported
+/// iff its descriptors' union covers every world (coverage 1, decided
+/// combinatorially, so no float threshold is involved). The
+/// *Monte-Carlo* method estimates each tuple's coverage probability by
+/// world sampling and reports tuples whose estimate is at least
+/// `1 − ε(δ)`, the Hoeffding half-width of
+/// [`crate::prob::ConfidenceMethod::error_bound`]: every truly certain
+/// tuple passes with probability `≥ 1 − δ`, and a tuple with true
+/// coverage below `1 − 2ε` is excluded with the same confidence —
+/// tuples inside the `2ε` gap are inherently at the estimator's mercy,
+/// which is the usual Monte-Carlo trade.
+pub fn certain_with_coverage(
+    u: &URelation,
+    w: &WorldTable,
+    method: crate::prob::ConfidenceMethod,
+    delta: f64,
+) -> Result<Vec<(Vec<Value>, f64)>> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<crate::descriptor::WsDescriptor>> = BTreeMap::new();
+    for row in u.rows() {
+        groups
+            .entry(row.vals.to_vec())
+            .or_default()
+            .push(row.desc.clone());
+    }
+    let mut out = Vec::new();
+    for (tuple, descs) in groups {
+        match method {
+            crate::prob::ConfidenceMethod::Exact => {
+                if covers_all_worlds(&descs, w)? {
+                    out.push((tuple, 1.0));
+                }
+            }
+            crate::prob::ConfidenceMethod::MonteCarlo { .. } => {
+                let coverage = crate::prob::coverage_probability(&descs, w, method)?;
+                if coverage >= 1.0 - method.error_bound(delta) {
+                    out.push((tuple, coverage));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,8 +42,8 @@ pub use descriptor::WsDescriptor;
 pub use error::{Error, Result};
 pub use prob::ConfidenceMethod;
 pub use translate::{
-    evaluate, evaluate_with, possible, possible_with_confidence, translate, PreparedDb, TPlan,
-    TranslateOptions,
+    certain_with_confidence, evaluate, evaluate_with, possible, possible_with_confidence,
+    translate, PreparedDb, TPlan, TranslateOptions,
 };
 pub use udb::{figure1_database, UDatabase};
 pub use urelation::{URelation, URow};

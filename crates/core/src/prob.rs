@@ -289,6 +289,23 @@ impl ConfidenceMethod {
     }
 }
 
+/// Probability that the union of the descriptors' world-sets covers a
+/// randomly drawn world — the *certain* side of confidence: a tuple is
+/// certain iff its coverage probability is exactly 1
+/// ([`covers_all_worlds`] decides that combinatorially). Numerically it
+/// coincides with [`ConfidenceMethod::confidence`], but the contract
+/// differs: the Monte-Carlo estimate carries the same Hoeffding
+/// half-width `ε(δ)` as the `possible` side, so an estimate `≥ 1 − ε`
+/// certifies full coverage with confidence `1 − δ` — the knob for
+/// certain answers on instances where the exact expansion blows up.
+pub fn coverage_probability(
+    descs: &[WsDescriptor],
+    w: &WorldTable,
+    method: ConfidenceMethod,
+) -> Result<f64> {
+    method.confidence(descs, w)
+}
+
 /// Confidence of every distinct answer tuple of a result U-relation:
 /// groups rows by value tuple and computes the union probability of each
 /// group's descriptors.

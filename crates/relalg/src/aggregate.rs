@@ -72,6 +72,31 @@ impl State {
         }
     }
 
+    /// Merge another partial state for the same aggregate function into
+    /// this one (the parallel partial-aggregation merge: counts and sums
+    /// add, min/max fold — all order-independent).
+    fn merge(&mut self, other: State) {
+        match (self, other) {
+            (State::Count(a), State::Count(b)) => *a += b,
+            (State::Sum(a), State::Sum(b)) => *a += b,
+            (State::Min(a), State::Min(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref().is_none_or(|cur| v < *cur) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (State::Max(a), State::Max(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref().is_none_or(|cur| v > *cur) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            _ => unreachable!("merged states come from the same aggregate list"),
+        }
+    }
+
     /// Fold one input row's evaluated argument (`None` for `COUNT(*)`)
     /// into the accumulator. The caller evaluates — rows and column
     /// batches feed the same state machine.
@@ -117,13 +142,23 @@ impl State {
 /// Incremental hash-aggregation state: compiled key/aggregate
 /// expressions plus the per-group accumulators. Only group states are
 /// held — input rows are consumed one at a time and dropped.
+///
+/// Output groups appear in *first-occurrence order of the input*. Each
+/// group remembers the position key of its first row — `(morsel id,
+/// sequence within the morsel)` packed into a `u64` — so partial
+/// accumulators built by parallel workers merge into exactly the order
+/// a serial pass would produce: workers claim morsels in increasing id
+/// order, and the merge keeps each group's minimum position.
 struct Accumulator<'a> {
     group_by: &'a [(Expr, ColRef)],
     aggs: &'a [Aggregate],
     key_exprs: Vec<CompiledExpr>,
     agg_exprs: Vec<Option<CompiledExpr>>,
-    groups: FxHashMap<Vec<Value>, Vec<State>>,
-    order: Vec<Vec<Value>>,
+    groups: FxHashMap<Vec<Value>, (u64, Vec<State>)>,
+    /// Position base of the current morsel (`morsel id << 32`).
+    morsel_base: u64,
+    /// Rows folded within the current morsel.
+    seq: u64,
 }
 
 impl<'a> Accumulator<'a> {
@@ -151,8 +186,21 @@ impl<'a> Accumulator<'a> {
             key_exprs,
             agg_exprs,
             groups: FxHashMap::default(),
-            order: Vec::new(),
+            morsel_base: 0,
+            seq: 0,
         })
+    }
+
+    /// Enter morsel `id`: subsequent rows take positions under its base.
+    /// Parallel workers call this per batch; the sequence only resets
+    /// when the morsel actually changes (a morsel spans many batches).
+    /// The serial path stays on morsel 0.
+    fn set_morsel(&mut self, id: usize) {
+        let base = (id as u64) << 32;
+        if base != self.morsel_base {
+            self.morsel_base = base;
+            self.seq = 0;
+        }
     }
 
     /// Fold one input row into the group states; `eval` supplies the
@@ -160,10 +208,12 @@ impl<'a> Accumulator<'a> {
     /// path and the batched path share one grouping implementation.
     fn fold(&mut self, eval: impl Fn(&CompiledExpr) -> Value) -> Result<()> {
         let key: Vec<Value> = self.key_exprs.iter().map(&eval).collect();
-        let states = self.groups.entry(key.clone()).or_insert_with(|| {
-            self.order.push(key);
-            self.aggs.iter().map(|a| State::new(&a.func)).collect()
-        });
+        let pos = self.morsel_base + self.seq;
+        self.seq += 1;
+        let (_, states) = self
+            .groups
+            .entry(key)
+            .or_insert_with(|| (pos, self.aggs.iter().map(|a| State::new(&a.func)).collect()));
         for ((state, agg), compiled) in states.iter_mut().zip(self.aggs).zip(&self.agg_exprs) {
             state.update(&agg.func, compiled.as_ref().map(&eval))?;
         }
@@ -184,19 +234,43 @@ impl<'a> Accumulator<'a> {
         Ok(())
     }
 
+    /// Merge another worker's partial states: group states combine
+    /// order-independently, each group keeps its earliest position.
+    fn merge(&mut self, other: Accumulator<'a>) {
+        for (key, (pos, states)) in other.groups {
+            match self.groups.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((pos, states));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (cur_pos, cur_states) = e.get_mut();
+                    *cur_pos = (*cur_pos).min(pos);
+                    for (a, b) in cur_states.iter_mut().zip(states) {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+    }
+
     fn finish(mut self) -> Result<Relation> {
         if self.group_by.is_empty() && self.groups.is_empty() {
-            self.order.push(Vec::new());
             self.groups.insert(
                 Vec::new(),
-                self.aggs.iter().map(|a| State::new(&a.func)).collect(),
+                (0, self.aggs.iter().map(|a| State::new(&a.func)).collect()),
             );
         }
         let mut names: Vec<ColRef> = self.group_by.iter().map(|(_, n)| n.clone()).collect();
         names.extend(self.aggs.iter().map(|a| a.name.clone()));
         let mut out = Relation::empty(Schema::new(names));
-        for key in self.order {
-            let states = self.groups.remove(&key).expect("keys come from order");
+        // First-occurrence order: sort groups by their position key.
+        let mut rows: Vec<(u64, Vec<Value>, Vec<State>)> = self
+            .groups
+            .into_iter()
+            .map(|(key, (pos, states))| (pos, key, states))
+            .collect();
+        rows.sort_by_key(|(pos, _, _)| *pos);
+        for (_, key, states) in rows {
             let mut row = key;
             row.extend(states.into_iter().map(State::finish));
             out.push(row)?;
@@ -225,6 +299,12 @@ pub fn aggregate(
 /// without ever materializing its input rows — only the group states
 /// are buffered. Plans on the row fallback path are bridged into owned
 /// batches by [`exec::Streamed::for_each_batch`].
+///
+/// When the executor decides to run the input morsel-parallel, each
+/// worker folds its morsels into a *partial* accumulator and the partial
+/// states merge afterwards — counts and sums add, min/max fold, and
+/// group order is restored from first-occurrence positions, so the
+/// result is byte-identical to the serial fold.
 pub fn aggregate_plan(
     plan: &Plan,
     catalog: &Catalog,
@@ -232,9 +312,34 @@ pub fn aggregate_plan(
     aggs: &[Aggregate],
 ) -> Result<Relation> {
     let streamed = exec::stream(plan, catalog)?;
-    let mut acc = Accumulator::new(streamed.schema(), group_by, aggs)?;
+    // Validate compilation up front so the parallel path reports the
+    // same errors the serial one would, before any worker spawns.
+    let acc = Accumulator::new(streamed.schema(), group_by, aggs)?;
+    let schema = streamed.schema().clone();
+    if let Some(partials) = streamed.fold_batches_parallel(
+        || Accumulator::new(&schema, group_by, aggs),
+        |acc, morsel, batch| {
+            let acc = acc.as_mut().map_err(|_| poisoned())?;
+            acc.set_morsel(morsel);
+            acc.update_batch(batch)
+        },
+    ) {
+        let mut merged = acc;
+        for partial in partials? {
+            merged.merge(partial?);
+        }
+        return merged.finish();
+    }
+    let mut acc = acc;
     streamed.for_each_batch(|batch| acc.update_batch(batch))?;
     acc.finish()
+}
+
+/// Placeholder error for a worker accumulator that failed to construct —
+/// unreachable in practice because compilation is validated before the
+/// fold starts.
+fn poisoned() -> Error {
+    Error::TypeError("aggregation accumulator failed to initialize".into())
 }
 
 #[cfg(test)]
@@ -309,6 +414,48 @@ mod tests {
         let rel = Relation::from_rows(["a"], vec![vec![Value::Null]]).unwrap();
         let out = aggregate(&rel, &[], &[Aggregate::new(AggFunc::Min(col("a")), "lo")]).unwrap();
         assert_eq!(out.rows()[0][0], Value::Null);
+    }
+
+    #[test]
+    fn parallel_aggregation_merges_to_serial_result() {
+        use crate::batch::BATCH_SIZE;
+        use crate::expr::lit_str;
+        // Enough rows for several morsels, group keys that first appear
+        // in different morsels (i / 1000 is monotone), plus every
+        // aggregate kind so the merge covers all states.
+        let rows: Vec<Vec<Value>> = (0..(3 * BATCH_SIZE as i64 + 57))
+            .map(|i| {
+                vec![
+                    Value::Int(i / 1000),
+                    Value::Int(i % 97),
+                    Value::interned(if i % 2 == 0 { "e" } else { "o" }),
+                ]
+            })
+            .collect();
+        let rel = Relation::from_rows(["grp", "v", "tag"], rows).unwrap();
+        let mut serial = Catalog::new().with_config(crate::catalog::EngineConfig::serial());
+        serial.insert("t", rel.clone());
+        let mut par = Catalog::new().with_config(crate::catalog::EngineConfig::serial());
+        par.insert("t", rel);
+        par.set_threads(4);
+        par.set_parallel_granularity(BATCH_SIZE, 0);
+        let p = Plan::scan("t").select(col("tag").eq(lit_str("e")));
+        let group = [(col("grp"), ColRef::parse("grp"))];
+        let aggs = [
+            Aggregate::new(AggFunc::CountStar, "n"),
+            Aggregate::new(AggFunc::Count(col("v")), "nv"),
+            Aggregate::new(AggFunc::Sum(col("v")), "s"),
+            Aggregate::new(AggFunc::Min(col("v")), "lo"),
+            Aggregate::new(AggFunc::Max(col("v")), "hi"),
+        ];
+        let a = aggregate_plan(&p, &serial, &group, &aggs).unwrap();
+        let b = aggregate_plan(&p, &par, &group, &aggs).unwrap();
+        // Byte-identical: same groups, same aggregates, same first-
+        // occurrence order.
+        assert_eq!(a, b);
+        // Errors surface identically on the parallel path.
+        let bad = [Aggregate::new(AggFunc::Sum(col("tag")), "s")];
+        assert!(aggregate_plan(&p, &par, &group, &bad).is_err());
     }
 
     #[test]

@@ -1,23 +1,115 @@
-//! The named-relation store with per-relation statistics.
+//! The named-relation store with per-relation statistics and the
+//! engine's execution configuration (parallelism knobs).
 
+use crate::batch::BATCH_SIZE;
 use crate::error::{Error, Result};
 use crate::relation::Relation;
 use crate::stats::TableStats;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Engine execution configuration, carried by the [`Catalog`] so every
+/// caller that can run a query can also tune how it runs.
+///
+/// The defaults come from the environment once per process:
+/// `RELALG_THREADS` caps the morsel-driven executor's worker count
+/// (unset → one worker per available core; `1` forces serial). Parallel
+/// and serial execution produce byte-identical results — the knobs only
+/// trade scheduling overhead against parallel speedup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Maximum parallel workers per pipeline (1 = serial).
+    pub threads: usize,
+    /// Rows per morsel — the unit of work a worker claims. A multiple of
+    /// [`BATCH_SIZE`] keeps worker-emitted batches full.
+    pub morsel_rows: usize,
+    /// Minimum *estimated* output rows before a pipeline goes parallel;
+    /// below it, scheduling overhead outweighs the win and the plan runs
+    /// serial (the threshold reuses the optimizer's `EstCache` estimate).
+    pub parallel_min_rows: usize,
+}
+
+/// Default morsel size: 8 batches per claim amortizes the atomic
+/// exchange without starving the work-stealing balance.
+pub const DEFAULT_MORSEL_ROWS: usize = 8 * BATCH_SIZE;
+
+/// Default estimated-row threshold below which plans stay serial.
+pub const DEFAULT_PARALLEL_MIN_ROWS: usize = 4 * BATCH_SIZE;
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: default_threads(),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            parallel_min_rows: DEFAULT_PARALLEL_MIN_ROWS,
+        }
+    }
+}
+
+/// `RELALG_THREADS`, else available parallelism, read once per process.
+fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RELALG_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+impl EngineConfig {
+    /// Serial configuration (one worker), independent of the environment.
+    pub fn serial() -> Self {
+        EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        }
+    }
+}
+
 /// A catalog maps relation names to materialized relations and caches
 /// per-column statistics used by the optimizer's cardinality estimates.
+/// It also carries the [`EngineConfig`] the executor reads at prepare
+/// time.
 #[derive(Default, Clone, Debug)]
 pub struct Catalog {
     rels: BTreeMap<String, Arc<Relation>>,
     stats: BTreeMap<String, Arc<TableStats>>,
+    config: EngineConfig,
 }
 
 impl Catalog {
-    /// Empty catalog.
+    /// Empty catalog with the environment-default [`EngineConfig`].
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// The execution configuration queries against this catalog use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Replace the execution configuration (builder style).
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the parallel worker cap (1 = serial).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
+    }
+
+    /// Set the morsel size and parallel threshold (test / tuning hook;
+    /// small values let small inputs exercise the parallel engine).
+    pub fn set_parallel_granularity(&mut self, morsel_rows: usize, parallel_min_rows: usize) {
+        self.config.morsel_rows = morsel_rows.max(1);
+        self.config.parallel_min_rows = parallel_min_rows;
     }
 
     /// Register (or replace) a relation. Statistics are computed eagerly —
@@ -72,6 +164,21 @@ impl Catalog {
 mod tests {
     use super::*;
     use crate::value::Value;
+
+    #[test]
+    fn engine_config_is_carried_and_tunable() {
+        let mut c = Catalog::new().with_config(EngineConfig::serial());
+        assert_eq!(c.config().threads, 1);
+        c.set_threads(4);
+        assert_eq!(c.config().threads, 4);
+        c.set_threads(0); // floored at 1
+        assert_eq!(c.config().threads, 1);
+        c.set_parallel_granularity(16, 0);
+        assert_eq!(c.config().morsel_rows, 16);
+        assert_eq!(c.config().parallel_min_rows, 0);
+        // Clones carry the configuration.
+        assert_eq!(c.clone().config(), c.config());
+    }
 
     #[test]
     fn insert_get() {

@@ -25,14 +25,29 @@
 //!    the build image. Breakers (build sides, distinct/difference
 //!    seen-sets, sort, aggregation) consume and emit batches too.
 //!
-//!    *Row fallback*: plans outside the batchable subset (nested-loop
-//!    theta joins, semijoins with residual predicates) run the original
-//!    row cursors — one borrowed row at a time, still with no
-//!    intermediate `Vec<Row>` on σ/π/ρ/∪/probe chains. Limited pulls
-//!    ([`Streamed::collect_rows`] with a cap) also use row cursors so
-//!    they never overshoot. [`Streamed::for_each_batch`] bridges row
-//!    pipelines into owned batches for batch consumers, and `EXPLAIN`
-//!    tags every node `[batched]` vs `[row]` so fallbacks are visible.
+//!    Cross-side predicates that used to force row fallbacks —
+//!    nested-loop theta joins, residual and non-equi semijoins — run
+//!    the *pair-batch evaluator*: candidate (probe, buffered-side)
+//!    pairs are assembled as zero-copy batches and masked by the same
+//!    vectorized kernels, so every operator is `[batched]`. The row
+//!    cursors survive for limited pulls ([`Streamed::collect_rows`]
+//!    with a cap, which must not overshoot) and
+//!    [`Streamed::for_each_row`]; [`Streamed::for_each_batch`] bridges
+//!    them into owned batches when needed.
+//!
+//!    *Morsel-driven parallel*: when the catalog's
+//!    [`EngineConfig`] allows more than one worker and the optimizer
+//!    estimates enough rows, a full pull fans the batched pipeline out:
+//!    the probe spine's columnar image splits into fixed-size morsels,
+//!    a [`TaskPool`] of scoped workers steals morsel ids off a shared
+//!    atomic exchange, and the gather re-assembles per-morsel outputs
+//!    in morsel order — replaying deferred distinct/difference seen-set
+//!    semantics — so parallel output is **byte-identical** to serial.
+//!    Hash-table builds fan out too (parallel digests into
+//!    digest-routed [`RowTable`] partitions), and
+//!    [`Streamed::fold_batches_parallel`] hands aggregation per-worker
+//!    partial states to merge. `EXPLAIN` tags parallel roots
+//!    `[parallel xN]`; [`ExecStats::workers`] reports the fan-out used.
 //!
 //! Zero-copy guarantees carry over from the shared-relation engine:
 //! `Scan`/`Values` still hand back the catalog's own `Arc<Relation>`
@@ -50,15 +65,16 @@
 //! compare against.
 
 use crate::batch::{BatchCol, ColumnBatch, BATCH_SIZE};
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, EngineConfig};
 use crate::error::{Error, Result};
 use crate::expr::{CmpOp, CompiledExpr, Expr};
 use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
-use crate::optimizer::{est_rows_cached, EstCache};
+use crate::optimizer::{est_rows, est_rows_cached, EstCache};
 use crate::plan::Plan;
+use crate::pool::TaskPool;
 use crate::relation::{Column, ColumnarImage, Relation, Row};
 use crate::schema::Schema;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -96,6 +112,10 @@ pub struct ExecStats {
     pub batches: usize,
     /// Logical rows carried by those batches.
     pub batch_rows: usize,
+    /// Parallel workers the most recent pull ran on (1 = serial; N > 1
+    /// means the morsel-driven engine fanned the root pipeline out over
+    /// N threads — with output still byte-identical to serial).
+    pub workers: usize,
 }
 
 impl ExecStats {
@@ -118,6 +138,9 @@ struct Counters {
     pull_rows: Cell<usize>,
     prepare_batches: Cell<(usize, usize)>,
     pull_batches: Cell<(usize, usize)>,
+    /// Workers used by the current pull (0 before any pull → reported
+    /// as 1, the serial baseline).
+    workers: Cell<usize>,
 }
 
 impl Counters {
@@ -155,10 +178,12 @@ impl Counters {
     }
 
     /// Start a fresh top-level pull: discard the previous pull's
-    /// seen-set row and batch counts.
+    /// seen-set row and batch counts, and reset to serial until a
+    /// parallel driver says otherwise.
     fn reset_pull(&self) {
         self.pull_rows.set(0);
         self.pull_batches.set((0, 0));
+        self.workers.set(1);
     }
 
     fn snapshot(&self) -> ExecStats {
@@ -169,6 +194,7 @@ impl Counters {
             buffered_rows: self.prepare_rows.get() + self.pull_rows.get(),
             batches: pb + b,
             batch_rows: pr + r,
+            workers: self.workers.get().max(1),
         }
     }
 }
@@ -203,6 +229,15 @@ impl StreamRow<'_> {
     }
 }
 
+/// How a prepared pipeline will run morsel-parallel.
+struct ParallelSpec {
+    /// Number of morsels the root pipeline's source spine splits into.
+    morsels: usize,
+    /// `true` when the gather must replay deferred distinct/difference
+    /// seen-set semantics on the morsel-ordered output.
+    dedup: bool,
+}
+
 /// A prepared, pullable execution: physical operators with all owned
 /// state (compiled expressions, materialized breaker inputs, hash
 /// tables). Every pull method re-streams from the top.
@@ -210,6 +245,24 @@ pub struct Streamed {
     root: Node,
     schema: Schema,
     counters: Counters,
+    /// Morsel-parallel execution plan (`None` → every pull is serial).
+    parallel: Option<ParallelSpec>,
+    pool: TaskPool,
+    morsel_rows: usize,
+    /// `(batches, batch rows)` per worker of the last parallel pull —
+    /// the per-worker counters `explain_executed` reports.
+    worker_batches: RefCell<Vec<(usize, usize)>>,
+}
+
+/// Prepare-time context: the catalog plus the buffer counters, the
+/// shared estimate cache, and the parallel-execution knobs (hash-table
+/// builds already fan out at prepare time).
+struct PrepCtx<'a> {
+    catalog: &'a Catalog,
+    counters: &'a Counters,
+    est: &'a EstCache,
+    pool: TaskPool,
+    cfg: EngineConfig,
 }
 
 /// Prepare a plan for streaming execution: resolve, compile, and build
@@ -221,11 +274,35 @@ pub fn stream(plan: &Plan, catalog: &Catalog) -> Result<Streamed> {
     // same subtrees, and the plan is borrowed for the whole prepare so
     // node addresses are stable cache keys.
     let est = EstCache::default();
-    let (root, schema) = prepare(plan, catalog, &counters, &est)?;
+    let cfg = *catalog.config();
+    let ctx = PrepCtx {
+        catalog,
+        counters: &counters,
+        est: &est,
+        pool: TaskPool::new(cfg.threads),
+        cfg,
+    };
+    let (root, schema) = prepare(plan, &ctx)?;
+    // The parallel decision: enough configured workers, more than one
+    // morsel to fan out, a gather-safe operator tree, and an optimizer
+    // estimate (reusing the prepare's EstCache) above the threshold —
+    // below it the exchange overhead outweighs the parallel win.
+    let parallel = (cfg.threads > 1)
+        .then(|| {
+            let morsels = root.morsel_count(cfg.morsel_rows);
+            let dedup = root.parallel_dedup(false)?;
+            (morsels > 1 && est_rows_cached(plan, catalog, &est) >= cfg.parallel_min_rows as f64)
+                .then_some(ParallelSpec { morsels, dedup })
+        })
+        .flatten();
     Ok(Streamed {
         root,
         schema,
         counters,
+        parallel,
+        pool: TaskPool::new(cfg.threads),
+        morsel_rows: cfg.morsel_rows,
+        worker_batches: RefCell::new(Vec::new()),
     })
 }
 
@@ -246,6 +323,25 @@ impl Streamed {
     /// consumers still work either way — this only selects the engine.
     pub fn batched(&self) -> bool {
         self.root.batchable()
+    }
+
+    /// Workers a full (unlimited) pull will fan out over: `1` means the
+    /// plan runs serial (configured serial, too few estimated rows, a
+    /// single morsel, or a gather-unsafe operator tree). Matches
+    /// [`ExecStats::workers`] after such a pull and the static
+    /// [`predicted_workers`] mirror EXPLAIN prints.
+    pub fn planned_workers(&self) -> usize {
+        self.parallel
+            .as_ref()
+            .map(|p| self.pool.workers_for(p.morsels))
+            .unwrap_or(1)
+    }
+
+    /// `(batches, batch rows)` emitted by each worker of the last
+    /// parallel pull (empty after serial pulls) — the per-worker
+    /// counters behind `explain_executed`'s parallel report.
+    pub fn worker_batch_stats(&self) -> Vec<(usize, usize)> {
+        self.worker_batches.borrow().clone()
     }
 
     /// Pull every row through `f` without materializing the output.
@@ -314,12 +410,18 @@ impl Streamed {
 
     /// Pull up to `limit` rows (all when `None`) into an owned buffer.
     ///
-    /// Unlimited pulls over a batched pipeline run vectorized and
-    /// materialize rows once at the end. Limited pulls keep the row
-    /// cursors so pulling stops exactly at the limit — upstream work for
-    /// rows past it is never done (batching would overshoot by up to a
-    /// batch).
+    /// Unlimited pulls over a batched pipeline run vectorized — and
+    /// morsel-parallel when the prepare decided so, with the gather
+    /// keeping the output byte-identical to serial — and materialize
+    /// rows once at the end. Limited pulls keep the row cursors so
+    /// pulling stops exactly at the limit — upstream work for rows past
+    /// it is never done (batching would overshoot by up to a batch).
     pub fn collect_rows(&self, limit: Option<usize>) -> Vec<Row> {
+        if limit.is_none() {
+            if let Some(rows) = self.parallel_rows() {
+                return rows;
+            }
+        }
         self.counters.reset_pull();
         if limit.is_none() && self.root.batchable() {
             let mut rows = Vec::new();
@@ -342,6 +444,149 @@ impl Streamed {
             }
         }
         rows
+    }
+
+    /// Morsel-parallel materialization of the root pipeline: workers
+    /// steal morsels off the shared exchange, run the batched cursor
+    /// tree over each (stateful operators keep morsel-local partial
+    /// seen-sets), and the gather re-assembles the per-morsel outputs in
+    /// morsel order — replaying deferred distinct/difference seen-set
+    /// semantics on the ordered stream — so the result is byte-identical
+    /// to a serial pull. `None` when the prepare decided to run serial.
+    fn parallel_rows(&self) -> Option<Vec<Row>> {
+        let spec = self.parallel.as_ref()?;
+        self.counters.reset_pull();
+        #[derive(Default)]
+        struct WorkerOut {
+            per_morsel: Vec<(usize, Vec<Row>)>,
+            batches: usize,
+            batch_rows: usize,
+        }
+        let (root, morsel_rows) = (&self.root, self.morsel_rows);
+        let workers_out = self
+            .pool
+            .fold_tasks(spec.morsels, WorkerOut::default, |w, idx| {
+                let local = Counters::default();
+                let mut cur = root.morsel_cursor(idx, morsel_rows, &local);
+                let mut rows = Vec::new();
+                while let Some(b) = cur.next_batch() {
+                    local.batch(b.len());
+                    for pos in 0..b.len() {
+                        rows.push(b.row(pos));
+                    }
+                }
+                let (b, r) = local.pull_batches.get();
+                w.batches += b;
+                w.batch_rows += r;
+                w.per_morsel.push((idx, rows));
+            });
+        // Gather: merge worker counters, then emit morsel outputs in
+        // morsel order.
+        self.counters.workers.set(workers_out.len());
+        let mut per_worker = self.worker_batches.borrow_mut();
+        per_worker.clear();
+        let (mut tb, mut tr) = (0, 0);
+        let mut slots: Vec<Option<Vec<Row>>> = (0..spec.morsels).map(|_| None).collect();
+        for w in workers_out {
+            per_worker.push((w.batches, w.batch_rows));
+            tb += w.batches;
+            tr += w.batch_rows;
+            for (idx, rows) in w.per_morsel {
+                slots[idx] = Some(rows);
+            }
+        }
+        self.counters.pull_batches.set((tb, tr));
+        let gathered = slots.into_iter().map(|s| s.expect("every morsel ran"));
+        let mut out = Vec::new();
+        if spec.dedup {
+            // Replay the deferred seen-set: first occurrence in morsel
+            // order wins, exactly as the serial seen-set would decide.
+            let mut seen: FxHashMap<u64, Vec<Row>> = FxHashMap::default();
+            for rows in gathered {
+                for row in rows {
+                    let bucket = seen.entry(row_hash(&row)).or_default();
+                    if bucket.contains(&row) {
+                        continue;
+                    }
+                    bucket.push(row.clone());
+                    self.counters.rows(1);
+                    out.push(row);
+                }
+            }
+        } else {
+            for rows in gathered {
+                out.extend(rows);
+            }
+        }
+        Some(out)
+    }
+
+    /// Morsel-parallel fold over the root pipeline's batches: each
+    /// worker folds the morsels it steals (ids strictly increasing per
+    /// worker) into its own partial state via `fold(state, morsel id,
+    /// batch)`, and the per-worker states come back for the caller to
+    /// merge (aggregation's partial-state merge rides on this). `None`
+    /// when the plan runs serial or the gather would have to replay
+    /// dedup semantics — batch consumers then use
+    /// [`Streamed::for_each_batch`].
+    pub fn fold_batches_parallel<T, I, F>(&self, init: I, fold: F) -> Option<Result<Vec<T>>>
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, usize, &ColumnBatch<'_>) -> Result<()> + Sync,
+    {
+        let spec = self.parallel.as_ref()?;
+        if spec.dedup {
+            return None;
+        }
+        self.counters.reset_pull();
+        let (root, morsel_rows) = (&self.root, self.morsel_rows);
+        struct WorkerFold<T> {
+            state: T,
+            err: Option<Error>,
+            batches: usize,
+            batch_rows: usize,
+        }
+        let workers_out = self.pool.fold_tasks(
+            spec.morsels,
+            || WorkerFold {
+                state: init(),
+                err: None,
+                batches: 0,
+                batch_rows: 0,
+            },
+            |w, idx| {
+                if w.err.is_some() {
+                    return;
+                }
+                let local = Counters::default();
+                let mut cur = root.morsel_cursor(idx, morsel_rows, &local);
+                while let Some(b) = cur.next_batch() {
+                    w.batches += 1;
+                    w.batch_rows += b.len();
+                    if let Err(e) = fold(&mut w.state, idx, &b) {
+                        w.err = Some(e);
+                        return;
+                    }
+                }
+            },
+        );
+        self.counters.workers.set(workers_out.len());
+        let mut per_worker = self.worker_batches.borrow_mut();
+        per_worker.clear();
+        let (mut tb, mut tr) = (0, 0);
+        let mut states = Vec::with_capacity(workers_out.len());
+        for w in workers_out {
+            per_worker.push((w.batches, w.batch_rows));
+            tb += w.batches;
+            tr += w.batch_rows;
+            if let Some(e) = w.err {
+                return Some(Err(e));
+            }
+            states.push(w.state);
+        }
+        self.counters.pull_batches.set((tb, tr));
+        Some(Ok(states))
     }
 
     /// Materialize the full result. When the plan bottoms out in an
@@ -391,17 +636,68 @@ enum Node {
     Difference(DifferenceNode),
 }
 
+/// A hash table from key digest to row indices, split into digest-routed
+/// partitions so a parallel build fills disjoint partitions without
+/// locks. Serial builds use a single partition. Bucket contents are in
+/// ascending row order either way (each partition worker scans the
+/// digests in row order), so probe results are identical to a serial
+/// build's — the parallel build is invisible to consumers.
+struct RowTable {
+    parts: Vec<FxHashMap<u64, Vec<usize>>>,
+}
+
+impl RowTable {
+    /// Build from per-row digests, fanning the insert out over digest
+    /// partitions when the pool and input size justify it.
+    fn build(digests: &[u64], pool: &TaskPool, min_rows: usize) -> RowTable {
+        let nparts = if pool.threads() > 1 && digests.len() >= min_rows {
+            pool.threads()
+        } else {
+            1
+        };
+        if nparts == 1 {
+            let mut m: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+            for (i, &h) in digests.iter().enumerate() {
+                m.entry(h).or_default().push(i);
+            }
+            return RowTable { parts: vec![m] };
+        }
+        let parts = pool.scatter_gather(nparts, |p| {
+            let mut m: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+            for (i, &h) in digests.iter().enumerate() {
+                if (h as usize) % nparts == p {
+                    m.entry(h).or_default().push(i);
+                }
+            }
+            m
+        });
+        RowTable { parts }
+    }
+
+    /// Row indices whose key hashed to `h` (ascending; hash collisions
+    /// included — callers re-check exact equality).
+    #[inline]
+    fn get(&self, h: u64) -> Option<&[usize]> {
+        let part = if self.parts.len() == 1 {
+            &self.parts[0]
+        } else {
+            &self.parts[(h as usize) % self.parts.len()]
+        };
+        part.get(&h).map(Vec::as_slice)
+    }
+}
+
 struct DifferenceNode {
     input: Box<Node>,
     right: Arc<Relation>,
     /// Full-row digest → right-side row indices (membership table).
-    table: FxHashMap<u64, Vec<usize>>,
+    table: RowTable,
 }
 
 struct HashJoinNode {
     probe: Box<Node>,
     build: Arc<Relation>,
-    table: FxHashMap<u64, Vec<usize>>,
+    table: RowTable,
     build_keys: Vec<usize>,
     probe_keys: Vec<usize>,
     /// `true` when the streamed probe side is the plan's left input.
@@ -417,7 +713,7 @@ struct NestedLoopNode {
 
 /// Hash table over right-side rows with the equi-key column indices:
 /// `(digest → row indices, left keys, right keys)`.
-type KeyedTable = (FxHashMap<u64, Vec<usize>>, Vec<usize>, Vec<usize>);
+type KeyedTable = (RowTable, Vec<usize>, Vec<usize>);
 
 struct SemiNode {
     probe: Box<Node>,
@@ -429,12 +725,43 @@ struct SemiNode {
     keep_matched: bool,
 }
 
-fn prepare(
-    plan: &Plan,
-    catalog: &Catalog,
-    counters: &Counters,
-    est: &EstCache,
-) -> Result<(Node, Schema)> {
+/// Per-row key digests of a materialized relation, computed in parallel
+/// chunks when large enough (`keys` empty → full-row digests). The
+/// digests feed [`RowTable::build`]; both stages are the "parallel
+/// partial build" half of a partitioned hash-join build.
+fn table_digests(rel: &Relation, keys: &[usize], pool: &TaskPool, min_rows: usize) -> Vec<u64> {
+    let rows = rel.rows();
+    let digest = |row: &Row| {
+        if keys.is_empty() {
+            row_hash(row)
+        } else {
+            key_hash(row, keys)
+        }
+    };
+    if pool.threads() <= 1 || rows.len() < min_rows.max(pool.threads()) {
+        return rows.iter().map(digest).collect();
+    }
+    let chunk = rows.len().div_ceil(pool.threads());
+    let chunks: Vec<&[Row]> = rows.chunks(chunk).collect();
+    pool.scatter_gather(chunks.len(), |i| {
+        chunks[i].iter().map(digest).collect::<Vec<u64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Build the digest-keyed row table of a breaker side (parallel partial
+/// build + partitioned insert when worthwhile).
+fn build_table(rel: &Relation, keys: &[usize], ctx: &PrepCtx<'_>) -> RowTable {
+    let digests = table_digests(rel, keys, &ctx.pool, ctx.cfg.parallel_min_rows);
+    RowTable::build(&digests, &ctx.pool, ctx.cfg.parallel_min_rows)
+}
+
+fn prepare(plan: &Plan, ctx: &PrepCtx<'_>) -> Result<(Node, Schema)> {
+    let catalog = ctx.catalog;
+    let counters = ctx.counters;
+    let est = ctx.est;
     match plan {
         Plan::Scan(name) => {
             let rel = Arc::clone(catalog.get(name)?);
@@ -443,7 +770,7 @@ fn prepare(
         }
         Plan::Values(rel) => Ok((Node::Source(Arc::clone(rel)), rel.schema().clone())),
         Plan::Rename { input, alias } => {
-            let (node, schema) = prepare(input, catalog, counters, est)?;
+            let (node, schema) = prepare(input, ctx)?;
             let schema = schema.qualify(alias);
             // A renamed source stays a source: re-qualify the schema
             // while aliasing the row storage (zero-copy rename).
@@ -456,7 +783,7 @@ fn prepare(
             Ok((node, schema))
         }
         Plan::Select { input, pred } => {
-            let (node, schema) = prepare(input, catalog, counters, est)?;
+            let (node, schema) = prepare(input, ctx)?;
             let compiled = pred.compile(&schema)?;
             // σ over σ fuses; predicates keep innermost-first order.
             let node = match node {
@@ -472,7 +799,7 @@ fn prepare(
             Ok((node, schema))
         }
         Plan::Project { input, cols } => {
-            let (node, schema) = prepare(input, catalog, counters, est)?;
+            let (node, schema) = prepare(input, ctx)?;
             let exprs: Vec<CompiledExpr> = cols
                 .iter()
                 .map(|(e, _)| e.compile(&schema))
@@ -487,8 +814,8 @@ fn prepare(
             ))
         }
         Plan::Join { left, right, pred } => {
-            let (lnode, ls) = prepare(left, catalog, counters, est)?;
-            let (rnode, rs) = prepare(right, catalog, counters, est)?;
+            let (lnode, ls) = prepare(left, ctx)?;
+            let (rnode, rs) = prepare(right, ctx)?;
             let out = ls.concat(&rs);
             // The full predicate must compile against the joint schema
             // (ambiguous columns are rejected here even when equi-key
@@ -528,10 +855,7 @@ fn prepare(
                 (rk, lk)
             };
             let build = materialize(build_node, build_schema, counters)?;
-            let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
-            for (i, row) in build.rows().iter().enumerate() {
-                table.entry(key_hash(row, &build_keys)).or_default().push(i);
-            }
+            let table = build_table(&build, &build_keys, ctx);
             Ok((
                 Node::HashJoin(HashJoinNode {
                     probe: Box::new(probe_node),
@@ -547,8 +871,8 @@ fn prepare(
         }
         Plan::SemiJoin { left, right, pred } | Plan::AntiJoin { left, right, pred } => {
             let keep_matched = matches!(plan, Plan::SemiJoin { .. });
-            let (lnode, ls) = prepare(left, catalog, counters, est)?;
-            let (rnode, rs) = prepare(right, catalog, counters, est)?;
+            let (lnode, ls) = prepare(left, ctx)?;
+            let (rnode, rs) = prepare(right, ctx)?;
             let joint = ls.concat(&rs);
             pred.compile(&joint)?;
             let cond = JoinCondition::analyze(pred, &ls, &rs);
@@ -563,10 +887,7 @@ fn prepare(
                 None
             } else {
                 let (lk, rk): (Vec<usize>, Vec<usize>) = cond.equi.iter().cloned().unzip();
-                let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
-                for (i, row) in right_rel.rows().iter().enumerate() {
-                    table.entry(key_hash(row, &rk)).or_default().push(i);
-                }
+                let table = build_table(&right_rel, &rk, ctx);
                 Some((table, lk, rk))
             };
             Ok((
@@ -581,8 +902,8 @@ fn prepare(
             ))
         }
         Plan::Union { left, right } => {
-            let (lnode, ls) = prepare(left, catalog, counters, est)?;
-            let (rnode, rs) = prepare(right, catalog, counters, est)?;
+            let (lnode, ls) = prepare(left, ctx)?;
+            let (rnode, rs) = prepare(right, ctx)?;
             if !ls.compatible(&rs) {
                 return Err(Error::SchemaMismatch {
                     left: ls.to_string(),
@@ -599,8 +920,8 @@ fn prepare(
             ))
         }
         Plan::Difference { left, right } => {
-            let (lnode, ls) = prepare(left, catalog, counters, est)?;
-            let (rnode, rs) = prepare(right, catalog, counters, est)?;
+            let (lnode, ls) = prepare(left, ctx)?;
+            let (rnode, rs) = prepare(right, ctx)?;
             if !ls.compatible(&rs) {
                 return Err(Error::SchemaMismatch {
                     left: ls.to_string(),
@@ -608,10 +929,7 @@ fn prepare(
                 });
             }
             let right_rel = materialize(rnode, &rs, counters)?;
-            let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
-            for (i, row) in right_rel.rows().iter().enumerate() {
-                table.entry(row_hash(row)).or_default().push(i);
-            }
+            let table = build_table(&right_rel, &[], ctx);
             counters.breaker(); // the seen-set filled at pull time
             Ok((
                 Node::Difference(DifferenceNode {
@@ -623,7 +941,7 @@ fn prepare(
             ))
         }
         Plan::Distinct(input) => {
-            let (node, schema) = prepare(input, catalog, counters, est)?;
+            let (node, schema) = prepare(input, ctx)?;
             counters.breaker(); // the seen-set filled at pull time
             Ok((
                 Node::Distinct {
@@ -731,45 +1049,123 @@ pub fn predicted_buffers(plan: &Plan, catalog: &Catalog) -> usize {
 
 /// Will the streaming pipeline rooted at `plan` run vectorized? Mirrors
 /// [`Node::batchable`] on the physical tree the executor will build, so
-/// `EXPLAIN` can annotate each node `[batched]` vs `[row]`. Breaker
-/// inputs (build sides, difference right sides) are separate pipelines
-/// judged on their own.
+/// `EXPLAIN` can annotate each node `[batched]` vs `[row]`.
+///
+/// Since the pair-batch evaluator covers nested-loop theta joins and
+/// residual semijoins, every operator has a batched implementation —
+/// only plans that fail to prepare (schema errors) report `false`. The
+/// row cursors still exist, but only limited pulls and `for_each_row`
+/// choose them.
 pub fn batched_pipeline(plan: &Plan, catalog: &Catalog) -> bool {
+    plan.schema(catalog).is_ok()
+}
+
+/// The worker count the morsel-driven executor will fan `plan` out over
+/// (1 = serial) — the number EXPLAIN prints as `[parallel xN]` and
+/// [`ExecStats::workers`] reports after a full pull. Mirrors the
+/// prepare-time decision: the catalog's [`EngineConfig`] thread cap, the
+/// morsel count of the probe spine's source, the optimizer row estimate
+/// against the parallel threshold, and gather-safety of stateful
+/// operators.
+pub fn predicted_workers(plan: &Plan, catalog: &Catalog) -> usize {
+    let cfg = catalog.config();
+    if cfg.threads <= 1
+        || plan.schema(catalog).is_err()
+        || est_rows(plan, catalog) < cfg.parallel_min_rows as f64
+        || plan_parallel_dedup(plan, catalog, false).is_none()
+    {
+        return 1;
+    }
+    let morsels = plan_morsel_count(plan, catalog, cfg.morsel_rows);
+    if morsels > 1 {
+        cfg.threads.min(morsels)
+    } else {
+        1
+    }
+}
+
+/// Static mirror of [`Node::morsel_count`] on the logical plan: the
+/// morsel count of the source at the bottom of the probe spine.
+fn plan_morsel_count(plan: &Plan, catalog: &Catalog, morsel_rows: usize) -> usize {
     match plan {
-        Plan::Scan(_) | Plan::Values(_) => true,
+        Plan::Scan(name) => catalog
+            .get(name)
+            .map(|r| r.columns().morsel_count(morsel_rows))
+            .unwrap_or(0),
+        Plan::Values(rel) => rel.columns().morsel_count(morsel_rows),
         Plan::Select { input, .. }
         | Plan::Project { input, .. }
         | Plan::Rename { input, .. }
-        | Plan::Distinct(input) => batched_pipeline(input, catalog),
+        | Plan::Distinct(input) => plan_morsel_count(input, catalog, morsel_rows),
         Plan::Union { left, right } => {
-            batched_pipeline(left, catalog) && batched_pipeline(right, catalog)
+            plan_morsel_count(left, catalog, morsel_rows)
+                + plan_morsel_count(right, catalog, morsel_rows)
         }
-        Plan::Difference { left, .. } => batched_pipeline(left, catalog),
+        Plan::Difference { left, .. }
+        | Plan::SemiJoin { left, .. }
+        | Plan::AntiJoin { left, .. } => plan_morsel_count(left, catalog, morsel_rows),
         Plan::Join { left, right, pred } => {
             let (Ok(ls), Ok(rs)) = (left.schema(catalog), right.schema(catalog)) else {
-                return false;
+                return 0;
             };
             let cond = JoinCondition::analyze(pred, &ls, &rs);
-            if cond.equi.is_empty() {
-                return false; // nested loop: row fallback
-            }
-            let probe = if join_build_left(left, right, catalog) {
+            // Theta joins stream the left as the outer; hash joins stream
+            // whichever side `join_build_left` does not buffer.
+            let probe = if cond.equi.is_empty() {
+                left
+            } else if join_build_left(left, right, catalog) {
                 right
             } else {
                 left
             };
-            batched_pipeline(probe, catalog)
+            plan_morsel_count(probe, catalog, morsel_rows)
         }
-        Plan::SemiJoin { left, right, pred } | Plan::AntiJoin { left, right, pred } => {
+    }
+}
+
+/// Static mirror of [`Node::parallel_dedup`] on the logical plan.
+fn plan_parallel_dedup(plan: &Plan, catalog: &Catalog, transformed: bool) -> Option<bool> {
+    match plan {
+        Plan::Scan(_) | Plan::Values(_) => Some(false),
+        // σ and ρ neither transform nor duplicate row values; semijoins
+        // only drop left rows. All pass the flag through unchanged.
+        Plan::Select { input, .. } | Plan::Rename { input, .. } => {
+            plan_parallel_dedup(input, catalog, transformed)
+        }
+        Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => {
+            plan_parallel_dedup(left, catalog, transformed)
+        }
+        Plan::Project { input, .. } => plan_parallel_dedup(input, catalog, true),
+        Plan::Join { left, right, pred } => {
             let (Ok(ls), Ok(rs)) = (left.schema(catalog), right.schema(catalog)) else {
-                return false;
+                return None;
             };
             let cond = JoinCondition::analyze(pred, &ls, &rs);
-            // Mirrors prepare: batched semi/anti needs a keyed table and
-            // no residual (the residual row path compares row pairs).
-            !cond.equi.is_empty()
-                && Expr::and(cond.residual).is_true()
-                && batched_pipeline(left, catalog)
+            let probe = if cond.equi.is_empty() || !join_build_left(left, right, catalog) {
+                left
+            } else {
+                right
+            };
+            plan_parallel_dedup(probe, catalog, true)
+        }
+        Plan::Union { left, right } => {
+            plan_parallel_dedup(left, catalog, true)?;
+            plan_parallel_dedup(right, catalog, true)?;
+            Some(false)
+        }
+        Plan::Distinct(input) => {
+            if transformed {
+                return None;
+            }
+            plan_parallel_dedup(input, catalog, false)?;
+            Some(true)
+        }
+        Plan::Difference { left, .. } => {
+            if transformed {
+                return None;
+            }
+            plan_parallel_dedup(left, catalog, false)?;
+            Some(true)
         }
     }
 }
@@ -917,8 +1313,8 @@ impl<'a> Cursor<'a> {
                     *pending = None;
                 }
                 let prow = probe.next()?;
-                if let Some(matches) = node.table.get(&key_hash(prow.as_row(), &node.probe_keys)) {
-                    *pending = Some((prow, matches.as_slice(), 0));
+                if let Some(matches) = node.table.get(key_hash(prow.as_row(), &node.probe_keys)) {
+                    *pending = Some((prow, matches, 0));
                 }
             },
             Cursor::NestedLoop {
@@ -948,18 +1344,16 @@ impl<'a> Cursor<'a> {
                 let l = probe.next()?;
                 let lrow = l.as_row();
                 let matched = match &node.table {
-                    Some((table, lk, rk)) => {
-                        table.get(&key_hash(lrow, lk)).is_some_and(|matches| {
-                            matches.iter().any(|&ri| {
-                                let rrow = &node.right.rows()[ri];
-                                keys_eq(lrow, lk, rrow, rk)
-                                    && node
-                                        .residual
-                                        .as_ref()
-                                        .is_none_or(|c| c.eval_bool_pair(lrow, rrow))
-                            })
+                    Some((table, lk, rk)) => table.get(key_hash(lrow, lk)).is_some_and(|matches| {
+                        matches.iter().any(|&ri| {
+                            let rrow = &node.right.rows()[ri];
+                            keys_eq(lrow, lk, rrow, rk)
+                                && node
+                                    .residual
+                                    .as_ref()
+                                    .is_none_or(|c| c.eval_bool_pair(lrow, rrow))
                         })
-                    }
+                    }),
                     None => node.right.rows().iter().any(|rrow| {
                         node.residual
                             .as_ref()
@@ -1005,7 +1399,7 @@ impl<'a> Cursor<'a> {
                 let row = r.as_row();
                 let in_right = node
                     .table
-                    .get(&row_hash(row))
+                    .get(row_hash(row))
                     .is_some_and(|is| is.iter().any(|&i| node.right.rows()[i] == *row));
                 if in_right || seen.contains(row) {
                     continue;
@@ -1027,10 +1421,23 @@ impl<'a> Cursor<'a> {
 /// [`Node::batchable`] trees; everything else runs the row [`Cursor`]s
 /// (the fallback bridge that keeps every plan runnable).
 enum BCursor<'a> {
-    /// Chunked scan over a relation's cached columnar image.
+    /// Chunked scan over `[pos, end)` of a relation's cached columnar
+    /// image — the whole image for serial pulls, one morsel for a
+    /// parallel worker.
     Source {
         image: &'a ColumnarImage,
         pos: usize,
+        end: usize,
+    },
+    /// Theta join / cross product over pair batches: cross pairs of the
+    /// outer batch and the buffered inner image, filtered by the
+    /// vectorized pair-batch evaluator.
+    NestedLoop {
+        node: &'a NestedLoopNode,
+        outer: Box<BCursor<'a>>,
+        /// Current outer batch and the next (outer position, inner row)
+        /// pair to enumerate.
+        pending: Option<(ColumnBatch<'a>, usize, usize)>,
     },
     /// Vectorized conjunctive filter: masks then compacts.
     Filter {
@@ -1080,7 +1487,9 @@ enum BCursor<'a> {
 impl Node {
     /// Does this streaming pipeline have a fully batched implementation?
     /// (Breaker *inputs* were already materialized at prepare time and
-    /// made their own choice.)
+    /// made their own choice.) Since the pair-batch evaluator covers
+    /// nested loops and residual semijoins, every operator answers yes —
+    /// kept as a method so future operators can opt out again.
     fn batchable(&self) -> bool {
         match self {
             Node::Source(_) => true,
@@ -1088,8 +1497,8 @@ impl Node {
                 input.batchable()
             }
             Node::HashJoin(n) => n.probe.batchable(),
-            Node::Semi(n) => n.table.is_some() && n.residual.is_none() && n.probe.batchable(),
-            Node::NestedLoop(_) => false,
+            Node::Semi(n) => n.probe.batchable(),
+            Node::NestedLoop(n) => n.outer.batchable(),
             Node::Concat { left, right } => left.batchable() && right.batchable(),
             Node::Difference(n) => n.input.batchable(),
         }
@@ -1099,10 +1508,14 @@ impl Node {
     /// [`Node::batchable`]).
     fn batch_cursor<'a>(&'a self, counters: &'a Counters) -> BCursor<'a> {
         match self {
-            Node::Source(rel) => BCursor::Source {
-                image: rel.columns(),
-                pos: 0,
-            },
+            Node::Source(rel) => {
+                let image = rel.columns();
+                BCursor::Source {
+                    image,
+                    pos: 0,
+                    end: image.len(),
+                }
+            }
             Node::Filter { input, preds } => BCursor::Filter {
                 input: Box::new(input.batch_cursor(counters)),
                 preds,
@@ -1118,6 +1531,11 @@ impl Node {
             Node::Semi(node) => BCursor::Semi {
                 node,
                 probe: Box::new(node.probe.batch_cursor(counters)),
+            },
+            Node::NestedLoop(node) => BCursor::NestedLoop {
+                node,
+                outer: Box::new(node.outer.batch_cursor(counters)),
+                pending: None,
             },
             Node::Concat { left, right } => BCursor::Concat {
                 left: Box::new(left.batch_cursor(counters)),
@@ -1135,7 +1553,138 @@ impl Node {
                 seen: FxHashMap::default(),
                 counters,
             },
-            Node::NestedLoop(_) => unreachable!("nested loops run on the row path"),
+        }
+    }
+
+    /// How many morsels the source at the bottom of this pipeline's
+    /// probe spine splits into (a union pipeline owns the morsels of
+    /// both children, left first).
+    fn morsel_count(&self, morsel_rows: usize) -> usize {
+        match self {
+            Node::Source(rel) => rel.columns().morsel_count(morsel_rows),
+            Node::Filter { input, .. } | Node::Project { input, .. } | Node::Distinct { input } => {
+                input.morsel_count(morsel_rows)
+            }
+            Node::HashJoin(n) => n.probe.morsel_count(morsel_rows),
+            Node::Semi(n) => n.probe.morsel_count(morsel_rows),
+            Node::NestedLoop(n) => n.outer.morsel_count(morsel_rows),
+            Node::Concat { left, right } => {
+                left.morsel_count(morsel_rows) + right.morsel_count(morsel_rows)
+            }
+            Node::Difference(n) => n.input.morsel_count(morsel_rows),
+        }
+    }
+
+    /// Build the batched cursor tree restricted to morsel `idx`: the
+    /// spine's source scans only that morsel's row range, and stateful
+    /// operators (distinct / difference seen-sets) keep *morsel-local*
+    /// partial seen-sets — the gather replays their global semantics on
+    /// the morsel-ordered output (see [`Streamed::parallel_rows`]).
+    fn morsel_cursor<'a>(
+        &'a self,
+        idx: usize,
+        morsel_rows: usize,
+        counters: &'a Counters,
+    ) -> BCursor<'a> {
+        match self {
+            Node::Source(rel) => {
+                let image = rel.columns();
+                let range = image.morsel_bounds(idx, morsel_rows);
+                BCursor::Source {
+                    image,
+                    pos: range.start,
+                    end: range.end,
+                }
+            }
+            Node::Filter { input, preds } => BCursor::Filter {
+                input: Box::new(input.morsel_cursor(idx, morsel_rows, counters)),
+                preds,
+            },
+            Node::Project { input, exprs } => BCursor::Project {
+                input: Box::new(input.morsel_cursor(idx, morsel_rows, counters)),
+                exprs,
+            },
+            Node::HashJoin(node) => BCursor::HashJoin {
+                node,
+                probe: Box::new(node.probe.morsel_cursor(idx, morsel_rows, counters)),
+            },
+            Node::Semi(node) => BCursor::Semi {
+                node,
+                probe: Box::new(node.probe.morsel_cursor(idx, morsel_rows, counters)),
+            },
+            Node::NestedLoop(node) => BCursor::NestedLoop {
+                node,
+                outer: Box::new(node.outer.morsel_cursor(idx, morsel_rows, counters)),
+                pending: None,
+            },
+            // A morsel lies entirely within one union child: the Concat
+            // node disappears and the morsel id routes (left ids first —
+            // gather order equals serial left-then-right order).
+            Node::Concat { left, right } => {
+                let ln = left.morsel_count(morsel_rows);
+                if idx < ln {
+                    left.morsel_cursor(idx, morsel_rows, counters)
+                } else {
+                    right.morsel_cursor(idx - ln, morsel_rows, counters)
+                }
+            }
+            Node::Distinct { input } => BCursor::Distinct {
+                input: Box::new(input.morsel_cursor(idx, morsel_rows, counters)),
+                seen: FxHashMap::default(),
+                counters,
+            },
+            Node::Difference(node) => BCursor::Difference {
+                node,
+                input: Box::new(node.input.morsel_cursor(idx, morsel_rows, counters)),
+                seen: FxHashMap::default(),
+                counters,
+            },
+        }
+    }
+
+    /// Can this pipeline run morsel-parallel with a deterministic
+    /// gather? Returns the gather's dedup requirement — `true` when
+    /// distinct/difference seen-set semantics must be replayed on the
+    /// gathered output — or `None` when a stateful operator sits below a
+    /// transforming one (its deferred dedup would see rewritten or
+    /// legitimately duplicated rows) and the pipeline must stay serial.
+    ///
+    /// `transformed` tracks whether an operator *above* the current node
+    /// rewrites or duplicates row values: projections and both join
+    /// kinds do; filters and semijoins only drop rows, which commutes
+    /// with value-based dedup.
+    fn parallel_dedup(&self, transformed: bool) -> Option<bool> {
+        match self {
+            Node::Source(_) => Some(false),
+            Node::Filter { input, .. } => input.parallel_dedup(transformed),
+            Node::Semi(n) => n.probe.parallel_dedup(transformed),
+            Node::Project { input, .. } => input.parallel_dedup(true),
+            Node::HashJoin(n) => n.probe.parallel_dedup(true),
+            Node::NestedLoop(n) => n.outer.parallel_dedup(true),
+            // Children own disjoint morsel ranges; a deferred dedup
+            // would leak across them, so children must be dedup-free
+            // (the `true` flag already rejects nested stateful nodes).
+            Node::Concat { left, right } => {
+                left.parallel_dedup(true)?;
+                right.parallel_dedup(true)?;
+                Some(false)
+            }
+            Node::Distinct { input } => {
+                if transformed {
+                    return None;
+                }
+                input.parallel_dedup(false)?;
+                Some(true)
+            }
+            Node::Difference(n) => {
+                // The right-membership test is a stateless per-row
+                // filter; only the left-side seen-set defers.
+                if transformed {
+                    return None;
+                }
+                n.input.parallel_dedup(false)?;
+                Some(true)
+            }
         }
     }
 }
@@ -1144,15 +1693,53 @@ impl<'a> BCursor<'a> {
     /// Pull the next non-empty batch (`None` at end of stream).
     fn next_batch(&mut self) -> Option<ColumnBatch<'a>> {
         match self {
-            BCursor::Source { image, pos } => {
-                if *pos >= image.len() {
+            BCursor::Source { image, pos, end } => {
+                if *pos >= *end {
                     return None;
                 }
-                let len = (image.len() - *pos).min(BATCH_SIZE);
+                let len = (*end - *pos).min(BATCH_SIZE);
                 let b = ColumnBatch::slice_of(image, *pos, len);
                 *pos += len;
                 Some(b)
             }
+            BCursor::NestedLoop {
+                node,
+                outer,
+                pending,
+            } => loop {
+                if let Some((ob, opos, ipos)) = pending.as_mut() {
+                    let inner = node.inner.columns();
+                    if !inner.is_empty() && *opos < ob.len() {
+                        // Enumerate up to BATCH_SIZE cross pairs in
+                        // (outer position, inner row) order — the same
+                        // order the row cursors emit.
+                        let mut lpos: Vec<u32> = Vec::with_capacity(BATCH_SIZE);
+                        let mut rsel: Vec<u32> = Vec::with_capacity(BATCH_SIZE);
+                        while lpos.len() < BATCH_SIZE && *opos < ob.len() {
+                            lpos.push(*opos as u32);
+                            rsel.push(*ipos as u32);
+                            *ipos += 1;
+                            if *ipos == inner.len() {
+                                *ipos = 0;
+                                *opos += 1;
+                            }
+                        }
+                        let mut out = pair_batch(ob, &lpos, inner, rsel.into());
+                        if let Some(pred) = &node.pred {
+                            let mut mask = vec![true; out.len()];
+                            pred.and_mask(&out, &mut mask);
+                            if !mask.iter().any(|&m| m) {
+                                continue;
+                            }
+                            out.compact(&mask);
+                        }
+                        return Some(out);
+                    }
+                    *pending = None;
+                }
+                let ob = outer.next_batch()?;
+                *pending = Some((ob, 0, 0));
+            },
             BCursor::Filter { input, preds } => loop {
                 let mut b = input.next_batch()?;
                 let mut mask = vec![true; b.len()];
@@ -1184,7 +1771,7 @@ impl<'a> BCursor<'a> {
                 let mut probe_pos: Vec<u32> = Vec::new();
                 let mut build_idx: Vec<u32> = Vec::new();
                 for (pos, h) in hashes.iter().enumerate() {
-                    if let Some(matches) = node.table.get(h) {
+                    if let Some(matches) = node.table.get(*h) {
                         for &bi in matches {
                             if batch_keys_eq(
                                 &b,
@@ -1230,19 +1817,12 @@ impl<'a> BCursor<'a> {
             },
             BCursor::Semi { node, probe } => loop {
                 let mut b = probe.next_batch()?;
-                let (table, lk, rk) = node.table.as_ref().expect("batched semi is keyed");
-                let right_image = node.right.columns();
-                let hashes = batch_key_hashes(&b, lk);
+                let matched = semi_matched_mask(node, &b);
                 let mut keep = vec![false; b.len()];
                 let mut any = false;
-                for (pos, h) in hashes.iter().enumerate() {
-                    let matched = table.get(h).is_some_and(|matches| {
-                        matches
-                            .iter()
-                            .any(|&ri| batch_keys_eq(&b, lk, pos, right_image, rk, ri))
-                    });
-                    if matched == node.keep_matched {
-                        keep[pos] = true;
+                for (pos, k) in keep.iter_mut().enumerate() {
+                    if matched[pos] == node.keep_matched {
+                        *k = true;
                         any = true;
                     }
                 }
@@ -1299,7 +1879,7 @@ impl<'a> BCursor<'a> {
                 let mut any = false;
                 for (pos, k) in keep.iter_mut().enumerate() {
                     let digest = batch_row_hash(&b, pos);
-                    let in_right = node.table.get(&digest).is_some_and(|is| {
+                    let in_right = node.table.get(digest).is_some_and(|is| {
                         is.iter()
                             .any(|&i| batch_row_eq(&b, pos, &node.right.rows()[i]))
                     });
@@ -1322,6 +1902,153 @@ impl<'a> BCursor<'a> {
             },
         }
     }
+}
+
+/// Assemble a zero-copy *pair batch*: the left side re-selected from a
+/// probe batch by `lpos`, the right side as views of a buffered
+/// relation's columnar image selected by `rsel` — one logical row per
+/// (left, right) candidate pair, in plan column order. This is the
+/// pair-batch evaluator's input: cross-side residual predicates then run
+/// the ordinary vectorized mask kernels over it, which is what lets
+/// nested-loop theta joins and residual semijoins stay on the batched
+/// engine instead of falling back to row cursors.
+fn pair_batch<'a>(
+    left: &ColumnBatch<'a>,
+    lpos: &[u32],
+    image: &'a ColumnarImage,
+    rsel: Arc<[u32]>,
+) -> ColumnBatch<'a> {
+    let mut out = ColumnBatch {
+        cols: left.cols.clone(),
+        len: left.len,
+    };
+    out.gather(lpos);
+    out.cols
+        .extend(image.cols().iter().map(|col| BatchCol::View {
+            col,
+            sel: Arc::clone(&rsel),
+        }));
+    out
+}
+
+/// Evaluate a cross-side residual over candidate `(probe position,
+/// right row)` pairs in [`BATCH_SIZE`] pair-batch chunks, marking probe
+/// positions with at least one satisfying pair in `matched`.
+fn mark_residual_matches(
+    res: &CompiledExpr,
+    b: &ColumnBatch<'_>,
+    lpos: &[u32],
+    rsel: &[u32],
+    image: &ColumnarImage,
+    matched: &mut [bool],
+) {
+    for (lchunk, rchunk) in lpos.chunks(BATCH_SIZE).zip(rsel.chunks(BATCH_SIZE)) {
+        let out = pair_batch(b, lchunk, image, rchunk.into());
+        let mut mask = vec![true; out.len()];
+        res.and_mask(&out, &mut mask);
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                matched[lchunk[i] as usize] = true;
+            }
+        }
+    }
+}
+
+/// Which probe positions of `b` have a matching right-side row? Covers
+/// all three physical semijoin shapes: keyed (digest probe), keyed with
+/// a residual (digest probe + pair-batch evaluation of the residual),
+/// and non-equi (pair-batch evaluation over all candidate pairs).
+fn semi_matched_mask(node: &SemiNode, b: &ColumnBatch<'_>) -> Vec<bool> {
+    let right_image = node.right.columns();
+    let mut matched = vec![false; b.len()];
+    match &node.table {
+        Some((table, lk, rk)) => {
+            let hashes = batch_key_hashes(b, lk);
+            match &node.residual {
+                None => {
+                    for (pos, h) in hashes.iter().enumerate() {
+                        matched[pos] = table.get(*h).is_some_and(|matches| {
+                            matches
+                                .iter()
+                                .any(|&ri| batch_keys_eq(b, lk, pos, right_image, rk, ri))
+                        });
+                    }
+                }
+                Some(res) => {
+                    // Key-qualified candidate pairs, residual-checked by
+                    // the pair-batch evaluator. Pairs whose probe
+                    // position already matched are skipped between
+                    // chunks — the row path's per-row early exit, at
+                    // chunk granularity (matters under key skew).
+                    let mut cands: Vec<(u32, u32)> = Vec::new();
+                    for (pos, h) in hashes.iter().enumerate() {
+                        if let Some(matches) = table.get(*h) {
+                            for &ri in matches {
+                                if batch_keys_eq(b, lk, pos, right_image, rk, ri) {
+                                    cands.push((pos as u32, ri as u32));
+                                }
+                            }
+                        }
+                    }
+                    let mut idx = 0;
+                    let mut lpos: Vec<u32> = Vec::with_capacity(BATCH_SIZE);
+                    let mut rsel: Vec<u32> = Vec::with_capacity(BATCH_SIZE);
+                    while idx < cands.len() {
+                        lpos.clear();
+                        rsel.clear();
+                        while lpos.len() < BATCH_SIZE && idx < cands.len() {
+                            let (p, r) = cands[idx];
+                            idx += 1;
+                            if matched[p as usize] {
+                                continue;
+                            }
+                            lpos.push(p);
+                            rsel.push(r);
+                        }
+                        if !lpos.is_empty() {
+                            mark_residual_matches(res, b, &lpos, &rsel, right_image, &mut matched);
+                        }
+                    }
+                }
+            }
+        }
+        None if right_image.is_empty() => {}
+        None => match &node.residual {
+            None => matched.fill(true), // cross semijoin, right non-empty
+            Some(res) => {
+                // All (probe, right) pairs are candidates; chunks are
+                // re-enumerated between evaluations so positions already
+                // matched skip their remaining pairs (the row path's
+                // early exit, batched).
+                let (mut pos, mut ri) = (0usize, 0usize);
+                let mut lpos: Vec<u32> = Vec::with_capacity(BATCH_SIZE);
+                let mut rsel: Vec<u32> = Vec::with_capacity(BATCH_SIZE);
+                while pos < b.len() {
+                    lpos.clear();
+                    rsel.clear();
+                    while lpos.len() < BATCH_SIZE && pos < b.len() {
+                        if matched[pos] {
+                            pos += 1;
+                            ri = 0;
+                            continue;
+                        }
+                        lpos.push(pos as u32);
+                        rsel.push(ri as u32);
+                        ri += 1;
+                        if ri == right_image.len() {
+                            ri = 0;
+                            pos += 1;
+                        }
+                    }
+                    if lpos.is_empty() {
+                        break;
+                    }
+                    mark_residual_matches(res, b, &lpos, &rsel, right_image, &mut matched);
+                }
+            }
+        },
+    }
+    matched
 }
 
 /// Per-row FxHash digests of the key columns of a batch, column-at-a-time
@@ -2130,42 +2857,75 @@ mod tests {
         assert!(batched_pipeline(&semi, &c));
         assert_engines_agree(&semi, &c);
         assert_engines_agree(&anti, &c);
-        // With a residual the semijoin falls back to the row path — and
-        // still agrees.
+        // A residual semijoin runs the pair-batch evaluator — still
+        // batched, still agreeing with the reference engine.
         let residual = Plan::scan("fact").semijoin(
             Plan::scan("dim"),
             Expr::and([col("g").eq(col("d")), col("k").gt(col("d"))]),
         );
-        assert!(!batched_pipeline(&residual, &c));
+        assert!(batched_pipeline(&residual, &c));
         assert_engines_agree(&residual, &c);
+        // Non-equi semijoins and antijoins (pure pair-batch paths) too.
+        let theta_semi = Plan::scan("fact").semijoin(Plan::scan("dim"), col("g").lt(col("d")));
+        let theta_anti = Plan::scan("fact").antijoin(Plan::scan("dim"), col("g").lt(col("d")));
+        assert_engines_agree(&theta_semi, &c);
+        assert_engines_agree(&theta_anti, &c);
+        // Cross semijoin against an empty right side keeps nothing.
+        let mut c2 = catalog();
+        c2.insert("none", Relation::empty(Schema::named(["z"])));
+        let cross = Plan::scan("emp").semijoin(Plan::scan("none"), Expr::and([]));
+        assert_eq!(execute(&cross, &c2).unwrap().len(), 0);
+        let anti_cross = Plan::scan("emp").antijoin(Plan::scan("none"), Expr::and([]));
+        assert_eq!(execute(&anti_cross, &c2).unwrap().len(), 3);
     }
 
     #[test]
-    fn nested_loop_falls_back_to_row_path() {
+    fn nested_loop_runs_on_pair_batches() {
         let c = catalog();
         let theta = Plan::scan("emp")
             .join(Plan::scan("dept"), col("dept").lt(col("did")))
             .select(col("eid").gt(lit_i64(0)));
-        assert!(!batched_pipeline(&theta, &c));
+        // Theta joins now vectorize through the pair-batch evaluator.
+        assert!(batched_pipeline(&theta, &c));
         let s = stream(&theta, &c).unwrap();
-        assert!(!s.batched());
-        // The row fallback still answers, with zero batches emitted by
-        // collect (row cursors)...
+        assert!(s.batched());
         let rows = s.collect_rows(None);
-        assert_eq!(s.stats().batches, 0);
+        assert!(s.stats().batches > 0);
         assert!(!rows.is_empty());
-        // ...while the batch bridge packs the same rows for batch
-        // consumers (and counts the packed batches).
-        let mut bridged = Vec::new();
-        s.for_each_batch(|b| {
-            for pos in 0..b.len() {
-                bridged.push(b.row(pos));
-            }
+        // The row cursors still exist (limited pulls) and agree exactly.
+        let mut via_rows = Vec::new();
+        s.for_each_row(|r| {
+            via_rows.push(r.clone());
             Ok(())
         })
         .unwrap();
-        assert_eq!(bridged, rows);
+        assert_eq!(via_rows, rows, "pair-batch order must match row order");
+        assert_engines_agree(&theta, &c);
+        // Cross products (empty predicate) take the same path.
+        let cross = Plan::scan("emp").join(Plan::scan("dept"), Expr::and([]));
+        let s = stream(&cross, &c).unwrap();
+        assert_eq!(s.collect_rows(None).len(), 6);
         assert!(s.stats().batches > 0);
+    }
+
+    #[test]
+    fn pair_batches_cross_batch_boundaries() {
+        // An outer wider than one batch against a non-trivial inner: the
+        // pair enumeration must chunk across batch boundaries and still
+        // match the row cursors pair-for-pair.
+        let c = big_catalog();
+        let theta = Plan::scan("fact")
+            .select(col("k").lt(lit_i64(2000)))
+            .join(Plan::scan("dim"), col("g").lt(col("d")));
+        let s = stream(&theta, &c).unwrap();
+        let batched = s.collect_rows(None);
+        let mut via_rows = Vec::new();
+        s.for_each_row(|r| {
+            via_rows.push(r.clone());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(batched, via_rows);
         assert_engines_agree(&theta, &c);
     }
 
@@ -2191,6 +2951,140 @@ mod tests {
         let two = s.collect_rows(Some(2));
         assert_eq!(two.len(), 2);
         assert_eq!(s.stats().batches, 0, "a limited pull must not batch");
+    }
+
+    /// The big catalog reconfigured for parallel execution: N workers,
+    /// one-batch morsels, no row threshold.
+    fn parallel_catalog(threads: usize) -> Catalog {
+        let mut c = big_catalog();
+        c.set_threads(threads);
+        c.set_parallel_granularity(BATCH_SIZE, 0);
+        c
+    }
+
+    /// Plans covering every morsel-parallelizable shape: scan, σ/π
+    /// chains, hash-join probes with residuals, semi/antijoins (keyed,
+    /// residual, and theta), nested loops, unions, distinct and
+    /// difference at the root.
+    fn parallel_plans() -> Vec<Plan> {
+        vec![
+            Plan::scan("fact"),
+            Plan::scan("fact")
+                .select(col("tag").eq(lit_str("even")))
+                .project_names(["k", "g"]),
+            Plan::scan("fact")
+                .select(col("tag").eq(lit_str("even")))
+                .join(Plan::scan("dim"), col("g").eq(col("d")))
+                .select(col("k").lt(lit_i64(1500)))
+                .project_names(["k", "name"]),
+            Plan::scan("fact").join(
+                Plan::scan("dim"),
+                Expr::and([col("g").eq(col("d")), col("k").gt(col("d"))]),
+            ),
+            Plan::scan("fact")
+                .select(col("k").lt(lit_i64(40)))
+                .join(Plan::scan("dim"), col("g").lt(col("d"))),
+            Plan::scan("fact").semijoin(
+                Plan::scan("dim").select(col("d").lt(lit_i64(3))),
+                col("g").eq(col("d")),
+            ),
+            Plan::scan("fact").antijoin(
+                Plan::scan("dim"),
+                Expr::and([col("g").eq(col("d")), col("k").gt(col("d"))]),
+            ),
+            Plan::scan("fact").union(Plan::scan("fact").select(col("g").eq(lit_i64(1)))),
+            Plan::scan("fact").project_names(["g", "tag"]).distinct(),
+            Plan::scan("fact")
+                .project_names(["g"])
+                .difference(
+                    Plan::scan("dim")
+                        .project_names(["d"])
+                        .select(col("d").gt(lit_i64(4))),
+                )
+                .select(col("g").ge(lit_i64(0))),
+        ]
+    }
+
+    #[test]
+    fn parallel_pull_is_byte_identical_to_serial() {
+        let serial = big_catalog(); // env default on test boxes may be 1 anyway
+        for threads in [2, 4] {
+            let par = parallel_catalog(threads);
+            for p in parallel_plans() {
+                let s_serial = stream(&p, &serial).unwrap();
+                let s_par = stream(&p, &par).unwrap();
+                let prepare_batches = s_par.stats().batches;
+                let a = s_serial.collect_rows(None);
+                let b = s_par.collect_rows(None);
+                assert_eq!(a, b, "parallel output differs for {p:?}");
+                // The parallel run reports its worker fan-out, matching
+                // both the prepared plan and the static mirror.
+                let workers = s_par.planned_workers();
+                assert_eq!(s_par.stats().workers, workers, "{p:?}");
+                assert_eq!(predicted_workers(&p, &par), workers, "{p:?}");
+                assert!(workers > 1, "plan unexpectedly serial: {p:?}");
+                assert!(workers <= threads);
+                // Per-worker batch counters sum to the pull's totals
+                // (prepare-time breaker materializations aside).
+                let per_worker = s_par.worker_batch_stats();
+                assert_eq!(per_worker.len(), workers);
+                let stats = s_par.stats();
+                assert_eq!(
+                    per_worker.iter().map(|w| w.0).sum::<usize>(),
+                    stats.batches - prepare_batches
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_decision_respects_threshold_and_morsels() {
+        // Below the row threshold: serial despite threads.
+        let mut c = big_catalog();
+        c.set_threads(4);
+        c.set_parallel_granularity(BATCH_SIZE, 1_000_000);
+        let s = stream(&Plan::scan("fact"), &c).unwrap();
+        assert_eq!(s.planned_workers(), 1);
+        assert_eq!(predicted_workers(&Plan::scan("fact"), &c), 1);
+        // A single morsel: serial.
+        let mut c = big_catalog();
+        c.set_threads(4);
+        c.set_parallel_granularity(1 << 20, 0);
+        assert_eq!(
+            stream(&Plan::scan("fact"), &c).unwrap().planned_workers(),
+            1
+        );
+        // Distinct below a projection defers no dedup — stays serial.
+        let mut c = big_catalog();
+        c.set_threads(4);
+        c.set_parallel_granularity(BATCH_SIZE, 0);
+        let p = Plan::scan("fact").distinct().project_names(["k"]);
+        let s = stream(&p, &c).unwrap();
+        assert_eq!(s.planned_workers(), 1);
+        assert_eq!(predicted_workers(&p, &c), 1);
+        // ...but executes correctly all the same.
+        assert_eq!(s.collect_rows(None).len(), 2 * BATCH_SIZE + 100);
+    }
+
+    #[test]
+    fn parallel_gather_replays_seen_set_counters() {
+        // Distinct at the root of a parallel pipeline: the gather's
+        // replayed seen-set reports the same buffered-row count as the
+        // serial seen-set would.
+        let p = Plan::scan("fact").project_names(["g"]).distinct();
+        let serial = big_catalog();
+        let s = stream(&p, &serial).unwrap();
+        s.collect_rows(None);
+        let serial_stats = s.stats();
+        let par = parallel_catalog(4);
+        let s = stream(&p, &par).unwrap();
+        s.collect_rows(None);
+        let par_stats = s.stats();
+        assert_eq!(par_stats.buffers, serial_stats.buffers);
+        assert_eq!(par_stats.buffered_rows, serial_stats.buffered_rows);
+        // fact splits into 3 one-batch morsels: 3 of the 4 configured
+        // workers get one each.
+        assert_eq!(par_stats.workers, 3);
     }
 
     #[test]

@@ -16,29 +16,48 @@
 use crate::batch::BATCH_SIZE;
 use crate::catalog::Catalog;
 use crate::error::Result;
-use crate::exec::{batched_pipeline, join_build_left, predicted_buffers, JoinCondition};
+use crate::exec::{
+    batched_pipeline, join_build_left, predicted_buffers, predicted_workers, JoinCondition,
+};
 use crate::expr::Expr;
 use crate::optimizer::est_rows;
 use crate::plan::Plan;
 use std::fmt::Write as _;
 
 /// Render a plan as an indented EXPLAIN tree with pipeline annotations
-/// and the predicted intermediate-buffer count.
+/// and the predicted intermediate-buffer count. When the morsel-driven
+/// engine will fan the root pipeline out, its line is tagged
+/// `[parallel xN]` and a footer repeats the worker count (parallel
+/// execution is byte-identical to serial — the tag is purely about
+/// scheduling).
 pub fn explain(plan: &Plan, catalog: &Catalog) -> String {
     let mut out = String::new();
     render(plan, catalog, 0, &mut out);
+    let workers = predicted_workers(plan, catalog);
+    if workers > 1 {
+        // Tag the root pipeline's line (the whole probe spine runs on
+        // the workers; breaker builds are separate prepare pipelines).
+        if let Some(eol) = out.find('\n') {
+            out.insert_str(eol, &format!(" [parallel x{workers}]"));
+        }
+    }
     let buffers = predicted_buffers(plan, catalog);
     let _ = writeln!(out, "-- {buffers} intermediate row buffer(s)");
+    if workers > 1 {
+        let _ = writeln!(out, "-- parallel: {workers} worker(s)");
+    }
     out
 }
 
 /// `EXPLAIN ANALYZE`-style: render the plan, execute it, and append the
 /// observed batch count and mean batch fill (rows per batch; the target
-/// is [`BATCH_SIZE`]). A plan that fell back to the row path reports so
-/// explicitly.
+/// is [`BATCH_SIZE`]) — plus, for parallel runs, the worker count and
+/// per-worker batch counters the gather collected.
 pub fn explain_executed(plan: &Plan, catalog: &Catalog) -> Result<String> {
     let mut out = explain(plan, catalog);
-    let (_, stats) = crate::exec::execute_with_stats(plan, catalog)?;
+    let streamed = crate::exec::stream(plan, catalog)?;
+    streamed.collect_rows(None);
+    let stats = streamed.stats();
     match stats.mean_batch_fill() {
         Some(fill) => {
             let _ = writeln!(
@@ -48,8 +67,21 @@ pub fn explain_executed(plan: &Plan, catalog: &Catalog) -> Result<String> {
             );
         }
         None => {
-            let _ = writeln!(out, "-- row path: no batches emitted");
+            let _ = writeln!(out, "-- no batches emitted (empty result or row path)");
         }
+    }
+    if stats.workers > 1 {
+        let per: Vec<String> = streamed
+            .worker_batch_stats()
+            .iter()
+            .map(|(b, r)| format!("{b} batch(es)/{r} row(s)"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "-- executed on {} worker(s): {}",
+            stats.workers,
+            per.join(", ")
+        );
     }
     Ok(out)
 }
@@ -277,19 +309,47 @@ mod tests {
         let text = explain(&p, &c);
         assert!(text.contains("[batched]"), "{text}");
         assert!(!text.contains("[row]"), "{text}");
-        // A theta join forces the row fallback, visibly: the nested loop
-        // and the filter above it are tagged [row], while its scan
-        // children still read [batched].
+        // Theta joins run the pair-batch evaluator: no [row] tags left,
+        // on the nested loop or above it.
         let theta = Plan::scan("r")
             .join(Plan::scan("s"), col("a").lt(col("c")))
             .select(col("b").gt(lit_i64(0)));
         let text = explain(&theta, &c);
-        assert!(
-            text.contains("Filter: (b > 0)  (rows≈1) [pipelined] [row]"),
-            "{text}"
-        );
         assert!(text.contains("Nested Loop Join"), "{text}");
+        assert!(!text.contains("[row]"), "{text}");
         assert!(text.contains("Seq Scan on r  (rows=1) [batched]"), "{text}");
+    }
+
+    #[test]
+    fn explain_tags_parallel_pipelines() {
+        use crate::batch::BATCH_SIZE;
+        // A big enough relation with a parallel engine configuration:
+        // the root line gets the [parallel xN] tag, the footer names the
+        // workers, and explain_executed reports per-worker counters.
+        let mut c = Catalog::new();
+        c.insert(
+            "big",
+            Relation::from_rows(
+                ["a"],
+                (0..(4 * BATCH_SIZE as i64))
+                    .map(|i| vec![Value::Int(i)])
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        );
+        c.set_threads(2);
+        c.set_parallel_granularity(BATCH_SIZE, 0);
+        let p = Plan::scan("big").select(col("a").ge(lit_i64(0)));
+        let text = explain(&p, &c);
+        assert!(text.contains("[parallel x2]"), "{text}");
+        assert!(text.contains("-- parallel: 2 worker(s)"), "{text}");
+        let text = explain_executed(&p, &c).unwrap();
+        assert!(text.contains("executed on 2 worker(s)"), "{text}");
+        // Serial configurations stay untagged.
+        let mut serial = c.clone();
+        serial.set_threads(1);
+        let text = explain(&p, &serial);
+        assert!(!text.contains("parallel"), "{text}");
     }
 
     #[test]
@@ -298,9 +358,10 @@ mod tests {
         let p = Plan::scan("r").select(col("a").gt(lit_i64(0)));
         let text = explain_executed(&p, &c).unwrap();
         assert!(text.contains("mean fill"), "{text}");
+        // An empty result emits no batches and says so.
         let theta = Plan::scan("r").join(Plan::scan("s"), col("a").lt(col("c")));
         let text = explain_executed(&theta, &c).unwrap();
-        assert!(text.contains("row path: no batches emitted"), "{text}");
+        assert!(text.contains("no batches emitted"), "{text}");
         assert!(explain_executed(&Plan::scan("nope"), &c).is_err());
     }
 }

@@ -13,16 +13,21 @@
 //!   compile to column-index form before evaluation;
 //! * [`Plan`] — logical plans: scan, select, project (generalized), inner
 //!   theta-join, semi/anti-join, union, difference, distinct, rename;
-//! * [`exec::execute`] — pull-based streaming execution, vectorized by
-//!   default: batchable pipelines process column-major
+//! * [`exec::execute`] — pull-based streaming execution, vectorized and
+//!   morsel-driven parallel: pipelines process column-major
 //!   [`batch::ColumnBatch`]es (typed columns off each relation's cached
 //!   [`relation::ColumnarImage`], selection vectors, column-at-a-time
-//!   predicates, batch-hashed join probes) and fall back to row cursors
-//!   where vectorization does not apply; only pipeline breakers
-//!   (hash-join build sides, distinct/difference seen-sets, sort,
-//!   aggregation) buffer, and [`exec::ExecStats`] counts exactly how
-//!   much — plus the batches emitted. The retained operator-at-a-time
-//!   engine ([`exec::execute_reference`]) is the differential baseline;
+//!   predicates, batch-hashed join probes, pair-batch evaluation of
+//!   cross-side residuals), and large pulls fan out over a scoped
+//!   [`pool::TaskPool`] of workers claiming image morsels, with an
+//!   ordered gather keeping parallel output byte-identical to serial
+//!   (`RELALG_THREADS` / [`catalog::EngineConfig`] control the
+//!   fan-out). Only pipeline breakers (hash-join build sides,
+//!   distinct/difference seen-sets, sort, aggregation) buffer — as
+//!   parallel partial states when fanned out — and [`exec::ExecStats`]
+//!   counts exactly how much, plus the batches emitted and the workers
+//!   used. The retained operator-at-a-time engine
+//!   ([`exec::execute_reference`]) is the differential baseline;
 //! * [`optimizer::optimize`] — conjunct splitting, selection pushdown,
 //!   projection pruning, greedy cost-based join reordering, and
 //!   redundant-distinct elimination;
@@ -46,6 +51,7 @@ pub mod fxhash;
 pub mod io;
 pub mod optimizer;
 pub mod plan;
+pub mod pool;
 pub mod relation;
 pub mod schema;
 pub mod sort;
@@ -54,11 +60,12 @@ pub mod value;
 
 pub use aggregate::{aggregate, aggregate_plan, AggFunc, Aggregate};
 pub use batch::{BatchCol, ColumnBatch, BATCH_SIZE};
-pub use catalog::Catalog;
+pub use catalog::{Catalog, EngineConfig};
 pub use error::{Error, Result};
 pub use exec::ExecStats;
 pub use expr::{col, lit, lit_bool, lit_i64, lit_str, ArithOp, CmpOp, Expr};
 pub use plan::Plan;
+pub use pool::TaskPool;
 pub use relation::{Column, ColumnarImage, Relation, Row};
 pub use schema::{ColRef, Schema};
 pub use value::Value;

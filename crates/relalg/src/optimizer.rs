@@ -549,6 +549,17 @@ fn rebuild_join_tree(
                 .collect()
         })
         .collect();
+    // Adjacent-pair joint NDVs per leaf, for correlation-aware ψ
+    // scoring (descriptor Var/Rng columns are adjacent by construction).
+    let leaf_pair_ndv: Vec<Vec<Option<f64>>> = leaves
+        .iter()
+        .map(|(p, s)| {
+            let cache = EstCache::default();
+            (0..s.arity().saturating_sub(1))
+                .map(|c| column_pair_ndv(p, c, c + 1, catalog, &cache))
+                .collect()
+        })
+        .collect();
 
     // Rewrite conjuncts to `__jK.name` form and classify them for the
     // arithmetic scorer.
@@ -630,7 +641,26 @@ fn rebuild_join_tree(
                                     rng.3,
                                     rows_of(&rng.2),
                                 ));
-                                est *= 1.0 - (1.0 / nv) * (1.0 - 1.0 / nr);
+                                // Joint (Var, Rng) NDV of one physical
+                                // side, when its two columns sit on the
+                                // same leaf adjacently.
+                                let joint_of = |vleaf: usize, vcol: usize| -> Option<f64> {
+                                    let (rl, rc) = if rng.0 == vleaf {
+                                        (rng.0, rng.1)
+                                    } else if rng.2 == vleaf {
+                                        (rng.2, rng.3)
+                                    } else {
+                                        return None;
+                                    };
+                                    (rc == vcol + 1)
+                                        .then(|| leaf_pair_ndv[rl].get(vcol).copied().flatten())
+                                        .flatten()
+                                };
+                                let joint = match (joint_of(var.0, var.1), joint_of(var.2, var.3)) {
+                                    (Some(a), Some(b)) => Some(a.max(b)),
+                                    _ => None,
+                                };
+                                est *= psi_survival(nv, nr, joint);
                             }
                             ConjunctKind::Other => est *= 0.5,
                         }
@@ -847,9 +877,17 @@ fn join_estimate(
                     cross_cols(na.as_ref(), nb.as_ref(), ls, rs),
                     cross_cols(ea.as_ref(), eb.as_ref(), ls, rs),
                 ) {
-                    let p_var_eq = 1.0 / ndv_pair(vl, vr);
-                    let p_rng_eq = 1.0 / ndv_pair(rl, rr);
-                    est *= 1.0 - p_var_eq * (1.0 - p_rng_eq);
+                    // Joint (Var, Rng) distinct counts, when both sides
+                    // track the pair (descriptor columns are adjacent by
+                    // construction), scored via the larger side.
+                    let joint = match (
+                        column_pair_ndv(left, vl, rl, catalog, cache),
+                        column_pair_ndv(right, vr, rr, catalog, cache),
+                    ) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    };
+                    est *= psi_survival(ndv_pair(vl, vr), ndv_pair(rl, rr), joint);
                     continue;
                 }
             }
@@ -857,6 +895,90 @@ fn join_estimate(
         est *= 0.5;
     }
     est.max(1.0)
+}
+
+/// Survival fraction of the ψ descriptor-consistency conjunct
+/// `Var ≠ Var' ∨ Rng = Rng'`:
+/// `1 − P(var eq) + P(var eq ∧ rng eq)`.
+///
+/// Var and Rng are *strongly correlated* — a range index is only
+/// meaningful within its variable — so `P(both eq)` is estimated
+/// jointly rather than as a product of independent selectivities:
+///
+/// * with joint statistics (the adjacent-pair distinct counts the
+///   catalog tracks), the min-NDV combination `1 / joint_ndv` scores
+///   the pair directly;
+/// * without them, exponential backoff (`s_min · √s_max`) replaces full
+///   independence (`s_min · s_max`) — the standard correlation hedge,
+///   sitting between independence and perfect correlation.
+pub(crate) fn psi_survival(ndv_var: f64, ndv_rng: f64, joint_ndv: Option<f64>) -> f64 {
+    let p_var = 1.0 / ndv_var.max(1.0);
+    let s_rng = 1.0 / ndv_rng.max(1.0);
+    let p_both = match joint_ndv {
+        // Joint NDV is at least the variable NDV (pairs refine firsts).
+        Some(j) => 1.0 / j.max(ndv_var).max(1.0),
+        None => {
+            let (lo, hi) = if p_var <= s_rng {
+                (p_var, s_rng)
+            } else {
+                (s_rng, p_var)
+            };
+            lo * hi.sqrt()
+        }
+    };
+    (1.0 - p_var + p_both.min(p_var)).clamp(0.0, 1.0)
+}
+
+/// Joint NDV of an output column pair, traced to base-table adjacent-
+/// pair statistics where possible (`None` when the pair cannot be traced
+/// to a tracked adjacent pair — callers fall back to exponential
+/// backoff).
+fn column_pair_ndv(
+    plan: &Plan,
+    a: usize,
+    b: usize,
+    catalog: &Catalog,
+    cache: &EstCache,
+) -> Option<f64> {
+    match plan {
+        Plan::Scan(name) => catalog
+            .stats(name)?
+            .pair_ndv_adjacent(a, b)
+            .map(|n| n as f64),
+        Plan::Values(rel) => crate::stats::TableStats::compute(rel)
+            .pair_ndv_adjacent(a, b)
+            .map(|n| n as f64),
+        Plan::Select { input, .. } | Plan::Distinct(input) | Plan::Rename { input, .. } => {
+            column_pair_ndv(input, a, b, catalog, cache)
+        }
+        Plan::Project { input, cols } => {
+            let (Some((Expr::Col(ca), _)), Some((Expr::Col(cb), _))) = (cols.get(a), cols.get(b))
+            else {
+                return None;
+            };
+            let shape = shape_cached(input, catalog, cache);
+            let (ia, ib) = (shape.resolve(ca).ok()?, shape.resolve(cb).ok()?);
+            column_pair_ndv(input, ia, ib, catalog, cache)
+        }
+        Plan::Join { left, right, .. } => {
+            let la = shape_cached(left, catalog, cache).arity();
+            if a < la && b < la {
+                column_pair_ndv(left, a, b, catalog, cache)
+            } else if a >= la && b >= la {
+                column_pair_ndv(right, a - la, b - la, catalog, cache)
+            } else {
+                None
+            }
+        }
+        Plan::SemiJoin { left, .. }
+        | Plan::AntiJoin { left, .. }
+        | Plan::Difference { left, .. } => column_pair_ndv(left, a, b, catalog, cache),
+        Plan::Union { left, right } => {
+            let l = column_pair_ndv(left, a, b, catalog, cache)?;
+            let r = column_pair_ndv(right, a, b, catalog, cache)?;
+            Some(l + r)
+        }
+    }
 }
 
 fn selectivity(
@@ -1241,6 +1363,53 @@ mod tests {
         let ne = Plan::scan("u1").select(col("v1").ne(col("r1")));
         let eq = Plan::scan("u1").select(col("v1").eq(col("r1")));
         assert!(est_rows(&ne, &c) > est_rows(&eq, &c));
+    }
+
+    #[test]
+    fn psi_correlated_pairs_score_jointly() {
+        // The survival formula at its anchor points: perfect correlation
+        // (joint NDV = var NDV) makes the ψ conjunct a tautology on
+        // same-variable pairs; full independence (joint = product)
+        // reproduces the old estimate; backoff sits strictly between.
+        let perfect = psi_survival(10.0, 10.0, Some(10.0));
+        assert!((perfect - 1.0).abs() < 1e-12, "{perfect}");
+        let independent = psi_survival(10.0, 10.0, Some(100.0));
+        assert!((independent - 0.91).abs() < 1e-12, "{independent}");
+        let backoff = psi_survival(10.0, 10.0, None);
+        assert!(
+            independent < backoff && backoff < perfect,
+            "backoff {backoff} must sit between {independent} and {perfect}"
+        );
+
+        // End to end: Rng a function of Var (the correlated-descriptor
+        // shape) ⇒ the ψ-join estimate reaches the cross product, which
+        // the independence-based estimate structurally cannot.
+        let mut c = Catalog::new();
+        for name in ["u1", "u2"] {
+            let rows: Vec<Vec<Value>> = (0..100)
+                .map(|i| vec![Value::Int(i % 10), Value::Int((i % 10) * 7), Value::Int(i)])
+                .collect();
+            let cols = if name == "u1" {
+                ["v1", "r1", "a"]
+            } else {
+                ["v2", "r2", "b"]
+            };
+            c.insert(name, Relation::from_rows(cols, rows).unwrap());
+        }
+        let psi = Expr::or([col("v1").ne(col("v2")), col("r1").eq(col("r2"))]);
+        let p = Plan::scan("u1").join(Plan::scan("u2"), psi);
+        let est = est_rows(&p, &c);
+        let cross = 100.0 * 100.0;
+        assert!(
+            est > 0.999 * cross,
+            "fully correlated ψ is a tautology; estimate {est} of {cross}"
+        );
+        // A genuinely independent pair still discounts: same tables but
+        // comparing the non-adjacent (v, payload) columns gives no joint
+        // stats, so backoff applies and the estimate drops below cross.
+        let loose = Expr::or([col("v1").ne(col("v2")), col("a").eq(col("b"))]);
+        let p = Plan::scan("u1").join(Plan::scan("u2"), loose);
+        assert!(est_rows(&p, &c) < 0.999 * cross);
     }
 
     #[test]

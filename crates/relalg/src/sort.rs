@@ -19,7 +19,9 @@ use crate::error::Result;
 use crate::exec;
 use crate::expr::{CompiledExpr, Expr};
 use crate::plan::Plan;
+use crate::pool::TaskPool;
 use crate::relation::{Relation, Row};
+use std::cmp::Ordering;
 
 /// Sort direction per key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,20 +32,95 @@ pub enum Order {
     Desc,
 }
 
-fn sort_rows(rows: &mut [Row], compiled: &[(CompiledExpr, Order)]) {
-    rows.sort_by(|a, b| {
-        for (e, o) in compiled {
-            let (va, vb) = (e.eval(a), e.eval(b));
-            let ord = match o {
-                Order::Asc => va.cmp(&vb),
-                Order::Desc => vb.cmp(&va),
-            };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
+fn key_cmp(a: &Row, b: &Row, compiled: &[(CompiledExpr, Order)]) -> Ordering {
+    for (e, o) in compiled {
+        let (va, vb) = (e.eval(a), e.eval(b));
+        let ord = match o {
+            Order::Asc => va.cmp(&vb),
+            Order::Desc => vb.cmp(&va),
+        };
+        if ord != Ordering::Equal {
+            return ord;
         }
-        std::cmp::Ordering::Equal
+    }
+    Ordering::Equal
+}
+
+fn sort_rows(rows: &mut [Row], compiled: &[(CompiledExpr, Order)]) {
+    rows.sort_by(|a, b| key_cmp(a, b, compiled));
+}
+
+/// Minimum input size before sorting fans out (below it, thread setup
+/// costs more than the sort).
+const MIN_PARALLEL_SORT: usize = 4096;
+
+/// Stable parallel sort: split the input into contiguous runs, stable-
+/// sort each run on its own scoped worker (the partial states), then
+/// merge the sorted runs with ties resolved toward the earlier run — a
+/// stable sort is a unique permutation, so the result is byte-identical
+/// to [`sort_rows`]. Inputs too small for the pool sort serially.
+fn parallel_sort_rows(
+    rows: Vec<Row>,
+    compiled: &[(CompiledExpr, Order)],
+    pool: &TaskPool,
+) -> Vec<Row> {
+    if pool.threads() <= 1 || rows.len() < MIN_PARALLEL_SORT {
+        let mut rows = rows;
+        sort_rows(&mut rows, compiled);
+        return rows;
+    }
+    // Contiguous runs in input order (stability needs the split to
+    // preserve original positions run-major).
+    let chunk = rows.len().div_ceil(pool.threads());
+    let mut runs: Vec<Vec<Row>> = Vec::with_capacity(pool.threads());
+    let mut rest = rows;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        runs.push(rest);
+        rest = tail;
+    }
+    runs.push(rest);
+    std::thread::scope(|s| {
+        for run in runs.iter_mut() {
+            s.spawn(move || sort_rows(run, compiled));
+        }
     });
+    merge_sorted_runs(runs, compiled)
+}
+
+/// Stable k-way merge of sorted runs: the smallest head wins, ties go to
+/// the earliest run (which held the earlier original positions).
+fn merge_sorted_runs(mut runs: Vec<Vec<Row>>, compiled: &[(CompiledExpr, Order)]) -> Vec<Row> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut heads: Vec<usize> = vec![0; runs.len()];
+    let mut out = Vec::with_capacity(total);
+    // k is the worker count (small): a linear scan per pop beats heap
+    // bookkeeping and keeps tie-breaking trivially stable.
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if heads[r] >= run.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(r),
+                Some(b) => {
+                    if key_cmp(&run[heads[r]], &runs[b][heads[b]], compiled) == Ordering::Less {
+                        Some(r)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let b = best.expect("total counts remaining rows");
+        // Taking (not cloning) the merged row leaves an empty boxed
+        // slice behind; the head index never revisits it.
+        let head = heads[b];
+        out.push(std::mem::take(&mut runs[b][head]));
+        heads[b] += 1;
+    }
+    out
 }
 
 /// Sort a relation by the given key expressions. Stable, so equal keys
@@ -59,15 +136,19 @@ pub fn sort_by(input: &Relation, keys: &[(Expr, Order)]) -> Result<Relation> {
 }
 
 /// ORDER BY over a streamed plan: rows are pulled directly into the
-/// sort buffer, so the plan output is materialized exactly once.
+/// sort buffer, so the plan output is materialized exactly once — and,
+/// with a parallel engine configuration, both the pull (morsel-driven)
+/// and the sort itself (per-worker sorted runs + stable merge) fan out,
+/// with output identical to the serial path.
 pub fn sort_plan(plan: &Plan, catalog: &Catalog, keys: &[(Expr, Order)]) -> Result<Relation> {
     let streamed = exec::stream(plan, catalog)?;
     let compiled: Vec<(CompiledExpr, Order)> = keys
         .iter()
         .map(|(e, o)| Ok((e.compile(streamed.schema())?, *o)))
         .collect::<Result<_>>()?;
-    let mut rows = streamed.collect_rows(None);
-    sort_rows(&mut rows, &compiled);
+    let rows = streamed.collect_rows(None);
+    let pool = TaskPool::new(catalog.config().threads);
+    let rows = parallel_sort_rows(rows, &compiled, &pool);
     Relation::new(streamed.schema().clone(), rows)
 }
 
@@ -132,6 +213,31 @@ mod tests {
     #[test]
     fn sort_rejects_unknown_columns() {
         assert!(sort_by(&rel(), &[(col("zzz"), Order::Asc)]).is_err());
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial_stable_sort() {
+        // Many duplicate keys across run boundaries: stability (original
+        // order within equal keys) must survive the run merge.
+        let rows: Vec<Row> = (0..(2 * MIN_PARALLEL_SORT as i64))
+            .map(|i| vec![Value::Int(i % 13), Value::Int(i)].into_boxed_slice())
+            .collect();
+        let schema = crate::schema::Schema::named(["k", "seq"]);
+        let compiled = vec![(col("k").compile(&schema).unwrap(), Order::Asc)];
+        let mut serial = rows.clone();
+        sort_rows(&mut serial, &compiled);
+        for threads in [2, 4] {
+            let parallel = parallel_sort_rows(rows.clone(), &compiled, &TaskPool::new(threads));
+            assert_eq!(parallel, serial, "{threads} threads");
+        }
+        // Small inputs take the serial path inside parallel_sort_rows.
+        let small: Vec<Row> = rows.iter().take(10).cloned().collect();
+        let mut want = small.clone();
+        sort_rows(&mut want, &compiled);
+        assert_eq!(
+            parallel_sort_rows(small, &compiled, &TaskPool::new(4)),
+            want
+        );
     }
 
     #[test]

@@ -4,13 +4,17 @@
 //! coverage for the Monte-Carlo confidence estimator and its wiring
 //! into the `possible` entry point.
 
-use u_relations::core::certain::{certain_exact, certain_lemma43, certain_lemma43_relational};
+use u_relations::core::certain::{
+    certain_exact, certain_lemma43, certain_lemma43_relational, certain_with_coverage,
+};
 use u_relations::core::normalize::normalize_urelations;
 use u_relations::core::prob::{
-    confidence, confidence_monte_carlo, tuple_confidences, ConfidenceMethod,
+    confidence, confidence_monte_carlo, coverage_probability, tuple_confidences, ConfidenceMethod,
 };
 use u_relations::core::worldops::{condition_domain, repair_key};
-use u_relations::core::{evaluate, possible, possible_with_confidence, table, WsDescriptor};
+use u_relations::core::{
+    certain_with_confidence, evaluate, possible, possible_with_confidence, table, WsDescriptor,
+};
 use u_relations::relalg::{col, lit_i64, Relation, Value};
 use u_relations::tpch::{generate, GenParams};
 
@@ -144,6 +148,103 @@ fn possible_entry_point_supports_the_estimator() {
     // Determinism: same seed, same estimates.
     let again = possible_with_confidence(&db, &q, method).unwrap();
     assert_eq!(estimated, again);
+}
+
+#[test]
+fn certain_entry_point_supports_the_estimator() {
+    // The certain twin of `possible_with_confidence`: exact coverage
+    // checking reproduces the exact certain set, and the Monte-Carlo
+    // coverage estimator reports the same tuples (within its Hoeffding
+    // guarantee) with estimates within ε of 1.
+    let db = tiny();
+    let q = table("customer").project(["c_mktsegment"]);
+    let u = evaluate(&db, &q).unwrap();
+    let exact_set = certain_exact(&u, &db.world).unwrap();
+
+    let via_exact = certain_with_confidence(&db, &q, ConfidenceMethod::Exact).unwrap();
+    assert_eq!(via_exact.len(), exact_set.len());
+    for (vals, coverage) in &via_exact {
+        assert_eq!(*coverage, 1.0);
+        assert!(exact_set.rows().iter().any(|r| r.to_vec() == *vals));
+    }
+
+    let method = ConfidenceMethod::MonteCarlo {
+        samples: 20_000,
+        seed: 11,
+    };
+    let eps = method.error_bound(1e-6);
+    let via_mc = certain_with_confidence(&db, &q, method).unwrap();
+    // Every truly certain tuple passes the 1 − ε threshold (fixed seed:
+    // a pass here is permanent), with its estimate within ε of 1.
+    for row in exact_set.rows() {
+        let got = via_mc.iter().find(|(vals, _)| *vals == row.to_vec());
+        let (_, coverage) = got.expect("certain tuple dropped by the estimator");
+        assert!(*coverage >= 1.0 - eps);
+    }
+    // And no clearly-uncertain tuple (true coverage < 1 − 2ε) sneaks in.
+    for (vals, coverage) in &via_mc {
+        let descs: Vec<_> = u
+            .rows()
+            .iter()
+            .filter(|r| r.vals.to_vec() == *vals)
+            .map(|r| r.desc.clone())
+            .collect();
+        let true_cov = coverage_probability(&descs, &db.world, ConfidenceMethod::Exact).unwrap();
+        assert!(
+            true_cov >= 1.0 - 2.0 * eps,
+            "{vals:?}: true coverage {true_cov} reported as certain ({coverage})"
+        );
+    }
+    // Determinism: same seed, same report.
+    assert_eq!(via_mc, certain_with_confidence(&db, &q, method).unwrap());
+}
+
+#[test]
+fn coverage_estimates_respect_hoeffding_bounds() {
+    // Coverage probability is the certain-side quantity: compare the
+    // Monte-Carlo estimate against the exact Shannon expansion under
+    // the same ε bound used for `possible` confidences.
+    use u_relations::core::{Var, WorldTable};
+    let mut w = WorldTable::new();
+    w.add_var(Var(1), vec![0, 1]).unwrap();
+    w.add_var(Var(2), vec![0, 1, 2]).unwrap();
+
+    let d = |pairs: &[(u32, u64)]| {
+        WsDescriptor::from_pairs(pairs.iter().map(|&(v, x)| (Var(v), x))).unwrap()
+    };
+    let full_cover = vec![d(&[(1, 0)]), d(&[(1, 1)])]; // coverage 1
+    let partial = vec![d(&[(1, 0)]), d(&[(2, 1)])]; // coverage 2/3 + 1/3·1/2...
+    let samples = 20_000;
+    let method = ConfidenceMethod::MonteCarlo { samples, seed: 0 };
+    let eps = method.error_bound(1e-6);
+    for descs in [&full_cover, &partial] {
+        let exact = coverage_probability(descs, &w, ConfidenceMethod::Exact).unwrap();
+        for seed in [2u64, 77, 4096] {
+            let est =
+                coverage_probability(descs, &w, ConfidenceMethod::MonteCarlo { samples, seed })
+                    .unwrap();
+            assert!(
+                (est - exact).abs() <= eps,
+                "seed {seed}: |{est} − {exact}| > ε = {eps}"
+            );
+        }
+    }
+    // certain_with_coverage on a hand-built U-relation: the covered
+    // tuple is reported, the partial one is not.
+    let mut u = u_relations::core::URelation::partition("u", ["a"]);
+    u.push_simple(full_cover[0].clone(), 1, vec![Value::Int(7)])
+        .unwrap();
+    u.push_simple(full_cover[1].clone(), 2, vec![Value::Int(7)])
+        .unwrap();
+    u.push_simple(partial[0].clone(), 3, vec![Value::Int(8)])
+        .unwrap();
+    u.push_simple(partial[1].clone(), 4, vec![Value::Int(8)])
+        .unwrap();
+    let got = certain_with_coverage(&u, &w, method, 1e-6).unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].0, vec![Value::Int(7)]);
+    let exact_side = certain_with_coverage(&u, &w, ConfidenceMethod::Exact, 1e-6).unwrap();
+    assert_eq!(exact_side, vec![(vec![Value::Int(7)], 1.0)]);
 }
 
 #[test]

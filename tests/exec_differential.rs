@@ -27,6 +27,14 @@
 //!    with an `ExecStats` assertion that batched σ/π/probe pipelines
 //!    allocated zero per-row intermediate buffers.
 //!
+//! 4. **Parallel vs serial** — the morsel-driven parallel engine (PR 4)
+//!    must be *byte-identical* to serial execution: for random reduced
+//!    or-set databases with translated+optimized queries, and for random
+//!    plain relational plans, running with `RELALG_THREADS ∈ {2, 4}`
+//!    (tiny morsels so small inputs still fan out) must produce exactly
+//!    the serial row vector — same rows, same order — while `ExecStats`
+//!    reports the planned worker count.
+//!
 //! Case counts scale with `PROPTEST_CASES` (the CI differential job
 //! raises it well above the local default); generation is deterministic
 //! per test name, so failures reproduce exactly.
@@ -317,6 +325,88 @@ proptest! {
                 "batch accounting lost rows: {stats:?} vs {}",
                 batched_rows.len()
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    /// The parallel-vs-serial oracle on *translated* plans: random
+    /// reduced or-set databases, random logical queries, optimized
+    /// plans — the morsel-driven engine at 2 and 4 workers must emit
+    /// exactly the serial row vector (order included), and `ExecStats`
+    /// must report the worker fan-out the prepare planned (which the
+    /// static `predicted_workers` mirror agrees with).
+    #[test]
+    fn parallel_translated_plans_match_serial_byte_for_byte(
+        db in arb_udb(),
+        q in arb_query(),
+    ) {
+        let prepared = db.prepare();
+        let t = translate(&db, &q).unwrap();
+        let plan = optimizer::optimize(&t.plan, prepared.catalog()).unwrap();
+        let serial_rows = {
+            let mut cat = prepared.catalog().clone();
+            cat.set_threads(1);
+            exec::stream(&plan, &cat).unwrap().collect_rows(None)
+        };
+        for threads in [2usize, 4] {
+            let mut cat = prepared.catalog().clone();
+            cat.set_threads(threads);
+            // Tiny morsels + zero threshold: even 3-tuple databases
+            // genuinely exercise the exchange and the ordered gather.
+            cat.set_parallel_granularity(4, 0);
+            let streamed = exec::stream(&plan, &cat).unwrap();
+            let rows = streamed.collect_rows(None);
+            prop_assert!(
+                rows == serial_rows,
+                "parallel x{threads} differs from serial for {q:?}\nplan: {plan:?}"
+            );
+            let workers = streamed.planned_workers();
+            prop_assert!(
+                streamed.stats().workers == workers,
+                "ExecStats workers {} != planned {workers}",
+                streamed.stats().workers
+            );
+            prop_assert!(
+                exec::predicted_workers(&plan, &cat) == workers,
+                "static mirror disagrees with prepare for {plan:?}"
+            );
+            prop_assert!(workers <= threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// The parallel-vs-serial oracle on random *plain* relational plans
+    /// (hash joins, nested loops, semi/antijoins, set operations):
+    /// byte-identical output at 2 and 4 workers.
+    #[test]
+    fn parallel_plain_plans_match_serial_byte_for_byte(
+        catalog in arb_catalog(),
+        plan in arb_plan(),
+    ) {
+        if plan.schema(&catalog).is_ok() {
+            let serial_rows = {
+                let mut cat = catalog.clone();
+                cat.set_threads(1);
+                exec::stream(&plan, &cat).unwrap().collect_rows(None)
+            };
+            for threads in [2usize, 4] {
+                let mut cat = catalog.clone();
+                cat.set_threads(threads);
+                cat.set_parallel_granularity(3, 0);
+                let streamed = exec::stream(&plan, &cat).unwrap();
+                let rows = streamed.collect_rows(None);
+                prop_assert!(
+                    rows == serial_rows,
+                    "parallel x{threads} differs from serial for {plan:?}"
+                );
+                prop_assert!(streamed.stats().workers == streamed.planned_workers());
+            }
         }
     }
 }

@@ -1,9 +1,10 @@
 //! End-to-end tests of the Section 6 pipeline at tiny scales: generator
 //! invariants, the three queries across all three representations
-//! (attribute-level, tuple-level, ULDB), and the Figure 9 trends.
+//! (attribute-level, tuple-level, ULDB), the Figure 9 trends, and the
+//! optimizer's plan shape on the translated queries.
 
-use u_relations::core::{evaluate, possible, table, table_as};
-use u_relations::relalg::{col, lit_str};
+use u_relations::core::{evaluate, possible, table, table_as, translate};
+use u_relations::relalg::{col, exec, explain, lit_str, optimizer};
 use u_relations::tpch::tuple_level::{expand_tuple_level, to_uldb};
 use u_relations::tpch::{generate, q1, q2, q3, GenParams};
 
@@ -71,6 +72,67 @@ fn q3_self_join_on_nation_is_well_formed() {
     let ans = possible(&out.db, &q).unwrap();
     // Every nation pairs at least with itself within its region.
     assert!(ans.len() >= 25, "{}", ans.len());
+}
+
+#[test]
+fn q3_plan_shape_survives_correlation_aware_estimates() {
+    // The correlation-aware ψ estimates (joint Var/Rng pair NDV, PR 4)
+    // must leave the optimized Q3 plan shape unchanged or better:
+    // every ψ-merge join stays a hash join (no nested-loop demotions),
+    // optimization still reduces the rows flowing through the executor,
+    // and the answers are untouched.
+    let out = generate(&tiny(0.05, 0.25, 8)).unwrap();
+    let prepared = out.db.prepare();
+    let t = translate(&out.db, &q3()).unwrap();
+    let optimized = optimizer::optimize(&t.plan, prepared.catalog()).unwrap();
+    // Every equi-keyed join must remain a hash join; ψ-only joins (no
+    // equi conjunct exists between their groups) may nested-loop, but
+    // only between tiny inputs — the reorderer must not schedule a
+    // ψ-only cross over large sides.
+    fn check_joins(p: &u_relations::relalg::Plan, c: &u_relations::relalg::Catalog) {
+        use u_relations::relalg::Plan;
+        match p {
+            Plan::Join { left, right, pred } => {
+                let (ls, rs) = (left.schema(c).unwrap(), right.schema(c).unwrap());
+                let cond = exec::JoinCondition::analyze(pred, &ls, &rs);
+                if cond.equi.is_empty() {
+                    let pairs = optimizer::est_rows(left, c) * optimizer::est_rows(right, c);
+                    assert!(
+                        pairs < 100_000.0,
+                        "ψ-only nested loop over large inputs ({pairs} est pairs)"
+                    );
+                }
+                check_joins(left, c);
+                check_joins(right, c);
+            }
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct(input)
+            | Plan::Rename { input, .. } => check_joins(input, c),
+            Plan::SemiJoin { left, right, .. }
+            | Plan::AntiJoin { left, right, .. }
+            | Plan::Union { left, right }
+            | Plan::Difference { left, right } => {
+                check_joins(left, c);
+                check_joins(right, c);
+            }
+            _ => {}
+        }
+    }
+    check_joins(&optimized, prepared.catalog());
+    let text = explain::explain(&optimized, prepared.catalog());
+    assert!(text.contains("Hash Join"), "{text}");
+    // One physical join per logical merge survives optimization.
+    assert_eq!(optimized.join_count(), t.plan.join_count());
+    // Optimization must not inflate executed work: compare the rows
+    // carried by batches through both plans.
+    let (raw_out, raw) = exec::execute_with_stats(&t.plan, prepared.catalog()).unwrap();
+    let (opt_out, opt) = exec::execute_with_stats(&optimized, prepared.catalog()).unwrap();
+    assert!(raw_out.set_eq(&opt_out), "optimization changed Q3 answers");
+    assert!(
+        opt.batch_rows <= raw.batch_rows,
+        "optimized Q3 moves more rows than the raw translation: {opt:?} vs {raw:?}"
+    );
 }
 
 #[test]

@@ -195,6 +195,17 @@ impl<'a> PreparedDb<'a> {
         self.catalog.set_threads(threads);
     }
 
+    /// Cap the bytes pipeline-breaker buffers may hold for queries run
+    /// through this `PreparedDb` (`usize::MAX` or `0` = unbounded; the
+    /// default comes from `RELALG_MEM_BUDGET`). Over-budget breakers
+    /// spill to sorted runs in a scoped temp directory — answers are
+    /// byte-identical to unbounded execution, and cached plans stay
+    /// valid: like the thread cap, the budget is an execution knob, not
+    /// a plan property.
+    pub fn set_mem_budget(&mut self, bytes: usize) {
+        self.catalog.set_mem_budget(bytes);
+    }
+
     /// Number of physical plans currently held by the prepared-statement
     /// cache (observability hook; also used by tests to pin the cache's
     /// hit behavior).

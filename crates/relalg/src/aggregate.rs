@@ -12,14 +12,16 @@
 
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
-use crate::exec;
+use crate::exec::{self, ExecStats};
 use crate::expr::CompiledExpr;
 use crate::fxhash::FxHashMap;
 use crate::plan::Plan;
 use crate::relation::{Relation, Row};
 use crate::schema::{ColRef, Schema};
+use crate::spill::{merge_runs, Run, SpillCtx};
 use crate::value::Value;
 use crate::Expr;
+use std::sync::Arc;
 
 /// An aggregate function over a column expression.
 #[derive(Clone, Debug, PartialEq)]
@@ -137,6 +139,29 @@ impl State {
             State::Min(v) | State::Max(v) => v.unwrap_or(Value::Null),
         }
     }
+
+    /// Encode for a spill run. Lossless given the update invariants:
+    /// counts/sums are integers, and `Min`/`Max` never hold `Null`
+    /// (updates skip nulls), so `Null` unambiguously encodes `None`.
+    fn to_value(&self) -> Value {
+        match self {
+            State::Count(c) => Value::Int(*c),
+            State::Sum(s) => Value::Int(*s),
+            State::Min(v) | State::Max(v) => v.clone().unwrap_or(Value::Null),
+        }
+    }
+
+    /// Decode a [`State::to_value`] encoding for aggregate `f`.
+    fn from_value(f: &AggFunc, v: Value) -> State {
+        match f {
+            AggFunc::CountStar | AggFunc::Count(_) => {
+                State::Count(v.as_int().expect("spilled count is an integer"))
+            }
+            AggFunc::Sum(_) => State::Sum(v.as_int().expect("spilled sum is an integer")),
+            AggFunc::Min(_) => State::Min((!v.is_null()).then_some(v)),
+            AggFunc::Max(_) => State::Max((!v.is_null()).then_some(v)),
+        }
+    }
 }
 
 /// Incremental hash-aggregation state: compiled key/aggregate
@@ -159,6 +184,23 @@ struct Accumulator<'a> {
     morsel_base: u64,
     /// Rows folded within the current morsel.
     seq: u64,
+    /// Memory-budget spill state (`None` = unbounded, the fast path).
+    spill: Option<AggSpill>,
+}
+
+/// Spill state of one accumulator: when the group map crosses the
+/// budget's per-worker share it is flushed as a *key-sorted* run of
+/// `(first-occurrence position, group key ++ encoded states)` records.
+/// [`Accumulator::finish`] merges all runs by group key — partial
+/// states of the same group combine order-independently, each group
+/// keeps its earliest position — and restores first-occurrence output
+/// order by position, so spilled aggregation is byte-identical to the
+/// in-memory fold.
+struct AggSpill {
+    ctx: Arc<SpillCtx>,
+    share: usize,
+    bytes: usize,
+    runs: Vec<Run>,
 }
 
 impl<'a> Accumulator<'a> {
@@ -188,7 +230,22 @@ impl<'a> Accumulator<'a> {
             groups: FxHashMap::default(),
             morsel_base: 0,
             seq: 0,
+            spill: None,
         })
+    }
+
+    /// Attach memory-budget spill state (no-op context when the budget
+    /// is unbounded — the accumulator then stays on the in-memory path).
+    fn with_spill(mut self, ctx: &Arc<SpillCtx>) -> Self {
+        if ctx.budget().enabled() {
+            self.spill = Some(AggSpill {
+                ctx: Arc::clone(ctx),
+                share: ctx.budget().share(),
+                bytes: 0,
+                runs: Vec::new(),
+            });
+        }
+        self
     }
 
     /// Enter morsel `id`: subsequent rows take positions under its base.
@@ -210,6 +267,18 @@ impl<'a> Accumulator<'a> {
         let key: Vec<Value> = self.key_exprs.iter().map(&eval).collect();
         let pos = self.morsel_base + self.seq;
         self.seq += 1;
+        if let Some(sp) = &mut self.spill {
+            if !self.groups.contains_key(&key) {
+                // New group: charge its key payload plus a rough map /
+                // state overhead (estimation, not bookkeeping — the
+                // budget only decides when to flush).
+                let bytes = 48
+                    + key.iter().map(|v| 24 + v.size_bytes()).sum::<usize>()
+                    + 40 * self.aggs.len();
+                sp.ctx.budget().charge(bytes);
+                sp.bytes += bytes;
+            }
+        }
         let (_, states) = self
             .groups
             .entry(key)
@@ -217,7 +286,31 @@ impl<'a> Accumulator<'a> {
         for ((state, agg), compiled) in states.iter_mut().zip(self.aggs).zip(&self.agg_exprs) {
             state.update(&agg.func, compiled.as_ref().map(&eval))?;
         }
+        if self.spill.as_ref().is_some_and(|sp| sp.bytes > sp.share) {
+            self.flush_groups();
+        }
         Ok(())
+    }
+
+    /// Flush the group map as one key-sorted spill run (see
+    /// [`AggSpill`]).
+    fn flush_groups(&mut self) {
+        let sp = self.spill.as_mut().expect("flush requires spill state");
+        let mut entries: Vec<(Vec<Value>, u64, Vec<State>)> = self
+            .groups
+            .drain()
+            .map(|(k, (pos, states))| (k, pos, states))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut w = sp.ctx.writer("agg-run");
+        for (mut key, pos, states) in entries {
+            key.extend(states.iter().map(State::to_value));
+            w.push(&[pos], &key.into_boxed_slice());
+        }
+        sp.runs.push(w.finish());
+        sp.ctx.record_spill(sp.bytes);
+        sp.ctx.budget().release(sp.bytes);
+        sp.bytes = 0;
     }
 
     fn update(&mut self, row: &Row) -> Result<()> {
@@ -236,7 +329,18 @@ impl<'a> Accumulator<'a> {
 
     /// Merge another worker's partial states: group states combine
     /// order-independently, each group keeps its earliest position.
-    fn merge(&mut self, other: Accumulator<'a>) {
+    /// Spill runs (and their byte accounting) transfer wholesale — the
+    /// final merge in [`Accumulator::finish`] reads every run anyway.
+    fn merge(&mut self, mut other: Accumulator<'a>) {
+        if let Some(osp) = other.spill.as_mut() {
+            let sp = self
+                .spill
+                .as_mut()
+                .expect("budgeted accumulators merge together");
+            sp.runs.append(&mut osp.runs);
+            sp.bytes += osp.bytes;
+            osp.bytes = 0;
+        }
         for (key, (pos, states)) in other.groups {
             match self.groups.entry(key) {
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -251,9 +355,15 @@ impl<'a> Accumulator<'a> {
                 }
             }
         }
+        if self.spill.as_ref().is_some_and(|sp| sp.bytes > sp.share) {
+            self.flush_groups();
+        }
     }
 
     fn finish(mut self) -> Result<Relation> {
+        if self.spill.as_ref().is_some_and(|sp| !sp.runs.is_empty()) {
+            return self.finish_spilled();
+        }
         if self.group_by.is_empty() && self.groups.is_empty() {
             self.groups.insert(
                 Vec::new(),
@@ -271,6 +381,60 @@ impl<'a> Accumulator<'a> {
             .collect();
         rows.sort_by_key(|(pos, _, _)| *pos);
         for (_, key, states) in rows {
+            let mut row = key;
+            row.extend(states.into_iter().map(State::finish));
+            out.push(row)?;
+        }
+        Ok(out)
+    }
+
+    /// Finish an accumulator that spilled: flush the in-memory tail,
+    /// k-way merge every run by group key (combining partial states and
+    /// keeping each group's earliest position), then emit groups in
+    /// first-occurrence order — byte-identical to the in-memory fold.
+    fn finish_spilled(mut self) -> Result<Relation> {
+        if !self.groups.is_empty() {
+            self.flush_groups();
+        }
+        let sp = self.spill.take().expect("spilled finish has spill state");
+        let karity = self.group_by.len();
+        let mut groups: Vec<(u64, Vec<Value>, Vec<State>)> = Vec::new();
+        let mut cur: Option<(Vec<Value>, u64, Vec<State>)> = None;
+        for (_, (keys, row)) in
+            merge_runs(&sp.runs, &sp.ctx, |a, b| a.1[..karity].cmp(&b.1[..karity]))
+        {
+            let pos = keys[0];
+            let mut vals = row.into_vec();
+            let state_vals = vals.split_off(karity);
+            let states: Vec<State> = self
+                .aggs
+                .iter()
+                .zip(state_vals)
+                .map(|(a, v)| State::from_value(&a.func, v))
+                .collect();
+            match cur.as_mut() {
+                Some((k, p, s)) if *k == vals => {
+                    *p = (*p).min(pos);
+                    for (a, b) in s.iter_mut().zip(states) {
+                        a.merge(b);
+                    }
+                }
+                _ => {
+                    if let Some((k, p, s)) = cur.take() {
+                        groups.push((p, k, s));
+                    }
+                    cur = Some((vals, pos, states));
+                }
+            }
+        }
+        if let Some((k, p, s)) = cur.take() {
+            groups.push((p, k, s));
+        }
+        groups.sort_by_key(|(pos, _, _)| *pos);
+        let mut names: Vec<ColRef> = self.group_by.iter().map(|(_, n)| n.clone()).collect();
+        names.extend(self.aggs.iter().map(|a| a.name.clone()));
+        let mut out = Relation::empty(Schema::new(names));
+        for (_, key, states) in groups {
             let mut row = key;
             row.extend(states.into_iter().map(State::finish));
             out.push(row)?;
@@ -311,13 +475,26 @@ pub fn aggregate_plan(
     group_by: &[(Expr, ColRef)],
     aggs: &[Aggregate],
 ) -> Result<Relation> {
+    aggregate_plan_with_stats(plan, catalog, group_by, aggs).map(|(rel, _)| rel)
+}
+
+/// [`aggregate_plan`] plus the execution's [`ExecStats`] — under a
+/// memory budget this is where aggregation spills show up
+/// (`spill_events` / `spilled_bytes`; see [`AggSpill`]).
+pub fn aggregate_plan_with_stats(
+    plan: &Plan,
+    catalog: &Catalog,
+    group_by: &[(Expr, ColRef)],
+    aggs: &[Aggregate],
+) -> Result<(Relation, ExecStats)> {
     let streamed = exec::stream(plan, catalog)?;
+    let ctx = Arc::clone(streamed.spill_ctx());
     // Validate compilation up front so the parallel path reports the
     // same errors the serial one would, before any worker spawns.
-    let acc = Accumulator::new(streamed.schema(), group_by, aggs)?;
+    let acc = Accumulator::new(streamed.schema(), group_by, aggs)?.with_spill(&ctx);
     let schema = streamed.schema().clone();
     if let Some(partials) = streamed.fold_batches_parallel(
-        || Accumulator::new(&schema, group_by, aggs),
+        || Accumulator::new(&schema, group_by, aggs).map(|a| a.with_spill(&ctx)),
         |acc, morsel, batch| {
             let acc = acc.as_mut().map_err(|_| poisoned())?;
             acc.set_morsel(morsel);
@@ -328,11 +505,13 @@ pub fn aggregate_plan(
         for partial in partials? {
             merged.merge(partial?);
         }
-        return merged.finish();
+        let rel = merged.finish()?;
+        return Ok((rel, streamed.stats()));
     }
     let mut acc = acc;
     streamed.for_each_batch(|batch| acc.update_batch(batch))?;
-    acc.finish()
+    let rel = acc.finish()?;
+    Ok((rel, streamed.stats()))
 }
 
 /// Placeholder error for a worker accumulator that failed to construct —

@@ -101,6 +101,27 @@ impl<'a> ColumnBatch<'a> {
         }
     }
 
+    /// An owned batch materialized from row storage: one dense
+    /// [`BatchCol::Owned`] column per attribute, compacted to typed
+    /// storage where the values allow. This is how spilled operators
+    /// re-enter the vectorized pipeline — rows merged back from disk
+    /// runs become ordinary batches for downstream kernels.
+    pub fn from_rows(rows: &[Row], arity: usize) -> ColumnBatch<'a> {
+        let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); arity];
+        for row in rows {
+            for (c, v) in cols.iter_mut().zip(row.iter()) {
+                c.push(v.clone());
+            }
+        }
+        ColumnBatch {
+            cols: cols
+                .into_iter()
+                .map(|v| BatchCol::Owned(Arc::new(Column::from_values(v))))
+                .collect(),
+            len: rows.len(),
+        }
+    }
+
     /// Number of logical rows.
     pub fn len(&self) -> usize {
         self.len

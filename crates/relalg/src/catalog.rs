@@ -27,6 +27,13 @@ pub struct EngineConfig {
     /// below it, scheduling overhead outweighs the win and the plan runs
     /// serial (the threshold reuses the optimizer's `EstCache` estimate).
     pub parallel_min_rows: usize,
+    /// Memory budget in bytes for pipeline-breaker buffers
+    /// (`usize::MAX` = unbounded, the default; `RELALG_MEM_BUDGET` sets
+    /// it from the environment). Each breaker charges its buffered bytes
+    /// against the budget and spills to sorted runs in a scoped temp
+    /// directory when its per-worker share is exceeded — with output
+    /// guaranteed byte-identical to the unbounded engine.
+    pub mem_budget: usize,
 }
 
 /// Default morsel size: 8 batches per claim amortizes the atomic
@@ -42,8 +49,22 @@ impl Default for EngineConfig {
             threads: default_threads(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
             parallel_min_rows: DEFAULT_PARALLEL_MIN_ROWS,
+            mem_budget: default_mem_budget(),
         }
     }
+}
+
+/// `RELALG_MEM_BUDGET` in bytes, read once per process; unset (or
+/// unparseable, or zero) means unbounded.
+fn default_mem_budget() -> usize {
+    static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("RELALG_MEM_BUDGET")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(usize::MAX)
+    })
 }
 
 /// `RELALG_THREADS`, else available parallelism, read once per process.
@@ -112,6 +133,15 @@ impl Catalog {
         self.config.parallel_min_rows = parallel_min_rows;
     }
 
+    /// Set the breaker memory budget in bytes (`usize::MAX` — or `0`,
+    /// for symmetry with the `RELALG_MEM_BUDGET` convention — disables
+    /// it). Budgeted and unbounded execution produce byte-identical
+    /// results; the budget only bounds breaker buffers by spilling them
+    /// to sorted runs on disk.
+    pub fn set_mem_budget(&mut self, bytes: usize) {
+        self.config.mem_budget = if bytes == 0 { usize::MAX } else { bytes };
+    }
+
     /// Register (or replace) a relation. Statistics are computed eagerly —
     /// the workloads in this repo scan every registered relation at least
     /// once, so the one-time pass pays for itself. Computing them runs
@@ -176,6 +206,10 @@ mod tests {
         c.set_parallel_granularity(16, 0);
         assert_eq!(c.config().morsel_rows, 16);
         assert_eq!(c.config().parallel_min_rows, 0);
+        c.set_mem_budget(1 << 20);
+        assert_eq!(c.config().mem_budget, 1 << 20);
+        c.set_mem_budget(0); // 0 = unbounded, like the env convention
+        assert_eq!(c.config().mem_budget, usize::MAX);
         // Clones carry the configuration.
         assert_eq!(c.clone().config(), c.config());
     }

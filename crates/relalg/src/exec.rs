@@ -57,12 +57,26 @@
 //! ([`crate::sort::limit_plan`], aggregation) can pull exactly as much
 //! as they want.
 //!
+//! Under a **memory budget** ([`EngineConfig::mem_budget`] /
+//! `RELALG_MEM_BUDGET`), breaker buffers charge their bytes against a
+//! shared [`SpillCtx`] tracker and spill to sorted runs in a scoped
+//! temp directory when they cross the budget's per-worker share:
+//! hash-join builds become on-disk digest partitions probed by a
+//! recursive hybrid-hash protocol, and distinct/difference seen-sets
+//! flush with first-occurrence candidates resolved at end of input
+//! (sort and aggregation spill on their own consumers' side). Spilled
+//! execution is byte-identical to unbounded execution; only the
+//! batched pulls spill — the row cursors serve limited pulls, whose
+//! early exit a spill would defeat. A plan whose join build spilled
+//! runs serial.
+//!
 //! [`ExecStats`] counts the intermediate buffers actually allocated plus
-//! the batches emitted (and their mean fill), so tests (and `EXPLAIN`)
-//! can assert that a streaming chain copied nothing and actually ran
-//! vectorized. The old operator-at-a-time engine survives as
-//! [`execute_reference`], the differential baseline the property suites
-//! compare against.
+//! the batches emitted (and their mean fill) and the spill counters
+//! (peak tracked bytes, spill events, spilled bytes), so tests (and
+//! `EXPLAIN`) can assert that a streaming chain copied nothing and
+//! actually ran vectorized. The old operator-at-a-time engine survives
+//! as [`execute_reference`], the differential baseline the property
+//! suites compare against.
 
 use crate::batch::{BatchCol, ColumnBatch, BATCH_SIZE};
 use crate::catalog::{Catalog, EngineConfig};
@@ -72,9 +86,11 @@ use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::optimizer::{est_rows, est_rows_cached, EstCache};
 use crate::plan::Plan;
 use crate::pool::TaskPool;
-use crate::relation::{Column, ColumnarImage, Relation, Row};
+use crate::relation::{row_footprint, Column, ColumnarImage, Relation, Row};
 use crate::schema::Schema;
+use crate::spill::{merge_runs, MergeRuns, Record, Run, SpillCtx};
 use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -116,6 +132,20 @@ pub struct ExecStats {
     /// means the morsel-driven engine fanned the root pipeline out over
     /// N threads — with output still byte-identical to serial).
     pub workers: usize,
+    /// High-water mark of breaker-buffer bytes tracked against the
+    /// memory budget (0 when the engine runs unbounded — tracking is
+    /// off the hot path entirely).
+    pub peak_tracked_bytes: usize,
+    /// Spill events: one per run flushed to the execution's scoped
+    /// spill directory (0 = everything stayed in memory). Like
+    /// `peak_tracked_bytes`, this is **cumulative over the prepared
+    /// execution's lifetime** — re-pulling the same [`Streamed`]
+    /// re-spills its pull-time breakers and keeps counting (unlike
+    /// `buffered_rows`, which resets per pull).
+    pub spill_events: usize,
+    /// Estimated bytes of buffered data written to spill runs
+    /// (cumulative, like `spill_events`).
+    pub spilled_bytes: usize,
 }
 
 impl ExecStats {
@@ -131,7 +161,6 @@ impl ExecStats {
 /// seen-set rows of the *current* pull and is reset whenever a fresh
 /// top-level cursor starts, so pulling the same [`Streamed`] twice does
 /// not double-count its `Distinct`/`Difference` buffers.
-#[derive(Default)]
 struct Counters {
     buffers: Cell<usize>,
     prepare_rows: Cell<usize>,
@@ -141,9 +170,30 @@ struct Counters {
     /// Workers used by the current pull (0 before any pull → reported
     /// as 1, the serial baseline).
     workers: Cell<usize>,
+    /// Memory budget, spill directory, and spill counters — shared
+    /// across the worker-local counter sets of one execution.
+    spill: Arc<SpillCtx>,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters::with_spill(Arc::new(SpillCtx::unbounded()))
+    }
 }
 
 impl Counters {
+    fn with_spill(spill: Arc<SpillCtx>) -> Counters {
+        Counters {
+            buffers: Cell::new(0),
+            prepare_rows: Cell::new(0),
+            pull_rows: Cell::new(0),
+            prepare_batches: Cell::new((0, 0)),
+            pull_batches: Cell::new((0, 0)),
+            workers: Cell::new(0),
+            spill,
+        }
+    }
+
     /// Record a buffer that copied `rows` rows at prepare time.
     fn buffer(&self, rows: usize) {
         self.buffers.set(self.buffers.get() + 1);
@@ -195,6 +245,9 @@ impl Counters {
             batches: pb + b,
             batch_rows: pr + r,
             workers: self.workers.get().max(1),
+            peak_tracked_bytes: self.spill.budget().peak(),
+            spill_events: self.spill.events(),
+            spilled_bytes: self.spill.spilled_bytes(),
         }
     }
 }
@@ -249,6 +302,9 @@ pub struct Streamed {
     parallel: Option<ParallelSpec>,
     pool: TaskPool,
     morsel_rows: usize,
+    /// `true` when a hash-join build spilled at prepare time (which is
+    /// what forces serial pulls).
+    spilled_build: bool,
     /// `(batches, batch rows)` per worker of the last parallel pull —
     /// the per-worker counters `explain_executed` reports.
     worker_batches: RefCell<Vec<(usize, usize)>>,
@@ -269,12 +325,12 @@ struct PrepCtx<'a> {
 /// all breaker-side buffers. Errors (unknown columns, schema mismatches)
 /// surface here; pulling rows afterwards cannot fail.
 pub fn stream(plan: &Plan, catalog: &Catalog) -> Result<Streamed> {
-    let counters = Counters::default();
+    let cfg = *catalog.config();
+    let counters = Counters::with_spill(Arc::new(SpillCtx::new(cfg.mem_budget, cfg.threads)));
     // One estimate cache per prepare: build-side choices re-estimate the
     // same subtrees, and the plan is borrowed for the whole prepare so
     // node addresses are stable cache keys.
     let est = EstCache::default();
-    let cfg = *catalog.config();
     let ctx = PrepCtx {
         catalog,
         counters: &counters,
@@ -286,8 +342,12 @@ pub fn stream(plan: &Plan, catalog: &Catalog) -> Result<Streamed> {
     // The parallel decision: enough configured workers, more than one
     // morsel to fan out, a gather-safe operator tree, and an optimizer
     // estimate (reusing the prepare's EstCache) above the threshold —
-    // below it the exchange overhead outweighs the parallel win.
-    let parallel = (cfg.threads > 1)
+    // below it the exchange overhead outweighs the parallel win. A
+    // hash-join build that spilled at prepare time forces serial pulls:
+    // every morsel cursor would otherwise re-probe the on-disk build
+    // partitions, multiplying the spill I/O by the morsel count.
+    let spilled_build = root.any_spilled_build();
+    let parallel = (cfg.threads > 1 && !spilled_build)
         .then(|| {
             let morsels = root.morsel_count(cfg.morsel_rows);
             let dedup = root.parallel_dedup(false)?;
@@ -302,6 +362,7 @@ pub fn stream(plan: &Plan, catalog: &Catalog) -> Result<Streamed> {
         parallel,
         pool: TaskPool::new(cfg.threads),
         morsel_rows: cfg.morsel_rows,
+        spilled_build,
         worker_batches: RefCell::new(Vec::new()),
     })
 }
@@ -316,6 +377,29 @@ impl Streamed {
     /// seen-set growth at pull time).
     pub fn stats(&self) -> ExecStats {
         self.counters.snapshot()
+    }
+
+    /// This execution's spill context (budget tracker + scoped spill
+    /// directory), for consumers that buffer on the engine's behalf
+    /// (sort, aggregation).
+    pub(crate) fn spill_ctx(&self) -> &Arc<SpillCtx> {
+        &self.counters.spill
+    }
+
+    /// Path of the scoped spill directory, if this execution has
+    /// spilled (`None` otherwise). The directory — and every run file
+    /// in it — is removed when the `Streamed` is dropped, including on
+    /// the panic path.
+    pub fn spill_dir(&self) -> Option<std::path::PathBuf> {
+        self.counters.spill.dir_path().map(Into::into)
+    }
+
+    /// `true` when a hash-join build side spilled at prepare time —
+    /// the one spill kind that forces pulls serial (every other spill
+    /// composes with morsel parallelism). Lets tests and callers tell
+    /// a spill-forced serial plan from a genuinely serial one.
+    pub fn spilled_build(&self) -> bool {
+        self.spilled_build
     }
 
     /// `true` iff the root pipeline runs vectorized: every streaming
@@ -463,10 +547,11 @@ impl Streamed {
             batch_rows: usize,
         }
         let (root, morsel_rows) = (&self.root, self.morsel_rows);
+        let spill = Arc::clone(&self.counters.spill);
         let workers_out = self
             .pool
             .fold_tasks(spec.morsels, WorkerOut::default, |w, idx| {
-                let local = Counters::default();
+                let local = Counters::with_spill(Arc::clone(&spill));
                 let mut cur = root.morsel_cursor(idx, morsel_rows, &local);
                 let mut rows = Vec::new();
                 while let Some(b) = cur.next_batch() {
@@ -501,6 +586,12 @@ impl Streamed {
         if spec.dedup {
             // Replay the deferred seen-set: first occurrence in morsel
             // order wins, exactly as the serial seen-set would decide.
+            // The replay set holds (a copy of) the distinct output and
+            // has no spill path of its own — it is *charged* so
+            // `peak_tracked_bytes` reports it honestly (see ROADMAP:
+            // spilling the gather replay is an open follow-on).
+            let budget = self.counters.spill.budget();
+            let mut replay_bytes = 0usize;
             let mut seen: FxHashMap<u64, Vec<Row>> = FxHashMap::default();
             for rows in gathered {
                 for row in rows {
@@ -508,11 +599,17 @@ impl Streamed {
                     if bucket.contains(&row) {
                         continue;
                     }
+                    if budget.enabled() {
+                        let fp = row_footprint(&row);
+                        budget.charge(fp);
+                        replay_bytes += fp;
+                    }
                     bucket.push(row.clone());
                     self.counters.rows(1);
                     out.push(row);
                 }
             }
+            budget.release(replay_bytes);
         } else {
             for rows in gathered {
                 out.extend(rows);
@@ -541,6 +638,7 @@ impl Streamed {
         }
         self.counters.reset_pull();
         let (root, morsel_rows) = (&self.root, self.morsel_rows);
+        let spill = Arc::clone(&self.counters.spill);
         struct WorkerFold<T> {
             state: T,
             err: Option<Error>,
@@ -559,7 +657,7 @@ impl Streamed {
                 if w.err.is_some() {
                     return;
                 }
-                let local = Counters::default();
+                let local = Counters::with_spill(Arc::clone(&spill));
                 let mut cur = root.morsel_cursor(idx, morsel_rows, &local);
                 while let Some(b) = cur.next_batch() {
                     w.batches += 1;
@@ -696,13 +794,51 @@ struct DifferenceNode {
 
 struct HashJoinNode {
     probe: Box<Node>,
-    build: Arc<Relation>,
-    table: RowTable,
+    build: JoinBuild,
     build_keys: Vec<usize>,
     probe_keys: Vec<usize>,
     /// `true` when the streamed probe side is the plan's left input.
     probe_is_left: bool,
     residual: Option<CompiledExpr>,
+}
+
+/// The buffered side of a hash join: resident (the default) or spilled
+/// to digest-routed partitions when materializing it blew the memory
+/// budget's per-worker share.
+enum JoinBuild {
+    /// In-memory build: the materialized relation plus its digest table.
+    Mem { rel: Arc<Relation>, table: RowTable },
+    /// On-disk build: partition run files of `(build row index, key
+    /// digest, row)` records, routed by [`spill_part`] at depth 0 and
+    /// each in ascending row-index order. Probing runs the hybrid-hash
+    /// protocol (see [`SpillJoin`]).
+    Spilled(SpilledBuild),
+}
+
+struct SpilledBuild {
+    /// One run per digest partition (empty partitions keep a zero-record
+    /// run so partition indices line up with [`spill_part`]).
+    parts: Vec<Run>,
+}
+
+/// Fan-out of one digest-partitioning pass of the hybrid-hash spill
+/// protocol. Small: partitions multiply per recursion level.
+const SPILL_JOIN_PARTS: usize = 8;
+
+/// Maximum recursive re-partitioning depth for an over-budget build
+/// partition. Past it the partition is built in memory regardless — a
+/// partition that refuses to shrink is dominated by one key's
+/// duplicates, which no amount of re-hashing can split.
+const MAX_SPILL_DEPTH: usize = 4;
+
+/// The digest partition a key digest routes to at recursion `depth`.
+/// Each depth re-mixes the digest so a partition that collided at one
+/// level spreads at the next.
+fn spill_part(digest: u64, depth: usize) -> usize {
+    let mut h = FxHasher::default();
+    h.write_u64(digest);
+    h.write_usize(depth);
+    (h.finish() as usize) % SPILL_JOIN_PARTS
 }
 
 struct NestedLoopNode {
@@ -854,13 +990,11 @@ fn prepare(plan: &Plan, ctx: &PrepCtx<'_>) -> Result<(Node, Schema)> {
                 let (lk, rk): (Vec<usize>, Vec<usize>) = cond.equi.iter().cloned().unzip();
                 (rk, lk)
             };
-            let build = materialize(build_node, build_schema, counters)?;
-            let table = build_table(&build, &build_keys, ctx);
+            let build = prepare_join_build(build_node, build_schema, &build_keys, ctx)?;
             Ok((
                 Node::HashJoin(HashJoinNode {
                     probe: Box::new(probe_node),
                     build,
-                    table,
                     build_keys,
                     probe_keys,
                     probe_is_left: !build_left,
@@ -955,7 +1089,11 @@ fn prepare(plan: &Plan, ctx: &PrepCtx<'_>) -> Result<(Node, Schema)> {
 
 /// Run a breaker-side node to completion. An already-materialized source
 /// is reused as-is — no rows are copied and no buffer is counted.
-/// Batchable subtrees run vectorized into the buffer.
+/// Batchable subtrees run vectorized into the buffer. Under a memory
+/// budget the copied rows are *charged* (so `ExecStats` tracks them and
+/// sibling breakers spill earlier), but non-join breaker inputs do not
+/// themselves spill — only hash-join builds, sort, aggregation and the
+/// dedup seen-sets have spill paths.
 fn materialize(node: Node, schema: &Schema, counters: &Counters) -> Result<Arc<Relation>> {
     if let Node::Source(rel) = node {
         return Ok(rel);
@@ -975,11 +1113,116 @@ fn materialize(node: Node, schema: &Schema, counters: &Counters) -> Result<Arc<R
             rows.push(r.into_owned());
         }
     }
+    if counters.spill.budget().enabled() {
+        counters
+            .spill
+            .budget()
+            .charge(rows.iter().map(row_footprint).sum());
+    }
     counters.buffer(rows.len());
     // Seen-set rows of nested breakers pulled during this prepare-time
     // materialization are permanent, not part of a re-runnable pull.
     counters.commit_pull();
     Relation::new(schema.clone(), rows).map(Arc::new)
+}
+
+/// Materialize a hash-join build side under the memory budget.
+///
+/// An already-materialized source stays zero-copy (the hash table
+/// indexes the shared storage; nothing is charged — the budget governs
+/// intermediate buffers, not the catalog's resident data), and with no
+/// budget configured this is exactly [`materialize`] + [`build_table`].
+/// Under a budget, a *computed* build side streams into an in-memory
+/// buffer; the moment the buffer exceeds the per-worker share it is
+/// flushed into [`SPILL_JOIN_PARTS`] digest-routed partition run files
+/// and every remaining row streams straight to disk, so the resident
+/// footprint stays near the share. Partition files hold `(build row
+/// index, key digest, row)` records in ascending index order — the
+/// order the hybrid-hash probe needs to reproduce in-memory output
+/// byte-for-byte.
+fn prepare_join_build(
+    node: Node,
+    schema: &Schema,
+    keys: &[usize],
+    ctx: &PrepCtx<'_>,
+) -> Result<JoinBuild> {
+    let counters = ctx.counters;
+    if !counters.spill.budget().enabled() || matches!(node, Node::Source(_)) {
+        let rel = materialize(node, schema, counters)?;
+        let table = build_table(&rel, keys, ctx);
+        return Ok(JoinBuild::Mem { rel, table });
+    }
+    let spill = &counters.spill;
+    let share = spill.budget().share();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut resident_bytes = 0usize;
+    let mut tail_bytes = 0usize;
+    let mut total_rows = 0usize;
+    let mut writers: Option<Vec<crate::spill::RunWriter>> = None;
+    let mut push =
+        |row: Row, rows: &mut Vec<Row>, writers: &mut Option<Vec<crate::spill::RunWriter>>| {
+            let bytes = row_footprint(&row);
+            let idx = total_rows as u64;
+            total_rows += 1;
+            if let Some(ws) = writers {
+                let digest = key_hash(&row, keys);
+                ws[spill_part(digest, 0)].push(&[idx, digest], &row);
+                tail_bytes += bytes;
+                return;
+            }
+            spill.budget().charge(bytes);
+            resident_bytes += bytes;
+            rows.push(row);
+            if resident_bytes > share {
+                // Over the share: divert to disk. Buffered rows flush into
+                // digest partitions (their indices are their positions).
+                let mut ws: Vec<crate::spill::RunWriter> = (0..SPILL_JOIN_PARTS)
+                    .map(|_| spill.writer("join-build"))
+                    .collect();
+                for (i, r) in rows.drain(..).enumerate() {
+                    let digest = key_hash(&r, keys);
+                    ws[spill_part(digest, 0)].push(&[i as u64, digest], &r);
+                }
+                spill.record_spill(resident_bytes);
+                spill.budget().release(resident_bytes);
+                resident_bytes = 0;
+                *writers = Some(ws);
+            }
+        };
+    if node.batchable() {
+        let mut cur = node.batch_cursor(counters);
+        while let Some(b) = cur.next_batch() {
+            counters.batch(b.len());
+            for pos in 0..b.len() {
+                push(b.row(pos), &mut rows, &mut writers);
+            }
+        }
+    } else {
+        let mut cur = node.cursor(counters);
+        while let Some(r) = cur.next() {
+            push(r.into_owned(), &mut rows, &mut writers);
+        }
+    }
+    counters.buffer(total_rows);
+    counters.commit_pull();
+    match writers {
+        None => {
+            let rel = Arc::new(Relation::new(schema.clone(), rows)?);
+            let table = build_table(&rel, keys, ctx);
+            Ok(JoinBuild::Mem { rel, table })
+        }
+        Some(ws) => {
+            if tail_bytes > 0 {
+                spill.record_spill(tail_bytes);
+            }
+            Ok(JoinBuild::Spilled(SpilledBuild {
+                parts: ws
+                    .into_iter()
+                    .map(crate::spill::RunWriter::finish)
+                    .collect(),
+            }))
+        }
+    }
 }
 
 /// Does the streaming executor build (buffer) the *left* input of this
@@ -1186,9 +1429,19 @@ enum Cursor<'a> {
     },
     HashJoin {
         node: &'a HashJoinNode,
+        rel: &'a Arc<Relation>,
+        table: &'a RowTable,
         probe: Box<Cursor<'a>>,
         /// Current probe row with its pending build matches.
         pending: Option<(StreamRow<'a>, &'a [usize], usize)>,
+    },
+    /// Row-at-a-time view over an operator that only exists batched (a
+    /// spilled hash join): pulls batches and hands their rows out one
+    /// by one.
+    Bridge {
+        bcur: Box<BCursor<'a>>,
+        batch: Option<ColumnBatch<'a>>,
+        pos: usize,
     },
     NestedLoop {
         node: &'a NestedLoopNode,
@@ -1229,10 +1482,21 @@ impl Node {
                 input: Box::new(input.cursor(counters)),
                 exprs,
             },
-            Node::HashJoin(node) => Cursor::HashJoin {
-                node,
-                probe: Box::new(node.probe.cursor(counters)),
-                pending: None,
+            Node::HashJoin(node) => match &node.build {
+                JoinBuild::Mem { rel, table } => Cursor::HashJoin {
+                    node,
+                    rel,
+                    table,
+                    probe: Box::new(node.probe.cursor(counters)),
+                    pending: None,
+                },
+                // A spilled build only has the hybrid-hash batched
+                // implementation; bridge it row-at-a-time.
+                JoinBuild::Spilled(_) => Cursor::Bridge {
+                    bcur: Box::new(self.batch_cursor(counters)),
+                    batch: None,
+                    pos: 0,
+                },
             },
             Node::NestedLoop(node) => Cursor::NestedLoop {
                 node,
@@ -1286,13 +1550,15 @@ impl<'a> Cursor<'a> {
             }
             Cursor::HashJoin {
                 node,
+                rel,
+                table,
                 probe,
                 pending,
             } => loop {
                 if let Some((probe_row, matches, pos)) = pending.as_mut() {
                     let prow = probe_row.as_row();
                     while *pos < matches.len() {
-                        let brow = &node.build.rows()[matches[*pos]];
+                        let brow = &rel.rows()[matches[*pos]];
                         *pos += 1;
                         if !keys_eq(brow, &node.build_keys, prow, &node.probe_keys) {
                             continue;
@@ -1313,9 +1579,20 @@ impl<'a> Cursor<'a> {
                     *pending = None;
                 }
                 let prow = probe.next()?;
-                if let Some(matches) = node.table.get(key_hash(prow.as_row(), &node.probe_keys)) {
+                if let Some(matches) = table.get(key_hash(prow.as_row(), &node.probe_keys)) {
                     *pending = Some((prow, matches, 0));
                 }
+            },
+            Cursor::Bridge { bcur, batch, pos } => loop {
+                if let Some(b) = batch {
+                    if *pos < b.len() {
+                        let row = b.row(*pos);
+                        *pos += 1;
+                        return Some(StreamRow::Owned(row));
+                    }
+                }
+                *batch = Some(bcur.next_batch()?);
+                *pos = 0;
             },
             Cursor::NestedLoop {
                 node,
@@ -1454,7 +1731,22 @@ enum BCursor<'a> {
     /// matches as re-selected probe views + build-image views.
     HashJoin {
         node: &'a HashJoinNode,
+        rel: &'a Arc<Relation>,
+        table: &'a RowTable,
         probe: Box<BCursor<'a>>,
+    },
+    /// Hybrid-hash probe over a spilled build (see [`SpillJoinState`]):
+    /// drains the probe into digest partitions, joins each partition
+    /// pair — recursively re-partitioning oversized build partitions —
+    /// and merges the per-partition output runs back into `(probe
+    /// sequence, build index)` order, which is exactly the in-memory
+    /// emission order.
+    HashJoinSpilled {
+        node: &'a HashJoinNode,
+        spilled: &'a SpilledBuild,
+        probe: Box<BCursor<'a>>,
+        state: SpillJoinState,
+        counters: &'a Counters,
     },
     /// Keyed semi/antijoin: membership-filters each probe batch.
     Semi {
@@ -1468,20 +1760,204 @@ enum BCursor<'a> {
         on_right: bool,
     },
     /// Duplicate elimination: digest seen-set, batch compacted to first
-    /// occurrences.
+    /// occurrences. Under a memory budget the seen-set can spill
+    /// (see [`DedupSpill`]).
     Distinct {
         input: Box<BCursor<'a>>,
         seen: FxHashMap<u64, Vec<Row>>,
         counters: &'a Counters,
+        spill: Option<Box<DedupSpill>>,
     },
     /// Set difference: membership test against the buffered right side
-    /// plus a digest seen-set.
+    /// plus a digest seen-set (spillable like Distinct's).
     Difference {
         node: &'a DifferenceNode,
         input: Box<BCursor<'a>>,
         seen: FxHashMap<u64, Vec<Row>>,
         counters: &'a Counters,
+        spill: Option<Box<DedupSpill>>,
     },
+}
+
+/// Phases of the hybrid-hash probe over a spilled build.
+enum SpillJoinState {
+    /// Drain the probe stream into digest-partition run files.
+    Drain,
+    /// Merge the per-partition output runs by `(probe seq, build idx)`.
+    Emit(MergeRuns<RecCmp>),
+}
+
+/// Record comparator used by spilled-join output merges: order by the
+/// first two record keys (probe sequence, then build row index).
+type RecCmp = fn(&Record, &Record) -> Ordering;
+
+fn cmp_seq_idx(a: &Record, b: &Record) -> Ordering {
+    (a.0[0], a.0[1]).cmp(&(b.0[0], b.0[1]))
+}
+
+/// Seen-set spill state of one distinct/difference cursor.
+///
+/// While in memory, the cursor dedups through its digest seen-set and
+/// streams first occurrences online, charging retained rows against the
+/// budget. The first overflow flushes the seen-set — rows *already
+/// emitted downstream* — as a digest-sorted `emitted` run and ends
+/// online emission: every later locally-new row becomes a *candidate*
+/// `(row, sequence)`, buffered in a fresh map that itself flushes as
+/// digest-sorted candidate runs. At end of input [`DedupSpill::resolve`]
+/// merges all runs by digest: candidates equal to an emitted row are
+/// suppressed, equal candidates keep the smallest sequence, and the
+/// winners emit in sequence order — exactly the rows, in exactly the
+/// order, the unbounded seen-set would have produced after the switch
+/// point (everything before it was already emitted online, and the
+/// whole online prefix precedes every candidate in the input).
+struct DedupSpill {
+    share: usize,
+    bytes: usize,
+    seq: u64,
+    /// `true` once the first flush ended online emission.
+    spilling: bool,
+    emitted_runs: Vec<Run>,
+    cand_runs: Vec<Run>,
+    cand: FxHashMap<u64, Vec<(Row, u64)>>,
+    winners: Option<std::vec::IntoIter<Row>>,
+    /// Bytes charged for the resolved winner set (released once the
+    /// winners have all been emitted).
+    winner_bytes: usize,
+}
+
+impl DedupSpill {
+    /// Spill state for one dedup cursor — `None` when the engine runs
+    /// unbounded, so the online path stays untouched.
+    fn maybe(counters: &Counters) -> Option<Box<DedupSpill>> {
+        counters.spill.budget().enabled().then(|| {
+            Box::new(DedupSpill {
+                share: counters.spill.budget().share(),
+                bytes: 0,
+                seq: 0,
+                spilling: false,
+                emitted_runs: Vec::new(),
+                cand_runs: Vec::new(),
+                cand: FxHashMap::default(),
+                winners: None,
+                winner_bytes: 0,
+            })
+        })
+    }
+
+    /// Charge one retained row; `true` when the buffer just crossed the
+    /// share and the caller must flush.
+    fn charge(&mut self, ctx: &SpillCtx, row: &Row) -> bool {
+        let bytes = row_footprint(row);
+        ctx.budget().charge(bytes);
+        self.bytes += bytes;
+        self.bytes > self.share
+    }
+
+    /// Flush the online seen-set (already-emitted rows) as a
+    /// digest-sorted run and switch to candidate buffering.
+    fn flush_seen(&mut self, ctx: &SpillCtx, seen: &mut FxHashMap<u64, Vec<Row>>) {
+        let mut entries: Vec<(u64, Row)> = seen
+            .drain()
+            .flat_map(|(d, rows)| rows.into_iter().map(move |r| (d, r)))
+            .collect();
+        entries.sort_by_key(|(d, _)| *d);
+        let mut w = ctx.writer("dedup-seen");
+        for (d, r) in &entries {
+            w.push(&[*d], r);
+        }
+        self.emitted_runs.push(w.finish());
+        ctx.record_spill(self.bytes);
+        ctx.budget().release(self.bytes);
+        self.bytes = 0;
+        self.spilling = true;
+    }
+
+    /// Record a locally-new candidate row; flushes the candidate map
+    /// when it crosses the share.
+    fn push_candidate(&mut self, ctx: &SpillCtx, digest: u64, row: Row) {
+        if self
+            .cand
+            .get(&digest)
+            .is_some_and(|bucket| bucket.iter().any(|(r, _)| *r == row))
+        {
+            return;
+        }
+        let over = self.charge(ctx, &row);
+        let seq = self.seq;
+        self.seq += 1;
+        self.cand.entry(digest).or_default().push((row, seq));
+        if over {
+            self.flush_cand(ctx);
+        }
+    }
+
+    /// Flush the candidate map as a digest-sorted run.
+    fn flush_cand(&mut self, ctx: &SpillCtx) {
+        let mut entries: Vec<(u64, Row, u64)> = self
+            .cand
+            .drain()
+            .flat_map(|(d, rows)| rows.into_iter().map(move |(r, s)| (d, r, s)))
+            .collect();
+        entries.sort_by_key(|(d, _, _)| *d);
+        let mut w = ctx.writer("dedup-cand");
+        for (d, r, s) in &entries {
+            w.push(&[*d, *s], r);
+        }
+        self.cand_runs.push(w.finish());
+        ctx.record_spill(self.bytes);
+        ctx.budget().release(self.bytes);
+        self.bytes = 0;
+    }
+
+    /// End of input: merge emitted + candidate runs by digest and
+    /// compute the winners, in input-sequence order.
+    fn resolve(&mut self, ctx: &SpillCtx, counters: &Counters) {
+        if !self.cand.is_empty() {
+            self.flush_cand(ctx);
+        }
+        let mut runs = std::mem::take(&mut self.emitted_runs);
+        runs.append(&mut self.cand_runs);
+        let mut winners: Vec<(u64, Row)> = Vec::new();
+        // Per-digest group state: the merge delivers all records of one
+        // digest together, emitted-run records first (earlier runs win
+        // ties), so suppressors are complete before candidates arrive.
+        let mut cur_digest: Option<u64> = None;
+        let mut emitted: Vec<Row> = Vec::new();
+        let mut group: Vec<(u64, Row)> = Vec::new();
+        for (_, (keys, row)) in merge_runs(&runs, ctx, |a, b| a.0[0].cmp(&b.0[0])) {
+            if cur_digest != Some(keys[0]) {
+                winners.append(&mut group);
+                emitted.clear();
+                cur_digest = Some(keys[0]);
+            }
+            // Emitted-run records carry one key (the digest); candidate
+            // records carry two (digest, seq). The arity — not the run
+            // index, which merge compaction may rewrite — tells them
+            // apart.
+            if keys.len() == 1 {
+                emitted.push(row);
+            } else if !emitted.contains(&row) {
+                match group.iter_mut().find(|(_, r)| *r == row) {
+                    Some((s, _)) => *s = (*s).min(keys[1]),
+                    None => group.push((keys[1], row)),
+                }
+            }
+        }
+        winners.append(&mut group);
+        winners.sort_by_key(|(s, _)| *s);
+        counters.rows(winners.len());
+        // The winner set is this operator's output suffix — held until
+        // emission and charged so peak_tracked_bytes reflects it.
+        self.winner_bytes = winners.iter().map(|(_, r)| row_footprint(r)).sum();
+        ctx.budget().charge(self.winner_bytes);
+        self.winners = Some(
+            winners
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect::<Vec<_>>()
+                .into_iter(),
+        );
+    }
 }
 
 impl Node {
@@ -1501,6 +1977,25 @@ impl Node {
             Node::NestedLoop(n) => n.outer.batchable(),
             Node::Concat { left, right } => left.batchable() && right.batchable(),
             Node::Difference(n) => n.input.batchable(),
+        }
+    }
+
+    /// Does any hash join in this tree hold a spilled build side? Such
+    /// trees run serial: every morsel cursor would re-drain and
+    /// re-probe the on-disk partitions (see `stream`).
+    fn any_spilled_build(&self) -> bool {
+        match self {
+            Node::Source(_) => false,
+            Node::Filter { input, .. } | Node::Project { input, .. } | Node::Distinct { input } => {
+                input.any_spilled_build()
+            }
+            Node::HashJoin(n) => {
+                matches!(n.build, JoinBuild::Spilled(_)) || n.probe.any_spilled_build()
+            }
+            Node::Semi(n) => n.probe.any_spilled_build(),
+            Node::NestedLoop(n) => n.outer.any_spilled_build(),
+            Node::Concat { left, right } => left.any_spilled_build() || right.any_spilled_build(),
+            Node::Difference(n) => n.input.any_spilled_build(),
         }
     }
 
@@ -1524,9 +2019,20 @@ impl Node {
                 input: Box::new(input.batch_cursor(counters)),
                 exprs,
             },
-            Node::HashJoin(node) => BCursor::HashJoin {
-                node,
-                probe: Box::new(node.probe.batch_cursor(counters)),
+            Node::HashJoin(node) => match &node.build {
+                JoinBuild::Mem { rel, table } => BCursor::HashJoin {
+                    node,
+                    rel,
+                    table,
+                    probe: Box::new(node.probe.batch_cursor(counters)),
+                },
+                JoinBuild::Spilled(spilled) => BCursor::HashJoinSpilled {
+                    node,
+                    spilled,
+                    probe: Box::new(node.probe.batch_cursor(counters)),
+                    state: SpillJoinState::Drain,
+                    counters,
+                },
             },
             Node::Semi(node) => BCursor::Semi {
                 node,
@@ -1546,12 +2052,14 @@ impl Node {
                 input: Box::new(input.batch_cursor(counters)),
                 seen: FxHashMap::default(),
                 counters,
+                spill: DedupSpill::maybe(counters),
             },
             Node::Difference(node) => BCursor::Difference {
                 node,
                 input: Box::new(node.input.batch_cursor(counters)),
                 seen: FxHashMap::default(),
                 counters,
+                spill: DedupSpill::maybe(counters),
             },
         }
     }
@@ -1604,9 +2112,25 @@ impl Node {
                 input: Box::new(input.morsel_cursor(idx, morsel_rows, counters)),
                 exprs,
             },
-            Node::HashJoin(node) => BCursor::HashJoin {
-                node,
-                probe: Box::new(node.probe.morsel_cursor(idx, morsel_rows, counters)),
+            Node::HashJoin(node) => match &node.build {
+                JoinBuild::Mem { rel, table } => BCursor::HashJoin {
+                    node,
+                    rel,
+                    table,
+                    probe: Box::new(node.probe.morsel_cursor(idx, morsel_rows, counters)),
+                },
+                // Reachable only defensively: a spilled build forces
+                // serial pulls at prepare time (see `stream`). Each
+                // morsel would drain and probe its own partitions —
+                // correct, but the build-partition I/O multiplies by
+                // the morsel count.
+                JoinBuild::Spilled(spilled) => BCursor::HashJoinSpilled {
+                    node,
+                    spilled,
+                    probe: Box::new(node.probe.morsel_cursor(idx, morsel_rows, counters)),
+                    state: SpillJoinState::Drain,
+                    counters,
+                },
             },
             Node::Semi(node) => BCursor::Semi {
                 node,
@@ -1632,12 +2156,14 @@ impl Node {
                 input: Box::new(input.morsel_cursor(idx, morsel_rows, counters)),
                 seen: FxHashMap::default(),
                 counters,
+                spill: DedupSpill::maybe(counters),
             },
             Node::Difference(node) => BCursor::Difference {
                 node,
                 input: Box::new(node.input.morsel_cursor(idx, morsel_rows, counters)),
                 seen: FxHashMap::default(),
                 counters,
+                spill: DedupSpill::maybe(counters),
             },
         }
     }
@@ -1764,14 +2290,19 @@ impl<'a> BCursor<'a> {
                     .collect();
                 Some(ColumnBatch { cols, len: b.len() })
             }
-            BCursor::HashJoin { node, probe } => loop {
+            BCursor::HashJoin {
+                node,
+                rel,
+                table,
+                probe,
+            } => loop {
                 let b = probe.next_batch()?;
-                let build_image = node.build.columns();
+                let build_image = rel.columns();
                 let hashes = batch_key_hashes(&b, &node.probe_keys);
                 let mut probe_pos: Vec<u32> = Vec::new();
                 let mut build_idx: Vec<u32> = Vec::new();
                 for (pos, h) in hashes.iter().enumerate() {
-                    if let Some(matches) = node.table.get(*h) {
+                    if let Some(matches) = table.get(*h) {
                         for &bi in matches {
                             if batch_keys_eq(
                                 &b,
@@ -1815,6 +2346,71 @@ impl<'a> BCursor<'a> {
                 }
                 return Some(out);
             },
+            BCursor::HashJoinSpilled {
+                node,
+                spilled,
+                probe,
+                state,
+                counters,
+            } => loop {
+                match state {
+                    SpillJoinState::Drain => {
+                        let ctx = &counters.spill;
+                        // Drain the probe stream into digest partitions
+                        // aligned with the build's. Probe rows routed to
+                        // an empty build partition can never match and
+                        // are dropped at the door.
+                        let active: Vec<bool> =
+                            spilled.parts.iter().map(|r| r.records() > 0).collect();
+                        let mut writers: Vec<crate::spill::RunWriter> = (0..SPILL_JOIN_PARTS)
+                            .map(|_| ctx.writer("join-probe"))
+                            .collect();
+                        let mut seq = 0u64;
+                        let mut drained = 0usize;
+                        while let Some(b) = probe.next_batch() {
+                            let hashes = batch_key_hashes(&b, &node.probe_keys);
+                            for (pos, &digest) in hashes.iter().enumerate() {
+                                let part = spill_part(digest, 0);
+                                if active[part] {
+                                    let row = b.row(pos);
+                                    drained += row_footprint(&row);
+                                    writers[part].push(&[seq, digest], &row);
+                                }
+                                seq += 1;
+                            }
+                        }
+                        if drained > 0 {
+                            ctx.record_spill(drained);
+                        }
+                        let probe_parts: Vec<Run> = writers
+                            .into_iter()
+                            .map(crate::spill::RunWriter::finish)
+                            .collect();
+                        // Join each partition pair into sorted output
+                        // runs, then merge the runs back into global
+                        // (probe seq, build idx) order.
+                        let mut out_runs: Vec<Run> = Vec::new();
+                        for (bp, pp) in spilled.parts.iter().zip(&probe_parts) {
+                            join_spilled_partition(node, bp, pp, 0, ctx, &mut out_runs);
+                        }
+                        *state = SpillJoinState::Emit(merge_runs(&out_runs, ctx, cmp_seq_idx));
+                    }
+                    SpillJoinState::Emit(merge) => {
+                        let mut rows: Vec<Row> = Vec::with_capacity(BATCH_SIZE);
+                        while rows.len() < BATCH_SIZE {
+                            match merge.next() {
+                                Some((_, (_, row))) => rows.push(row),
+                                None => break,
+                            }
+                        }
+                        if rows.is_empty() {
+                            return None;
+                        }
+                        let arity = rows[0].len();
+                        return Some(ColumnBatch::from_rows(&rows, arity));
+                    }
+                }
+            },
             BCursor::Semi { node, probe } => loop {
                 let mut b = probe.next_batch()?;
                 let matched = semi_matched_mask(node, &b);
@@ -1848,20 +2444,52 @@ impl<'a> BCursor<'a> {
                 input,
                 seen,
                 counters,
+                spill,
             } => loop {
-                let mut b = input.next_batch()?;
+                if let Some(batch) = dedup_emit_winners(spill, counters) {
+                    return batch;
+                }
+                let Some(mut b) = input.next_batch() else {
+                    let sp = spill.as_deref_mut()?;
+                    if !sp.spilling {
+                        return None;
+                    }
+                    sp.resolve(&counters.spill, counters);
+                    continue; // loop back into the winner emission
+                };
                 let mut keep = vec![false; b.len()];
                 let mut any = false;
                 for (pos, k) in keep.iter_mut().enumerate() {
                     let digest = batch_row_hash(&b, pos);
+                    if let Some(sp) = spill.as_deref_mut() {
+                        if sp.spilling {
+                            // Candidate phase: nothing emits online (the
+                            // seen-set was flushed and stays empty).
+                            sp.push_candidate(&counters.spill, digest, b.row(pos));
+                            continue;
+                        }
+                    }
                     let bucket = seen.entry(digest).or_default();
                     if bucket.iter().any(|row| batch_row_eq(&b, pos, row)) {
                         continue;
                     }
-                    bucket.push(b.row(pos));
+                    let row = b.row(pos);
+                    let over = spill
+                        .as_deref_mut()
+                        .is_some_and(|sp| sp.charge(&counters.spill, &row));
+                    bucket.push(row);
                     counters.rows(1);
                     *k = true;
                     any = true;
+                    if over {
+                        // The seen-set crossed its share: flush it (its
+                        // rows are already emitted) and stop emitting
+                        // online from the next row on.
+                        spill
+                            .as_deref_mut()
+                            .expect("over implies spill state")
+                            .flush_seen(&counters.spill, seen);
+                    }
                 }
                 if any {
                     b.compact(&keep);
@@ -1873,12 +2501,25 @@ impl<'a> BCursor<'a> {
                 input,
                 seen,
                 counters,
+                spill,
             } => loop {
-                let mut b = input.next_batch()?;
+                if let Some(batch) = dedup_emit_winners(spill, counters) {
+                    return batch;
+                }
+                let Some(mut b) = input.next_batch() else {
+                    let sp = spill.as_deref_mut()?;
+                    if !sp.spilling {
+                        return None;
+                    }
+                    sp.resolve(&counters.spill, counters);
+                    continue;
+                };
                 let mut keep = vec![false; b.len()];
                 let mut any = false;
                 for (pos, k) in keep.iter_mut().enumerate() {
                     let digest = batch_row_hash(&b, pos);
+                    // The right-membership test is stateless and runs in
+                    // both phases.
                     let in_right = node.table.get(digest).is_some_and(|is| {
                         is.iter()
                             .any(|&i| batch_row_eq(&b, pos, &node.right.rows()[i]))
@@ -1886,14 +2527,30 @@ impl<'a> BCursor<'a> {
                     if in_right {
                         continue;
                     }
+                    if let Some(sp) = spill.as_deref_mut() {
+                        if sp.spilling {
+                            sp.push_candidate(&counters.spill, digest, b.row(pos));
+                            continue;
+                        }
+                    }
                     let bucket = seen.entry(digest).or_default();
                     if bucket.iter().any(|row| batch_row_eq(&b, pos, row)) {
                         continue;
                     }
-                    bucket.push(b.row(pos));
+                    let row = b.row(pos);
+                    let over = spill
+                        .as_deref_mut()
+                        .is_some_and(|sp| sp.charge(&counters.spill, &row));
+                    bucket.push(row);
                     counters.rows(1);
                     *k = true;
                     any = true;
+                    if over {
+                        spill
+                            .as_deref_mut()
+                            .expect("over implies spill state")
+                            .flush_seen(&counters.spill, seen);
+                    }
                 }
                 if any {
                     b.compact(&keep);
@@ -1901,6 +2558,129 @@ impl<'a> BCursor<'a> {
                 }
             },
         }
+    }
+}
+
+/// Winner emission of a spilled dedup cursor: `None` while the cursor
+/// is not in the winner phase; `Some(None)` at end of winners (end of
+/// stream, winner bytes released); `Some(Some(batch))` with up to
+/// [`BATCH_SIZE`] winner rows.
+fn dedup_emit_winners<'a>(
+    spill: &mut Option<Box<DedupSpill>>,
+    counters: &Counters,
+) -> Option<Option<ColumnBatch<'a>>> {
+    let sp = spill.as_deref_mut()?;
+    let w = sp.winners.as_mut()?;
+    let rows: Vec<Row> = w.by_ref().take(BATCH_SIZE).collect();
+    if rows.is_empty() {
+        counters.spill.budget().release(sp.winner_bytes);
+        sp.winner_bytes = 0;
+        return Some(None);
+    }
+    let arity = rows[0].len();
+    Some(Some(ColumnBatch::from_rows(&rows, arity)))
+}
+
+/// Join one (build partition, probe partition) pair of a spilled hash
+/// join, appending output runs of `(probe seq, build idx, joined row)`
+/// records — each run internally sorted by that key pair, since the
+/// probe file is in sequence order and bucket matches ascend by build
+/// index.
+///
+/// A build partition whose resident footprint still exceeds the budget
+/// share is *recursively* re-partitioned (both sides, with the
+/// next-depth digest mix) up to [`MAX_SPILL_DEPTH`]; past that it is
+/// built in memory regardless — a partition that refuses to split is
+/// dominated by duplicates of one key, which re-hashing cannot spread.
+fn join_spilled_partition(
+    node: &HashJoinNode,
+    build_run: &Run,
+    probe_run: &Run,
+    depth: usize,
+    ctx: &SpillCtx,
+    out: &mut Vec<Run>,
+) {
+    if build_run.records() == 0 || probe_run.records() == 0 {
+        return;
+    }
+    // The run's own metadata decides *before* anything loads: an
+    // over-share partition streams record-by-record into sub-partition
+    // files, so no more than one share's worth of build rows is ever
+    // resident on this path.
+    if build_run.bytes() > ctx.budget().share()
+        && depth < MAX_SPILL_DEPTH
+        && build_run.records() > 1
+    {
+        let mut bws: Vec<crate::spill::RunWriter> = (0..SPILL_JOIN_PARTS)
+            .map(|_| ctx.writer("join-build"))
+            .collect();
+        let mut rd = build_run.reader();
+        while let Some((keys, row)) = rd.next_record() {
+            bws[spill_part(keys[1], depth + 1)].push(&keys, &row);
+        }
+        let mut pws: Vec<crate::spill::RunWriter> = (0..SPILL_JOIN_PARTS)
+            .map(|_| ctx.writer("join-probe"))
+            .collect();
+        let mut rd = probe_run.reader();
+        while let Some((keys, row)) = rd.next_record() {
+            pws[spill_part(keys[1], depth + 1)].push(&keys, &row);
+        }
+        ctx.record_spill(build_run.bytes());
+        let bruns: Vec<Run> = bws
+            .into_iter()
+            .map(crate::spill::RunWriter::finish)
+            .collect();
+        let pruns: Vec<Run> = pws
+            .into_iter()
+            .map(crate::spill::RunWriter::finish)
+            .collect();
+        for (b, p) in bruns.iter().zip(&pruns) {
+            join_spilled_partition(node, b, p, depth + 1, ctx, out);
+        }
+        return;
+    }
+    // Partition fits (or cannot split further): classic build + probe.
+    // (row index, key digest, row), in ascending index order — file
+    // order, which re-partitioning preserves.
+    let mut build: Vec<(u64, u64, Row)> = Vec::with_capacity(build_run.records());
+    let mut rd = build_run.reader();
+    while let Some((keys, row)) = rd.next_record() {
+        build.push((keys[0], keys[1], row));
+    }
+    let bytes = build_run.bytes();
+    ctx.budget().charge(bytes);
+    let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    for (i, (_, digest, _)) in build.iter().enumerate() {
+        table.entry(*digest).or_default().push(i);
+    }
+    let mut w = ctx.writer("join-out");
+    let mut rd = probe_run.reader();
+    while let Some((keys, prow)) = rd.next_record() {
+        let (seq, digest) = (keys[0], keys[1]);
+        if let Some(matches) = table.get(&digest) {
+            for &bi in matches {
+                let (idx, _, brow) = &build[bi];
+                if !keys_eq(brow, &node.build_keys, &prow, &node.probe_keys) {
+                    continue;
+                }
+                let (lr, rr) = if node.probe_is_left {
+                    (&prow, brow)
+                } else {
+                    (brow, &prow)
+                };
+                if node
+                    .residual
+                    .as_ref()
+                    .is_none_or(|c| c.eval_bool_pair(lr, rr))
+                {
+                    w.push(&[seq, *idx], &concat_rows(lr, rr));
+                }
+            }
+        }
+    }
+    ctx.budget().release(bytes);
+    if w.records() > 0 {
+        out.push(w.finish());
     }
 }
 

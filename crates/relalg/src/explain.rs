@@ -22,6 +22,7 @@ use crate::exec::{
 use crate::expr::Expr;
 use crate::optimizer::est_rows;
 use crate::plan::Plan;
+use crate::pool::TaskPool;
 use std::fmt::Write as _;
 
 /// Render a plan as an indented EXPLAIN tree with pipeline annotations
@@ -46,7 +47,22 @@ pub fn explain(plan: &Plan, catalog: &Catalog) -> String {
     if workers > 1 {
         let _ = writeln!(out, "-- parallel: {workers} worker(s)");
     }
+    let budget = catalog.config().mem_budget;
+    if budget != usize::MAX {
+        let share = worker_share(catalog);
+        let _ = writeln!(
+            out,
+            "-- memory budget: {budget} byte(s) ({share} per worker share)"
+        );
+    }
     out
+}
+
+/// The engine's actual per-worker budget share for this catalog's
+/// configuration (delegates to [`TaskPool::share_of`], the single home
+/// of that policy — including the one-byte floor for tiny budgets).
+fn worker_share(catalog: &Catalog) -> usize {
+    TaskPool::new(catalog.config().threads).share_of(catalog.config().mem_budget)
 }
 
 /// `EXPLAIN ANALYZE`-style: render the plan, execute it, and append the
@@ -83,6 +99,13 @@ pub fn explain_executed(plan: &Plan, catalog: &Catalog) -> Result<String> {
             per.join(", ")
         );
     }
+    if stats.spill_events > 0 {
+        let _ = writeln!(
+            out,
+            "-- spilled: {} event(s), ~{} byte(s) to disk (peak tracked {} byte(s))",
+            stats.spill_events, stats.spilled_bytes, stats.peak_tracked_bytes
+        );
+    }
     Ok(out)
 }
 
@@ -95,6 +118,66 @@ fn engine_tag(plan: &Plan, catalog: &Catalog) -> &'static str {
         "[batched]"
     } else {
         "[row]"
+    }
+}
+
+/// Estimated average output-row bytes of a plan: leaf widths come from
+/// table statistics ([`crate::stats::TableStats::avg_row_bytes`]);
+/// operators transform them structurally (joins concatenate, projections
+/// scale by arity).
+fn est_row_bytes(plan: &Plan, catalog: &Catalog) -> f64 {
+    match plan {
+        Plan::Scan(name) => catalog
+            .stats(name)
+            .map(|s| s.avg_row_bytes())
+            .unwrap_or(16.0),
+        Plan::Values(rel) => {
+            if rel.is_empty() {
+                16.0
+            } else {
+                rel.size_bytes() as f64 / rel.len() as f64
+            }
+        }
+        Plan::Select { input, .. } | Plan::Rename { input, .. } | Plan::Distinct(input) => {
+            est_row_bytes(input, catalog)
+        }
+        Plan::Project { input, cols } => {
+            let in_arity = input
+                .schema(catalog)
+                .map(|s| s.arity())
+                .unwrap_or(cols.len())
+                .max(1);
+            est_row_bytes(input, catalog) * cols.len() as f64 / in_arity as f64
+        }
+        Plan::Join { left, right, .. } => {
+            est_row_bytes(left, catalog) + est_row_bytes(right, catalog)
+        }
+        Plan::SemiJoin { left, .. }
+        | Plan::AntiJoin { left, .. }
+        | Plan::Difference { left, .. } => est_row_bytes(left, catalog),
+        Plan::Union { left, right } => {
+            est_row_bytes(left, catalog).max(est_row_bytes(right, catalog))
+        }
+    }
+}
+
+/// `" [spill]"` when, under the configured memory budget, the breaker
+/// buffer holding `side`'s rows is predicted to exceed its per-worker
+/// share (48 bytes/row of buffer overhead assumed, mirroring the
+/// runtime's footprint estimate). Purely advisory: the runtime decides
+/// from actual sizes, and spilling never changes results.
+fn spill_tag(side: &Plan, catalog: &Catalog) -> &'static str {
+    if catalog.config().mem_budget == usize::MAX || side.materialized_source() {
+        // Unbounded — or a zero-copy source build side, which indexes
+        // the catalog's storage and never buffers, so it cannot spill.
+        return "";
+    }
+    let share = worker_share(catalog) as f64;
+    let bytes = est_rows(side, catalog) * (est_row_bytes(side, catalog) + 48.0);
+    if bytes > share {
+        " [spill]"
+    } else {
+        ""
     }
 }
 
@@ -170,8 +253,9 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
                 let build_side = if build == "left" { left } else { right };
                 let _ = writeln!(
                     out,
-                    "Hash Join  (rows≈{rows:.0}) [streams {probe} probe, build {build} {}] {tag}",
-                    side_label(build_side)
+                    "Hash Join  (rows≈{rows:.0}) [streams {probe} probe, build {build} {}] {tag}{}",
+                    side_label(build_side),
+                    spill_tag(build_side, catalog)
                 );
                 indent(depth + 1, out);
                 let _ = writeln!(out, "Hash Cond: ({})", keys.join(") AND ("));
@@ -209,8 +293,9 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
         Plan::Difference { left, right } => {
             let _ = writeln!(
                 out,
-                "Except  (rows≈{rows:.0}) [buffers seen-set, right {}] {tag}",
-                side_label(right)
+                "Except  (rows≈{rows:.0}) [buffers seen-set, right {}] {tag}{}",
+                side_label(right),
+                spill_tag(plan, catalog)
             );
             render(left, catalog, depth + 1, out);
             render(right, catalog, depth + 1, out);
@@ -218,7 +303,8 @@ fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
         Plan::Distinct(input) => {
             let _ = writeln!(
                 out,
-                "HashAggregate (distinct)  (rows≈{rows:.0}) [buffers seen-set] {tag}"
+                "HashAggregate (distinct)  (rows≈{rows:.0}) [buffers seen-set] {tag}{}",
+                spill_tag(plan, catalog)
             );
             render(input, catalog, depth + 1, out);
         }
@@ -350,6 +436,42 @@ mod tests {
         serial.set_threads(1);
         let text = explain(&p, &serial);
         assert!(!text.contains("parallel"), "{text}");
+    }
+
+    #[test]
+    fn explain_tags_spilling_breakers_under_a_budget() {
+        use crate::catalog::EngineConfig;
+        let mut c = Catalog::new().with_config(EngineConfig::serial());
+        // Start explicitly unbounded even when the test process runs
+        // under RELALG_MEM_BUDGET (as the CI mem-budget leg does).
+        c.set_mem_budget(0);
+        c.insert(
+            "big",
+            Relation::from_rows(
+                ["a", "b"],
+                (0..4096i64)
+                    .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        );
+        let p = Plan::scan("big").project_names(["a"]).distinct();
+        // Unbounded: no spill tag, no budget footer.
+        let text = explain(&p, &c);
+        assert!(!text.contains("[spill]"), "{text}");
+        assert!(!text.contains("memory budget"), "{text}");
+        // A tiny budget predicts the seen-set over its share.
+        c.set_mem_budget(512);
+        let text = explain(&p, &c);
+        assert!(text.contains("[spill]"), "{text}");
+        assert!(text.contains("memory budget: 512 byte(s)"), "{text}");
+        // The executed report shows what actually spilled.
+        let text = explain_executed(&p, &c).unwrap();
+        assert!(text.contains("-- spilled:"), "{text}");
+        // A budget generous enough for this plan predicts no spill.
+        c.set_mem_budget(64 << 20);
+        let text = explain(&p, &c);
+        assert!(!text.contains("[spill]"), "{text}");
     }
 
     #[test]

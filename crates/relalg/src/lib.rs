@@ -26,8 +26,13 @@
 //!   distinct/difference seen-sets, sort, aggregation) buffer — as
 //!   parallel partial states when fanned out — and [`exec::ExecStats`]
 //!   counts exactly how much, plus the batches emitted and the workers
-//!   used. The retained operator-at-a-time engine
-//!   ([`exec::execute_reference`]) is the differential baseline;
+//!   used. Under a memory budget (`RELALG_MEM_BUDGET` /
+//!   [`Catalog::set_mem_budget`]) over-share breakers **spill to
+//!   sorted runs** ([`spill`]) — hybrid-hash join partitions, dedup
+//!   candidate runs, external sort/aggregation merges — with output
+//!   byte-identical to unbounded execution and run files in a scoped
+//!   temp directory cleaned on drop. The retained operator-at-a-time
+//!   engine ([`exec::execute_reference`]) is the differential baseline;
 //! * [`optimizer::optimize`] — conjunct splitting, selection pushdown,
 //!   projection pruning, greedy cost-based join reordering, and
 //!   redundant-distinct elimination;
@@ -55,10 +60,11 @@ pub mod pool;
 pub mod relation;
 pub mod schema;
 pub mod sort;
+pub mod spill;
 pub mod stats;
 pub mod value;
 
-pub use aggregate::{aggregate, aggregate_plan, AggFunc, Aggregate};
+pub use aggregate::{aggregate, aggregate_plan, aggregate_plan_with_stats, AggFunc, Aggregate};
 pub use batch::{BatchCol, ColumnBatch, BATCH_SIZE};
 pub use catalog::{Catalog, EngineConfig};
 pub use error::{Error, Result};
@@ -68,4 +74,5 @@ pub use plan::Plan;
 pub use pool::TaskPool;
 pub use relation::{Column, ColumnarImage, Relation, Row};
 pub use schema::{ColRef, Schema};
+pub use spill::{MemBudget, SpillCtx};
 pub use value::Value;

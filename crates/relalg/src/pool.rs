@@ -50,6 +50,21 @@ impl TaskPool {
         self.threads.min(tasks).max(1)
     }
 
+    /// Split a resource budget (memory bytes) evenly over this pool's
+    /// workers: each worker-local breaker buffer gets `total / threads`
+    /// before it must spill, floored at one unit so a tiny budget still
+    /// degrades to spilling instead of to zero capacity. `usize::MAX`
+    /// (unbounded) passes through untouched. This is *the* share
+    /// computation — [`crate::spill::MemBudget`] stores its result
+    /// rather than re-deriving it.
+    pub fn share_of(&self, total: usize) -> usize {
+        if total == usize::MAX {
+            usize::MAX
+        } else {
+            (total / self.threads).max(1)
+        }
+    }
+
     /// Run `tasks` independent tasks and return their results in task
     /// order (the Exchange→Gather driver). `task` must be safe to call
     /// concurrently for distinct ids; each id runs exactly once.
@@ -161,6 +176,15 @@ mod tests {
         let mut all: Vec<usize> = states.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn share_of_splits_budgets_per_worker() {
+        assert_eq!(TaskPool::new(4).share_of(1000), 250);
+        assert_eq!(TaskPool::new(1).share_of(1000), 1000);
+        // Tiny budgets floor at one unit; unbounded passes through.
+        assert_eq!(TaskPool::new(8).share_of(2), 1);
+        assert_eq!(TaskPool::new(8).share_of(usize::MAX), usize::MAX);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::schema::Schema;
 use crate::value::{str_eq, Value};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::io;
 use std::sync::{Arc, OnceLock};
 
 /// A row: a boxed slice of values (two words on the stack, no spare
@@ -416,6 +417,102 @@ impl Relation {
         self.schema.arity() == other.schema.arity()
             && self.sorted_set().rows == other.sorted_set().rows
     }
+}
+
+// ---------------------------------------------------------------------------
+// Run serialization: the binary row codec spilled runs are written in
+// ---------------------------------------------------------------------------
+
+/// Value tags of the spill-run row codec (see [`encode_row`]). Kept
+/// private to the codec: the on-disk format is an implementation detail
+/// of one process's execution — runs never outlive their spill
+/// directory, so there is no versioning concern.
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Serialize a row for a spill run: `u16` arity, then one tagged value
+/// per column (integers little-endian, strings length-prefixed UTF-8).
+/// Lossless: [`decode_row`] reproduces a row that compares `Eq`/`Ord`/
+/// `Hash`-identical to the original (decoded strings are fresh
+/// allocations — equality falls back from the interner's pointer check
+/// to bytes, which is exactly what [`str_eq`] does).
+pub fn encode_row(w: &mut impl io::Write, row: &Row) -> io::Result<()> {
+    let arity = u16::try_from(row.len()).expect("spilled row arity fits u16");
+    w.write_all(&arity.to_le_bytes())?;
+    for v in row.iter() {
+        match v {
+            Value::Null => w.write_all(&[TAG_NULL])?,
+            Value::Bool(false) => w.write_all(&[TAG_FALSE])?,
+            Value::Bool(true) => w.write_all(&[TAG_TRUE])?,
+            Value::Int(i) => {
+                w.write_all(&[TAG_INT])?;
+                w.write_all(&i.to_le_bytes())?;
+            }
+            Value::Str(s) => {
+                w.write_all(&[TAG_STR])?;
+                let len = u32::try_from(s.len()).expect("spilled string fits u32");
+                w.write_all(&len.to_le_bytes())?;
+                w.write_all(s.as_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize one [`encode_row`] row. `Ok(None)` at a clean
+/// end-of-stream; an error on a truncated or corrupt record.
+pub fn decode_row(r: &mut impl io::Read) -> io::Result<Option<Row>> {
+    let mut arity = [0u8; 2];
+    match r.read(&mut arity)? {
+        0 => return Ok(None),
+        1 => r.read_exact(&mut arity[1..])?,
+        _ => {}
+    }
+    let arity = u16::from_le_bytes(arity) as usize;
+    let mut row = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        row.push(match tag[0] {
+            TAG_NULL => Value::Null,
+            TAG_FALSE => Value::Bool(false),
+            TAG_TRUE => Value::Bool(true),
+            TAG_INT => {
+                let mut b = [0u8; 8];
+                r.read_exact(&mut b)?;
+                Value::Int(i64::from_le_bytes(b))
+            }
+            TAG_STR => {
+                let mut b = [0u8; 4];
+                r.read_exact(&mut b)?;
+                let mut s = vec![0u8; u32::from_le_bytes(b) as usize];
+                r.read_exact(&mut s)?;
+                Value::Str(Arc::from(
+                    String::from_utf8(s)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                ))
+            }
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown spill value tag {t}"),
+                ))
+            }
+        });
+    }
+    Ok(Some(row.into_boxed_slice()))
+}
+
+/// Approximate in-memory footprint of one row: heap payload plus the
+/// per-value enum slots and the boxed-slice header. This is what breaker
+/// buffers charge against the memory budget — an estimate, deliberately
+/// on the simple side (allocator slack and hash-table overhead are not
+/// modeled), but monotone in what the buffer actually holds.
+pub fn row_footprint(row: &Row) -> usize {
+    24 + row.iter().map(|v| 24 + v.size_bytes()).sum::<usize>()
 }
 
 impl fmt::Display for Relation {

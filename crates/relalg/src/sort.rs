@@ -16,11 +16,12 @@
 
 use crate::catalog::Catalog;
 use crate::error::Result;
-use crate::exec;
+use crate::exec::{self, ExecStats};
 use crate::expr::{CompiledExpr, Expr};
 use crate::plan::Plan;
 use crate::pool::TaskPool;
-use crate::relation::{Relation, Row};
+use crate::relation::{row_footprint, Relation, Row};
+use crate::spill::{merge_runs, Run, SpillCtx};
 use std::cmp::Ordering;
 
 /// Sort direction per key.
@@ -140,16 +141,102 @@ pub fn sort_by(input: &Relation, keys: &[(Expr, Order)]) -> Result<Relation> {
 /// with a parallel engine configuration, both the pull (morsel-driven)
 /// and the sort itself (per-worker sorted runs + stable merge) fan out,
 /// with output identical to the serial path.
+///
+/// Under a memory budget the sort goes *external*: input chunks are
+/// stable-sorted and flushed as sorted runs whenever the buffer crosses
+/// the budget's per-worker share, and the runs are merged back with
+/// ties resolved toward the earlier run — runs hold contiguous input
+/// chunks in input order, so the merge reproduces the in-memory stable
+/// sort byte-for-byte.
 pub fn sort_plan(plan: &Plan, catalog: &Catalog, keys: &[(Expr, Order)]) -> Result<Relation> {
+    sort_plan_with_stats(plan, catalog, keys).map(|(rel, _)| rel)
+}
+
+/// [`sort_plan`] plus the execution's [`ExecStats`] (spill events of
+/// both the plan's breakers and the sort itself included).
+pub fn sort_plan_with_stats(
+    plan: &Plan,
+    catalog: &Catalog,
+    keys: &[(Expr, Order)],
+) -> Result<(Relation, ExecStats)> {
     let streamed = exec::stream(plan, catalog)?;
     let compiled: Vec<(CompiledExpr, Order)> = keys
         .iter()
         .map(|(e, o)| Ok((e.compile(streamed.schema())?, *o)))
         .collect::<Result<_>>()?;
-    let rows = streamed.collect_rows(None);
     let pool = TaskPool::new(catalog.config().threads);
-    let rows = parallel_sort_rows(rows, &compiled, &pool);
-    Relation::new(streamed.schema().clone(), rows)
+    let rows = if streamed.spill_ctx().budget().enabled() {
+        external_sort_rows(&streamed, &compiled, &pool)?
+    } else {
+        let rows = streamed.collect_rows(None);
+        parallel_sort_rows(rows, &compiled, &pool)
+    };
+    let rel = Relation::new(streamed.schema().clone(), rows)?;
+    let stats = streamed.stats();
+    Ok((rel, stats))
+}
+
+/// Budgeted sort: buffer input rows up to the budget share, flushing
+/// stable-sorted chunks as runs; merge the runs (plus the in-memory
+/// tail) stably at the end. Equivalent to the in-memory stable sort —
+/// the unique stable permutation — and never holds more than one
+/// chunk's rows plus the merge heads in memory (the *output* vector is
+/// the consumer's, as always).
+fn external_sort_rows(
+    streamed: &exec::Streamed,
+    compiled: &[(CompiledExpr, Order)],
+    pool: &TaskPool,
+) -> Result<Vec<Row>> {
+    let ctx = streamed.spill_ctx();
+    let share = ctx.budget().share();
+    let mut chunk: Vec<Row> = Vec::new();
+    let mut bytes = 0usize;
+    let mut runs: Vec<Run> = Vec::new();
+    streamed.for_each_batch(|b| {
+        for pos in 0..b.len() {
+            let row = b.row(pos);
+            let fp = row_footprint(&row);
+            ctx.budget().charge(fp);
+            bytes += fp;
+            chunk.push(row);
+            if bytes > share {
+                flush_sort_run(&mut chunk, &mut bytes, compiled, ctx, &mut runs);
+            }
+        }
+        Ok(())
+    })?;
+    if runs.is_empty() {
+        // Everything fit the share: release the charge and sort in
+        // memory — on the parallel path, exactly like unbounded runs.
+        ctx.budget().release(bytes);
+        return Ok(parallel_sort_rows(chunk, compiled, pool));
+    }
+    if !chunk.is_empty() {
+        flush_sort_run(&mut chunk, &mut bytes, compiled, ctx, &mut runs);
+    }
+    Ok(merge_runs(&runs, ctx, |a, b| key_cmp(&a.1, &b.1, compiled))
+        .map(|(_, (_, row))| row)
+        .collect())
+}
+
+/// Flush one stable-sorted chunk as a run and release its bytes.
+fn flush_sort_run(
+    chunk: &mut Vec<Row>,
+    bytes: &mut usize,
+    compiled: &[(CompiledExpr, Order)],
+    ctx: &SpillCtx,
+    runs: &mut Vec<Run>,
+) {
+    sort_rows(chunk, compiled);
+    let mut w = ctx.writer("sort-run");
+    for r in chunk.iter() {
+        w.push(&[], r);
+    }
+    runs.push(w.finish());
+    ctx.record_spill(*bytes);
+    ctx.budget().release(*bytes);
+    *bytes = 0;
+    chunk.clear();
 }
 
 /// Keep the first `n` rows.

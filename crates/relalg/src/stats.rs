@@ -28,6 +28,10 @@ pub struct TableStats {
     /// Counted over per-row pair digests — a 64-bit approximation, ample
     /// for estimation.
     pub pair_ndv: Vec<usize>,
+    /// Total payload bytes of the relation (the Figure 9 accounting).
+    /// With `rows`, this gives the average row width the memory-budget
+    /// planner uses to predict which breakers will spill.
+    pub bytes: usize,
 }
 
 impl TableStats {
@@ -67,6 +71,17 @@ impl TableStats {
             rows: rel.len(),
             ndv,
             pair_ndv,
+            bytes: rel.size_bytes(),
+        }
+    }
+
+    /// Average payload bytes per row (a small constant floor keeps the
+    /// estimate meaningful for empty or zero-width relations).
+    pub fn avg_row_bytes(&self) -> f64 {
+        if self.rows == 0 {
+            16.0
+        } else {
+            (self.bytes as f64 / self.rows as f64).max(1.0)
         }
     }
 

@@ -24,6 +24,7 @@ regressions without flaking on scheduler jitter.
 """
 
 import json
+import os
 import re
 import sys
 from datetime import date
@@ -58,10 +59,26 @@ def record(baseline_path, benches):
     return 0
 
 
+def write_step_summary(baseline_path, rows, verdict):
+    """Append the per-query diff table to $GITHUB_STEP_SUMMARY (markdown),
+    when running under GitHub Actions."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as f:
+        f.write(f"### Bench diff vs `{baseline_path}`\n\n")
+        f.write("| bench | baseline (s) | current (s) | ratio |\n")
+        f.write("|---|---:|---:|---:|\n")
+        for name, base, cur, ratio in rows:
+            f.write(f"| `{name}` | {base} | {cur} | {ratio} |\n")
+        f.write(f"\n{verdict}\n\n")
+
+
 def diff(baseline_path, benches, threshold):
     with open(baseline_path) as f:
         baseline = json.load(f)["benches"]
     regressions = []
+    rows = []
     width = max((len(n) for n in baseline), default=10)
     print(f"{'bench':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
     for name, base in sorted(baseline.items()):
@@ -69,18 +86,31 @@ def diff(baseline_path, benches, threshold):
         if cur is None:
             print(f"{name:<{width}}  {base:>12.6f}  {'MISSING':>12}  -")
             regressions.append((name, "missing"))
+            rows.append((name, f"{base:.6f}", "MISSING", "-"))
             continue
         ratio = cur / base if base > 0 else float("inf")
         flag = " <-- REGRESSION" if ratio > threshold else ""
         print(f"{name:<{width}}  {base:>12.6f}  {cur:>12.6f}  {ratio:5.2f}x{flag}")
+        rows.append((name, f"{base:.6f}", f"{cur:.6f}", f"{ratio:.2f}x{flag and ' ⚠️'}"))
         if ratio > threshold:
             regressions.append((name, f"{ratio:.2f}x"))
+    # A bench name the baseline has never seen is an error, not a
+    # footnote: silently skipping it would let renamed (or brand-new)
+    # queries run unguarded until someone notices. Re-record the
+    # baseline when adding or renaming benches.
     for name in sorted(set(benches) - set(baseline)):
-        print(f"{name:<{width}}  {'NEW':>12}  {benches[name]:>12.6f}  -")
+        print(f"{name:<{width}}  {'NOT IN BASELINE':>12}  {benches[name]:>12.6f}  -")
+        regressions.append((name, "not in baseline"))
+        rows.append((name, "NOT IN BASELINE", f"{benches[name]:.6f}", "-"))
     if regressions:
-        print(f"\n{len(regressions)} regression(s) beyond {threshold}x: {regressions}")
+        listed = ", ".join(f"{name} ({why})" for name, why in regressions)
+        verdict = f"**{len(regressions)} regression(s) beyond {threshold}x:** {listed}"
+        print(f"\n{len(regressions)} regression(s) beyond {threshold}x: {listed}")
+        write_step_summary(baseline_path, rows, verdict)
         return 1
-    print(f"\nno regressions beyond {threshold}x")
+    verdict = f"no regressions beyond {threshold}x"
+    print(f"\n{verdict}")
+    write_step_summary(baseline_path, rows, verdict)
     return 0
 
 

@@ -369,10 +369,17 @@ proptest! {
                 "ExecStats workers {} != planned {workers}",
                 streamed.stats().workers
             );
-            prop_assert!(
-                exec::predicted_workers(&plan, &cat) == workers,
-                "static mirror disagrees with prepare for {plan:?}"
-            );
+            // The static mirror cannot model runtime spill decisions: a
+            // hash-join build that spills under a memory budget forces
+            // the pull serial. Other spill kinds (dedup, sort,
+            // aggregation) must NOT change the worker count, so the
+            // assertion stays live for them.
+            if !streamed.spilled_build() {
+                prop_assert!(
+                    exec::predicted_workers(&plan, &cat) == workers,
+                    "static mirror disagrees with prepare for {plan:?}"
+                );
+            }
             prop_assert!(workers <= threads);
         }
     }
@@ -437,6 +444,87 @@ fn batched_translated_pipeline_reports_zero_row_buffers() {
         "batched pipeline must not allocate per-row intermediate buffers: {stats:?}"
     );
     assert_eq!(stats.buffered_rows, 0, "{stats:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    /// The spill-vs-in-memory oracle on *translated* plans: random
+    /// reduced or-set databases and random logical queries run
+    /// unbounded and under a memory budget tiny enough that every
+    /// breaker buffer spills, at 1 and 4 workers — the budgeted output
+    /// must be **byte-identical** (rows and order) to the unbounded
+    /// serial pull.
+    #[test]
+    fn spilled_translated_plans_match_unbounded_byte_for_byte(
+        db in arb_udb(),
+        q in arb_query(),
+    ) {
+        let prepared = db.prepare();
+        let t = translate(&db, &q).unwrap();
+        let plan = optimizer::optimize(&t.plan, prepared.catalog()).unwrap();
+        let unbounded_rows = {
+            let mut cat = prepared.catalog().clone();
+            cat.set_threads(1);
+            exec::stream(&plan, &cat).unwrap().collect_rows(None)
+        };
+        for threads in [1usize, 4] {
+            let mut cat = prepared.catalog().clone();
+            cat.set_threads(threads);
+            cat.set_parallel_granularity(4, 0);
+            // A few hundred bytes: every breaker that buffers at all
+            // crosses its share and takes the spill path.
+            cat.set_mem_budget(256);
+            let streamed = exec::stream(&plan, &cat).unwrap();
+            let rows = streamed.collect_rows(None);
+            prop_assert!(
+                rows == unbounded_rows,
+                "budgeted x{threads} differs from unbounded for {q:?}\nplan: {plan:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// The spill-vs-in-memory oracle on random *plain* relational plans
+    /// (hash joins, nested loops, semi/antijoins, set operations,
+    /// distinct): byte-identical output under a tiny budget at 1 and 4
+    /// workers, and limited pulls (the row-cursor path, including the
+    /// spilled-join bridge) agree with prefixes of the full pull.
+    #[test]
+    fn spilled_plain_plans_match_in_memory_byte_for_byte(
+        catalog in arb_catalog(),
+        plan in arb_plan(),
+    ) {
+        if plan.schema(&catalog).is_ok() {
+            let unbounded_rows = {
+                let mut cat = catalog.clone();
+                cat.set_threads(1);
+                exec::stream(&plan, &cat).unwrap().collect_rows(None)
+            };
+            for threads in [1usize, 4] {
+                let mut cat = catalog.clone();
+                cat.set_threads(threads);
+                cat.set_parallel_granularity(3, 0);
+                cat.set_mem_budget(256);
+                let streamed = exec::stream(&plan, &cat).unwrap();
+                let rows = streamed.collect_rows(None);
+                prop_assert!(
+                    rows == unbounded_rows,
+                    "budgeted x{threads} differs from unbounded for {plan:?}"
+                );
+                // Limited pulls ride the row cursors over the same
+                // prepared tree (spilled builds bridge batch-wise).
+                let prefix = streamed.collect_rows(Some(3));
+                prop_assert!(
+                    prefix == unbounded_rows[..unbounded_rows.len().min(3)].to_vec(),
+                    "limited budgeted pull diverges for {plan:?}"
+                );
+            }
+        }
+    }
 }
 
 proptest! {

@@ -14,6 +14,10 @@
 //! * a hash-join probe emits probe-side columns re-selected by match
 //!   position and build-side columns as views of the build relation's
 //!   image — both sides zero-copy;
+//! * a segmented-storage scan emits [`BatchCol::Shared`] — the same
+//!   contiguous-window shape as a slice, but holding an `Arc` to the
+//!   decoded segment column so eviction can't pull storage out from
+//!   under an in-flight batch (narrowed to [`BatchCol::SharedView`]);
 //! * only computed expressions ([`BatchCol::Owned`]) and literal padding
 //!   ([`BatchCol::Const`]) own their values.
 //!
@@ -44,6 +48,14 @@ pub enum BatchCol<'a> {
     /// Every row holds the same value (projection literals — the union
     /// translation's padding columns never materialize).
     Const(Value),
+    /// Like [`BatchCol::Slice`], but over an owning handle: decoded
+    /// storage segments aren't borrowed from a relation's image, so the
+    /// batch keeps them alive itself (the provider's cache slot may be
+    /// evicted while the batch is in flight).
+    Shared { col: Arc<Column>, start: usize },
+    /// Like [`BatchCol::View`], over an owning handle — what a
+    /// [`BatchCol::Shared`] column becomes under compact/gather.
+    SharedView { col: Arc<Column>, sel: Arc<[u32]> },
 }
 
 impl BatchCol<'_> {
@@ -55,6 +67,8 @@ impl BatchCol<'_> {
             BatchCol::View { col, sel } => col.get(sel[pos] as usize),
             BatchCol::Owned(col) => col.get(pos),
             BatchCol::Const(v) => v.clone(),
+            BatchCol::Shared { col, start } => col.get(start + pos),
+            BatchCol::SharedView { col, sel } => col.get(sel[pos] as usize),
         }
     }
 
@@ -65,6 +79,8 @@ impl BatchCol<'_> {
         match self {
             BatchCol::Slice { col, start } => Some((col, start + pos)),
             BatchCol::View { col, sel } => Some((col, sel[pos] as usize)),
+            BatchCol::Shared { col, start } => Some((col, start + pos)),
+            BatchCol::SharedView { col, sel } => Some((col, sel[pos] as usize)),
             BatchCol::Owned(_) | BatchCol::Const(_) => None,
         }
     }
@@ -195,6 +211,40 @@ impl<'a> ColumnBatch<'a> {
                     };
                     *c = BatchCol::View { col, sel: new };
                 }
+                BatchCol::Shared { col, start } => {
+                    // Same rewrite as a slice, but the result keeps the
+                    // owning handle alive.
+                    let start = *start;
+                    let sel = match by_start.iter().find(|(k, _)| *k == start) {
+                        Some((_, s)) => Arc::clone(s),
+                        None => {
+                            let s: Arc<[u32]> =
+                                take.iter().map(|&p| (start + p as usize) as u32).collect();
+                            by_start.push((start, Arc::clone(&s)));
+                            s
+                        }
+                    };
+                    *c = BatchCol::SharedView {
+                        col: Arc::clone(col),
+                        sel,
+                    };
+                }
+                BatchCol::SharedView { col, sel } => {
+                    let old = Arc::clone(sel);
+                    let key = Arc::as_ptr(&old) as *const u32;
+                    let new = match by_sel.iter().find(|(k, _)| *k == key) {
+                        Some((_, s)) => Arc::clone(s),
+                        None => {
+                            let s: Arc<[u32]> = take.iter().map(|&p| old[p as usize]).collect();
+                            by_sel.push((key, Arc::clone(&s)));
+                            s
+                        }
+                    };
+                    *c = BatchCol::SharedView {
+                        col: Arc::clone(col),
+                        sel: new,
+                    };
+                }
                 BatchCol::Owned(col) => {
                     *col = Arc::new(gather_owned(col, take));
                 }
@@ -209,6 +259,27 @@ fn gather_owned(col: &Column, take: &[u32]) -> Column {
     match col {
         Column::Int(v) => Column::Int(take.iter().map(|&p| v[p as usize]).collect()),
         Column::Str(v) => Column::Str(take.iter().map(|&p| Arc::clone(&v[p as usize])).collect()),
+        Column::IntN(v, m) => {
+            let mut mask = crate::relation::NullMask::new(take.len());
+            for (i, &p) in take.iter().enumerate() {
+                if m.is_null(p as usize) {
+                    mask.set_null(i);
+                }
+            }
+            Column::IntN(take.iter().map(|&p| v[p as usize]).collect(), mask)
+        }
+        Column::StrN(v, m) => {
+            let mut mask = crate::relation::NullMask::new(take.len());
+            for (i, &p) in take.iter().enumerate() {
+                if m.is_null(p as usize) {
+                    mask.set_null(i);
+                }
+            }
+            Column::StrN(
+                take.iter().map(|&p| Arc::clone(&v[p as usize])).collect(),
+                mask,
+            )
+        }
         Column::Mixed(v) => Column::Mixed(take.iter().map(|&p| v[p as usize].clone()).collect()),
     }
 }
@@ -275,6 +346,71 @@ mod tests {
         assert_eq!(b.value(2, 0), Value::Int(13));
         assert_eq!(b.value(2, 2), Value::Int(13));
         assert_eq!(b.value(3, 1), Value::str("pad"));
+    }
+
+    #[test]
+    fn shared_columns_survive_gather_and_keep_storage_alive() {
+        let decoded = Arc::new(Column::Int(vec![7, 8, 9, 10]));
+        let strs = Arc::new(Column::Str(
+            (0..4)
+                .map(|i| crate::value::intern(&format!("s{i}")))
+                .collect(),
+        ));
+        let mut b = ColumnBatch {
+            cols: vec![
+                BatchCol::Shared {
+                    col: Arc::clone(&decoded),
+                    start: 1,
+                },
+                BatchCol::Shared {
+                    col: Arc::clone(&strs),
+                    start: 1,
+                },
+            ],
+            len: 3,
+        };
+        assert_eq!(b.value(0, 0), Value::Int(8));
+        let (shared_col, shared_idx) = b.cols[0].shared_at(2).expect("shared storage");
+        assert!(std::ptr::eq(shared_col, decoded.as_ref()));
+        assert_eq!(shared_idx, 3);
+        b.gather(&[2, 0, 2]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.value(0, 0), Value::Int(10));
+        assert_eq!(b.value(1, 1), Value::str("s1"));
+        // Both shared columns windowed the same start: the rewritten
+        // selection is shared, and the columns stay owning views.
+        let (BatchCol::SharedView { sel: s0, .. }, BatchCol::SharedView { sel: s1, col }) =
+            (&b.cols[0], &b.cols[1])
+        else {
+            panic!("gathered shared columns become shared views");
+        };
+        assert!(Arc::ptr_eq(s0, s1));
+        assert!(Arc::ptr_eq(col, &strs));
+        // Dropping the external handles leaves the batch self-sufficient.
+        drop(decoded);
+        drop(strs);
+        b.gather(&[1]);
+        assert_eq!(b.value(0, 0), Value::Int(8));
+    }
+
+    #[test]
+    fn gather_owned_carries_null_masks() {
+        let int = Column::from_values(vec![Value::Int(1), Value::Null, Value::Int(3)]);
+        let strs = Column::from_values(vec![Value::str("a"), Value::str("b"), Value::Null]);
+        let mut b = ColumnBatch {
+            cols: vec![
+                BatchCol::Owned(Arc::new(int)),
+                BatchCol::Owned(Arc::new(strs)),
+            ],
+            len: 3,
+        };
+        b.gather(&[2, 1, 1, 0]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.value(0, 0), Value::Int(3));
+        assert_eq!(b.value(0, 1), Value::Null);
+        assert_eq!(b.value(0, 3), Value::Int(1));
+        assert_eq!(b.value(1, 0), Value::Null);
+        assert_eq!(b.value(1, 2), Value::str("b"));
     }
 
     #[test]

@@ -34,6 +34,33 @@ pub struct EngineConfig {
     /// directory when its per-worker share is exceeded — with output
     /// guaranteed byte-identical to the unbounded engine.
     pub mem_budget: usize,
+    /// How base-table scans source their batches (`RELALG_STORAGE`):
+    /// the plain columnar image, compressed column segments decoded
+    /// up front, or segments paged through a small eviction cache.
+    /// Every mode produces byte-identical query output.
+    pub storage: StorageMode,
+    /// Rows per column segment under [`StorageMode::Segmented`] /
+    /// [`StorageMode::Paged`] (`RELALG_SEGMENT_ROWS`, default 64Ki).
+    pub segment_rows: usize,
+    /// Decoded segments the paged provider keeps resident per relation
+    /// (`RELALG_SEGMENT_CACHE`, default 8, floored at 1).
+    pub segment_cache: usize,
+}
+
+/// Storage backend for base-table scans. The mode changes *where*
+/// batch columns come from, never *what* they contain — all three
+/// execute byte-identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageMode {
+    /// The monolithic in-memory columnar image (the default).
+    Plain,
+    /// Compressed column segments ([`crate::segment::SegmentedImage`]),
+    /// each decoded at most once per query and then kept resident.
+    Segmented,
+    /// Compressed segments decoded lazily behind a clock-eviction cache
+    /// of [`EngineConfig::segment_cache`] decoded segments, so the
+    /// decoded working set — not the table — is what occupies memory.
+    Paged,
 }
 
 /// Default morsel size: 8 batches per claim amortizes the atomic
@@ -43,6 +70,12 @@ pub const DEFAULT_MORSEL_ROWS: usize = 8 * BATCH_SIZE;
 /// Default estimated-row threshold below which plans stay serial.
 pub const DEFAULT_PARALLEL_MIN_ROWS: usize = 4 * BATCH_SIZE;
 
+/// Default rows per column segment (64Ki).
+pub const DEFAULT_SEGMENT_ROWS: usize = 64 * 1024;
+
+/// Default decoded-segment cache capacity for the paged provider.
+pub const DEFAULT_SEGMENT_CACHE: usize = 8;
+
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
@@ -50,8 +83,48 @@ impl Default for EngineConfig {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             parallel_min_rows: DEFAULT_PARALLEL_MIN_ROWS,
             mem_budget: default_mem_budget(),
+            storage: default_storage(),
+            segment_rows: default_segment_rows(),
+            segment_cache: default_segment_cache(),
         }
     }
+}
+
+/// `RELALG_STORAGE` (`plain` | `segmented` | `paged`), read once per
+/// process; unset or unrecognized means plain.
+fn default_storage() -> StorageMode {
+    static STORAGE: std::sync::OnceLock<StorageMode> = std::sync::OnceLock::new();
+    *STORAGE.get_or_init(|| match std::env::var("RELALG_STORAGE").as_deref() {
+        Ok("segmented") => StorageMode::Segmented,
+        Ok("paged") => StorageMode::Paged,
+        _ => StorageMode::Plain,
+    })
+}
+
+/// `RELALG_SEGMENT_ROWS`, read once per process; unset, unparseable or
+/// zero means [`DEFAULT_SEGMENT_ROWS`].
+fn default_segment_rows() -> usize {
+    static ROWS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ROWS.get_or_init(|| {
+        std::env::var("RELALG_SEGMENT_ROWS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_SEGMENT_ROWS)
+    })
+}
+
+/// `RELALG_SEGMENT_CACHE`, read once per process; unset, unparseable or
+/// zero means [`DEFAULT_SEGMENT_CACHE`].
+fn default_segment_cache() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("RELALG_SEGMENT_CACHE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_SEGMENT_CACHE)
+    })
 }
 
 /// `RELALG_MEM_BUDGET` in bytes, read once per process; unset (or
@@ -142,6 +215,20 @@ impl Catalog {
         self.config.mem_budget = if bytes == 0 { usize::MAX } else { bytes };
     }
 
+    /// Set the base-table storage mode. Affects only relations
+    /// registered (or queried) afterwards; output is byte-identical
+    /// across modes.
+    pub fn set_storage(&mut self, mode: StorageMode) {
+        self.config.storage = mode;
+    }
+
+    /// Set the segment geometry: rows per segment and the paged
+    /// provider's decoded-segment cache capacity (both floored at 1).
+    pub fn set_segment_layout(&mut self, segment_rows: usize, segment_cache: usize) {
+        self.config.segment_rows = segment_rows.max(1);
+        self.config.segment_cache = segment_cache.max(1);
+    }
+
     /// Register (or replace) a relation. Statistics are computed eagerly —
     /// the workloads in this repo scan every registered relation at least
     /// once, so the one-time pass pays for itself. Computing them runs
@@ -157,7 +244,14 @@ impl Catalog {
     /// image, as a side effect) are (re)computed.
     pub fn insert_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) {
         let name = name.into();
-        let stats = TableStats::compute(&rel);
+        // Under segmented storage the statistics fall out of the segment
+        // build itself (zone-map folds), so the plain columnar image is
+        // never forced into existence.
+        let stats = if self.config.storage == StorageMode::Plain {
+            TableStats::compute(&rel)
+        } else {
+            rel.segments(self.config.segment_rows).stats().clone()
+        };
         self.rels.insert(name.clone(), rel);
         self.stats.insert(name, Arc::new(stats));
     }
@@ -210,8 +304,41 @@ mod tests {
         assert_eq!(c.config().mem_budget, 1 << 20);
         c.set_mem_budget(0); // 0 = unbounded, like the env convention
         assert_eq!(c.config().mem_budget, usize::MAX);
+        c.set_storage(StorageMode::Paged);
+        c.set_segment_layout(256, 2);
+        assert_eq!(c.config().storage, StorageMode::Paged);
+        assert_eq!(c.config().segment_rows, 256);
+        assert_eq!(c.config().segment_cache, 2);
+        c.set_segment_layout(0, 0); // floored at 1
+        assert_eq!(c.config().segment_rows, 1);
+        assert_eq!(c.config().segment_cache, 1);
         // Clones carry the configuration.
         assert_eq!(c.clone().config(), c.config());
+    }
+
+    #[test]
+    fn segmented_catalog_derives_stats_from_segments() {
+        let mut c = Catalog::new();
+        c.set_storage(StorageMode::Segmented);
+        c.set_segment_layout(2, 1);
+        let rel = Arc::new(
+            Relation::from_rows(
+                ["a"],
+                vec![
+                    vec![Value::Int(5)],
+                    vec![Value::Int(1)],
+                    vec![Value::Int(5)],
+                ],
+            )
+            .unwrap(),
+        );
+        c.insert_shared("t", Arc::clone(&rel));
+        let st = c.stats("t").unwrap();
+        assert_eq!(st.rows, 3);
+        assert_eq!(st.ndv, vec![2]);
+        assert_eq!(st.minmax(0), Some(&(Value::Int(1), Value::Int(5))));
+        // The segment image was built and cached; the plain image wasn't.
+        assert!(rel.segments_cached());
     }
 
     #[test]

@@ -79,19 +79,23 @@
 //! suites compare against.
 
 use crate::batch::{BatchCol, ColumnBatch, BATCH_SIZE};
-use crate::catalog::{Catalog, EngineConfig};
+use crate::catalog::{Catalog, EngineConfig, StorageMode};
 use crate::error::{Error, Result};
 use crate::expr::{CmpOp, CompiledExpr, Expr};
 use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::optimizer::{est_rows, est_rows_cached, EstCache};
 use crate::plan::Plan;
 use crate::pool::TaskPool;
+use crate::provider::{provider_for, ImageProvider};
 use crate::relation::{row_footprint, Column, ColumnarImage, Relation, Row};
 use crate::schema::Schema;
+use crate::segment::DecodedSegment;
 use crate::spill::{merge_runs, MergeRuns, Record, Run, SpillCtx};
+use crate::value::Value;
 use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 /// Execute a plan against a catalog.
@@ -146,6 +150,18 @@ pub struct ExecStats {
     /// Estimated bytes of buffered data written to spill runs
     /// (cumulative, like `spill_events`).
     pub spilled_bytes: usize,
+    /// Storage segments decoded and scanned by segmented base-table
+    /// cursors (0 under plain storage; cumulative over the prepared
+    /// execution's lifetime, counted per cursor visit — a segment read
+    /// by two morsels counts twice).
+    pub segments_scanned: usize,
+    /// Storage segments skipped outright because a zone map refuted a
+    /// sargable scan predicate (cumulative, like `segments_scanned`).
+    pub segments_skipped: usize,
+    /// Approximate bytes materialized by fresh segment decodes
+    /// (provider cache hits add nothing, so under the paged provider
+    /// this measures decode traffic, i.e. cache misses).
+    pub decoded_bytes: usize,
 }
 
 impl ExecStats {
@@ -173,6 +189,19 @@ struct Counters {
     /// Memory budget, spill directory, and spill counters — shared
     /// across the worker-local counter sets of one execution.
     spill: Arc<SpillCtx>,
+    /// Segmented-storage counters, likewise shared across worker-local
+    /// counter sets (scan cursors on any worker bump one tally).
+    seg: Arc<SegCounters>,
+}
+
+/// Segment traffic of one execution: scans, zone-map skips, and bytes
+/// decoded. Atomics because parallel workers' cursors share them;
+/// cumulative over the execution's lifetime (like spill counters).
+#[derive(Default)]
+struct SegCounters {
+    scanned: AtomicUsize,
+    skipped: AtomicUsize,
+    decoded: AtomicUsize,
 }
 
 impl Default for Counters {
@@ -191,6 +220,17 @@ impl Counters {
             pull_batches: Cell::new((0, 0)),
             workers: Cell::new(0),
             spill,
+            seg: Arc::new(SegCounters::default()),
+        }
+    }
+
+    /// A fresh worker-local counter set sharing the execution-wide
+    /// spill and segment tallies (the `Cell` counters stay per-worker;
+    /// the shared parts are the atomics).
+    fn with_shared(spill: Arc<SpillCtx>, seg: Arc<SegCounters>) -> Counters {
+        Counters {
+            seg,
+            ..Counters::with_spill(spill)
         }
     }
 
@@ -248,6 +288,9 @@ impl Counters {
             peak_tracked_bytes: self.spill.budget().peak(),
             spill_events: self.spill.events(),
             spilled_bytes: self.spill.spilled_bytes(),
+            segments_scanned: self.seg.scanned.load(AtomicOrdering::Relaxed),
+            segments_skipped: self.seg.skipped.load(AtomicOrdering::Relaxed),
+            decoded_bytes: self.seg.decoded.load(AtomicOrdering::Relaxed),
         }
     }
 }
@@ -548,10 +591,11 @@ impl Streamed {
         }
         let (root, morsel_rows) = (&self.root, self.morsel_rows);
         let spill = Arc::clone(&self.counters.spill);
+        let seg = Arc::clone(&self.counters.seg);
         let workers_out = self
             .pool
             .fold_tasks(spec.morsels, WorkerOut::default, |w, idx| {
-                let local = Counters::with_spill(Arc::clone(&spill));
+                let local = Counters::with_shared(Arc::clone(&spill), Arc::clone(&seg));
                 let mut cur = root.morsel_cursor(idx, morsel_rows, &local);
                 let mut rows = Vec::new();
                 while let Some(b) = cur.next_batch() {
@@ -639,6 +683,7 @@ impl Streamed {
         self.counters.reset_pull();
         let (root, morsel_rows) = (&self.root, self.morsel_rows);
         let spill = Arc::clone(&self.counters.spill);
+        let seg = Arc::clone(&self.counters.seg);
         struct WorkerFold<T> {
             state: T,
             err: Option<Error>,
@@ -657,7 +702,7 @@ impl Streamed {
                 if w.err.is_some() {
                     return;
                 }
-                let local = Counters::with_spill(Arc::clone(&spill));
+                let local = Counters::with_shared(Arc::clone(&spill), Arc::clone(&seg));
                 let mut cur = root.morsel_cursor(idx, morsel_rows, &local);
                 while let Some(b) = cur.next_batch() {
                     w.batches += 1;
@@ -691,8 +736,8 @@ impl Streamed {
     /// already-materialized source (scan / values / rename chains), the
     /// shared relation is returned as-is — pointer-equal for scans.
     pub fn into_relation(self) -> Result<(Arc<Relation>, ExecStats)> {
-        if let Node::Source(rel) = &self.root {
-            return Ok((Arc::clone(rel), self.counters.snapshot()));
+        if let Node::Source(src) = &self.root {
+            return Ok((Arc::clone(&src.rel), self.counters.snapshot()));
         }
         let rows = self.collect_rows(None);
         let rel = Relation::new(self.schema, rows)?;
@@ -704,10 +749,94 @@ impl Streamed {
 // Physical operators
 // ---------------------------------------------------------------------------
 
+/// A materialized scan input plus, under segmented storage, the scan's
+/// storage seam: the provider serving decoded segments and the sargable
+/// conjuncts (pushed down from the fusing `Filter` above) whose zone-map
+/// refutation lets whole segments be skipped.
+struct SourceNode {
+    rel: Arc<Relation>,
+    scan: Option<SegScan>,
+}
+
+/// One scan's view of segmented storage.
+struct SegScan {
+    provider: Arc<dyn ImageProvider>,
+    /// `(column, op, literal)` conjuncts of the filter directly above
+    /// the scan; *copies* — the filter still evaluates them per row, so
+    /// zone pruning only ever has to be conservative, never exact.
+    zone_preds: Vec<(usize, CmpOp, Value)>,
+}
+
+impl SourceNode {
+    /// Wrap a materialized relation, attaching a segment provider when
+    /// the engine runs segmented storage (plain mode bypasses the whole
+    /// seam; breaker outputs and empty relations stay plain too).
+    fn of_scan(rel: Arc<Relation>, config: &EngineConfig) -> SourceNode {
+        let scan = (config.storage != StorageMode::Plain && !rel.is_empty()).then(|| SegScan {
+            provider: provider_for(
+                rel.segments(config.segment_rows),
+                config.storage,
+                config.segment_cache,
+            ),
+            zone_preds: Vec::new(),
+        });
+        SourceNode { rel, scan }
+    }
+
+    /// Wrap a computed relation (breaker output, inline values): always
+    /// served from its plain columnar image.
+    fn plain(rel: Arc<Relation>) -> SourceNode {
+        SourceNode { rel, scan: None }
+    }
+
+    /// The batched scan cursor over rows `[start, end)` — plain image
+    /// slices, or provider-served segments under segmented storage.
+    fn batch_cursor<'a>(&'a self, start: usize, end: usize, counters: &'a Counters) -> BCursor<'a> {
+        match &self.scan {
+            Some(scan) => BCursor::SegSource {
+                scan,
+                pos: start,
+                end,
+                cur: None,
+                counters,
+            },
+            None => BCursor::Source {
+                image: self.rel.columns(),
+                pos: start,
+                end,
+            },
+        }
+    }
+}
+
+/// Hand a filter's sargable conjuncts to a directly-scanned segmented
+/// source as zone predicates. They are *copies*: the filter still
+/// applies them row-by-row, the scan merely gains a license to skip
+/// segments whose zone maps prove no row can match. Re-run after each
+/// σ-fusion, so the scan always holds the full fused conjunction's
+/// sargable subset.
+fn attach_zone_preds(node: Node) -> Node {
+    match node {
+        Node::Filter { mut input, preds } => {
+            if let Node::Source(src) = input.as_mut() {
+                if let Some(scan) = src.scan.as_mut() {
+                    let mut zone = Vec::new();
+                    for p in &preds {
+                        p.collect_sargable(&mut zone);
+                    }
+                    scan.zone_preds = zone;
+                }
+            }
+            Node::Filter { input, preds }
+        }
+        other => other,
+    }
+}
+
 enum Node {
     /// Materialized input: a catalog scan, inline values, renamed
     /// aliases of either, or a buffered breaker output.
-    Source(Arc<Relation>),
+    Source(SourceNode),
     /// Fused conjunctive filter (σ-chains collapse into one node).
     Filter {
         input: Box<Node>,
@@ -902,18 +1031,26 @@ fn prepare(plan: &Plan, ctx: &PrepCtx<'_>) -> Result<(Node, Schema)> {
         Plan::Scan(name) => {
             let rel = Arc::clone(catalog.get(name)?);
             let schema = rel.schema().clone();
-            Ok((Node::Source(rel), schema))
+            Ok((
+                Node::Source(SourceNode::of_scan(rel, catalog.config())),
+                schema,
+            ))
         }
-        Plan::Values(rel) => Ok((Node::Source(Arc::clone(rel)), rel.schema().clone())),
+        Plan::Values(rel) => Ok((
+            Node::Source(SourceNode::plain(Arc::clone(rel))),
+            rel.schema().clone(),
+        )),
         Plan::Rename { input, alias } => {
             let (node, schema) = prepare(input, ctx)?;
             let schema = schema.qualify(alias);
             // A renamed source stays a source: re-qualify the schema
-            // while aliasing the row storage (zero-copy rename).
+            // while aliasing the row storage (zero-copy rename). The
+            // segment seam carries over — renaming changes no values.
             let node = match node {
-                Node::Source(rel) => {
-                    Node::Source(Arc::new(rel.shared_with_schema(schema.clone())?))
-                }
+                Node::Source(src) => Node::Source(SourceNode {
+                    rel: Arc::new(src.rel.shared_with_schema(schema.clone())?),
+                    scan: src.scan,
+                }),
                 other => other,
             };
             Ok((node, schema))
@@ -932,7 +1069,7 @@ fn prepare(plan: &Plan, ctx: &PrepCtx<'_>) -> Result<(Node, Schema)> {
                     preds: vec![compiled],
                 },
             };
-            Ok((node, schema))
+            Ok((attach_zone_preds(node), schema))
         }
         Plan::Project { input, cols } => {
             let (node, schema) = prepare(input, ctx)?;
@@ -1095,8 +1232,8 @@ fn prepare(plan: &Plan, ctx: &PrepCtx<'_>) -> Result<(Node, Schema)> {
 /// themselves spill — only hash-join builds, sort, aggregation and the
 /// dedup seen-sets have spill paths.
 fn materialize(node: Node, schema: &Schema, counters: &Counters) -> Result<Arc<Relation>> {
-    if let Node::Source(rel) = node {
-        return Ok(rel);
+    if let Node::Source(src) = node {
+        return Ok(src.rel);
     }
     let mut rows = Vec::new();
     if node.batchable() {
@@ -1331,11 +1468,14 @@ pub fn predicted_workers(plan: &Plan, catalog: &Catalog) -> usize {
 /// morsel count of the source at the bottom of the probe spine.
 fn plan_morsel_count(plan: &Plan, catalog: &Catalog, morsel_rows: usize) -> usize {
     match plan {
+        // Arithmetic on the row count (not via the columnar image) so
+        // counting morsels never forces the plain image under segmented
+        // storage; matches `ColumnarImage::morsel_count`.
         Plan::Scan(name) => catalog
             .get(name)
-            .map(|r| r.columns().morsel_count(morsel_rows))
+            .map(|r| r.len().div_ceil(morsel_rows.max(1)))
             .unwrap_or(0),
-        Plan::Values(rel) => rel.columns().morsel_count(morsel_rows),
+        Plan::Values(rel) => rel.len().div_ceil(morsel_rows.max(1)),
         Plan::Select { input, .. }
         | Plan::Project { input, .. }
         | Plan::Rename { input, .. }
@@ -1473,7 +1613,7 @@ enum Cursor<'a> {
 impl Node {
     fn cursor<'a>(&'a self, counters: &'a Counters) -> Cursor<'a> {
         match self {
-            Node::Source(rel) => Cursor::Source(rel.rows().iter()),
+            Node::Source(src) => Cursor::Source(src.rel.rows().iter()),
             Node::Filter { input, preds } => Cursor::Filter {
                 input: Box::new(input.cursor(counters)),
                 preds,
@@ -1705,6 +1845,19 @@ enum BCursor<'a> {
         image: &'a ColumnarImage,
         pos: usize,
         end: usize,
+    },
+    /// Chunked scan over `[pos, end)` of a relation's segmented image:
+    /// batches come from provider-decoded segments ([`BatchCol::Shared`]
+    /// columns, so eviction can't invalidate an in-flight batch), and
+    /// segments whose zone maps refute one of the scan's sargable
+    /// predicates are skipped without decoding.
+    SegSource {
+        scan: &'a SegScan,
+        pos: usize,
+        end: usize,
+        /// The decoded segment `pos` currently reads from.
+        cur: Option<Arc<DecodedSegment>>,
+        counters: &'a Counters,
     },
     /// Theta join / cross product over pair batches: cross pairs of the
     /// outer batch and the buffered inner image, filtered by the
@@ -2003,14 +2156,7 @@ impl Node {
     /// [`Node::batchable`]).
     fn batch_cursor<'a>(&'a self, counters: &'a Counters) -> BCursor<'a> {
         match self {
-            Node::Source(rel) => {
-                let image = rel.columns();
-                BCursor::Source {
-                    image,
-                    pos: 0,
-                    end: image.len(),
-                }
-            }
+            Node::Source(src) => src.batch_cursor(0, src.rel.len(), counters),
             Node::Filter { input, preds } => BCursor::Filter {
                 input: Box::new(input.batch_cursor(counters)),
                 preds,
@@ -2069,7 +2215,10 @@ impl Node {
     /// both children, left first).
     fn morsel_count(&self, morsel_rows: usize) -> usize {
         match self {
-            Node::Source(rel) => rel.columns().morsel_count(morsel_rows),
+            // Arithmetic (not via the columnar image) so segmented
+            // execution never forces the plain image into existence;
+            // the formula matches `ColumnarImage::morsel_count`.
+            Node::Source(src) => src.rel.len().div_ceil(morsel_rows.max(1)),
             Node::Filter { input, .. } | Node::Project { input, .. } | Node::Distinct { input } => {
                 input.morsel_count(morsel_rows)
             }
@@ -2095,14 +2244,12 @@ impl Node {
         counters: &'a Counters,
     ) -> BCursor<'a> {
         match self {
-            Node::Source(rel) => {
-                let image = rel.columns();
-                let range = image.morsel_bounds(idx, morsel_rows);
-                BCursor::Source {
-                    image,
-                    pos: range.start,
-                    end: range.end,
-                }
+            Node::Source(src) => {
+                // Same bounds arithmetic as `ColumnarImage::morsel_bounds`.
+                let morsel_rows = morsel_rows.max(1);
+                let start = (idx * morsel_rows).min(src.rel.len());
+                let end = (start + morsel_rows).min(src.rel.len());
+                src.batch_cursor(start, end, counters)
             }
             Node::Filter { input, preds } => BCursor::Filter {
                 input: Box::new(input.morsel_cursor(idx, morsel_rows, counters)),
@@ -2228,6 +2375,51 @@ impl<'a> BCursor<'a> {
                 *pos += len;
                 Some(b)
             }
+            BCursor::SegSource {
+                scan,
+                pos,
+                end,
+                cur,
+                counters,
+            } => loop {
+                if *pos >= *end {
+                    return None;
+                }
+                let image = scan.provider.image();
+                let seg = *pos / image.seg_rows();
+                let seg_end = ((seg + 1) * image.seg_rows()).min(*end);
+                let have = cur
+                    .as_ref()
+                    .is_some_and(|d| d.start <= *pos && *pos < d.start + d.len);
+                if !have {
+                    // Fresh segment: consult the zone maps before paying
+                    // for a decode.
+                    let refuted = scan
+                        .zone_preds
+                        .iter()
+                        .any(|(c, op, lit)| !image.zone(*c, seg).may_match(*op, lit));
+                    if refuted {
+                        counters.seg.skipped.fetch_add(1, AtomicOrdering::Relaxed);
+                        *pos = seg_end;
+                        *cur = None;
+                        continue;
+                    }
+                    *cur = Some(scan.provider.segment(seg, &counters.seg.decoded));
+                    counters.seg.scanned.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                let d = cur.as_ref().expect("current decoded segment");
+                let take = (seg_end - *pos).min(BATCH_SIZE);
+                let cols = d
+                    .cols
+                    .iter()
+                    .map(|c| BatchCol::Shared {
+                        col: Arc::clone(c),
+                        start: *pos - d.start,
+                    })
+                    .collect();
+                *pos += take;
+                return Some(ColumnBatch { cols, len: take });
+            },
             BCursor::NestedLoop {
                 node,
                 outer,
@@ -2874,6 +3066,16 @@ fn hash_col_into(c: &BatchCol<'_>, len: usize, hashers: &mut [FxHasher]) {
         BatchCol::Const(v) => {
             for h in hashers.iter_mut().take(len) {
                 v.hash(h);
+            }
+        }
+        BatchCol::Shared { col, start } => {
+            for (pos, h) in hashers.iter_mut().enumerate().take(len) {
+                col.hash_value_into(start + pos, h);
+            }
+        }
+        BatchCol::SharedView { col, sel } => {
+            for (pos, h) in hashers.iter_mut().enumerate().take(len) {
+                col.hash_value_into(sel[pos] as usize, h);
             }
         }
     }
@@ -3869,12 +4071,15 @@ mod tests {
 
     #[test]
     fn scan_images_are_cached_across_executions() {
-        let c = big_catalog();
+        // Pinned to plain storage: under a segmented default the plain
+        // image is (correctly) never built — segments are the cache.
+        let mut c = big_catalog();
+        c.set_storage(StorageMode::Plain);
         let p = Plan::scan("fact").select(col("g").eq(lit_i64(1)));
         execute(&p, &c).unwrap();
-        // Catalog registration already built the image (stats run over
-        // it); executing did not build a second one — the relation still
-        // reports a cached image, shared by later runs.
+        // The first execution (or registration, under a plain default)
+        // built the image; executing again did not build a second one —
+        // the relation still reports a cached image, shared later.
         assert!(c.get("fact").unwrap().columns_cached());
         let before = c.get("fact").unwrap().columns() as *const _;
         execute(&p, &c).unwrap();

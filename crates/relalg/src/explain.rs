@@ -14,7 +14,7 @@
 //! observed batch count and mean batch fill.
 
 use crate::batch::BATCH_SIZE;
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, StorageMode};
 use crate::error::Result;
 use crate::exec::{
     batched_pipeline, join_build_left, predicted_buffers, predicted_workers, JoinCondition,
@@ -104,6 +104,13 @@ pub fn explain_executed(plan: &Plan, catalog: &Catalog) -> Result<String> {
             out,
             "-- spilled: {} event(s), ~{} byte(s) to disk (peak tracked {} byte(s))",
             stats.spill_events, stats.spilled_bytes, stats.peak_tracked_bytes
+        );
+    }
+    if stats.segments_scanned + stats.segments_skipped > 0 {
+        let _ = writeln!(
+            out,
+            "-- segments: {} scanned, {} skipped, ~{} byte(s) decoded",
+            stats.segments_scanned, stats.segments_skipped, stats.decoded_bytes
         );
     }
     Ok(out)
@@ -199,20 +206,66 @@ fn side_label(side: &Plan) -> &'static str {
     }
 }
 
+/// The ` [seg K/M]` / ` [seg M]` annotation of a segmented-storage
+/// scan: `M` segments total, of which `K` survive zone-map pruning
+/// under the filter directly above the scan (omitted entirely when no
+/// conjunct is sargable, and under plain storage). Empty string when
+/// the scan won't run segmented.
+fn seg_tag(name: &str, catalog: &Catalog, zone_pred: Option<&Expr>) -> String {
+    if catalog.config().storage == StorageMode::Plain {
+        return String::new();
+    }
+    let Ok(rel) = catalog.get(name) else {
+        return String::new();
+    };
+    if rel.is_empty() {
+        return String::new();
+    }
+    let img = rel.segments(catalog.config().segment_rows);
+    let total = img.seg_count();
+    let mut zone = Vec::new();
+    if let Some(compiled) = zone_pred.and_then(|p| p.compile(rel.schema()).ok()) {
+        compiled.collect_sargable(&mut zone);
+    }
+    if zone.is_empty() {
+        return format!(" [seg {total}]");
+    }
+    let kept = (0..total)
+        .filter(|&s| {
+            zone.iter()
+                .all(|(c, op, lit)| img.zone(*c, s).may_match(*op, lit))
+        })
+        .count();
+    format!(" [seg {kept}/{total}]")
+}
+
 fn render(plan: &Plan, catalog: &Catalog, depth: usize, out: &mut String) {
+    render_zone(plan, catalog, depth, out, None);
+}
+
+/// [`render`] with the filter predicate directly above the node, so a
+/// scan can report its zone-map pruning prospects.
+fn render_zone(
+    plan: &Plan,
+    catalog: &Catalog,
+    depth: usize,
+    out: &mut String,
+    zone_pred: Option<&Expr>,
+) {
     indent(depth, out);
     let rows = est_rows(plan, catalog);
     let tag = engine_tag(plan, catalog);
     match plan {
         Plan::Scan(name) => {
-            let _ = writeln!(out, "Seq Scan on {name}  (rows={rows:.0}) {tag}");
+            let seg = seg_tag(name, catalog, zone_pred);
+            let _ = writeln!(out, "Seq Scan on {name}  (rows={rows:.0}) {tag}{seg}");
         }
         Plan::Values(rel) => {
             let _ = writeln!(out, "Values  (rows={}) {tag}", rel.len());
         }
         Plan::Select { input, pred } => {
             let _ = writeln!(out, "Filter: {pred}  (rows≈{rows:.0}) [pipelined] {tag}");
-            render(input, catalog, depth + 1, out);
+            render_zone(input, catalog, depth + 1, out, Some(pred));
         }
         Plan::Project { input, cols } => {
             let names: Vec<String> = cols.iter().map(|(_, n)| n.to_string()).collect();
@@ -472,6 +525,41 @@ mod tests {
         c.set_mem_budget(64 << 20);
         let text = explain(&p, &c);
         assert!(!text.contains("[spill]"), "{text}");
+    }
+
+    #[test]
+    fn explain_tags_segmented_scans_with_zone_pruning() {
+        let mut c = Catalog::new().with_config(crate::catalog::EngineConfig::serial());
+        c.set_storage(StorageMode::Segmented);
+        c.set_segment_layout(4, 2);
+        c.insert(
+            "t",
+            Relation::from_rows(
+                ["a"],
+                (0..16i64).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        );
+        // Bare scan: total segment count only.
+        let text = explain(&Plan::scan("t"), &c);
+        assert!(
+            text.contains("Seq Scan on t  (rows=16) [batched] [seg 4]"),
+            "{text}"
+        );
+        // A selective sargable filter prunes: rows 0..4 live in segment
+        // 0 of 4.
+        let p = Plan::scan("t").select(col("a").lt(lit_i64(4)));
+        let text = explain(&p, &c);
+        assert!(text.contains("[seg 1/4]"), "{text}");
+        // The executed report counts actual segment traffic.
+        let text = explain_executed(&p, &c).unwrap();
+        assert!(text.contains("-- segments: 1 scanned, 3 skipped"), "{text}");
+        // Plain storage: no seg annotations anywhere.
+        let mut plain = c.clone();
+        plain.set_storage(StorageMode::Plain);
+        let text = explain_executed(&p, &plain).unwrap();
+        assert!(!text.contains("[seg"), "{text}");
+        assert!(!text.contains("-- segments:"), "{text}");
     }
 
     #[test]

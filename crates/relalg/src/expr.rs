@@ -588,6 +588,33 @@ impl CompiledExpr {
             .collect();
         BatchCol::Owned(Arc::new(Column::from_values(vals)))
     }
+
+    /// The `(column, op, literal)` form of a sargable comparison —
+    /// `Col op Lit` either way around — or `None` for anything else.
+    /// Zone-map skipping keys off this: a conjunct in this shape can
+    /// refute whole storage segments from their min/max bounds alone.
+    pub fn sargable(&self) -> Option<(usize, CmpOp, Value)> {
+        match self {
+            CompiledExpr::Cmp(op, a, b) => match (a.as_ref(), b.as_ref()) {
+                (CompiledExpr::Col(i), CompiledExpr::Lit(v)) => Some((*i, *op, v.clone())),
+                (CompiledExpr::Lit(v), CompiledExpr::Col(i)) => Some((*i, op.flipped(), v.clone())),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Collect the sargable conjuncts of this predicate into `out`,
+    /// looking through top-level `AND`s (a row must satisfy every
+    /// conjunct, so each sargable one independently licenses zone-map
+    /// pruning — even in unoptimized plans where conjunctions haven't
+    /// been split into separate selections yet).
+    pub fn collect_sargable(&self, out: &mut Vec<(usize, CmpOp, Value)>) {
+        match self {
+            CompiledExpr::And(parts) => parts.iter().for_each(|p| p.collect_sargable(out)),
+            other => out.extend(other.sargable()),
+        }
+    }
 }
 
 /// Integer access to a batch column, resolved once per kernel call.
@@ -626,6 +653,10 @@ fn int_access<'b>(c: &'b BatchCol<'_>, len: usize) -> Option<IntOperand<'b>> {
         BatchCol::Owned(col) => Some(IntOperand::Dense(int_col(col.as_ref())?)),
         BatchCol::Const(Value::Int(k)) => Some(IntOperand::Const(*k)),
         BatchCol::Const(_) => None,
+        BatchCol::Shared { col, start } => {
+            Some(IntOperand::Slice(&int_col(col)?[*start..*start + len]))
+        }
+        BatchCol::SharedView { col, sel } => Some(IntOperand::Sel(int_col(col)?, sel)),
     }
 }
 
@@ -670,6 +701,10 @@ fn str_access<'b>(c: &'b BatchCol<'_>, len: usize) -> Option<StrOperand<'b>> {
         BatchCol::View { col, sel } => Some(StrOperand::Sel(str_col(col)?, sel)),
         BatchCol::Owned(col) => Some(StrOperand::Dense(str_col(col.as_ref())?)),
         BatchCol::Const(_) => None,
+        BatchCol::Shared { col, start } => {
+            Some(StrOperand::Slice(&str_col(col)?[*start..*start + len]))
+        }
+        BatchCol::SharedView { col, sel } => Some(StrOperand::Sel(str_col(col)?, sel)),
     }
 }
 

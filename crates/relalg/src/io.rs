@@ -7,11 +7,14 @@
 //! value model (strings that *look* like integers come back as integers —
 //! callers needing exact string typing should quote upstream).
 
+use crate::catalog::{EngineConfig, StorageMode};
 use crate::error::{Error, Result};
 use crate::relation::Relation;
 use crate::schema::Schema;
+use crate::segment::SegmentedBuilder;
 use crate::value::Value;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 /// Write a relation as CSV (header + rows).
 pub fn write_csv(rel: &Relation, out: &mut impl Write) -> std::io::Result<()> {
@@ -46,6 +49,11 @@ pub fn read_csv(input: &mut impl BufRead) -> Result<Relation> {
         .map_err(|e| Error::Invalid(format!("io error: {e}")))?;
     let names: Vec<String> = split_line(&header)?.into_iter().map(|(n, _)| n).collect();
     let mut rel = Relation::empty(Schema::named(&names));
+    // Under a segmented default storage mode, encode segments while the
+    // rows stream in so the first scan never pays a bulk re-encode pass.
+    let config = EngineConfig::default();
+    let mut builder = (config.storage != StorageMode::Plain)
+        .then(|| SegmentedBuilder::new(names.len(), config.segment_rows));
     for line in lines {
         let line = line.map_err(|e| Error::Invalid(format!("io error: {e}")))?;
         if line.is_empty() {
@@ -62,7 +70,14 @@ pub fn read_csv(input: &mut impl BufRead) -> Result<Relation> {
             .into_iter()
             .map(|(f, quoted)| parse_value(&f, quoted))
             .collect();
+        if let Some(b) = builder.as_mut() {
+            b.push(&row);
+        }
         rel.push(row)?;
+    }
+    // After the last push: `push` invalidates cached images.
+    if let Some(b) = builder {
+        rel.attach_segments(Arc::new(b.finish()));
     }
     Ok(rel)
 }

@@ -31,8 +31,16 @@
 //!   sorted runs** ([`spill`]) — hybrid-hash join partitions, dedup
 //!   candidate runs, external sort/aggregation merges — with output
 //!   byte-identical to unbounded execution and run files in a scoped
-//!   temp directory cleaned on drop. The retained operator-at-a-time
-//!   engine ([`exec::execute_reference`]) is the differential baseline;
+//!   temp directory cleaned on drop. Base tables can live as
+//!   **compressed column segments** ([`segment`]) — dictionary-coded
+//!   strings and frame-of-reference bit-packed integers with
+//!   per-segment zone maps — served through an [`ImageProvider`]
+//!   ([`provider`]) that either keeps decoded segments resident or
+//!   pages them through a small clock-eviction cache
+//!   (`RELALG_STORAGE` / [`Catalog::set_storage`]); scans skip whole
+//!   segments whose zone maps refute a sargable predicate. The
+//!   retained operator-at-a-time engine
+//!   ([`exec::execute_reference`]) is the differential baseline;
 //! * [`optimizer::optimize`] — conjunct splitting, selection pushdown,
 //!   projection pruning, greedy cost-based join reordering, and
 //!   redundant-distinct elimination;
@@ -57,8 +65,10 @@ pub mod io;
 pub mod optimizer;
 pub mod plan;
 pub mod pool;
+pub mod provider;
 pub mod relation;
 pub mod schema;
+pub mod segment;
 pub mod sort;
 pub mod spill;
 pub mod stats;
@@ -66,13 +76,15 @@ pub mod value;
 
 pub use aggregate::{aggregate, aggregate_plan, aggregate_plan_with_stats, AggFunc, Aggregate};
 pub use batch::{BatchCol, ColumnBatch, BATCH_SIZE};
-pub use catalog::{Catalog, EngineConfig};
+pub use catalog::{Catalog, EngineConfig, StorageMode};
 pub use error::{Error, Result};
 pub use exec::ExecStats;
 pub use expr::{col, lit, lit_bool, lit_i64, lit_str, ArithOp, CmpOp, Expr};
 pub use plan::Plan;
 pub use pool::TaskPool;
-pub use relation::{Column, ColumnarImage, Relation, Row};
+pub use provider::ImageProvider;
+pub use relation::{Column, ColumnarImage, NullMask, Relation, Row};
 pub use schema::{ColRef, Schema};
+pub use segment::{SegmentedBuilder, SegmentedImage, ZoneMap};
 pub use spill::{MemBudget, SpillCtx};
 pub use value::Value;

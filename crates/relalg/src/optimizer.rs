@@ -990,18 +990,12 @@ fn selectivity(
 ) -> f64 {
     match conjunct {
         Expr::Cmp(op, a, b) => match (a.as_ref(), b.as_ref()) {
-            (Expr::Col(c), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(c)) => match op {
-                CmpOp::Eq => {
-                    let ndv = schema
-                        .resolve(c)
-                        .ok()
-                        .map(|i| column_ndv(input, i, catalog, cache))
-                        .unwrap_or(10.0);
-                    (1.0 / ndv.max(1.0)).min(1.0)
-                }
-                CmpOp::Ne => 0.9,
-                _ => 0.33,
-            },
+            (Expr::Col(c), Expr::Lit(v)) => {
+                col_lit_selectivity(*op, c, v, input, schema, catalog, cache)
+            }
+            (Expr::Lit(v), Expr::Col(c)) => {
+                col_lit_selectivity(op.flipped(), c, v, input, schema, catalog, cache)
+            }
             // Column-column comparisons estimate from the larger side's
             // distinct count (descriptor Var/Rng columns hit this).
             (Expr::Col(ca), Expr::Col(cb)) => {
@@ -1035,6 +1029,112 @@ fn selectivity(
         Expr::Lit(crate::value::Value::Bool(true)) => 1.0,
         Expr::Lit(crate::value::Value::Bool(false)) => 0.0,
         _ => 0.5,
+    }
+}
+
+/// Selectivity of a normalized `col op literal` conjunct (literal-first
+/// comparisons arrive here with `op` already flipped). Equality divides
+/// by the distinct count; ranges interpolate within the column's known
+/// integer bounds (zone-map min/max folded into [`TableStats`]) and fall
+/// back to the flat 1/3 guess when no bounds are known.
+#[allow(clippy::too_many_arguments)]
+fn col_lit_selectivity(
+    op: CmpOp,
+    c: &ColRef,
+    v: &crate::value::Value,
+    input: &Plan,
+    schema: &Schema,
+    catalog: &Catalog,
+    cache: &EstCache,
+) -> f64 {
+    match op {
+        CmpOp::Eq => {
+            let ndv = schema
+                .resolve(c)
+                .ok()
+                .map(|i| column_ndv(input, i, catalog, cache))
+                .unwrap_or(10.0);
+            (1.0 / ndv.max(1.0)).min(1.0)
+        }
+        CmpOp::Ne => 0.9,
+        _ => {
+            let bounds = schema
+                .resolve(c)
+                .ok()
+                .and_then(|i| column_minmax(input, i, catalog, cache));
+            match (bounds, v) {
+                (Some((lo, hi)), crate::value::Value::Int(k)) => range_fraction(op, *k, lo, hi),
+                _ => 0.33,
+            }
+        }
+    }
+}
+
+/// Uniform interpolation of `col op k` within known bounds `[lo, hi]`,
+/// clamped away from 0 and 1 so stale or skewed bounds can never zero
+/// out (or saturate) an estimate and starve the join-order search.
+fn range_fraction(op: CmpOp, k: i64, lo: i64, hi: i64) -> f64 {
+    let span = ((hi as i128 - lo as i128) + 1) as f64;
+    let frac = |n: i128| (n as f64 / span).clamp(0.05, 0.95);
+    let (k, lo, hi) = (k as i128, lo as i128, hi as i128);
+    match op {
+        CmpOp::Lt => frac(k - lo),
+        CmpOp::Le => frac(k - lo + 1),
+        CmpOp::Gt => frac(hi - k),
+        CmpOp::Ge => frac(hi - k + 1),
+        // Equality never reaches here (handled by the NDV path).
+        CmpOp::Eq | CmpOp::Ne => 0.33,
+    }
+}
+
+/// Integer min/max of a plan output column, traced through the
+/// operators down to base-table statistics (populated from the zone
+/// maps under segmented storage, or the columnar fold under plain).
+/// `None` when the column is not integer-typed or has no known bounds;
+/// selections deliberately pass bounds through unchanged — a superset
+/// range only makes the interpolation conservative.
+fn column_minmax(
+    plan: &Plan,
+    idx: usize,
+    catalog: &Catalog,
+    cache: &EstCache,
+) -> Option<(i64, i64)> {
+    use crate::value::Value;
+    match plan {
+        Plan::Scan(name) => match catalog.stats(name)?.minmax(idx)? {
+            (Value::Int(lo), Value::Int(hi)) => Some((*lo, *hi)),
+            _ => None,
+        },
+        Plan::Values(rel) => match crate::stats::TableStats::compute(rel).minmax(idx)? {
+            (Value::Int(lo), Value::Int(hi)) => Some((*lo, *hi)),
+            _ => None,
+        },
+        Plan::Select { input, .. } | Plan::Distinct(input) | Plan::Rename { input, .. } => {
+            column_minmax(input, idx, catalog, cache)
+        }
+        Plan::Project { input, cols } => match cols.get(idx) {
+            Some((Expr::Col(c), _)) => shape_cached(input, catalog, cache)
+                .resolve(c)
+                .ok()
+                .and_then(|i| column_minmax(input, i, catalog, cache)),
+            _ => None,
+        },
+        Plan::Join { left, right, .. } => {
+            let la = shape_cached(left, catalog, cache).arity();
+            if idx < la {
+                column_minmax(left, idx, catalog, cache)
+            } else {
+                column_minmax(right, idx - la, catalog, cache)
+            }
+        }
+        Plan::SemiJoin { left, .. }
+        | Plan::AntiJoin { left, .. }
+        | Plan::Difference { left, .. } => column_minmax(left, idx, catalog, cache),
+        Plan::Union { left, right } => {
+            let (llo, lhi) = column_minmax(left, idx, catalog, cache)?;
+            let (rlo, rhi) = column_minmax(right, idx, catalog, cache)?;
+            Some((llo.min(rlo), lhi.max(rhi)))
+        }
     }
 }
 
@@ -1363,6 +1463,33 @@ mod tests {
         let ne = Plan::scan("u1").select(col("v1").ne(col("r1")));
         let eq = Plan::scan("u1").select(col("v1").eq(col("r1")));
         assert!(est_rows(&ne, &c) > est_rows(&eq, &c));
+    }
+
+    #[test]
+    fn range_selectivity_interpolates_within_minmax_bounds() {
+        // 100 rows with a uniform 0..100 column: `a < 10` should
+        // estimate near 10 rows, `a < 90` near 90 — not both at the old
+        // flat 1/3 — and the clamp keeps out-of-range literals nonzero.
+        let mut c = Catalog::new();
+        c.insert(
+            "t",
+            Relation::from_rows(
+                ["a"],
+                (0..100i64).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        );
+        let est = |p: &Plan| est_rows(p, &c);
+        let narrow = est(&Plan::scan("t").select(col("a").lt(lit_i64(10))));
+        let wide = est(&Plan::scan("t").select(col("a").lt(lit_i64(90))));
+        assert!((narrow - 10.0).abs() < 1.0, "narrow: {narrow}");
+        assert!((wide - 90.0).abs() < 1.0, "wide: {wide}");
+        // Literal-first comparisons flip: `10 > a` ≡ `a < 10`.
+        let flipped = est(&Plan::scan("t").select(lit_i64(10).gt(col("a"))));
+        assert!((flipped - narrow).abs() < 1e-9, "{flipped} vs {narrow}");
+        // Out-of-range literals clamp instead of zeroing out.
+        let below = est(&Plan::scan("t").select(col("a").lt(lit_i64(-5))));
+        assert!(below >= 5.0 && below < narrow, "below: {below}");
     }
 
     #[test]

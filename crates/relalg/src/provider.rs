@@ -1,0 +1,237 @@
+//! Image providers: the seam between segmented storage and scans.
+//!
+//! An [`ImageProvider`] hands scan cursors decoded segments of one
+//! relation's [`SegmentedImage`]. The two implementations trade memory
+//! for decode work:
+//!
+//! * [`MemImageProvider`] decodes each segment at most once and keeps it
+//!   resident — the segmented analog of the plain in-memory image;
+//! * [`PagedImageProvider`] keeps at most `cap` decoded segments behind
+//!   a clock (second-chance) eviction cache, so the decoded *working
+//!   set*, not the table, is what occupies memory; cold segments are
+//!   re-decoded on return.
+//!
+//! Providers are created per scan node at prepare time and shared by
+//! all workers of that scan, so decode work is deduplicated across
+//! morsels while queries never observe each other's cache state.
+
+use crate::catalog::StorageMode;
+use crate::segment::{DecodedSegment, SegmentedImage};
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Serves decoded segments of one [`SegmentedImage`] to scan cursors.
+pub trait ImageProvider: Send + Sync + Debug {
+    /// The compressed image being served.
+    fn image(&self) -> &Arc<SegmentedImage>;
+
+    /// A decoded view of segment `seg`. Every *fresh* decode adds the
+    /// segment's materialized size to `decoded_bytes` (cache hits add
+    /// nothing), which is how [`crate::exec::ExecStats`] observes decode
+    /// traffic and cache effectiveness.
+    fn segment(&self, seg: usize, decoded_bytes: &AtomicUsize) -> Arc<DecodedSegment>;
+}
+
+/// Decode-once, keep-forever provider: segment `s` is decoded by the
+/// first cursor that touches it and stays resident for the query.
+pub struct MemImageProvider {
+    image: Arc<SegmentedImage>,
+    decoded: Mutex<Vec<Option<Arc<DecodedSegment>>>>,
+}
+
+impl MemImageProvider {
+    /// Provider over `image` with an empty decode cache.
+    pub fn new(image: Arc<SegmentedImage>) -> Self {
+        let slots = image.seg_count();
+        MemImageProvider {
+            image,
+            decoded: Mutex::new(vec![None; slots]),
+        }
+    }
+}
+
+impl Debug for MemImageProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemImageProvider")
+            .field("segments", &self.image.seg_count())
+            .finish()
+    }
+}
+
+impl ImageProvider for MemImageProvider {
+    fn image(&self) -> &Arc<SegmentedImage> {
+        &self.image
+    }
+
+    fn segment(&self, seg: usize, decoded_bytes: &AtomicUsize) -> Arc<DecodedSegment> {
+        let mut slots = self.decoded.lock().expect("decode cache");
+        if let Some(d) = &slots[seg] {
+            return Arc::clone(d);
+        }
+        let d = Arc::new(self.image.decode(seg));
+        decoded_bytes.fetch_add(d.bytes, Ordering::Relaxed);
+        slots[seg] = Some(Arc::clone(&d));
+        d
+    }
+}
+
+/// One clock-cache slot: a decoded segment plus its reference bit.
+struct ClockSlot {
+    seg: usize,
+    dec: Arc<DecodedSegment>,
+    referenced: bool,
+}
+
+/// Bounded provider: at most `cap` decoded segments stay resident,
+/// evicted by the clock (second-chance) policy — the hand sweeps slots,
+/// clearing reference bits, and evicts the first slot found cold. Scans
+/// touching a segment set its bit, so segments shared by concurrent
+/// morsels survive the sweep. Decoding happens under the cache lock:
+/// simple, and exactly one worker pays each decode (the others block
+/// briefly and then hit).
+pub struct PagedImageProvider {
+    image: Arc<SegmentedImage>,
+    cap: usize,
+    clock: Mutex<(Vec<ClockSlot>, usize)>,
+}
+
+impl PagedImageProvider {
+    /// Provider over `image` keeping at most `cap` (floored at 1)
+    /// decoded segments resident.
+    pub fn new(image: Arc<SegmentedImage>, cap: usize) -> Self {
+        PagedImageProvider {
+            image,
+            cap: cap.max(1),
+            clock: Mutex::new((Vec::new(), 0)),
+        }
+    }
+}
+
+impl Debug for PagedImageProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedImageProvider")
+            .field("segments", &self.image.seg_count())
+            .field("cap", &self.cap)
+            .finish()
+    }
+}
+
+impl ImageProvider for PagedImageProvider {
+    fn image(&self) -> &Arc<SegmentedImage> {
+        &self.image
+    }
+
+    fn segment(&self, seg: usize, decoded_bytes: &AtomicUsize) -> Arc<DecodedSegment> {
+        let mut guard = self.clock.lock().expect("segment cache");
+        let (slots, hand) = &mut *guard;
+        if let Some(slot) = slots.iter_mut().find(|s| s.seg == seg) {
+            slot.referenced = true;
+            return Arc::clone(&slot.dec);
+        }
+        let dec = Arc::new(self.image.decode(seg));
+        decoded_bytes.fetch_add(dec.bytes, Ordering::Relaxed);
+        if slots.len() < self.cap {
+            slots.push(ClockSlot {
+                seg,
+                dec: Arc::clone(&dec),
+                referenced: true,
+            });
+        } else {
+            // Sweep until a cold slot turns up; every slot loses its
+            // reference bit on the way past, so the sweep terminates
+            // within two revolutions.
+            loop {
+                let slot = &mut slots[*hand];
+                if slot.referenced {
+                    slot.referenced = false;
+                    *hand = (*hand + 1) % slots.len();
+                } else {
+                    *slot = ClockSlot {
+                        seg,
+                        dec: Arc::clone(&dec),
+                        referenced: true,
+                    };
+                    *hand = (*hand + 1) % slots.len();
+                    break;
+                }
+            }
+        }
+        dec
+    }
+}
+
+/// The provider the engine's configuration asks for.
+/// [`StorageMode::Plain`] never reaches a provider (scans use the plain
+/// image directly), so it maps to the resident provider for callers
+/// that want one anyway.
+pub fn provider_for(
+    image: Arc<SegmentedImage>,
+    mode: StorageMode,
+    cap: usize,
+) -> Arc<dyn ImageProvider> {
+    match mode {
+        StorageMode::Paged => Arc::new(PagedImageProvider::new(image, cap)),
+        StorageMode::Plain | StorageMode::Segmented => Arc::new(MemImageProvider::new(image)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn image(rows: usize, seg_rows: usize) -> Arc<SegmentedImage> {
+        let rows: Vec<crate::relation::Row> = (0..rows)
+            .map(|i| vec![Value::Int(i as i64)].into_boxed_slice())
+            .collect();
+        Arc::new(SegmentedImage::build(1, &rows, seg_rows))
+    }
+
+    #[test]
+    fn mem_provider_decodes_each_segment_once() {
+        let p = MemImageProvider::new(image(10, 4));
+        let bytes = AtomicUsize::new(0);
+        let a = p.segment(0, &bytes);
+        let after_first = bytes.load(Ordering::Relaxed);
+        assert!(after_first > 0);
+        let b = p.segment(0, &bytes);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(bytes.load(Ordering::Relaxed), after_first); // cache hit
+        assert_eq!(a.start, 0);
+        assert_eq!(a.len, 4);
+        assert_eq!(p.segment(2, &bytes).len, 2); // tail segment
+    }
+
+    #[test]
+    fn paged_provider_evicts_cold_segments() {
+        let p = PagedImageProvider::new(image(12, 4), 2);
+        let bytes = AtomicUsize::new(0);
+        p.segment(0, &bytes);
+        p.segment(1, &bytes);
+        let full = bytes.load(Ordering::Relaxed);
+        // Hits don't decode.
+        p.segment(0, &bytes);
+        assert_eq!(bytes.load(Ordering::Relaxed), full);
+        // A third segment evicts one of the two; touring all three with
+        // cap 2 forces re-decodes.
+        p.segment(2, &bytes);
+        p.segment(0, &bytes);
+        p.segment(1, &bytes);
+        assert!(bytes.load(Ordering::Relaxed) > full);
+        // Values still come back correct after eviction churn.
+        let d = p.segment(1, &bytes);
+        assert_eq!(d.cols[0].get(0), Value::Int(4));
+    }
+
+    #[test]
+    fn factory_picks_by_mode() {
+        let img = image(4, 2);
+        assert!(format!(
+            "{:?}",
+            provider_for(Arc::clone(&img), StorageMode::Paged, 2)
+        )
+        .contains("Paged"));
+        assert!(format!("{:?}", provider_for(img, StorageMode::Segmented, 2)).contains("Mem"));
+    }
+}

@@ -4,15 +4,79 @@
 use crate::error::{Error, Result};
 use crate::fxhash::FxHasher;
 use crate::schema::Schema;
+use crate::segment::SegmentedImage;
 use crate::value::{str_eq, Value};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::io;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A row: a boxed slice of values (two words on the stack, no spare
 /// capacity — see the perf guide on boxed slices).
 pub type Row = Box<[Value]>;
+
+/// Null/validity bitmap for the nullable typed columns
+/// ([`Column::IntN`], [`Column::StrN`]): one bit per row, set when the
+/// row is `Null`. The count is cached — segment zone maps and batch
+/// kernels read it constantly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NullMask {
+    /// Bit `i` set ⇔ row `i` is null.
+    bits: Vec<u64>,
+    len: usize,
+    nulls: usize,
+}
+
+impl NullMask {
+    /// All-valid mask over `len` rows.
+    pub fn new(len: usize) -> NullMask {
+        NullMask {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+            nulls: 0,
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the mask covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mark row `idx` null (idempotent).
+    pub fn set_null(&mut self, idx: usize) {
+        debug_assert!(idx < self.len);
+        let (word, bit) = (idx / 64, idx % 64);
+        if self.bits[word] & (1 << bit) == 0 {
+            self.bits[word] |= 1 << bit;
+            self.nulls += 1;
+        }
+    }
+
+    /// Is row `idx` null?
+    #[inline]
+    pub fn is_null(&self, idx: usize) -> bool {
+        self.bits[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Number of null rows (cached; O(1)).
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+}
+
+/// The shared placeholder occupying null slots of a [`Column::StrN`]
+/// payload vector (never observed through the accessors — the mask is
+/// checked first — but keeps the vector's slots initialized without one
+/// allocation per null).
+pub(crate) fn null_str_slot() -> Arc<str> {
+    static SLOT: OnceLock<Arc<str>> = OnceLock::new();
+    Arc::clone(SLOT.get_or_init(|| Arc::from("")))
+}
 
 /// One column of a [`ColumnarImage`]: typed storage when the column is
 /// homogeneous (the common case — TPC-H columns are all-integer or
@@ -28,6 +92,13 @@ pub enum Column {
     Int(Vec<i64>),
     /// All-string column (interned `Arc<str>` — see [`crate::value::intern`]).
     Str(Vec<Arc<str>>),
+    /// Integer column with nulls: rows flagged by the [`NullMask`] read
+    /// as [`Value::Null`] and their payload slot is never observed. This
+    /// is what the union translation's `Int`-padded columns compact to
+    /// instead of collapsing to [`Column::Mixed`].
+    IntN(Vec<i64>, NullMask),
+    /// String column with nulls (null slots hold a shared placeholder).
+    StrN(Vec<Arc<str>>, NullMask),
     /// Fallback: any mix of values, still stored contiguously.
     Mixed(Vec<Value>),
 }
@@ -38,6 +109,8 @@ impl Column {
         match self {
             Column::Int(v) => v.len(),
             Column::Str(v) => v.len(),
+            Column::IntN(v, _) => v.len(),
+            Column::StrN(v, _) => v.len(),
             Column::Mixed(v) => v.len(),
         }
     }
@@ -53,6 +126,20 @@ impl Column {
         match self {
             Column::Int(v) => Value::Int(v[idx]),
             Column::Str(v) => Value::Str(Arc::clone(&v[idx])),
+            Column::IntN(v, m) => {
+                if m.is_null(idx) {
+                    Value::Null
+                } else {
+                    Value::Int(v[idx])
+                }
+            }
+            Column::StrN(v, m) => {
+                if m.is_null(idx) {
+                    Value::Null
+                } else {
+                    Value::Str(Arc::clone(&v[idx]))
+                }
+            }
             Column::Mixed(v) => v[idx].clone(),
         }
     }
@@ -71,6 +158,22 @@ impl Column {
                 h.write_u8(3); // Value::Str rank
                 v[idx].as_ref().hash(h);
             }
+            Column::IntN(v, m) => {
+                if m.is_null(idx) {
+                    h.write_u8(0); // Value::Null rank, no payload
+                } else {
+                    h.write_u8(2);
+                    h.write_i64(v[idx]);
+                }
+            }
+            Column::StrN(v, m) => {
+                if m.is_null(idx) {
+                    h.write_u8(0);
+                } else {
+                    h.write_u8(3);
+                    v[idx].as_ref().hash(h);
+                }
+            }
             Column::Mixed(v) => v[idx].hash(h),
         }
     }
@@ -82,13 +185,28 @@ impl Column {
         match (self, other) {
             (Column::Int(v), Value::Int(o)) => v[idx] == *o,
             (Column::Str(v), Value::Str(o)) => str_eq(&v[idx], o),
+            (Column::IntN(v, m), o) => {
+                if m.is_null(idx) {
+                    o.is_null()
+                } else {
+                    matches!(o, Value::Int(x) if v[idx] == *x)
+                }
+            }
+            (Column::StrN(v, m), o) => {
+                if m.is_null(idx) {
+                    o.is_null()
+                } else {
+                    matches!(o, Value::Str(s) if str_eq(&v[idx], s))
+                }
+            }
             (Column::Mixed(v), o) => v[idx] == *o,
             _ => false,
         }
     }
 
-    /// Compare values across two columns (no clones; pointer-first for
-    /// strings) — the exact-equality check behind hash-join key digests.
+    /// Compare values across two columns (no clones on the typed paths;
+    /// pointer-first for strings) — the exact-equality check behind
+    /// hash-join key digests.
     #[inline]
     pub fn cross_eq(&self, idx: usize, other: &Column, odx: usize) -> bool {
         match (self, other) {
@@ -96,12 +214,17 @@ impl Column {
             (Column::Str(a), Column::Str(b)) => str_eq(&a[idx], &b[odx]),
             (Column::Mixed(a), b) => b.value_eq(odx, &a[idx]),
             (a, Column::Mixed(b)) => a.value_eq(idx, &b[odx]),
-            _ => false,
+            // Nullable or cross-typed pairs: at most an `Arc` bump.
+            (a, b) => b.value_eq(odx, &a.get(idx)),
         }
     }
 
     /// Build a column from an owned value vector, compacting to typed
-    /// storage when the values are homogeneous.
+    /// storage when the values are homogeneous — including
+    /// [`Column::IntN`] / [`Column::StrN`] for columns that are uniform
+    /// except for `Null` padding (the union translation's pad columns),
+    /// which previously collapsed to [`Column::Mixed`] and lost the
+    /// vectorized kernels.
     pub fn from_values(vals: Vec<Value>) -> Column {
         if !vals.is_empty() && vals.iter().all(|v| matches!(v, Value::Int(_))) {
             return Column::Int(
@@ -122,6 +245,39 @@ impl Column {
                     })
                     .collect(),
             );
+        }
+        let ints = vals.iter().filter(|v| matches!(v, Value::Int(_))).count();
+        let strs = vals.iter().filter(|v| matches!(v, Value::Str(_))).count();
+        let nulls = vals.iter().filter(|v| v.is_null()).count();
+        if ints > 0 && ints + nulls == vals.len() {
+            let mut mask = NullMask::new(vals.len());
+            let payload = vals
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| match v {
+                    Value::Int(x) => x,
+                    _ => {
+                        mask.set_null(i);
+                        0
+                    }
+                })
+                .collect();
+            return Column::IntN(payload, mask);
+        }
+        if strs > 0 && strs + nulls == vals.len() {
+            let mut mask = NullMask::new(vals.len());
+            let payload = vals
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| match v {
+                    Value::Str(s) => s,
+                    _ => {
+                        mask.set_null(i);
+                        null_str_slot()
+                    }
+                })
+                .collect();
+            return Column::StrN(payload, mask);
         }
         Column::Mixed(vals)
     }
@@ -147,7 +303,9 @@ impl Column {
                     .collect(),
             );
         }
-        Column::Mixed(rows.iter().map(|r| r[col].clone()).collect())
+        // Heterogeneous (or null-padded): clone through the value path,
+        // which compacts nullable-typed columns too.
+        Column::from_values(rows.iter().map(|r| r[col].clone()).collect())
     }
 }
 
@@ -216,7 +374,7 @@ impl ColumnarImage {
 /// so scans alias the catalog instead of copying it. Set semantics is
 /// opt-in via [`Relation::sorted_set`] / `Plan::Distinct`, which is how
 /// the `poss` operator and the test oracles normalize results.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Relation {
     schema: Schema,
     rows: Arc<Vec<Row>>,
@@ -224,6 +382,22 @@ pub struct Relation {
     /// Shared across clones and zero-copy renames; reset by the
     /// copy-on-write mutators. Not part of relation equality.
     columnar: OnceLock<Arc<ColumnarImage>>,
+    /// Lazily built compressed segmented image (see
+    /// [`Relation::segments`]). Cached for one segment size at a time;
+    /// shared across clones and renames like the plain image; reset by
+    /// the copy-on-write mutators. Not part of relation equality.
+    segmented: Mutex<Option<Arc<SegmentedImage>>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            schema: self.schema.clone(),
+            rows: Arc::clone(&self.rows),
+            columnar: self.columnar.clone(),
+            segmented: Mutex::new(self.segmented.lock().expect("segment cache").clone()),
+        }
+    }
 }
 
 impl PartialEq for Relation {
@@ -241,6 +415,7 @@ impl Relation {
             schema,
             rows: Arc::new(Vec::new()),
             columnar: OnceLock::new(),
+            segmented: Mutex::new(None),
         }
     }
 
@@ -258,6 +433,7 @@ impl Relation {
             schema,
             rows: Arc::new(rows),
             columnar: OnceLock::new(),
+            segmented: Mutex::new(None),
         })
     }
 
@@ -276,6 +452,7 @@ impl Relation {
             schema,
             rows: Arc::clone(&self.rows),
             columnar: self.columnar.clone(),
+            segmented: Mutex::new(self.segmented.lock().expect("segment cache").clone()),
         })
     }
 
@@ -326,6 +503,42 @@ impl Relation {
         self.columnar.get().is_some()
     }
 
+    /// The compressed segmented image at `seg_rows` rows per segment,
+    /// built directly from row storage (never via the plain columnar
+    /// image — in paged storage mode that image is exactly what must not
+    /// be materialized) and cached. Asking for a different segment size
+    /// rebuilds; clones and renames share the cache.
+    pub fn segments(&self, seg_rows: usize) -> Arc<SegmentedImage> {
+        let mut cache = self.segmented.lock().expect("segment cache");
+        if let Some(img) = cache.as_ref() {
+            if img.seg_rows() == seg_rows.max(1) {
+                return Arc::clone(img);
+            }
+        }
+        let img = Arc::new(SegmentedImage::build(
+            self.schema.arity(),
+            &self.rows,
+            seg_rows,
+        ));
+        *cache = Some(Arc::clone(&img));
+        img
+    }
+
+    /// `true` iff a segmented image is cached (test hook).
+    pub fn segments_cached(&self) -> bool {
+        self.segmented.lock().expect("segment cache").is_some()
+    }
+
+    /// Attach a pre-built segmented image (loaders that stream rows
+    /// straight into a segment builder hand the result over here, so
+    /// [`Relation::segments`] never re-encodes). The image must describe
+    /// exactly this relation's rows.
+    pub fn attach_segments(&self, img: Arc<SegmentedImage>) {
+        debug_assert_eq!(img.len(), self.rows.len());
+        debug_assert_eq!(img.arity(), self.schema.arity());
+        *self.segmented.lock().expect("segment cache") = Some(img);
+    }
+
     /// `true` iff both relations alias the same row storage (used by the
     /// zero-copy tests; content equality is `==` / [`Relation::set_eq`]).
     pub fn shares_rows_with(&self, other: &Relation) -> bool {
@@ -349,7 +562,8 @@ impl Relation {
             });
         }
         Arc::make_mut(&mut self.rows).push(row.into_boxed_slice());
-        self.columnar = OnceLock::new(); // rows changed: image is stale
+        self.columnar = OnceLock::new(); // rows changed: images are stale
+        self.segmented = Mutex::new(None);
         Ok(())
     }
 
@@ -379,6 +593,7 @@ impl Relation {
             schema,
             rows: self.rows,
             columnar: self.columnar,
+            segmented: self.segmented,
         })
     }
 
@@ -392,6 +607,7 @@ impl Relation {
             schema: self.schema.clone(),
             rows: Arc::new(rows),
             columnar: OnceLock::new(),
+            segmented: Mutex::new(None),
         }
     }
 
@@ -400,7 +616,8 @@ impl Relation {
         let rows = Arc::make_mut(&mut self.rows);
         rows.sort();
         rows.dedup();
-        self.columnar = OnceLock::new(); // rows changed: image is stale
+        self.columnar = OnceLock::new(); // rows changed: images are stale
+        self.segmented = Mutex::new(None);
     }
 
     /// Total payload size in bytes (Figure 9 accounting).
@@ -626,8 +843,13 @@ mod tests {
         b.push(vec![Value::Int(9), Value::Null]).unwrap();
         assert!(!b.columns_cached());
         assert!(a.columns_cached());
-        // The pushed Null demotes the string column to Mixed on rebuild.
-        assert!(matches!(b.columns().cols()[1], Column::Mixed(_)));
+        // The pushed Null keeps the string column typed: it rebuilds as
+        // a nullable string column, not a Mixed fallback.
+        let Column::StrN(_, mask) = &b.columns().cols()[1] else {
+            panic!("null-padded string column compacts to StrN");
+        };
+        assert_eq!(mask.null_count(), 1);
+        assert_eq!(b.columns().cols()[1].get(3), Value::Null);
     }
 
     #[test]
@@ -673,10 +895,62 @@ mod tests {
             Column::from_values(vec![Value::Int(1), Value::Int(2)]).get(1),
             Value::Int(2)
         );
+        // Null-padded homogeneous columns compact to the nullable typed
+        // variants; genuinely mixed ones still fall back to Mixed.
+        let c = Column::from_values(vec![Value::Int(1), Value::Null]);
+        assert!(matches!(c, Column::IntN(..)));
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert!(c.value_eq(1, &Value::Null));
+        assert!(!c.value_eq(0, &Value::Null));
         assert!(matches!(
-            Column::from_values(vec![Value::Int(1), Value::Null]),
+            Column::from_values(vec![Value::Bool(true), Value::Int(1)]),
             Column::Mixed(_)
         ));
+        assert!(matches!(
+            Column::from_values(vec![Value::Null, Value::Null]),
+            Column::Mixed(_)
+        ));
+    }
+
+    #[test]
+    fn nullable_columns_hash_and_compare_like_values() {
+        use std::hash::{Hash, Hasher};
+        let vals = vec![
+            Value::Int(7),
+            Value::Null,
+            Value::Int(-3),
+            Value::Null,
+            Value::Int(7),
+        ];
+        let c = Column::from_values(vals.clone());
+        assert!(matches!(c, Column::IntN(..)));
+        let s = Column::from_values(vec![
+            Value::interned("x"),
+            Value::Null,
+            Value::interned("y"),
+        ]);
+        assert!(matches!(s, Column::StrN(..)));
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(c.get(i), *v);
+            let mut a = FxHasher::default();
+            c.hash_value_into(i, &mut a);
+            let mut b = FxHasher::default();
+            v.hash(&mut b);
+            assert_eq!(a.finish(), b.finish(), "digest mismatch at {i}");
+        }
+        // Cross-column equality sees through the masks.
+        assert!(c.cross_eq(1, &c, 3)); // Null == Null
+        assert!(!c.cross_eq(0, &c, 1));
+        assert!(c.cross_eq(0, &c, 4));
+        assert!(c.cross_eq(0, &Column::Int(vec![9, 7]), 1));
+        assert!(!c.cross_eq(1, &Column::Int(vec![9, 7]), 1));
+        assert!(s.cross_eq(1, &c, 1)); // nulls equal across types
+        assert!(s.value_eq(0, &Value::interned("x")));
+        assert!(!s.value_eq(1, &Value::interned("x")));
+        let mixed = Column::from_values(vec![Value::Bool(true), Value::Null]);
+        assert!(mixed.cross_eq(1, &s, 1));
+        assert!(!mixed.cross_eq(0, &s, 1));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::fxhash::{FxHashSet, FxHasher};
 use crate::relation::{Column, Relation};
+use crate::value::Value;
 use std::hash::Hasher;
 
 /// Row count plus per-column number-of-distinct-values (NDV) and
@@ -32,6 +33,11 @@ pub struct TableStats {
     /// With `rows`, this gives the average row width the memory-budget
     /// planner uses to predict which breakers will spill.
     pub bytes: usize,
+    /// Per-column (min, max) bounds under the total `Value` order, or
+    /// `None` for an empty relation. Folded from per-segment zone maps
+    /// when the relation is built segmented; computed directly here
+    /// otherwise. Range-predicate selectivity reads these.
+    pub minmax: Vec<Option<(Value, Value)>>,
 }
 
 impl TableStats {
@@ -49,9 +55,44 @@ impl TableStats {
                 match c {
                     Column::Int(v) => v.iter().collect::<FxHashSet<_>>().len(),
                     Column::Str(v) => v.iter().map(|s| s.as_ref()).collect::<FxHashSet<_>>().len(),
+                    Column::IntN(v, m) => {
+                        let typed = (0..v.len())
+                            .filter(|&i| !m.is_null(i))
+                            .map(|i| v[i])
+                            .collect::<FxHashSet<_>>()
+                            .len();
+                        typed + usize::from(m.null_count() > 0)
+                    }
+                    Column::StrN(v, m) => {
+                        let typed = (0..v.len())
+                            .filter(|&i| !m.is_null(i))
+                            .map(|i| v[i].as_ref())
+                            .collect::<FxHashSet<_>>()
+                            .len();
+                        typed + usize::from(m.null_count() > 0)
+                    }
                     Column::Mixed(v) => v.iter().collect::<FxHashSet<_>>().len(),
                 }
                 .max(1)
+            })
+            .collect();
+        let minmax: Vec<Option<(Value, Value)>> = cols
+            .iter()
+            .map(|c| {
+                (0..rel.len()).map(|i| c.get(i)).fold(None, |acc, v| {
+                    Some(match acc {
+                        None => (v.clone(), v),
+                        Some((lo, hi)) => {
+                            if v < lo {
+                                (v, hi)
+                            } else if v > hi {
+                                (lo, v)
+                            } else {
+                                (lo, hi)
+                            }
+                        }
+                    })
+                })
             })
             .collect();
         let pair_ndv: Vec<usize> = cols
@@ -72,7 +113,13 @@ impl TableStats {
             ndv,
             pair_ndv,
             bytes: rel.size_bytes(),
+            minmax,
         }
+    }
+
+    /// The (min, max) bounds of a column, when known and non-empty.
+    pub fn minmax(&self, col: usize) -> Option<&(Value, Value)> {
+        self.minmax.get(col).and_then(Option::as_ref)
     }
 
     /// Average payload bytes per row (a small constant floor keeps the
@@ -151,5 +198,24 @@ mod tests {
         assert_eq!(st.rows, 0);
         assert_eq!(st.ndv_or_default(0), 1);
         assert_eq!(st.ndv_or_default(99), 1);
+        assert_eq!(st.minmax(0), None);
+    }
+
+    #[test]
+    fn minmax_and_nullable_ndv() {
+        let rel = Relation::from_rows(
+            ["a", "b"],
+            vec![
+                vec![Value::Int(7), Value::str("x")],
+                vec![Value::Int(3), Value::Null],
+                vec![Value::Int(7), Value::str("y")],
+            ],
+        )
+        .unwrap();
+        let st = TableStats::compute(&rel);
+        assert_eq!(st.minmax(0), Some(&(Value::Int(3), Value::Int(7))));
+        // Null sorts below every string, so it is column b's minimum.
+        assert_eq!(st.minmax(1), Some(&(Value::Null, Value::str("y"))));
+        assert_eq!(st.ndv, vec![2, 3]); // null counts as one distinct
     }
 }

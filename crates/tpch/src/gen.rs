@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use urel_relalg::value::date_to_days;
-use urel_relalg::{Relation, Value};
+use urel_relalg::{EngineConfig, Relation, SegmentedBuilder, StorageMode, Value};
 
 /// What kind of values a column holds — drives both base generation and
 /// the sampling of *alternative* values for uncertain fields.
@@ -90,16 +90,28 @@ pub struct TableSpec {
 }
 
 impl TableSpec {
-    /// As a plain relation.
+    /// As a plain relation. Under a segmented default storage mode
+    /// (`RELALG_STORAGE`), rows stream straight into compressed column
+    /// segments as the relation is built, so the first scan never pays
+    /// a bulk re-encode pass.
     pub fn relation(&self) -> Relation {
-        Relation::from_rows(
+        let rel = Relation::from_rows(
             self.columns
                 .iter()
                 .map(|(n, _)| n.clone())
                 .collect::<Vec<_>>(),
             self.rows.clone(),
         )
-        .expect("generator emits consistent rows")
+        .expect("generator emits consistent rows");
+        let config = EngineConfig::default();
+        if config.storage != StorageMode::Plain {
+            let mut builder = SegmentedBuilder::new(self.columns.len(), config.segment_rows);
+            for row in &self.rows {
+                builder.push(row);
+            }
+            rel.attach_segments(std::sync::Arc::new(builder.finish()));
+        }
+        rel
     }
 }
 

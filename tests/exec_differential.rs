@@ -35,6 +35,13 @@
 //!    the serial row vector — same rows, same order — while `ExecStats`
 //!    reports the planned worker count.
 //!
+//! 5. **Storage modes** — compressed column segments with zone-map
+//!    skipping (PR 6) must be invisible to query output: the same plan
+//!    under {segmented, paged with a 2-slot cache} × {1, 4} workers,
+//!    with 3-row segments so even tiny databases cross segment
+//!    boundaries and evict, must emit exactly the plain-image serial
+//!    row vector.
+//!
 //! Case counts scale with `PROPTEST_CASES` (the CI differential job
 //! raises it well above the local default); generation is deterministic
 //! per test name, so failures reproduce exactly.
@@ -47,7 +54,7 @@ use u_relations::core::{
     WorldTable, WsDescriptor,
 };
 use u_relations::relalg::{
-    col, exec, lit_i64, optimizer, Catalog, Expr, Plan, Relation, Row, Value,
+    col, exec, lit_i64, optimizer, Catalog, Expr, Plan, Relation, Row, StorageMode, Value,
 };
 
 fn cases(default: u32) -> u32 {
@@ -522,6 +529,88 @@ proptest! {
                     prefix == unbounded_rows[..unbounded_rows.len().min(3)].to_vec(),
                     "limited budgeted pull diverges for {plan:?}"
                 );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    /// The storage oracle on *translated* plans: random reduced or-set
+    /// databases and random logical queries run against the plain
+    /// columnar image and against compressed segments — decoded eagerly
+    /// (segmented) and through a 2-slot paged cache — at 1 and 4
+    /// workers. Segments are 3 rows so tiny databases still span
+    /// several and the paged provider actually evicts; output must be
+    /// **byte-identical** (rows and order) to the plain serial pull.
+    #[test]
+    fn segmented_translated_plans_match_plain_byte_for_byte(
+        db in arb_udb(),
+        q in arb_query(),
+    ) {
+        let prepared = db.prepare();
+        let t = translate(&db, &q).unwrap();
+        let plan = optimizer::optimize(&t.plan, prepared.catalog()).unwrap();
+        let plain_rows = {
+            let mut cat = prepared.catalog().clone();
+            cat.set_threads(1);
+            exec::stream(&plan, &cat).unwrap().collect_rows(None)
+        };
+        for mode in [StorageMode::Segmented, StorageMode::Paged] {
+            for threads in [1usize, 4] {
+                let mut cat = prepared.catalog().clone();
+                cat.set_storage(mode);
+                cat.set_segment_layout(3, 2);
+                cat.set_threads(threads);
+                cat.set_parallel_granularity(4, 0);
+                let rows = exec::stream(&plan, &cat).unwrap().collect_rows(None);
+                prop_assert!(
+                    rows == plain_rows,
+                    "{mode:?} x{threads} differs from plain for {q:?}\nplan: {plan:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// The storage oracle on random *plain* relational plans (hash
+    /// joins, nested loops, semi/antijoins, set operations, distinct):
+    /// byte-identical output across storage modes at 1 and 4 workers,
+    /// and limited pulls agree with prefixes of the full pull.
+    #[test]
+    fn segmented_plain_plans_match_plain_image_byte_for_byte(
+        catalog in arb_catalog(),
+        plan in arb_plan(),
+    ) {
+        if plan.schema(&catalog).is_ok() {
+            let plain_rows = {
+                let mut cat = catalog.clone();
+                cat.set_threads(1);
+                exec::stream(&plan, &cat).unwrap().collect_rows(None)
+            };
+            for mode in [StorageMode::Segmented, StorageMode::Paged] {
+                for threads in [1usize, 4] {
+                    let mut cat = catalog.clone();
+                    cat.set_storage(mode);
+                    cat.set_segment_layout(3, 2);
+                    cat.set_threads(threads);
+                    cat.set_parallel_granularity(3, 0);
+                    let streamed = exec::stream(&plan, &cat).unwrap();
+                    let rows = streamed.collect_rows(None);
+                    prop_assert!(
+                        rows == plain_rows,
+                        "{mode:?} x{threads} differs from plain for {plan:?}"
+                    );
+                    let prefix = streamed.collect_rows(Some(3));
+                    prop_assert!(
+                        prefix == plain_rows[..plain_rows.len().min(3)].to_vec(),
+                        "limited {mode:?} pull diverges for {plan:?}"
+                    );
+                }
             }
         }
     }

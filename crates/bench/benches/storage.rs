@@ -5,6 +5,12 @@
 //! mode should win on the selective shapes (whole segments skip) and
 //! stay competitive on the non-selective ones (decode once, then the
 //! same vectorized pipeline).
+//!
+//! PR 7 adds the disk mode's cold-vs-warm pair on the unprunable scan:
+//! the cold run faults every segment through a 2-slot buffer pool (page
+//! reads + checksum + decode every iteration), the warm run re-scans
+//! with the whole working set resident in a roomy pool — the spread
+//! between the two is the price of a page fault.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use urel_relalg::{col, exec, lit_i64, lit_str, Catalog, Plan, Relation, StorageMode, Value};
@@ -80,6 +86,31 @@ fn bench_selective_scans(c: &mut Criterion) {
             b.iter(|| exec::execute(plan, &seg).unwrap().len());
         });
     }
+    // Disk mode, cold vs warm, on the unprunable scan (every segment
+    // read): 49 segments through a 2-slot pool churn on every
+    // iteration; through a 64-slot pool the working set stays resident
+    // after the priming scan.
+    let disk_catalog = |pool: usize| {
+        let mut c = Catalog::new();
+        c.set_threads(1);
+        c.set_storage(StorageMode::Disk);
+        c.set_segment_layout(SEG_ROWS, 8);
+        c.set_buffer_pool(pool);
+        c.insert("t", rel());
+        // Pay the encode + segment-file write (and, for the roomy pool,
+        // the fault-in) outside the timed region.
+        let _ = exec::execute(&Plan::scan("t"), &c).unwrap();
+        c
+    };
+    let cold = disk_catalog(2);
+    let warm = disk_catalog(64);
+    let scan = Plan::scan("t").select(col("v").lt(lit_i64(500_000)));
+    group.bench_function("disk_cold/scrambled", |b| {
+        b.iter(|| exec::execute(&scan, &cold).unwrap().len());
+    });
+    group.bench_function("disk_warm/scrambled", |b| {
+        b.iter(|| exec::execute(&scan, &warm).unwrap().len());
+    });
     group.finish();
 }
 

@@ -154,9 +154,33 @@ pub fn certain_exact(u: &URelation, w: &WorldTable) -> Result<Relation> {
     Ok(out)
 }
 
+/// World-count ceiling for the exact-expansion fallback taken by
+/// [`certain_answers`] on databases with partial or-set fields.
+pub const CERTAIN_EXPANSION_CAP: usize = 4096;
+
 /// End-to-end certain answers of a logical query: evaluate the translated
 /// query, normalize the result (Algorithm 1), and apply Lemma 4.3.
+///
+/// Lemma 4.3 is only sound over databases satisfying Proposition 3.3's
+/// reduction guarantee — every tuple present in a world has all of its
+/// fields defined there. A *partial* or-set field (defined in only some
+/// worlds) breaks that guarantee and would make this path
+/// over-approximate, so such databases are detected up front
+/// ([`UDatabase::has_partial_fields`]) and answered by exact world
+/// expansion instead, up to [`CERTAIN_EXPANSION_CAP`] worlds; above the
+/// cap this returns [`Error::TooLarge`] rather than a wrong answer.
 pub fn certain_answers(udb: &UDatabase, q: &UQuery) -> Result<Relation> {
+    if udb.has_partial_fields()? {
+        let (_possible, certain) = crate::worldops::expand_answers(udb, q, CERTAIN_EXPANSION_CAP)
+            .map_err(|e| match e {
+            Error::TooLarge(msg) => Error::TooLarge(format!(
+                "`certain` on a database with partial or-set fields needs exact world \
+                     expansion: {msg}"
+            )),
+            other => other,
+        })?;
+        return Ok(certain);
+    }
     let u = evaluate(udb, q)?;
     let normalized = normalize_urelations(&[&u], &udb.world)?;
     certain_lemma43(&normalized.relations[0], &normalized.world)
@@ -338,6 +362,58 @@ mod tests {
         let want = oracle_certain(&q, &db, 64).unwrap();
         assert!(got.set_eq(&want));
         assert_eq!(got.len(), 4);
+    }
+
+    /// `r[a, b]` where tuple 1's `a` is certain but `b` is a partial
+    /// or-set: defined under x1 ↦ 0 and x1 ↦ 1, undefined under x1 ↦ 2.
+    fn partial_db() -> UDatabase {
+        let mut w = WorldTable::new();
+        w.add_var(Var(1), vec![0, 1, 2]).unwrap();
+        let mut db = UDatabase::new(w);
+        db.add_relation("r", ["a", "b"]).unwrap();
+        let mut ua = URelation::partition("u_a", ["a"]);
+        ua.push_simple(WsDescriptor::empty(), 1, vec![Value::Int(7)])
+            .unwrap();
+        db.add_partition("r", ua).unwrap();
+        let mut ub = URelation::partition("u_b", ["b"]);
+        for l in [0, 1] {
+            ub.push_simple(WsDescriptor::singleton(Var(1), l), 1, vec![Value::Int(0)])
+                .unwrap();
+        }
+        db.add_partition("r", ub).unwrap();
+        db.validate().unwrap();
+        // Already reduced: every row completes in some world. The
+        // partiality survives reduction — that is the whole problem.
+        assert!(crate::reduce::is_reduced(&db).unwrap());
+        db
+    }
+
+    #[test]
+    fn partial_or_set_fields_take_the_exact_expansion_path() {
+        let db = partial_db();
+        assert!(db.has_partial_fields().unwrap());
+        assert!(!figure1_database().has_partial_fields().unwrap());
+        // In world x1 ↦ 2 tuple 1 has no `b` field and drops out, so its
+        // `a` value is possible but not certain. The pruned translation
+        // reads only `u_a` for this projection and would report {7}.
+        let q = table("r").project(["a"]);
+        let got = certain_answers(&db, &q).unwrap();
+        assert!(got.is_empty(), "{got}");
+        let want = oracle_certain(&q, &db, 64).unwrap();
+        assert!(got.set_eq(&want), "{got} vs {want}");
+    }
+
+    #[test]
+    fn partial_fields_above_the_expansion_cap_error_clearly() {
+        let mut db = partial_db();
+        // Pad the world table past the cap: 12 extra binary variables
+        // make 3 · 2¹² = 12288 > 4096 worlds.
+        for i in 0..12 {
+            db.world.add_var(Var(100 + i), vec![0, 1]).unwrap();
+        }
+        let err = certain_answers(&db, &table("r")).unwrap_err();
+        assert!(matches!(err, Error::TooLarge(_)), "{err}");
+        assert!(err.to_string().contains("partial or-set"), "{err}");
     }
 
     #[test]

@@ -206,6 +206,25 @@ impl<'a> PreparedDb<'a> {
         self.catalog.set_mem_budget(bytes);
     }
 
+    /// Select the base-table storage mode for queries run through this
+    /// `PreparedDb` (plain columnar, compressed segments, a paged
+    /// segment cache, or the on-disk segment store; the default comes
+    /// from `RELALG_STORAGE`). Answers are byte-identical across modes;
+    /// cached plans stay valid — storage is an execution knob, not a
+    /// plan property.
+    pub fn set_storage(&mut self, mode: urel_relalg::StorageMode) {
+        self.catalog.set_storage(mode);
+    }
+
+    /// Cap the decoded segments the disk-mode buffer pool shared across
+    /// relations keeps resident for queries run through this
+    /// `PreparedDb` (floored at 1; the default comes from
+    /// `RELALG_BUFFER_POOL`). Only observable under
+    /// [`urel_relalg::StorageMode::Disk`].
+    pub fn set_buffer_pool(&mut self, segments: usize) {
+        self.catalog.set_buffer_pool(segments);
+    }
+
     /// Number of physical plans currently held by the prepared-statement
     /// cache (observability hook; also used by tests to pin the cache's
     /// hit behavior).

@@ -179,6 +179,47 @@ impl UDatabase {
         Ok(())
     }
 
+    /// Does any tuple field carry a *partial* or-set — a non-empty set
+    /// of defining rows whose descriptors do not jointly cover every
+    /// world?
+    ///
+    /// Proposition 3.3's reduction guarantee assumes that a tuple
+    /// present in a world has all of its fields defined there; a
+    /// partial field breaks that assumption, and the Lemma 4.3
+    /// `certain` path over-approximates on such databases.
+    /// [`crate::certain::certain_answers`] uses this check to route
+    /// them through exact world expansion instead. A field with *no*
+    /// defining rows is not partial: the tuple never completes and the
+    /// per-tuple-id field join drops it in every world.
+    pub fn has_partial_fields(&self) -> Result<bool> {
+        for (rel, attrs) in &self.schema {
+            // (tid, attribute position) → descriptors of the rows that
+            // define the field.
+            let mut fields: BTreeMap<(i64, usize), Vec<WsDescriptor>> = BTreeMap::new();
+            for p in &self.partitions[rel] {
+                let positions: Vec<usize> = p
+                    .value_cols()
+                    .iter()
+                    .map(|c| attrs.iter().position(|a| a == c).expect("validated"))
+                    .collect();
+                for row in p.rows() {
+                    for &pos in &positions {
+                        fields
+                            .entry((row.tids[0], pos))
+                            .or_default()
+                            .push(row.desc.clone());
+                    }
+                }
+            }
+            for descs in fields.values() {
+                if !crate::prob::covers_all_worlds(descs, &self.world)? {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
     /// Materialize the possible world selected by a total valuation:
     /// the semantics of Section 2, verbatim. Tuples left partial (some
     /// field undefined) are removed.
@@ -421,6 +462,16 @@ mod tests {
                 assert_eq!(rows, 0);
             }
         }
+        // And the partial fields are detected: tuple 1's A field is only
+        // defined under x1 ↦ 1.
+        assert!(db.has_partial_fields().unwrap());
+    }
+
+    #[test]
+    fn world_total_databases_have_no_partial_fields() {
+        // Figure 1: every field is either unconditional or a full or-set
+        // over its variable's domain.
+        assert!(!figure1_database().has_partial_fields().unwrap());
     }
 
     #[test]

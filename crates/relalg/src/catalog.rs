@@ -40,11 +40,18 @@ pub struct EngineConfig {
     /// Every mode produces byte-identical query output.
     pub storage: StorageMode,
     /// Rows per column segment under [`StorageMode::Segmented`] /
-    /// [`StorageMode::Paged`] (`RELALG_SEGMENT_ROWS`, default 64Ki).
+    /// [`StorageMode::Paged`] / [`StorageMode::Disk`]
+    /// (`RELALG_SEGMENT_ROWS`, default 64Ki).
     pub segment_rows: usize,
     /// Decoded segments the paged provider keeps resident per relation
     /// (`RELALG_SEGMENT_CACHE`, default 8, floored at 1).
     pub segment_cache: usize,
+    /// Decoded segments the shared buffer pool keeps resident *across
+    /// all relations* under [`StorageMode::Disk`]
+    /// (`RELALG_BUFFER_POOL`, default 64, floored at 1). Per-scan
+    /// fetches become leases on this pool, so concurrent scans of
+    /// different relations compete for — and share — the same slots.
+    pub buffer_pool: usize,
 }
 
 /// Storage backend for base-table scans. The mode changes *where*
@@ -61,6 +68,12 @@ pub enum StorageMode {
     /// of [`EngineConfig::segment_cache`] decoded segments, so the
     /// decoded working set — not the table — is what occupies memory.
     Paged,
+    /// Encoded segments live in page files on disk
+    /// ([`crate::store::DiskImage`]); scans read them through a
+    /// checksum-verified buffer pool of [`EngineConfig::buffer_pool`]
+    /// decoded segments shared across all relations. Neither the row
+    /// store nor the full encoded image needs to fit in memory.
+    Disk,
 }
 
 /// Default morsel size: 8 batches per claim amortizes the atomic
@@ -76,6 +89,9 @@ pub const DEFAULT_SEGMENT_ROWS: usize = 64 * 1024;
 /// Default decoded-segment cache capacity for the paged provider.
 pub const DEFAULT_SEGMENT_CACHE: usize = 8;
 
+/// Default shared buffer-pool capacity (decoded segments, all relations).
+pub const DEFAULT_BUFFER_POOL: usize = 64;
+
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
@@ -86,18 +102,33 @@ impl Default for EngineConfig {
             storage: default_storage(),
             segment_rows: default_segment_rows(),
             segment_cache: default_segment_cache(),
+            buffer_pool: default_buffer_pool(),
         }
     }
 }
 
-/// `RELALG_STORAGE` (`plain` | `segmented` | `paged`), read once per
-/// process; unset or unrecognized means plain.
+/// `RELALG_STORAGE` (`plain` | `segmented` | `paged` | `disk`), read
+/// once per process; unset or unrecognized means plain.
 fn default_storage() -> StorageMode {
     static STORAGE: std::sync::OnceLock<StorageMode> = std::sync::OnceLock::new();
     *STORAGE.get_or_init(|| match std::env::var("RELALG_STORAGE").as_deref() {
         Ok("segmented") => StorageMode::Segmented,
         Ok("paged") => StorageMode::Paged,
+        Ok("disk") => StorageMode::Disk,
         _ => StorageMode::Plain,
+    })
+}
+
+/// `RELALG_BUFFER_POOL`, read once per process; unset, unparseable or
+/// zero means [`DEFAULT_BUFFER_POOL`].
+fn default_buffer_pool() -> usize {
+    static POOL: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *POOL.get_or_init(|| {
+        std::env::var("RELALG_BUFFER_POOL")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_BUFFER_POOL)
     })
 }
 
@@ -229,6 +260,13 @@ impl Catalog {
         self.config.segment_cache = segment_cache.max(1);
     }
 
+    /// Set the shared buffer pool's capacity in decoded segments
+    /// (floored at 1). Scans under [`StorageMode::Disk`] lease slots
+    /// from the process-wide pool of this capacity.
+    pub fn set_buffer_pool(&mut self, segments: usize) {
+        self.config.buffer_pool = segments.max(1);
+    }
+
     /// Register (or replace) a relation. Statistics are computed eagerly —
     /// the workloads in this repo scan every registered relation at least
     /// once, so the one-time pass pays for itself. Computing them runs
@@ -246,8 +284,12 @@ impl Catalog {
         let name = name.into();
         // Under segmented storage the statistics fall out of the segment
         // build itself (zone-map folds), so the plain columnar image is
-        // never forced into existence.
-        let stats = if self.config.storage == StorageMode::Plain {
+        // never forced into existence; disk-native relations carry the
+        // statistics their writer accumulated in the manifest, so
+        // registering them decodes nothing at all.
+        let stats = if let Some(img) = rel.native_disk_image() {
+            img.stats().clone()
+        } else if self.config.storage == StorageMode::Plain {
             TableStats::compute(&rel)
         } else {
             rel.segments(self.config.segment_rows).stats().clone()
@@ -312,6 +354,12 @@ mod tests {
         c.set_segment_layout(0, 0); // floored at 1
         assert_eq!(c.config().segment_rows, 1);
         assert_eq!(c.config().segment_cache, 1);
+        c.set_storage(StorageMode::Disk);
+        c.set_buffer_pool(3);
+        assert_eq!(c.config().storage, StorageMode::Disk);
+        assert_eq!(c.config().buffer_pool, 3);
+        c.set_buffer_pool(0); // floored at 1
+        assert_eq!(c.config().buffer_pool, 1);
         // Clones carry the configuration.
         assert_eq!(c.clone().config(), c.config());
     }

@@ -86,7 +86,7 @@ use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::optimizer::{est_rows, est_rows_cached, EstCache};
 use crate::plan::Plan;
 use crate::pool::TaskPool;
-use crate::provider::{provider_for, ImageProvider};
+use crate::provider::{provider_for, ImageProvider, IoCounters};
 use crate::relation::{row_footprint, Column, ColumnarImage, Relation, Row};
 use crate::schema::Schema;
 use crate::segment::DecodedSegment;
@@ -162,6 +162,16 @@ pub struct ExecStats {
     /// (provider cache hits add nothing, so under the paged provider
     /// this measures decode traffic, i.e. cache misses).
     pub decoded_bytes: usize,
+    /// Pages read from on-disk segment stores, in [`crate::store::PAGE`]
+    /// units (0 unless a scan ran under `StorageMode::Disk`; cumulative
+    /// like the segment counters).
+    pub pages_read: usize,
+    /// Buffer-pool hits: segment fetches served from the shared pool
+    /// without touching disk (cumulative).
+    pub pool_hits: usize,
+    /// Buffer-pool misses: segment fetches that had to read and decode
+    /// from disk before installing into the pool (cumulative).
+    pub pool_misses: usize,
 }
 
 impl ExecStats {
@@ -194,14 +204,15 @@ struct Counters {
     seg: Arc<SegCounters>,
 }
 
-/// Segment traffic of one execution: scans, zone-map skips, and bytes
-/// decoded. Atomics because parallel workers' cursors share them;
+/// Segment traffic of one execution: scans, zone-map skips, and the
+/// provider-side I/O tallies (bytes decoded, pages read, buffer-pool
+/// hits/misses). Atomics because parallel workers' cursors share them;
 /// cumulative over the execution's lifetime (like spill counters).
 #[derive(Default)]
 struct SegCounters {
     scanned: AtomicUsize,
     skipped: AtomicUsize,
-    decoded: AtomicUsize,
+    io: IoCounters,
 }
 
 impl Default for Counters {
@@ -290,7 +301,10 @@ impl Counters {
             spilled_bytes: self.spill.spilled_bytes(),
             segments_scanned: self.seg.scanned.load(AtomicOrdering::Relaxed),
             segments_skipped: self.seg.skipped.load(AtomicOrdering::Relaxed),
-            decoded_bytes: self.seg.decoded.load(AtomicOrdering::Relaxed),
+            decoded_bytes: self.seg.io.decoded_bytes.load(AtomicOrdering::Relaxed),
+            pages_read: self.seg.io.pages_read.load(AtomicOrdering::Relaxed),
+            pool_hits: self.seg.io.pool_hits.load(AtomicOrdering::Relaxed),
+            pool_misses: self.seg.io.pool_misses.load(AtomicOrdering::Relaxed),
         }
     }
 }
@@ -770,17 +784,32 @@ struct SegScan {
 impl SourceNode {
     /// Wrap a materialized relation, attaching a segment provider when
     /// the engine runs segmented storage (plain mode bypasses the whole
-    /// seam; breaker outputs and empty relations stay plain too).
-    fn of_scan(rel: Arc<Relation>, config: &EngineConfig) -> SourceNode {
-        let scan = (config.storage != StorageMode::Plain && !rel.is_empty()).then(|| SegScan {
-            provider: provider_for(
-                rel.segments(config.segment_rows),
-                config.storage,
-                config.segment_cache,
-            ),
-            zone_preds: Vec::new(),
-        });
-        SourceNode { rel, scan }
+    /// seam; breaker outputs and empty relations stay plain too). Under
+    /// [`StorageMode::Disk`] the provider fetches from the relation's
+    /// on-disk segment store — the native one for disk-loaded tables, a
+    /// scratch spill otherwise — through the buffer pool shared across
+    /// all relations at this capacity.
+    fn of_scan(rel: Arc<Relation>, config: &EngineConfig) -> Result<SourceNode> {
+        let scan = if config.storage == StorageMode::Plain || rel.is_empty() {
+            None
+        } else if config.storage == StorageMode::Disk {
+            let image = rel.disk_image(config.segment_rows)?;
+            let pool = crate::store::pool_for(config.buffer_pool);
+            Some(SegScan {
+                provider: Arc::new(crate::store::DiskImageProvider::new(image, pool)),
+                zone_preds: Vec::new(),
+            })
+        } else {
+            Some(SegScan {
+                provider: provider_for(
+                    rel.segments(config.segment_rows),
+                    config.storage,
+                    config.segment_cache,
+                ),
+                zone_preds: Vec::new(),
+            })
+        };
+        Ok(SourceNode { rel, scan })
     }
 
     /// Wrap a computed relation (breaker output, inline values): always
@@ -1032,7 +1061,7 @@ fn prepare(plan: &Plan, ctx: &PrepCtx<'_>) -> Result<(Node, Schema)> {
             let rel = Arc::clone(catalog.get(name)?);
             let schema = rel.schema().clone();
             Ok((
-                Node::Source(SourceNode::of_scan(rel, catalog.config())),
+                Node::Source(SourceNode::of_scan(rel, catalog.config())?),
                 schema,
             ))
         }
@@ -2385,26 +2414,26 @@ impl<'a> BCursor<'a> {
                 if *pos >= *end {
                     return None;
                 }
-                let image = scan.provider.image();
-                let seg = *pos / image.seg_rows();
-                let seg_end = ((seg + 1) * image.seg_rows()).min(*end);
+                let provider = &scan.provider;
+                let seg = *pos / provider.seg_rows();
+                let seg_end = ((seg + 1) * provider.seg_rows()).min(*end);
                 let have = cur
                     .as_ref()
                     .is_some_and(|d| d.start <= *pos && *pos < d.start + d.len);
                 if !have {
                     // Fresh segment: consult the zone maps before paying
-                    // for a decode.
+                    // for a decode (or, under disk storage, a read).
                     let refuted = scan
                         .zone_preds
                         .iter()
-                        .any(|(c, op, lit)| !image.zone(*c, seg).may_match(*op, lit));
+                        .any(|(c, op, lit)| !provider.zone(*c, seg).may_match(*op, lit));
                     if refuted {
                         counters.seg.skipped.fetch_add(1, AtomicOrdering::Relaxed);
                         *pos = seg_end;
                         *cur = None;
                         continue;
                     }
-                    *cur = Some(scan.provider.segment(seg, &counters.seg.decoded));
+                    *cur = Some(provider.segment(seg, &counters.seg.io));
                     counters.seg.scanned.fetch_add(1, AtomicOrdering::Relaxed);
                 }
                 let d = cur.as_ref().expect("current decoded segment");

@@ -113,6 +113,13 @@ pub fn explain_executed(plan: &Plan, catalog: &Catalog) -> Result<String> {
             stats.segments_scanned, stats.segments_skipped, stats.decoded_bytes
         );
     }
+    if stats.pages_read + stats.pool_hits + stats.pool_misses > 0 {
+        let _ = writeln!(
+            out,
+            "-- disk: {} page(s) read, buffer pool {} hit(s) / {} miss(es)",
+            stats.pages_read, stats.pool_hits, stats.pool_misses
+        );
+    }
     Ok(out)
 }
 
@@ -221,12 +228,27 @@ fn seg_tag(name: &str, catalog: &Catalog, zone_pred: Option<&Expr>) -> String {
     if rel.is_empty() {
         return String::new();
     }
-    let img = rel.segments(catalog.config().segment_rows);
-    let total = img.seg_count();
     let mut zone = Vec::new();
     if let Some(compiled) = zone_pred.and_then(|p| p.compile(rel.schema()).ok()) {
         compiled.collect_sargable(&mut zone);
     }
+    // Disk-native relations answer from the manifest's zone maps — no
+    // page-file access and no in-memory re-encode just to EXPLAIN.
+    if let Some(img) = rel.native_disk_image() {
+        let total = img.seg_count();
+        if zone.is_empty() {
+            return format!(" [seg {total}]");
+        }
+        let kept = (0..total)
+            .filter(|&s| {
+                zone.iter()
+                    .all(|(c, op, lit)| img.zone(*c, s).may_match(*op, lit))
+            })
+            .count();
+        return format!(" [seg {kept}/{total}]");
+    }
+    let img = rel.segments(catalog.config().segment_rows);
+    let total = img.seg_count();
     if zone.is_empty() {
         return format!(" [seg {total}]");
     }

@@ -12,6 +12,7 @@ use crate::error::{Error, Result};
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::segment::SegmentedBuilder;
+use crate::store::DiskTableWriter;
 use crate::value::Value;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -41,6 +42,12 @@ pub fn write_csv(rel: &Relation, out: &mut impl Write) -> std::io::Result<()> {
 }
 
 /// Read a relation from CSV (header defines the schema).
+///
+/// Under a segmented default storage mode the rows are encoded into
+/// segments as they stream in; under [`StorageMode::Disk`] they stream
+/// straight into an on-disk segment store ([`DiskTableWriter`]) and the
+/// returned relation is disk-backed — the row store is never
+/// materialized during the load.
 pub fn read_csv(input: &mut impl BufRead) -> Result<Relation> {
     let mut lines = input.lines();
     let header = lines
@@ -48,11 +55,20 @@ pub fn read_csv(input: &mut impl BufRead) -> Result<Relation> {
         .ok_or_else(|| Error::Invalid("empty CSV input".into()))?
         .map_err(|e| Error::Invalid(format!("io error: {e}")))?;
     let names: Vec<String> = split_line(&header)?.into_iter().map(|(n, _)| n).collect();
+    let config = EngineConfig::default();
+    let mut writer = if config.storage == StorageMode::Disk {
+        Some(DiskTableWriter::create_scratch(
+            "csv",
+            names.clone(),
+            config.segment_rows,
+        )?)
+    } else {
+        None
+    };
     let mut rel = Relation::empty(Schema::named(&names));
     // Under a segmented default storage mode, encode segments while the
     // rows stream in so the first scan never pays a bulk re-encode pass.
-    let config = EngineConfig::default();
-    let mut builder = (config.storage != StorageMode::Plain)
+    let mut builder = (writer.is_none() && config.storage != StorageMode::Plain)
         .then(|| SegmentedBuilder::new(names.len(), config.segment_rows));
     for line in lines {
         let line = line.map_err(|e| Error::Invalid(format!("io error: {e}")))?;
@@ -70,10 +86,17 @@ pub fn read_csv(input: &mut impl BufRead) -> Result<Relation> {
             .into_iter()
             .map(|(f, quoted)| parse_value(&f, quoted))
             .collect();
+        if let Some(w) = writer.as_mut() {
+            w.push(&row)?;
+            continue;
+        }
         if let Some(b) = builder.as_mut() {
             b.push(&row);
         }
         rel.push(row)?;
+    }
+    if let Some(w) = writer {
+        return Ok(Relation::from_disk_image(w.finish()?));
     }
     // After the last push: `push` invalidates cached images.
     if let Some(b) = builder {

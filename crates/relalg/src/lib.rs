@@ -72,6 +72,7 @@ pub mod segment;
 pub mod sort;
 pub mod spill;
 pub mod stats;
+pub mod store;
 pub mod value;
 
 pub use aggregate::{aggregate, aggregate_plan, aggregate_plan_with_stats, AggFunc, Aggregate};
@@ -82,9 +83,10 @@ pub use exec::ExecStats;
 pub use expr::{col, lit, lit_bool, lit_i64, lit_str, ArithOp, CmpOp, Expr};
 pub use plan::Plan;
 pub use pool::TaskPool;
-pub use provider::ImageProvider;
+pub use provider::{ImageProvider, IoCounters};
 pub use relation::{Column, ColumnarImage, NullMask, Relation, Row};
 pub use schema::{ColRef, Schema};
 pub use segment::{SegmentedBuilder, SegmentedImage, ZoneMap};
 pub use spill::{MemBudget, SpillCtx};
+pub use store::{BufferPool, DiskImage, DiskImageProvider, DiskTableWriter};
 pub use value::Value;

@@ -1,36 +1,84 @@
 //! Image providers: the seam between segmented storage and scans.
 //!
 //! An [`ImageProvider`] hands scan cursors decoded segments of one
-//! relation's [`SegmentedImage`]. The two implementations trade memory
-//! for decode work:
+//! relation's image — in-memory compressed segments or on-disk segment
+//! files — behind a layout interface (`seg_rows`/`zone`) so the cursor
+//! never needs to know where the bytes live. The implementations trade
+//! memory for decode/IO work:
 //!
 //! * [`MemImageProvider`] decodes each segment at most once and keeps it
 //!   resident — the segmented analog of the plain in-memory image;
 //! * [`PagedImageProvider`] keeps at most `cap` decoded segments behind
 //!   a clock (second-chance) eviction cache, so the decoded *working
 //!   set*, not the table, is what occupies memory; cold segments are
-//!   re-decoded on return.
+//!   re-decoded on return;
+//! * [`crate::store::DiskImageProvider`] reads encoded segments from a
+//!   page file through a [`crate::store::BufferPool`] shared across
+//!   relations.
 //!
 //! Providers are created per scan node at prepare time and shared by
 //! all workers of that scan, so decode work is deduplicated across
 //! morsels while queries never observe each other's cache state.
+//!
+//! **Locking discipline:** no provider ever decodes (or reads disk)
+//! while holding its cache lock. A miss registers the segment as
+//! *in-flight*, releases the lock, pays the decode, then re-locks to
+//! install the result; concurrent workers asking for the same segment
+//! wait on a condvar instead of duplicating the decode, and workers
+//! asking for *different* segments proceed entirely in parallel.
 
 use crate::catalog::StorageMode;
-use crate::segment::{DecodedSegment, SegmentedImage};
+use crate::segment::{DecodedSegment, SegmentedImage, ZoneMap};
 use std::fmt::Debug;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
-/// Serves decoded segments of one [`SegmentedImage`] to scan cursors.
+/// Storage-side counters shared by every cursor of one execution:
+/// bytes materialized by fresh decodes, pages read from segment files,
+/// and buffer-pool hit/miss tallies. Atomics because parallel morsel
+/// workers bump them concurrently.
+#[derive(Debug, Default)]
+pub struct IoCounters {
+    /// Approximate bytes materialized by fresh segment decodes (cache
+    /// and pool hits add nothing).
+    pub decoded_bytes: AtomicUsize,
+    /// 4 KiB pages read from on-disk segment files.
+    pub pages_read: AtomicUsize,
+    /// Buffer-pool lookups served by a resident segment.
+    pub pool_hits: AtomicUsize,
+    /// Buffer-pool lookups that had to read and decode from disk.
+    pub pool_misses: AtomicUsize,
+}
+
+impl IoCounters {
+    /// Record a fresh decode of `bytes` materialized bytes.
+    pub fn decoded(&self, bytes: usize) {
+        self.decoded_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Serves decoded segments of one relation image to scan cursors.
+///
+/// The layout accessors (`seg_rows`, `seg_count`, `zone`) expose just
+/// enough of the image for a cursor to walk segment boundaries and
+/// consult zone maps without decoding — identically for in-memory and
+/// on-disk backends.
 pub trait ImageProvider: Send + Sync + Debug {
-    /// The compressed image being served.
-    fn image(&self) -> &Arc<SegmentedImage>;
+    /// Rows per segment (the last segment may be short).
+    fn seg_rows(&self) -> usize;
+
+    /// Number of segments.
+    fn seg_count(&self) -> usize;
+
+    /// The zone map of (column `col`, segment `seg`).
+    fn zone(&self, col: usize, seg: usize) -> &ZoneMap;
 
     /// A decoded view of segment `seg`. Every *fresh* decode adds the
-    /// segment's materialized size to `decoded_bytes` (cache hits add
+    /// segment's materialized size to `io.decoded_bytes` (cache hits add
     /// nothing), which is how [`crate::exec::ExecStats`] observes decode
-    /// traffic and cache effectiveness.
-    fn segment(&self, seg: usize, decoded_bytes: &AtomicUsize) -> Arc<DecodedSegment>;
+    /// traffic and cache effectiveness; disk-backed providers also
+    /// account pages read and pool hits/misses.
+    fn segment(&self, seg: usize, io: &IoCounters) -> Arc<DecodedSegment>;
 }
 
 /// Decode-once, keep-forever provider: segment `s` is decoded by the
@@ -60,17 +108,29 @@ impl Debug for MemImageProvider {
 }
 
 impl ImageProvider for MemImageProvider {
-    fn image(&self) -> &Arc<SegmentedImage> {
-        &self.image
+    fn seg_rows(&self) -> usize {
+        self.image.seg_rows()
     }
 
-    fn segment(&self, seg: usize, decoded_bytes: &AtomicUsize) -> Arc<DecodedSegment> {
+    fn seg_count(&self) -> usize {
+        self.image.seg_count()
+    }
+
+    fn zone(&self, col: usize, seg: usize) -> &ZoneMap {
+        self.image.zone(col, seg)
+    }
+
+    fn segment(&self, seg: usize, io: &IoCounters) -> Arc<DecodedSegment> {
+        // A resident segment is a pure lock-and-clone; a miss decodes
+        // under the lock. That is fine *here*: the cache is unbounded,
+        // so each segment is decoded exactly once per provider and a
+        // blocked peer would only have re-decoded the same segment.
         let mut slots = self.decoded.lock().expect("decode cache");
         if let Some(d) = &slots[seg] {
             return Arc::clone(d);
         }
         let d = Arc::new(self.image.decode(seg));
-        decoded_bytes.fetch_add(d.bytes, Ordering::Relaxed);
+        io.decoded(d.bytes);
         slots[seg] = Some(Arc::clone(&d));
         d
     }
@@ -83,17 +143,40 @@ struct ClockSlot {
     referenced: bool,
 }
 
+/// Clock-cache state: the resident slots, the sweep hand, and the
+/// segments currently being decoded outside the lock.
+struct PagedState {
+    slots: Vec<ClockSlot>,
+    hand: usize,
+    /// Segments some worker is decoding right now (lock released). A
+    /// worker wanting one of these waits on the condvar instead of
+    /// duplicating the decode. Tiny (≤ worker count), so a Vec beats a
+    /// set.
+    in_flight: Vec<usize>,
+}
+
 /// Bounded provider: at most `cap` decoded segments stay resident,
 /// evicted by the clock (second-chance) policy — the hand sweeps slots,
 /// clearing reference bits, and evicts the first slot found cold. Scans
 /// touching a segment set its bit, so segments shared by concurrent
-/// morsels survive the sweep. Decoding happens under the cache lock:
-/// simple, and exactly one worker pays each decode (the others block
-/// briefly and then hit).
+/// morsels survive the sweep.
+///
+/// Decoding happens *outside* the cache lock: a miss marks the segment
+/// in-flight, releases the lock, decodes, then re-locks to install.
+/// Exactly one worker pays each decode (peers wanting the same segment
+/// wait on the latch), and workers on other segments are never
+/// serialized behind it — which matters even more once the "decode" is
+/// a disk read.
 pub struct PagedImageProvider {
     image: Arc<SegmentedImage>,
     cap: usize,
-    clock: Mutex<(Vec<ClockSlot>, usize)>,
+    state: Mutex<PagedState>,
+    cv: Condvar,
+    /// Test-only decode gate, called with the segment id after the lock
+    /// is released and before the decode happens. Lets concurrency tests
+    /// hold one decode open while proving others proceed.
+    #[cfg(test)]
+    gate: Option<Arc<dyn Fn(usize) + Send + Sync>>,
 }
 
 impl PagedImageProvider {
@@ -103,7 +186,55 @@ impl PagedImageProvider {
         PagedImageProvider {
             image,
             cap: cap.max(1),
-            clock: Mutex::new((Vec::new(), 0)),
+            state: Mutex::new(PagedState {
+                slots: Vec::new(),
+                hand: 0,
+                in_flight: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            #[cfg(test)]
+            gate: None,
+        }
+    }
+
+    #[cfg(test)]
+    fn with_gate(
+        image: Arc<SegmentedImage>,
+        cap: usize,
+        gate: Arc<dyn Fn(usize) + Send + Sync>,
+    ) -> Self {
+        PagedImageProvider {
+            gate: Some(gate),
+            ..PagedImageProvider::new(image, cap)
+        }
+    }
+
+    /// Install a freshly decoded segment into the clock cache (lock
+    /// held). The sweep clears reference bits on the way past, so it
+    /// terminates within two revolutions.
+    fn install(state: &mut PagedState, cap: usize, seg: usize, dec: &Arc<DecodedSegment>) {
+        if state.slots.len() < cap {
+            state.slots.push(ClockSlot {
+                seg,
+                dec: Arc::clone(dec),
+                referenced: true,
+            });
+            return;
+        }
+        loop {
+            let slot = &mut state.slots[state.hand];
+            if slot.referenced {
+                slot.referenced = false;
+                state.hand = (state.hand + 1) % state.slots.len();
+            } else {
+                *slot = ClockSlot {
+                    seg,
+                    dec: Arc::clone(dec),
+                    referenced: true,
+                };
+                state.hand = (state.hand + 1) % state.slots.len();
+                break;
+            }
         }
     }
 }
@@ -118,45 +249,51 @@ impl Debug for PagedImageProvider {
 }
 
 impl ImageProvider for PagedImageProvider {
-    fn image(&self) -> &Arc<SegmentedImage> {
-        &self.image
+    fn seg_rows(&self) -> usize {
+        self.image.seg_rows()
     }
 
-    fn segment(&self, seg: usize, decoded_bytes: &AtomicUsize) -> Arc<DecodedSegment> {
-        let mut guard = self.clock.lock().expect("segment cache");
-        let (slots, hand) = &mut *guard;
-        if let Some(slot) = slots.iter_mut().find(|s| s.seg == seg) {
-            slot.referenced = true;
-            return Arc::clone(&slot.dec);
-        }
-        let dec = Arc::new(self.image.decode(seg));
-        decoded_bytes.fetch_add(dec.bytes, Ordering::Relaxed);
-        if slots.len() < self.cap {
-            slots.push(ClockSlot {
-                seg,
-                dec: Arc::clone(&dec),
-                referenced: true,
-            });
-        } else {
-            // Sweep until a cold slot turns up; every slot loses its
-            // reference bit on the way past, so the sweep terminates
-            // within two revolutions.
-            loop {
-                let slot = &mut slots[*hand];
-                if slot.referenced {
-                    slot.referenced = false;
-                    *hand = (*hand + 1) % slots.len();
-                } else {
-                    *slot = ClockSlot {
-                        seg,
-                        dec: Arc::clone(&dec),
-                        referenced: true,
-                    };
-                    *hand = (*hand + 1) % slots.len();
-                    break;
-                }
+    fn seg_count(&self) -> usize {
+        self.image.seg_count()
+    }
+
+    fn zone(&self, col: usize, seg: usize) -> &ZoneMap {
+        self.image.zone(col, seg)
+    }
+
+    fn segment(&self, seg: usize, io: &IoCounters) -> Arc<DecodedSegment> {
+        let mut state = self.state.lock().expect("segment cache");
+        loop {
+            if let Some(slot) = state.slots.iter_mut().find(|s| s.seg == seg) {
+                slot.referenced = true;
+                return Arc::clone(&slot.dec);
+            }
+            if state.in_flight.contains(&seg) {
+                // Someone else is decoding exactly this segment: wait
+                // for the install instead of decoding it twice. After
+                // waking, re-check the cache — under heavy eviction the
+                // segment may already be gone again, in which case this
+                // worker becomes the decoder.
+                state = self.cv.wait(state).expect("segment cache");
+            } else {
+                break;
             }
         }
+        state.in_flight.push(seg);
+        drop(state);
+        // The decode itself runs with no lock held: workers on other
+        // segments hit or decode concurrently.
+        #[cfg(test)]
+        if let Some(gate) = &self.gate {
+            gate(seg);
+        }
+        let dec = Arc::new(self.image.decode(seg));
+        io.decoded(dec.bytes);
+        let mut state = self.state.lock().expect("segment cache");
+        state.in_flight.retain(|&s| s != seg);
+        Self::install(&mut state, self.cap, seg, &dec);
+        drop(state);
+        self.cv.notify_all();
         dec
     }
 }
@@ -164,14 +301,17 @@ impl ImageProvider for PagedImageProvider {
 /// The provider the engine's configuration asks for.
 /// [`StorageMode::Plain`] never reaches a provider (scans use the plain
 /// image directly), so it maps to the resident provider for callers
-/// that want one anyway.
+/// that want one anyway. [`StorageMode::Disk`] is not constructible
+/// from an in-memory image — disk scans build a
+/// [`crate::store::DiskImageProvider`] from the relation's segment
+/// files instead — so it maps to the paged provider here.
 pub fn provider_for(
     image: Arc<SegmentedImage>,
     mode: StorageMode,
     cap: usize,
 ) -> Arc<dyn ImageProvider> {
     match mode {
-        StorageMode::Paged => Arc::new(PagedImageProvider::new(image, cap)),
+        StorageMode::Paged | StorageMode::Disk => Arc::new(PagedImageProvider::new(image, cap)),
         StorageMode::Plain | StorageMode::Segmented => Arc::new(MemImageProvider::new(image)),
     }
 }
@@ -180,6 +320,10 @@ pub fn provider_for(
 mod tests {
     use super::*;
     use crate::value::Value;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::mpsc;
+    use std::sync::Barrier;
+    use std::time::Duration;
 
     fn image(rows: usize, seg_rows: usize) -> Arc<SegmentedImage> {
         let rows: Vec<crate::relation::Row> = (0..rows)
@@ -191,36 +335,39 @@ mod tests {
     #[test]
     fn mem_provider_decodes_each_segment_once() {
         let p = MemImageProvider::new(image(10, 4));
-        let bytes = AtomicUsize::new(0);
-        let a = p.segment(0, &bytes);
-        let after_first = bytes.load(Ordering::Relaxed);
+        let io = IoCounters::default();
+        let a = p.segment(0, &io);
+        let after_first = io.decoded_bytes.load(Ordering::Relaxed);
         assert!(after_first > 0);
-        let b = p.segment(0, &bytes);
+        let b = p.segment(0, &io);
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(bytes.load(Ordering::Relaxed), after_first); // cache hit
+        assert_eq!(io.decoded_bytes.load(Ordering::Relaxed), after_first); // cache hit
         assert_eq!(a.start, 0);
         assert_eq!(a.len, 4);
-        assert_eq!(p.segment(2, &bytes).len, 2); // tail segment
+        assert_eq!(p.segment(2, &io).len, 2); // tail segment
+        assert_eq!(p.seg_rows(), 4);
+        assert_eq!(p.seg_count(), 3);
+        assert_eq!(p.zone(0, 0).min, Value::Int(0));
     }
 
     #[test]
     fn paged_provider_evicts_cold_segments() {
         let p = PagedImageProvider::new(image(12, 4), 2);
-        let bytes = AtomicUsize::new(0);
-        p.segment(0, &bytes);
-        p.segment(1, &bytes);
-        let full = bytes.load(Ordering::Relaxed);
+        let io = IoCounters::default();
+        p.segment(0, &io);
+        p.segment(1, &io);
+        let full = io.decoded_bytes.load(Ordering::Relaxed);
         // Hits don't decode.
-        p.segment(0, &bytes);
-        assert_eq!(bytes.load(Ordering::Relaxed), full);
+        p.segment(0, &io);
+        assert_eq!(io.decoded_bytes.load(Ordering::Relaxed), full);
         // A third segment evicts one of the two; touring all three with
         // cap 2 forces re-decodes.
-        p.segment(2, &bytes);
-        p.segment(0, &bytes);
-        p.segment(1, &bytes);
-        assert!(bytes.load(Ordering::Relaxed) > full);
+        p.segment(2, &io);
+        p.segment(0, &io);
+        p.segment(1, &io);
+        assert!(io.decoded_bytes.load(Ordering::Relaxed) > full);
         // Values still come back correct after eviction churn.
-        let d = p.segment(1, &bytes);
+        let d = p.segment(1, &io);
         assert_eq!(d.cols[0].get(0), Value::Int(4));
     }
 
@@ -233,5 +380,150 @@ mod tests {
         )
         .contains("Paged"));
         assert!(format!("{:?}", provider_for(img, StorageMode::Segmented, 2)).contains("Mem"));
+    }
+
+    /// The in-flight latch dedups concurrent decodes: 4 workers racing
+    /// over every segment of one provider (capacity ≥ segment count, so
+    /// nothing is ever evicted) decode each segment exactly once —
+    /// total decoded bytes equal one full tour of the image.
+    #[test]
+    fn concurrent_workers_decode_each_segment_once() {
+        let img = image(64, 4);
+        let segs = img.seg_count();
+        let one_tour: usize = (0..segs).map(|s| img.decode(s).bytes).sum();
+        let p = Arc::new(PagedImageProvider::new(Arc::clone(&img), segs));
+        let io = Arc::new(IoCounters::default());
+        let barrier = Arc::new(Barrier::new(4));
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let (p, io, barrier) = (Arc::clone(&p), Arc::clone(&io), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..segs {
+                        // Different starting offsets maximize overlap on
+                        // different segments at any instant.
+                        let seg = (i + w * segs / 4) % segs;
+                        let d = p.segment(seg, &io);
+                        assert_eq!(d.start, seg * 4);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(
+            io.decoded_bytes.load(Ordering::Relaxed),
+            one_tour,
+            "latch failed: some segment was decoded more than once"
+        );
+    }
+
+    /// Decodes must not serialize the whole cache: while one worker is
+    /// stuck mid-decode of segment 0 (held open by the test gate), a
+    /// second worker must still complete a *hit* on an already-resident
+    /// segment. If decoding ever moves back under the cache lock, the
+    /// second worker blocks and this test fails by timeout instead of
+    /// hanging the suite.
+    #[test]
+    fn decode_does_not_hold_the_cache_lock() {
+        let entered = Arc::new((Mutex::new(false), Condvar::new()));
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = {
+            let entered = Arc::clone(&entered);
+            let release = Arc::clone(&release);
+            Arc::new(move |seg: usize| {
+                if seg == 0 {
+                    let (flag, cv) = &*entered;
+                    *flag.lock().unwrap() = true;
+                    cv.notify_all();
+                    while !release.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let p = Arc::new(PagedImageProvider::with_gate(image(12, 4), 3, gate));
+        let io = Arc::new(IoCounters::default());
+        // Make segment 1 resident before anything blocks.
+        p.segment(1, &io);
+        let blocked = {
+            let (p, io) = (Arc::clone(&p), Arc::clone(&io));
+            std::thread::spawn(move || p.segment(0, &io))
+        };
+        // Wait until the blocked worker is inside the decode (lock
+        // released, gate held).
+        {
+            let (flag, cv) = &*entered;
+            let mut flag = flag.lock().unwrap();
+            while !*flag {
+                flag = cv.wait(flag).unwrap();
+            }
+        }
+        // A hit on segment 1 must complete while the decode is stuck.
+        let (tx, rx) = mpsc::channel();
+        let hitter = {
+            let (p, io) = (Arc::clone(&p), Arc::clone(&io));
+            std::thread::spawn(move || {
+                let d = p.segment(1, &io);
+                tx.send(d.start).unwrap();
+            })
+        };
+        let start = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("hit on a resident segment serialized behind an in-flight decode");
+        assert_eq!(start, 4);
+        release.store(true, Ordering::Release);
+        assert_eq!(blocked.join().unwrap().start, 0);
+        hitter.join().unwrap();
+    }
+
+    /// Two workers asking for the *same* in-flight segment: the second
+    /// waits on the latch and reuses the first worker's decode (exactly
+    /// one decode total), rather than duplicating it.
+    #[test]
+    fn same_segment_waiters_share_one_decode() {
+        let entered = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = {
+            let entered = Arc::clone(&entered);
+            let release = Arc::clone(&release);
+            Arc::new(move |_seg: usize| {
+                let (count, cv) = &*entered;
+                *count.lock().unwrap() += 1;
+                cv.notify_all();
+                while !release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let p = Arc::new(PagedImageProvider::with_gate(image(8, 4), 2, gate));
+        let io = Arc::new(IoCounters::default());
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let (p, io) = (Arc::clone(&p), Arc::clone(&io));
+                std::thread::spawn(move || p.segment(0, &io))
+            })
+            .collect();
+        // Exactly one worker reaches the decode; the other parks on the
+        // latch. (Give the loser a moment to park, then release.)
+        {
+            let (count, cv) = &*entered;
+            let mut count = count.lock().unwrap();
+            while *count == 0 {
+                count = cv.wait(count).unwrap();
+            }
+            assert_eq!(*count, 1, "both workers entered the decode");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        {
+            let (count, _) = &*entered;
+            assert_eq!(*count.lock().unwrap(), 1, "latch let a duplicate decode in");
+        }
+        release.store(true, Ordering::Release);
+        let decs: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        assert!(Arc::ptr_eq(&decs[0], &decs[1]), "waiter got its own decode");
+        let one = p.image.decode(0).bytes;
+        assert_eq!(io.decoded_bytes.load(Ordering::Relaxed), one);
     }
 }

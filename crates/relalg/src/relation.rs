@@ -3,8 +3,9 @@
 
 use crate::error::{Error, Result};
 use crate::fxhash::FxHasher;
-use crate::schema::Schema;
+use crate::schema::{ColRef, Schema};
 use crate::segment::SegmentedImage;
+use crate::store::DiskImage;
 use crate::value::{str_eq, Value};
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -360,6 +361,22 @@ impl ColumnarImage {
     }
 }
 
+/// Where a relation's tuples live: in memory (the default), or in an
+/// opened on-disk segment store with the row form decoded lazily on
+/// first demand — disk-resident base tables never pay for a row store
+/// the batched segment scan does not need.
+#[derive(Clone, Debug)]
+enum RowStore {
+    /// Plain in-memory rows, shared across clones and renames.
+    Mem(Arc<Vec<Row>>),
+    /// An opened on-disk segment image; `rows` materializes (once) only
+    /// when an operator genuinely needs the row form.
+    Disk {
+        image: Arc<DiskImage>,
+        rows: OnceLock<Arc<Vec<Row>>>,
+    },
+}
+
 /// A materialized relation: a schema plus rows, bag semantics.
 ///
 /// Rows live behind an `Arc`, so cloning a relation — and in particular
@@ -377,7 +394,7 @@ impl ColumnarImage {
 #[derive(Debug)]
 pub struct Relation {
     schema: Schema,
-    rows: Arc<Vec<Row>>,
+    rows: RowStore,
     /// Lazily built column-major image (see [`Relation::columns`]).
     /// Shared across clones and zero-copy renames; reset by the
     /// copy-on-write mutators. Not part of relation equality.
@@ -387,22 +404,28 @@ pub struct Relation {
     /// shared across clones and renames like the plain image; reset by
     /// the copy-on-write mutators. Not part of relation equality.
     segmented: Mutex<Option<Arc<SegmentedImage>>>,
+    /// Scratch spill cache for in-memory relations scanned under
+    /// [`crate::catalog::StorageMode::Disk`] (see
+    /// [`Relation::disk_image`]); written once, shared across clones,
+    /// reset by the copy-on-write mutators. Not part of equality.
+    disk: Mutex<Option<Arc<DiskImage>>>,
 }
 
 impl Clone for Relation {
     fn clone(&self) -> Self {
         Relation {
             schema: self.schema.clone(),
-            rows: Arc::clone(&self.rows),
+            rows: self.rows.clone(),
             columnar: self.columnar.clone(),
             segmented: Mutex::new(self.segmented.lock().expect("segment cache").clone()),
+            disk: Mutex::new(self.disk.lock().expect("disk cache").clone()),
         }
     }
 }
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.rows == other.rows
+        self.schema == other.schema && self.rows_arc() == other.rows_arc()
     }
 }
 
@@ -413,10 +436,31 @@ impl Relation {
     pub fn empty(schema: Schema) -> Self {
         Relation {
             schema,
-            rows: Arc::new(Vec::new()),
+            rows: RowStore::Mem(Arc::new(Vec::new())),
             columnar: OnceLock::new(),
             segmented: Mutex::new(None),
+            disk: Mutex::new(None),
         }
+    }
+
+    /// The in-memory row storage, decoding a disk-backed relation's
+    /// segments on first demand (cached for the relation's lifetime).
+    fn rows_arc(&self) -> &Arc<Vec<Row>> {
+        match &self.rows {
+            RowStore::Mem(rows) => rows,
+            RowStore::Disk { image, rows } => rows.get_or_init(|| Arc::new(image.decode_rows())),
+        }
+    }
+
+    /// Fork disk-backed storage into plain memory rows ahead of a
+    /// mutation, and drop any scratch spill image (it describes the
+    /// pre-mutation rows).
+    fn make_mem(&mut self) {
+        if let RowStore::Disk { .. } = self.rows {
+            let rows = Arc::clone(self.rows_arc());
+            self.rows = RowStore::Mem(rows);
+        }
+        *self.disk.lock().expect("disk cache") = None;
     }
 
     /// Relation from parts; every row must match the schema arity.
@@ -431,10 +475,63 @@ impl Relation {
         }
         Ok(Relation {
             schema,
-            rows: Arc::new(rows),
+            rows: RowStore::Mem(Arc::new(rows)),
             columnar: OnceLock::new(),
             segmented: Mutex::new(None),
+            disk: Mutex::new(None),
         })
+    }
+
+    /// Relation over an opened on-disk segment store: the schema comes
+    /// from the manifest's column names, and rows stay on disk until an
+    /// operator genuinely demands the row form.
+    pub fn from_disk_image(image: Arc<DiskImage>) -> Relation {
+        let schema = Schema::new(image.names().iter().map(|n| ColRef::parse(n)).collect());
+        Relation {
+            schema,
+            rows: RowStore::Disk {
+                image,
+                rows: OnceLock::new(),
+            },
+            columnar: OnceLock::new(),
+            segmented: Mutex::new(None),
+            disk: Mutex::new(None),
+        }
+    }
+
+    /// The on-disk segment image this relation is natively backed by
+    /// (built by [`Relation::from_disk_image`]), if any.
+    pub fn native_disk_image(&self) -> Option<Arc<DiskImage>> {
+        match &self.rows {
+            RowStore::Disk { image, .. } => Some(Arc::clone(image)),
+            RowStore::Mem(_) => None,
+        }
+    }
+
+    /// An on-disk segment image for this relation under disk storage:
+    /// the native image when the relation was loaded from disk,
+    /// otherwise a scratch spill of the encoded segmented image —
+    /// written once into a temp directory that is deleted when the last
+    /// reference drops, cached across scans, reset by mutators.
+    pub fn disk_image(&self, seg_rows: usize) -> Result<Arc<DiskImage>> {
+        if let Some(img) = self.native_disk_image() {
+            return Ok(img);
+        }
+        let mut cache = self.disk.lock().expect("disk cache");
+        if let Some(img) = cache.as_ref() {
+            if img.seg_rows() == seg_rows.max(1) {
+                return Ok(Arc::clone(img));
+            }
+        }
+        let names: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        let img = crate::store::write_image_scratch(&self.segments(seg_rows), &names)?;
+        *cache = Some(Arc::clone(&img));
+        Ok(img)
     }
 
     /// Relation over `schema` sharing another relation's row storage
@@ -450,9 +547,10 @@ impl Relation {
         }
         Ok(Relation {
             schema,
-            rows: Arc::clone(&self.rows),
+            rows: self.rows.clone(),
             columnar: self.columnar.clone(),
             segmented: Mutex::new(self.segmented.lock().expect("segment cache").clone()),
+            disk: Mutex::new(self.disk.lock().expect("disk cache").clone()),
         })
     }
 
@@ -474,19 +572,24 @@ impl Relation {
         &self.schema
     }
 
-    /// Row count.
+    /// Row count (served from the manifest for disk-backed relations —
+    /// no row materialization).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.rows {
+            RowStore::Mem(rows) => rows.len(),
+            RowStore::Disk { image, .. } => image.len(),
+        }
     }
 
     /// `true` if no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// Iterate rows.
+    /// Iterate rows (decodes a disk-backed relation's segments on first
+    /// call; the batched executor reads segments directly instead).
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        self.rows_arc()
     }
 
     /// The column-major image, built on first use and cached. Batched
@@ -494,7 +597,7 @@ impl Relation {
     /// across repeated queries (clones and renames share the cache).
     pub fn columns(&self) -> &ColumnarImage {
         self.columnar
-            .get_or_init(|| Arc::new(ColumnarImage::build(&self.schema, &self.rows)))
+            .get_or_init(|| Arc::new(ColumnarImage::build(&self.schema, self.rows_arc())))
     }
 
     /// `true` iff the columnar image has already been built (test hook
@@ -517,7 +620,7 @@ impl Relation {
         }
         let img = Arc::new(SegmentedImage::build(
             self.schema.arity(),
-            &self.rows,
+            self.rows_arc(),
             seg_rows,
         ));
         *cache = Some(Arc::clone(&img));
@@ -534,7 +637,7 @@ impl Relation {
     /// [`Relation::segments`] never re-encodes). The image must describe
     /// exactly this relation's rows.
     pub fn attach_segments(&self, img: Arc<SegmentedImage>) {
-        debug_assert_eq!(img.len(), self.rows.len());
+        debug_assert_eq!(img.len(), self.len());
         debug_assert_eq!(img.arity(), self.schema.arity());
         *self.segmented.lock().expect("segment cache") = Some(img);
     }
@@ -542,14 +645,23 @@ impl Relation {
     /// `true` iff both relations alias the same row storage (used by the
     /// zero-copy tests; content equality is `==` / [`Relation::set_eq`]).
     pub fn shares_rows_with(&self, other: &Relation) -> bool {
-        Arc::ptr_eq(&self.rows, &other.rows)
+        match (&self.rows, &other.rows) {
+            (RowStore::Mem(a), RowStore::Mem(b)) => Arc::ptr_eq(a, b),
+            (RowStore::Disk { image: a, .. }, RowStore::Disk { image: b, .. }) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// `true` iff this relation is the sole owner of its row storage, so
     /// consuming or mutating it will not copy tuples. A rename shares
     /// rows with its input even inside a freshly built `Relation`.
     pub fn owns_rows(&self) -> bool {
-        Arc::strong_count(&self.rows) == 1
+        match &self.rows {
+            RowStore::Mem(rows) => Arc::strong_count(rows) == 1,
+            // Disk-backed rows are a decoded view of the image; consuming
+            // them never hands back the storage for free.
+            RowStore::Disk { .. } => false,
+        }
     }
 
     /// Append a row (arity-checked). Copy-on-write: forks the row storage
@@ -561,7 +673,11 @@ impl Relation {
                 got: row.len(),
             });
         }
-        Arc::make_mut(&mut self.rows).push(row.into_boxed_slice());
+        self.make_mem();
+        let RowStore::Mem(rows) = &mut self.rows else {
+            unreachable!("make_mem leaves memory storage");
+        };
+        Arc::make_mut(rows).push(row.into_boxed_slice());
         self.columnar = OnceLock::new(); // rows changed: images are stale
         self.segmented = Mutex::new(None);
         Ok(())
@@ -570,14 +686,24 @@ impl Relation {
     /// Consume into rows. Free when the storage is unshared; otherwise
     /// clones the tuples (someone else keeps the original).
     pub fn into_rows(self) -> Vec<Row> {
-        Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
+        Self::store_into_rows(self.rows)
     }
 
     /// Consume into schema and rows (same sharing semantics as
     /// [`Relation::into_rows`]).
     pub fn into_parts(self) -> (Schema, Vec<Row>) {
-        let rows = Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone());
-        (self.schema, rows)
+        (self.schema, Self::store_into_rows(self.rows))
+    }
+
+    fn store_into_rows(store: RowStore) -> Vec<Row> {
+        let rows = match store {
+            RowStore::Mem(rows) => rows,
+            RowStore::Disk { image, rows } => match rows.into_inner() {
+                Some(rows) => rows,
+                None => return image.decode_rows(),
+            },
+        };
+        Arc::try_unwrap(rows).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Replace the schema (e.g. after a rename); arities must agree. The
@@ -594,45 +720,58 @@ impl Relation {
             rows: self.rows,
             columnar: self.columnar,
             segmented: self.segmented,
+            disk: self.disk,
         })
     }
 
     /// Sorted, deduplicated copy: the canonical *set* form used to compare
     /// query answers in tests and to implement set operations.
     pub fn sorted_set(&self) -> Relation {
-        let mut rows = (*self.rows).clone();
+        let mut rows = (**self.rows_arc()).clone();
         rows.sort();
         rows.dedup();
         Relation {
             schema: self.schema.clone(),
-            rows: Arc::new(rows),
+            rows: RowStore::Mem(Arc::new(rows)),
             columnar: OnceLock::new(),
             segmented: Mutex::new(None),
+            disk: Mutex::new(None),
         }
     }
 
     /// In-place sort + dedup (copy-on-write).
     pub fn dedup_in_place(&mut self) {
-        let rows = Arc::make_mut(&mut self.rows);
+        self.make_mem();
+        let RowStore::Mem(rows) = &mut self.rows else {
+            unreachable!("make_mem leaves memory storage");
+        };
+        let rows = Arc::make_mut(rows);
         rows.sort();
         rows.dedup();
         self.columnar = OnceLock::new(); // rows changed: images are stale
         self.segmented = Mutex::new(None);
     }
 
-    /// Total payload size in bytes (Figure 9 accounting).
+    /// Total payload size in bytes (Figure 9 accounting). Disk-backed
+    /// relations answer from the manifest's statistics — the writer
+    /// accumulated exactly this sum while streaming.
     pub fn size_bytes(&self) -> usize {
-        self.rows
-            .iter()
-            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
-            .sum()
+        match &self.rows {
+            RowStore::Mem(rows) => rows
+                .iter()
+                .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
+                .sum(),
+            RowStore::Disk { image, .. } => image.stats().bytes,
+        }
     }
 
     /// Two relations represent the same *set* of tuples (ignores order and
     /// multiplicity, requires identical arity).
     pub fn set_eq(&self, other: &Relation) -> bool {
-        self.schema.arity() == other.schema.arity()
-            && self.sorted_set().rows == other.sorted_set().rows
+        if self.schema.arity() != other.schema.arity() {
+            return false;
+        }
+        self.sorted_set().rows() == other.sorted_set().rows()
     }
 }
 
@@ -735,7 +874,7 @@ pub fn row_footprint(row: &Row) -> usize {
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "[{}]", self.schema)?;
-        for r in self.rows.iter() {
+        for r in self.rows().iter() {
             for (i, v) in r.iter().enumerate() {
                 if i > 0 {
                     write!(f, " | ")?;

@@ -167,6 +167,14 @@ impl ColumnSegment {
         }
     }
 
+    /// Reassemble a segment from its parts — the disk codec's
+    /// deserialization entry point. The caller is responsible for the
+    /// parts being mutually consistent (the on-disk format stores the
+    /// zone map next to the encoding it summarizes).
+    pub(crate) fn from_parts(rows: usize, zone: ZoneMap, enc: SegEncoding) -> ColumnSegment {
+        ColumnSegment { rows, zone, enc }
+    }
+
     /// Number of rows in the segment.
     pub fn rows(&self) -> usize {
         self.rows
@@ -579,8 +587,9 @@ impl SegmentedBuilder {
     }
 }
 
-/// 64-bit FxHash digest of a value (the NDV approximation unit).
-fn value_digest(v: &Value) -> u64 {
+/// 64-bit FxHash digest of a value (the NDV approximation unit). Shared
+/// with the disk writer's streaming statistics pass.
+pub(crate) fn value_digest(v: &Value) -> u64 {
     let mut h = FxHasher::default();
     v.hash(&mut h);
     h.finish()

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use urel_relalg::value::date_to_days;
-use urel_relalg::{EngineConfig, Relation, SegmentedBuilder, StorageMode, Value};
+use urel_relalg::{DiskTableWriter, EngineConfig, Relation, SegmentedBuilder, StorageMode, Value};
 
 /// What kind of values a column holds — drives both base generation and
 /// the sampling of *alternative* values for uncertain fields.
@@ -93,8 +93,25 @@ impl TableSpec {
     /// As a plain relation. Under a segmented default storage mode
     /// (`RELALG_STORAGE`), rows stream straight into compressed column
     /// segments as the relation is built, so the first scan never pays
-    /// a bulk re-encode pass.
+    /// a bulk re-encode pass; under disk mode they stream straight into
+    /// an on-disk segment store and the relation comes back disk-backed
+    /// without ever materializing its row store.
     pub fn relation(&self) -> Relation {
+        let config = EngineConfig::default();
+        if config.storage == StorageMode::Disk {
+            let mut writer = DiskTableWriter::create_scratch(
+                "tpch",
+                self.columns.iter().map(|(n, _)| n.clone()).collect(),
+                config.segment_rows,
+            )
+            .expect("scratch segment store is writable");
+            for row in &self.rows {
+                writer.push(row).expect("generator emits consistent rows");
+            }
+            return Relation::from_disk_image(
+                writer.finish().expect("scratch segment store is writable"),
+            );
+        }
         let rel = Relation::from_rows(
             self.columns
                 .iter()
@@ -103,7 +120,6 @@ impl TableSpec {
             self.rows.clone(),
         )
         .expect("generator emits consistent rows");
-        let config = EngineConfig::default();
         if config.storage != StorageMode::Plain {
             let mut builder = SegmentedBuilder::new(self.columns.len(), config.segment_rows);
             for row in &self.rows {

@@ -37,10 +37,10 @@
 //!
 //! 5. **Storage modes** — compressed column segments with zone-map
 //!    skipping (PR 6) must be invisible to query output: the same plan
-//!    under {segmented, paged with a 2-slot cache} × {1, 4} workers,
-//!    with 3-row segments so even tiny databases cross segment
-//!    boundaries and evict, must emit exactly the plain-image serial
-//!    row vector.
+//!    under {segmented, paged with a 2-slot cache, disk with a 2-slot
+//!    buffer pool} × {1, 4} workers, with 3-row segments so even tiny
+//!    databases cross segment boundaries and evict, must emit exactly
+//!    the plain-image serial row vector.
 //!
 //! Case counts scale with `PROPTEST_CASES` (the CI differential job
 //! raises it well above the local default); generation is deterministic
@@ -70,16 +70,18 @@ fn cases(default: u32) -> u32 {
 
 /// How one `(tuple, attribute)` field is filled.
 ///
-/// Or-sets always cover their variable's *full* domain, so every stored
-/// field is world-total — defined in every world — exactly the shape the
-/// paper's or-set construction (Theorem 2.4) produces. This matters: the
-/// translation's partition pruning assumes a tuple present in a world
-/// has *all* its fields defined there. A field defined in only some
-/// worlds (a partial or-set) is outside Proposition 3.3's reduction
-/// guarantee — `possible` stays correct (every row completes somewhere)
-/// but `certain` would over-approximate, which this very harness
-/// demonstrated. `Absent` fields are still generated: they make whole
-/// tuples uncompletable and exercise the reduction cascade.
+/// Full or-sets cover their variable's entire domain — the shape the
+/// paper's or-set construction (Theorem 2.4) produces, and the shape
+/// Proposition 3.3's reduction guarantee assumes: a tuple present in a
+/// world has *all* its fields defined there. `Partial` or-sets
+/// deliberately break that guarantee (the field is defined in only some
+/// worlds, so the tuple silently drops out of the rest). `possible`
+/// stays correct on them — every surviving row completes somewhere —
+/// but the Lemma 4.3 `certain` path would over-approximate, which this
+/// very harness demonstrated; `certain_answers` now detects partial
+/// fields and answers by exact world expansion, and the generator
+/// produces them so the oracle keeps that route honest. `Absent` fields
+/// make whole tuples uncompletable and exercise the reduction cascade.
 #[derive(Clone, Debug)]
 enum Cell {
     /// No row: the field is undefined everywhere (the reduction step
@@ -89,6 +91,13 @@ enum Cell {
     Certain(i64),
     /// One row per domain value of a variable (a full or-set).
     OrSet { second_var: bool, vals: [i64; 3] },
+    /// Rows for only the first `keep` domain values (clamped to a strict
+    /// subset): a partial or-set, outside the reduction guarantee.
+    Partial {
+        second_var: bool,
+        keep: u64,
+        vals: [i64; 3],
+    },
 }
 
 fn arb_cell() -> impl Strategy<Value = Cell> {
@@ -101,12 +110,20 @@ fn arb_cell() -> impl Strategy<Value = Cell> {
                 vals: [v0, v1, v2],
             }
         ),
+        2 => (any::<bool>(), 1u64..3, (0i64..4, 0i64..4, 0i64..4)).prop_map(
+            |(second_var, keep, (v0, v1, v2))| Cell::Partial {
+                second_var,
+                keep,
+                vals: [v0, v1, v2],
+            }
+        ),
     ]
 }
 
 /// A database over two independent variables and one logical relation
 /// `r[a, b]` stored as two vertical partitions (one per attribute).
-/// Each `(tid, attr)` field is certain, an or-set, or absent. The
+/// Each `(tid, attr)` field is certain, a full or partial or-set, or
+/// absent. The
 /// database is valid by construction (or-set rows of one field are
 /// pairwise inconsistent; partitions share no value columns) and is
 /// reduced before use, as the paper's translation assumes.
@@ -136,6 +153,24 @@ fn arb_udb() -> impl Strategy<Value = UDatabase> {
                             let var = if *second_var { Var(2) } else { Var(1) };
                             let dom = doms[usize::from(*second_var)];
                             for l in 0..dom {
+                                part.push_simple(
+                                    WsDescriptor::singleton(var, l),
+                                    tid + 1,
+                                    vec![Value::Int(vals[l as usize % 3])],
+                                )
+                                .unwrap();
+                            }
+                        }
+                        Cell::Partial {
+                            second_var,
+                            keep,
+                            vals,
+                        } => {
+                            let var = if *second_var { Var(2) } else { Var(1) };
+                            let dom = doms[usize::from(*second_var)];
+                            // Clamp to a *strict* non-empty subset of the
+                            // domain so the field really is partial.
+                            for l in 0..(*keep).clamp(1, dom - 1) {
                                 part.push_simple(
                                     WsDescriptor::singleton(var, l),
                                     tid + 1,
@@ -540,10 +575,12 @@ proptest! {
     /// The storage oracle on *translated* plans: random reduced or-set
     /// databases and random logical queries run against the plain
     /// columnar image and against compressed segments — decoded eagerly
-    /// (segmented) and through a 2-slot paged cache — at 1 and 4
-    /// workers. Segments are 3 rows so tiny databases still span
-    /// several and the paged provider actually evicts; output must be
-    /// **byte-identical** (rows and order) to the plain serial pull.
+    /// (segmented), through a 2-slot paged cache, and from on-disk
+    /// segment files through a 2-slot buffer pool — at 1 and 4 workers.
+    /// Segments are 3 rows so tiny databases still span several and the
+    /// paged provider / buffer pool actually evict; output must be
+    /// **byte-identical** (rows and order) to the plain serial pull,
+    /// and the cold disk run must actually miss the undersized pool.
     #[test]
     fn segmented_translated_plans_match_plain_byte_for_byte(
         db in arb_udb(),
@@ -557,18 +594,29 @@ proptest! {
             cat.set_threads(1);
             exec::stream(&plan, &cat).unwrap().collect_rows(None)
         };
-        for mode in [StorageMode::Segmented, StorageMode::Paged] {
+        for mode in [StorageMode::Segmented, StorageMode::Paged, StorageMode::Disk] {
             for threads in [1usize, 4] {
                 let mut cat = prepared.catalog().clone();
                 cat.set_storage(mode);
                 cat.set_segment_layout(3, 2);
+                cat.set_buffer_pool(2);
                 cat.set_threads(threads);
                 cat.set_parallel_granularity(4, 0);
-                let rows = exec::stream(&plan, &cat).unwrap().collect_rows(None);
+                let streamed = exec::stream(&plan, &cat).unwrap();
+                let rows = streamed.collect_rows(None);
                 prop_assert!(
                     rows == plain_rows,
                     "{mode:?} x{threads} differs from plain for {q:?}\nplan: {plan:?}"
                 );
+                // The first disk pull is cold: every produced row came
+                // through a segment fetch, so the 2-slot pool must miss.
+                if mode == StorageMode::Disk && threads == 1 && !plain_rows.is_empty() {
+                    let stats = streamed.stats();
+                    prop_assert!(
+                        stats.pool_misses > 0,
+                        "cold disk run never missed the 2-slot buffer pool for {q:?}"
+                    );
+                }
             }
         }
     }
@@ -592,11 +640,12 @@ proptest! {
                 cat.set_threads(1);
                 exec::stream(&plan, &cat).unwrap().collect_rows(None)
             };
-            for mode in [StorageMode::Segmented, StorageMode::Paged] {
+            for mode in [StorageMode::Segmented, StorageMode::Paged, StorageMode::Disk] {
                 for threads in [1usize, 4] {
                     let mut cat = catalog.clone();
                     cat.set_storage(mode);
                     cat.set_segment_layout(3, 2);
+                    cat.set_buffer_pool(2);
                     cat.set_threads(threads);
                     cat.set_parallel_granularity(3, 0);
                     let streamed = exec::stream(&plan, &cat).unwrap();
@@ -605,6 +654,12 @@ proptest! {
                         rows == plain_rows,
                         "{mode:?} x{threads} differs from plain for {plan:?}"
                     );
+                    if mode == StorageMode::Disk && threads == 1 && !plain_rows.is_empty() {
+                        prop_assert!(
+                            streamed.stats().pool_misses > 0,
+                            "cold disk run never missed the pool for {plan:?}"
+                        );
+                    }
                     let prefix = streamed.collect_rows(Some(3));
                     prop_assert!(
                         prefix == plain_rows[..plain_rows.len().min(3)].to_vec(),

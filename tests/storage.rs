@@ -7,9 +7,10 @@
 //! * zone-map skipping on clustered integer and dictionary-string
 //!   columns, visible through `ExecStats::segments_skipped` (the
 //!   anti-no-op guard: a full scan must skip nothing);
-//! * byte-identical output across {plain, segmented, paged} × {1, 4}
-//!   workers on a multi-operator plan over null-bearing data;
-//! * paged-provider eviction churn with a 2-segment cache;
+//! * byte-identical output across {plain, segmented, paged, disk} ×
+//!   {1, 4} workers on a multi-operator plan over null-bearing data;
+//! * paged-provider eviction churn with a 2-segment cache, and disk
+//!   scans faulting through an undersized shared buffer pool;
 //! * the CI `storage` leg's no-op guard: when `RELALG_STORAGE` is set,
 //!   the engine default must reflect it and a scan must actually move
 //!   segments — so the matrix leg cannot silently degrade into a plain
@@ -49,6 +50,9 @@ fn storage_catalog(mode: StorageMode, seg_rows: usize, cache: usize, threads: us
     let mut c = Catalog::new();
     c.set_storage(mode);
     c.set_segment_layout(seg_rows, cache);
+    // Disk mode routes fetches through the shared buffer pool instead of
+    // the per-provider clock cache; give it the same (tiny) capacity.
+    c.set_buffer_pool(cache);
     c.set_threads(threads);
     c.set_parallel_granularity(64, 0);
     c
@@ -135,13 +139,52 @@ fn storage_modes_are_byte_identical_on_a_multi_operator_plan() {
         .unwrap()
         .collect_rows(None);
     assert!(!baseline.is_empty());
-    for mode in [StorageMode::Segmented, StorageMode::Paged] {
+    for mode in [
+        StorageMode::Segmented,
+        StorageMode::Paged,
+        StorageMode::Disk,
+    ] {
         for threads in [1, 4] {
             let cat = build(mode, 2, threads);
             let rows = exec::stream(&plan, &cat).unwrap().collect_rows(None);
             assert_eq!(rows, baseline, "{mode:?} x{threads} diverged");
         }
     }
+}
+
+#[test]
+fn disk_scans_miss_an_undersized_pool_and_hit_a_warm_one() {
+    // 20 segments through a 2-slot buffer pool: the cold scan faults
+    // every segment in (and evicts most of them again), stays
+    // byte-identical to plain, and reports page/pool traffic. A second
+    // catalog with a pool larger than the working set hits on re-scan.
+    let p = Plan::scan("t").select(col("v").ge(lit_i64(0)));
+    let baseline = {
+        let mut c = storage_catalog(StorageMode::Plain, 16, 2, 1);
+        c.insert("t", seg_rel(320));
+        exec::stream(&p, &c).unwrap().collect_rows(None)
+    };
+    let mut small = storage_catalog(StorageMode::Disk, 16, 2, 1);
+    small.insert("t", seg_rel(320));
+    let streamed = exec::stream(&p, &small).unwrap();
+    assert_eq!(streamed.collect_rows(None), baseline);
+    let stats = streamed.stats();
+    assert!(stats.pages_read > 0, "{stats:?}");
+    assert!(
+        stats.pool_misses >= 20,
+        "20 cold segments through 2 slots must all miss: {stats:?}"
+    );
+    // A pool bigger than the working set: scan twice, second pass hits.
+    let mut large = storage_catalog(StorageMode::Disk, 16, 64, 1);
+    large.insert("t", seg_rel(320));
+    let warm = exec::stream(&p, &large).unwrap();
+    assert_eq!(warm.collect_rows(None), baseline);
+    assert_eq!(warm.collect_rows(None), baseline);
+    let stats = warm.stats();
+    assert!(
+        stats.pool_hits >= 20,
+        "re-scan under a roomy pool must hit: {stats:?}"
+    );
 }
 
 #[test]
@@ -179,6 +222,7 @@ fn ci_storage_leg_actually_moves_segments() {
     let env_mode = match std::env::var("RELALG_STORAGE").as_deref() {
         Ok("segmented") => Some(StorageMode::Segmented),
         Ok("paged") => Some(StorageMode::Paged),
+        Ok("disk") => Some(StorageMode::Disk),
         _ => None,
     };
     let mut cat;
@@ -200,4 +244,16 @@ fn ci_storage_leg_actually_moves_segments() {
         stats.segments_scanned > 0,
         "segmented storage configured but no segment traffic: {stats:?}"
     );
+    // The disk leg must additionally move pages through the buffer pool
+    // (the CI leg shrinks RELALG_BUFFER_POOL below the working set).
+    if env_mode == Some(StorageMode::Disk) {
+        assert!(
+            stats.pages_read > 0,
+            "disk storage configured but no page traffic: {stats:?}"
+        );
+        assert!(
+            stats.pool_misses > 0,
+            "disk storage configured but the buffer pool never missed: {stats:?}"
+        );
+    }
 }

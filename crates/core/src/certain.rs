@@ -416,6 +416,58 @@ mod tests {
         assert!(err.to_string().contains("partial or-set"), "{err}");
     }
 
+    /// The cap is inclusive and exact: a world table of *exactly*
+    /// [`CERTAIN_EXPANSION_CAP`] worlds expands, one more world errors
+    /// cleanly.
+    #[test]
+    fn expansion_cap_boundary_is_exact() {
+        // `b` is partial (defined only under x1 ↦ 0), so certain_answers
+        // must take the expansion path.
+        let partial_over = |world: WorldTable| {
+            let mut db = UDatabase::new(world);
+            db.add_relation("r", ["a", "b"]).unwrap();
+            let mut ua = URelation::partition("u_a", ["a"]);
+            ua.push_simple(WsDescriptor::empty(), 1, vec![Value::Int(7)])
+                .unwrap();
+            db.add_partition("r", ua).unwrap();
+            let mut ub = URelation::partition("u_b", ["b"]);
+            ub.push_simple(WsDescriptor::singleton(Var(1), 0), 1, vec![Value::Int(0)])
+                .unwrap();
+            db.add_partition("r", ub).unwrap();
+            db.validate().unwrap();
+            assert!(db.has_partial_fields().unwrap());
+            db
+        };
+
+        // Exactly 4096 = 2¹² worlds: 12 binary variables.
+        let mut w = WorldTable::new();
+        for i in 0..12u32 {
+            w.add_var(Var(1 + i), vec![0, 1]).unwrap();
+        }
+        let db = partial_over(w);
+        assert_eq!(
+            db.world.world_count_exact(),
+            Some(CERTAIN_EXPANSION_CAP as u128)
+        );
+        // At the cap the expansion runs: in worlds with x1 ↦ 1 tuple 1
+        // loses its `b` field, so nothing is certain.
+        let got = certain_answers(&db, &table("r").project(["a"])).unwrap();
+        assert!(got.is_empty(), "{got}");
+
+        // Exactly 4097 = 17 · 241 worlds: one world over the cap errors
+        // cleanly — TooLarge, never a panic or a wrong answer.
+        let mut w = WorldTable::new();
+        w.add_var(Var(1), (0..17).collect()).unwrap();
+        w.add_var(Var(2), (0..241).collect()).unwrap();
+        let db = partial_over(w);
+        assert_eq!(
+            db.world.world_count_exact(),
+            Some(CERTAIN_EXPANSION_CAP as u128 + 1)
+        );
+        let err = certain_answers(&db, &table("r").project(["a"])).unwrap_err();
+        assert!(matches!(err, Error::TooLarge(_)), "{err}");
+    }
+
     #[test]
     fn exact_matches_oracle_on_figure1() {
         let db = figure1_database();

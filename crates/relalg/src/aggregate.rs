@@ -287,14 +287,14 @@ impl<'a> Accumulator<'a> {
             state.update(&agg.func, compiled.as_ref().map(&eval))?;
         }
         if self.spill.as_ref().is_some_and(|sp| sp.bytes > sp.share) {
-            self.flush_groups();
+            self.flush_groups()?;
         }
         Ok(())
     }
 
     /// Flush the group map as one key-sorted spill run (see
     /// [`AggSpill`]).
-    fn flush_groups(&mut self) {
+    fn flush_groups(&mut self) -> Result<()> {
         let sp = self.spill.as_mut().expect("flush requires spill state");
         let mut entries: Vec<(Vec<Value>, u64, Vec<State>)> = self
             .groups
@@ -302,15 +302,16 @@ impl<'a> Accumulator<'a> {
             .map(|(k, (pos, states))| (k, pos, states))
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut w = sp.ctx.writer("agg-run");
+        let mut w = sp.ctx.writer("agg-run")?;
         for (mut key, pos, states) in entries {
             key.extend(states.iter().map(State::to_value));
-            w.push(&[pos], &key.into_boxed_slice());
+            w.push(&[pos], &key.into_boxed_slice())?;
         }
-        sp.runs.push(w.finish());
+        sp.runs.push(w.finish()?);
         sp.ctx.record_spill(sp.bytes);
         sp.ctx.budget().release(sp.bytes);
         sp.bytes = 0;
+        Ok(())
     }
 
     fn update(&mut self, row: &Row) -> Result<()> {
@@ -331,7 +332,7 @@ impl<'a> Accumulator<'a> {
     /// order-independently, each group keeps its earliest position.
     /// Spill runs (and their byte accounting) transfer wholesale — the
     /// final merge in [`Accumulator::finish`] reads every run anyway.
-    fn merge(&mut self, mut other: Accumulator<'a>) {
+    fn merge(&mut self, mut other: Accumulator<'a>) -> Result<()> {
         if let Some(osp) = other.spill.as_mut() {
             let sp = self
                 .spill
@@ -356,8 +357,9 @@ impl<'a> Accumulator<'a> {
             }
         }
         if self.spill.as_ref().is_some_and(|sp| sp.bytes > sp.share) {
-            self.flush_groups();
+            self.flush_groups()?;
         }
+        Ok(())
     }
 
     fn finish(mut self) -> Result<Relation> {
@@ -394,15 +396,15 @@ impl<'a> Accumulator<'a> {
     /// first-occurrence order — byte-identical to the in-memory fold.
     fn finish_spilled(mut self) -> Result<Relation> {
         if !self.groups.is_empty() {
-            self.flush_groups();
+            self.flush_groups()?;
         }
         let sp = self.spill.take().expect("spilled finish has spill state");
         let karity = self.group_by.len();
         let mut groups: Vec<(u64, Vec<Value>, Vec<State>)> = Vec::new();
         let mut cur: Option<(Vec<Value>, u64, Vec<State>)> = None;
-        for (_, (keys, row)) in
-            merge_runs(&sp.runs, &sp.ctx, |a, b| a.1[..karity].cmp(&b.1[..karity]))
-        {
+        let merge = merge_runs(&sp.runs, &sp.ctx, |a, b| a.1[..karity].cmp(&b.1[..karity]))?;
+        for item in merge {
+            let (_, (keys, row)) = item?;
             let pos = keys[0];
             let mut vals = row.into_vec();
             let state_vals = vals.split_off(karity);
@@ -496,14 +498,14 @@ pub fn aggregate_plan_with_stats(
     if let Some(partials) = streamed.fold_batches_parallel(
         || Accumulator::new(&schema, group_by, aggs).map(|a| a.with_spill(&ctx)),
         |acc, morsel, batch| {
-            let acc = acc.as_mut().map_err(|_| poisoned())?;
+            let acc = acc.as_mut().map_err(|e| e.clone())?;
             acc.set_morsel(morsel);
             acc.update_batch(batch)
         },
     ) {
         let mut merged = acc;
         for partial in partials? {
-            merged.merge(partial?);
+            merged.merge(partial?)?;
         }
         let rel = merged.finish()?;
         return Ok((rel, streamed.stats()));
@@ -512,13 +514,6 @@ pub fn aggregate_plan_with_stats(
     streamed.for_each_batch(|batch| acc.update_batch(batch))?;
     let rel = acc.finish()?;
     Ok((rel, streamed.stats()))
-}
-
-/// Placeholder error for a worker accumulator that failed to construct —
-/// unreachable in practice because compilation is validated before the
-/// fold starts.
-fn poisoned() -> Error {
-    Error::TypeError("aggregation accumulator failed to initialize".into())
 }
 
 #[cfg(test)]

@@ -3,10 +3,12 @@
 
 use crate::batch::BATCH_SIZE;
 use crate::error::{Error, Result};
+use crate::fault::FaultConfig;
 use crate::relation::Relation;
 use crate::stats::TableStats;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Engine execution configuration, carried by the [`Catalog`] so every
 /// caller that can run a query can also tune how it runs.
@@ -52,6 +54,16 @@ pub struct EngineConfig {
     /// fetches become leases on this pool, so concurrent scans of
     /// different relations compete for — and share — the same slots.
     pub buffer_pool: usize,
+    /// Deterministic fault-injection schedule for the execution's I/O
+    /// edges (`RELALG_FAULTS=<seed>:<rate>[:<kinds>]`), `None` (the
+    /// default) compiles every edge down to a no-op check. Each
+    /// execution runs the schedule from tick 0, so a `(seed, rate)`
+    /// pair names a reproducible fault sequence.
+    pub faults: Option<FaultConfig>,
+    /// Per-query deadline (`RELALG_DEADLINE_MS`): executions past it
+    /// stop at the next batch/morsel boundary, release every resource
+    /// they hold, and return [`Error::Cancelled`]. `None` = no limit.
+    pub deadline: Option<Duration>,
 }
 
 /// Storage backend for base-table scans. The mode changes *where*
@@ -103,8 +115,34 @@ impl Default for EngineConfig {
             segment_rows: default_segment_rows(),
             segment_cache: default_segment_cache(),
             buffer_pool: default_buffer_pool(),
+            faults: default_faults(),
+            deadline: default_deadline(),
         }
     }
+}
+
+/// `RELALG_FAULTS=<seed>:<rate>[:<kinds>]`, read once per process;
+/// unset or malformed means no injection.
+fn default_faults() -> Option<FaultConfig> {
+    static FAULTS: std::sync::OnceLock<Option<FaultConfig>> = std::sync::OnceLock::new();
+    *FAULTS.get_or_init(|| {
+        std::env::var("RELALG_FAULTS")
+            .ok()
+            .and_then(|v| FaultConfig::parse(&v))
+    })
+}
+
+/// `RELALG_DEADLINE_MS`, read once per process; unset, unparseable or
+/// zero means no deadline.
+fn default_deadline() -> Option<Duration> {
+    static DEADLINE: std::sync::OnceLock<Option<Duration>> = std::sync::OnceLock::new();
+    *DEADLINE.get_or_init(|| {
+        std::env::var("RELALG_DEADLINE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
+    })
 }
 
 /// `RELALG_STORAGE` (`plain` | `segmented` | `paged` | `disk`), read
@@ -267,6 +305,21 @@ impl Catalog {
         self.config.buffer_pool = segments.max(1);
     }
 
+    /// Set (or clear) the deterministic fault-injection schedule for
+    /// executions against this catalog. Injected faults either retry
+    /// transparently (transient reads/opens/leases) or surface as clean
+    /// [`Error::Io`]s — never a panic, leak, or wrong answer.
+    pub fn set_faults(&mut self, faults: Option<FaultConfig>) {
+        self.config.faults = faults;
+    }
+
+    /// Set (or clear) the per-query deadline. A query past its deadline
+    /// stops at the next batch/morsel boundary and returns
+    /// [`Error::Cancelled`] with all its resources released.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.config.deadline = deadline;
+    }
+
     /// Register (or replace) a relation. Statistics are computed eagerly —
     /// the workloads in this repo scan every registered relation at least
     /// once, so the one-time pass pays for itself. Computing them runs
@@ -360,6 +413,14 @@ mod tests {
         assert_eq!(c.config().buffer_pool, 3);
         c.set_buffer_pool(0); // floored at 1
         assert_eq!(c.config().buffer_pool, 1);
+        c.set_faults(Some(FaultConfig::new(42, 0.01)));
+        assert_eq!(c.config().faults.unwrap().seed, 42);
+        c.set_faults(None);
+        assert_eq!(c.config().faults, None);
+        c.set_deadline(Some(Duration::from_millis(250)));
+        assert_eq!(c.config().deadline, Some(Duration::from_millis(250)));
+        c.set_deadline(None);
+        assert_eq!(c.config().deadline, None);
         // Clones carry the configuration.
         assert_eq!(c.clone().config(), c.config());
     }

@@ -85,6 +85,13 @@ pub enum Error {
     SchemaMismatch { left: String, right: String },
     /// A predicate evaluated to a non-boolean value.
     TypeError(String),
+    /// An I/O operation failed after exhausting any retries — disk
+    /// store reads/writes, spill runs, buffer-pool leases — whether the
+    /// failure was real or injected by [`crate::fault`].
+    Io(String),
+    /// The query was cancelled (explicitly or by deadline) before it
+    /// completed; all resources it held have been released.
+    Cancelled(String),
     /// Anything else (guard rails, caps, invariants).
     Invalid(String),
 }
@@ -97,6 +104,8 @@ crate::impl_error_boilerplate! {
         ArityMismatch { expected, got } => "row arity {got} does not match schema arity {expected}",
         SchemaMismatch { left, right } => "set operation over incompatible schemas [{left}] vs [{right}]",
         TypeError(msg) => "type error: {msg}",
+        Io(msg) => "i/o error: {msg}",
+        Cancelled(msg) => "cancelled: {msg}",
         Invalid(msg) => "invalid operation: {msg}",
     }
 }

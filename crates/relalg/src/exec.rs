@@ -82,6 +82,7 @@ use crate::batch::{BatchCol, ColumnBatch, BATCH_SIZE};
 use crate::catalog::{Catalog, EngineConfig, StorageMode};
 use crate::error::{Error, Result};
 use crate::expr::{CmpOp, CompiledExpr, Expr};
+use crate::fault::{self, CancelToken, FaultInjector};
 use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::optimizer::{est_rows, est_rows_cached, EstCache};
 use crate::plan::Plan;
@@ -172,6 +173,17 @@ pub struct ExecStats {
     /// Buffer-pool misses: segment fetches that had to read and decode
     /// from disk before installing into the pool (cumulative).
     pub pool_misses: usize,
+    /// Transient-I/O retries taken by the retry layer (injected or
+    /// real; cumulative over the execution's lifetime).
+    pub retries: usize,
+    /// Faults injected by the configured deterministic schedule
+    /// (`RELALG_FAULTS` / [`crate::Catalog::set_faults`]; always 0 when
+    /// injection is disabled).
+    pub faults_injected: usize,
+    /// `true` once this execution's cancel token tripped (explicit
+    /// cancellation or deadline) — the pull that observed it returned
+    /// [`Error::Cancelled`].
+    pub cancelled: bool,
 }
 
 impl ExecStats {
@@ -202,6 +214,12 @@ struct Counters {
     /// Segmented-storage counters, likewise shared across worker-local
     /// counter sets (scan cursors on any worker bump one tally).
     seg: Arc<SegCounters>,
+    /// Per-execution deterministic fault injector (`None` = fault layer
+    /// disabled: every edge short-circuits on one `None` test).
+    faults: Option<Arc<FaultInjector>>,
+    /// Cooperative cancellation token, checked at batch and morsel
+    /// boundaries by the pull drivers and parallel workers.
+    cancel: Arc<CancelToken>,
 }
 
 /// Segment traffic of one execution: scans, zone-map skips, and the
@@ -213,6 +231,17 @@ struct SegCounters {
     scanned: AtomicUsize,
     skipped: AtomicUsize,
     io: IoCounters,
+}
+
+impl SegCounters {
+    /// Segment counters whose I/O edges (pool leases, page reads) draw
+    /// from `faults`.
+    fn with_faults(faults: Option<Arc<FaultInjector>>) -> SegCounters {
+        SegCounters {
+            io: IoCounters::with_faults(faults),
+            ..SegCounters::default()
+        }
+    }
 }
 
 impl Default for Counters {
@@ -232,15 +261,42 @@ impl Counters {
             workers: Cell::new(0),
             spill,
             seg: Arc::new(SegCounters::default()),
+            faults: None,
+            cancel: Arc::new(CancelToken::unlimited()),
+        }
+    }
+
+    /// The counter set of one prepared execution: the spill context,
+    /// fault injector, and cancel token all come from the catalog's
+    /// [`EngineConfig`], and the segment counters' I/O edges share the
+    /// injector.
+    fn for_exec(
+        spill: Arc<SpillCtx>,
+        faults: Option<Arc<FaultInjector>>,
+        cancel: Arc<CancelToken>,
+    ) -> Counters {
+        Counters {
+            seg: Arc::new(SegCounters::with_faults(faults.clone())),
+            faults,
+            cancel,
+            ..Counters::with_spill(spill)
         }
     }
 
     /// A fresh worker-local counter set sharing the execution-wide
-    /// spill and segment tallies (the `Cell` counters stay per-worker;
-    /// the shared parts are the atomics).
-    fn with_shared(spill: Arc<SpillCtx>, seg: Arc<SegCounters>) -> Counters {
+    /// spill and segment tallies plus the fault injector and cancel
+    /// token (the `Cell` counters stay per-worker; the shared parts are
+    /// the atomics).
+    fn with_shared(
+        spill: Arc<SpillCtx>,
+        seg: Arc<SegCounters>,
+        faults: Option<Arc<FaultInjector>>,
+        cancel: Arc<CancelToken>,
+    ) -> Counters {
         Counters {
             seg,
+            faults,
+            cancel,
             ..Counters::with_spill(spill)
         }
     }
@@ -305,6 +361,9 @@ impl Counters {
             pages_read: self.seg.io.pages_read.load(AtomicOrdering::Relaxed),
             pool_hits: self.seg.io.pool_hits.load(AtomicOrdering::Relaxed),
             pool_misses: self.seg.io.pool_misses.load(AtomicOrdering::Relaxed),
+            retries: self.faults.as_ref().map_or(0, |f| f.retries()),
+            faults_injected: self.faults.as_ref().map_or(0, |f| f.injected()),
+            cancelled: self.cancel.tripped(),
         }
     }
 }
@@ -383,7 +442,14 @@ struct PrepCtx<'a> {
 /// surface here; pulling rows afterwards cannot fail.
 pub fn stream(plan: &Plan, catalog: &Catalog) -> Result<Streamed> {
     let cfg = *catalog.config();
-    let counters = Counters::with_spill(Arc::new(SpillCtx::new(cfg.mem_budget, cfg.threads)));
+    // One fault injector and one cancel token per prepared execution:
+    // the injector's tick sequence (and thus the fault schedule) depends
+    // only on the config and the operation sequence, and the deadline
+    // clock starts here, at prepare.
+    let faults = cfg.faults.map(|fc| Arc::new(FaultInjector::new(fc)));
+    let cancel = Arc::new(CancelToken::new(cfg.deadline));
+    let spill = Arc::new(SpillCtx::new(cfg.mem_budget, cfg.threads).with_faults(faults.clone()));
+    let counters = Counters::for_exec(spill, faults, cancel);
     // One estimate cache per prepare: build-side choices re-estimate the
     // same subtrees, and the plan is borrowed for the whole prepare so
     // node addresses are stable cache keys.
@@ -395,7 +461,10 @@ pub fn stream(plan: &Plan, catalog: &Catalog) -> Result<Streamed> {
         pool: TaskPool::new(cfg.threads),
         cfg,
     };
-    let (root, schema) = prepare(plan, &ctx)?;
+    // Prepare-time breaker materializations pull through the same
+    // infallible cursor interfaces as query pulls, so mid-pull I/O
+    // errors unwind (`fault::rethrow`) and convert back to `Err` here.
+    let (root, schema) = fault::catch_pull(|| prepare(plan, &ctx))??;
     // The parallel decision: enough configured workers, more than one
     // morsel to fan out, a gather-safe operator tree, and an optimizer
     // estimate (reusing the prepare's EstCache) above the threshold —
@@ -490,11 +559,14 @@ impl Streamed {
     /// handed out without any per-row construction.
     pub fn for_each_row(&self, mut f: impl FnMut(&Row) -> Result<()>) -> Result<()> {
         self.counters.reset_pull();
-        let mut cur = self.root.cursor(&self.counters);
-        while let Some(r) = cur.next() {
-            f(r.as_row())?;
-        }
-        Ok(())
+        fault::catch_pull(|| {
+            let mut cur = self.root.cursor(&self.counters);
+            while let Some(r) = cur.next() {
+                self.counters.cancel.check()?;
+                f(r.as_row())?;
+            }
+            Ok(())
+        })?
     }
 
     /// Pull every column batch through `f`. Batched pipelines hand out
@@ -505,48 +577,54 @@ impl Streamed {
     pub fn for_each_batch(&self, mut f: impl FnMut(&ColumnBatch<'_>) -> Result<()>) -> Result<()> {
         self.counters.reset_pull();
         if self.root.batchable() {
-            let mut cur = self.root.batch_cursor(&self.counters);
-            while let Some(b) = cur.next_batch() {
-                self.counters.batch(b.len());
-                f(&b)?;
-            }
-            return Ok(());
+            return fault::catch_pull(|| {
+                let mut cur = self.root.batch_cursor(&self.counters);
+                while let Some(b) = cur.next_batch() {
+                    self.counters.cancel.check()?;
+                    self.counters.batch(b.len());
+                    f(&b)?;
+                }
+                Ok(())
+            })?;
         }
         // Row bridge: the fallback path made visible by ExecStats (these
         // batches copy values) and EXPLAIN's `[row]` annotations.
         let arity = self.schema.arity();
-        let mut cur = self.root.cursor(&self.counters);
-        loop {
-            let mut cols: Vec<Vec<crate::value::Value>> = vec![Vec::new(); arity];
-            let mut n = 0;
-            while n < BATCH_SIZE {
-                match cur.next() {
-                    Some(r) => {
-                        for (c, v) in cols.iter_mut().zip(r.as_row().iter()) {
-                            c.push(v.clone());
+        fault::catch_pull(|| {
+            let mut cur = self.root.cursor(&self.counters);
+            loop {
+                self.counters.cancel.check()?;
+                let mut cols: Vec<Vec<crate::value::Value>> = vec![Vec::new(); arity];
+                let mut n = 0;
+                while n < BATCH_SIZE {
+                    match cur.next() {
+                        Some(r) => {
+                            for (c, v) in cols.iter_mut().zip(r.as_row().iter()) {
+                                c.push(v.clone());
+                            }
+                            n += 1;
                         }
-                        n += 1;
+                        None => break,
                     }
-                    None => break,
+                }
+                if n == 0 {
+                    break;
+                }
+                let batch = ColumnBatch {
+                    cols: cols
+                        .into_iter()
+                        .map(|v| BatchCol::Owned(Arc::new(Column::from_values(v))))
+                        .collect(),
+                    len: n,
+                };
+                self.counters.batch(n);
+                f(&batch)?;
+                if n < BATCH_SIZE {
+                    break;
                 }
             }
-            if n == 0 {
-                break;
-            }
-            let batch = ColumnBatch {
-                cols: cols
-                    .into_iter()
-                    .map(|v| BatchCol::Owned(Arc::new(Column::from_values(v))))
-                    .collect(),
-                len: n,
-            };
-            self.counters.batch(n);
-            f(&batch)?;
-            if n < BATCH_SIZE {
-                break;
-            }
-        }
-        Ok(())
+            Ok(())
+        })?
     }
 
     /// Pull up to `limit` rows (all when `None`) into an owned buffer.
@@ -557,7 +635,7 @@ impl Streamed {
     /// rows once at the end. Limited pulls keep the row cursors so
     /// pulling stops exactly at the limit — upstream work for rows past
     /// it is never done (batching would overshoot by up to a batch).
-    pub fn collect_rows(&self, limit: Option<usize>) -> Vec<Row> {
+    pub fn collect_rows(&self, limit: Option<usize>) -> Result<Vec<Row>> {
         if limit.is_none() {
             if let Some(rows) = self.parallel_rows() {
                 return rows;
@@ -565,26 +643,32 @@ impl Streamed {
         }
         self.counters.reset_pull();
         if limit.is_none() && self.root.batchable() {
-            let mut rows = Vec::new();
-            let mut cur = self.root.batch_cursor(&self.counters);
-            while let Some(b) = cur.next_batch() {
-                self.counters.batch(b.len());
-                for pos in 0..b.len() {
-                    rows.push(b.row(pos));
+            return fault::catch_pull(|| {
+                let mut rows = Vec::new();
+                let mut cur = self.root.batch_cursor(&self.counters);
+                while let Some(b) = cur.next_batch() {
+                    self.counters.cancel.check()?;
+                    self.counters.batch(b.len());
+                    for pos in 0..b.len() {
+                        rows.push(b.row(pos));
+                    }
                 }
-            }
-            return rows;
+                Ok(rows)
+            })?;
         }
         let cap = limit.unwrap_or(usize::MAX);
-        let mut rows = Vec::new();
-        let mut cur = self.root.cursor(&self.counters);
-        while rows.len() < cap {
-            match cur.next() {
-                Some(r) => rows.push(r.into_owned()),
-                None => break,
+        fault::catch_pull(|| {
+            let mut rows = Vec::new();
+            let mut cur = self.root.cursor(&self.counters);
+            while rows.len() < cap {
+                self.counters.cancel.check()?;
+                match cur.next() {
+                    Some(r) => rows.push(r.into_owned()),
+                    None => break,
+                }
             }
-        }
-        rows
+            Ok(rows)
+        })?
     }
 
     /// Morsel-parallel materialization of the root pipeline: workers
@@ -594,7 +678,7 @@ impl Streamed {
     /// morsel order — replaying deferred distinct/difference seen-set
     /// semantics on the ordered stream — so the result is byte-identical
     /// to a serial pull. `None` when the prepare decided to run serial.
-    fn parallel_rows(&self) -> Option<Vec<Row>> {
+    fn parallel_rows(&self) -> Option<Result<Vec<Row>>> {
         let spec = self.parallel.as_ref()?;
         self.counters.reset_pull();
         #[derive(Default)]
@@ -606,13 +690,24 @@ impl Streamed {
         let (root, morsel_rows) = (&self.root, self.morsel_rows);
         let spill = Arc::clone(&self.counters.spill);
         let seg = Arc::clone(&self.counters.seg);
+        let faults = self.counters.faults.clone();
+        let cancel = Arc::clone(&self.counters.cancel);
         let workers_out = self
             .pool
             .fold_tasks(spec.morsels, WorkerOut::default, |w, idx| {
-                let local = Counters::with_shared(Arc::clone(&spill), Arc::clone(&seg));
+                // Morsel boundary: a tripped token cancels the claim and
+                // (via the pool's abort flag) the sibling workers.
+                fault::rethrow(cancel.check());
+                let local = Counters::with_shared(
+                    Arc::clone(&spill),
+                    Arc::clone(&seg),
+                    faults.clone(),
+                    Arc::clone(&cancel),
+                );
                 let mut cur = root.morsel_cursor(idx, morsel_rows, &local);
                 let mut rows = Vec::new();
                 while let Some(b) = cur.next_batch() {
+                    fault::rethrow(cancel.check());
                     local.batch(b.len());
                     for pos in 0..b.len() {
                         rows.push(b.row(pos));
@@ -623,6 +718,10 @@ impl Streamed {
                 w.batch_rows += r;
                 w.per_morsel.push((idx, rows));
             });
+        let workers_out = match workers_out {
+            Ok(w) => w,
+            Err(e) => return Some(Err(e)),
+        };
         // Gather: merge worker counters, then emit morsel outputs in
         // morsel order.
         self.counters.workers.set(workers_out.len());
@@ -673,7 +772,7 @@ impl Streamed {
                 out.extend(rows);
             }
         }
-        Some(out)
+        Some(Ok(out))
     }
 
     /// Morsel-parallel fold over the root pipeline's batches: each
@@ -698,6 +797,8 @@ impl Streamed {
         let (root, morsel_rows) = (&self.root, self.morsel_rows);
         let spill = Arc::clone(&self.counters.spill);
         let seg = Arc::clone(&self.counters.seg);
+        let faults = self.counters.faults.clone();
+        let cancel = Arc::clone(&self.counters.cancel);
         struct WorkerFold<T> {
             state: T,
             err: Option<Error>,
@@ -716,18 +817,31 @@ impl Streamed {
                 if w.err.is_some() {
                     return;
                 }
-                let local = Counters::with_shared(Arc::clone(&spill), Arc::clone(&seg));
+                if let Err(e) = cancel.check() {
+                    w.err = Some(e);
+                    return;
+                }
+                let local = Counters::with_shared(
+                    Arc::clone(&spill),
+                    Arc::clone(&seg),
+                    faults.clone(),
+                    Arc::clone(&cancel),
+                );
                 let mut cur = root.morsel_cursor(idx, morsel_rows, &local);
                 while let Some(b) = cur.next_batch() {
                     w.batches += 1;
                     w.batch_rows += b.len();
-                    if let Err(e) = fold(&mut w.state, idx, &b) {
+                    if let Err(e) = cancel.check().and_then(|()| fold(&mut w.state, idx, &b)) {
                         w.err = Some(e);
                         return;
                     }
                 }
             },
         );
+        let workers_out = match workers_out {
+            Ok(w) => w,
+            Err(e) => return Some(Err(e)),
+        };
         self.counters.workers.set(workers_out.len());
         let mut per_worker = self.worker_batches.borrow_mut();
         per_worker.clear();
@@ -753,9 +867,19 @@ impl Streamed {
         if let Node::Source(src) = &self.root {
             return Ok((Arc::clone(&src.rel), self.counters.snapshot()));
         }
-        let rows = self.collect_rows(None);
+        let rows = self.collect_rows(None)?;
         let rel = Relation::new(self.schema, rows)?;
         Ok((Arc::new(rel), self.counters.snapshot()))
+    }
+
+    /// This execution's cancellation token. `cancel()` it from any
+    /// thread (or configure a deadline via
+    /// [`crate::Catalog::set_deadline`] / `RELALG_DEADLINE_MS`) and
+    /// in-flight pulls stop at their next batch or morsel boundary with
+    /// [`Error::Cancelled`], unwinding through breakers so buffer-pool
+    /// leases and spill files release on the way out.
+    pub fn cancel_token(&self) -> Arc<CancelToken> {
+        Arc::clone(&self.counters.cancel)
     }
 }
 
@@ -905,7 +1029,7 @@ struct RowTable {
 impl RowTable {
     /// Build from per-row digests, fanning the insert out over digest
     /// partitions when the pool and input size justify it.
-    fn build(digests: &[u64], pool: &TaskPool, min_rows: usize) -> RowTable {
+    fn build(digests: &[u64], pool: &TaskPool, min_rows: usize) -> Result<RowTable> {
         let nparts = if pool.threads() > 1 && digests.len() >= min_rows {
             pool.threads()
         } else {
@@ -916,7 +1040,7 @@ impl RowTable {
             for (i, &h) in digests.iter().enumerate() {
                 m.entry(h).or_default().push(i);
             }
-            return RowTable { parts: vec![m] };
+            return Ok(RowTable { parts: vec![m] });
         }
         let parts = pool.scatter_gather(nparts, |p| {
             let mut m: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
@@ -926,8 +1050,8 @@ impl RowTable {
                 }
             }
             m
-        });
-        RowTable { parts }
+        })?;
+        Ok(RowTable { parts })
     }
 
     /// Row indices whose key hashed to `h` (ascending; hash collisions
@@ -1023,7 +1147,12 @@ struct SemiNode {
 /// chunks when large enough (`keys` empty → full-row digests). The
 /// digests feed [`RowTable::build`]; both stages are the "parallel
 /// partial build" half of a partitioned hash-join build.
-fn table_digests(rel: &Relation, keys: &[usize], pool: &TaskPool, min_rows: usize) -> Vec<u64> {
+fn table_digests(
+    rel: &Relation,
+    keys: &[usize],
+    pool: &TaskPool,
+    min_rows: usize,
+) -> Result<Vec<u64>> {
     let rows = rel.rows();
     let digest = |row: &Row| {
         if keys.is_empty() {
@@ -1033,22 +1162,23 @@ fn table_digests(rel: &Relation, keys: &[usize], pool: &TaskPool, min_rows: usiz
         }
     };
     if pool.threads() <= 1 || rows.len() < min_rows.max(pool.threads()) {
-        return rows.iter().map(digest).collect();
+        return Ok(rows.iter().map(digest).collect());
     }
     let chunk = rows.len().div_ceil(pool.threads());
     let chunks: Vec<&[Row]> = rows.chunks(chunk).collect();
-    pool.scatter_gather(chunks.len(), |i| {
-        chunks[i].iter().map(digest).collect::<Vec<u64>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    Ok(pool
+        .scatter_gather(chunks.len(), |i| {
+            chunks[i].iter().map(digest).collect::<Vec<u64>>()
+        })?
+        .into_iter()
+        .flatten()
+        .collect())
 }
 
 /// Build the digest-keyed row table of a breaker side (parallel partial
 /// build + partitioned insert when worthwhile).
-fn build_table(rel: &Relation, keys: &[usize], ctx: &PrepCtx<'_>) -> RowTable {
-    let digests = table_digests(rel, keys, &ctx.pool, ctx.cfg.parallel_min_rows);
+fn build_table(rel: &Relation, keys: &[usize], ctx: &PrepCtx<'_>) -> Result<RowTable> {
+    let digests = table_digests(rel, keys, &ctx.pool, ctx.cfg.parallel_min_rows)?;
     RowTable::build(&digests, &ctx.pool, ctx.cfg.parallel_min_rows)
 }
 
@@ -1187,7 +1317,7 @@ fn prepare(plan: &Plan, ctx: &PrepCtx<'_>) -> Result<(Node, Schema)> {
                 None
             } else {
                 let (lk, rk): (Vec<usize>, Vec<usize>) = cond.equi.iter().cloned().unzip();
-                let table = build_table(&right_rel, &rk, ctx);
+                let table = build_table(&right_rel, &rk, ctx)?;
                 Some((table, lk, rk))
             };
             Ok((
@@ -1229,7 +1359,7 @@ fn prepare(plan: &Plan, ctx: &PrepCtx<'_>) -> Result<(Node, Schema)> {
                 });
             }
             let right_rel = materialize(rnode, &rs, counters)?;
-            let table = build_table(&right_rel, &[], ctx);
+            let table = build_table(&right_rel, &[], ctx)?;
             counters.breaker(); // the seen-set filled at pull time
             Ok((
                 Node::Difference(DifferenceNode {
@@ -1315,7 +1445,7 @@ fn prepare_join_build(
     let counters = ctx.counters;
     if !counters.spill.budget().enabled() || matches!(node, Node::Source(_)) {
         let rel = materialize(node, schema, counters)?;
-        let table = build_table(&rel, keys, ctx);
+        let table = build_table(&rel, keys, ctx)?;
         return Ok(JoinBuild::Mem { rel, table });
     }
     let spill = &counters.spill;
@@ -1325,48 +1455,51 @@ fn prepare_join_build(
     let mut tail_bytes = 0usize;
     let mut total_rows = 0usize;
     let mut writers: Option<Vec<crate::spill::RunWriter>> = None;
-    let mut push =
-        |row: Row, rows: &mut Vec<Row>, writers: &mut Option<Vec<crate::spill::RunWriter>>| {
-            let bytes = row_footprint(&row);
-            let idx = total_rows as u64;
-            total_rows += 1;
-            if let Some(ws) = writers {
-                let digest = key_hash(&row, keys);
-                ws[spill_part(digest, 0)].push(&[idx, digest], &row);
-                tail_bytes += bytes;
-                return;
+    let mut push = |row: Row,
+                    rows: &mut Vec<Row>,
+                    writers: &mut Option<Vec<crate::spill::RunWriter>>|
+     -> Result<()> {
+        let bytes = row_footprint(&row);
+        let idx = total_rows as u64;
+        total_rows += 1;
+        if let Some(ws) = writers {
+            let digest = key_hash(&row, keys);
+            ws[spill_part(digest, 0)].push(&[idx, digest], &row)?;
+            tail_bytes += bytes;
+            return Ok(());
+        }
+        spill.budget().charge(bytes);
+        resident_bytes += bytes;
+        rows.push(row);
+        if resident_bytes > share {
+            // Over the share: divert to disk. Buffered rows flush into
+            // digest partitions (their indices are their positions).
+            let mut ws: Vec<crate::spill::RunWriter> = (0..SPILL_JOIN_PARTS)
+                .map(|_| spill.writer("join-build"))
+                .collect::<Result<_>>()?;
+            for (i, r) in rows.drain(..).enumerate() {
+                let digest = key_hash(&r, keys);
+                ws[spill_part(digest, 0)].push(&[i as u64, digest], &r)?;
             }
-            spill.budget().charge(bytes);
-            resident_bytes += bytes;
-            rows.push(row);
-            if resident_bytes > share {
-                // Over the share: divert to disk. Buffered rows flush into
-                // digest partitions (their indices are their positions).
-                let mut ws: Vec<crate::spill::RunWriter> = (0..SPILL_JOIN_PARTS)
-                    .map(|_| spill.writer("join-build"))
-                    .collect();
-                for (i, r) in rows.drain(..).enumerate() {
-                    let digest = key_hash(&r, keys);
-                    ws[spill_part(digest, 0)].push(&[i as u64, digest], &r);
-                }
-                spill.record_spill(resident_bytes);
-                spill.budget().release(resident_bytes);
-                resident_bytes = 0;
-                *writers = Some(ws);
-            }
-        };
+            spill.record_spill(resident_bytes);
+            spill.budget().release(resident_bytes);
+            resident_bytes = 0;
+            *writers = Some(ws);
+        }
+        Ok(())
+    };
     if node.batchable() {
         let mut cur = node.batch_cursor(counters);
         while let Some(b) = cur.next_batch() {
             counters.batch(b.len());
             for pos in 0..b.len() {
-                push(b.row(pos), &mut rows, &mut writers);
+                push(b.row(pos), &mut rows, &mut writers)?;
             }
         }
     } else {
         let mut cur = node.cursor(counters);
         while let Some(r) = cur.next() {
-            push(r.into_owned(), &mut rows, &mut writers);
+            push(r.into_owned(), &mut rows, &mut writers)?;
         }
     }
     counters.buffer(total_rows);
@@ -1374,7 +1507,7 @@ fn prepare_join_build(
     match writers {
         None => {
             let rel = Arc::new(Relation::new(schema.clone(), rows)?);
-            let table = build_table(&rel, keys, ctx);
+            let table = build_table(&rel, keys, ctx)?;
             Ok(JoinBuild::Mem { rel, table })
         }
         Some(ws) => {
@@ -1385,7 +1518,7 @@ fn prepare_join_build(
                 parts: ws
                     .into_iter()
                     .map(crate::spill::RunWriter::finish)
-                    .collect(),
+                    .collect::<Result<_>>()?,
             }))
         }
     }
@@ -2043,11 +2176,11 @@ impl DedupSpill {
             .flat_map(|(d, rows)| rows.into_iter().map(move |r| (d, r)))
             .collect();
         entries.sort_by_key(|(d, _)| *d);
-        let mut w = ctx.writer("dedup-seen");
+        let mut w = fault::rethrow(ctx.writer("dedup-seen"));
         for (d, r) in &entries {
-            w.push(&[*d], r);
+            fault::rethrow(w.push(&[*d], r));
         }
-        self.emitted_runs.push(w.finish());
+        self.emitted_runs.push(fault::rethrow(w.finish()));
         ctx.record_spill(self.bytes);
         ctx.budget().release(self.bytes);
         self.bytes = 0;
@@ -2081,11 +2214,11 @@ impl DedupSpill {
             .flat_map(|(d, rows)| rows.into_iter().map(move |(r, s)| (d, r, s)))
             .collect();
         entries.sort_by_key(|(d, _, _)| *d);
-        let mut w = ctx.writer("dedup-cand");
+        let mut w = fault::rethrow(ctx.writer("dedup-cand"));
         for (d, r, s) in &entries {
-            w.push(&[*d, *s], r);
+            fault::rethrow(w.push(&[*d, *s], r));
         }
-        self.cand_runs.push(w.finish());
+        self.cand_runs.push(fault::rethrow(w.finish()));
         ctx.record_spill(self.bytes);
         ctx.budget().release(self.bytes);
         self.bytes = 0;
@@ -2106,7 +2239,9 @@ impl DedupSpill {
         let mut cur_digest: Option<u64> = None;
         let mut emitted: Vec<Row> = Vec::new();
         let mut group: Vec<(u64, Row)> = Vec::new();
-        for (_, (keys, row)) in merge_runs(&runs, ctx, |a, b| a.0[0].cmp(&b.0[0])) {
+        let merge = fault::rethrow(merge_runs(&runs, ctx, |a, b| a.0[0].cmp(&b.0[0])));
+        for item in merge {
+            let (_, (keys, row)) = fault::rethrow(item);
             if cur_digest != Some(keys[0]) {
                 winners.append(&mut group);
                 emitted.clear();
@@ -2433,7 +2568,7 @@ impl<'a> BCursor<'a> {
                         *cur = None;
                         continue;
                     }
-                    *cur = Some(provider.segment(seg, &counters.seg.io));
+                    *cur = Some(fault::rethrow(provider.segment(seg, &counters.seg.io)));
                     counters.seg.scanned.fetch_add(1, AtomicOrdering::Relaxed);
                 }
                 let d = cur.as_ref().expect("current decoded segment");
@@ -2583,9 +2718,11 @@ impl<'a> BCursor<'a> {
                         // are dropped at the door.
                         let active: Vec<bool> =
                             spilled.parts.iter().map(|r| r.records() > 0).collect();
-                        let mut writers: Vec<crate::spill::RunWriter> = (0..SPILL_JOIN_PARTS)
-                            .map(|_| ctx.writer("join-probe"))
-                            .collect();
+                        let mut writers: Vec<crate::spill::RunWriter> = fault::rethrow(
+                            (0..SPILL_JOIN_PARTS)
+                                .map(|_| ctx.writer("join-probe"))
+                                .collect::<Result<Vec<_>>>(),
+                        );
                         let mut seq = 0u64;
                         let mut drained = 0usize;
                         while let Some(b) = probe.next_batch() {
@@ -2595,7 +2732,7 @@ impl<'a> BCursor<'a> {
                                 if active[part] {
                                     let row = b.row(pos);
                                     drained += row_footprint(&row);
-                                    writers[part].push(&[seq, digest], &row);
+                                    fault::rethrow(writers[part].push(&[seq, digest], &row));
                                 }
                                 seq += 1;
                             }
@@ -2603,24 +2740,40 @@ impl<'a> BCursor<'a> {
                         if drained > 0 {
                             ctx.record_spill(drained);
                         }
-                        let probe_parts: Vec<Run> = writers
-                            .into_iter()
-                            .map(crate::spill::RunWriter::finish)
-                            .collect();
+                        let probe_parts: Vec<Run> = fault::rethrow(
+                            writers
+                                .into_iter()
+                                .map(crate::spill::RunWriter::finish)
+                                .collect::<Result<_>>(),
+                        );
                         // Join each partition pair into sorted output
                         // runs, then merge the runs back into global
                         // (probe seq, build idx) order.
                         let mut out_runs: Vec<Run> = Vec::new();
                         for (bp, pp) in spilled.parts.iter().zip(&probe_parts) {
-                            join_spilled_partition(node, bp, pp, 0, ctx, &mut out_runs);
+                            fault::rethrow(join_spilled_partition(
+                                node,
+                                bp,
+                                pp,
+                                0,
+                                ctx,
+                                &mut out_runs,
+                            ));
                         }
-                        *state = SpillJoinState::Emit(merge_runs(&out_runs, ctx, cmp_seq_idx));
+                        *state = SpillJoinState::Emit(fault::rethrow(merge_runs(
+                            &out_runs,
+                            ctx,
+                            cmp_seq_idx,
+                        )));
                     }
                     SpillJoinState::Emit(merge) => {
                         let mut rows: Vec<Row> = Vec::with_capacity(BATCH_SIZE);
                         while rows.len() < BATCH_SIZE {
                             match merge.next() {
-                                Some((_, (_, row))) => rows.push(row),
+                                Some(item) => {
+                                    let (_, (_, row)) = fault::rethrow(item);
+                                    rows.push(row);
+                                }
                                 None => break,
                             }
                         }
@@ -2820,9 +2973,9 @@ fn join_spilled_partition(
     depth: usize,
     ctx: &SpillCtx,
     out: &mut Vec<Run>,
-) {
+) -> Result<()> {
     if build_run.records() == 0 || probe_run.records() == 0 {
-        return;
+        return Ok(());
     }
     // The run's own metadata decides *before* anything loads: an
     // over-share partition streams record-by-record into sub-partition
@@ -2834,38 +2987,38 @@ fn join_spilled_partition(
     {
         let mut bws: Vec<crate::spill::RunWriter> = (0..SPILL_JOIN_PARTS)
             .map(|_| ctx.writer("join-build"))
-            .collect();
-        let mut rd = build_run.reader();
-        while let Some((keys, row)) = rd.next_record() {
-            bws[spill_part(keys[1], depth + 1)].push(&keys, &row);
+            .collect::<Result<_>>()?;
+        let mut rd = build_run.reader()?;
+        while let Some((keys, row)) = rd.next_record()? {
+            bws[spill_part(keys[1], depth + 1)].push(&keys, &row)?;
         }
         let mut pws: Vec<crate::spill::RunWriter> = (0..SPILL_JOIN_PARTS)
             .map(|_| ctx.writer("join-probe"))
-            .collect();
-        let mut rd = probe_run.reader();
-        while let Some((keys, row)) = rd.next_record() {
-            pws[spill_part(keys[1], depth + 1)].push(&keys, &row);
+            .collect::<Result<_>>()?;
+        let mut rd = probe_run.reader()?;
+        while let Some((keys, row)) = rd.next_record()? {
+            pws[spill_part(keys[1], depth + 1)].push(&keys, &row)?;
         }
         ctx.record_spill(build_run.bytes());
         let bruns: Vec<Run> = bws
             .into_iter()
             .map(crate::spill::RunWriter::finish)
-            .collect();
+            .collect::<Result<_>>()?;
         let pruns: Vec<Run> = pws
             .into_iter()
             .map(crate::spill::RunWriter::finish)
-            .collect();
+            .collect::<Result<_>>()?;
         for (b, p) in bruns.iter().zip(&pruns) {
-            join_spilled_partition(node, b, p, depth + 1, ctx, out);
+            join_spilled_partition(node, b, p, depth + 1, ctx, out)?;
         }
-        return;
+        return Ok(());
     }
     // Partition fits (or cannot split further): classic build + probe.
     // (row index, key digest, row), in ascending index order — file
     // order, which re-partitioning preserves.
     let mut build: Vec<(u64, u64, Row)> = Vec::with_capacity(build_run.records());
-    let mut rd = build_run.reader();
-    while let Some((keys, row)) = rd.next_record() {
+    let mut rd = build_run.reader()?;
+    while let Some((keys, row)) = rd.next_record()? {
         build.push((keys[0], keys[1], row));
     }
     let bytes = build_run.bytes();
@@ -2874,9 +3027,9 @@ fn join_spilled_partition(
     for (i, (_, digest, _)) in build.iter().enumerate() {
         table.entry(*digest).or_default().push(i);
     }
-    let mut w = ctx.writer("join-out");
-    let mut rd = probe_run.reader();
-    while let Some((keys, prow)) = rd.next_record() {
+    let mut w = ctx.writer("join-out")?;
+    let mut rd = probe_run.reader()?;
+    while let Some((keys, prow)) = rd.next_record()? {
         let (seq, digest) = (keys[0], keys[1]);
         if let Some(matches) = table.get(&digest) {
             for &bi in matches {
@@ -2894,15 +3047,16 @@ fn join_spilled_partition(
                     .as_ref()
                     .is_none_or(|c| c.eval_bool_pair(lr, rr))
                 {
-                    w.push(&[seq, *idx], &concat_rows(lr, rr));
+                    w.push(&[seq, *idx], &concat_rows(lr, rr))?;
                 }
             }
         }
     }
     ctx.budget().release(bytes);
     if w.records() > 0 {
-        out.push(w.finish());
+        out.push(w.finish()?);
     }
+    Ok(())
 }
 
 /// Assemble a zero-copy *pair batch*: the left side re-selected from a
@@ -3734,8 +3888,8 @@ mod tests {
     fn repeated_pulls_do_not_double_count_seen_sets() {
         let c = catalog();
         let s = stream(&Plan::scan("emp").project_names(["dept"]).distinct(), &c).unwrap();
-        assert_eq!(s.collect_rows(None).len(), 2);
-        assert_eq!(s.collect_rows(None).len(), 2);
+        assert_eq!(s.collect_rows(None).unwrap().len(), 2);
+        assert_eq!(s.collect_rows(None).unwrap().len(), 2);
         let stats = s.stats();
         assert_eq!(stats.buffers, 1);
         assert_eq!(
@@ -3748,8 +3902,8 @@ mod tests {
     fn collect_rows_stops_early() {
         let c = catalog();
         let s = stream(&Plan::scan("emp").select(col("eid").gt(lit_i64(0))), &c).unwrap();
-        assert_eq!(s.collect_rows(Some(2)).len(), 2);
-        assert_eq!(s.collect_rows(None).len(), 3);
+        assert_eq!(s.collect_rows(Some(2)).unwrap().len(), 2);
+        assert_eq!(s.collect_rows(None).unwrap().len(), 3);
     }
 
     #[test]
@@ -3818,7 +3972,7 @@ mod tests {
         assert!(s.batched());
         // Batched collect: the σ/π/probe chain buffers no intermediate
         // rows but reports its batches and fill.
-        let batched = s.collect_rows(None);
+        let batched = s.collect_rows(None).unwrap();
         assert_eq!(batched.len(), 750);
         let stats = s.stats();
         assert_eq!(stats.buffers, 0, "{stats:?}");
@@ -3900,7 +4054,7 @@ mod tests {
         assert!(batched_pipeline(&theta, &c));
         let s = stream(&theta, &c).unwrap();
         assert!(s.batched());
-        let rows = s.collect_rows(None);
+        let rows = s.collect_rows(None).unwrap();
         assert!(s.stats().batches > 0);
         assert!(!rows.is_empty());
         // The row cursors still exist (limited pulls) and agree exactly.
@@ -3915,7 +4069,7 @@ mod tests {
         // Cross products (empty predicate) take the same path.
         let cross = Plan::scan("emp").join(Plan::scan("dept"), Expr::and([]));
         let s = stream(&cross, &c).unwrap();
-        assert_eq!(s.collect_rows(None).len(), 6);
+        assert_eq!(s.collect_rows(None).unwrap().len(), 6);
         assert!(s.stats().batches > 0);
     }
 
@@ -3929,7 +4083,7 @@ mod tests {
             .select(col("k").lt(lit_i64(2000)))
             .join(Plan::scan("dim"), col("g").lt(col("d")));
         let s = stream(&theta, &c).unwrap();
-        let batched = s.collect_rows(None);
+        let batched = s.collect_rows(None).unwrap();
         let mut via_rows = Vec::new();
         s.for_each_row(|r| {
             via_rows.push(r.clone());
@@ -3959,7 +4113,7 @@ mod tests {
     fn limited_pull_stays_on_the_row_path() {
         let c = big_catalog();
         let s = stream(&Plan::scan("fact").select(col("k").ge(lit_i64(0))), &c).unwrap();
-        let two = s.collect_rows(Some(2));
+        let two = s.collect_rows(Some(2)).unwrap();
         assert_eq!(two.len(), 2);
         assert_eq!(s.stats().batches, 0, "a limited pull must not batch");
     }
@@ -4025,8 +4179,8 @@ mod tests {
                 let s_serial = stream(&p, &serial).unwrap();
                 let s_par = stream(&p, &par).unwrap();
                 let prepare_batches = s_par.stats().batches;
-                let a = s_serial.collect_rows(None);
-                let b = s_par.collect_rows(None);
+                let a = s_serial.collect_rows(None).unwrap();
+                let b = s_par.collect_rows(None).unwrap();
                 assert_eq!(a, b, "parallel output differs for {p:?}");
                 // The parallel run reports its worker fan-out, matching
                 // both the prepared plan and the static mirror.
@@ -4074,7 +4228,7 @@ mod tests {
         assert_eq!(s.planned_workers(), 1);
         assert_eq!(predicted_workers(&p, &c), 1);
         // ...but executes correctly all the same.
-        assert_eq!(s.collect_rows(None).len(), 2 * BATCH_SIZE + 100);
+        assert_eq!(s.collect_rows(None).unwrap().len(), 2 * BATCH_SIZE + 100);
     }
 
     #[test]
@@ -4085,11 +4239,11 @@ mod tests {
         let p = Plan::scan("fact").project_names(["g"]).distinct();
         let serial = big_catalog();
         let s = stream(&p, &serial).unwrap();
-        s.collect_rows(None);
+        s.collect_rows(None).unwrap();
         let serial_stats = s.stats();
         let par = parallel_catalog(4);
         let s = stream(&p, &par).unwrap();
-        s.collect_rows(None);
+        s.collect_rows(None).unwrap();
         let par_stats = s.stats();
         assert_eq!(par_stats.buffers, serial_stats.buffers);
         assert_eq!(par_stats.buffered_rows, serial_stats.buffered_rows);

@@ -72,7 +72,7 @@ fn worker_share(catalog: &Catalog) -> usize {
 pub fn explain_executed(plan: &Plan, catalog: &Catalog) -> Result<String> {
     let mut out = explain(plan, catalog);
     let streamed = crate::exec::stream(plan, catalog)?;
-    streamed.collect_rows(None);
+    streamed.collect_rows(None)?;
     let stats = streamed.stats();
     match stats.mean_batch_fill() {
         Some(fill) => {
@@ -118,6 +118,13 @@ pub fn explain_executed(plan: &Plan, catalog: &Catalog) -> Result<String> {
             out,
             "-- disk: {} page(s) read, buffer pool {} hit(s) / {} miss(es)",
             stats.pages_read, stats.pool_hits, stats.pool_misses
+        );
+    }
+    if stats.faults_injected + stats.retries > 0 || stats.cancelled {
+        let _ = writeln!(
+            out,
+            "-- faults: {} injected, {} retried, cancelled: {}",
+            stats.faults_injected, stats.retries, stats.cancelled
         );
     }
     Ok(out)

@@ -60,6 +60,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod expr;
+pub mod fault;
 pub mod fxhash;
 pub mod io;
 pub mod optimizer;
@@ -81,6 +82,7 @@ pub use catalog::{Catalog, EngineConfig, StorageMode};
 pub use error::{Error, Result};
 pub use exec::ExecStats;
 pub use expr::{col, lit, lit_bool, lit_i64, lit_str, ArithOp, CmpOp, Expr};
+pub use fault::{CancelToken, FaultConfig, FaultInjector, FaultKind, FaultKinds};
 pub use plan::Plan;
 pub use pool::TaskPool;
 pub use provider::{ImageProvider, IoCounters};

@@ -22,8 +22,19 @@
 //! Threads are `std::thread::scope` workers, so tasks may borrow the
 //! prepared operator tree (and the catalog's shared relations) without
 //! any `'static` bounds — and the pool needs no dependencies beyond std.
+//!
+//! Both drivers are **panic-safe**: each worker body runs under
+//! `catch_unwind`, the first failure — a genuine panic or an engine
+//! error unwound via [`crate::fault::rethrow`] — trips a shared abort
+//! flag that stops sibling workers at their next claim, and the
+//! payload comes back to the caller as a clean `Err` (see
+//! [`crate::fault::unwind_to_error`]). No worker panic ever crosses
+//! the pool boundary as a panic.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::error::Result;
+use crate::fault::{self, unwind_to_error};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A bounded pool of scoped workers. `threads == 1` (or a single task)
 /// degenerates to inline serial execution with zero thread overhead.
@@ -67,15 +78,17 @@ impl TaskPool {
 
     /// Run `tasks` independent tasks and return their results in task
     /// order (the Exchange→Gather driver). `task` must be safe to call
-    /// concurrently for distinct ids; each id runs exactly once.
-    pub fn scatter_gather<T, F>(&self, tasks: usize, task: F) -> Vec<T>
+    /// concurrently for distinct ids; each id runs exactly once. A
+    /// failing task (panic or [`crate::fault::rethrow`]n error) cancels
+    /// the remaining tasks and surfaces as `Err`.
+    pub fn scatter_gather<T, F>(&self, tasks: usize, task: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         let per_worker = self.fold_tasks(tasks, Vec::new, |acc: &mut Vec<(usize, T)>, id| {
             acc.push((id, task(id)))
-        });
+        })?;
         // Gather: restore task order. Each id occurs exactly once, so
         // placing into an indexed buffer is a stable O(n) re-sort.
         let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
@@ -83,10 +96,10 @@ impl TaskPool {
             debug_assert!(slots[id].is_none(), "task {id} ran twice");
             slots[id] = Some(t);
         }
-        slots
+        Ok(slots
             .into_iter()
             .map(|s| s.expect("every task ran"))
-            .collect()
+            .collect())
     }
 
     /// Run `tasks` tasks, folding each into the claiming worker's own
@@ -94,7 +107,12 @@ impl TaskPool {
     /// Within one worker, task ids arrive strictly increasing — the
     /// deterministic-merge invariant the executor's partial seen-sets
     /// and partial aggregation states depend on.
-    pub fn fold_tasks<T, I, F>(&self, tasks: usize, init: I, fold: F) -> Vec<T>
+    ///
+    /// Panic-safe: each worker runs under `catch_unwind`; the first
+    /// failure trips a shared abort flag (sibling workers stop at their
+    /// next claim, their partial states drop and release what they
+    /// held) and is returned as the fold's error.
+    pub fn fold_tasks<T, I, F>(&self, tasks: usize, init: I, fold: F) -> Result<Vec<T>>
     where
         T: Send,
         I: Fn() -> T + Sync,
@@ -102,26 +120,43 @@ impl TaskPool {
     {
         let workers = self.workers_for(tasks);
         if workers <= 1 {
-            let mut state = init();
-            for id in 0..tasks {
-                fold(&mut state, id);
-            }
-            return vec![state];
+            return fault::catch_pull(|| {
+                let mut state = init();
+                for id in 0..tasks {
+                    fold(&mut state, id);
+                }
+                vec![state]
+            });
         }
         let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let failure: Mutex<Option<crate::error::Error>> = Mutex::new(None);
         let mut states: Vec<T> = Vec::with_capacity(workers);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
                         let mut state = init();
-                        loop {
-                            // The Exchange: claim the next unstolen task.
-                            let id = next.fetch_add(1, Ordering::Relaxed);
-                            if id >= tasks {
-                                break;
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            loop {
+                                // The Exchange: claim the next unstolen
+                                // task — unless a sibling already failed.
+                                if abort.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                let id = next.fetch_add(1, Ordering::Relaxed);
+                                if id >= tasks {
+                                    break;
+                                }
+                                fold(&mut state, id);
                             }
-                            fold(&mut state, id);
+                        }));
+                        if let Err(payload) = run {
+                            abort.store(true, Ordering::Relaxed);
+                            let mut slot = fault::lock_recover(&failure);
+                            if slot.is_none() {
+                                *slot = Some(unwind_to_error(payload));
+                            }
                         }
                         state
                     })
@@ -130,11 +165,22 @@ impl TaskPool {
             for h in handles {
                 match h.join() {
                     Ok(state) => states.push(state),
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    // The worker body caught its own unwinds; a join
+                    // error means the catch_unwind machinery itself
+                    // failed — record it like any other worker failure.
+                    Err(payload) => {
+                        let mut slot = fault::lock_recover(&failure);
+                        if slot.is_none() {
+                            *slot = Some(unwind_to_error(payload));
+                        }
+                    }
                 }
             }
         });
-        states
+        match failure.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some(e) => Err(e),
+            None => Ok(states),
+        }
     }
 }
 
@@ -147,7 +193,7 @@ mod tests {
     fn scatter_gather_preserves_task_order() {
         for threads in [1, 2, 4, 9] {
             let pool = TaskPool::new(threads);
-            let out = pool.scatter_gather(23, |i| i * i);
+            let out = pool.scatter_gather(23, |i| i * i).unwrap();
             assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
         }
     }
@@ -155,9 +201,11 @@ mod tests {
     #[test]
     fn every_task_runs_exactly_once() {
         let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
-        TaskPool::new(4).scatter_gather(100, |i| {
-            counters[i].fetch_add(1, Ordering::Relaxed);
-        });
+        TaskPool::new(4)
+            .scatter_gather(100, |i| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
         for c in &counters {
             assert_eq!(c.load(Ordering::Relaxed), 1);
         }
@@ -166,7 +214,9 @@ mod tests {
     #[test]
     fn fold_tasks_partitions_all_tasks() {
         let pool = TaskPool::new(3);
-        let states = pool.fold_tasks(50, Vec::new, |acc: &mut Vec<usize>, id| acc.push(id));
+        let states = pool
+            .fold_tasks(50, Vec::new, |acc: &mut Vec<usize>, id| acc.push(id))
+            .unwrap();
         assert!(states.len() <= 3 && !states.is_empty());
         // Within each worker, ids are strictly increasing (atomic claim
         // order) — the invariant partial merges rely on.
@@ -190,11 +240,58 @@ mod tests {
     #[test]
     fn zero_and_one_task_edge_cases() {
         let pool = TaskPool::new(4);
-        assert!(pool.scatter_gather(0, |_| 0).is_empty());
-        assert_eq!(pool.scatter_gather(1, |i| i + 7), vec![7]);
+        assert!(pool.scatter_gather(0, |_| 0).unwrap().is_empty());
+        assert_eq!(pool.scatter_gather(1, |i| i + 7).unwrap(), vec![7]);
         assert_eq!(pool.workers_for(0), 1);
         assert_eq!(pool.workers_for(3), 3);
         assert_eq!(pool.workers_for(100), 4);
         assert_eq!(TaskPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn worker_panic_becomes_error_and_cancels_siblings() {
+        use crate::error::Error;
+        for threads in [1, 4] {
+            let pool = TaskPool::new(threads);
+            let ran = AtomicUsize::new(0);
+            let err = pool
+                .fold_tasks(
+                    1000,
+                    || (),
+                    |(), id| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                        if id == 3 {
+                            crate::fault::rethrow::<()>(Err(Error::Io("edge died".into())));
+                        }
+                        // Give siblings a moment to observe the abort.
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err, Error::Io("edge died".into()));
+            assert!(
+                ran.load(Ordering::Relaxed) < 1000,
+                "abort flag should stop sibling claims"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_panic_payloads_become_invalid_errors() {
+        let err = TaskPool::new(2)
+            .fold_tasks(
+                8,
+                || (),
+                |(), id| {
+                    if id == 0 {
+                        panic!("boom {id}");
+                    }
+                },
+            )
+            .unwrap_err();
+        match err {
+            crate::error::Error::Invalid(msg) => assert!(msg.contains("boom 0"), "{msg}"),
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 }

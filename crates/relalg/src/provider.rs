@@ -28,6 +28,8 @@
 //! asking for *different* segments proceed entirely in parallel.
 
 use crate::catalog::StorageMode;
+use crate::error::Result;
+use crate::fault::{self, FaultInjector, FaultKind};
 use crate::segment::{DecodedSegment, SegmentedImage, ZoneMap};
 use std::fmt::Debug;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,7 +38,9 @@ use std::sync::{Arc, Condvar, Mutex};
 /// Storage-side counters shared by every cursor of one execution:
 /// bytes materialized by fresh decodes, pages read from segment files,
 /// and buffer-pool hit/miss tallies. Atomics because parallel morsel
-/// workers bump them concurrently.
+/// workers bump them concurrently. Also carries the execution's fault
+/// injector (if any) down to the storage edges — read and lease faults
+/// draw their ticks through here.
 #[derive(Debug, Default)]
 pub struct IoCounters {
     /// Approximate bytes materialized by fresh segment decodes (cache
@@ -48,9 +52,24 @@ pub struct IoCounters {
     pub pool_hits: AtomicUsize,
     /// Buffer-pool lookups that had to read and decode from disk.
     pub pool_misses: AtomicUsize,
+    /// The execution's fault injector, `None` when faults are disabled.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl IoCounters {
+    /// Counters wired to an execution's fault injector.
+    pub fn with_faults(faults: Option<Arc<FaultInjector>>) -> IoCounters {
+        IoCounters {
+            faults,
+            ..IoCounters::default()
+        }
+    }
+
+    /// The fault injector drawn by this execution's storage edges.
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_deref()
+    }
+
     /// Record a fresh decode of `bytes` materialized bytes.
     pub fn decoded(&self, bytes: usize) {
         self.decoded_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -77,8 +96,10 @@ pub trait ImageProvider: Send + Sync + Debug {
     /// segment's materialized size to `io.decoded_bytes` (cache hits add
     /// nothing), which is how [`crate::exec::ExecStats`] observes decode
     /// traffic and cache effectiveness; disk-backed providers also
-    /// account pages read and pool hits/misses.
-    fn segment(&self, seg: usize, io: &IoCounters) -> Arc<DecodedSegment>;
+    /// account pages read and pool hits/misses. Fallible: disk reads
+    /// can fail for real, and the paged/disk lease and read edges draw
+    /// from `io`'s fault injector when one is configured.
+    fn segment(&self, seg: usize, io: &IoCounters) -> Result<Arc<DecodedSegment>>;
 }
 
 /// Decode-once, keep-forever provider: segment `s` is decoded by the
@@ -120,19 +141,19 @@ impl ImageProvider for MemImageProvider {
         self.image.zone(col, seg)
     }
 
-    fn segment(&self, seg: usize, io: &IoCounters) -> Arc<DecodedSegment> {
+    fn segment(&self, seg: usize, io: &IoCounters) -> Result<Arc<DecodedSegment>> {
         // A resident segment is a pure lock-and-clone; a miss decodes
         // under the lock. That is fine *here*: the cache is unbounded,
         // so each segment is decoded exactly once per provider and a
         // blocked peer would only have re-decoded the same segment.
-        let mut slots = self.decoded.lock().expect("decode cache");
+        let mut slots = fault::lock_recover(&self.decoded);
         if let Some(d) = &slots[seg] {
-            return Arc::clone(d);
+            return Ok(Arc::clone(d));
         }
         let d = Arc::new(self.image.decode(seg));
         io.decoded(d.bytes);
         slots[seg] = Some(Arc::clone(&d));
-        d
+        Ok(d)
     }
 }
 
@@ -261,12 +282,18 @@ impl ImageProvider for PagedImageProvider {
         self.image.zone(col, seg)
     }
 
-    fn segment(&self, seg: usize, io: &IoCounters) -> Arc<DecodedSegment> {
-        let mut state = self.state.lock().expect("segment cache");
+    fn segment(&self, seg: usize, io: &IoCounters) -> Result<Arc<DecodedSegment>> {
+        // The lease edge: under paged storage this is the injectable
+        // fault point (decodes themselves are in-memory and infallible).
+        fault::retry_io(io.faults(), || {
+            fault::inject(io.faults(), FaultKind::Lease, "lease segment-cache slot")
+        })
+        .map_err(|e| fault::io_error("lease segment-cache slot", &e))?;
+        let mut state = fault::lock_recover(&self.state);
         loop {
             if let Some(slot) = state.slots.iter_mut().find(|s| s.seg == seg) {
                 slot.referenced = true;
-                return Arc::clone(&slot.dec);
+                return Ok(Arc::clone(&slot.dec));
             }
             if state.in_flight.contains(&seg) {
                 // Someone else is decoding exactly this segment: wait
@@ -274,13 +301,34 @@ impl ImageProvider for PagedImageProvider {
                 // waking, re-check the cache — under heavy eviction the
                 // segment may already be gone again, in which case this
                 // worker becomes the decoder.
-                state = self.cv.wait(state).expect("segment cache");
+                state = self
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             } else {
                 break;
             }
         }
         state.in_flight.push(seg);
         drop(state);
+        // Remove the latch and wake peers on every exit — including an
+        // unwind out of the decode — so no failure wedges this segment.
+        struct Latch<'a> {
+            provider: &'a PagedImageProvider,
+            seg: usize,
+        }
+        impl Drop for Latch<'_> {
+            fn drop(&mut self) {
+                let mut state = fault::lock_recover(&self.provider.state);
+                state.in_flight.retain(|&s| s != self.seg);
+                drop(state);
+                self.provider.cv.notify_all();
+            }
+        }
+        let _latch = Latch {
+            provider: self,
+            seg,
+        };
         // The decode itself runs with no lock held: workers on other
         // segments hit or decode concurrently.
         #[cfg(test)]
@@ -289,12 +337,10 @@ impl ImageProvider for PagedImageProvider {
         }
         let dec = Arc::new(self.image.decode(seg));
         io.decoded(dec.bytes);
-        let mut state = self.state.lock().expect("segment cache");
-        state.in_flight.retain(|&s| s != seg);
+        let mut state = fault::lock_recover(&self.state);
         Self::install(&mut state, self.cap, seg, &dec);
         drop(state);
-        self.cv.notify_all();
-        dec
+        Ok(dec)
     }
 }
 
@@ -336,15 +382,15 @@ mod tests {
     fn mem_provider_decodes_each_segment_once() {
         let p = MemImageProvider::new(image(10, 4));
         let io = IoCounters::default();
-        let a = p.segment(0, &io);
+        let a = p.segment(0, &io).unwrap();
         let after_first = io.decoded_bytes.load(Ordering::Relaxed);
         assert!(after_first > 0);
-        let b = p.segment(0, &io);
+        let b = p.segment(0, &io).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(io.decoded_bytes.load(Ordering::Relaxed), after_first); // cache hit
         assert_eq!(a.start, 0);
         assert_eq!(a.len, 4);
-        assert_eq!(p.segment(2, &io).len, 2); // tail segment
+        assert_eq!(p.segment(2, &io).unwrap().len, 2); // tail segment
         assert_eq!(p.seg_rows(), 4);
         assert_eq!(p.seg_count(), 3);
         assert_eq!(p.zone(0, 0).min, Value::Int(0));
@@ -354,20 +400,20 @@ mod tests {
     fn paged_provider_evicts_cold_segments() {
         let p = PagedImageProvider::new(image(12, 4), 2);
         let io = IoCounters::default();
-        p.segment(0, &io);
-        p.segment(1, &io);
+        p.segment(0, &io).unwrap();
+        p.segment(1, &io).unwrap();
         let full = io.decoded_bytes.load(Ordering::Relaxed);
         // Hits don't decode.
-        p.segment(0, &io);
+        p.segment(0, &io).unwrap();
         assert_eq!(io.decoded_bytes.load(Ordering::Relaxed), full);
         // A third segment evicts one of the two; touring all three with
         // cap 2 forces re-decodes.
-        p.segment(2, &io);
-        p.segment(0, &io);
-        p.segment(1, &io);
+        p.segment(2, &io).unwrap();
+        p.segment(0, &io).unwrap();
+        p.segment(1, &io).unwrap();
         assert!(io.decoded_bytes.load(Ordering::Relaxed) > full);
         // Values still come back correct after eviction churn.
-        let d = p.segment(1, &io);
+        let d = p.segment(1, &io).unwrap();
         assert_eq!(d.cols[0].get(0), Value::Int(4));
     }
 
@@ -403,7 +449,7 @@ mod tests {
                         // Different starting offsets maximize overlap on
                         // different segments at any instant.
                         let seg = (i + w * segs / 4) % segs;
-                        let d = p.segment(seg, &io);
+                        let d = p.segment(seg, &io).unwrap();
                         assert_eq!(d.start, seg * 4);
                     }
                 })
@@ -446,10 +492,10 @@ mod tests {
         let p = Arc::new(PagedImageProvider::with_gate(image(12, 4), 3, gate));
         let io = Arc::new(IoCounters::default());
         // Make segment 1 resident before anything blocks.
-        p.segment(1, &io);
+        p.segment(1, &io).unwrap();
         let blocked = {
             let (p, io) = (Arc::clone(&p), Arc::clone(&io));
-            std::thread::spawn(move || p.segment(0, &io))
+            std::thread::spawn(move || p.segment(0, &io).unwrap())
         };
         // Wait until the blocked worker is inside the decode (lock
         // released, gate held).
@@ -465,7 +511,7 @@ mod tests {
         let hitter = {
             let (p, io) = (Arc::clone(&p), Arc::clone(&io));
             std::thread::spawn(move || {
-                let d = p.segment(1, &io);
+                let d = p.segment(1, &io).unwrap();
                 tx.send(d.start).unwrap();
             })
         };
@@ -502,7 +548,7 @@ mod tests {
         let workers: Vec<_> = (0..2)
             .map(|_| {
                 let (p, io) = (Arc::clone(&p), Arc::clone(&io));
-                std::thread::spawn(move || p.segment(0, &io))
+                std::thread::spawn(move || p.segment(0, &io).unwrap())
             })
             .collect();
         // Exactly one worker reaches the decode; the other parks on the

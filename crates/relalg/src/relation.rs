@@ -448,7 +448,12 @@ impl Relation {
     fn rows_arc(&self) -> &Arc<Vec<Row>> {
         match &self.rows {
             RowStore::Mem(rows) => rows,
-            RowStore::Disk { image, rows } => rows.get_or_init(|| Arc::new(image.decode_rows())),
+            RowStore::Disk { image, rows } => {
+                // Infallible interface: a decode failure unwinds with the
+                // Error payload and is converted back to `Err` at the pull
+                // driver (see `fault::catch_pull`).
+                rows.get_or_init(|| Arc::new(crate::fault::rethrow(image.decode_rows())))
+            }
         }
     }
 
@@ -700,7 +705,7 @@ impl Relation {
             RowStore::Mem(rows) => rows,
             RowStore::Disk { image, rows } => match rows.into_inner() {
                 Some(rows) => rows,
-                None => return image.decode_rows(),
+                None => return crate::fault::rethrow(image.decode_rows()),
             },
         };
         Arc::try_unwrap(rows).unwrap_or_else(|shared| (*shared).clone())

@@ -168,7 +168,7 @@ pub fn sort_plan_with_stats(
     let rows = if streamed.spill_ctx().budget().enabled() {
         external_sort_rows(&streamed, &compiled, &pool)?
     } else {
-        let rows = streamed.collect_rows(None);
+        let rows = streamed.collect_rows(None)?;
         parallel_sort_rows(rows, &compiled, &pool)
     };
     let rel = Relation::new(streamed.schema().clone(), rows)?;
@@ -200,7 +200,7 @@ fn external_sort_rows(
             bytes += fp;
             chunk.push(row);
             if bytes > share {
-                flush_sort_run(&mut chunk, &mut bytes, compiled, ctx, &mut runs);
+                flush_sort_run(&mut chunk, &mut bytes, compiled, ctx, &mut runs)?;
             }
         }
         Ok(())
@@ -212,11 +212,15 @@ fn external_sort_rows(
         return Ok(parallel_sort_rows(chunk, compiled, pool));
     }
     if !chunk.is_empty() {
-        flush_sort_run(&mut chunk, &mut bytes, compiled, ctx, &mut runs);
+        flush_sort_run(&mut chunk, &mut bytes, compiled, ctx, &mut runs)?;
     }
-    Ok(merge_runs(&runs, ctx, |a, b| key_cmp(&a.1, &b.1, compiled))
-        .map(|(_, (_, row))| row)
-        .collect())
+    let merge = merge_runs(&runs, ctx, |a, b| key_cmp(&a.1, &b.1, compiled))?;
+    let mut out = Vec::new();
+    for item in merge {
+        let (_, (_, row)) = item?;
+        out.push(row);
+    }
+    Ok(out)
 }
 
 /// Flush one stable-sorted chunk as a run and release its bytes.
@@ -226,17 +230,18 @@ fn flush_sort_run(
     compiled: &[(CompiledExpr, Order)],
     ctx: &SpillCtx,
     runs: &mut Vec<Run>,
-) {
+) -> Result<()> {
     sort_rows(chunk, compiled);
-    let mut w = ctx.writer("sort-run");
+    let mut w = ctx.writer("sort-run")?;
     for r in chunk.iter() {
-        w.push(&[], r);
+        w.push(&[], r)?;
     }
-    runs.push(w.finish());
+    runs.push(w.finish()?);
     ctx.record_spill(*bytes);
     ctx.budget().release(*bytes);
     *bytes = 0;
     chunk.clear();
+    Ok(())
 }
 
 /// Keep the first `n` rows.
@@ -252,7 +257,7 @@ pub fn limit(input: &Relation, n: usize) -> Relation {
 /// upstream operators never produce the rest of the input.
 pub fn limit_plan(plan: &Plan, catalog: &Catalog, n: usize) -> Result<Relation> {
     let streamed = exec::stream(plan, catalog)?;
-    let rows = streamed.collect_rows(Some(n));
+    let rows = streamed.collect_rows(Some(n))?;
     Relation::new(streamed.schema().clone(), rows)
 }
 

@@ -26,10 +26,16 @@
 //! is shared by every operator of one prepared execution, across
 //! worker threads.
 //!
-//! Spill I/O errors (disk full, unlinked temp dir) are treated like an
-//! allocation failure would be: the engine panics with the underlying
-//! error rather than silently producing wrong answers.
+//! Spill I/O is fallible and fault-injectable ([`crate::fault`]):
+//! every edge — directory creation, run-file open, record write/read,
+//! merge passes — returns `Result`, with transient read/open failures
+//! retried under the bounded [`crate::fault::retry_io`] policy and
+//! everything else surfacing as a clean [`crate::Error::Io`]. Cursors
+//! that cannot carry `Result` unwind via [`crate::fault::rethrow`];
+//! either way the [`SpillDir`]'s `Drop` removes every run file.
 
+use crate::error::Result;
+use crate::fault::{self, FaultInjector, FaultKind};
 use crate::pool::TaskPool;
 use crate::relation::{decode_row, encode_row, row_footprint, Row};
 use std::cmp::Ordering;
@@ -37,7 +43,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtOrd};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Byte budget shared by every breaker buffer of one execution.
 ///
@@ -132,18 +138,23 @@ pub struct SpillDir {
 
 impl SpillDir {
     /// Path of a fresh spill file (creates the directory on first use).
-    fn next_file(&self, label: &str) -> PathBuf {
+    fn next_file(&self, label: &str, faults: Option<&FaultInjector>) -> Result<PathBuf> {
+        // The OnceLock closure is infallible, so resolve the path first
+        // and create the directory (idempotently) outside it.
         let dir = self.path.get_or_init(|| {
-            let dir = std::env::temp_dir().join(format!(
+            std::env::temp_dir().join(format!(
                 "relalg-spill-{}-{}",
                 std::process::id(),
                 DIR_SEQ.fetch_add(1, AtOrd::Relaxed)
-            ));
-            std::fs::create_dir_all(&dir).expect("create spill directory");
-            dir
+            ))
         });
+        fault::retry_io(faults, || {
+            fault::inject(faults, FaultKind::Open, "create spill directory")?;
+            std::fs::create_dir_all(dir)
+        })
+        .map_err(|e| fault::io_error("create spill directory", &e))?;
         let seq = self.file_seq.fetch_add(1, AtOrd::Relaxed);
-        dir.join(format!("{label}-{seq}.run"))
+        Ok(dir.join(format!("{label}-{seq}.run")))
     }
 
     /// The directory path, if any spill file has been created yet.
@@ -155,7 +166,10 @@ impl SpillDir {
 impl Drop for SpillDir {
     fn drop(&mut self) {
         if let Some(dir) = self.path.get() {
-            // Best effort: a temp dir the OS already reaped is fine.
+            // Best effort, and deliberately infallible: this runs on
+            // the unwind path too (cancelled or faulted executions), so
+            // a temp dir the OS already reaped — or a removal error —
+            // must never turn into a double panic.
             let _ = std::fs::remove_dir_all(dir);
         }
     }
@@ -170,6 +184,8 @@ pub struct SpillCtx {
     dir: SpillDir,
     events: AtomicUsize,
     spilled_bytes: AtomicUsize,
+    /// Fault source shared with the execution (`None` = injection off).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl SpillCtx {
@@ -180,7 +196,20 @@ impl SpillCtx {
             dir: SpillDir::default(),
             events: AtomicUsize::new(0),
             spilled_bytes: AtomicUsize::new(0),
+            faults: None,
         }
+    }
+
+    /// Attach a fault injector: every spill I/O edge of this context
+    /// draws from its schedule.
+    pub fn with_faults(mut self, faults: Option<Arc<FaultInjector>>) -> SpillCtx {
+        self.faults = faults;
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// An unbounded context (the default when no budget is configured).
@@ -210,15 +239,21 @@ impl SpillCtx {
 
     /// Open a writer for a fresh run file. `label` names the spilling
     /// operator in the file name (debugging aid only).
-    pub fn writer(&self, label: &str) -> RunWriter {
-        let path = self.dir.next_file(label);
-        let file = File::create(&path).expect("create spill run file");
-        RunWriter {
+    pub fn writer(&self, label: &str) -> Result<RunWriter> {
+        let faults = self.faults.as_deref();
+        let path = self.dir.next_file(label, faults)?;
+        let file = fault::retry_io(faults, || {
+            fault::inject(faults, FaultKind::Open, "create spill run file")?;
+            File::create(&path)
+        })
+        .map_err(|e| fault::io_error("create spill run file", &e))?;
+        Ok(RunWriter {
             w: BufWriter::new(file),
             path,
             records: 0,
             bytes: 0,
-        }
+            faults: self.faults.clone(),
+        })
     }
 
     /// Count one spill event that moved `bytes` of buffered data to
@@ -244,21 +279,28 @@ pub struct RunWriter {
     path: PathBuf,
     records: usize,
     bytes: usize,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl RunWriter {
-    /// Append one record.
-    pub fn push(&mut self, keys: &[u64], row: &Row) {
+    /// Append one record. Write errors — injected or real — are not
+    /// retried (a mid-record stream position is unrecoverable); they
+    /// propagate and the whole run is abandoned.
+    pub fn push(&mut self, keys: &[u64], row: &Row) -> Result<()> {
+        let fail = |e: &std::io::Error| fault::io_error("write spill run", e);
+        fault::inject(self.faults.as_deref(), FaultKind::Write, "write spill run")
+            .map_err(|e| fail(&e))?;
         let nkeys = u8::try_from(keys.len()).expect("spill record key count fits u8");
-        self.w.write_all(&[nkeys]).expect("write spill run");
+        self.w.write_all(&[nkeys]).map_err(|e| fail(&e))?;
         for k in keys {
-            self.w.write_all(&k.to_le_bytes()).expect("write spill run");
+            self.w.write_all(&k.to_le_bytes()).map_err(|e| fail(&e))?;
         }
-        encode_row(&mut self.w, row).expect("write spill run");
+        encode_row(&mut self.w, row).map_err(|e| fail(&e))?;
         self.records += 1;
         // Resident footprint the run's rows *will* have when loaded
         // back — what re-partitioning decisions compare to the share.
         self.bytes += row_footprint(row) + 16 * keys.len();
+        Ok(())
     }
 
     /// Records appended so far.
@@ -267,13 +309,17 @@ impl RunWriter {
     }
 
     /// Flush and seal the run.
-    pub fn finish(mut self) -> Run {
-        self.w.flush().expect("flush spill run");
-        Run {
+    pub fn finish(mut self) -> Result<Run> {
+        let fail = |e: &std::io::Error| fault::io_error("flush spill run", e);
+        fault::inject(self.faults.as_deref(), FaultKind::Write, "flush spill run")
+            .map_err(|e| fail(&e))?;
+        self.w.flush().map_err(|e| fail(&e))?;
+        Ok(Run {
             path: self.path,
             records: self.records,
             bytes: self.bytes,
-        }
+            faults: self.faults,
+        })
     }
 }
 
@@ -283,6 +329,7 @@ pub struct Run {
     path: PathBuf,
     records: usize,
     bytes: usize,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Run {
@@ -299,35 +346,51 @@ impl Run {
     }
 
     /// Open the run for a sequential scan.
-    pub fn reader(&self) -> RunReader {
-        RunReader {
-            r: BufReader::new(File::open(&self.path).expect("open spill run")),
-        }
+    pub fn reader(&self) -> Result<RunReader> {
+        let faults = self.faults.as_deref();
+        let file = fault::retry_io(faults, || {
+            fault::inject(faults, FaultKind::Open, "open spill run")?;
+            File::open(&self.path)
+        })
+        .map_err(|e| fault::io_error("open spill run", &e))?;
+        Ok(RunReader {
+            r: BufReader::new(file),
+            faults: self.faults.clone(),
+        })
     }
 }
 
 /// Sequential reader over one run.
 pub struct RunReader {
     r: BufReader<File>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl RunReader {
-    /// The next record, `None` at end of run.
-    pub fn next_record(&mut self) -> Option<Record> {
+    /// The next record, `Ok(None)` at end of run. Injected faults fire
+    /// *before* any byte moves, so a transient injection retries from
+    /// an unchanged stream position; real mid-record errors are not
+    /// resumable and propagate.
+    pub fn next_record(&mut self) -> Result<Option<Record>> {
+        let fail = |e: &std::io::Error| fault::io_error("read spill run", e);
+        fault::retry_io(self.faults.as_deref(), || {
+            fault::inject(self.faults.as_deref(), FaultKind::Read, "read spill run")
+        })
+        .map_err(|e| fail(&e))?;
         let mut nkeys = [0u8; 1];
-        if self.r.read(&mut nkeys).expect("read spill run") == 0 {
-            return None;
+        if self.r.read(&mut nkeys).map_err(|e| fail(&e))? == 0 {
+            return Ok(None);
         }
         let mut keys = Vec::with_capacity(nkeys[0] as usize);
         for _ in 0..nkeys[0] {
             let mut b = [0u8; 8];
-            self.r.read_exact(&mut b).expect("read spill run");
+            self.r.read_exact(&mut b).map_err(|e| fail(&e))?;
             keys.push(u64::from_le_bytes(b));
         }
         let row = decode_row(&mut self.r)
-            .expect("read spill run")
-            .expect("spill record has a row");
-        Some((keys, row))
+            .map_err(|e| fail(&e))?
+            .ok_or_else(|| crate::error::Error::Io("truncated spill record".into()))?;
+        Ok(Some((keys, row)))
     }
 }
 
@@ -361,7 +424,7 @@ pub const MERGE_FAN_IN: usize = 64;
 /// until one pass can stream them all. Consecutive grouping preserves
 /// the earlier-run-wins stability contract — records keep their keys
 /// verbatim, and an intermediate run inherits its group's position.
-pub fn merge_runs<F>(runs: &[Run], ctx: &SpillCtx, mut cmp: F) -> MergeRuns<F>
+pub fn merge_runs<F>(runs: &[Run], ctx: &SpillCtx, mut cmp: F) -> Result<MergeRuns<F>>
 where
     F: FnMut(&Record, &Record) -> Ordering,
 {
@@ -373,11 +436,12 @@ where
                 next.push(chunk[0].clone());
                 continue;
             }
-            let mut w = ctx.writer("merge-pass");
-            for (_, (keys, row)) in open_merge(chunk.to_vec(), &mut cmp) {
-                w.push(&keys, &row);
+            let mut w = ctx.writer("merge-pass")?;
+            let mut pass = open_merge(chunk.to_vec(), &mut cmp)?;
+            while let Some((_, (keys, row))) = pass.next_rec()? {
+                w.push(&keys, &row)?;
             }
-            let run = w.finish();
+            let run = w.finish()?;
             ctx.record_spill(run.bytes());
             next.push(run);
         }
@@ -386,26 +450,32 @@ where
     open_merge(runs, cmp)
 }
 
-fn open_merge<F>(runs: Vec<Run>, cmp: F) -> MergeRuns<F>
+fn open_merge<F>(runs: Vec<Run>, cmp: F) -> Result<MergeRuns<F>>
 where
     F: FnMut(&Record, &Record) -> Ordering,
 {
-    let mut readers: Vec<RunReader> = runs.iter().map(Run::reader).collect();
-    let heads = readers.iter_mut().map(RunReader::next_record).collect();
-    MergeRuns {
+    let mut readers = Vec::with_capacity(runs.len());
+    for run in &runs {
+        readers.push(run.reader()?);
+    }
+    let mut heads = Vec::with_capacity(readers.len());
+    for r in &mut readers {
+        heads.push(r.next_record()?);
+    }
+    Ok(MergeRuns {
         readers,
         heads,
         cmp,
-    }
+    })
 }
 
-impl<F> Iterator for MergeRuns<F>
+impl<F> MergeRuns<F>
 where
     F: FnMut(&Record, &Record) -> Ordering,
 {
-    type Item = (usize, Record);
-
-    fn next(&mut self) -> Option<(usize, Record)> {
+    /// The next `(run index, record)` in merge order, `Ok(None)` at
+    /// end of all runs.
+    pub fn next_rec(&mut self) -> Result<Option<(usize, Record)>> {
         let mut best: Option<usize> = None;
         for (i, head) in self.heads.iter().enumerate() {
             let Some(h) = head else { continue };
@@ -422,10 +492,21 @@ where
                 }
             };
         }
-        let b = best?;
+        let Some(b) = best else { return Ok(None) };
         let rec = self.heads[b].take().expect("best head present");
-        self.heads[b] = self.readers[b].next_record();
-        Some((b, rec))
+        self.heads[b] = self.readers[b].next_record()?;
+        Ok(Some((b, rec)))
+    }
+}
+
+impl<F> Iterator for MergeRuns<F>
+where
+    F: FnMut(&Record, &Record) -> Ordering,
+{
+    type Item = Result<(usize, Record)>;
+
+    fn next(&mut self) -> Option<Result<(usize, Record)>> {
+        self.next_rec().transpose()
     }
 }
 
@@ -470,22 +551,25 @@ mod tests {
             row(vec![Value::Int(42), Value::str(""), Value::Bool(true)]),
             row(vec![]),
         ];
-        let mut w = ctx.writer("test");
+        let mut w = ctx.writer("test").unwrap();
         for (i, r) in rows.iter().enumerate() {
-            w.push(&[i as u64, 99], r);
+            w.push(&[i as u64, 99], r).unwrap();
         }
         assert_eq!(w.records(), 3);
-        let run = w.finish();
+        let run = w.finish().unwrap();
         assert_eq!(run.records(), 3);
-        let mut rd = run.reader();
+        let mut rd = run.reader().unwrap();
         for (i, want) in rows.iter().enumerate() {
-            let (keys, got) = rd.next_record().expect("record");
+            let (keys, got) = rd.next_record().unwrap().expect("record");
             assert_eq!(keys, vec![i as u64, 99]);
             assert_eq!(&got, want);
         }
-        assert!(rd.next_record().is_none());
+        assert!(rd.next_record().unwrap().is_none());
         // The run can be re-read from the start.
-        assert_eq!(run.reader().next_record().unwrap().0, vec![0, 99]);
+        assert_eq!(
+            run.reader().unwrap().next_record().unwrap().unwrap().0,
+            vec![0, 99]
+        );
     }
 
     #[test]
@@ -494,17 +578,21 @@ mod tests {
         // Two sorted runs with overlapping and *equal* keys: the merge
         // must interleave by key and give equal keys to the earlier run
         // first (the payload marks run provenance).
-        let mut w0 = ctx.writer("a");
+        let mut w0 = ctx.writer("a").unwrap();
         for k in [1u64, 3, 5, 5] {
-            w0.push(&[k], &row(vec![Value::Int(0)]));
+            w0.push(&[k], &row(vec![Value::Int(0)])).unwrap();
         }
-        let mut w1 = ctx.writer("b");
+        let mut w1 = ctx.writer("b").unwrap();
         for k in [2u64, 3, 5] {
-            w1.push(&[k], &row(vec![Value::Int(1)]));
+            w1.push(&[k], &row(vec![Value::Int(1)])).unwrap();
         }
-        let runs = [w0.finish(), w1.finish()];
+        let runs = [w0.finish().unwrap(), w1.finish().unwrap()];
         let merged: Vec<(usize, u64)> = merge_runs(&runs, &ctx, |a, b| a.0[0].cmp(&b.0[0]))
-            .map(|(run, (keys, _))| (run, keys[0]))
+            .unwrap()
+            .map(|r| {
+                let (run, (keys, _)) = r.unwrap();
+                (run, keys[0])
+            })
             .collect();
         assert_eq!(
             merged,
@@ -521,6 +609,7 @@ mod tests {
         // Merging zero runs is an empty iterator.
         assert!(
             merge_runs(&[], &ctx, |a: &Record, b: &Record| a.0.cmp(&b.0))
+                .unwrap()
                 .next()
                 .is_none()
         );
@@ -536,16 +625,21 @@ mod tests {
         let n = 2 * MERGE_FAN_IN + 7;
         let runs: Vec<Run> = (0..n)
             .map(|i| {
-                let mut w = ctx.writer("many");
+                let mut w = ctx.writer("many").unwrap();
                 w.push(
                     &[(i % MERGE_FAN_IN) as u64],
                     &row(vec![Value::Int(i as i64)]),
-                );
-                w.finish()
+                )
+                .unwrap();
+                w.finish().unwrap()
             })
             .collect();
         let merged: Vec<(u64, i64)> = merge_runs(&runs, &ctx, |a, b| a.0[0].cmp(&b.0[0]))
-            .map(|(_, (keys, r))| (keys[0], r[0].as_int().unwrap()))
+            .unwrap()
+            .map(|rec| {
+                let (_, (keys, r)) = rec.unwrap();
+                (keys[0], r[0].as_int().unwrap())
+            })
             .collect();
         assert_eq!(merged.len(), n);
         // Keys ascend; equal keys keep original run order (stability
@@ -563,9 +657,9 @@ mod tests {
     fn spill_dir_is_lazy_and_cleaned_on_drop() {
         let ctx = SpillCtx::new(0, 1);
         assert!(ctx.dir_path().is_none(), "no dir before the first spill");
-        let mut w = ctx.writer("probe");
-        w.push(&[0], &row(vec![Value::Int(1)]));
-        let _run = w.finish();
+        let mut w = ctx.writer("probe").unwrap();
+        w.push(&[0], &row(vec![Value::Int(1)])).unwrap();
+        let _run = w.finish().unwrap();
         let dir = ctx.dir_path().expect("dir exists after a spill").to_owned();
         assert!(dir.exists());
         ctx.record_spill(64);
@@ -581,9 +675,9 @@ mod tests {
         let dir2 = std::sync::Arc::clone(&dir);
         let res = std::panic::catch_unwind(move || {
             let ctx = SpillCtx::new(0, 1);
-            let mut w = ctx.writer("doomed");
-            w.push(&[0], &row(vec![Value::Int(1)]));
-            let _run = w.finish();
+            let mut w = ctx.writer("doomed").unwrap();
+            w.push(&[0], &row(vec![Value::Int(1)])).unwrap();
+            let _run = w.finish().unwrap();
             *dir2.lock().unwrap() = ctx.dir_path().map(Path::to_owned);
             panic!("aborted mid-spill");
         });

@@ -22,8 +22,10 @@
 //!   manifest checksum, directory bounds against the page file's length,
 //!   and every block's checksum and parseability — so truncated files,
 //!   torn final pages, bit flips and stale manifests all surface as
-//!   [`Error`] at open time, never as a panic or a wrong answer during
-//!   execution.
+//!   [`Error`] at open time. Post-open reads can still fail (a file
+//!   modified underneath a running process, or a fault injected by
+//!   [`crate::fault`]); those surface as clean [`Error::Io`] after
+//!   bounded transient retries — never as a panic or a wrong answer.
 //!
 //! Scans reach segments through a [`DiskImageProvider`] whose fetches
 //! lease slots from a [`BufferPool`] **shared across all relations**
@@ -33,6 +35,7 @@
 //! [`IoCounters`] observes pages read plus pool hits/misses.
 
 use crate::error::{Error, Result};
+use crate::fault::{self, FaultInjector, FaultKind};
 use crate::provider::{ImageProvider, IoCounters};
 use crate::relation::{Column, NullMask, Row};
 use crate::segment::{
@@ -499,11 +502,10 @@ static NEXT_IMAGE_ID: AtomicU64 = AtomicU64::new(1);
 /// Opening validates the *entire* store eagerly (manifest magic,
 /// version and checksum; directory bounds against the page file's real
 /// length; every block's checksum and parseability), so every
-/// corruption mode is an [`Error`] here and segment fetches afterwards
-/// are infallible — a fetch-time checksum mismatch means the file was
-/// modified underneath a running process, which is outside the
-/// crash-safety contract and fails fast with a panic instead of
-/// returning wrong answers.
+/// corruption mode is an [`Error`] here. A fetch-time failure after
+/// open — the file modified underneath a running process, or an
+/// injected fault — surfaces as a clean [`Error::Io`] (after bounded
+/// transient retries), never as a panic or a wrong answer.
 pub struct DiskImage {
     id: u64,
     seg_path: PathBuf,
@@ -553,6 +555,21 @@ fn io_fail(what: &str, path: &Path, e: io::Error) -> Error {
 impl DiskImage {
     /// Open and fully validate `<dir>/<name>.{manifest,seg}`.
     pub fn open(dir: &Path, name: &str) -> Result<Arc<DiskImage>> {
+        DiskImage::open_with(dir, name, None)
+    }
+
+    /// [`DiskImage::open`] with an [`Open`](FaultKind::Open) fault edge
+    /// drawn (and transient failures retried) before the real open —
+    /// the injectable variant of the manifest-open path.
+    pub fn open_injected(
+        dir: &Path,
+        name: &str,
+        faults: Option<&FaultInjector>,
+    ) -> Result<Arc<DiskImage>> {
+        fault::retry_io(faults, || {
+            fault::inject(faults, FaultKind::Open, "open segment manifest")
+        })
+        .map_err(|e| fault::io_error("open segment manifest", &e))?;
         DiskImage::open_with(dir, name, None)
     }
 
@@ -745,54 +762,53 @@ impl DiskImage {
 
     /// Read and decode segment `seg` across all columns, accounting the
     /// pages read and bytes materialized into `io`. Open-time validation
-    /// makes this infallible; a checksum failing *now* means the file
-    /// changed underneath a running process, which panics rather than
-    /// risking silent wrong answers.
-    pub fn read_segment(&self, seg: usize, io: &IoCounters) -> DecodedSegment {
+    /// caught every static corruption mode; a failure *now* — the file
+    /// changed underneath a running process, or a fault injected on the
+    /// [`Read`](FaultKind::Read) edge — surfaces as [`Error::Io`] after
+    /// bounded transient retries, never as a panic or a wrong answer.
+    pub fn read_segment(&self, seg: usize, io: &IoCounters) -> Result<DecodedSegment> {
         let bounds = self.seg_bounds(seg);
         let mut pages = 0usize;
-        let cols: Vec<Arc<Column>> = (0..self.arity())
-            .map(|col| {
-                pages += (self.dir[col * self.seg_count() + seg].len as usize).div_ceil(PAGE);
-                self.read_block(col, seg, |msg| {
-                    panic!("segment file changed after open: {msg}")
-                })
-                .expect("validated at open")
-                .decode()
+        let mut bytes = 0usize;
+        let mut cols: Vec<Arc<Column>> = Vec::with_capacity(self.arity());
+        for col in 0..self.arity() {
+            pages += (self.dir[col * self.seg_count() + seg].len as usize).div_ceil(PAGE);
+            // Inject before the real read: a transient fault retried here
+            // re-reads from unchanged state, so the decoded bytes are
+            // identical to a fault-free run.
+            fault::retry_io(io.faults(), || {
+                fault::inject(io.faults(), FaultKind::Read, "read segment block")
             })
-            .collect();
-        let bytes = (0..self.arity())
-            .map(|col| {
-                self.read_block(col, seg, |msg| {
-                    panic!("segment file changed after open: {msg}")
-                })
-                .expect("validated at open")
-                .decoded_bytes()
-            })
-            .sum();
+            .map_err(|e| fault::io_error("read segment block", &e))?;
+            let block = self.read_block(col, seg, |msg| {
+                Error::Io(format!("segment file changed after open: {msg}"))
+            })?;
+            bytes += block.decoded_bytes();
+            cols.push(block.decode());
+        }
         io.pages_read.fetch_add(pages, Ordering::Relaxed);
         io.decoded(bytes);
-        DecodedSegment {
+        Ok(DecodedSegment {
             start: bounds.start,
             len: bounds.len(),
             cols,
             bytes,
-        }
+        })
     }
 
     /// Materialize the full row store (the fallback for operators that
     /// need rows — breakers, spill paths, row cursors). Streams one
     /// segment at a time; the decoded segments are transient.
-    pub fn decode_rows(&self) -> Vec<Row> {
+    pub fn decode_rows(&self) -> Result<Vec<Row>> {
         let io = IoCounters::default();
         let mut rows: Vec<Row> = Vec::with_capacity(self.len);
         for seg in 0..self.seg_count() {
-            let d = self.read_segment(seg, &io);
+            let d = self.read_segment(seg, &io)?;
             for pos in 0..d.len {
                 rows.push(d.cols.iter().map(|c| c.get(pos)).collect());
             }
         }
-        rows
+        Ok(rows)
     }
 }
 
@@ -819,6 +835,8 @@ struct PageWriter {
     file: File,
     path: PathBuf,
     offset: u64,
+    /// Injects [`FaultKind::Write`] before each block (tests/suite).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl PageWriter {
@@ -828,11 +846,16 @@ impl PageWriter {
             file,
             path,
             offset: 0,
+            faults: None,
         })
     }
 
     /// Append one block at the next page boundary; returns its reference.
+    /// Write faults — injected or real — are never retried (the file
+    /// position is not restartable); they propagate as [`Error::Io`].
     fn block(&mut self, seg: &ColumnSegment) -> Result<BlockRef> {
+        fault::inject(self.faults.as_deref(), FaultKind::Write, "write page block")
+            .map_err(|e| fault::io_error("write page block", &e))?;
         let bytes = encode_block(seg);
         let r = BlockRef {
             offset: self.offset,
@@ -1023,6 +1046,13 @@ impl DiskTableWriter {
         })
     }
 
+    /// Inject write faults into this writer's page and manifest writes
+    /// (the explicit-injector variant the fault suite drives).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultInjector>>) -> DiskTableWriter {
+        self.pw.faults = faults;
+        self
+    }
+
     /// Append one row (must match the writer's arity).
     pub fn push(&mut self, row: &[Value]) -> Result<()> {
         if row.len() != self.cur.len() {
@@ -1099,6 +1129,12 @@ impl DiskTableWriter {
             }
         }
         let blocks: Vec<(BlockRef, ZoneMap)> = blocks.into_iter().map(|b| b.unwrap()).collect();
+        fault::inject(
+            self.pw.faults.as_deref(),
+            FaultKind::Write,
+            "write manifest",
+        )
+        .map_err(|e| fault::io_error("write manifest", &e))?;
         write_manifest(
             &self.dir,
             &self.name,
@@ -1179,30 +1215,56 @@ impl BufferPool {
     /// lock) on a miss. Hits bump `io.pool_hits`; misses bump
     /// `io.pool_misses` and install the loaded segment under clock
     /// eviction. Concurrent callers of the same key share one load.
+    ///
+    /// The in-flight latch is guarded: if `load` fails *or unwinds*,
+    /// the latch entry is removed and waiting peers are woken (the next
+    /// one retries the load itself) — no error path can leave a stale
+    /// lease that deadlocks later fetches of the same key.
     pub fn get(
         &self,
         key: (u64, usize),
         io: &IoCounters,
-        load: impl FnOnce() -> Arc<DecodedSegment>,
-    ) -> Arc<DecodedSegment> {
-        let mut state = self.state.lock().expect("buffer pool");
+        load: impl FnOnce() -> Result<Arc<DecodedSegment>>,
+    ) -> Result<Arc<DecodedSegment>> {
+        fault::retry_io(io.faults(), || {
+            fault::inject(io.faults(), FaultKind::Lease, "lease buffer-pool slot")
+        })
+        .map_err(|e| fault::io_error("lease buffer-pool slot", &e))?;
+        let mut state = fault::lock_recover(&self.state);
         loop {
             if let Some(slot) = state.slots.iter_mut().find(|s| s.key == key) {
                 slot.referenced = true;
                 io.pool_hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&slot.dec);
+                return Ok(Arc::clone(&slot.dec));
             }
             if state.in_flight.contains(&key) {
-                state = self.cv.wait(state).expect("buffer pool");
+                state = self
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             } else {
                 break;
             }
         }
         state.in_flight.push(key);
         drop(state);
-        let dec = load();
-        let mut state = self.state.lock().expect("buffer pool");
-        state.in_flight.retain(|&k| k != key);
+        // Remove the latch and wake peers on *every* exit — return,
+        // error, or unwind — so a failed load never wedges the key.
+        struct Latch<'a> {
+            pool: &'a BufferPool,
+            key: (u64, usize),
+        }
+        impl Drop for Latch<'_> {
+            fn drop(&mut self) {
+                let mut state = fault::lock_recover(&self.pool.state);
+                state.in_flight.retain(|&k| k != self.key);
+                drop(state);
+                self.pool.cv.notify_all();
+            }
+        }
+        let _latch = Latch { pool: self, key };
+        let dec = load()?;
+        let mut state = fault::lock_recover(&self.state);
         io.pool_misses.fetch_add(1, Ordering::Relaxed);
         if state.slots.len() < self.cap {
             state.slots.push(PoolSlot {
@@ -1228,13 +1290,18 @@ impl BufferPool {
             }
         }
         drop(state);
-        self.cv.notify_all();
-        dec
+        Ok(dec)
     }
 
     /// Number of currently resident segments (test hook).
     pub fn resident(&self) -> usize {
-        self.state.lock().expect("buffer pool").slots.len()
+        fault::lock_recover(&self.state).slots.len()
+    }
+
+    /// Number of in-flight load latches (leak-check hook: zero once no
+    /// fetch is executing, whatever path the last fetch exited by).
+    pub fn in_flight_len(&self) -> usize {
+        fault::lock_recover(&self.state).in_flight.len()
     }
 }
 
@@ -1247,10 +1314,7 @@ pub fn pool_for(cap: usize) -> Arc<BufferPool> {
     type PoolRegistry = Vec<(usize, Arc<BufferPool>)>;
     static POOLS: OnceLock<Mutex<PoolRegistry>> = OnceLock::new();
     let cap = cap.max(1);
-    let mut pools = POOLS
-        .get_or_init(|| Mutex::new(Vec::new()))
-        .lock()
-        .expect("pool registry");
+    let mut pools = fault::lock_recover(POOLS.get_or_init(|| Mutex::new(Vec::new())));
     if let Some((_, p)) = pools.iter().find(|(c, _)| *c == cap) {
         return Arc::clone(p);
     }
@@ -1300,9 +1364,9 @@ impl ImageProvider for DiskImageProvider {
         self.image.zone(col, seg)
     }
 
-    fn segment(&self, seg: usize, io: &IoCounters) -> Arc<DecodedSegment> {
+    fn segment(&self, seg: usize, io: &IoCounters) -> Result<Arc<DecodedSegment>> {
         self.pool.get((self.image.id, seg), io, || {
-            Arc::new(self.image.read_segment(seg, io))
+            Ok(Arc::new(self.image.read_segment(seg, io)?))
         })
     }
 }
@@ -1347,7 +1411,7 @@ mod tests {
         assert_eq!(img.names(), &["k", "w", "v"]);
         let io = IoCounters::default();
         for seg in 0..img.seg_count() {
-            let d = img.read_segment(seg, &io);
+            let d = img.read_segment(seg, &io).unwrap();
             assert_eq!(d.start, seg * 16);
             for pos in 0..d.len {
                 for (c, col) in d.cols.iter().enumerate() {
@@ -1374,7 +1438,7 @@ mod tests {
         assert_eq!(img.stats().ndv, mem.stats().ndv);
         assert_eq!(img.stats().minmax, mem.stats().minmax);
         // decode_rows reproduces the row store exactly.
-        assert_eq!(img.decode_rows(), r.rows());
+        assert_eq!(img.decode_rows().unwrap(), r.rows());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1387,7 +1451,7 @@ mod tests {
             w.push(row).unwrap();
         }
         let img = w.finish().unwrap();
-        assert_eq!(img.decode_rows(), r.rows());
+        assert_eq!(img.decode_rows().unwrap(), r.rows());
         let mem = r.segments(8);
         assert_eq!(img.stats().rows, mem.stats().rows);
         assert_eq!(img.stats().ndv, mem.stats().ndv);
@@ -1407,7 +1471,7 @@ mod tests {
         let img = w.finish().unwrap();
         assert!(img.is_empty());
         assert_eq!(img.seg_count(), 0);
-        assert_eq!(img.decode_rows(), Vec::<Row>::new());
+        assert_eq!(img.decode_rows().unwrap(), Vec::<Row>::new());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1417,7 +1481,7 @@ mod tests {
         let img = write_image_scratch(&r.segments(4), &names(&r)).unwrap();
         let dir = img.scratch_dir.clone().unwrap();
         assert!(dir.exists());
-        assert_eq!(img.decode_rows(), r.rows());
+        assert_eq!(img.decode_rows().unwrap(), r.rows());
         drop(img);
         assert!(!dir.exists(), "scratch dir survived the image");
     }
@@ -1434,23 +1498,23 @@ mod tests {
         let pb = DiskImageProvider::new(Arc::clone(&ib), Arc::clone(&pool));
         let io = IoCounters::default();
         // Both relations' segments flow through the same slots.
-        pa.segment(0, &io);
-        pb.segment(0, &io);
-        pa.segment(1, &io);
+        pa.segment(0, &io).unwrap();
+        pb.segment(0, &io).unwrap();
+        pa.segment(1, &io).unwrap();
         assert_eq!(pool.resident(), 3);
         assert_eq!(io.pool_misses.load(Ordering::Relaxed), 3);
         // Re-fetching a resident segment is a hit, no pages read.
         let pages = io.pages_read.load(Ordering::Relaxed);
-        let d = pb.segment(0, &io);
+        let d = pb.segment(0, &io).unwrap();
         assert_eq!(d.start, 0);
         assert_eq!(io.pool_hits.load(Ordering::Relaxed), 1);
         assert_eq!(io.pages_read.load(Ordering::Relaxed), pages);
         // A fourth distinct segment forces an eviction; touring keeps
         // the pool at capacity and the data correct.
-        pb.segment(1, &io);
+        pb.segment(1, &io).unwrap();
         assert_eq!(pool.resident(), 3);
         for seg in 0..4 {
-            let d = pa.segment(seg, &io);
+            let d = pa.segment(seg, &io).unwrap();
             assert_eq!(d.cols[0].get(0), Value::Int(seg as i64 * 8));
         }
         assert!(io.pool_misses.load(Ordering::Relaxed) > 4);
@@ -1486,7 +1550,7 @@ mod tests {
                     for i in 0..8 {
                         let seg = (i + w * 2) % 8;
                         let p = DiskImageProvider::new(Arc::clone(&img), Arc::clone(&pool));
-                        let d = p.segment(seg, &io);
+                        let d = p.segment(seg, &io).unwrap();
                         assert_eq!(d.start, seg * 8);
                     }
                 })
@@ -1503,6 +1567,32 @@ mod tests {
             4 * 8 - 8,
             "every non-first fetch must be a hit"
         );
+    }
+
+    #[test]
+    fn failed_loads_release_the_in_flight_latch() {
+        let pool = BufferPool::new(2);
+        let io = IoCounters::default();
+        let key = (u64::MAX, 0);
+        let err = pool
+            .get(key, &io, || Err(Error::Io("load failed".into())))
+            .unwrap_err();
+        assert_eq!(err, Error::Io("load failed".into()));
+        assert_eq!(pool.in_flight_len(), 0, "failed load leaked its latch");
+        // The key stays fetchable: a later load succeeds and installs.
+        let d = pool
+            .get(key, &io, || {
+                Ok(Arc::new(DecodedSegment {
+                    start: 0,
+                    len: 0,
+                    cols: Vec::new(),
+                    bytes: 0,
+                }))
+            })
+            .unwrap();
+        assert_eq!(d.len, 0);
+        assert_eq!(pool.in_flight_len(), 0);
+        assert_eq!(pool.resident(), 1);
     }
 
     #[test]

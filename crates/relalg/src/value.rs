@@ -45,7 +45,9 @@ static INTERNER: OnceLock<Mutex<FxHashSet<Arc<str>>>> = OnceLock::new();
 /// unique keys.
 pub fn intern(s: &str) -> Arc<str> {
     let pool = INTERNER.get_or_init(|| Mutex::new(FxHashSet::default()));
-    let mut pool = pool.lock().expect("interner poisoned");
+    // Pool entries are only ever inserted whole, so a panic elsewhere
+    // cannot leave it mid-update — recover rather than poison-cascade.
+    let mut pool = crate::fault::lock_recover(pool);
     if let Some(hit) = pool.get(s) {
         return Arc::clone(hit);
     }

@@ -344,7 +344,7 @@ proptest! {
         let plan = optimizer::optimize(&t.plan, prepared.catalog()).unwrap();
         let streamed = exec::stream(&plan, prepared.catalog()).unwrap();
         let batched_rows = {
-            let mut rows = streamed.collect_rows(None);
+            let mut rows = streamed.collect_rows(None).unwrap();
             rows.sort();
             rows
         };
@@ -391,7 +391,7 @@ proptest! {
         let serial_rows = {
             let mut cat = prepared.catalog().clone();
             cat.set_threads(1);
-            exec::stream(&plan, &cat).unwrap().collect_rows(None)
+            exec::stream(&plan, &cat).unwrap().collect_rows(None).unwrap()
         };
         for threads in [2usize, 4] {
             let mut cat = prepared.catalog().clone();
@@ -400,7 +400,7 @@ proptest! {
             // genuinely exercise the exchange and the ordered gather.
             cat.set_parallel_granularity(4, 0);
             let streamed = exec::stream(&plan, &cat).unwrap();
-            let rows = streamed.collect_rows(None);
+            let rows = streamed.collect_rows(None).unwrap();
             prop_assert!(
                 rows == serial_rows,
                 "parallel x{threads} differs from serial for {q:?}\nplan: {plan:?}"
@@ -442,14 +442,14 @@ proptest! {
             let serial_rows = {
                 let mut cat = catalog.clone();
                 cat.set_threads(1);
-                exec::stream(&plan, &cat).unwrap().collect_rows(None)
+                exec::stream(&plan, &cat).unwrap().collect_rows(None).unwrap()
             };
             for threads in [2usize, 4] {
                 let mut cat = catalog.clone();
                 cat.set_threads(threads);
                 cat.set_parallel_granularity(3, 0);
                 let streamed = exec::stream(&plan, &cat).unwrap();
-                let rows = streamed.collect_rows(None);
+                let rows = streamed.collect_rows(None).unwrap();
                 prop_assert!(
                     rows == serial_rows,
                     "parallel x{threads} differs from serial for {plan:?}"
@@ -476,7 +476,7 @@ fn batched_translated_pipeline_reports_zero_row_buffers() {
     let t = translate(&db, &q).unwrap();
     let plan = optimizer::optimize(&t.plan, &cat).unwrap();
     let streamed = exec::stream(&plan, &cat).unwrap();
-    let n = streamed.collect_rows(None).len();
+    let n = streamed.collect_rows(None).unwrap().len();
     let stats = streamed.stats();
     assert!(streamed.batched(), "translated σ/π chain should vectorize");
     assert!(stats.batches > 0, "{stats:?}");
@@ -508,7 +508,7 @@ proptest! {
         let unbounded_rows = {
             let mut cat = prepared.catalog().clone();
             cat.set_threads(1);
-            exec::stream(&plan, &cat).unwrap().collect_rows(None)
+            exec::stream(&plan, &cat).unwrap().collect_rows(None).unwrap()
         };
         for threads in [1usize, 4] {
             let mut cat = prepared.catalog().clone();
@@ -518,7 +518,7 @@ proptest! {
             // crosses its share and takes the spill path.
             cat.set_mem_budget(256);
             let streamed = exec::stream(&plan, &cat).unwrap();
-            let rows = streamed.collect_rows(None);
+            let rows = streamed.collect_rows(None).unwrap();
             prop_assert!(
                 rows == unbounded_rows,
                 "budgeted x{threads} differs from unbounded for {q:?}\nplan: {plan:?}"
@@ -544,7 +544,7 @@ proptest! {
             let unbounded_rows = {
                 let mut cat = catalog.clone();
                 cat.set_threads(1);
-                exec::stream(&plan, &cat).unwrap().collect_rows(None)
+                exec::stream(&plan, &cat).unwrap().collect_rows(None).unwrap()
             };
             for threads in [1usize, 4] {
                 let mut cat = catalog.clone();
@@ -552,14 +552,14 @@ proptest! {
                 cat.set_parallel_granularity(3, 0);
                 cat.set_mem_budget(256);
                 let streamed = exec::stream(&plan, &cat).unwrap();
-                let rows = streamed.collect_rows(None);
+                let rows = streamed.collect_rows(None).unwrap();
                 prop_assert!(
                     rows == unbounded_rows,
                     "budgeted x{threads} differs from unbounded for {plan:?}"
                 );
                 // Limited pulls ride the row cursors over the same
                 // prepared tree (spilled builds bridge batch-wise).
-                let prefix = streamed.collect_rows(Some(3));
+                let prefix = streamed.collect_rows(Some(3)).unwrap();
                 prop_assert!(
                     prefix == unbounded_rows[..unbounded_rows.len().min(3)].to_vec(),
                     "limited budgeted pull diverges for {plan:?}"
@@ -592,7 +592,7 @@ proptest! {
         let plain_rows = {
             let mut cat = prepared.catalog().clone();
             cat.set_threads(1);
-            exec::stream(&plan, &cat).unwrap().collect_rows(None)
+            exec::stream(&plan, &cat).unwrap().collect_rows(None).unwrap()
         };
         for mode in [StorageMode::Segmented, StorageMode::Paged, StorageMode::Disk] {
             for threads in [1usize, 4] {
@@ -603,7 +603,7 @@ proptest! {
                 cat.set_threads(threads);
                 cat.set_parallel_granularity(4, 0);
                 let streamed = exec::stream(&plan, &cat).unwrap();
-                let rows = streamed.collect_rows(None);
+                let rows = streamed.collect_rows(None).unwrap();
                 prop_assert!(
                     rows == plain_rows,
                     "{mode:?} x{threads} differs from plain for {q:?}\nplan: {plan:?}"
@@ -638,7 +638,7 @@ proptest! {
             let plain_rows = {
                 let mut cat = catalog.clone();
                 cat.set_threads(1);
-                exec::stream(&plan, &cat).unwrap().collect_rows(None)
+                exec::stream(&plan, &cat).unwrap().collect_rows(None).unwrap()
             };
             for mode in [StorageMode::Segmented, StorageMode::Paged, StorageMode::Disk] {
                 for threads in [1usize, 4] {
@@ -649,7 +649,7 @@ proptest! {
                     cat.set_threads(threads);
                     cat.set_parallel_granularity(3, 0);
                     let streamed = exec::stream(&plan, &cat).unwrap();
-                    let rows = streamed.collect_rows(None);
+                    let rows = streamed.collect_rows(None).unwrap();
                     prop_assert!(
                         rows == plain_rows,
                         "{mode:?} x{threads} differs from plain for {plan:?}"
@@ -660,7 +660,7 @@ proptest! {
                             "cold disk run never missed the pool for {plan:?}"
                         );
                     }
-                    let prefix = streamed.collect_rows(Some(3));
+                    let prefix = streamed.collect_rows(Some(3)).unwrap();
                     prop_assert!(
                         prefix == plain_rows[..plain_rows.len().min(3)].to_vec(),
                         "limited {mode:?} pull diverges for {plan:?}"

@@ -60,12 +60,12 @@ fn distinct_seen_set_spill_is_byte_identical() {
     // 4000 input rows, revisited in a skewed order.
     let plan = Plan::scan("t").project_names(["g", "v"]).distinct();
     let unbounded = exec::stream(&plan, &cat).unwrap();
-    let want = unbounded.collect_rows(None);
+    let want = unbounded.collect_rows(None).unwrap();
     assert_eq!(unbounded.stats().spill_events, 0);
     for threads in [1usize, 4] {
         let c = budgeted(&cat, 2048, threads);
         let streamed = exec::stream(&plan, &c).unwrap();
-        let rows = streamed.collect_rows(None);
+        let rows = streamed.collect_rows(None).unwrap();
         assert_eq!(rows, want, "distinct spill diverges at {threads} threads");
         let stats = streamed.stats();
         assert!(stats.spill_events > 0, "expected spills: {stats:?}");
@@ -84,10 +84,13 @@ fn difference_seen_set_spill_is_byte_identical() {
             .select(col("k").lt(lit_i64(100)))
             .project_names(["g"]),
     );
-    let want = exec::stream(&plan, &cat).unwrap().collect_rows(None);
+    let want = exec::stream(&plan, &cat)
+        .unwrap()
+        .collect_rows(None)
+        .unwrap();
     let c = budgeted(&cat, 1024, 1);
     let streamed = exec::stream(&plan, &c).unwrap();
-    assert_eq!(streamed.collect_rows(None), want);
+    assert_eq!(streamed.collect_rows(None).unwrap(), want);
     assert!(streamed.stats().spill_events > 0, "{:?}", streamed.stats());
 }
 
@@ -113,17 +116,20 @@ fn join_build_spill_with_recursion_is_byte_identical() {
                 .rename("b"),
             col("p.g").eq(col("b.g")),
         );
-    let want = exec::stream(&plan, &cat).unwrap().collect_rows(None);
+    let want = exec::stream(&plan, &cat)
+        .unwrap()
+        .collect_rows(None)
+        .unwrap();
     assert!(!want.is_empty());
     let c = budgeted(&cat, 1024, 1);
     let streamed = exec::stream(&plan, &c).unwrap();
-    assert_eq!(streamed.collect_rows(None), want);
+    assert_eq!(streamed.collect_rows(None).unwrap(), want);
     let stats = streamed.stats();
     // The build spill itself plus recursive re-partitioning events.
     assert!(stats.spill_events > 1, "{stats:?}");
     // Re-pulling the same prepared execution re-probes the same spilled
     // build and must reproduce the result.
-    assert_eq!(streamed.collect_rows(None), want);
+    assert_eq!(streamed.collect_rows(None).unwrap(), want);
 }
 
 /// Hybrid-hash spill under *key skew*: one key dominates, so its
@@ -150,11 +156,14 @@ fn join_build_spill_with_skewed_keys_hits_depth_cap_and_stays_correct() {
                 .rename("b"),
             col("p.g").eq(col("b.g")),
         );
-    let want = exec::stream(&plan, &cat).unwrap().collect_rows(None);
+    let want = exec::stream(&plan, &cat)
+        .unwrap()
+        .collect_rows(None)
+        .unwrap();
     assert!(!want.is_empty());
     let c = budgeted(&cat, 512, 1);
     let streamed = exec::stream(&plan, &c).unwrap();
-    assert_eq!(streamed.collect_rows(None), want);
+    assert_eq!(streamed.collect_rows(None).unwrap(), want);
     assert!(streamed.stats().spill_events > 0, "{:?}", streamed.stats());
 }
 
@@ -202,7 +211,7 @@ fn spill_directory_is_removed_after_a_completed_run() {
     let plan = Plan::scan("t").project_names(["g", "v"]).distinct();
     let c = budgeted(&cat, 1024, 1);
     let streamed = exec::stream(&plan, &c).unwrap();
-    let rows = streamed.collect_rows(None);
+    let rows = streamed.collect_rows(None).unwrap();
     assert!(!rows.is_empty());
     let dir = streamed
         .spill_dir()
@@ -286,7 +295,7 @@ fn ci_budget_leg_actually_spills() {
     cat.set_threads(1);
     let plan = Plan::scan("t").project_names(["k", "g"]).distinct();
     let streamed = exec::stream(&plan, &cat).unwrap();
-    let n = streamed.collect_rows(None).len();
+    let n = streamed.collect_rows(None).unwrap().len();
     assert!(n > 0);
     let stats = streamed.stats();
     assert!(

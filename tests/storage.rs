@@ -100,9 +100,9 @@ fn null_bearing_segments_survive_range_predicates() {
     let plain = {
         let mut c = storage_catalog(StorageMode::Plain, 16, 8, 1);
         c.insert("t", seg_rel(256));
-        exec::stream(&p, &c).unwrap().collect_rows(None)
+        exec::stream(&p, &c).unwrap().collect_rows(None).unwrap()
     };
-    let seg = exec::stream(&p, &cat).unwrap().collect_rows(None);
+    let seg = exec::stream(&p, &cat).unwrap().collect_rows(None).unwrap();
     assert!(!seg.is_empty());
     assert_eq!(seg, plain);
 }
@@ -137,7 +137,8 @@ fn storage_modes_are_byte_identical_on_a_multi_operator_plan() {
     };
     let baseline = exec::stream(&plan, &build(StorageMode::Plain, 8, 1))
         .unwrap()
-        .collect_rows(None);
+        .collect_rows(None)
+        .unwrap();
     assert!(!baseline.is_empty());
     for mode in [
         StorageMode::Segmented,
@@ -146,7 +147,10 @@ fn storage_modes_are_byte_identical_on_a_multi_operator_plan() {
     ] {
         for threads in [1, 4] {
             let cat = build(mode, 2, threads);
-            let rows = exec::stream(&plan, &cat).unwrap().collect_rows(None);
+            let rows = exec::stream(&plan, &cat)
+                .unwrap()
+                .collect_rows(None)
+                .unwrap();
             assert_eq!(rows, baseline, "{mode:?} x{threads} diverged");
         }
     }
@@ -162,12 +166,12 @@ fn disk_scans_miss_an_undersized_pool_and_hit_a_warm_one() {
     let baseline = {
         let mut c = storage_catalog(StorageMode::Plain, 16, 2, 1);
         c.insert("t", seg_rel(320));
-        exec::stream(&p, &c).unwrap().collect_rows(None)
+        exec::stream(&p, &c).unwrap().collect_rows(None).unwrap()
     };
     let mut small = storage_catalog(StorageMode::Disk, 16, 2, 1);
     small.insert("t", seg_rel(320));
     let streamed = exec::stream(&p, &small).unwrap();
-    assert_eq!(streamed.collect_rows(None), baseline);
+    assert_eq!(streamed.collect_rows(None).unwrap(), baseline);
     let stats = streamed.stats();
     assert!(stats.pages_read > 0, "{stats:?}");
     assert!(
@@ -178,8 +182,8 @@ fn disk_scans_miss_an_undersized_pool_and_hit_a_warm_one() {
     let mut large = storage_catalog(StorageMode::Disk, 16, 64, 1);
     large.insert("t", seg_rel(320));
     let warm = exec::stream(&p, &large).unwrap();
-    assert_eq!(warm.collect_rows(None), baseline);
-    assert_eq!(warm.collect_rows(None), baseline);
+    assert_eq!(warm.collect_rows(None).unwrap(), baseline);
+    assert_eq!(warm.collect_rows(None).unwrap(), baseline);
     let stats = warm.stats();
     assert!(
         stats.pool_hits >= 20,
@@ -200,9 +204,12 @@ fn paged_provider_evicts_under_a_tiny_cache_and_stays_correct() {
     let p = Plan::scan("t")
         .rename("a")
         .join(Plan::scan("t").rename("s"), col("a.k").eq(col("s.k")));
-    let baseline = exec::stream(&p, &plain).unwrap().collect_rows(None);
+    let baseline = exec::stream(&p, &plain)
+        .unwrap()
+        .collect_rows(None)
+        .unwrap();
     let streamed = exec::stream(&p, &paged).unwrap();
-    let rows = streamed.collect_rows(None);
+    let rows = streamed.collect_rows(None).unwrap();
     assert_eq!(rows, baseline);
     let stats = streamed.stats();
     // The probe side streams all 20 segments; the build side

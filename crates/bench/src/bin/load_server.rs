@@ -1,0 +1,242 @@
+//! Closed-loop load harness for the session server (`BENCH_server`).
+//!
+//! Spawns (or connects to) a server, drives it with `--clients`
+//! concurrent sessions each pacing itself at `--qps` requests per
+//! second over a fixed query mix, and reports latency percentiles in
+//! the `bench <name> ... median <dur> (<n> samples)` format that
+//! `scripts/bench_diff.py` records and gates on:
+//!
+//! ```text
+//! bench server/p50 ... median 412µs (981 samples)
+//! bench server/p99 ... median 2.31ms (981 samples)
+//! bench server/p999 ... median 4.02ms (981 samples)
+//! throughput 196.2 req/s (981 completed, 0 errors, 3 shed)
+//! ```
+//!
+//! Closed-loop means every client waits for each response before
+//! sending the next request, so latency includes admission queueing.
+//! Shed (`"kind":"shed"`) and deadline-cancelled responses are counted
+//! but are *not* errors; any parse/proto/engine error — or a run that
+//! completes zero queries — exits non-zero, which is what makes the CI
+//! smoke job a real gate.
+//!
+//! Usage: `load_server [--clients N] [--qps Q] [--duration-secs S]
+//! [--db figure1|tpch:<scale>[:<x>]] [--addr host:port]`.
+//! Without `--addr` an in-process server is spawned (same serve loop
+//! as the `urel-server` binary), still exercising the full TCP path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use urel_server::{Client, Json, ServerConfig};
+
+/// The fixed query mix (over the figure-1 database): a point select, a
+/// self-join, a `certain` clause, and a Monte-Carlo confidence query.
+const MIX: &[&str] = &[
+    "from r | where id = 1 | select type | possible",
+    "from r as a | join r as b on a.id = b.id | select a.type | possible",
+    "from r | select type | certain",
+    "from r | select id | possible confidence 0.2",
+];
+
+struct Args {
+    clients: usize,
+    qps: f64,
+    duration: Duration,
+    db: String,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut a = Args {
+        clients: 4,
+        qps: 50.0,
+        duration: Duration::from_secs(5),
+        db: "figure1".to_string(),
+        addr: None,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            argv.get(*i).cloned()
+        };
+        match argv[i].as_str() {
+            "--clients" => a.clients = take(&mut i).and_then(|s| s.parse().ok()).unwrap_or(4),
+            "--qps" => a.qps = take(&mut i).and_then(|s| s.parse().ok()).unwrap_or(50.0),
+            "--duration-secs" => {
+                a.duration = Duration::from_secs_f64(
+                    take(&mut i).and_then(|s| s.parse().ok()).unwrap_or(5.0),
+                )
+            }
+            "--db" => a.db = take(&mut i).unwrap_or_else(|| "figure1".into()),
+            "--addr" => a.addr = take(&mut i),
+            other => eprintln!("ignoring unknown argument `{other}`"),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", d.as_secs_f64())
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct ClientTally {
+    latencies: Vec<Duration>,
+    shed: usize,
+    errors: Vec<String>,
+}
+
+fn drive_client(
+    addr: std::net::SocketAddr,
+    seq: Arc<AtomicUsize>,
+    qps: f64,
+    deadline: Instant,
+) -> std::io::Result<ClientTally> {
+    let mut client = Client::connect(addr)?;
+    let mut tally = ClientTally {
+        latencies: Vec::new(),
+        shed: 0,
+        errors: Vec::new(),
+    };
+    let interval = Duration::from_secs_f64(1.0 / qps.max(0.001));
+    let mut next_send = Instant::now();
+    while Instant::now() < deadline {
+        if let Some(wait) = next_send.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        next_send += interval;
+        let q = MIX[seq.fetch_add(1, Ordering::Relaxed) % MIX.len()];
+        let start = Instant::now();
+        let resp = client.query(q)?;
+        let elapsed = start.elapsed();
+        if resp.get("ok").map(Json::is_true).unwrap_or(false) {
+            tally.latencies.push(elapsed);
+        } else {
+            match resp.get("kind").and_then(Json::as_str) {
+                Some("shed") | Some("cancelled") => tally.shed += 1,
+                kind => tally.errors.push(format!(
+                    "query `{q}` failed ({}): {}",
+                    kind.unwrap_or("?"),
+                    resp.get("error").and_then(Json::as_str).unwrap_or("?")
+                )),
+            }
+        }
+    }
+    Ok(tally)
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Either connect to an external server or host one in-process (the
+    // same serve loop as the binary; the TCP path is identical).
+    let (addr, local) = match &args.addr {
+        Some(a) => (
+            a.parse()
+                .unwrap_or_else(|e| panic!("bad --addr `{a}`: {e}")),
+            None,
+        ),
+        None => {
+            let udb = Arc::new(match args.db.as_str() {
+                "figure1" => urel_core::figure1_database(),
+                spec => {
+                    let rest = spec
+                        .strip_prefix("tpch:")
+                        .unwrap_or_else(|| panic!("unknown --db `{spec}`"));
+                    let mut parts = rest.split(':');
+                    let scale: f64 = parts.next().unwrap_or("0.1").parse().expect("tpch scale");
+                    let x: f64 = parts.next().map_or(0.1, |s| s.parse().expect("tpch x"));
+                    urel_tpch::generate(&urel_tpch::GenParams::paper(scale, x, 0.5))
+                        .expect("tpch generation")
+                        .db
+                }
+            });
+            let server =
+                urel_server::serve(udb, ServerConfig::from_env()).expect("bind in-process server");
+            (server.local_addr(), Some(server))
+        }
+    };
+
+    let seq = Arc::new(AtomicUsize::new(0));
+    let run_start = Instant::now();
+    let deadline = run_start + args.duration;
+    let tallies: Vec<std::io::Result<ClientTally>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|_| {
+                let seq = Arc::clone(&seq);
+                s.spawn(move || drive_client(addr, seq, args.qps, deadline))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = run_start.elapsed();
+
+    let mut latencies = Vec::new();
+    let mut shed = 0usize;
+    let mut errors = Vec::new();
+    for t in tallies {
+        match t {
+            Ok(t) => {
+                latencies.extend(t.latencies);
+                shed += t.shed;
+                errors.extend(t.errors);
+            }
+            Err(e) => errors.push(format!("client I/O error: {e}")),
+        }
+    }
+    if let Some(server) = local {
+        server.shutdown();
+    }
+
+    for e in errors.iter().take(10) {
+        eprintln!("error: {e}");
+    }
+    if !errors.is_empty() {
+        eprintln!("load run failed: {} protocol error(s)", errors.len());
+        std::process::exit(1);
+    }
+    if latencies.is_empty() {
+        eprintln!("load run failed: zero completed queries");
+        std::process::exit(1);
+    }
+
+    latencies.sort();
+    let n = latencies.len();
+    println!(
+        "bench server/p50 ... median {} ({n} samples)",
+        fmt_dur(percentile(&latencies, 0.50))
+    );
+    println!(
+        "bench server/p99 ... median {} ({n} samples)",
+        fmt_dur(percentile(&latencies, 0.99))
+    );
+    println!(
+        "bench server/p999 ... median {} ({n} samples)",
+        fmt_dur(percentile(&latencies, 0.999))
+    );
+    println!(
+        "throughput {:.1} req/s ({n} completed, 0 errors, {shed} shed)",
+        n as f64 / elapsed.as_secs_f64()
+    );
+}

@@ -19,9 +19,7 @@
 
 use crate::algebra::UQuery;
 use crate::error::{Error, Result};
-use crate::normalize::normalize_urelations;
 use crate::prob::covers_all_worlds;
-use crate::translate::evaluate;
 use crate::udb::UDatabase;
 use crate::urelation::URelation;
 use crate::world::{WorldTable, TOP};
@@ -170,20 +168,7 @@ pub const CERTAIN_EXPANSION_CAP: usize = 4096;
 /// expansion instead, up to [`CERTAIN_EXPANSION_CAP`] worlds; above the
 /// cap this returns [`Error::TooLarge`] rather than a wrong answer.
 pub fn certain_answers(udb: &UDatabase, q: &UQuery) -> Result<Relation> {
-    if udb.has_partial_fields()? {
-        let (_possible, certain) = crate::worldops::expand_answers(udb, q, CERTAIN_EXPANSION_CAP)
-            .map_err(|e| match e {
-            Error::TooLarge(msg) => Error::TooLarge(format!(
-                "`certain` on a database with partial or-set fields needs exact world \
-                     expansion: {msg}"
-            )),
-            other => other,
-        })?;
-        return Ok(certain);
-    }
-    let u = evaluate(udb, q)?;
-    let normalized = normalize_urelations(&[&u], &udb.world)?;
-    certain_lemma43(&normalized.relations[0], &normalized.world)
+    crate::translate::PreparedDb::new(udb).certain(q)
 }
 
 /// Certain answers of a result U-relation under an explicit coverage
@@ -237,6 +222,8 @@ mod tests {
     use super::*;
     use crate::algebra::{oracle_certain, table};
     use crate::descriptor::WsDescriptor;
+    use crate::normalize::normalize_urelations;
+    use crate::translate::evaluate;
     use crate::udb::figure1_database;
     use crate::world::Var;
     use urel_relalg::{col, lit_str};

@@ -176,6 +176,23 @@ impl<'a> PreparedDb<'a> {
         }
     }
 
+    /// Build a `PreparedDb` over an *already prepared* catalog instead
+    /// of encoding the database again. `Catalog` clones alias their
+    /// `Arc<Relation>` storage and `Arc<TableStats>` statistics, so a
+    /// server can encode the database once and hand every session its
+    /// own cheap catalog copy — sessions share the base data and
+    /// statistics but keep independent plan caches and execution knobs
+    /// (threads, memory budget, deadline). The caller is responsible
+    /// for `catalog` actually encoding `udb` (i.e. it descends from
+    /// [`UDatabase::to_catalog`]).
+    pub fn with_catalog(udb: &'a UDatabase, catalog: Catalog) -> Self {
+        PreparedDb {
+            udb,
+            catalog,
+            plans: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
     /// The underlying database.
     pub fn udb(&self) -> &'a UDatabase {
         self.udb
@@ -223,6 +240,17 @@ impl<'a> PreparedDb<'a> {
     /// [`urel_relalg::StorageMode::Disk`].
     pub fn set_buffer_pool(&mut self, segments: usize) {
         self.catalog.set_buffer_pool(segments);
+    }
+
+    /// Set (or clear) the per-query deadline for queries run through
+    /// this `PreparedDb`. An execution past the deadline stops at the
+    /// next batch/morsel boundary, releases every resource it holds,
+    /// and returns `urel_relalg::Error::Cancelled`. Like the other
+    /// knobs this is an execution property, not a plan property —
+    /// cached plans stay valid across deadline changes, which is what
+    /// lets a server re-arm the deadline per request.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.catalog.set_deadline(deadline);
     }
 
     /// Number of physical plans currently held by the prepared-statement
@@ -291,12 +319,65 @@ impl<'a> PreparedDb<'a> {
     /// Evaluate `poss(Q)` (wrapping `Q` if needed): the set of possible
     /// answer tuples, as a plain relation.
     pub fn possible(&self, q: &UQuery) -> Result<Relation> {
+        Ok(self.possible_with_stats(q)?.0)
+    }
+
+    /// [`PreparedDb::possible`] plus the [`urel_relalg::ExecStats`] of
+    /// the physical execution — the serving layer reports these per
+    /// request (batches, workers, spills, pool traffic, cancellation).
+    pub fn possible_with_stats(&self, q: &UQuery) -> Result<(Relation, urel_relalg::ExecStats)> {
         let wrapped = match q {
             UQuery::Poss { .. } => q.clone(),
             _ => q.clone().poss(),
         };
-        let u = self.evaluate(&wrapped)?;
-        Ok(u.possible_tuples())
+        let entry = self.plan_for(&wrapped, TranslateOptions::default(), true)?;
+        let (rel, stats) = exec::execute_with_stats(&entry.plan, &self.catalog)?;
+        let u = URelation::decode("result", &rel, entry.desc_arity, entry.tid_count)?;
+        Ok((u.possible_tuples(), stats))
+    }
+
+    /// Render the optimized physical plan for `poss(Q)` (wrapping `Q`
+    /// if needed) without executing it — the `EXPLAIN` passthrough of
+    /// the query surface. Goes through the same plan cache as
+    /// [`PreparedDb::possible`], so explaining then executing a
+    /// statement translates and optimizes it once.
+    pub fn explain(&self, q: &UQuery) -> Result<String> {
+        let wrapped = match q {
+            UQuery::Poss { .. } => q.clone(),
+            _ => q.clone().poss(),
+        };
+        let entry = self.plan_for(&wrapped, TranslateOptions::default(), true)?;
+        Ok(urel_relalg::explain::explain(&entry.plan, &self.catalog))
+    }
+
+    /// Certain answers of `Q` through the prepared-statement plan cache
+    /// (the serving path for the query surface's `certain` clause):
+    /// evaluate the translated query, normalize (Algorithm 1), and
+    /// apply Lemma 4.3 — with the partial-or-set-field detection and
+    /// exact world-expansion fallback of
+    /// [`crate::certain::certain_answers`], which this supersedes for
+    /// repeated statements (the translated plan is cached; the
+    /// normalization and Lemma 4.3 passes run per call on the result).
+    pub fn certain(&self, q: &UQuery) -> Result<Relation> {
+        if self.udb.has_partial_fields()? {
+            let cap = crate::certain::CERTAIN_EXPANSION_CAP;
+            let (_possible, certain) =
+                crate::worldops::expand_answers(self.udb, q, cap).map_err(|e| match e {
+                    Error::TooLarge(msg) => Error::TooLarge(format!(
+                        "`certain` on a database with partial or-set fields needs exact world \
+                         expansion: {msg}"
+                    )),
+                    other => other,
+                })?;
+            return Ok(certain);
+        }
+        // NB: `q` is evaluated exactly as written — an explicit
+        // `poss(Q)` wrapper projects descriptors away, making the
+        // result deterministic, so its certain answers are the
+        // possible answers (the world-expansion oracle pins this).
+        let u = self.evaluate(q)?;
+        let normalized = crate::normalize::normalize_urelations(&[&u], &self.udb.world)?;
+        crate::certain::certain_lemma43(&normalized.relations[0], &normalized.world)
     }
 
     /// Evaluate `poss(Q)` with a confidence per answer tuple. The query

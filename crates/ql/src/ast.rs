@@ -1,0 +1,189 @@
+//! The parse tree: pipelines of stages, every node carrying the byte
+//! span of the source text it came from.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A parsed statement: an optional leading `explain`, then a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// `explain <pipeline>` asks for the optimized physical plan text
+    /// instead of executing.
+    pub explain: bool,
+    /// The pipeline itself.
+    pub pipeline: Pipeline,
+}
+
+/// `from <source> | stage | stage | ...`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    /// The leading `from` source.
+    pub from: Source,
+    /// The stages, in pipe order.
+    pub stages: Vec<Stage>,
+    /// Span of the whole pipeline.
+    pub span: Span,
+}
+
+/// A pipeline input: a named relation (optionally aliased) or a
+/// parenthesized sub-pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// `R` or `R as alias`.
+    Table {
+        /// Relation name.
+        name: String,
+        /// `as` alias, if any.
+        alias: Option<String>,
+        /// Span of the source text.
+        span: Span,
+    },
+    /// `( from ... | ... )`.
+    Sub(Box<Pipeline>),
+}
+
+impl Source {
+    /// The span of this source.
+    pub fn span(&self) -> Span {
+        match self {
+            Source::Table { span, .. } => *span,
+            Source::Sub(p) => p.span,
+        }
+    }
+}
+
+/// One `| ...` stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// `where <expr>` — σ.
+    Where {
+        /// The predicate.
+        pred: PExpr,
+        /// Span of the stage.
+        span: Span,
+    },
+    /// `select a, b.c, ...` — π.
+    Select {
+        /// The kept attributes (possibly qualified), each with its span.
+        cols: Vec<(String, Span)>,
+        /// Span of the stage.
+        span: Span,
+    },
+    /// `join <source> on <expr>` — ⋈.
+    Join {
+        /// The right-hand source.
+        source: Source,
+        /// The join predicate.
+        on: PExpr,
+        /// Span of the stage.
+        span: Span,
+    },
+    /// `union ( <pipeline> )` — ∪.
+    Union {
+        /// The right-hand pipeline.
+        pipeline: Pipeline,
+        /// Span of the stage.
+        span: Span,
+    },
+    /// `possible` / `certain`, optionally `confidence <eps>` — the
+    /// terminal answer-mode clause.
+    Mode {
+        /// Which answers, and with what Monte-Carlo half-width.
+        mode: ModeClause,
+        /// Span of the stage.
+        span: Span,
+    },
+}
+
+impl Stage {
+    /// The span of this stage.
+    pub fn span(&self) -> Span {
+        match self {
+            Stage::Where { span, .. }
+            | Stage::Select { span, .. }
+            | Stage::Join { span, .. }
+            | Stage::Union { span, .. }
+            | Stage::Mode { span, .. } => *span,
+        }
+    }
+}
+
+/// The answer-mode clause of a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModeClause {
+    /// `possible [confidence ε]` — the set of possible answer tuples,
+    /// optionally with a Monte-Carlo confidence per tuple.
+    Possible {
+        /// Hoeffding half-width ε, if `confidence` was given.
+        confidence: Option<f64>,
+    },
+    /// `certain [confidence ε]` — the certain answers, optionally with
+    /// Monte-Carlo coverage estimation.
+    Certain {
+        /// Hoeffding half-width ε, if `confidence` was given.
+        confidence: Option<f64>,
+    },
+}
+
+/// A parsed scalar expression with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PExpr {
+    /// The node.
+    pub kind: PExprKind,
+    /// Span of the expression text.
+    pub span: Span,
+}
+
+/// Expression nodes. Mirrors the engine's `Expr`, plus spans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExprKind {
+    /// Column reference, `name` or `alias.name`.
+    Col(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// Comparison.
+    Cmp(urel_relalg::CmpOp, Box<PExpr>, Box<PExpr>),
+    /// Integer arithmetic.
+    Arith(urel_relalg::ArithOp, Box<PExpr>, Box<PExpr>),
+    /// `a and b and c`.
+    And(Vec<PExpr>),
+    /// `a or b or c`.
+    Or(Vec<PExpr>),
+    /// `not a`.
+    Not(Box<PExpr>),
+}

@@ -1,0 +1,68 @@
+//! Named frontend errors, each carrying the source span it points at.
+
+use crate::ast::Span;
+
+/// A frontend failure. Parse and lowering errors carry the byte span of
+/// the offending source text so clients (the server protocol, editors,
+/// the golden tests) can point at it; engine errors wrap the core
+/// error unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The source text did not lex or parse.
+    Parse {
+        /// What the parser expected or found.
+        message: String,
+        /// Byte range of the offending text.
+        span: Span,
+    },
+    /// The parse tree is well-formed but cannot lower to the algebra
+    /// (mode clause in a subquery, confidence out of range, …).
+    Lower {
+        /// Why the construct cannot lower.
+        message: String,
+        /// Byte range of the offending construct.
+        span: Span,
+    },
+    /// An error from the core translation / execution layer.
+    Engine(urel_core::Error),
+}
+
+urel_relalg::impl_error_boilerplate! {
+    Error {
+        Parse { message, span } => "parse error at {span}: {message}",
+        Lower { message, span } => "lowering error at {span}: {message}",
+        Engine(e) => "engine error: {e}",
+    }
+    source: Engine
+}
+
+impl From<urel_core::Error> for Error {
+    fn from(e: urel_core::Error) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<urel_relalg::Error> for Error {
+    fn from(e: urel_relalg::Error) -> Self {
+        Error::Engine(urel_core::Error::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_span_and_message() {
+        let e = Error::Parse {
+            message: "expected `from`".into(),
+            span: Span::new(0, 4),
+        };
+        assert_eq!(e.to_string(), "parse error at 0..4: expected `from`");
+        let e = Error::Lower {
+            message: "boom".into(),
+            span: Span::new(7, 9),
+        };
+        assert_eq!(e.to_string(), "lowering error at 7..9: boom");
+    }
+}

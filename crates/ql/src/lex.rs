@@ -1,0 +1,375 @@
+//! The tokenizer: source text → spanned tokens.
+//!
+//! Keywords are case-insensitive (`FROM` = `from`); identifiers keep
+//! their case. Strings are single-quoted with `''` escaping a quote
+//! (the SQL convention). Numbers are integers unless they carry a
+//! fraction, which only the `confidence` clause accepts.
+
+use crate::ast::Span;
+use crate::error::Error;
+
+/// A token kind. Keywords lex as [`Tok::Kw`]; everything the grammar
+/// does not reserve is an [`Tok::Ident`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Reserved word, lowercased.
+    Kw(Kw),
+    /// Identifier (relation, alias or attribute name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Fractional literal (only valid after `confidence`).
+    Float(f64),
+    /// Single-quoted string literal, unescaped.
+    Str(String),
+    /// `|`
+    Pipe,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=` / `==`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+/// The reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    From,
+    As,
+    Where,
+    Select,
+    Join,
+    On,
+    Union,
+    Possible,
+    Certain,
+    Confidence,
+    Explain,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    Null,
+}
+
+impl Kw {
+    fn from_str(s: &str) -> Option<Kw> {
+        Some(match s {
+            "from" => Kw::From,
+            "as" => Kw::As,
+            "where" => Kw::Where,
+            "select" => Kw::Select,
+            "join" => Kw::Join,
+            "on" => Kw::On,
+            "union" => Kw::Union,
+            "possible" => Kw::Possible,
+            "certain" => Kw::Certain,
+            "confidence" => Kw::Confidence,
+            "explain" => Kw::Explain,
+            "and" => Kw::And,
+            "or" => Kw::Or,
+            "not" => Kw::Not,
+            "true" => Kw::True,
+            "false" => Kw::False,
+            "null" => Kw::Null,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's source spelling.
+    pub fn text(self) -> &'static str {
+        match self {
+            Kw::From => "from",
+            Kw::As => "as",
+            Kw::Where => "where",
+            Kw::Select => "select",
+            Kw::Join => "join",
+            Kw::On => "on",
+            Kw::Union => "union",
+            Kw::Possible => "possible",
+            Kw::Certain => "certain",
+            Kw::Confidence => "confidence",
+            Kw::Explain => "explain",
+            Kw::And => "and",
+            Kw::Or => "or",
+            Kw::Not => "not",
+            Kw::True => "true",
+            Kw::False => "false",
+            Kw::Null => "null",
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Tokenize `src`. Errors carry the span of the offending byte(s).
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, Error> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'#' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'|' => {
+                toks.push(one(Tok::Pipe, start));
+                i += 1;
+            }
+            b'(' => {
+                toks.push(one(Tok::LParen, start));
+                i += 1;
+            }
+            b')' => {
+                toks.push(one(Tok::RParen, start));
+                i += 1;
+            }
+            b',' => {
+                toks.push(one(Tok::Comma, start));
+                i += 1;
+            }
+            b'.' => {
+                toks.push(one(Tok::Dot, start));
+                i += 1;
+            }
+            b'+' => {
+                toks.push(one(Tok::Plus, start));
+                i += 1;
+            }
+            b'-' => {
+                toks.push(one(Tok::Minus, start));
+                i += 1;
+            }
+            b'*' => {
+                toks.push(one(Tok::Star, start));
+                i += 1;
+            }
+            b'/' => {
+                toks.push(one(Tok::Slash, start));
+                i += 1;
+            }
+            b'=' => {
+                i += if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
+                toks.push(spanned(Tok::Eq, start, i));
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    toks.push(spanned(Tok::Ne, start, i));
+                } else {
+                    return Err(err("`!` is only valid as `!=`", start, start + 1));
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    i += 2;
+                    toks.push(spanned(Tok::Le, start, i));
+                }
+                Some(&b'>') => {
+                    i += 2;
+                    toks.push(spanned(Tok::Ne, start, i));
+                }
+                _ => {
+                    i += 1;
+                    toks.push(spanned(Tok::Lt, start, i));
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    toks.push(spanned(Tok::Ge, start, i));
+                } else {
+                    i += 1;
+                    toks.push(spanned(Tok::Gt, start, i));
+                }
+            }
+            b'\'' => {
+                let mut out = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err("unterminated string literal", start, i)),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            out.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Advance one whole UTF-8 scalar.
+                            let ch = src[i..].chars().next().expect("in-bounds char");
+                            out.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push(spanned(Tok::Str(out), start, i));
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float =
+                    bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| err("malformed number", start, i))?;
+                    toks.push(spanned(Tok::Float(v), start, i));
+                } else {
+                    let text = &src[start..i];
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| err("integer literal out of range", start, i))?;
+                    toks.push(spanned(Tok::Int(v), start, i));
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let lower = text.to_ascii_lowercase();
+                match Kw::from_str(&lower) {
+                    Some(kw) => toks.push(spanned(Tok::Kw(kw), start, i)),
+                    None => toks.push(spanned(Tok::Ident(text.to_string()), start, i)),
+                }
+            }
+            _ => {
+                let ch = src[i..].chars().next().expect("in-bounds char");
+                return Err(err(
+                    &format!("unexpected character `{ch}`"),
+                    start,
+                    start + ch.len_utf8(),
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn one(tok: Tok, start: usize) -> SpannedTok {
+    spanned(tok, start, start + 1)
+}
+
+fn spanned(tok: Tok, start: usize, end: usize) -> SpannedTok {
+    SpannedTok {
+        tok,
+        span: Span::new(start, end),
+    }
+}
+
+fn err(message: &str, start: usize, end: usize) -> Error {
+    Error::Parse {
+        message: message.to_string(),
+        span: Span::new(start, end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_idents_keep_case() {
+        assert_eq!(
+            kinds("FROM Orders"),
+            vec![Tok::Kw(Kw::From), Tok::Ident("Orders".into())]
+        );
+    }
+
+    #[test]
+    fn operators_and_spans() {
+        let toks = lex("a <= 10 | b != 'x''y'").unwrap();
+        assert_eq!(toks[1].tok, Tok::Le);
+        assert_eq!(toks[1].span, Span::new(2, 4));
+        assert_eq!(toks[5].tok, Tok::Ne);
+        assert_eq!(toks[6].tok, Tok::Str("x'y".into()));
+        assert_eq!(toks[6].span, Span::new(15, 21));
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        assert_eq!(kinds("42"), vec![Tok::Int(42)]);
+        assert_eq!(kinds("0.05"), vec![Tok::Float(0.05)]);
+        // A trailing dot is a Dot token, not a float.
+        assert_eq!(kinds("1.x")[1], Tok::Dot);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("from r # trailing\n| select a"),
+            kinds("from r | select a")
+        );
+    }
+
+    #[test]
+    fn bad_bytes_error_with_span() {
+        let e = lex("from r ; oops").unwrap_err();
+        match e {
+            Error::Parse { message, span } => {
+                assert!(message.contains('`'), "{message}");
+                assert_eq!(span, Span::new(7, 8));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(lex("'never closed").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+}

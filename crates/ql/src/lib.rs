@@ -1,0 +1,170 @@
+//! The textual query surface for U-relations: a small pipeline
+//! language that parses to a spanned AST and lowers to the core
+//! algebra of [`urel_core::algebra`].
+//!
+//! ```text
+//! from orders as o
+//! | join customers as c on o.cust = c.id
+//! | where o.total >= 100
+//! | select o.id, c.name
+//! | certain confidence 0.05
+//! ```
+//!
+//! A pipeline starts `from` a relation (or a parenthesized
+//! sub-pipeline) and applies stages left to right: `where` is σ,
+//! `select` is π, `join … on` is ⋈, `union ( … )` is ∪. The optional
+//! terminal `possible` / `certain` clause picks the answer mode —
+//! possible answers are the default — and `confidence ε` additionally
+//! requests a per-tuple Monte-Carlo probability with Hoeffding
+//! half-width ε. A leading `explain` returns the optimized physical
+//! plan text instead of executing.
+//!
+//! Every parse and lowering error is named and carries the byte
+//! [`Span`] of the offending source text; see [`Error`].
+//!
+//! [`compile`] is the one-call entry point used by the server:
+//! parse + lower, yielding a [`Lowered`] ready for
+//! [`urel_core::translate::PreparedDb`].
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lex;
+pub mod lower;
+pub mod parse;
+
+pub use ast::{ModeClause, PExpr, PExprKind, Pipeline, Source, Span, Stage, Statement};
+pub use error::Error;
+pub use lower::{lower, lower_expr, Lowered, QueryMode};
+pub use parse::parse;
+
+/// A `Result` specialized to frontend errors.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Parse and lower `src` in one call.
+pub fn compile(src: &str) -> Result<Lowered> {
+    lower(&parse(src)?)
+}
+
+/// Run a compiled statement against a prepared database, honoring its
+/// mode clause. `EXPLAIN` is handled by the caller (it changes the
+/// response *shape*, not the evaluation): check [`Lowered::explain`]
+/// and call [`urel_core::translate::PreparedDb::explain`] instead.
+pub fn execute(
+    prepared: &urel_core::translate::PreparedDb<'_>,
+    lowered: &Lowered,
+) -> Result<Answers> {
+    use urel_core::prob::ConfidenceMethod;
+    let method = |eps: f64| {
+        // ε = sqrt(ln(2/δ) / 2n) with δ = 10⁻⁶, solved for the sample
+        // count n that Hoeffding needs for half-width ε. The seed is
+        // fixed so the same statement yields the same bytes everywhere
+        // (the server-vs-library differential test relies on this).
+        const DELTA: f64 = 1e-6;
+        const SEED: u64 = 0xC0FF_1DE5;
+        let samples = ((2.0f64 / DELTA).ln() / (2.0 * eps * eps)).ceil() as usize;
+        ConfidenceMethod::MonteCarlo {
+            samples,
+            seed: SEED,
+        }
+    };
+    match lowered.mode {
+        QueryMode::Possible { confidence: None } => {
+            let (rel, stats) = prepared.possible_with_stats(&lowered.query)?;
+            Ok(Answers::Plain { rel, stats })
+        }
+        QueryMode::Certain { confidence: None } => {
+            let rel = prepared.certain(&lowered.query)?;
+            Ok(Answers::Plain {
+                rel,
+                stats: Default::default(),
+            })
+        }
+        QueryMode::Possible {
+            confidence: Some(eps),
+        } => {
+            let rows = prepared.possible_with_confidence(&lowered.query, method(eps))?;
+            Ok(Answers::WithConfidence { rows })
+        }
+        QueryMode::Certain {
+            confidence: Some(eps),
+        } => {
+            let rows = prepared.certain_with_confidence(&lowered.query, method(eps))?;
+            Ok(Answers::WithConfidence { rows })
+        }
+    }
+}
+
+/// The answers of an executed statement.
+#[derive(Debug, Clone)]
+pub enum Answers {
+    /// Mode without `confidence`: a plain relation of answer tuples.
+    Plain {
+        /// The answer tuples.
+        rel: urel_relalg::Relation,
+        /// Execution statistics (zeroed for the `certain` path, which
+        /// post-processes outside the tracked executor).
+        stats: urel_relalg::ExecStats,
+    },
+    /// Mode with `confidence ε`: value tuples with their probability.
+    WithConfidence {
+        /// `(tuple, probability)` pairs.
+        rows: Vec<(Vec<urel_relalg::Value>, f64)>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urel_core::translate::PreparedDb;
+    use urel_core::{figure1_database, table};
+    use urel_relalg::col;
+
+    #[test]
+    fn compile_and_execute_roundtrip() {
+        let udb = figure1_database();
+        let prepared = PreparedDb::new(&udb);
+        let lowered = compile("from r | where id = 1 | select type | possible").unwrap();
+        let got = match execute(&prepared, &lowered).unwrap() {
+            Answers::Plain { rel, .. } => rel,
+            other => panic!("{other:?}"),
+        };
+        let want = prepared
+            .possible(
+                &table("r")
+                    .select(col("id").eq(urel_relalg::lit_i64(1)))
+                    .project(["type"]),
+            )
+            .unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn explain_passthrough_renders_plan() {
+        let udb = figure1_database();
+        let prepared = PreparedDb::new(&udb);
+        let lowered = compile("explain from r | select id").unwrap();
+        assert!(lowered.explain);
+        let text = prepared.explain(&lowered.query).unwrap();
+        assert!(
+            text.contains("project") || text.contains("Project"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn confidence_mode_returns_probabilities() {
+        let udb = figure1_database();
+        let prepared = PreparedDb::new(&udb);
+        let lowered = compile("from r | select type | possible confidence 0.2").unwrap();
+        let rows = match execute(&prepared, &lowered).unwrap() {
+            Answers::WithConfidence { rows } => rows,
+            other => panic!("{other:?}"),
+        };
+        assert!(!rows.is_empty());
+        for (_, p) in &rows {
+            assert!((0.0..=1.0).contains(p), "{p}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Lowering: parse tree → the core [`UQuery`] algebra.
+//!
+//! Lowering is purely structural — name resolution (unknown relations,
+//! missing attributes, ambiguous projections) stays in the core
+//! translation layer, which already reports those against the catalog.
+//! What *is* checked here, each with a named spanned error:
+//!
+//! - the `possible`/`certain` mode clause must be the **last** stage,
+//! - it may only appear at the **top level** (not inside a sub-pipeline
+//!   or a `union` arm),
+//! - `confidence ε` must satisfy 0 < ε < 1.
+
+use crate::ast::{ModeClause, PExpr, PExprKind, Pipeline, Source, Stage, Statement};
+use crate::error::Error;
+use urel_core::algebra::{table, table_as, UQuery};
+use urel_relalg::{col, Expr, Value};
+
+/// How the answers of a lowered pipeline should be reported.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryMode {
+    /// Possible answers (the default when no mode clause is given),
+    /// optionally with per-tuple Monte-Carlo confidence of half-width ε.
+    Possible {
+        /// Hoeffding half-width ε, if requested.
+        confidence: Option<f64>,
+    },
+    /// Certain answers, optionally with Monte-Carlo confidence.
+    Certain {
+        /// Hoeffding half-width ε, if requested.
+        confidence: Option<f64>,
+    },
+}
+
+/// The result of lowering a [`Statement`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lowered {
+    /// The algebra query, ready for [`urel_core::translate::PreparedDb`].
+    /// The terminal `poss`/`certain` is *not* encoded here — it is the
+    /// executor's choice via [`Lowered::mode`].
+    pub query: UQuery,
+    /// The answer mode from the pipeline's mode clause.
+    pub mode: QueryMode,
+    /// Whether the statement asked for `explain`.
+    pub explain: bool,
+}
+
+/// Lower a parsed statement to the core algebra.
+pub fn lower(stmt: &Statement) -> Result<Lowered, Error> {
+    let (query, mode) = lower_pipeline(&stmt.pipeline, true)?;
+    Ok(Lowered {
+        query,
+        mode: mode.unwrap_or(QueryMode::Possible { confidence: None }),
+        explain: stmt.explain,
+    })
+}
+
+/// Lower one pipeline. `top_level` controls whether a mode clause is
+/// admissible; sub-pipelines return `None` for the mode.
+fn lower_pipeline(p: &Pipeline, top_level: bool) -> Result<(UQuery, Option<QueryMode>), Error> {
+    let mut q = lower_source(&p.from)?;
+    let mut mode = None;
+    for (idx, stage) in p.stages.iter().enumerate() {
+        if mode.is_some() {
+            return Err(Error::Lower {
+                message: "`possible`/`certain` must be the last stage of the pipeline".into(),
+                span: stage.span(),
+            });
+        }
+        match stage {
+            Stage::Where { pred, .. } => {
+                q = q.select(lower_expr(pred));
+            }
+            Stage::Select { cols, .. } => {
+                q = q.project(cols.iter().map(|(name, _)| name.clone()));
+            }
+            Stage::Join { source, on, .. } => {
+                let rhs = lower_source(source)?;
+                q = q.join(rhs, lower_expr(on));
+            }
+            Stage::Union { pipeline, .. } => {
+                let (rhs, _none) = lower_pipeline(pipeline, false)?;
+                q = q.union(rhs);
+            }
+            Stage::Mode { mode: clause, span } => {
+                if !top_level {
+                    return Err(Error::Lower {
+                        message: "`possible`/`certain` is only allowed on the \
+                                  top-level pipeline, not in a subquery"
+                            .into(),
+                        span: *span,
+                    });
+                }
+                let _ = idx;
+                mode = Some(lower_mode(clause, *span)?);
+            }
+        }
+    }
+    Ok((q, mode))
+}
+
+fn lower_mode(clause: &ModeClause, span: crate::ast::Span) -> Result<QueryMode, Error> {
+    let check = |eps: Option<f64>| -> Result<Option<f64>, Error> {
+        match eps {
+            Some(e) if !(e > 0.0 && e < 1.0) => Err(Error::Lower {
+                message: format!("confidence half-width must satisfy 0 < ε < 1, got {e}"),
+                span,
+            }),
+            other => Ok(other),
+        }
+    };
+    Ok(match clause {
+        ModeClause::Possible { confidence } => QueryMode::Possible {
+            confidence: check(*confidence)?,
+        },
+        ModeClause::Certain { confidence } => QueryMode::Certain {
+            confidence: check(*confidence)?,
+        },
+    })
+}
+
+fn lower_source(src: &Source) -> Result<UQuery, Error> {
+    match src {
+        Source::Table { name, alias, .. } => Ok(match alias {
+            Some(a) => table_as(name.clone(), a.clone()),
+            None => table(name.clone()),
+        }),
+        Source::Sub(p) => {
+            let (q, _none) = lower_pipeline(p, false)?;
+            Ok(q)
+        }
+    }
+}
+
+/// Lower a parsed scalar expression to the engine's [`Expr`].
+pub fn lower_expr(e: &PExpr) -> Expr {
+    match &e.kind {
+        PExprKind::Col(name) => col(name),
+        PExprKind::Int(v) => Expr::Lit(Value::Int(*v)),
+        PExprKind::Str(s) => Expr::Lit(Value::interned(s)),
+        PExprKind::Bool(b) => Expr::Lit(Value::Bool(*b)),
+        PExprKind::Null => Expr::Lit(Value::Null),
+        PExprKind::Cmp(op, a, b) => {
+            Expr::Cmp(*op, Box::new(lower_expr(a)), Box::new(lower_expr(b)))
+        }
+        PExprKind::Arith(op, a, b) => {
+            Expr::Arith(*op, Box::new(lower_expr(a)), Box::new(lower_expr(b)))
+        }
+        PExprKind::And(parts) => Expr::and(parts.iter().map(lower_expr)),
+        PExprKind::Or(parts) => Expr::or(parts.iter().map(lower_expr)),
+        PExprKind::Not(inner) => Expr::Not(Box::new(lower_expr(inner))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use urel_relalg::lit_i64;
+
+    fn low(src: &str) -> Lowered {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn lowers_to_builder_equivalent() {
+        let got = low("from orders as o | join cust as c on o.cid = c.id \
+             | where o.total > 10 | select o.id, c.name");
+        let want = table_as("orders", "o")
+            .join(table_as("cust", "c"), col("o.cid").eq(col("c.id")))
+            .select(col("o.total").gt(lit_i64(10)))
+            .project(["o.id", "c.name"]);
+        assert_eq!(got.query, want);
+        assert_eq!(got.mode, QueryMode::Possible { confidence: None });
+    }
+
+    #[test]
+    fn mode_clause_and_confidence() {
+        let got = low("from r | certain confidence 0.1");
+        assert_eq!(
+            got.mode,
+            QueryMode::Certain {
+                confidence: Some(0.1)
+            }
+        );
+        assert_eq!(got.query, table("r"));
+    }
+
+    #[test]
+    fn union_and_subquery() {
+        let got = low("from (from r | where a = 1) | union (from s)");
+        let want = table("r").select(col("a").eq(lit_i64(1))).union(table("s"));
+        assert_eq!(got.query, want);
+    }
+
+    #[test]
+    fn mode_not_last_is_named_error() {
+        let e = lower(&parse("from r | possible | where a = 1").unwrap()).unwrap_err();
+        match e {
+            Error::Lower { message, .. } => {
+                assert!(message.contains("last stage"), "{message}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mode_in_subquery_is_named_error() {
+        let e = lower(&parse("from r | union (from s | certain)").unwrap()).unwrap_err();
+        match e {
+            Error::Lower { message, span } => {
+                assert!(message.contains("top-level"), "{message}");
+                // Span points at the inner `certain`.
+                assert_eq!(span.start, 25);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn confidence_range_is_checked() {
+        for bad in [
+            "from r | possible confidence 0.0",
+            "from r | certain confidence 1",
+        ] {
+            let e = lower(&parse(bad).unwrap()).unwrap_err();
+            assert!(e.to_string().contains("0 < ε < 1"), "{e}");
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! Recursive-descent parser: tokens → [`Statement`].
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement  := [ "explain" ] pipeline
+//! pipeline   := "from" source { "|" stage }
+//! source     := ident [ "as" ident ] | "(" pipeline ")"
+//! stage      := "where" expr
+//!             | "select" col { "," col }
+//!             | "join" source "on" expr
+//!             | "union" "(" pipeline ")"
+//!             | ( "possible" | "certain" ) [ "confidence" number ]
+//! col        := ident [ "." ident ]
+//! expr       := or ; or := and { "or" and } ; and := not { "and" not }
+//! not        := "not" not | cmp
+//! cmp        := sum [ cmpop sum ]        cmpop := = == != <> < <= > >=
+//! sum        := term { ("+"|"-") term } ; term := factor { ("*"|"/") factor }
+//! factor     := int | string | "true" | "false" | "null" | col | "(" expr ")"
+//! ```
+//!
+//! Float literals are only legal as the `confidence` argument; the
+//! parser names that restriction in its error rather than emitting a
+//! generic "unexpected token".
+
+use crate::ast::{ModeClause, PExpr, PExprKind, Pipeline, Source, Span, Stage, Statement};
+use crate::error::Error;
+use crate::lex::{lex, Kw, SpannedTok, Tok};
+use urel_relalg::{ArithOp, CmpOp};
+
+/// Parse one statement from `src`.
+pub fn parse(src: &str) -> Result<Statement, Error> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let explain = p.eat_kw(Kw::Explain);
+    let pipeline = p.pipeline()?;
+    if let Some(t) = p.peek() {
+        return Err(p.err_at(
+            t.span,
+            &format!("expected `|` or end of input, found {}", describe(&t.tok)),
+        ));
+    }
+    Ok(Statement { explain, pipeline })
+}
+
+struct Parser<'a> {
+    toks: &'a [SpannedTok],
+    pos: usize,
+    src_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a SpannedTok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&'a SpannedTok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// The span errors point at when input ends too early.
+    fn eof_span(&self) -> Span {
+        Span::new(self.src_len, self.src_len)
+    }
+
+    fn err_at(&self, span: Span, message: &str) -> Error {
+        Error::Parse {
+            message: message.to_string(),
+            span,
+        }
+    }
+
+    fn err_here(&self, expected: &str) -> Error {
+        match self.peek() {
+            Some(t) => self.err_at(
+                t.span,
+                &format!("expected {expected}, found {}", describe(&t.tok)),
+            ),
+            None => self.err_at(
+                self.eof_span(),
+                &format!("expected {expected}, found end of input"),
+            ),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        if matches!(self.peek(), Some(t) if t.tok == Tok::Kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Kw) -> Result<Span, Error> {
+        match self.peek() {
+            Some(t) if t.tok == Tok::Kw(kw) => {
+                self.pos += 1;
+                Ok(t.span)
+            }
+            _ => Err(self.err_here(&format!("`{}`", kw.text()))),
+        }
+    }
+
+    fn expect_tok(&mut self, tok: Tok, what: &str) -> Result<Span, Error> {
+        match self.peek() {
+            Some(t) if t.tok == tok => {
+                self.pos += 1;
+                Ok(t.span)
+            }
+            _ => Err(self.err_here(what)),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), Error> {
+        match self.peek() {
+            Some(t) => match &t.tok {
+                Tok::Ident(name) => {
+                    self.pos += 1;
+                    Ok((name.clone(), t.span))
+                }
+                _ => Err(self.err_here(what)),
+            },
+            None => Err(self.err_here(what)),
+        }
+    }
+
+    fn pipeline(&mut self) -> Result<Pipeline, Error> {
+        let from_span = self.expect_kw(Kw::From)?;
+        let from = self.source()?;
+        let mut span = from_span.to(from.span());
+        let mut stages = Vec::new();
+        while self.eat_tok(Tok::Pipe) {
+            let stage = self.stage()?;
+            span = span.to(stage.span());
+            stages.push(stage);
+        }
+        Ok(Pipeline { from, stages, span })
+    }
+
+    fn eat_tok(&mut self, tok: Tok) -> bool {
+        if matches!(self.peek(), Some(t) if t.tok == tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn source(&mut self) -> Result<Source, Error> {
+        if let Some(t) = self.peek() {
+            if t.tok == Tok::LParen {
+                let open = t.span;
+                self.pos += 1;
+                let inner = self.pipeline()?;
+                let close = self.expect_tok(Tok::RParen, "`)`")?;
+                let mut inner = inner;
+                inner.span = open.to(close);
+                return Ok(Source::Sub(Box::new(inner)));
+            }
+        }
+        let (name, name_span) = self.expect_ident("a relation name or `(`")?;
+        if self.eat_kw(Kw::As) {
+            let (alias, alias_span) = self.expect_ident("an alias after `as`")?;
+            Ok(Source::Table {
+                name,
+                alias: Some(alias),
+                span: name_span.to(alias_span),
+            })
+        } else {
+            Ok(Source::Table {
+                name,
+                alias: None,
+                span: name_span,
+            })
+        }
+    }
+
+    fn stage(&mut self) -> Result<Stage, Error> {
+        let t = match self.peek() {
+            Some(t) => t,
+            None => return Err(self.err_here("a stage after `|`")),
+        };
+        match t.tok {
+            Tok::Kw(Kw::Where) => {
+                let kw = t.span;
+                self.pos += 1;
+                let pred = self.expr()?;
+                let span = kw.to(pred.span);
+                Ok(Stage::Where { pred, span })
+            }
+            Tok::Kw(Kw::Select) => {
+                let kw = t.span;
+                self.pos += 1;
+                let mut cols = Vec::new();
+                let first = self.column_name()?;
+                let mut span = kw.to(first.1);
+                cols.push(first);
+                while self.eat_tok(Tok::Comma) {
+                    let c = self.column_name()?;
+                    span = span.to(c.1);
+                    cols.push(c);
+                }
+                Ok(Stage::Select { cols, span })
+            }
+            Tok::Kw(Kw::Join) => {
+                let kw = t.span;
+                self.pos += 1;
+                let source = self.source()?;
+                self.expect_kw(Kw::On)?;
+                let on = self.expr()?;
+                let span = kw.to(on.span);
+                Ok(Stage::Join { source, on, span })
+            }
+            Tok::Kw(Kw::Union) => {
+                let kw = t.span;
+                self.pos += 1;
+                self.expect_tok(Tok::LParen, "`(` after `union`")?;
+                let pipeline = self.pipeline()?;
+                let close = self.expect_tok(Tok::RParen, "`)`")?;
+                let span = kw.to(close);
+                Ok(Stage::Union { pipeline, span })
+            }
+            Tok::Kw(Kw::Possible) | Tok::Kw(Kw::Certain) => {
+                let certain = t.tok == Tok::Kw(Kw::Certain);
+                let kw = t.span;
+                self.pos += 1;
+                let (confidence, span) = if let Some(c) = self.peek() {
+                    if c.tok == Tok::Kw(Kw::Confidence) {
+                        self.pos += 1;
+                        let (eps, eps_span) = self.number()?;
+                        (Some(eps), kw.to(eps_span))
+                    } else {
+                        (None, kw)
+                    }
+                } else {
+                    (None, kw)
+                };
+                let mode = if certain {
+                    ModeClause::Certain { confidence }
+                } else {
+                    ModeClause::Possible { confidence }
+                };
+                Ok(Stage::Mode { mode, span })
+            }
+            _ => Err(self
+                .err_here("a stage (`where`, `select`, `join`, `union`, `possible` or `certain`)")),
+        }
+    }
+
+    /// A possibly-qualified attribute name, joined with `.`.
+    fn column_name(&mut self) -> Result<(String, Span), Error> {
+        let (mut name, mut span) = self.expect_ident("an attribute name")?;
+        if self.eat_tok(Tok::Dot) {
+            let (field, field_span) = self.expect_ident("an attribute name after `.`")?;
+            name = format!("{name}.{field}");
+            span = span.to(field_span);
+        }
+        Ok((name, span))
+    }
+
+    /// The ε argument of `confidence` — fractional or integral.
+    fn number(&mut self) -> Result<(f64, Span), Error> {
+        match self.peek() {
+            Some(t) => match t.tok {
+                Tok::Float(v) => {
+                    self.pos += 1;
+                    Ok((v, t.span))
+                }
+                Tok::Int(v) => {
+                    self.pos += 1;
+                    Ok((v as f64, t.span))
+                }
+                _ => Err(self.err_here("a number after `confidence`")),
+            },
+            None => Err(self.err_here("a number after `confidence`")),
+        }
+    }
+
+    // --- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<PExpr, Error> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<PExpr, Error> {
+        let first = self.and_expr()?;
+        if !matches!(self.peek(), Some(t) if t.tok == Tok::Kw(Kw::Or)) {
+            return Ok(first);
+        }
+        let mut span = first.span;
+        let mut parts = vec![first];
+        while self.eat_kw(Kw::Or) {
+            let rhs = self.and_expr()?;
+            span = span.to(rhs.span);
+            parts.push(rhs);
+        }
+        Ok(PExpr {
+            kind: PExprKind::Or(parts),
+            span,
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<PExpr, Error> {
+        let first = self.not_expr()?;
+        if !matches!(self.peek(), Some(t) if t.tok == Tok::Kw(Kw::And)) {
+            return Ok(first);
+        }
+        let mut span = first.span;
+        let mut parts = vec![first];
+        while self.eat_kw(Kw::And) {
+            let rhs = self.not_expr()?;
+            span = span.to(rhs.span);
+            parts.push(rhs);
+        }
+        Ok(PExpr {
+            kind: PExprKind::And(parts),
+            span,
+        })
+    }
+
+    fn not_expr(&mut self) -> Result<PExpr, Error> {
+        if let Some(t) = self.peek() {
+            if t.tok == Tok::Kw(Kw::Not) {
+                let kw = t.span;
+                self.pos += 1;
+                let inner = self.not_expr()?;
+                let span = kw.to(inner.span);
+                return Ok(PExpr {
+                    kind: PExprKind::Not(Box::new(inner)),
+                    span,
+                });
+            }
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<PExpr, Error> {
+        let lhs = self.sum()?;
+        let op = match self.peek().map(|t| &t.tok) {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.sum()?;
+        let span = lhs.span.to(rhs.span);
+        Ok(PExpr {
+            kind: PExprKind::Cmp(op, Box::new(lhs), Box::new(rhs)),
+            span,
+        })
+    }
+
+    fn sum(&mut self) -> Result<PExpr, Error> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek().map(|t| &t.tok) {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = PExpr {
+                kind: PExprKind::Arith(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+    }
+
+    fn term(&mut self) -> Result<PExpr, Error> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek().map(|t| &t.tok) {
+                Some(Tok::Star) => ArithOp::Mul,
+                Some(Tok::Slash) => ArithOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.factor()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = PExpr {
+                kind: PExprKind::Arith(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+    }
+
+    fn factor(&mut self) -> Result<PExpr, Error> {
+        let t = match self.bump() {
+            Some(t) => t,
+            None => return Err(self.err_here("an expression")),
+        };
+        let kind = match &t.tok {
+            Tok::Int(v) => PExprKind::Int(*v),
+            Tok::Str(s) => PExprKind::Str(s.clone()),
+            Tok::Kw(Kw::True) => PExprKind::Bool(true),
+            Tok::Kw(Kw::False) => PExprKind::Bool(false),
+            Tok::Kw(Kw::Null) => PExprKind::Null,
+            Tok::Float(_) => {
+                return Err(self.err_at(t.span, "float literals are only valid after `confidence`"))
+            }
+            Tok::Ident(_) => {
+                self.pos -= 1;
+                let (name, span) = self.column_name()?;
+                return Ok(PExpr {
+                    kind: PExprKind::Col(name),
+                    span,
+                });
+            }
+            Tok::LParen => {
+                let inner = self.expr()?;
+                let close = self.expect_tok(Tok::RParen, "`)`")?;
+                return Ok(PExpr {
+                    kind: inner.kind,
+                    span: t.span.to(close),
+                });
+            }
+            Tok::Minus => {
+                // Negative integer literal.
+                let inner = self.factor()?;
+                return match inner.kind {
+                    PExprKind::Int(v) => Ok(PExpr {
+                        kind: PExprKind::Int(-v),
+                        span: t.span.to(inner.span),
+                    }),
+                    _ => Err(self.err_at(
+                        t.span.to(inner.span),
+                        "unary `-` applies only to integer literals",
+                    )),
+                };
+            }
+            other => {
+                return Err(self.err_at(
+                    t.span,
+                    &format!("expected an expression, found {}", describe(other)),
+                ))
+            }
+        };
+        Ok(PExpr { kind, span: t.span })
+    }
+}
+
+fn describe(tok: &Tok) -> String {
+    match tok {
+        Tok::Kw(kw) => format!("keyword `{}`", kw.text()),
+        Tok::Ident(name) => format!("identifier `{name}`"),
+        Tok::Int(v) => format!("integer `{v}`"),
+        Tok::Float(v) => format!("number `{v}`"),
+        Tok::Str(s) => format!("string '{s}'"),
+        Tok::Pipe => "`|`".into(),
+        Tok::LParen => "`(`".into(),
+        Tok::RParen => "`)`".into(),
+        Tok::Comma => "`,`".into(),
+        Tok::Dot => "`.`".into(),
+        Tok::Eq => "`=`".into(),
+        Tok::Ne => "`!=`".into(),
+        Tok::Lt => "`<`".into(),
+        Tok::Le => "`<=`".into(),
+        Tok::Gt => "`>`".into(),
+        Tok::Ge => "`>=`".into(),
+        Tok::Plus => "`+`".into(),
+        Tok::Minus => "`-`".into(),
+        Tok::Star => "`*`".into(),
+        Tok::Slash => "`/`".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_pipeline() {
+        let s = parse("from r").unwrap();
+        assert!(!s.explain);
+        assert!(s.pipeline.stages.is_empty());
+        match &s.pipeline.from {
+            Source::Table { name, alias, .. } => {
+                assert_eq!(name, "r");
+                assert!(alias.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_pipeline_shape() {
+        let s = parse(
+            "EXPLAIN from orders as o \
+             | join customers as c on o.cust = c.id \
+             | where o.total >= 100 and not c.vip = true \
+             | select o.id, c.name \
+             | possible confidence 0.05",
+        )
+        .unwrap();
+        assert!(s.explain);
+        assert_eq!(s.pipeline.stages.len(), 4);
+        match &s.pipeline.stages[3] {
+            Stage::Mode {
+                mode: ModeClause::Possible { confidence },
+                ..
+            } => assert_eq!(*confidence, Some(0.05)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_or_over_and_over_cmp() {
+        let s = parse("from r | where a = 1 and b = 2 or c = 3").unwrap();
+        match &s.pipeline.stages[0] {
+            Stage::Where { pred, .. } => match &pred.kind {
+                PExprKind::Or(parts) => {
+                    assert_eq!(parts.len(), 2);
+                    assert!(matches!(parts[0].kind, PExprKind::And(_)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arith_precedence() {
+        let s = parse("from r | where a + b * 2 = 10").unwrap();
+        match &s.pipeline.stages[0] {
+            Stage::Where { pred, .. } => match &pred.kind {
+                PExprKind::Cmp(CmpOp::Eq, lhs, _) => match &lhs.kind {
+                    PExprKind::Arith(ArithOp::Add, _, rhs) => {
+                        assert!(matches!(rhs.kind, PExprKind::Arith(ArithOp::Mul, _, _)));
+                    }
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subquery_sources() {
+        let s = parse("from (from r | where a = 1) | union (from s)").unwrap();
+        assert!(matches!(s.pipeline.from, Source::Sub(_)));
+        assert!(matches!(s.pipeline.stages[0], Stage::Union { .. }));
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        // `select` with no columns.
+        let e = parse("from r | select ").unwrap_err();
+        match e {
+            Error::Parse { message, span } => {
+                assert!(message.contains("attribute name"), "{message}");
+                assert_eq!(span, Span::new(16, 16));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Float outside confidence is a *named* error.
+        let e = parse("from r | where a = 1.5").unwrap_err();
+        assert!(
+            e.to_string().contains("only valid after `confidence`"),
+            "{e}"
+        );
+        // Trailing garbage.
+        let e = parse("from r extra").unwrap_err();
+        assert!(
+            e.to_string().contains("expected `|` or end of input"),
+            "{e}"
+        );
+    }
+}

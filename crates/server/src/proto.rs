@@ -1,0 +1,264 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"query","id":1,"query":"from s | select a | possible"}
+//! {"op":"stats","id":2}
+//! {"op":"ping","id":3}
+//! ```
+//!
+//! Responses always echo `id` (or `null` if the request had none) and
+//! carry `"ok"`. A successful query response holds the answer relation
+//! (`columns` + `rows`, or `rows` of `[tuple, p]` pairs for
+//! `confidence` queries, or `plan` text for `explain`); a failed one
+//! names the error class in `"kind"` — `"parse"`, `"lower"`,
+//! `"engine"`, `"cancelled"`, `"shed"` or `"proto"` — with parse and
+//! lowering errors additionally carrying the source `"span"`.
+//!
+//! [`render_answers`] is the single place answer bytes are produced;
+//! the server-vs-library differential test calls it directly to prove
+//! the TCP path returns exactly the bytes the in-process path would.
+
+use crate::json::Json;
+use urel_ql::Answers;
+use urel_relalg::{ExecStats, Relation, Value};
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping {
+        /// Echoed request id.
+        id: Option<i64>,
+    },
+    /// Server + session statistics.
+    Stats {
+        /// Echoed request id.
+        id: Option<i64>,
+    },
+    /// Compile and run (or explain) a pipeline statement.
+    Query {
+        /// Echoed request id.
+        id: Option<i64>,
+        /// The statement text.
+        text: String,
+    },
+}
+
+impl Request {
+    /// Decode one request line. Errors are protocol errors (malformed
+    /// JSON, missing fields) — the caller reports them with kind
+    /// `"proto"` and keeps the session open.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = crate::json::parse(line)?;
+        let id = v.get("id").and_then(Json::as_i64);
+        match v.get("op").and_then(Json::as_str) {
+            Some("ping") => Ok(Request::Ping { id }),
+            Some("stats") => Ok(Request::Stats { id }),
+            Some("query") => {
+                let text = v
+                    .get("query")
+                    .and_then(Json::as_str)
+                    .ok_or("`query` op needs a string `query` field")?
+                    .to_string();
+                Ok(Request::Query { id, text })
+            }
+            Some(other) => Err(format!("unknown op `{other}`")),
+            None => Err("request needs a string `op` field".into()),
+        }
+    }
+
+    /// The request id, for echoing.
+    pub fn id(&self) -> Option<i64> {
+        match self {
+            Request::Ping { id } | Request::Stats { id } | Request::Query { id, .. } => *id,
+        }
+    }
+}
+
+fn id_json(id: Option<i64>) -> Json {
+    match id {
+        Some(v) => Json::Int(v),
+        None => Json::Null,
+    }
+}
+
+/// A successful response skeleton: `{"id":…,"ok":true,…fields}`.
+pub fn ok_response(id: Option<i64>, fields: Vec<(String, Json)>) -> Json {
+    let mut obj = vec![
+        ("id".to_string(), id_json(id)),
+        ("ok".to_string(), Json::Bool(true)),
+    ];
+    obj.extend(fields);
+    Json::Obj(obj)
+}
+
+/// An error response: `{"id":…,"ok":false,"kind":…,"error":…[,"span"]}`.
+pub fn err_response(
+    id: Option<i64>,
+    kind: &str,
+    message: &str,
+    span: Option<(usize, usize)>,
+) -> Json {
+    let mut obj = vec![
+        ("id".to_string(), id_json(id)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("kind".to_string(), Json::Str(kind.to_string())),
+        ("error".to_string(), Json::Str(message.to_string())),
+    ];
+    if let Some((s, e)) = span {
+        obj.push((
+            "span".to_string(),
+            Json::Arr(vec![Json::Int(s as i64), Json::Int(e as i64)]),
+        ));
+    }
+    Json::Obj(obj)
+}
+
+/// Classify a frontend error into a response. Parse/lower errors carry
+/// their span; engine errors distinguish deadline cancellation.
+pub fn err_response_for(id: Option<i64>, e: &urel_ql::Error) -> Json {
+    match e {
+        urel_ql::Error::Parse { message, span } => err_response(
+            id,
+            "parse",
+            &format!("parse error at {span}: {message}"),
+            Some((span.start, span.end)),
+        ),
+        urel_ql::Error::Lower { message, span } => err_response(
+            id,
+            "lower",
+            &format!("lowering error at {span}: {message}"),
+            Some((span.start, span.end)),
+        ),
+        urel_ql::Error::Engine(inner) => {
+            let kind = match inner {
+                urel_core::Error::Engine(urel_relalg::Error::Cancelled(_)) => "cancelled",
+                _ => "engine",
+            };
+            err_response(id, kind, &inner.to_string(), None)
+        }
+    }
+}
+
+/// Encode a relation value for the wire.
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::Str(s) => Json::Str(s.to_string()),
+    }
+}
+
+fn relation_fields(rel: &Relation) -> Vec<(String, Json)> {
+    let columns = Json::Arr(
+        rel.schema()
+            .columns()
+            .iter()
+            .map(|c| Json::Str(c.to_string()))
+            .collect(),
+    );
+    let rows = Json::Arr(
+        rel.rows()
+            .iter()
+            .map(|r| Json::Arr(r.iter().map(value_json).collect()))
+            .collect(),
+    );
+    vec![
+        ("columns".to_string(), columns),
+        ("rows".to_string(), rows),
+        ("row_count".to_string(), Json::Int(rel.len() as i64)),
+    ]
+}
+
+fn stats_fields(stats: &ExecStats) -> Json {
+    Json::Obj(vec![
+        ("buffers".to_string(), Json::Int(stats.buffers as i64)),
+        (
+            "buffered_rows".to_string(),
+            Json::Int(stats.buffered_rows as i64),
+        ),
+    ])
+}
+
+/// Render the answers of an executed statement as the *exact* response
+/// the server sends. Shared between the serving loop and the
+/// differential tests: equal inputs produce equal bytes.
+pub fn render_answers(id: Option<i64>, answers: &Answers) -> Json {
+    match answers {
+        Answers::Plain { rel, stats } => {
+            let mut fields = relation_fields(rel);
+            fields.push(("stats".to_string(), stats_fields(stats)));
+            ok_response(id, fields)
+        }
+        Answers::WithConfidence { rows } => {
+            let items = Json::Arr(
+                rows.iter()
+                    .map(|(tuple, p)| {
+                        Json::Arr(vec![
+                            Json::Arr(tuple.iter().map(value_json).collect()),
+                            Json::Num(*p),
+                        ])
+                    })
+                    .collect(),
+            );
+            ok_response(
+                id,
+                vec![
+                    ("rows".to_string(), items),
+                    ("row_count".to_string(), Json::Int(rows.len() as i64)),
+                ],
+            )
+        }
+    }
+}
+
+/// Render an `explain` response.
+pub fn render_explain(id: Option<i64>, plan: &str) -> Json {
+    ok_response(id, vec![("plan".to_string(), Json::Str(plan.to_string()))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_decoding() {
+        let r = Request::decode(r#"{"op":"query","id":3,"query":"from r"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Query {
+                id: Some(3),
+                text: "from r".into()
+            }
+        );
+        assert_eq!(
+            Request::decode(r#"{"op":"ping"}"#).unwrap(),
+            Request::Ping { id: None }
+        );
+        assert!(Request::decode(r#"{"op":"nope"}"#).is_err());
+        assert!(Request::decode(r#"{"op":"query"}"#).is_err());
+        assert!(Request::decode("not json").is_err());
+    }
+
+    #[test]
+    fn error_responses_carry_kind_and_span() {
+        let e = urel_ql::compile("from r | where a = ").unwrap_err();
+        let resp = err_response_for(Some(1), &e).render();
+        assert!(resp.contains(r#""ok":false"#), "{resp}");
+        assert!(resp.contains(r#""kind":"parse""#), "{resp}");
+        assert!(resp.contains(r#""span":[19,19]"#), "{resp}");
+    }
+
+    #[test]
+    fn shed_response_shape() {
+        let resp =
+            err_response(None, "shed", "shed: admission queue full (2 waiting)", None).render();
+        assert!(
+            resp.starts_with(r#"{"id":null,"ok":false,"kind":"shed""#),
+            "{resp}"
+        );
+    }
+}

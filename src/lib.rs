@@ -14,6 +14,10 @@
 //! * [`uldb`] — Trio-style ULDBs (lineage baseline).
 //! * [`tpch`] — the uncertainty-extended TPC-H generator and the paper's
 //!   queries Q1–Q3.
+//! * [`ql`] — the textual pipeline-query frontend (parse + lower to the
+//!   core algebra).
+//! * [`server`] — the newline-delimited-JSON-over-TCP session server
+//!   (see README "Serving").
 //!
 //! ## Quickstart
 //!
@@ -44,7 +48,9 @@
 //! certain answers, confidence).
 
 pub use urel_core as core;
+pub use urel_ql as ql;
 pub use urel_relalg as relalg;
+pub use urel_server as server;
 pub use urel_tpch as tpch;
 pub use urel_uldb as uldb;
 pub use urel_wsd as wsd;
